@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation of the shadow-memory tool's inexactness knobs (paper P3):
+ * redzone size vs the out-of-bounds distance it can catch, and
+ * quarantine capacity vs how long a use-after-free stays detectable
+ * under allocation churn.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "tools/driver.h"
+
+namespace
+{
+
+using namespace sulong;
+
+/** OOB read at a parameterized distance past a global array. */
+std::string
+oobProgram()
+{
+    return R"(
+int table[8];
+int pad[4096];
+int main(int argc, char **argv) {
+    int idx = atoi(argv[1]);
+    return table[idx];
+})";
+}
+
+/** UAF after n intervening live allocations of the same size class:
+ *  once the freed block leaves the quarantine it is recycled into a live
+ *  object and the dangling access becomes invisible. */
+std::string
+uafProgram()
+{
+    return R"(
+int main(int argc, char **argv) {
+    int churn = atoi(argv[1]);
+    char *p = malloc(32);
+    p[0] = 'x';
+    free(p);
+    for (int i = 0; i < churn; i++) {
+        char *filler = malloc(40);  /* different class: fills quarantine */
+        free(filler);
+    }
+    char *fresh = malloc(32); /* recycles p's block once unquarantined */
+    fresh[0] = 'f';
+    return p[0];
+})";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("ASan inexactness ablation (paper P3)\n\n");
+
+    std::printf("Redzone size vs detected OOB distance "
+                "(global array of 8 ints):\n");
+    std::printf("  %10s", "index");
+    for (int idx : {8, 10, 12, 16, 24, 40, 72, 136})
+        std::printf(" %6d", idx);
+    std::printf("\n");
+    for (uint64_t redzone : {8u, 16u, 32u, 64u, 128u}) {
+        ToolConfig config = ToolConfig::make(ToolKind::asan, 0);
+        config.asan.redzone = redzone;
+        std::printf("  rz=%-7llu",
+                    static_cast<unsigned long long>(redzone));
+        for (int idx : {8, 10, 12, 16, 24, 40, 72, 136}) {
+            ExecutionResult result = runUnderTool(
+                oobProgram(), config, {std::to_string(idx)});
+            std::printf(" %6s",
+                        result.bug.kind == ErrorKind::outOfBounds
+                            ? "FOUND" : ".");
+        }
+        std::printf("\n");
+    }
+    std::printf("  (Safe Sulong reference: detected at every distance)\n\n");
+
+    std::printf("Quarantine capacity vs UAF detection under churn:\n");
+    std::printf("  %14s", "churn");
+    for (int churn : {0, 2, 6, 14, 30, 62, 126})
+        std::printf(" %6d", churn);
+    std::printf("\n");
+    for (size_t quarantine : {1u, 4u, 16u, 64u, 256u}) {
+        ToolConfig config = ToolConfig::make(ToolKind::asan, 0);
+        config.asan.quarantineBlocks = quarantine;
+        std::printf("  quarantine=%-3zu", quarantine);
+        for (int churn : {0, 2, 6, 14, 30, 62, 126}) {
+            ExecutionResult result = runUnderTool(
+                uafProgram(), config, {std::to_string(churn)});
+            std::printf(" %6s",
+                        result.bug.kind == ErrorKind::useAfterFree
+                            ? "FOUND" : ".");
+        }
+        std::printf("\n");
+    }
+    std::printf("  (Safe Sulong reference: detected at every churn "
+                "level —\n   the managed free() is exact, paper Section "
+                "3.3)\n");
+    return 0;
+}

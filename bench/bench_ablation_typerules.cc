@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation of the Section 3.2 type-rule relaxation: how many of the
+ * benchmark programs and corpus programs still execute when the managed
+ * engine enforces strict type rules — the trade-off between "executing
+ * real-world programs and finding bugs" the paper discusses.
+ */
+
+#include <cstdio>
+
+#include "corpus/harness.h"
+#include "tools/benchmark_programs.h"
+
+int
+main()
+{
+    using namespace sulong;
+
+    ToolConfig relaxed = ToolConfig::make(ToolKind::safeSulong);
+    ToolConfig strict = ToolConfig::make(ToolKind::safeSulong);
+    strict.managed.strictTypes = true;
+
+    std::printf("Type-rule ablation: strict vs relaxed managed access "
+                "rules\n\n");
+
+    std::printf("Benchmarks (must run to completion):\n");
+    unsigned relaxed_ok = 0, strict_ok = 0;
+    for (const BenchmarkProgram &program : benchmarkPrograms()) {
+        std::vector<std::string> args = {"5"};
+        if (program.name == "nbody") args = {"100"};
+        if (program.name == "meteor") args = {"1"};
+        if (program.name == "binarytrees") args = {"5"};
+        ExecutionResult r = runUnderTool(program.source, relaxed, args);
+        ExecutionResult s = runUnderTool(program.source, strict, args);
+        relaxed_ok += r.ok();
+        strict_ok += s.ok();
+        std::printf("  %-15s relaxed=%-4s strict=%s\n",
+                    program.name.c_str(), r.ok() ? "ok" : "FAIL",
+                    s.ok() ? "ok" : s.bug.toString().c_str());
+    }
+    std::printf("  -> %u/%zu run relaxed, %u/%zu run strict\n\n",
+                relaxed_ok, benchmarkPrograms().size(), strict_ok,
+                benchmarkPrograms().size());
+
+    std::printf("Corpus (bug still found with matching kind):\n");
+    unsigned relaxed_found = 0, strict_found = 0, strict_type_errors = 0;
+    for (const CorpusEntry &entry : bugCorpus()) {
+        ExecutionResult r = runUnderTool(entry.source, relaxed, entry.args,
+                                         entry.stdinData);
+        ExecutionResult s = runUnderTool(entry.source, strict, entry.args,
+                                         entry.stdinData);
+        relaxed_found += r.bug.kind == entry.kind;
+        strict_found += s.bug.kind == entry.kind;
+        strict_type_errors += s.bug.kind == ErrorKind::typeError;
+    }
+    std::printf("  relaxed: %u/68 found\n", relaxed_found);
+    std::printf("  strict:  %u/68 found, %u aborted early with type "
+                "errors\n", strict_found, strict_type_errors);
+    std::printf("\nThe relaxation is what lets real-world patterns run "
+                "while keeping\nevery bug detectable (paper Section "
+                "3.2).\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Fig. 15: warm-up behaviour on the meteor benchmark. Each
+ * tool runs meteor iterations continuously for a fixed wall-clock
+ * window; we report iterations completed per one-second bucket, plus the
+ * number of functions Graal-analogue tier-2 compiled up to each point
+ * for Safe Sulong.
+ *
+ * Expected shape: Safe Sulong starts slowest (interpreting, then paying
+ * compile pauses), then overtakes Valgrind and approaches/states above
+ * ASan once hot; ASan has essentially no warm-up.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "tools/benchmark_programs.h"
+#include "tools/driver.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sulong;
+    using Clock = std::chrono::steady_clock;
+    double window_seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
+    const BenchmarkProgram *meteor = findBenchmark("meteor");
+
+    std::printf("Warm-up on meteor (%.0f s window per tool)\n\n",
+                window_seconds);
+
+    for (ToolKind kind : {ToolKind::safeSulong, ToolKind::asan,
+                          ToolKind::memcheck, ToolKind::clang}) {
+        ToolConfig config = ToolConfig::make(kind, 0);
+        if (kind == ToolKind::safeSulong) {
+            // In-process re-execution with Graal-like compile latency so
+            // the warm-up curve shows the paper's pauses (Section 4.2).
+            config.managed.persistState = true;
+            config.managed.compileThreshold = 40;
+            config.managed.compileLatencyNsPerInst = 40000;
+        }
+        PreparedProgram prepared = prepareProgram(meteor->source, config);
+        if (!prepared.ok()) {
+            std::printf("compile failed: %s\n",
+                        prepared.compileErrors.c_str());
+            return 1;
+        }
+        auto *managed = dynamic_cast<ManagedEngine *>(
+            prepared.engine.get());
+
+        std::printf("%s\n", config.toString().c_str());
+        auto start = Clock::now();
+        int bucket = 0;
+        unsigned in_bucket = 0;
+        unsigned total = 0;
+        while (true) {
+            ExecutionResult result = prepared.run(meteor->args);
+            if (!result.ok()) {
+                std::printf("  run failed: %s\n",
+                            result.bug.toString().c_str());
+                return 1;
+            }
+            in_bucket++;
+            total++;
+            double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            if (elapsed >= bucket + 1) {
+                std::printf("  t=%2ds  iterations/s=%4u", bucket + 1,
+                            in_bucket);
+                if (managed != nullptr) {
+                    std::printf("  (tier-2 functions so far: %u)",
+                                managed->tier2Functions());
+                }
+                std::printf("\n");
+                bucket = static_cast<int>(elapsed);
+                in_bucket = 0;
+            }
+            if (elapsed >= window_seconds)
+                break;
+        }
+        std::printf("  total iterations: %u\n\n", total);
+    }
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reproduces Figs. 1 and 2: vulnerability and exploit counts per memory-
+ * error category over the 2012-03..2017-09 study window, via keyword
+ * classification of the (synthetic, trend-shaped) database.
+ */
+
+#include <cstdio>
+
+#include "study/classifier.h"
+
+int
+main()
+{
+    using namespace sulong;
+    auto records = synthesizeVulnDatabase();
+    std::printf("Database: %zu records (synthetic, seeded; see DESIGN.md)\n\n",
+                records.size());
+    std::printf("%s\n", formatCounts(
+        countByYear(records, false),
+        "Figure 1: reported vulnerabilities per category "
+        "(CVE-style records)").c_str());
+    std::printf("%s\n", formatCounts(
+        countByYear(records, true),
+        "Figure 2: available exploits per category "
+        "(ExploitDB-style records)").c_str());
+    std::printf("Expected shape (paper Section 2.1): spatial errors are the\n"
+                "most common category, rising to an all-time high in 2017;\n"
+                "temporal errors are second; categories with many\n"
+                "vulnerabilities are also exploited more often.\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces the P2 demonstrations: Fig. 3 (an out-of-bounds store loop
+ * deleted by -O3 dead-store elimination) and Fig. 13 (a constant-index
+ * global OOB load folded away even at -O0). Shows the IR before/after
+ * and each tool's verdict.
+ */
+
+#include <cstdio>
+
+#include "ir/printer.h"
+#include "libc/libc_sources.h"
+#include "opt/passes.h"
+#include "tools/driver.h"
+
+namespace
+{
+
+using namespace sulong;
+
+const char *FIG3 = R"(
+static int test(unsigned long length) {
+    int arr[10] = {0};
+    for (unsigned long i = 0; i < length; i++)
+        arr[i] = (int)i;
+    return 0;
+}
+int main(void) { return test(12); })";
+
+const char *FIG13 = R"(
+int count[7] = {0, 0, 0, 0, 0, 0, 0};
+int main(int argc, char **argv) {
+    return count[7];
+})";
+
+void
+showVerdicts(const char *src)
+{
+    for (const ToolConfig &config : {
+             ToolConfig::make(ToolKind::safeSulong),
+             ToolConfig::make(ToolKind::asan, 0),
+             ToolConfig::make(ToolKind::asan, 3),
+             ToolConfig::make(ToolKind::memcheck, 0),
+         }) {
+        ExecutionResult result = runUnderTool(src, config);
+        std::printf("  %-13s %s\n", config.toString().c_str(),
+                    result.bug.kind == ErrorKind::none
+                        ? "no error reported"
+                        : result.bug.toString().c_str());
+    }
+}
+
+unsigned
+countStores(const Function &fn)
+{
+    unsigned n = 0;
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::store)
+                n++;
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 3: -O3 deletes the out-of-bounds store loop ===\n");
+    {
+        CompileResult compiled = compileC(std::string(FIG3));
+        unsigned before = countStores(*compiled.module->findFunction("test"));
+        runO3Pipeline(*compiled.module);
+        unsigned after = countStores(*compiled.module->findFunction("test"));
+        std::printf("stores in test(): %u before -O3, %u after\n",
+                    before, after);
+        std::printf("test() after -O3:\n%s\n",
+                    printFunction(*compiled.module->findFunction("test"))
+                        .c_str());
+    }
+    showVerdicts(FIG3);
+
+    std::printf("\n=== Fig. 13: backend folding removes the bug at -O0 "
+                "===\n");
+    {
+        CompileResult compiled = compileC(std::string(FIG13));
+        std::printf("main() as the front end emitted it:\n%s\n",
+                    printFunction(*compiled.module->findFunction("main"))
+                        .c_str());
+        runO0Pipeline(*compiled.module);
+        std::printf("main() after the residual -O0 folding:\n%s\n",
+                    printFunction(*compiled.module->findFunction("main"))
+                        .c_str());
+    }
+    showVerdicts(FIG13);
+    std::printf("\nPaper reference: only Safe Sulong reports both bugs; \n"
+                "ASan loses Fig. 3 at -O3 and Fig. 13 at every level.\n");
+    return 0;
+}

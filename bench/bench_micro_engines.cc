@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark micro comparisons of the execution engines on small
+ * kernels: per-engine cost of arithmetic loops, memory traffic, calls,
+ * and allocation — the building blocks behind the Fig. 16 numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "tools/driver.h"
+
+namespace
+{
+
+using namespace sulong;
+
+const char *ARITH_KERNEL = R"(
+int main(void) {
+    long acc = 1;
+    for (int i = 0; i < 200000; i++)
+        acc = acc * 31 + i;
+    return (int)(acc & 0x7f);
+})";
+
+const char *MEMORY_KERNEL = R"(
+int main(void) {
+    int buf[256];
+    for (int i = 0; i < 256; i++)
+        buf[i] = i;
+    int acc = 0;
+    for (int round = 0; round < 800; round++)
+        for (int i = 0; i < 256; i++)
+            acc += buf[i];
+    return acc & 0x7f;
+})";
+
+const char *CALL_KERNEL = R"(
+static int add3(int a, int b, int c) { return a + b + c; }
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 100000; i++)
+        acc = add3(acc, i, 1) & 0xffff;
+    return acc & 0x7f;
+})";
+
+const char *ALLOC_KERNEL = R"(
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 4000; i++) {
+        int *p = malloc(sizeof(int) * 8);
+        p[0] = i;
+        acc += p[0];
+        free(p);
+    }
+    return acc & 0x7f;
+})";
+
+ToolConfig
+configFor(int tool)
+{
+    switch (tool) {
+      case 0: {
+        ToolConfig config = ToolConfig::make(ToolKind::safeSulong);
+        config.managed.persistState = true;
+        config.managed.compileThreshold = 2;
+        return config;
+      }
+      case 1: return ToolConfig::make(ToolKind::clang, 0);
+      case 2: return ToolConfig::make(ToolKind::clang, 3);
+      case 3: return ToolConfig::make(ToolKind::asan, 0);
+      default: return ToolConfig::make(ToolKind::memcheck, 0);
+    }
+}
+
+const char *kToolNames[] = {"SafeSulong", "ClangO0", "ClangO3", "ASan",
+                            "Valgrind"};
+
+void
+runKernel(benchmark::State &state, const char *kernel)
+{
+    ToolConfig config = configFor(static_cast<int>(state.range(0)));
+    PreparedProgram prepared = prepareProgram(kernel, config);
+    if (!prepared.ok()) {
+        state.SkipWithError("compile failed");
+        return;
+    }
+    // Warm the tiers.
+    prepared.run();
+    prepared.run();
+    for (auto _ : state) {
+        ExecutionResult result = prepared.run();
+        benchmark::DoNotOptimize(result.exitCode);
+        if (!result.ok()) {
+            state.SkipWithError(result.bug.toString().c_str());
+            return;
+        }
+    }
+    state.SetLabel(kToolNames[state.range(0)]);
+}
+
+void BM_Arithmetic(benchmark::State &state) { runKernel(state, ARITH_KERNEL); }
+void BM_Memory(benchmark::State &state) { runKernel(state, MEMORY_KERNEL); }
+void BM_Calls(benchmark::State &state) { runKernel(state, CALL_KERNEL); }
+void BM_Allocation(benchmark::State &state) { runKernel(state, ALLOC_KERNEL); }
+
+} // namespace
+
+BENCHMARK(BM_Arithmetic)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Memory)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Calls)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Allocation)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

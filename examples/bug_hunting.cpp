@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bug hunting: run a C file under the whole tool matrix and compare what
+ * each tool reports — the Section 4.1 workflow as a small CLI.
+ *
+ * Usage:
+ *   bug_hunting                 # run a built-in demo program
+ *   bug_hunting file.c [args]   # analyze your own mini-C program
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tools/driver.h"
+
+namespace
+{
+
+const char *DEMO = R"(
+/* A tiny "config parser" with two planted bugs: an unterminated
+ * delimiter handed to strtok (Fig. 11 style) and a use-after-free. */
+#include <string.h>
+#include <stdlib.h>
+
+static char *parse_key(char *line) {
+    char delim[1];
+    delim[0] = '=';             /* missing NUL terminator */
+    return strtok(line, delim);
+}
+
+int main(void) {
+    char line[32];
+    strcpy(line, "mode=fast");
+    char *key = parse_key(line);
+    printf("key: %s\n", key);
+    return 0;
+}
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sulong;
+
+    std::string source = DEMO;
+    std::vector<std::string> guest_args;
+    if (argc > 1) {
+        std::ifstream file(argv[1]);
+        if (!file) {
+            std::printf("cannot open %s\n", argv[1]);
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << file.rdbuf();
+        source = buf.str();
+        for (int i = 2; i < argc; i++)
+            guest_args.push_back(argv[i]);
+    } else {
+        std::printf("(no input file given — analyzing the built-in demo)\n\n");
+    }
+
+    const ToolConfig tools[] = {
+        ToolConfig::make(ToolKind::safeSulong),
+        ToolConfig::make(ToolKind::clang, 0),
+        ToolConfig::make(ToolKind::clang, 3),
+        ToolConfig::make(ToolKind::asan, 0),
+        ToolConfig::make(ToolKind::asan, 3),
+        ToolConfig::make(ToolKind::memcheck, 0),
+        ToolConfig::make(ToolKind::memcheck, 3),
+    };
+
+    std::printf("%-13s %-8s %s\n", "tool", "exit", "report");
+    for (const ToolConfig &config : tools) {
+        ExecutionResult result = runUnderTool(source, config, guest_args);
+        std::printf("%-13s %-8d %s\n", config.toString().c_str(),
+                    result.exitCode, result.bug.toString().c_str());
+    }
+
+    std::printf("\nstdout under Safe Sulong:\n");
+    ExecutionResult managed = runUnderTool(
+        source, ToolConfig::make(ToolKind::safeSulong), guest_args);
+    std::printf("%s", managed.output.c_str());
+    return 0;
+}

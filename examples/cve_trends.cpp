@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The Section 2.1 motivation study as an example: classify a
+ * vulnerability database by keyword search and print the per-year
+ * category trends (Figs. 1 and 2), plus a tiny ASCII sparkline.
+ */
+
+#include <cstdio>
+
+#include "study/classifier.h"
+
+namespace
+{
+
+void
+sparkline(const char *label, const std::vector<sulong::YearlyCounts> &counts,
+          unsigned sulong::YearlyCounts::*field)
+{
+    unsigned max = 1;
+    for (const auto &c : counts)
+        max = std::max(max, c.*field);
+    std::printf("  %-10s", label);
+    for (const auto &c : counts) {
+        int bar = static_cast<int>(8.0 * (c.*field) / max + 0.5);
+        static const char *levels[] = {" ", ".", ":", "-", "=", "+",
+                                       "*", "#", "#"};
+        std::printf(" %s%-4u", levels[bar], c.*field);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sulong;
+    auto records = synthesizeVulnDatabase();
+
+    unsigned classified = 0;
+    for (const auto &record : records) {
+        if (classifyRecord(record) != VulnCategory::unrelated)
+            classified++;
+    }
+    std::printf("%zu records, %u are memory errors\n\n", records.size(),
+                classified);
+
+    auto vulns = countByYear(records, false);
+    auto exploits = countByYear(records, true);
+
+    std::printf("%s\n",
+                formatCounts(vulns, "Fig. 1: vulnerabilities").c_str());
+    std::printf("%s\n", formatCounts(exploits, "Fig. 2: exploits").c_str());
+
+    std::printf("Trend (2012 -> 2017):\n");
+    sparkline("spatial", vulns, &YearlyCounts::spatial);
+    sparkline("temporal", vulns, &YearlyCounts::temporal);
+    sparkline("null", vulns, &YearlyCounts::nullDeref);
+    sparkline("other", vulns, &YearlyCounts::other);
+    std::printf("\nSpatial errors (the bugs Safe Sulong targets first) are\n"
+                "the largest and fastest-growing category — the paper's\n"
+                "motivation for exact out-of-bounds detection.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: compile a C program and run it under Safe Sulong.
+ *
+ * Demonstrates the minimal public API: prepareProgram() with a tool
+ * configuration, run(), and the structured BugReport you get back when
+ * the managed checks catch a memory error.
+ */
+
+#include <cstdio>
+
+#include "tools/driver.h"
+
+int
+main()
+{
+    using namespace sulong;
+
+    // An off-by-one bug a native run would silently shrug off.
+    const char *program = R"(
+#include <stdio.h>
+
+int main(void) {
+    int squares[10];
+    for (int i = 1; i <= 10; i++)      /* writes squares[10]! */
+        squares[i] = i * i;
+    printf("3^2 = %d\n", squares[3]);
+    return 0;
+}
+)";
+
+    // 1. Compile (links the safe libc) and bind the managed engine.
+    PreparedProgram prepared =
+        prepareProgram(program, ToolConfig::make(ToolKind::safeSulong));
+    if (!prepared.ok()) {
+        std::printf("compile error:\n%s\n", prepared.compileErrors.c_str());
+        return 1;
+    }
+
+    // 2. Execute. Bugs never crash the host; they come back as data.
+    ExecutionResult result = prepared.run();
+
+    if (result.ok()) {
+        std::printf("program finished cleanly (exit %d)\n%s",
+                    result.exitCode, result.output.c_str());
+        return 0;
+    }
+
+    // 3. Inspect the structured report.
+    std::printf("Safe Sulong caught a bug:\n");
+    std::printf("  kind:      %s\n", errorKindName(result.bug.kind));
+    std::printf("  access:    %s\n", accessKindName(result.bug.access));
+    std::printf("  storage:   %s\n", storageKindName(result.bug.storage));
+    std::printf("  function:  %s\n", result.bug.function.c_str());
+    std::printf("  detail:    %s\n", result.bug.detail.c_str());
+    std::printf("\nFor comparison, plain native execution says:\n");
+    ExecutionResult native = runUnderTool(
+        program, ToolConfig::make(ToolKind::clang, 0));
+    std::printf("  %s (exit %d) — the corruption stayed silent\n",
+                native.ok() ? "no error" : native.bug.toString().c_str(),
+                native.exitCode);
+    return 0;
+}

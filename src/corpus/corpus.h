@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The bug corpus of the Section 4.1 evaluation.
+ *
+ * The paper found 68 bugs in 63 small GitHub projects. Those projects
+ * are not redistributable here, so the corpus is a set of 68 synthetic
+ * mini-C programs that reproduce the paper's bug population: the
+ * category distribution of Table 1 (61 out-of-bounds, 5 NULL
+ * dereferences, 1 use-after-free, 1 variadic-argument error), the
+ * out-of-bounds splits of Table 2 (32 reads / 29 writes, 8 underflows /
+ * 53 overflows, 32 stack / 17 heap / 9 global / 3 main-args), the bug
+ * idioms listed in the text (strings not NUL-terminated, missing space
+ * for the terminator, missing checks, integer overflow, hard-coded
+ * sizes, check-after-access, off-by-one), and the five case studies of
+ * Figs. 10-14.
+ */
+
+#ifndef MS_CORPUS_CORPUS_H
+#define MS_CORPUS_CORPUS_H
+
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace sulong
+{
+
+/** The bug idioms the paper names for its out-of-bounds findings. */
+enum class BugIdiom : uint8_t
+{
+    unterminatedString,
+    missingNulSpace,
+    missingCheck,
+    integerOverflow,
+    hardCodedSize,
+    checkAfterAccess,
+    offByOne,
+    other,
+};
+
+const char *bugIdiomName(BugIdiom idiom);
+
+/** One corpus program with its ground-truth bug metadata. */
+struct CorpusEntry
+{
+    std::string id;
+    std::string description;
+    BugIdiom idiom = BugIdiom::other;
+    /// Ground truth.
+    ErrorKind kind = ErrorKind::outOfBounds;
+    AccessKind access = AccessKind::read;
+    StorageKind storage = StorageKind::stack;
+    BoundsDirection direction = BoundsDirection::overflow;
+    /// True when an aggressive optimizer can delete the buggy access
+    /// (the program never observes it) — the ASan -O3 misses.
+    bool removableByO3 = false;
+    /// One of the Fig. 10-14 case studies.
+    bool caseStudy = false;
+    /// Inputs that trigger the bug.
+    std::vector<std::string> args;
+    std::string stdinData;
+    /// The program.
+    std::string source;
+};
+
+/** All 68 corpus entries. */
+const std::vector<CorpusEntry> &bugCorpus();
+
+/** Subsets used by the per-category files (exposed for tests). */
+std::vector<CorpusEntry> corpusStackOob();
+std::vector<CorpusEntry> corpusHeapOob();
+std::vector<CorpusEntry> corpusGlobalAndArgsOob();
+std::vector<CorpusEntry> corpusOtherBugs();
+
+} // namespace sulong
+
+#endif // MS_CORPUS_CORPUS_H

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Global (static) and main-args out-of-bounds corpus: 9 global entries
+ * (4 reads / 5 writes, 1 underflow) and 3 argv/envp entries — the
+ * categories Valgrind misses entirely, including the Fig. 10 (argv),
+ * Fig. 13 (folded constant index) and Fig. 14 (beyond-the-redzone)
+ * case studies.
+ */
+
+#include "corpus/corpus.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+CorpusEntry
+make(const char *id, const char *desc, BugIdiom idiom, AccessKind access,
+     StorageKind storage, BoundsDirection dir, const char *source)
+{
+    CorpusEntry e;
+    e.id = id;
+    e.description = desc;
+    e.idiom = idiom;
+    e.kind = ErrorKind::outOfBounds;
+    e.access = access;
+    e.storage = storage;
+    e.direction = dir;
+    e.source = source;
+    return e;
+}
+
+} // namespace
+
+std::vector<CorpusEntry>
+corpusGlobalAndArgsOob()
+{
+    std::vector<CorpusEntry> entries;
+    const auto R = AccessKind::read;
+    const auto W = AccessKind::write;
+    const auto G = StorageKind::global;
+    const auto M = StorageKind::mainArgs;
+    const auto O = BoundsDirection::overflow;
+    const auto U = BoundsDirection::underflow;
+
+    // ----- global reads (4) -----------------------------------------------
+
+    {
+        CorpusEntry e = make("global-r-01-const-index",
+            "constant out-of-bounds index folded away even at -O0 "
+            "(Fig. 13)", BugIdiom::hardCodedSize, R, G, O, R"(
+int count[7] = {0, 0, 0, 0, 0, 0, 0};
+int main(int argc, char **argv) {
+    return count[7];
+})");
+        e.caseStudy = true;
+        entries.push_back(e);
+    }
+
+    {
+        CorpusEntry e = make("global-r-02-user-index",
+            "unchecked user input indexes a global table far beyond the "
+            "redzone (Fig. 14)", BugIdiom::missingCheck, R, G, O, R"(
+const char *strings[] = {"zero", "one", "two", "three", "four",
+                         "five", "six"};
+/* Unrelated data that happens to sit behind the table — where the far
+ * out-of-bounds read lands, past any redzone (the paper's "printed
+ * (null) or crashed" scenario). */
+long session_table[512];
+int main(void) {
+    int number = 0;
+    scanf("%d", &number);
+    printf("%s\n", strings[number]);
+    return 0;
+})");
+        e.caseStudy = true;
+        e.stdinData = "70\n";
+        entries.push_back(e);
+    }
+
+    entries.push_back(make("global-r-03-month-table",
+        "1-based month used to index a 0-based table of 12",
+        BugIdiom::offByOne, R, G, O, R"(
+int days_in_month[12] = {31,28,31,30,31,30,31,31,30,31,30,31};
+int main(int argc, char **argv) {
+    int month = argc > 1 ? atoi(argv[1]) : 12; /* 1..12 */
+    printf("%d\n", days_in_month[month]); /* should be month-1 */
+    return 0;
+})"));
+
+    entries.push_back(make("global-r-04-terminatorless-scan",
+        "global byte table scanned for a sentinel that is not there",
+        BugIdiom::missingCheck, R, G, O, R"(
+char flags[6] = {1, 1, 0, 1, 1, 1};
+int main(void) {
+    int i = 0;
+    int sum = 0;
+    while (flags[i] != 9) { /* sentinel never stored */
+        sum += flags[i];
+        i++;
+    }
+    printf("%d\n", sum);
+    return 0;
+})"));
+
+    // ----- global writes (5: 1 underflow) -----------------------------------
+
+    entries.push_back(make("global-w-01-counter-array",
+        "event id equal to the table size writes past the end",
+        BugIdiom::offByOne, W, G, O, R"(
+int event_flags[4];
+static void record(int event) {
+    event_flags[event] = 1; /* no range check */
+}
+int main(void) {
+    record(1);
+    record(4); /* ids are 0..3 */
+    printf("%d\n", event_flags[1]);
+    return 0;
+})"));
+
+    entries.push_back(make("global-w-02-static-cursor",
+        "append cursor in static storage is never bounded",
+        BugIdiom::missingCheck, W, G, O, R"(
+char journal[8];
+int journal_len = 0;
+static void log_char(char c) {
+    journal[journal_len] = c;
+    journal_len++;
+}
+int main(void) {
+    const char *msg = "starting up";
+    for (int i = 0; msg[i] != 0; i++)
+        log_char(msg[i]);
+    printf("%d\n", journal_len);
+    return 0;
+})"));
+
+    entries.push_back(make("global-w-03-neg-offset",
+        "relative offset from the table start goes negative",
+        BugIdiom::integerOverflow, W, G, U, R"(
+short samples[8];
+int main(int argc, char **argv) {
+    int center = 0; /* should be 4 */
+    int delta = -(argc + 1); /* -2 */
+    samples[center + delta] = 99;
+    printf("%d\n", samples[0]);
+    return 0;
+})"));
+
+    entries.push_back(make("global-w-04-strcpy-into-global",
+        "version string copied into a too-small global buffer",
+        BugIdiom::missingNulSpace, W, G, O, R"(
+char version[6];
+int main(void) {
+    strcpy(version, "v1.10.3"); /* 8 bytes into 6 */
+    printf("%s\n", version);
+    return 0;
+})"));
+
+    entries.push_back(make("global-w-05-double-length",
+        "UTF-16-style expansion writes twice the buffer length",
+        BugIdiom::hardCodedSize, W, G, O, R"(
+char narrow[6];
+char wide[8]; /* needs 12 */
+int main(void) {
+    strcpy(narrow, "hello");
+    for (int i = 0; i < 6; i++) {
+        wide[i * 2] = narrow[i];
+        wide[i * 2 + 1] = 0;
+    }
+    printf("%c\n", wide[0]);
+    return 0;
+})"));
+
+    // ----- main-args reads (3) -----------------------------------------------
+
+    {
+        CorpusEntry e = make("args-r-01-argv-fixed-index",
+            "argv[5] read without checking argc (Fig. 10)",
+            BugIdiom::missingCheck, R, M, O, R"(
+int main(int argc, char **argv) {
+    printf("%d %s\n", argc, argv[5]);
+    return 0;
+})");
+        e.caseStudy = true;
+        entries.push_back(e);
+    }
+
+    entries.push_back(make("args-r-02-argv-loop-offbyone",
+        "argument loop runs through the NULL terminator and beyond",
+        BugIdiom::offByOne, R, M, O, R"(
+int main(int argc, char **argv) {
+    long total = 0;
+    for (int i = 0; i <= argc + 1; i++) { /* argv has argc+1 slots */
+        if (argv[i] != 0)
+            total += (long)strlen(argv[i]);
+    }
+    printf("%ld\n", total);
+    return 0;
+})"));
+    entries.back().args = {"alpha", "beta"};
+
+    entries.push_back(make("args-r-03-envp-probe",
+        "environment scanned with a fixed count instead of the NULL "
+        "terminator", BugIdiom::hardCodedSize, R, M, O, R"(
+int main(int argc, char **argv, char **envp) {
+    int printable = 0;
+    for (int i = 0; i < 16; i++) { /* there are fewer than 16 */
+        if (envp[i] != 0 && envp[i][0] != 0)
+            printable++;
+    }
+    printf("%d\n", printable);
+    return 0;
+})"));
+
+    return entries;
+}
+
+} // namespace sulong

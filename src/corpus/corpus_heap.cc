@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Heap out-of-bounds corpus: 17 entries (9 reads / 8 writes,
+ * 3 underflows / 14 overflows). Heap bugs are the category both ASan
+ * and Valgrind handle best, so these entries are the "found by
+ * everyone" baseline of the detection matrix.
+ */
+
+#include "corpus/corpus.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+CorpusEntry
+make(const char *id, const char *desc, BugIdiom idiom, AccessKind access,
+     BoundsDirection dir, const char *source)
+{
+    CorpusEntry e;
+    e.id = id;
+    e.description = desc;
+    e.idiom = idiom;
+    e.kind = ErrorKind::outOfBounds;
+    e.access = access;
+    e.storage = StorageKind::heap;
+    e.direction = dir;
+    e.source = source;
+    return e;
+}
+
+} // namespace
+
+std::vector<CorpusEntry>
+corpusHeapOob()
+{
+    std::vector<CorpusEntry> entries;
+    const auto R = AccessKind::read;
+    const auto W = AccessKind::write;
+    const auto O = BoundsDirection::overflow;
+    const auto U = BoundsDirection::underflow;
+
+    // ----- reads (9: 2 underflows, 7 overflows) ---------------------------
+
+    entries.push_back(make("heap-r-01-offbyone-sum",
+        "inclusive upper bound when reducing a malloc'd array",
+        BugIdiom::offByOne, R, O, R"(
+int main(void) {
+    int *prices = malloc(sizeof(int) * 5);
+    for (int i = 0; i < 5; i++)
+        prices[i] = (i + 1) * 10;
+    int total = 0;
+    for (int i = 0; i <= 5; i++)
+        total += prices[i];
+    printf("%d\n", total);
+    free(prices);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-02-strdup-unterminated",
+        "byte-wise duplicate of a string missing its terminator",
+        BugIdiom::unterminatedString, R, O, R"(
+int main(void) {
+    char *raw = malloc(4);
+    raw[0] = 'd'; raw[1] = 'a'; raw[2] = 't'; raw[3] = 'a';
+    char *copy = strdup(raw); /* strlen overruns */
+    printf("%s\n", copy);
+    free(copy);
+    free(raw);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-03-header-peek",
+        "parser reads a 4-byte magic from a 3-byte allocation",
+        BugIdiom::hardCodedSize, R, O, R"(
+int main(void) {
+    unsigned char *blob = malloc(3);
+    blob[0] = 'E'; blob[1] = 'L'; blob[2] = 'F';
+    int magic = blob[0] | (blob[1] << 8) | (blob[2] << 16) |
+        (blob[3] << 24); /* fourth byte does not exist */
+    printf("%d\n", magic != 0);
+    free(blob);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-04-before-start",
+        "length prefix expected just before the returned pointer",
+        BugIdiom::other, R, U, R"(
+int main(void) {
+    long *data = malloc(sizeof(long) * 4);
+    data[0] = 42;
+    long size = data[-1]; /* allocator keeps no such header here */
+    printf("%ld %ld\n", size, data[0]);
+    free(data);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-05-empty-input",
+        "first-character peek on a possibly empty string",
+        BugIdiom::missingCheck, R, U, R"(
+char *trim(char *s) {
+    char *end = s + strlen(s) - 1; /* empty string: s[-1] */
+    while (*end == ' ')
+        end--;
+    return s;
+}
+int main(void) {
+    char *buf = malloc(1);
+    buf[0] = 0; /* empty */
+    printf("%s\n", trim(buf));
+    free(buf);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-06-linked-list-off-end",
+        "list cursor dereferences one node too many",
+        BugIdiom::offByOne, R, O, R"(
+struct node { int value; struct node *next; };
+int main(void) {
+    struct node *nodes = malloc(sizeof(struct node) * 3);
+    for (int i = 0; i < 3; i++) {
+        nodes[i].value = i * 2;
+        nodes[i].next = 0;
+    }
+    int acc = 0;
+    for (int i = 0; i < 4; i++) /* 4 > 3 */
+        acc += nodes[i].value;
+    printf("%d\n", acc);
+    free(nodes);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-07-csv-missing-column",
+        "column split trusts each row to contain a comma",
+        BugIdiom::missingCheck, R, O, R"(
+int main(void) {
+    char *row = malloc(6);
+    strcpy(row, "ab cd"); /* no comma */
+    int i = 0;
+    while (row[i] != ',')
+        i++;
+    printf("%d\n", i);
+    free(row);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-08-shrunk-realloc",
+        "old length used after realloc shrank the buffer",
+        BugIdiom::hardCodedSize, R, O, R"(
+int main(void) {
+    int *v = malloc(sizeof(int) * 8);
+    for (int i = 0; i < 8; i++)
+        v[i] = i;
+    int old_len = 8;
+    v = realloc(v, sizeof(int) * 4);
+    int acc = 0;
+    for (int i = 0; i < old_len; i++)
+        acc += v[i];
+    printf("%d\n", acc);
+    free(v);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-r-09-size-vs-count",
+        "byte size passed where an element count was expected",
+        BugIdiom::other, R, O, R"(
+long sum(const long *vals, unsigned long n) {
+    long acc = 0;
+    for (unsigned long i = 0; i < n; i++)
+        acc += vals[i];
+    return acc;
+}
+int main(void) {
+    unsigned long bytes = sizeof(long) * 2;
+    long *vals = malloc(bytes);
+    vals[0] = 5;
+    vals[1] = 7;
+    printf("%ld\n", sum(vals, bytes)); /* 16 instead of 2 */
+    free(vals);
+    return 0;
+})"));
+
+    // ----- writes (8: 1 underflow, 7 overflows) ----------------------------
+
+    entries.push_back(make("heap-w-01-missing-nul-space",
+        "malloc(strlen(s)) forgets the terminator byte",
+        BugIdiom::missingNulSpace, W, O, R"(
+int main(void) {
+    const char *src = "payload";
+    char *copy = malloc(strlen(src)); /* needs +1 */
+    strcpy(copy, src);
+    printf("%s\n", copy);
+    free(copy);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-w-02-calloc-offbyone",
+        "writes the sentinel at index count",
+        BugIdiom::offByOne, W, O, R"(
+int main(void) {
+    int n = 6;
+    int *slots = calloc(n, sizeof(int));
+    for (int i = 0; i < n; i++)
+        slots[i] = i;
+    slots[n] = -1; /* sentinel one past the end */
+    printf("%d\n", slots[0]);
+    free(slots);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-w-03-concat-growth",
+        "append without growing the allocation",
+        BugIdiom::missingCheck, W, O, R"(
+int main(void) {
+    char *line = malloc(8);
+    strcpy(line, "status:");
+    strcat(line, "ok"); /* 10 bytes into 8 */
+    printf("%s\n", line);
+    free(line);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-w-04-prefix-insert",
+        "shifting right to make room walks one slot too far",
+        BugIdiom::offByOne, W, O, R"(
+int main(void) {
+    int *list = malloc(sizeof(int) * 4);
+    for (int i = 0; i < 4; i++)
+        list[i] = i + 1;
+    for (int i = 3; i >= 0; i--)
+        list[i + 1] = list[i]; /* writes list[4] */
+    list[0] = 0;
+    printf("%d\n", list[1]);
+    free(list);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-w-05-header-stamp",
+        "tool writes a tag just before the user pointer",
+        BugIdiom::other, W, U, R"(
+int main(void) {
+    char *obj = malloc(16);
+    obj[-1] = 0x7f; /* "type tag" before the block */
+    obj[0] = 1;
+    printf("%d\n", obj[0]);
+    free(obj);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-w-06-wide-store",
+        "64-bit store into a 4-byte slot at the end of the block",
+        BugIdiom::other, W, O, R"(
+int main(void) {
+    char *buf = malloc(12);
+    long *last = (long *)(buf + 8);
+    *last = 0x1122334455667788L; /* 8 bytes at offset 8 of 12 */
+    printf("%d\n", buf[0]);
+    free(buf);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-w-07-fixed-table-guess",
+        "allocation sized for 10 entries, producer emits 12",
+        BugIdiom::hardCodedSize, W, O, R"(
+int emit(short *out) {
+    for (int i = 0; i < 12; i++)
+        out[i] = (short)(i * 3);
+    return 12;
+}
+int main(void) {
+    short *table = malloc(sizeof(short) * 10);
+    int n = emit(table);
+    printf("%d %d\n", n, table[2]);
+    free(table);
+    return 0;
+})"));
+
+    entries.push_back(make("heap-w-08-read-into-heap",
+        "stdin token copied into an 8-byte heap buffer",
+        BugIdiom::missingCheck, W, O, R"(
+int main(void) {
+    char *word = malloc(8);
+    int i = 0;
+    int c;
+    while ((c = getchar()) != -1 && c != '\n') {
+        word[i] = (char)c; /* no capacity check */
+        i++;
+    }
+    word[i] = 0;
+    printf("%s\n", word);
+    free(word);
+    return 0;
+})"));
+    entries.back().stdinData = "supercalifrag\n";
+
+    return entries;
+}
+
+} // namespace sulong

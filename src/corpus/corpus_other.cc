@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Non-spatial corpus entries: 5 NULL dereferences, 1 use-after-free,
+ * and 1 variadic-argument error — completing the Table 1 distribution.
+ */
+
+#include "corpus/corpus.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+CorpusEntry
+make(const char *id, const char *desc, ErrorKind kind, AccessKind access,
+     StorageKind storage, const char *source)
+{
+    CorpusEntry e;
+    e.id = id;
+    e.description = desc;
+    e.idiom = BugIdiom::missingCheck;
+    e.kind = kind;
+    e.access = access;
+    e.storage = storage;
+    e.direction = BoundsDirection::unknown;
+    e.source = source;
+    return e;
+}
+
+} // namespace
+
+std::vector<CorpusEntry>
+corpusOtherBugs()
+{
+    std::vector<CorpusEntry> entries;
+
+    // ----- NULL dereferences (5) -------------------------------------------
+
+    entries.push_back(make("null-01-unchecked-malloc",
+        "malloc result used without a NULL check after exhaustion",
+        ErrorKind::nullDeref, AccessKind::write, StorageKind::heap, R"(
+int main(void) {
+    /* Simulate allocation failure by asking for the NULL-returning
+     * convention directly: a missing-check pattern. */
+    char *p = 0;
+    p[0] = 'x';
+    return 0;
+})"));
+
+    entries.push_back(make("null-02-strchr-miss",
+        "strchr result dereferenced although the character is absent",
+        ErrorKind::nullDeref, AccessKind::read, StorageKind::heap, R"(
+int main(void) {
+    char host[16];
+    strcpy(host, "localhost");
+    char *colon = strchr(host, ':');
+    printf("port=%s\n", colon + 1); /* colon is NULL */
+    return 0;
+})"));
+
+    entries.push_back(make("null-03-empty-list-head",
+        "head pointer of an empty list dereferenced",
+        ErrorKind::nullDeref, AccessKind::read, StorageKind::heap, R"(
+struct item { int value; struct item *next; };
+struct item *head = 0;
+int main(void) {
+    printf("%d\n", head->value);
+    return 0;
+})"));
+
+    entries.push_back(make("null-04-optional-arg",
+        "optional output parameter written unconditionally",
+        ErrorKind::nullDeref, AccessKind::write, StorageKind::heap, R"(
+static int parse(const char *s, int *err) {
+    int v = atoi(s);
+    *err = 0; /* caller passed NULL for "don't care" */
+    return v;
+}
+int main(void) {
+    printf("%d\n", parse("42", 0));
+    return 0;
+})"));
+
+    entries.push_back(make("null-05-check-after-deref",
+        "pointer checked for NULL only after it was dereferenced",
+        ErrorKind::nullDeref, AccessKind::read, StorageKind::heap, R"(
+static int first(const int *v) {
+    int head = v[0];     /* deref... */
+    if (v == 0)          /* ...then check (optimizers drop this) */
+        return -1;
+    return head;
+}
+int main(void) {
+    printf("%d\n", first(0));
+    return 0;
+})"));
+
+    // ----- use-after-free (1) -------------------------------------------------
+
+    entries.push_back(make("uaf-01-iterate-after-free",
+        "buffer freed inside the loop that still reads it",
+        ErrorKind::useAfterFree, AccessKind::read, StorageKind::heap, R"(
+int main(void) {
+    char *msg = malloc(12);
+    strcpy(msg, "disconnect");
+    int closed = 0;
+    for (int i = 0; msg[i] != 0; i++) {
+        if (msg[i] == 'c' && !closed) {
+            free(msg); /* freed, but the loop continues */
+            closed = 1;
+        }
+    }
+    printf("%d\n", closed);
+    return 0;
+})"));
+
+    // ----- variadic arguments (1) -----------------------------------------------
+
+    {
+        CorpusEntry e = make("varargs-01-missing-argument",
+            "format string names two conversions, caller passes one",
+            ErrorKind::varargs, AccessKind::read, StorageKind::stack, R"(
+static void report(const char *user, const char *action) {
+    printf("user %s performed %s at %d\n", user, action);
+}
+int main(void) {
+    report("admin", "login");
+    return 0;
+})");
+        e.caseStudy = true;
+        entries.push_back(e);
+    }
+
+    return entries;
+}
+
+const char *
+bugIdiomName(BugIdiom idiom)
+{
+    switch (idiom) {
+      case BugIdiom::unterminatedString: return "unterminated string";
+      case BugIdiom::missingNulSpace: return "missing NUL space";
+      case BugIdiom::missingCheck: return "missing check";
+      case BugIdiom::integerOverflow: return "integer overflow";
+      case BugIdiom::hardCodedSize: return "hard-coded size";
+      case BugIdiom::checkAfterAccess: return "check after access";
+      case BugIdiom::offByOne: return "off-by-one";
+      case BugIdiom::other: return "other";
+    }
+    return "invalid";
+}
+
+const std::vector<CorpusEntry> &
+bugCorpus()
+{
+    static const std::vector<CorpusEntry> corpus = [] {
+        std::vector<CorpusEntry> all;
+        for (auto &e : corpusStackOob())
+            all.push_back(std::move(e));
+        for (auto &e : corpusHeapOob())
+            all.push_back(std::move(e));
+        for (auto &e : corpusGlobalAndArgsOob())
+            all.push_back(std::move(e));
+        for (auto &e : corpusOtherBugs())
+            all.push_back(std::move(e));
+        return all;
+    }();
+    return corpus;
+}
+
+} // namespace sulong

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Stack out-of-bounds corpus: 32 entries (16 reads / 16 writes,
+ * 5 underflows / 27 overflows), including the strtok (Fig. 11) and
+ * printf-%ld (Fig. 12) case studies and four Fig.-3-style bugs that an
+ * aggressive optimizer deletes.
+ */
+
+#include "corpus/corpus.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+CorpusEntry
+make(const char *id, const char *desc, BugIdiom idiom, AccessKind access,
+     BoundsDirection dir, const char *source)
+{
+    CorpusEntry e;
+    e.id = id;
+    e.description = desc;
+    e.idiom = idiom;
+    e.kind = ErrorKind::outOfBounds;
+    e.access = access;
+    e.storage = StorageKind::stack;
+    e.direction = dir;
+    e.source = source;
+    return e;
+}
+
+} // namespace
+
+std::vector<CorpusEntry>
+corpusStackOob()
+{
+    std::vector<CorpusEntry> entries;
+    const auto R = AccessKind::read;
+    const auto W = AccessKind::write;
+    const auto O = BoundsDirection::overflow;
+    const auto U = BoundsDirection::underflow;
+
+    // ----- reads (16: 3 underflows, 13 overflows) ------------------------
+
+    entries.push_back(make("stack-r-01-offbyone-loop",
+        "<= instead of < when summing a fixed-size array", BugIdiom::offByOne,
+        R, O, R"(
+int main(void) {
+    int grades[8] = {70, 80, 90, 65, 72, 88, 91, 59};
+    int sum = 0;
+    for (int i = 0; i <= 8; i++)
+        sum += grades[i];
+    printf("avg=%d\n", sum / 8);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-02-unterminated-strlen",
+        "strncpy leaves the copy unterminated; strlen runs off the buffer",
+        BugIdiom::unterminatedString, R, O, R"(
+int main(void) {
+    char name[8];
+    strncpy(name, "balthazar", 8); /* no NUL fits */
+    printf("len=%lu\n", strlen(name));
+    return 0;
+})"));
+
+    {
+        CorpusEntry e = make("stack-r-03-strtok-delim",
+            "delimiter passed to strtok is not NUL-terminated (Fig. 11)",
+            BugIdiom::unterminatedString, R, O, R"(
+int main(void) {
+    char buf[16];
+    strcpy(buf, "k=v");
+    char t[1];
+    t[0] = '='; /* missing terminator */
+    char *token = strtok(buf, t);
+    printf("%s\n", token);
+    return 0;
+})");
+        e.caseStudy = true;
+        entries.push_back(e);
+    }
+
+    {
+        CorpusEntry e = make("stack-r-04-printf-ld-int",
+            "printf %ld reads 8 bytes of a 4-byte int argument (Fig. 12)",
+            BugIdiom::other, R, O, R"(
+int main(void) {
+    int counter = 1234;
+    printf("counter: %ld\n", counter);
+    return 0;
+})");
+        e.caseStudy = true;
+        entries.push_back(e);
+    }
+
+    entries.push_back(make("stack-r-05-hardcoded-len",
+        "hard-coded size 16 disagrees with the 12-byte buffer",
+        BugIdiom::hardCodedSize, R, O, R"(
+int checksum(const char *data) {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) /* buffer is only 12 bytes */
+        acc += data[i];
+    return acc;
+}
+int main(void) {
+    char packet[12];
+    memset(packet, 7, 12);
+    printf("%d\n", checksum(packet));
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-06-check-after-access",
+        "bounds check happens after the access (see Wang et al.)",
+        BugIdiom::checkAfterAccess, R, O, R"(
+int lookup(int *table, int i) {
+    int v = table[i];       /* access... */
+    if (i >= 6) return -1;  /* ...then check */
+    return v;
+}
+int main(void) {
+    int table[6] = {1, 2, 3, 4, 5, 6};
+    printf("%d\n", lookup(table, 6));
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-07-scan-missing-bound",
+        "search loop lacks the length condition",
+        BugIdiom::missingCheck, R, O, R"(
+int find(const char *s, char c) {
+    int i = 0;
+    while (s[i] != c) /* never checks for NUL */
+        i++;
+    return i;
+}
+int main(void) {
+    char word[6];
+    strcpy(word, "hello");
+    printf("%d\n", find(word, 'z'));
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-08-negative-index",
+        "index decremented below zero before use", BugIdiom::missingCheck,
+        R, U, R"(
+int main(void) {
+    int window[4] = {10, 20, 30, 40};
+    int pos = 0;
+    for (int step = 0; step < 3; step++)
+        pos--; /* should clamp at 0 */
+    printf("%d\n", window[pos]);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-09-reverse-underflow",
+        ">= 0 loop starts one element before the array",
+        BugIdiom::offByOne, R, U, R"(
+int main(void) {
+    char digits[5];
+    strcpy(digits, "1234");
+    int value = 0;
+    for (int i = 4; i >= -1; i--) /* runs one past the start */
+        value += digits[i];
+    printf("%d\n", value);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-10-strcmp-unterminated",
+        "comparing a buffer that lost its terminator",
+        BugIdiom::unterminatedString, R, O, R"(
+int main(void) {
+    char key[4];
+    key[0] = 'r'; key[1] = 'o'; key[2] = 'o'; key[3] = 't';
+    if (strcmp(key, "root") == 0) /* key has no NUL */
+        puts("match");
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-11-integer-overflow-index",
+        "8-bit cursor wraps around and lands past the table",
+        BugIdiom::integerOverflow, R, O, R"(
+int main(void) {
+    char lut[10];
+    memset(lut, 3, 10);
+    unsigned char pos = 250;
+    pos = pos + 18; /* wraps to 12 */
+    printf("%d\n", lut[pos]);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-13-stale-length",
+        "length of a longer previous string reused for a shorter buffer",
+        BugIdiom::hardCodedSize, R, O, R"(
+int main(void) {
+    char long_name[32];
+    strcpy(long_name, "configuration-file-name");
+    char short_name[8];
+    strcpy(short_name, "conf");
+    int len = (int)strlen(long_name);
+    int acc = 0;
+    for (int i = 0; i < len; i++)
+        acc += short_name[i]; /* wrong buffer */
+    printf("%d\n", acc);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-14-memcmp-length",
+        "memcmp length covers more than either buffer holds",
+        BugIdiom::hardCodedSize, R, O, R"(
+int main(void) {
+    char a[8];
+    char b[8];
+    memset(a, 1, 8);
+    memset(b, 1, 8);
+    if (memcmp(a, b, 16) == 0) /* 16 > 8 */
+        puts("equal");
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-15-table-stride",
+        "2D index arithmetic uses the wrong row stride",
+        BugIdiom::other, R, O, R"(
+int main(void) {
+    int grid[3][3] = {{1,2,3},{4,5,6},{7,8,9}};
+    int *flat = &grid[0][0];
+    int row = 2;
+    int col = 2;
+    printf("%d\n", flat[row * 4 + col]); /* stride should be 3 */
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-16-alias-smaller",
+        "pointer to a small buffer passed where a large one is expected",
+        BugIdiom::hardCodedSize, R, O, R"(
+long sum64(const long *vals) {
+    long acc = 0;
+    for (int i = 0; i < 8; i++)
+        acc += vals[i];
+    return acc;
+}
+int main(void) {
+    long six[6] = {1, 2, 3, 4, 5, 6};
+    printf("%ld\n", sum64(six));
+    return 0;
+})"));
+
+    entries.push_back(make("stack-r-17-ungrowing-cursor",
+        "whitespace skip on a buffer that lost its terminator",
+        BugIdiom::missingCheck, R, O, R"(
+int main(void) {
+    char input[6];
+    memset(input, ' ', 6); /* no NUL anywhere */
+    input[0] = 'a';
+    int i = 1;
+    while (input[i] == ' ') /* runs off the end */
+        i++;
+    printf("%d\n", i);
+    return 0;
+})"));
+
+    // ----- writes (16: 2 underflows, 14 overflows) -------------------------
+
+    entries.push_back(make("stack-w-01-missing-nul-space",
+        "buffer sized strlen() without space for the terminator",
+        BugIdiom::missingNulSpace, W, O, R"(
+int main(void) {
+    char src[6];
+    strcpy(src, "fresh");
+    char dst[5]; /* needs 6 for the NUL */
+    strcpy(dst, src);
+    printf("%s\n", dst);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-02-offbyone-fill",
+        "initialization loop writes one element past the end",
+        BugIdiom::offByOne, W, O, R"(
+int main(void) {
+    int ring[16];
+    for (int i = 1; i <= 16; i++)
+        ring[i] = i * i; /* should start at 0 or end at 15 */
+    printf("%d\n", ring[3]);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-03-strcat-overflow",
+        "concatenation ignores the remaining capacity",
+        BugIdiom::missingCheck, W, O, R"(
+int main(void) {
+    char path[12];
+    strcpy(path, "/usr");
+    strcat(path, "/local");
+    strcat(path, "/bin"); /* 15 bytes into 12 */
+    printf("%s\n", path);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-04-gets-like-loop",
+        "input copied until newline without a bound",
+        BugIdiom::missingCheck, W, O, R"(
+int main(void) {
+    char cmd[8];
+    int i = 0;
+    int c;
+    while ((c = getchar()) != -1 && c != '\n') {
+        cmd[i] = (char)c;
+        i++;
+    }
+    cmd[i] = 0;
+    printf("%s\n", cmd);
+    return 0;
+})"));
+    entries.back().stdinData = "change-password\n";
+
+    entries.push_back(make("stack-w-05-prepend-underflow",
+        "prepending shifts one slot before the start",
+        BugIdiom::offByOne, W, U, R"(
+int main(void) {
+    int queue[8] = {0};
+    int head = 0;
+    queue[head] = 1;
+    head--;           /* forgot the wrap-around */
+    queue[head] = 2;  /* writes queue[-1] */
+    printf("%d\n", queue[0]);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-06-sign-extended-index",
+        "char index sign-extends negative and writes before the array",
+        BugIdiom::integerOverflow, W, U, R"(
+int main(void) {
+    int histogram[128];
+    for (int i = 0; i < 128; i++)
+        histogram[i] = 0;
+    char text[3];
+    text[0] = 'a'; text[1] = (char)254; text[2] = 0; /* negative char */
+    for (int i = 0; text[i] != 0; i++)
+        histogram[text[i]] = 1; /* should cast to unsigned char */
+    printf("%d\n", histogram['a']);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-07-snprintf-miscount",
+        "manual length bookkeeping drifts past the buffer",
+        BugIdiom::hardCodedSize, W, O, R"(
+int main(void) {
+    char out[10];
+    int pos = 0;
+    const char *words[3] = {"red", "green", "blue"};
+    for (int w = 0; w < 3; w++) {
+        const char *s = words[w];
+        for (int i = 0; s[i] != 0; i++) {
+            out[pos] = s[i]; /* never checks pos < 10 */
+            pos++;
+        }
+    }
+    out[pos] = 0;
+    printf("%s\n", out);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-08-integer-overflow-size",
+        "length addition overflows int and bypasses the guard",
+        BugIdiom::integerOverflow, W, O, R"(
+int main(void) {
+    char buf[16];
+    int a = 2000000000;
+    int b = 2000000000;
+    int need = a + b + 24; /* overflows to a small negative number */
+    if (need < 16) {
+        for (int i = 0; i < 24; i++)
+            buf[i] = 'x';
+    }
+    buf[15] = 0;
+    printf("%s\n", buf);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-09-swap-beyond",
+        "reverse loop mirrors one element past the end",
+        BugIdiom::offByOne, W, O, R"(
+int main(void) {
+    int data[6] = {1, 2, 3, 4, 5, 6};
+    for (int i = 0; i <= 3; i++)
+        data[6 - i] = data[i]; /* should be 5 - i */
+    printf("%d\n", data[5]);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-10-env-name-copy",
+        "name=value split trusts the input to contain '='",
+        BugIdiom::missingCheck, W, O, R"(
+int main(int argc, char **argv) {
+    char name[8];
+    const char *arg = argc > 1 ? argv[1] : "LONGVARIABLE";
+    int i = 0;
+    while (arg[i] != '=' && arg[i] != 0) {
+        name[i] = arg[i]; /* no room check */
+        i++;
+    }
+    name[i] = 0;
+    printf("%s\n", name);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-11-wrong-sizeof",
+        "memset sized by sizeof(pointer) times count",
+        BugIdiom::hardCodedSize, W, O, R"(
+void clear(short *vals, int count) {
+    memset(vals, 0, count * 8); /* should be sizeof(short) */
+}
+int main(void) {
+    short vals[6] = {1, 2, 3, 4, 5, 6};
+    clear(vals, 6);
+    printf("%d\n", vals[0]);
+    return 0;
+})"));
+
+    entries.push_back(make("stack-w-12-terminator-slot",
+        "writes the NUL at index size instead of size-1",
+        BugIdiom::offByOne, W, O, R"(
+int main(void) {
+    char id[4];
+    id[0] = 'a'; id[1] = 'b'; id[2] = 'c';
+    id[4] = 0; /* one past the end (and skips id[3]) */
+    printf("%c\n", id[0]);
+    return 0;
+})"));
+
+    // Four Fig.-3-style bugs: the written buffer is never read again, so
+    // an optimizer may delete the whole (out-of-bounds) store.
+    entries.push_back(make("stack-w-13-deadstore-loop",
+        "scratch array overflows; never read (optimizer deletes it)",
+        BugIdiom::missingCheck, W, O, R"(
+static int fill(unsigned long length) {
+    int arr[10] = {0};
+    for (unsigned long i = 0; i < length; i++)
+        arr[i] = (int)i;
+    return 0;
+}
+int main(void) { return fill(12); })"));
+    entries.back().removableByO3 = true;
+
+    entries.push_back(make("stack-w-14-deadstore-log",
+        "debug log line formatted into a dead buffer",
+        BugIdiom::hardCodedSize, W, O, R"(
+int main(void) {
+    char logline[8];
+    const char *msg = "request handled";
+    for (int i = 0; msg[i] != 0; i++)
+        logline[i] = msg[i]; /* overflow into a never-used buffer */
+    return 0;
+})"));
+    entries.back().removableByO3 = true;
+
+    entries.push_back(make("stack-w-15-deadstore-padding",
+        "padding area cleared with the wrong width, result unused",
+        BugIdiom::hardCodedSize, W, O, R"(
+int main(void) {
+    long pad[4];
+    for (int i = 0; i < 6; i++) /* 6 > 4 */
+        pad[i] = 0;
+    return 0;
+})"));
+    entries.back().removableByO3 = true;
+
+    entries.push_back(make("stack-w-16-deadstore-checksum",
+        "checksum table initialized past the end, then abandoned",
+        BugIdiom::offByOne, W, O, R"(
+static void initTable(void) {
+    int table[16];
+    for (int i = 0; i <= 16; i++)
+        table[i] = i * 31;
+}
+int main(void) {
+    initTable();
+    return 0;
+})"));
+    entries.back().removableByO3 = true;
+
+    return entries;
+}
+
+} // namespace sulong

@@ -1,0 +1,173 @@
+#include "corpus/harness.h"
+
+#include <sstream>
+
+#include "support/string_utils.h"
+
+namespace sulong
+{
+
+DetectionOutcome
+classifyOutcome(const CorpusEntry &entry, const ExecutionResult &result)
+{
+    DetectionOutcome outcome;
+    outcome.report = result.bug;
+    if (result.bug.kind == ErrorKind::engineError) {
+        outcome.error = true;
+        return outcome;
+    }
+    switch (entry.kind) {
+      case ErrorKind::outOfBounds:
+        outcome.detected = result.bug.kind == ErrorKind::outOfBounds;
+        outcome.indirect = result.bug.kind == ErrorKind::uninitRead &&
+            entry.access == AccessKind::read;
+        break;
+      case ErrorKind::useAfterFree:
+        outcome.detected = result.bug.kind == ErrorKind::useAfterFree;
+        break;
+      case ErrorKind::nullDeref:
+        outcome.detected = result.bug.kind == ErrorKind::nullDeref;
+        break;
+      case ErrorKind::varargs:
+        outcome.detected = result.bug.kind == ErrorKind::varargs;
+        break;
+      default:
+        outcome.detected = result.bug.kind == entry.kind;
+        break;
+    }
+    return outcome;
+}
+
+std::vector<MatrixRow>
+runDetectionMatrix(const std::vector<CorpusEntry> &entries,
+                   const std::vector<ToolConfig> &tools)
+{
+    std::vector<MatrixRow> rows;
+    for (const ToolConfig &config : tools) {
+        MatrixRow row;
+        row.tool = config.toString();
+        for (const CorpusEntry &entry : entries) {
+            ExecutionResult result = runUnderTool(
+                entry.source, config, entry.args, entry.stdinData);
+            DetectionOutcome outcome = classifyOutcome(entry, result);
+            row.directCount += outcome.detected ? 1 : 0;
+            row.indirectCount += outcome.indirect ? 1 : 0;
+            row.errorCount += outcome.error ? 1 : 0;
+            row.outcomes.push_back(std::move(outcome));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::string
+formatTable1(const std::vector<CorpusEntry> &entries)
+{
+    unsigned oob = 0, nulls = 0, uaf = 0, varargs = 0, other = 0;
+    for (const auto &entry : entries) {
+        switch (entry.kind) {
+          case ErrorKind::outOfBounds: oob++; break;
+          case ErrorKind::nullDeref: nulls++; break;
+          case ErrorKind::useAfterFree: uaf++; break;
+          case ErrorKind::varargs: varargs++; break;
+          default: other++; break;
+        }
+    }
+    std::ostringstream os;
+    os << "Table 1: error distribution of the corpus\n";
+    os << "  Buffer overflows    " << padLeft(std::to_string(oob), 4) << "\n";
+    os << "  NULL dereferences   " << padLeft(std::to_string(nulls), 4)
+       << "\n";
+    os << "  Use-after-free      " << padLeft(std::to_string(uaf), 4) << "\n";
+    os << "  Varargs             " << padLeft(std::to_string(varargs), 4)
+       << "\n";
+    if (other > 0)
+        os << "  Other               " << padLeft(std::to_string(other), 4)
+           << "\n";
+    os << "  Total               "
+       << padLeft(std::to_string(entries.size()), 4) << "\n";
+    return os.str();
+}
+
+std::string
+formatTable2(const std::vector<CorpusEntry> &entries)
+{
+    unsigned reads = 0, writes = 0, under = 0, over = 0;
+    unsigned stack = 0, heap = 0, global = 0, main_args = 0;
+    for (const auto &entry : entries) {
+        if (entry.kind != ErrorKind::outOfBounds)
+            continue;
+        (entry.access == AccessKind::read ? reads : writes)++;
+        (entry.direction == BoundsDirection::underflow ? under : over)++;
+        switch (entry.storage) {
+          case StorageKind::stack: stack++; break;
+          case StorageKind::heap: heap++; break;
+          case StorageKind::global: global++; break;
+          case StorageKind::mainArgs: main_args++; break;
+          default: break;
+        }
+    }
+    std::ostringstream os;
+    os << "Table 2: distribution of out-of-bounds accesses\n";
+    os << "  Read  " << padLeft(std::to_string(reads), 3)
+       << "   Underflow " << padLeft(std::to_string(under), 3)
+       << "   Stack     " << padLeft(std::to_string(stack), 3) << "\n";
+    os << "  Write " << padLeft(std::to_string(writes), 3)
+       << "   Overflow  " << padLeft(std::to_string(over), 3)
+       << "   Heap      " << padLeft(std::to_string(heap), 3) << "\n";
+    os << "                          "
+       << "Global    " << padLeft(std::to_string(global), 3) << "\n";
+    os << "                          "
+       << "Main args " << padLeft(std::to_string(main_args), 3) << "\n";
+    return os.str();
+}
+
+std::string
+formatMatrix(const std::vector<CorpusEntry> &entries,
+             const std::vector<MatrixRow> &rows)
+{
+    std::ostringstream os;
+    os << "Detection matrix over " << entries.size() << " corpus bugs\n";
+    os << "  " << padRight("tool", 14) << padLeft("found", 7)
+       << padLeft("indirect", 10) << padLeft("missed", 8) << "\n";
+    for (const auto &row : rows) {
+        unsigned missed = static_cast<unsigned>(entries.size()) -
+            row.directCount - row.indirectCount;
+        os << "  " << padRight(row.tool, 14)
+           << padLeft(std::to_string(row.directCount), 7)
+           << padLeft(std::to_string(row.indirectCount), 10)
+           << padLeft(std::to_string(missed), 8);
+        if (row.errorCount > 0)
+            os << "  (" << row.errorCount << " errors)";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+exclusiveDetections(const std::vector<CorpusEntry> &entries,
+                    const std::vector<MatrixRow> &rows,
+                    bool count_indirect_as_found)
+{
+    std::vector<std::string> ids;
+    if (rows.empty())
+        return ids;
+    for (size_t i = 0; i < entries.size(); i++) {
+        if (!rows[0].outcomes[i].detected)
+            continue;
+        bool found_elsewhere = false;
+        for (size_t r = 1; r < rows.size(); r++) {
+            const DetectionOutcome &cell = rows[r].outcomes[i];
+            if (cell.detected ||
+                (count_indirect_as_found && cell.indirect)) {
+                found_elsewhere = true;
+                break;
+            }
+        }
+        if (!found_elsewhere)
+            ids.push_back(entries[i].id);
+    }
+    return ids;
+}
+
+} // namespace sulong

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Harness that runs the corpus under the tool matrix and regenerates
+ * Table 1, Table 2, and the Section 4.1 detection comparison.
+ */
+
+#ifndef MS_CORPUS_HARNESS_H
+#define MS_CORPUS_HARNESS_H
+
+#include "corpus/corpus.h"
+#include "tools/driver.h"
+
+namespace sulong
+{
+
+/** Result of one (tool, program) cell. */
+struct DetectionOutcome
+{
+    /// The tool reported the planted bug (kind matches ground truth).
+    bool detected = false;
+    /// Memcheck-style indirect hint: an uninitialised-value report for a
+    /// planted out-of-bounds read (the paper's "arguably could be used
+    /// to indirectly identify" case).
+    bool indirect = false;
+    /// The program failed to compile or the engine gave up.
+    bool error = false;
+    BugReport report;
+};
+
+/** One tool's row over the whole corpus. */
+struct MatrixRow
+{
+    std::string tool;
+    std::vector<DetectionOutcome> outcomes;
+    unsigned directCount = 0;
+    unsigned indirectCount = 0;
+    unsigned errorCount = 0;
+};
+
+/** Classify a run against the entry's ground truth. */
+DetectionOutcome classifyOutcome(const CorpusEntry &entry,
+                                 const ExecutionResult &result);
+
+/** Run @p entries under @p tools (rows are tool-major). */
+std::vector<MatrixRow>
+runDetectionMatrix(const std::vector<CorpusEntry> &entries,
+                   const std::vector<ToolConfig> &tools);
+
+/** Table 1: error distribution of the corpus (ground truth). */
+std::string formatTable1(const std::vector<CorpusEntry> &entries);
+
+/** Table 2: read/write, under/overflow, and storage splits of the
+ *  out-of-bounds entries (ground truth). */
+std::string formatTable2(const std::vector<CorpusEntry> &entries);
+
+/** The detection-matrix summary (per tool: found / indirect / missed). */
+std::string formatMatrix(const std::vector<CorpusEntry> &entries,
+                         const std::vector<MatrixRow> &rows);
+
+/** Ids of entries only the first row's tool detected (Section 4.1's
+ *  "8 bugs found only by Safe Sulong"). */
+std::vector<std::string>
+exclusiveDetections(const std::vector<CorpusEntry> &entries,
+                    const std::vector<MatrixRow> &rows,
+                    bool count_indirect_as_found = false);
+
+} // namespace sulong
+
+#endif // MS_CORPUS_HARNESS_H

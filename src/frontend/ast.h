@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Abstract syntax tree of mini-C. Produced by the Parser, consumed by
+ * CodeGen (which performs semantic checking while lowering to IR).
+ */
+
+#ifndef MS_FRONTEND_AST_H
+#define MS_FRONTEND_AST_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ctype.h"
+#include "support/diagnostics.h"
+
+namespace sulong
+{
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+enum class ExprKind : uint8_t
+{
+    intLit,
+    floatLit,
+    stringLit,
+    ident,
+    unary,
+    binary,
+    assign,
+    conditional,
+    cast,
+    call,
+    index,
+    member,
+    sizeofExpr,
+    comma,
+    initList,
+    vaStart,
+    vaArg,
+    vaEnd,
+};
+
+enum class UnaryOp : uint8_t
+{
+    neg,        ///< -x
+    logicalNot, ///< !x
+    bitNot,     ///< ~x
+    deref,      ///< *x
+    addrOf,     ///< &x
+    preInc, preDec, postInc, postDec,
+};
+
+enum class BinaryOp : uint8_t
+{
+    add, sub, mul, div, rem,
+    shl, shr,
+    lt, gt, le, ge, eq, ne,
+    bitAnd, bitOr, bitXor,
+    logAnd, logOr,
+};
+
+/** Base class of all expressions. */
+struct Expr
+{
+    explicit Expr(ExprKind k) : kind(k) {}
+    virtual ~Expr() = default;
+
+    ExprKind kind;
+    SourceLoc loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr
+{
+    IntLitExpr() : Expr(ExprKind::intLit) {}
+    uint64_t value = 0;
+    bool isUnsigned = false;
+    bool isLong = false;
+};
+
+struct FloatLitExpr : Expr
+{
+    FloatLitExpr() : Expr(ExprKind::floatLit) {}
+    double value = 0;
+};
+
+struct StringLitExpr : Expr
+{
+    StringLitExpr() : Expr(ExprKind::stringLit) {}
+    std::string value; ///< decoded bytes, without the implicit NUL
+};
+
+struct IdentExpr : Expr
+{
+    IdentExpr() : Expr(ExprKind::ident) {}
+    std::string name;
+};
+
+struct UnaryExpr : Expr
+{
+    UnaryExpr() : Expr(ExprKind::unary) {}
+    UnaryOp op = UnaryOp::neg;
+    ExprPtr operand;
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryExpr() : Expr(ExprKind::binary) {}
+    BinaryOp op = BinaryOp::add;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** Plain or compound assignment; op is nullopt-like when plain. */
+struct AssignExpr : Expr
+{
+    AssignExpr() : Expr(ExprKind::assign) {}
+    bool compound = false;
+    BinaryOp op = BinaryOp::add; ///< meaningful when compound
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct ConditionalExpr : Expr
+{
+    ConditionalExpr() : Expr(ExprKind::conditional) {}
+    ExprPtr cond;
+    ExprPtr thenExpr;
+    ExprPtr elseExpr;
+};
+
+struct CastExpr : Expr
+{
+    CastExpr() : Expr(ExprKind::cast) {}
+    const CType *target = nullptr;
+    ExprPtr operand;
+};
+
+struct CallExpr : Expr
+{
+    CallExpr() : Expr(ExprKind::call) {}
+    ExprPtr callee;
+    std::vector<ExprPtr> args;
+};
+
+struct IndexExpr : Expr
+{
+    IndexExpr() : Expr(ExprKind::index) {}
+    ExprPtr base;
+    ExprPtr index;
+};
+
+struct MemberExpr : Expr
+{
+    MemberExpr() : Expr(ExprKind::member) {}
+    ExprPtr base;
+    std::string member;
+    bool arrow = false; ///< true for `->`, false for `.`
+};
+
+struct SizeofExpr : Expr
+{
+    SizeofExpr() : Expr(ExprKind::sizeofExpr) {}
+    /// Either a type operand...
+    const CType *typeOperand = nullptr;
+    /// ...or an expression operand (only one is set).
+    ExprPtr exprOperand;
+};
+
+struct CommaExpr : Expr
+{
+    CommaExpr() : Expr(ExprKind::comma) {}
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** Brace initializer `{...}`; only valid in declarations. */
+struct InitListExpr : Expr
+{
+    InitListExpr() : Expr(ExprKind::initList) {}
+    std::vector<ExprPtr> elems;
+};
+
+struct VaStartExpr : Expr
+{
+    VaStartExpr() : Expr(ExprKind::vaStart) {}
+    ExprPtr ap;
+    ExprPtr last; ///< may be null (we do not need it, like the paper)
+};
+
+struct VaArgExpr : Expr
+{
+    VaArgExpr() : Expr(ExprKind::vaArg) {}
+    ExprPtr ap;
+    const CType *argType = nullptr;
+};
+
+struct VaEndExpr : Expr
+{
+    VaEndExpr() : Expr(ExprKind::vaEnd) {}
+    ExprPtr ap;
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+enum class StmtKind : uint8_t
+{
+    expr,
+    decl,
+    compound,
+    ifStmt,
+    whileStmt,
+    doWhileStmt,
+    forStmt,
+    returnStmt,
+    breakStmt,
+    continueStmt,
+    switchStmt,
+    caseStmt,
+    defaultStmt,
+    nullStmt,
+};
+
+struct Stmt
+{
+    explicit Stmt(StmtKind k) : kind(k) {}
+    virtual ~Stmt() = default;
+
+    StmtKind kind;
+    SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt
+{
+    ExprStmt() : Stmt(StmtKind::expr) {}
+    ExprPtr expr;
+};
+
+/** One declared variable within a declaration statement. */
+struct VarDecl
+{
+    std::string name;
+    const CType *type = nullptr;
+    ExprPtr init;      ///< scalar init or InitListExpr; may be null
+    bool isStatic = false;
+    bool isExtern = false;
+    SourceLoc loc;
+};
+
+struct DeclStmt : Stmt
+{
+    DeclStmt() : Stmt(StmtKind::decl) {}
+    std::vector<VarDecl> vars;
+};
+
+struct CompoundStmt : Stmt
+{
+    CompoundStmt() : Stmt(StmtKind::compound) {}
+    std::vector<StmtPtr> body;
+};
+
+struct IfStmt : Stmt
+{
+    IfStmt() : Stmt(StmtKind::ifStmt) {}
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt; ///< may be null
+};
+
+struct WhileStmt : Stmt
+{
+    WhileStmt() : Stmt(StmtKind::whileStmt) {}
+    ExprPtr cond;
+    StmtPtr body;
+};
+
+struct DoWhileStmt : Stmt
+{
+    DoWhileStmt() : Stmt(StmtKind::doWhileStmt) {}
+    StmtPtr body;
+    ExprPtr cond;
+};
+
+struct ForStmt : Stmt
+{
+    ForStmt() : Stmt(StmtKind::forStmt) {}
+    StmtPtr init;  ///< DeclStmt, ExprStmt or null
+    ExprPtr cond;  ///< may be null (infinite)
+    ExprPtr step;  ///< may be null
+    StmtPtr body;
+};
+
+struct ReturnStmt : Stmt
+{
+    ReturnStmt() : Stmt(StmtKind::returnStmt) {}
+    ExprPtr value; ///< may be null
+};
+
+struct BreakStmt : Stmt
+{
+    BreakStmt() : Stmt(StmtKind::breakStmt) {}
+};
+
+struct ContinueStmt : Stmt
+{
+    ContinueStmt() : Stmt(StmtKind::continueStmt) {}
+};
+
+struct SwitchStmt : Stmt
+{
+    SwitchStmt() : Stmt(StmtKind::switchStmt) {}
+    ExprPtr cond;
+    StmtPtr body; ///< CompoundStmt containing Case/Default labels
+};
+
+struct CaseStmt : Stmt
+{
+    CaseStmt() : Stmt(StmtKind::caseStmt) {}
+    int64_t value = 0;
+    StmtPtr sub; ///< the labelled statement
+};
+
+struct DefaultStmt : Stmt
+{
+    DefaultStmt() : Stmt(StmtKind::defaultStmt) {}
+    StmtPtr sub;
+};
+
+struct NullStmt : Stmt
+{
+    NullStmt() : Stmt(StmtKind::nullStmt) {}
+};
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+/** A function definition or prototype. */
+struct FunctionDecl
+{
+    std::string name;
+    const CType *type = nullptr; ///< a CTypeKind::function type
+    std::vector<std::string> paramNames;
+    std::unique_ptr<CompoundStmt> body; ///< null for prototypes
+    bool isStatic = false;
+    SourceLoc loc;
+};
+
+/** One parsed translation unit (plus everything #included by proxy). */
+struct TranslationUnit
+{
+    std::vector<VarDecl> globals;
+    std::vector<std::unique_ptr<FunctionDecl>> functions;
+    /// Enum constants usable as integer constant expressions.
+    std::map<std::string, int64_t> enumConstants;
+};
+
+} // namespace sulong
+
+#endif // MS_FRONTEND_AST_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Semantic analysis + IR generation for mini-C.
+ *
+ * Mirrors what Clang -O0 does for the supported subset: every local lives
+ * in an alloca, expressions lower to loads/stores/gep without any
+ * optimization, and no undefined-behaviour-based transformation happens
+ * here (the risk the paper attributes to real front ends is modelled
+ * separately by the optimizer pipelines in src/opt/).
+ */
+
+#ifndef MS_FRONTEND_CODEGEN_H
+#define MS_FRONTEND_CODEGEN_H
+
+#include <unordered_map>
+
+#include "frontend/ast.h"
+#include "ir/builder.h"
+
+namespace sulong
+{
+
+class CodeGen
+{
+  public:
+    CodeGen(Module &module, CTypeContext &types, DiagnosticEngine &diags);
+
+    /** Lower a translation unit into the module. */
+    void generate(const TranslationUnit &unit);
+
+  private:
+    /** An expression result: an IR value plus its C type. */
+    struct RValue
+    {
+        Value *value = nullptr;
+        const CType *type = nullptr;
+    };
+
+    /** An addressable location: address value plus the located C type. */
+    struct LValue
+    {
+        Value *addr = nullptr;
+        const CType *type = nullptr;
+    };
+
+    struct LocalVar
+    {
+        Value *addr = nullptr;
+        const CType *type = nullptr;
+    };
+
+    // --- Declarations ------------------------------------------------
+    void declareFunctions(const TranslationUnit &unit);
+    void emitGlobals(const TranslationUnit &unit);
+    void emitFunction(const FunctionDecl &decl);
+    Initializer constInitializer(const Expr *init, const CType *type);
+
+    // --- Statements ---------------------------------------------------
+    void emitStmt(const Stmt &stmt);
+    void emitLocalDecl(const VarDecl &var);
+    void emitLocalInit(Value *addr, const CType *type, const Expr &init);
+    void emitZeroInit(Value *addr, const CType *type);
+    void emitSwitch(const SwitchStmt &stmt);
+
+    // --- Expressions ---------------------------------------------------
+    RValue emitExpr(const Expr &expr);
+    LValue emitLValue(const Expr &expr);
+    RValue loadLValue(const LValue &lv, const SourceLoc &loc);
+    RValue emitBinary(const BinaryExpr &expr);
+    RValue emitBinaryOp(BinaryOp op, RValue lhs, RValue rhs,
+                        const SourceLoc &loc);
+    RValue emitAssign(const AssignExpr &expr);
+    RValue emitUnary(const UnaryExpr &expr);
+    RValue emitCall(const CallExpr &expr);
+    RValue emitConditional(const ConditionalExpr &expr);
+    RValue emitLogical(const BinaryExpr &expr);
+    void emitStructCopy(Value *dst, Value *src, const CType *type);
+
+    /** Truthiness of a scalar as an i1 value. */
+    Value *emitCondition(const Expr &expr);
+    Value *toBool(RValue v, const SourceLoc &loc);
+
+    /** Implicit/explicit conversion of @p v to @p to. */
+    RValue convert(RValue v, const CType *to, const SourceLoc &loc,
+                   bool explicit_cast = false);
+    /** Array-to-pointer and function-to-pointer decay. */
+    RValue decay(RValue v);
+    /** Default argument promotions for variadic arguments. */
+    RValue defaultPromote(RValue v, const SourceLoc &loc);
+
+    // --- Helpers --------------------------------------------------------
+    GlobalVariable *stringLiteral(const std::string &bytes);
+    Value *zeroValue(const CType *type);
+    const CType *typeOfMember(const CType *struct_type,
+                              const std::string &name, uint64_t &offset,
+                              const SourceLoc &loc);
+    [[noreturn]] void semaError(const SourceLoc &loc,
+                                const std::string &message);
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+    LocalVar *findLocal(const std::string &name);
+    BasicBlock *newBlock(const std::string &hint);
+    /** Create an alloca in the entry block (hoisted, Clang-style). */
+    Instruction *createLocalAlloca(const Type *type, std::string name);
+
+    Module &module_;
+    CTypeContext &types_;
+    DiagnosticEngine &diags_;
+    IRBuilder builder_;
+
+    const TranslationUnit *unit_ = nullptr;
+    Function *curFn_ = nullptr;
+    const CType *curFnType_ = nullptr;
+    BasicBlock *entryBlock_ = nullptr;
+    std::vector<std::unordered_map<std::string, LocalVar>> scopes_;
+    std::vector<BasicBlock *> breakTargets_;
+    std::vector<BasicBlock *> continueTargets_;
+    std::unordered_map<std::string, GlobalVariable *> stringPool_;
+    std::unordered_map<std::string, const CType *> globalTypes_;
+    std::unordered_map<std::string, const CType *> functionTypes_;
+    unsigned blockCount_ = 0;
+    unsigned staticLocalCount_ = 0;
+};
+
+/** Thrown to abort codegen of one function after a semantic error. */
+struct SemaAbort
+{
+};
+
+} // namespace sulong
+
+#endif // MS_FRONTEND_CODEGEN_H

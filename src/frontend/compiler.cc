@@ -1,0 +1,128 @@
+#include "frontend/compiler.h"
+
+#include <set>
+
+#include "frontend/codegen.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "ir/verifier.h"
+
+namespace sulong
+{
+
+const char *
+builtinDeclarations()
+{
+    return R"(
+/* Engine-implemented allocation entry points (Section 3.3 of the paper:
+ * heap objects come from malloc/calloc/realloc and are freed by free). */
+void *malloc(unsigned long size);
+void free(void *ptr);
+void *calloc(unsigned long nmemb, unsigned long size);
+void *realloc(void *ptr, unsigned long size);
+
+/* Host bridge ("system calls" of the execution environments). */
+void __sys_exit(int code);
+long __sys_write(int fd, const char *buf, long len);
+int __sys_getchar(void);
+long __sys_alloc_size(void *ptr);
+
+/* Varargs support (count_varargs / get_vararg of the paper, Fig. 9). */
+void *__va_start(void);
+void *__va_arg_ptr(void *ap);
+void __va_end(void *ap);
+int __va_count(void);
+
+/* Math intrinsics backed by the host libm. */
+double sqrt(double x);
+double sin(double x);
+double cos(double x);
+double tan(double x);
+double atan(double x);
+double atan2(double y, double x);
+double exp(double x);
+double log(double x);
+double pow(double x, double y);
+double floor(double x);
+double ceil(double x);
+double fabs(double x);
+double fmod(double x, double y);
+)";
+}
+
+const std::vector<std::string> &
+intrinsicNames()
+{
+    static const std::vector<std::string> names = {
+        "malloc", "free", "calloc", "realloc",
+        "__sys_exit", "__sys_write", "__sys_getchar", "__sys_alloc_size",
+        "__va_start", "__va_arg_ptr", "__va_end", "__va_count",
+        "sqrt", "sin", "cos", "tan", "atan", "atan2", "exp", "log",
+        "pow", "floor", "ceil", "fabs", "fmod",
+    };
+    return names;
+}
+
+CompileResult
+compileC(const std::vector<SourceFile> &sources,
+         const CompileOptions &options)
+{
+    CompileResult result;
+    DiagnosticEngine diags;
+    auto module = std::make_unique<Module>();
+    CTypeContext ctypes(module->types());
+    TranslationUnit unit;
+
+    std::vector<SourceFile> all;
+    if (options.injectBuiltins)
+        all.push_back(SourceFile{"<builtins>", builtinDeclarations()});
+    for (const auto &src : sources)
+        all.push_back(src);
+
+    TypedefMap typedefs;
+    for (const auto &src : all) {
+        Lexer lexer(src.name, src.text, diags);
+        Parser parser(lexer.lexAll(), ctypes, diags, typedefs);
+        parser.parseInto(unit);
+    }
+    if (diags.hasErrors()) {
+        result.errors = diags.dump();
+        return result;
+    }
+
+    CodeGen codegen(*module, ctypes, diags);
+    codegen.generate(unit);
+    if (diags.hasErrors()) {
+        result.errors = diags.dump();
+        return result;
+    }
+
+    // Mark engine intrinsics.
+    std::set<std::string> intrinsics(intrinsicNames().begin(),
+                                     intrinsicNames().end());
+    for (const auto &fn : module->functions()) {
+        if (fn->isDeclaration() && intrinsics.count(fn->name()))
+            fn->setIntrinsic(true);
+    }
+
+    module->finalize();
+    auto issues = verifyModule(*module);
+    if (!issues.empty()) {
+        result.errors = "internal: codegen produced invalid IR:\n" +
+            formatIssues(issues);
+        return result;
+    }
+    result.warningCount = diags.warningCount();
+    result.errors = diags.dump(); // warnings, if any
+    result.module = std::move(module);
+    return result;
+}
+
+CompileResult
+compileC(const std::string &source, const CompileOptions &options)
+{
+    return compileC(std::vector<SourceFile>{SourceFile{"<input>", source}},
+                    options);
+}
+
+} // namespace sulong

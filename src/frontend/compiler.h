@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Top-level mini-C compiler entry point: source text in, IR Module out.
+ *
+ * Plays the role Clang -O0 plays in the paper's pipeline (Fig. 4): no
+ * optimizations are applied here. Optimization pipelines (including the
+ * UB-exploiting ones that can delete bugs, P2) live in src/opt/ and are
+ * applied explicitly by the driver.
+ */
+
+#ifndef MS_FRONTEND_COMPILER_H
+#define MS_FRONTEND_COMPILER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace sulong
+{
+
+/** One input file: a logical name (for diagnostics) plus its contents. */
+struct SourceFile
+{
+    std::string name;
+    std::string text;
+};
+
+struct CompileOptions
+{
+    /// Prepend declarations of the engine intrinsics (__sys_*, malloc...).
+    bool injectBuiltins = true;
+};
+
+struct CompileResult
+{
+    std::unique_ptr<Module> module; ///< null when compilation failed
+    std::string errors;             ///< rendered diagnostics
+    size_t warningCount = 0;
+
+    bool ok() const { return module != nullptr; }
+};
+
+/**
+ * Compile and "link" several mini-C sources into one module.
+ *
+ * All sources share one type context and one symbol namespace, which is
+ * how the paper's setup links the user program with its safe libc.
+ */
+CompileResult compileC(const std::vector<SourceFile> &sources,
+                       const CompileOptions &options = {});
+
+/** Convenience wrapper for a single anonymous source. */
+CompileResult compileC(const std::string &source,
+                       const CompileOptions &options = {});
+
+/** Names of the functions engines implement natively. */
+const std::vector<std::string> &intrinsicNames();
+
+/** The mini-C declarations injected by injectBuiltins. */
+const char *builtinDeclarations();
+
+} // namespace sulong
+
+#endif // MS_FRONTEND_COMPILER_H

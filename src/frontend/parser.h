@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Recursive-descent parser for mini-C.
+ *
+ * Produces a TranslationUnit AST. Handles the full C declarator syntax
+ * for the supported subset (pointers, arrays, function pointers), struct
+ * and enum definitions, typedefs, and constant-expression evaluation for
+ * array bounds, enum values, and case labels.
+ */
+
+#ifndef MS_FRONTEND_PARSER_H
+#define MS_FRONTEND_PARSER_H
+
+#include <unordered_map>
+
+#include "frontend/ast.h"
+#include "frontend/token.h"
+
+namespace sulong
+{
+
+/** Typedef table shared across all files of one compilation. */
+using TypedefMap = std::unordered_map<std::string, const CType *>;
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, CTypeContext &types,
+           DiagnosticEngine &diags, TypedefMap &typedefs);
+
+    /**
+     * Parse the whole token stream into @p unit (which may already hold
+     * declarations from previously parsed files of the same program).
+     */
+    void parseInto(TranslationUnit &unit);
+
+  private:
+    // --- Token stream ----------------------------------------------------
+    const Token &peek(size_t ahead = 0) const;
+    const Token &advance();
+    bool at(Tok kind) const { return peek().kind == kind; }
+    bool accept(Tok kind);
+    const Token &expect(Tok kind, const char *what);
+    [[noreturn]] void parseError(const std::string &message);
+
+    // --- Types and declarators --------------------------------------------
+    struct DeclSpec
+    {
+        const CType *type = nullptr;
+        bool isTypedef = false;
+        bool isStatic = false;
+        bool isExtern = false;
+    };
+
+    /** Suffix of a direct declarator: an array bound or a param list. */
+    struct DeclSuffix
+    {
+        bool isArray = false;
+        uint64_t arrayLen = 0;
+        std::vector<const CType *> params;
+        std::vector<std::string> paramNames;
+        bool varArg = false;
+    };
+
+    /** Parsed declarator before type construction. */
+    struct Declarator
+    {
+        unsigned pointerLevels = 0;
+        std::unique_ptr<Declarator> inner;
+        std::string name;
+        std::vector<DeclSuffix> suffixes;
+        /// Parameter names of the outermost function suffix (if any).
+        std::vector<std::string> paramNames;
+    };
+
+    bool isTypeStart(size_t ahead = 0) const;
+    DeclSpec parseDeclSpecifiers();
+    const CType *parseStructSpecifier();
+    const CType *parseEnumSpecifier();
+    std::unique_ptr<Declarator> parseDeclarator(bool allow_abstract);
+    const CType *applyDeclarator(const CType *base, const Declarator &decl,
+                                 std::string &name,
+                                 std::vector<std::string> *param_names);
+    /** Parse "type-name" as used in casts, sizeof, and va_arg. */
+    const CType *parseTypeName();
+    void parseParamList(DeclSuffix &suffix);
+
+    // --- Declarations ------------------------------------------------------
+    void parseTopLevelDecl();
+    std::unique_ptr<FunctionDecl>
+    parseFunctionDefinition(const DeclSpec &spec, const CType *type,
+                            std::string name,
+                            std::vector<std::string> param_names,
+                            SourceLoc loc);
+    ExprPtr parseInitializer();
+
+    // --- Statements ---------------------------------------------------------
+    StmtPtr parseStmt();
+    std::unique_ptr<CompoundStmt> parseCompound();
+    StmtPtr parseDeclStmt();
+
+    // --- Expressions ----------------------------------------------------------
+    ExprPtr parseExpr();
+    ExprPtr parseAssign();
+    ExprPtr parseConditional();
+    ExprPtr parseBinary(int min_prec);
+    ExprPtr parseUnary();
+    ExprPtr parsePostfix(ExprPtr base);
+    ExprPtr parsePrimary();
+
+    // --- Constant expressions ---------------------------------------------------
+    int64_t evalConstInt(const Expr &expr);
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    CTypeContext &types_;
+    DiagnosticEngine &diags_;
+    TranslationUnit *unit_ = nullptr;
+    TypedefMap &typedefs_;
+};
+
+/** Error used internally for parse-abort; carries no payload. */
+struct ParseAbort
+{
+};
+
+} // namespace sulong
+
+#endif // MS_FRONTEND_PARSER_H

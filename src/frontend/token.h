@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Token definitions for the mini-C lexer.
+ */
+
+#ifndef MS_FRONTEND_TOKEN_H
+#define MS_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace sulong
+{
+
+/** Token kinds of mini-C. */
+enum class Tok : uint8_t
+{
+    eof,
+    identifier,
+    intLiteral,
+    floatLiteral,
+    charLiteral,
+    stringLiteral,
+
+    // Keywords.
+    kwVoid, kwChar, kwShort, kwInt, kwLong, kwFloat, kwDouble,
+    kwSigned, kwUnsigned, kwConst, kwVolatile, kwStatic, kwExtern,
+    kwStruct, kwUnion, kwEnum, kwTypedef, kwSizeof,
+    kwIf, kwElse, kwWhile, kwDo, kwFor, kwReturn, kwBreak, kwContinue,
+    kwSwitch, kwCase, kwDefault, kwGoto, kwInline, kwRestrict,
+    // Varargs builtins are keywords so va_arg can take a type operand.
+    kwVaStart, kwVaArg, kwVaEnd, kwVaList,
+
+    // Punctuation.
+    lparen, rparen, lbrace, rbrace, lbracket, rbracket,
+    semi, comma, colon, question, ellipsis,
+    arrow, dot,
+    plus, minus, star, slash, percent,
+    amp, pipe, caret, tilde, bang,
+    shl, shr,
+    lt, gt, le, ge, eqeq, ne,
+    ampamp, pipepipe,
+    assign, plusAssign, minusAssign, starAssign, slashAssign,
+    percentAssign, shlAssign, shrAssign, andAssign, orAssign, xorAssign,
+    plusplus, minusminus,
+};
+
+/** @return a printable name for diagnostics. */
+const char *tokName(Tok kind);
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::eof;
+    SourceLoc loc;
+    /// Identifier or literal spelling.
+    std::string text;
+    /// Value of integer / char literals.
+    uint64_t intValue = 0;
+    /// Value of float literals.
+    double floatValue = 0;
+    /// Decoded bytes of string literals (escapes resolved, no quotes).
+    std::string stringValue;
+    /// True when an integer literal had a U suffix.
+    bool isUnsigned = false;
+    /// True when an integer literal had an L/LL suffix.
+    bool isLong = false;
+
+    bool is(Tok k) const { return kind == k; }
+};
+
+} // namespace sulong
+
+#endif // MS_FRONTEND_TOKEN_H

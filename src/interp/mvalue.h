@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Runtime values of the managed interpreter.
+ */
+
+#ifndef MS_INTERP_MVALUE_H
+#define MS_INTERP_MVALUE_H
+
+#include "managed/object.h"
+
+namespace sulong
+{
+
+/**
+ * One managed runtime value: a width-tagged integer, a float/double, or
+ * an Address. Integers are kept sign-extended to 64 bits canonically;
+ * the width tag preserves the C-level size for varargs boxing (so that
+ * printf("%ld", int) is detectably wrong, paper Fig. 12).
+ */
+struct MValue
+{
+    enum class Kind : uint8_t
+    {
+        intV,
+        fpV,
+        addrV,
+    };
+
+    Kind kind = Kind::intV;
+    /// For intV: width in bits (1, 8, 16, 32, 64). For fpV: 32 or 64.
+    uint8_t bits = 32;
+    int64_t i = 0;
+    double f = 0;
+    Address a;
+
+    static MValue
+    makeInt(int64_t value, unsigned width)
+    {
+        MValue v;
+        v.kind = Kind::intV;
+        v.bits = static_cast<uint8_t>(width);
+        // Normalize to sign-extended canonical form.
+        if (width < 64) {
+            uint64_t mask = (1ull << width) - 1;
+            uint64_t raw = static_cast<uint64_t>(value) & mask;
+            if (raw & (1ull << (width - 1)))
+                raw |= ~mask;
+            value = static_cast<int64_t>(raw);
+        }
+        v.i = value;
+        return v;
+    }
+
+    static MValue
+    makeFP(double value, unsigned width)
+    {
+        MValue v;
+        v.kind = Kind::fpV;
+        v.bits = static_cast<uint8_t>(width);
+        v.f = width == 32 ? static_cast<double>(static_cast<float>(value))
+                          : value;
+        return v;
+    }
+
+    static MValue
+    makeAddr(Address addr)
+    {
+        MValue v;
+        v.kind = Kind::addrV;
+        v.bits = 64;
+        v.a = std::move(addr);
+        return v;
+    }
+
+    /** Zero-extended view of an integer value. */
+    uint64_t
+    zext() const
+    {
+        if (bits >= 64)
+            return static_cast<uint64_t>(i);
+        return static_cast<uint64_t>(i) & ((1ull << bits) - 1);
+    }
+};
+
+} // namespace sulong
+
+#endif // MS_INTERP_MVALUE_H

@@ -1,0 +1,331 @@
+#include "interp/tier2.h"
+
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+namespace sulong
+{
+
+namespace
+{
+
+/** Follow boolean-widening aliases: zext(i1) and `icmp ne X, 0` where X
+ *  is itself boolean-valued produce the same 0/1 payload as their source,
+ *  so tier-2 reads the source slot directly. */
+const Value *
+canonical(const Value *v,
+          const std::unordered_map<const Value *, const Value *> &aliases)
+{
+    auto it = aliases.find(v);
+    while (it != aliases.end()) {
+        v = it->second;
+        it = aliases.find(v);
+    }
+    return v;
+}
+
+} // namespace
+
+std::unique_ptr<CompiledFunction>
+compileTier2(const Function &fn, ManagedEngine &engine)
+{
+    auto compiled = std::make_unique<CompiledFunction>(&fn);
+
+    // --- Alias analysis (safe peephole; values stay identical) -----------
+    std::unordered_map<const Value *, const Value *> aliases;
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::zext &&
+                inst->operand(0)->type()->kind() == TypeKind::i1) {
+                aliases[inst.get()] = inst->operand(0);
+            } else if (inst->op() == Opcode::icmp &&
+                       inst->intPred() == IntPred::ne &&
+                       inst->operand(1)->valueKind() ==
+                           ValueKind::constantInt &&
+                       static_cast<const ConstantInt *>(
+                           inst->operand(1))->value() == 0) {
+                const Value *src = canonical(inst->operand(0), aliases);
+                bool src_bool = src->type()->kind() == TypeKind::i1 ||
+                    (src->valueKind() == ValueKind::instruction &&
+                     static_cast<const Instruction *>(src)->op() ==
+                         Opcode::icmp);
+                if (src_bool)
+                    aliases[inst.get()] = src;
+            }
+        }
+    }
+
+    auto makeOperand = [&](const Value *v) {
+        v = canonical(v, aliases);
+        POperand op;
+        switch (v->valueKind()) {
+          case ValueKind::argument:
+            op.isSlot = true;
+            op.slot = static_cast<int32_t>(
+                static_cast<const Argument *>(v)->index());
+            return op;
+          case ValueKind::instruction:
+            op.isSlot = true;
+            op.slot = static_cast<const Instruction *>(v)->slot();
+            return op;
+          case ValueKind::constantInt: {
+            const auto *c = static_cast<const ConstantInt *>(v);
+            op.constant = MValue::makeInt(c->value(),
+                                          c->type()->intBits());
+            return op;
+          }
+          case ValueKind::constantFP: {
+            const auto *c = static_cast<const ConstantFP *>(v);
+            op.constant = MValue::makeFP(
+                c->value(), c->type()->kind() == TypeKind::f32 ? 32 : 64);
+            return op;
+          }
+          case ValueKind::constantNull:
+            op.constant = MValue::makeAddr(Address{});
+            return op;
+          case ValueKind::global:
+            op.constant = MValue::makeAddr(engine.globals_->addressOf(
+                static_cast<const GlobalVariable *>(v)));
+            return op;
+          case ValueKind::function:
+            op.constant = MValue::makeAddr(engine.globals_->addressOf(
+                static_cast<const Function *>(v)));
+            return op;
+        }
+        throw InternalError("bad operand");
+    };
+
+    // --- Flatten blocks, fuse compare+branch -----------------------------
+    std::map<const BasicBlock *, int32_t> &block_start =
+        compiled->blockStart_;
+    std::vector<std::pair<size_t, const BasicBlock *>> fixups;
+    auto &code = compiled->code_;
+
+    for (const auto &bb : fn.blocks()) {
+        block_start[bb.get()] = static_cast<int32_t>(code.size());
+        const auto &insts = bb->insts();
+        for (size_t i = 0; i < insts.size(); i++) {
+            const Instruction &inst = *insts[i];
+            PInst pi;
+            pi.op = inst.op();
+            pi.src = &inst;
+            pi.dest = inst.slot();
+            if (inst.type()->isInteger())
+                pi.bits = static_cast<uint8_t>(inst.type()->intBits());
+            else if (inst.type()->kind() == TypeKind::f32)
+                pi.bits = 32;
+            else if (inst.type()->kind() == TypeKind::f64)
+                pi.bits = 64;
+
+            switch (inst.op()) {
+              case Opcode::br:
+                fixups.emplace_back(code.size(), inst.target(0));
+                code.push_back(pi);
+                break;
+              case Opcode::condbr:
+                pi.a = makeOperand(inst.operand(0));
+                fixups.emplace_back(code.size(), inst.target(0));
+                // t1 fixup shares the index; mark with the second target
+                // through a sentinel entry right after.
+                code.push_back(pi);
+                fixups.emplace_back(code.size() - 1, inst.target(1));
+                break;
+              case Opcode::ret:
+                if (inst.numOperands() == 1)
+                    pi.a = makeOperand(inst.operand(0));
+                else
+                    pi.dest = -2; // void-return marker
+                code.push_back(pi);
+                break;
+              case Opcode::icmp: {
+                pi.pred = static_cast<uint8_t>(inst.intPred());
+                pi.a = makeOperand(inst.operand(0));
+                pi.b = makeOperand(inst.operand(1));
+                // Fuse with a directly following condbr on this result.
+                if (i + 1 < insts.size() &&
+                    insts[i + 1]->op() == Opcode::condbr &&
+                    canonical(insts[i + 1]->operand(0), aliases) == &inst) {
+                    pi.fusedCmpBr = true;
+                    fixups.emplace_back(code.size(),
+                                        insts[i + 1]->target(0));
+                    code.push_back(pi);
+                    fixups.emplace_back(code.size() - 1,
+                                        insts[i + 1]->target(1));
+                    i++; // skip the condbr
+                    break;
+                }
+                code.push_back(pi);
+                break;
+              }
+              case Opcode::fcmp:
+                pi.pred = static_cast<uint8_t>(inst.floatPred());
+                pi.a = makeOperand(inst.operand(0));
+                pi.b = makeOperand(inst.operand(1));
+                code.push_back(pi);
+                break;
+              case Opcode::gep:
+                pi.a = makeOperand(inst.operand(0));
+                if (inst.numOperands() > 1)
+                    pi.b = makeOperand(inst.operand(1));
+                else
+                    pi.b.slot = -1;
+                pi.gepOff = inst.gepConstOffset();
+                pi.gepScale = inst.gepScale();
+                code.push_back(pi);
+                break;
+              case Opcode::load:
+                pi.a = makeOperand(inst.operand(0));
+                code.push_back(pi);
+                break;
+              case Opcode::store:
+                pi.a = makeOperand(inst.operand(0));
+                pi.b = makeOperand(inst.operand(1));
+                code.push_back(pi);
+                break;
+              case Opcode::select:
+                pi.a = makeOperand(inst.operand(0));
+                code.push_back(pi);
+                break;
+              default:
+                if (inst.numOperands() >= 1 && inst.op() != Opcode::call)
+                    pi.a = makeOperand(inst.operand(0));
+                if (inst.numOperands() >= 2 && inst.op() != Opcode::call)
+                    pi.b = makeOperand(inst.operand(1));
+                code.push_back(pi);
+                break;
+            }
+        }
+    }
+
+    // Apply branch fixups: for condbr/fused entries the first fixup sets
+    // t0 and the second (same index) sets t1.
+    std::map<size_t, int> seen;
+    for (const auto &[index, target] : fixups) {
+        int n = seen[index]++;
+        if (n == 0)
+            code[index].t0 = block_start.at(target);
+        else
+            code[index].t1 = block_start.at(target);
+    }
+
+    return compiled;
+}
+
+MValue
+CompiledFunction::execute(ManagedEngine &engine,
+                          ManagedEngine::Frame &frame, size_t start_pc)
+{
+    auto &slots = frame.slots;
+    auto fetch = [&](const POperand &op) -> const MValue & {
+        return op.isSlot ? slots[static_cast<size_t>(op.slot)]
+                         : op.constant;
+    };
+
+    size_t pc = start_pc;
+    while (true) {
+        const PInst &pi = code_[pc];
+        engine.step();
+        switch (pi.op) {
+          case Opcode::br:
+            pc = static_cast<size_t>(pi.t0);
+            continue;
+          case Opcode::condbr:
+            pc = static_cast<size_t>(fetch(pi.a).i != 0 ? pi.t0 : pi.t1);
+            continue;
+          case Opcode::ret:
+            if (pi.dest == -2)
+                return MValue{};
+            return fetch(pi.a);
+          case Opcode::icmp: {
+            bool out = ManagedEngine::evalICmp(
+                static_cast<IntPred>(pi.pred), fetch(pi.a), fetch(pi.b));
+            if (pi.dest >= 0) {
+                slots[static_cast<size_t>(pi.dest)] =
+                    MValue::makeInt(out ? 1 : 0, 1);
+            }
+            if (pi.fusedCmpBr) {
+                pc = static_cast<size_t>(out ? pi.t0 : pi.t1);
+                continue;
+            }
+            pc++;
+            continue;
+          }
+          case Opcode::fcmp: {
+            bool out = ManagedEngine::evalFCmp(
+                static_cast<FloatPred>(pi.pred), fetch(pi.a), fetch(pi.b));
+            slots[static_cast<size_t>(pi.dest)] =
+                MValue::makeInt(out ? 1 : 0, 1);
+            pc++;
+            continue;
+          }
+          case Opcode::add: case Opcode::sub: case Opcode::mul:
+          case Opcode::sdiv: case Opcode::udiv: case Opcode::srem:
+          case Opcode::urem: case Opcode::and_: case Opcode::or_:
+          case Opcode::xor_: case Opcode::shl: case Opcode::lshr:
+          case Opcode::ashr: {
+            int64_t out = ManagedEngine::evalIntBinOp(
+                pi.op, fetch(pi.a), fetch(pi.b), pi.bits);
+            slots[static_cast<size_t>(pi.dest)] =
+                MValue::makeInt(out, pi.bits);
+            pc++;
+            continue;
+          }
+          case Opcode::fadd: case Opcode::fsub: case Opcode::fmul:
+          case Opcode::fdiv: case Opcode::frem: {
+            double out = ManagedEngine::evalFloatBinOp(
+                pi.op, fetch(pi.a), fetch(pi.b), pi.bits);
+            slots[static_cast<size_t>(pi.dest)] =
+                MValue::makeFP(out, pi.bits);
+            pc++;
+            continue;
+          }
+          case Opcode::gep: {
+            const MValue &base = fetch(pi.a);
+            int64_t offset = pi.gepOff;
+            if (pi.b.isSlot || pi.gepScale != 0) {
+                offset += fetch(pi.b).i *
+                    static_cast<int64_t>(pi.gepScale);
+            }
+            slots[static_cast<size_t>(pi.dest)] =
+                MValue::makeAddr(base.a.withOffset(offset));
+            pc++;
+            continue;
+          }
+          case Opcode::load:
+            slots[static_cast<size_t>(pi.dest)] = engine.loadFrom(
+                fetch(pi.a).a, pi.src->accessType(), pi.src->loc());
+            pc++;
+            continue;
+          case Opcode::store:
+            engine.storeTo(fetch(pi.b).a, pi.src->accessType(),
+                           fetch(pi.a), pi.src->loc());
+            pc++;
+            continue;
+          case Opcode::trunc:
+          case Opcode::sext:
+            slots[static_cast<size_t>(pi.dest)] =
+                MValue::makeInt(fetch(pi.a).i, pi.bits);
+            pc++;
+            continue;
+          case Opcode::zext:
+            slots[static_cast<size_t>(pi.dest)] = MValue::makeInt(
+                static_cast<int64_t>(fetch(pi.a).zext()), pi.bits);
+            pc++;
+            continue;
+          case Opcode::unreachable_:
+            throw EngineError("reached 'unreachable' in " + fn_->name());
+          default: {
+            // Calls, allocas, rare casts: share the interpreter path so
+            // semantics (mementos, varargs, pinning) stay identical.
+            MValue v = engine.execInstruction(*pi.src, frame);
+            if (pi.src->slot() >= 0)
+                slots[static_cast<size_t>(pi.src->slot())] = std::move(v);
+            pc++;
+            continue;
+          }
+        }
+    }
+}
+
+} // namespace sulong

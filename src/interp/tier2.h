@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tier-2 execution: the stand-in for Graal's dynamic compilation.
+ *
+ * When a function gets hot, it is "compiled": its blocks are flattened
+ * into a pre-decoded instruction array with resolved operand descriptors
+ * (slot index or pre-built constant MValue, globals resolved to managed
+ * Addresses), direct branch-target indices, and safe peephole fusions
+ * (compare+branch fusion, boolean-widening alias elimination). All
+ * checks of the managed object model remain in place: like Graal, this
+ * tier optimizes under safe semantics and can never optimize a bug away
+ * (paper Sections 3.1/3.4).
+ */
+
+#ifndef MS_INTERP_TIER2_H
+#define MS_INTERP_TIER2_H
+
+#include "interp/managed_engine.h"
+
+namespace sulong
+{
+
+/** One pre-decoded operand: a frame slot or a ready-made constant. */
+struct POperand
+{
+    bool isSlot = false;
+    int32_t slot = 0;
+    MValue constant;
+};
+
+/** One pre-decoded instruction. */
+struct PInst
+{
+    Opcode op = Opcode::unreachable_;
+    /// Fused icmp+condbr (targets in t0/t1, predicate in pred).
+    bool fusedCmpBr = false;
+    uint8_t bits = 32;
+    uint8_t pred = 0;
+    int32_t dest = -1;
+    int32_t t0 = 0;
+    int32_t t1 = 0;
+    int64_t gepOff = 0;
+    uint64_t gepScale = 0;
+    POperand a;
+    POperand b;
+    /// Original instruction (loc, access type, call site, fallback).
+    const Instruction *src = nullptr;
+};
+
+/**
+ * A tier-2 compiled function body.
+ */
+class CompiledFunction
+{
+  public:
+    explicit CompiledFunction(const Function *fn) : fn_(fn) {}
+
+    /**
+     * Execute on the given frame (same semantics as the interpreter).
+     * @param start_pc  pre-decoded index to begin at — block entries
+     *                  only; used by on-stack replacement to enter
+     *                  mid-function with the interpreter's live frame.
+     */
+    MValue execute(ManagedEngine &engine, ManagedEngine::Frame &frame,
+                   size_t start_pc = 0);
+
+    size_t codeSize() const { return code_.size(); }
+
+    /** Pre-decoded entry index of a basic block (for OSR). */
+    size_t
+    entryFor(const BasicBlock *bb) const
+    {
+        return static_cast<size_t>(blockStart_.at(bb));
+    }
+
+  private:
+    friend std::unique_ptr<CompiledFunction>
+    compileTier2(const Function &fn, ManagedEngine &engine);
+
+    const Function *fn_;
+    std::vector<PInst> code_;
+    std::map<const BasicBlock *, int32_t> blockStart_;
+};
+
+/** Pre-decode @p fn (resolving globals through the engine's state). */
+std::unique_ptr<CompiledFunction> compileTier2(const Function &fn,
+                                               ManagedEngine &engine);
+
+} // namespace sulong
+
+#endif // MS_INTERP_TIER2_H

@@ -1,0 +1,159 @@
+#include "ir/builder.h"
+
+namespace sulong
+{
+
+Instruction *
+IRBuilder::insert(std::unique_ptr<Instruction> inst)
+{
+    if (block_ == nullptr)
+        throw InternalError("IRBuilder has no insertion block");
+    inst->setLoc(loc_);
+    return block_->append(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createAlloca(const Type *allocated, std::string name)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::alloca_, types().ptr());
+    inst->setAccessType(allocated);
+    inst->setName(std::move(name));
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createLoad(const Type *type, Value *ptr)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::load, type);
+    inst->setAccessType(type);
+    inst->addOperand(ptr);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createStore(Value *value, Value *ptr)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::store,
+                                              types().voidTy());
+    inst->setAccessType(value->type());
+    inst->addOperand(value);
+    inst->addOperand(ptr);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createGep(Value *ptr, int64_t const_offset, Value *index,
+                     uint64_t scale)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::gep, types().ptr());
+    inst->addOperand(ptr);
+    if (index != nullptr)
+        inst->addOperand(index);
+    inst->setGep(const_offset, index != nullptr ? scale : 0);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBinOp(Opcode op, Value *lhs, Value *rhs)
+{
+    auto inst = std::make_unique<Instruction>(op, lhs->type());
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createFNeg(Value *v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::fneg, v->type());
+    inst->addOperand(v);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createICmp(IntPred pred, Value *lhs, Value *rhs)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::icmp, types().i1());
+    inst->setIntPred(pred);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createFCmp(FloatPred pred, Value *lhs, Value *rhs)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::fcmp, types().i1());
+    inst->setFloatPred(pred);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCast(Opcode op, Value *v, const Type *to)
+{
+    auto inst = std::make_unique<Instruction>(op, to);
+    inst->addOperand(v);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createSelect(Value *cond, Value *then_v, Value *else_v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::select,
+                                              then_v->type());
+    inst->addOperand(cond);
+    inst->addOperand(then_v);
+    inst->addOperand(else_v);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCall(Value *callee, const Type *ret_type,
+                      const std::vector<Value *> &args)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::call, ret_type);
+    inst->addOperand(callee);
+    for (Value *arg : args)
+        inst->addOperand(arg);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createBr(BasicBlock *target)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::br, types().voidTy());
+    inst->setTargets(target);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createCondBr(Value *cond, BasicBlock *then_bb,
+                        BasicBlock *else_bb)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::condbr,
+                                              types().voidTy());
+    inst->addOperand(cond);
+    inst->setTargets(then_bb, else_bb);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createRet(Value *value)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::ret, types().voidTy());
+    if (value != nullptr)
+        inst->addOperand(value);
+    return insert(std::move(inst));
+}
+
+Instruction *
+IRBuilder::createUnreachable()
+{
+    auto inst = std::make_unique<Instruction>(Opcode::unreachable_,
+                                              types().voidTy());
+    return insert(std::move(inst));
+}
+
+} // namespace sulong

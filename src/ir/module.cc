@@ -1,0 +1,129 @@
+#include "ir/module.h"
+
+namespace sulong
+{
+
+void
+Function::removeBlocksIf(const std::vector<bool> &dead)
+{
+    std::vector<std::unique_ptr<BasicBlock>> kept;
+    for (size_t i = 0; i < blocks_.size(); i++) {
+        if (i < dead.size() && dead[i])
+            continue;
+        kept.push_back(std::move(blocks_[i]));
+    }
+    blocks_ = std::move(kept);
+    for (unsigned i = 0; i < blocks_.size(); i++)
+        blocks_[i]->setIndex(i);
+}
+
+void
+Function::numberSlots()
+{
+    int next = static_cast<int>(args_.size());
+    for (auto &bb : blocks_) {
+        for (auto &inst : bb->insts()) {
+            if (inst->producesValue())
+                inst->setSlot(next++);
+            else
+                inst->setSlot(-1);
+        }
+    }
+    numSlots_ = static_cast<unsigned>(next);
+}
+
+ConstantInt *
+Module::constInt(const Type *type, int64_t value)
+{
+    // Normalize to the type's width (sign-extended canonical form).
+    unsigned bits = type->intBits();
+    if (bits < 64) {
+        uint64_t mask = (1ull << bits) - 1;
+        uint64_t raw = static_cast<uint64_t>(value) & mask;
+        // sign extend
+        if (raw & (1ull << (bits - 1)))
+            raw |= ~mask;
+        value = static_cast<int64_t>(raw);
+    }
+    auto key = std::make_pair(type, value);
+    auto it = intConstants_.find(key);
+    if (it != intConstants_.end())
+        return it->second.get();
+    auto c = std::make_unique<ConstantInt>(type, value);
+    ConstantInt *raw = c.get();
+    intConstants_[key] = std::move(c);
+    return raw;
+}
+
+ConstantFP *
+Module::constFP(const Type *type, double value)
+{
+    auto key = std::make_pair(type, value);
+    auto it = fpConstants_.find(key);
+    if (it != fpConstants_.end())
+        return it->second.get();
+    auto c = std::make_unique<ConstantFP>(type, value);
+    ConstantFP *raw = c.get();
+    fpConstants_[key] = std::move(c);
+    return raw;
+}
+
+ConstantNull *
+Module::constNull()
+{
+    if (!nullConstant_)
+        nullConstant_ = std::make_unique<ConstantNull>(types_.ptr());
+    return nullConstant_.get();
+}
+
+GlobalVariable *
+Module::addGlobal(const Type *value_type, std::string name, Initializer init,
+                  bool is_const)
+{
+    if (name.empty())
+        name = ".anon" + std::to_string(anonGlobalCount_++);
+    auto g = std::make_unique<GlobalVariable>(
+        types_.ptr(), value_type, std::move(name), std::move(init), is_const);
+    GlobalVariable *raw = g.get();
+    globals_.push_back(std::move(g));
+    globalsByName_[raw->name()] = raw;
+    return raw;
+}
+
+GlobalVariable *
+Module::findGlobal(const std::string &name) const
+{
+    auto it = globalsByName_.find(name);
+    return it == globalsByName_.end() ? nullptr : it->second;
+}
+
+Function *
+Module::addFunction(const Type *fn_type, std::string name)
+{
+    auto f = std::make_unique<Function>(types_.ptr(), fn_type,
+                                        std::move(name));
+    Function *raw = f.get();
+    raw->setParent(this);
+    raw->setId(static_cast<unsigned>(functions_.size()));
+    functions_.push_back(std::move(f));
+    functionsByName_[raw->name()] = raw;
+    return raw;
+}
+
+Function *
+Module::findFunction(const std::string &name) const
+{
+    auto it = functionsByName_.find(name);
+    return it == functionsByName_.end() ? nullptr : it->second;
+}
+
+void
+Module::finalize()
+{
+    for (auto &f : functions_) {
+        if (!f->isDeclaration())
+            f->numberSlots();
+    }
+}
+
+} // namespace sulong

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Parser for the textual IR syntax emitted by ir/printer.h.
+ *
+ * Enables writing IR by hand in tests and round-tripping modules through
+ * text (print -> parse -> print is idempotent). Supports the scalar,
+ * pointer, and array subset of the syntax; named struct types cannot be
+ * reconstructed from their printed name alone and are rejected.
+ */
+
+#ifndef MS_IR_PARSER_H
+#define MS_IR_PARSER_H
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/** Result of parsing: a module or an error description. */
+struct IRParseResult
+{
+    std::unique_ptr<Module> module; ///< null on failure
+    std::string error;              ///< "line N: message" on failure
+
+    bool ok() const { return module != nullptr; }
+};
+
+/** Parse a whole module from the printer's textual format. */
+IRParseResult parseIRModule(const std::string &text);
+
+} // namespace sulong
+
+#endif // MS_IR_PARSER_H

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Textual dump of IR modules in an LLVM-flavoured syntax, for debugging,
+ * golden tests, and inspecting what the optimizer did to a bug.
+ */
+
+#ifndef MS_IR_PRINTER_H
+#define MS_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/** Print one function. */
+std::string printFunction(const Function &fn);
+
+/** Print the whole module (globals then function definitions). */
+std::string printModule(const Module &module);
+
+/** Print a single instruction (operands by name/slot). */
+std::string printInstruction(const Instruction &inst);
+
+} // namespace sulong
+
+#endif // MS_IR_PRINTER_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Exceptions used inside the managed engine.
+ *
+ * In the paper, the JVM's automatic checks raise Java exceptions
+ * (ArrayIndexOutOfBoundsException, NullPointerException,
+ * ClassCastException) that Safe Sulong surfaces as bug reports. Here the
+ * checks are explicit and raise MemoryErrorException, which the engine
+ * boundary converts into a structured ExecutionResult. Guest exit()
+ * unwinds with GuestExit.
+ */
+
+#ifndef MS_MANAGED_ERRORS_H
+#define MS_MANAGED_ERRORS_H
+
+#include "support/error.h"
+
+namespace sulong
+{
+
+/** Raised by managed-object checks when a guest memory error is found. */
+class MemoryErrorException
+{
+  public:
+    explicit MemoryErrorException(BugReport report)
+        : report_(std::move(report))
+    {}
+
+    const BugReport &report() const { return report_; }
+    BugReport &report() { return report_; }
+
+  private:
+    BugReport report_;
+};
+
+/** Raised when the guest calls exit() (or main returns). */
+class GuestExit
+{
+  public:
+    explicit GuestExit(int code) : code_(code) {}
+    int code() const { return code_; }
+
+  private:
+    int code_;
+};
+
+/** Raised when an engine cannot continue (unsupported feature etc.). */
+class EngineError
+{
+  public:
+    explicit EngineError(std::string message)
+        : message_(std::move(message))
+    {}
+    const std::string &message() const { return message_; }
+
+  private:
+    std::string message_;
+};
+
+} // namespace sulong
+
+#endif // MS_MANAGED_ERRORS_H

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Factory shared by stack allocation, globals, and struct fields.
+ */
+
+#ifndef MS_MANAGED_FACTORY_H
+#define MS_MANAGED_FACTORY_H
+
+#include "managed/object.h"
+
+namespace sulong
+{
+
+/**
+ * Create the managed representation of one C object of IR type @p type
+ * with the given storage class. Scalars become single-element primitive
+ * arrays; arrays map to typed arrays; structs to StructObject.
+ */
+ObjRef createManagedObject(StorageKind storage, const Type *type);
+
+} // namespace sulong
+
+#endif // MS_MANAGED_FACTORY_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Global (static) objects of the managed engine, plus the argv/envp
+ * region that exists before main() runs (the uninstrumented area ASan
+ * and Valgrind miss, paper Fig. 10).
+ */
+
+#ifndef MS_MANAGED_GLOBALS_H
+#define MS_MANAGED_GLOBALS_H
+
+#include <map>
+
+#include "ir/module.h"
+#include "managed/factory.h"
+
+namespace sulong
+{
+
+/**
+ * Materializes every GlobalVariable of a module as a managed object at
+ * program start (the paper: "For global objects, the parser allocates
+ * objects at the start of the program") and interns FunctionObjects for
+ * function pointers.
+ */
+class GlobalStore
+{
+  public:
+    explicit GlobalStore(const Module &module);
+
+    /** Managed object of a global variable. */
+    Address addressOf(const GlobalVariable *g) const;
+
+    /** Function-pointer Address for a function. */
+    Address addressOf(const Function *fn) const;
+
+    /** FunctionObject lookup when dereferencing function pointers. */
+    const FunctionObject *functionObject(unsigned id) const;
+
+    /**
+     * Build the argv array (argv[argc] == NULL) and the envp array from
+     * host-provided strings; both live in StorageKind::mainArgs.
+     */
+    Address makeStringArray(const std::vector<std::string> &strings);
+
+  private:
+    void applyInit(ManagedObject *obj, const Type *type, int64_t offset,
+                   const Initializer &init);
+
+    std::map<const GlobalVariable *, ObjRef> globals_;
+    std::map<unsigned, ObjRef> functions_;
+};
+
+} // namespace sulong
+
+#endif // MS_MANAGED_GLOBALS_H

@@ -1,0 +1,306 @@
+#include "managed/heap.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+/** Allocate a typed heap array for @p size bytes of element type @p elem.
+ *  Falls back to a byte array when the size is not a whole multiple. */
+ObjRef
+allocTyped(const Type *elem, int64_t size)
+{
+    uint64_t elem_size = elem->size();
+    if (elem_size == 0 || size < 0)
+        return ObjRef(new I8Array(StorageKind::heap,
+                                  static_cast<size_t>(std::max<int64_t>(size, 0))));
+    if (static_cast<uint64_t>(size) % elem_size != 0) {
+        return ObjRef(new I8Array(StorageKind::heap,
+                                  static_cast<size_t>(size)));
+    }
+    size_t count = static_cast<size_t>(size) / elem_size;
+    switch (elem->kind()) {
+      case TypeKind::i1:
+      case TypeKind::i8:
+        return ObjRef(new I8Array(StorageKind::heap, count));
+      case TypeKind::i16:
+        return ObjRef(new I16Array(StorageKind::heap, count));
+      case TypeKind::i32:
+        return ObjRef(new I32Array(StorageKind::heap, count));
+      case TypeKind::i64:
+        return ObjRef(new I64Array(StorageKind::heap, count));
+      case TypeKind::f32:
+        return ObjRef(new F32Array(StorageKind::heap, count));
+      case TypeKind::f64:
+        return ObjRef(new F64Array(StorageKind::heap, count));
+      case TypeKind::ptr:
+        return ObjRef(new AddressArray(StorageKind::heap, count));
+      case TypeKind::structTy: {
+        if (count == 1)
+            return ObjRef(new StructObject(StorageKind::heap, elem));
+        // Array-of-structs needs an interned array type; handled by the
+        // caller, which owns a TypeContext.
+        return ObjRef();
+      }
+      case TypeKind::array:
+        return ObjRef();
+      default:
+        return ObjRef(new I8Array(StorageKind::heap,
+                                  static_cast<size_t>(size)));
+    }
+}
+
+} // namespace
+
+void
+LazyHeapObject::materialize(AccessClass cls, unsigned size)
+{
+    const Type *elem = nullptr;
+    static TypeContext shapes; // only primitive shapes are needed here
+    switch (cls) {
+      case AccessClass::pointer:
+        elem = shapes.ptr();
+        break;
+      case AccessClass::floating:
+        elem = size == 4 ? shapes.f32() : shapes.f64();
+        break;
+      case AccessClass::integer:
+        elem = shapes.intType(size * 8);
+        break;
+    }
+    if (static_cast<uint64_t>(size_) % elem->size() != 0)
+        elem = shapes.i8();
+    inner_ = allocTyped(elem, size_);
+    if (zeroed_)
+        inner_->markAllInitialized();
+    if (mementoSlot_ != nullptr)
+        *mementoSlot_ = elem;
+}
+
+void
+LazyHeapObject::read(AccessClass cls, unsigned size, int64_t offset,
+                     uint64_t &out_int, Address &out_addr)
+{
+    if (freed_)
+        raiseUseAfterFree(false);
+    if (!inner_)
+        materialize(cls, size);
+    inner_->read(cls, size, offset, out_int, out_addr);
+}
+
+void
+LazyHeapObject::write(AccessClass cls, unsigned size, int64_t offset,
+                      uint64_t bits, const Address &addr)
+{
+    if (freed_)
+        raiseUseAfterFree(true);
+    if (!inner_)
+        materialize(cls, size);
+    inner_->write(cls, size, offset, bits, addr);
+}
+
+void
+LazyHeapObject::free()
+{
+    if (inner_)
+        inner_->free();
+    freed_ = true;
+}
+
+void
+ManagedHeap::trackAlloc(const Address &addr, int64_t size)
+{
+    live_[addr.pointee.get()] = size;
+}
+
+ManagedHeap::LeakInfo
+ManagedHeap::liveLeaks() const
+{
+    LeakInfo info;
+    for (const auto &[obj, size] : live_) {
+        info.blocks++;
+        info.bytes += size;
+    }
+    return info;
+}
+
+Address
+ManagedHeap::allocate(int64_t size, const Type *elem_hint,
+                      const Type **memento_slot)
+{
+    allocationCount_++;
+    liveBytes_ += size;
+    if (elem_hint != nullptr) {
+        ObjRef obj = allocTyped(elem_hint, size);
+        if (!obj) {
+            // Aggregate element type: build an interned [count x elem].
+            uint64_t count = elem_hint->size() == 0
+                ? 0 : static_cast<uint64_t>(size) / elem_hint->size();
+            const Type *arr = types_.arrayType(elem_hint, count);
+            obj = ObjRef(new AggregateArray(StorageKind::heap, arr));
+        }
+        if (memento_slot != nullptr)
+            *memento_slot = elem_hint;
+        Address addr{obj, 0};
+        trackAlloc(addr, size);
+        return addr;
+    }
+    Address addr{ObjRef(new LazyHeapObject(size, memento_slot)), 0};
+    trackAlloc(addr, size);
+    return addr;
+}
+
+Address
+ManagedHeap::allocateZeroed(int64_t size, const Type *elem_hint,
+                            const Type **memento_slot)
+{
+    Address addr = allocate(size, elem_hint, memento_slot);
+    // calloc memory is zero AND counts as written for uninitialized-read
+    // tracking.
+    addr.pointee->markAllInitialized();
+    return addr;
+}
+
+Address
+ManagedHeap::reallocate(const Address &old, int64_t new_size,
+                        const Type **memento_slot)
+{
+    if (old.isNull())
+        return allocate(new_size, nullptr, memento_slot);
+
+    ManagedObject *obj = old.pointee.get();
+    if (!obj->isHeap() || old.offset != 0) {
+        BugReport report;
+        report.kind = ErrorKind::invalidFree;
+        report.access = AccessKind::free;
+        report.storage = obj->storage();
+        report.detail = "realloc() of " + obj->describe() +
+            (old.offset != 0 ? " at non-zero offset " +
+             std::to_string(old.offset) : "");
+        throw MemoryErrorException(std::move(report));
+    }
+    if (obj->isFreed()) {
+        BugReport report;
+        report.kind = ErrorKind::useAfterFree;
+        report.access = AccessKind::free;
+        report.storage = StorageKind::heap;
+        report.detail = "realloc() of already freed " + obj->describe();
+        throw MemoryErrorException(std::move(report));
+    }
+
+    // Find the payload (unwrap lazy heap objects).
+    ManagedObject *payload = obj;
+    if (auto *lazy = dynamic_cast<LazyHeapObject *>(obj)) {
+        if (lazy->inner() == nullptr) {
+            // Never accessed: a fresh untyped allocation suffices.
+            Address fresh = allocate(new_size, nullptr, memento_slot);
+            deallocate(old);
+            return fresh;
+        }
+        payload = lazy->inner();
+    }
+
+    int64_t old_size = payload->byteSize();
+    int64_t copy = std::min(old_size, new_size);
+    Address fresh;
+
+    // The copy below reads bytes the program may never have written;
+    // realloc itself is not a "use", so suspend uninit tracking and mark
+    // the copied region conservatively initialized.
+    UninitTrackingScope no_tracking(false);
+    auto copyPrimitive = [&](auto *typed_old, const Type *elem) {
+        fresh = allocate(new_size, elem, memento_slot);
+        // Byte-wise copy through the checked interface would trip the
+        // pointer rules; primitives copy raw.
+        for (int64_t off = 0; off + 1 <= copy; off++) {
+            uint64_t bits = 0;
+            Address dummy;
+            typed_old->read(AccessClass::integer, 1, off, bits, dummy);
+            fresh.pointee->write(AccessClass::integer, 1, off, bits, dummy);
+        }
+    };
+
+    static TypeContext shapes;
+    switch (payload->kind()) {
+      case ObjectKind::i8Array:
+        copyPrimitive(static_cast<I8Array *>(payload), shapes.i8());
+        break;
+      case ObjectKind::i16Array:
+        copyPrimitive(static_cast<I16Array *>(payload), shapes.i16());
+        break;
+      case ObjectKind::i32Array:
+        copyPrimitive(static_cast<I32Array *>(payload), shapes.i32());
+        break;
+      case ObjectKind::i64Array:
+        copyPrimitive(static_cast<I64Array *>(payload), shapes.i64());
+        break;
+      case ObjectKind::f32Array:
+        copyPrimitive(static_cast<F32Array *>(payload), shapes.f32());
+        break;
+      case ObjectKind::f64Array:
+        copyPrimitive(static_cast<F64Array *>(payload), shapes.f64());
+        break;
+      case ObjectKind::addressArray: {
+        fresh = allocate(new_size, shapes.ptr(), memento_slot);
+        auto *old_arr = static_cast<AddressArray *>(payload);
+        auto *new_arr = static_cast<AddressArray *>(fresh.pointee.get());
+        size_t n = std::min<size_t>(old_arr->length(), new_arr->length());
+        for (size_t i = 0; i < n; i++)
+            new_arr->at(i) = old_arr->at(i);
+        break;
+      }
+      default:
+        throw EngineError("realloc of aggregate heap objects is not "
+                          "supported");
+    }
+    if (!fresh.isNull())
+        fresh.pointee->markAllInitialized();
+    deallocate(old);
+    return fresh;
+}
+
+void
+ManagedHeap::deallocate(const Address &ptr)
+{
+    if (ptr.isNull())
+        return; // free(NULL) is a no-op
+    ManagedObject *obj = ptr.pointee.get();
+    // Paper Fig. 8: the cast to HeapObject checks the storage class...
+    if (!obj->isHeap()) {
+        BugReport report;
+        report.kind = ErrorKind::invalidFree;
+        report.access = AccessKind::free;
+        report.storage = obj->storage();
+        report.detail = "free() of " +
+            std::string(storageKindName(obj->storage())) + " object " +
+            obj->describe() +
+            (obj->name().empty() ? "" : " '" + obj->name() + "'");
+        throw MemoryErrorException(std::move(report));
+    }
+    // ...the offset must be zero...
+    if (ptr.offset != 0) {
+        BugReport report;
+        report.kind = ErrorKind::invalidFree;
+        report.access = AccessKind::free;
+        report.storage = StorageKind::heap;
+        report.offset = ptr.offset;
+        report.detail = "free() of interior pointer (offset " +
+            std::to_string(ptr.offset) + ") into " + obj->describe();
+        throw MemoryErrorException(std::move(report));
+    }
+    // ...and freeing twice is reported.
+    if (obj->isFreed()) {
+        BugReport report;
+        report.kind = ErrorKind::doubleFree;
+        report.access = AccessKind::free;
+        report.storage = StorageKind::heap;
+        report.detail = "double free of " + obj->describe();
+        throw MemoryErrorException(std::move(report));
+    }
+    liveBytes_ -= obj->byteSize();
+    live_.erase(obj);
+    obj->free();
+}
+
+} // namespace sulong

@@ -1,0 +1,683 @@
+/**
+ * @file
+ * The managed object model — the paper's core contribution (Section 3.2).
+ *
+ * C objects are represented as typed managed objects instead of raw
+ * memory. Pointers are Address values holding a reference to their
+ * pointee plus a byte offset (Fig. 5/6). Every load, store, and free goes
+ * through checked accessors that raise MemoryErrorException for
+ * out-of-bounds accesses, use-after-free, double free, invalid free and
+ * NULL dereferences — the execution environment cannot forget a check.
+ *
+ * Type safety is relaxed as in the paper: same-size reinterpreting
+ * accesses (double bits in a long array) and byte-granular accesses into
+ * wider primitive arrays are permitted; anything that would conjure or
+ * corrupt a pointer out of raw bits is a type error.
+ *
+ * Lifetimes use non-atomic intrusive reference counting, standing in for
+ * the JVM's garbage collector: a dangling pointer to a returned-from
+ * frame keeps its object alive (and readable) exactly like in Java.
+ */
+
+#ifndef MS_MANAGED_OBJECT_H
+#define MS_MANAGED_OBJECT_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "managed/errors.h"
+#include "support/error.h"
+
+namespace sulong
+{
+
+class ManagedObject;
+
+/**
+ * Non-atomic intrusive reference-counted handle to a ManagedObject.
+ */
+class ObjRef
+{
+  public:
+    ObjRef() = default;
+    ObjRef(ManagedObject *obj); // NOLINT: implicit by design
+    ObjRef(const ObjRef &other);
+    ObjRef(ObjRef &&other) noexcept : obj_(other.obj_)
+    {
+        other.obj_ = nullptr;
+    }
+    ObjRef &operator=(const ObjRef &other);
+    ObjRef &operator=(ObjRef &&other) noexcept;
+    ~ObjRef();
+
+    ManagedObject *get() const { return obj_; }
+    ManagedObject *operator->() const { return obj_; }
+    ManagedObject &operator*() const { return *obj_; }
+    explicit operator bool() const { return obj_ != nullptr; }
+    bool operator==(const ObjRef &other) const { return obj_ == other.obj_; }
+
+  private:
+    ManagedObject *obj_ = nullptr;
+};
+
+/**
+ * A C pointer: managed pointee + byte offset (paper Fig. 5).
+ */
+struct Address
+{
+    ObjRef pointee;
+    int64_t offset = 0;
+
+    Address() = default;
+    Address(ObjRef obj, int64_t off) : pointee(std::move(obj)), offset(off) {}
+
+    bool isNull() const { return !pointee; }
+
+    Address
+    withOffset(int64_t delta) const
+    {
+        return Address{pointee, offset + delta};
+    }
+
+    bool
+    operator==(const Address &other) const
+    {
+        return pointee == other.pointee && offset == other.offset;
+    }
+};
+
+/** Discriminator for ManagedObject. */
+enum class ObjectKind : uint8_t
+{
+    i8Array,
+    i16Array,
+    i32Array,
+    i64Array,
+    f32Array,
+    f64Array,
+    addressArray,
+    structObject,
+    arrayOfAggregates,
+    functionObject,
+    varargsObject,
+};
+
+/** The scalar classes a checked access can move. */
+enum class AccessClass : uint8_t
+{
+    integer,
+    floating,
+    pointer,
+};
+
+/**
+ * Ablation switch for the relaxed type rules of Section 3.2: with strict
+ * rules, every access must match the element type exactly (class, size,
+ * alignment), which breaks many real-world programs but models the
+ * "strict type safety" end of the paper's trade-off discussion.
+ */
+bool strictTypeRules();
+void setStrictTypeRules(bool strict);
+
+/**
+ * Opt-in exact uninitialized-read detection (the paper's Section 6 /
+ * footnote 3 future work): stack and heap objects track per-byte
+ * initialization and report the first read of a never-written byte —
+ * exactly, at the faulting load, unlike Memcheck's use-site heuristics.
+ */
+bool uninitTracking();
+void setUninitTracking(bool enabled);
+
+/** RAII guard for uninitialized-read tracking. */
+class UninitTrackingScope
+{
+  public:
+    explicit UninitTrackingScope(bool enabled)
+        : previous_(uninitTracking())
+    {
+        setUninitTracking(enabled);
+    }
+    ~UninitTrackingScope() { setUninitTracking(previous_); }
+    UninitTrackingScope(const UninitTrackingScope &) = delete;
+    UninitTrackingScope &operator=(const UninitTrackingScope &) = delete;
+
+  private:
+    bool previous_;
+};
+
+/** RAII guard for strict mode. */
+class StrictTypeRulesScope
+{
+  public:
+    explicit StrictTypeRulesScope(bool strict)
+        : previous_(strictTypeRules())
+    {
+        setStrictTypeRules(strict);
+    }
+    ~StrictTypeRulesScope() { setStrictTypeRules(previous_); }
+    StrictTypeRulesScope(const StrictTypeRulesScope &) = delete;
+    StrictTypeRulesScope &operator=(const StrictTypeRulesScope &) = delete;
+
+  private:
+    bool previous_;
+};
+
+/**
+ * Base class of all managed objects.
+ */
+class ManagedObject
+{
+  public:
+    virtual ~ManagedObject() = default;
+
+    ObjectKind kind() const { return kind_; }
+    StorageKind storage() const { return storage_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Object size in bytes (0 after free). */
+    virtual int64_t byteSize() const = 0;
+
+    /**
+     * Checked scalar read of @p size bytes at @p offset.
+     * @param cls      whether an integer, float, or pointer is read
+     * @param size     access size in bytes (1, 2, 4, or 8)
+     * @param offset   byte offset within this object
+     * @param out_int  receives integer/float bits
+     * @param out_addr receives the pointer for pointer reads
+     */
+    virtual void read(AccessClass cls, unsigned size, int64_t offset,
+                      uint64_t &out_int, Address &out_addr) = 0;
+
+    /** Checked scalar write; mirror of read(). */
+    virtual void write(AccessClass cls, unsigned size, int64_t offset,
+                       uint64_t bits, const Address &addr) = 0;
+
+    /** True for heap objects that free() may release. */
+    virtual bool isHeap() const { return storage_ == StorageKind::heap; }
+    /** True once free() released this object. */
+    virtual bool isFreed() const { return false; }
+    /** Release a heap object's payload (paper Fig. 7). */
+    virtual void free();
+
+    /** Mark every byte written (calloc, realloc'd copies, globals). */
+    virtual void markAllInitialized() {}
+
+    /** Human-readable type for error messages, e.g. "I32Array[10]". */
+    virtual std::string describe() const = 0;
+
+    // Intrusive refcount plumbing.
+    void retain() { refs_++; }
+    void
+    release()
+    {
+        if (--refs_ == 0)
+            delete this;
+    }
+
+  protected:
+    ManagedObject(ObjectKind kind, StorageKind storage)
+        : kind_(kind), storage_(storage)
+    {}
+
+    [[noreturn]] void raiseBounds(AccessClass cls, int64_t offset,
+                                  unsigned size, bool is_write) const;
+    [[noreturn]] void raiseUseAfterFree(bool is_write) const;
+    [[noreturn]] void raiseTypeError(const std::string &what) const;
+    void checkBounds(int64_t offset, unsigned size, bool is_write) const;
+
+    ObjectKind kind_;
+    StorageKind storage_;
+    std::string name_;
+    long refs_ = 0;
+};
+
+inline
+ObjRef::ObjRef(ManagedObject *obj) : obj_(obj)
+{
+    if (obj_ != nullptr)
+        obj_->retain();
+}
+
+inline
+ObjRef::ObjRef(const ObjRef &other) : obj_(other.obj_)
+{
+    if (obj_ != nullptr)
+        obj_->retain();
+}
+
+inline ObjRef &
+ObjRef::operator=(const ObjRef &other)
+{
+    if (other.obj_ != nullptr)
+        other.obj_->retain();
+    if (obj_ != nullptr)
+        obj_->release();
+    obj_ = other.obj_;
+    return *this;
+}
+
+inline ObjRef &
+ObjRef::operator=(ObjRef &&other) noexcept
+{
+    if (this != &other) {
+        if (obj_ != nullptr)
+            obj_->release();
+        obj_ = other.obj_;
+        other.obj_ = nullptr;
+    }
+    return *this;
+}
+
+inline
+ObjRef::~ObjRef()
+{
+    if (obj_ != nullptr)
+        obj_->release();
+}
+
+/**
+ * Flat array of one primitive element type; also used for single scalars
+ * (an `int` local is an I32 array of length 1).
+ *
+ * Supports the relaxed access rules: an access of a different size or
+ * class than the element type is served by (little-endian) byte
+ * reinterpretation, but pointer bits can never be read out of or written
+ * into a primitive array.
+ */
+template <typename T, ObjectKind K>
+class PrimitiveArray : public ManagedObject
+{
+  public:
+    PrimitiveArray(StorageKind storage, size_t count)
+        : ManagedObject(K, storage), data_(count, T{})
+    {
+        // Only automatic and dynamic storage can be read before being
+        // written; static storage is initialized by the loader.
+        if (uninitTracking() &&
+            (storage == StorageKind::stack || storage == StorageKind::heap)) {
+            inited_.assign(count * sizeof(T), false);
+        }
+    }
+
+    int64_t
+    byteSize() const override
+    {
+        return static_cast<int64_t>(data_.size() * sizeof(T));
+    }
+
+    size_t length() const { return data_.size(); }
+    T *data() { return data_.data(); }
+    const std::vector<T> &values() const { return data_; }
+    void setFreedSize(int64_t size) { freedSize_ = size; }
+
+    void
+    read(AccessClass cls, unsigned size, int64_t offset, uint64_t &out_int,
+         Address &out_addr) override
+    {
+        if (isFreed())
+            raiseUseAfterFree(false);
+        checkStrict(cls, size, offset);
+        checkBounds(offset, size, false);
+        checkInitialized(offset, size);
+        uint64_t bits = 0;
+        std::memcpy(&bits, reinterpret_cast<const char *>(data_.data()) +
+                    offset, size);
+        if (cls == AccessClass::pointer) {
+            // Relaxation for memcpy/qsort-style generic code: raw bits
+            // read as a pointer become a provenance-free Address (null
+            // pointee + the bits as offset). It can be copied around but
+            // dereferencing it reports a NULL dereference — a pointer can
+            // never be conjured out of integers (Section 3.2).
+            out_addr = Address{};
+            out_addr.offset = static_cast<int64_t>(bits);
+            return;
+        }
+        out_int = bits;
+    }
+
+    void
+    write(AccessClass cls, unsigned size, int64_t offset, uint64_t bits,
+          const Address &addr) override
+    {
+        if (isFreed())
+            raiseUseAfterFree(true);
+        if (cls == AccessClass::pointer) {
+            // Only provenance-free pointer bits (see read()) may be
+            // stored into a primitive array; a real Address would lose
+            // its pointee and defeat the safety guarantees.
+            if (!addr.isNull())
+                raiseTypeError("storing a pointer into " + describe());
+            bits = static_cast<uint64_t>(addr.offset);
+        }
+        checkStrict(cls, size, offset);
+        checkBounds(offset, size, true);
+        if (!inited_.empty()) {
+            for (unsigned i = 0; i < size; i++)
+                inited_[static_cast<size_t>(offset) + i] = true;
+        }
+        std::memcpy(reinterpret_cast<char *>(data_.data()) + offset, &bits,
+                    size);
+    }
+
+    void
+    markAllInitialized() override
+    {
+        inited_.assign(inited_.size(), true);
+    }
+
+    bool isFreed() const override { return freed_; }
+
+    void
+    free() override
+    {
+        // Paper Fig. 7: drop the payload so the collector can reclaim it;
+        // the header survives so later accesses are detected.
+        freedSize_ = byteSize();
+        data_.clear();
+        data_.shrink_to_fit();
+        freed_ = true;
+    }
+
+    std::string
+    describe() const override
+    {
+        size_t len = freed_
+            ? static_cast<size_t>(freedSize_ / static_cast<int64_t>(sizeof(T)))
+            : data_.size();
+        return std::string(elemName()) + "Array[" + std::to_string(len) + "]";
+    }
+
+  private:
+    void
+    checkInitialized(int64_t offset, unsigned size) const
+    {
+        if (inited_.empty() || !uninitTracking())
+            return;
+        for (unsigned i = 0; i < size; i++) {
+            if (!inited_[static_cast<size_t>(offset) + i]) {
+                BugReport report;
+                report.kind = ErrorKind::uninitRead;
+                report.access = AccessKind::read;
+                report.storage = storage_;
+                report.offset = offset + i;
+                report.detail = "read of uninitialized byte at offset " +
+                    std::to_string(offset + i) + " of " + describe() +
+                    (name_.empty() ? "" : " '" + name_ + "'");
+                throw MemoryErrorException(std::move(report));
+            }
+        }
+    }
+
+    void
+    checkStrict(AccessClass cls, unsigned size, int64_t offset) const
+    {
+        if (!strictTypeRules())
+            return;
+        bool want_float = std::is_floating_point_v<T>;
+        bool is_float = cls == AccessClass::floating;
+        if (want_float != is_float || size != sizeof(T) ||
+            offset % static_cast<int64_t>(sizeof(T)) != 0) {
+            raiseTypeError("strict type rules: " + std::to_string(size) +
+                           "-byte access into " + describe());
+        }
+    }
+
+    static const char *
+    elemName()
+    {
+        if constexpr (std::is_same_v<T, int8_t>) return "I8";
+        else if constexpr (std::is_same_v<T, int16_t>) return "I16";
+        else if constexpr (std::is_same_v<T, int32_t>) return "I32";
+        else if constexpr (std::is_same_v<T, int64_t>) return "I64";
+        else if constexpr (std::is_same_v<T, float>) return "F32";
+        else return "F64";
+    }
+
+    std::vector<T> data_;
+    /// Per-byte initialization bits; empty when tracking is off or the
+    /// storage class starts initialized.
+    std::vector<bool> inited_;
+    bool freed_ = false;
+    int64_t freedSize_ = 0;
+};
+
+using I8Array = PrimitiveArray<int8_t, ObjectKind::i8Array>;
+using I16Array = PrimitiveArray<int16_t, ObjectKind::i16Array>;
+using I32Array = PrimitiveArray<int32_t, ObjectKind::i32Array>;
+using I64Array = PrimitiveArray<int64_t, ObjectKind::i64Array>;
+using F32Array = PrimitiveArray<float, ObjectKind::f32Array>;
+using F64Array = PrimitiveArray<double, ObjectKind::f64Array>;
+
+/**
+ * Array of pointers. Only pointer-class accesses of pointer size are
+ * legal; everything else violates even the relaxed type rules.
+ */
+class AddressArray : public ManagedObject
+{
+  public:
+    AddressArray(StorageKind storage, size_t count)
+        : ManagedObject(ObjectKind::addressArray, storage), data_(count)
+    {}
+
+    int64_t
+    byteSize() const override
+    {
+        return static_cast<int64_t>(data_.size() * 8);
+    }
+
+    size_t length() const { return data_.size(); }
+    Address &at(size_t i) { return data_[i]; }
+
+    void read(AccessClass cls, unsigned size, int64_t offset,
+              uint64_t &out_int, Address &out_addr) override;
+    void write(AccessClass cls, unsigned size, int64_t offset,
+               uint64_t bits, const Address &addr) override;
+
+    bool isFreed() const override { return freed_; }
+    void free() override;
+
+    std::string
+    describe() const override
+    {
+        size_t len = freed_ ? freedLen_ : data_.size();
+        return "AddressArray[" + std::to_string(len) + "]";
+    }
+
+  private:
+    std::vector<Address> data_;
+    bool freed_ = false;
+    size_t freedLen_ = 0;
+};
+
+/**
+ * A struct instance: one sub-object per field, resolved by byte offset
+ * against the IR struct layout (the paper's Truffle object-model map).
+ */
+class StructObject : public ManagedObject
+{
+  public:
+    StructObject(StorageKind storage, const Type *type);
+
+    int64_t byteSize() const override
+    {
+        return static_cast<int64_t>(type_->size());
+    }
+    const Type *type() const { return type_; }
+    ManagedObject *field(size_t i) { return fields_[i].get(); }
+
+    void read(AccessClass cls, unsigned size, int64_t offset,
+              uint64_t &out_int, Address &out_addr) override;
+    void write(AccessClass cls, unsigned size, int64_t offset,
+               uint64_t bits, const Address &addr) override;
+
+    bool isFreed() const override { return freed_; }
+    void free() override;
+
+    void
+    markAllInitialized() override
+    {
+        for (auto &field : fields_)
+            field->markAllInitialized();
+    }
+
+    std::string
+    describe() const override
+    {
+        return "Struct " + type_->structName();
+    }
+
+  private:
+    /** Map a byte offset to (field object, offset within field). */
+    ManagedObject *resolve(int64_t offset, unsigned size,
+                           int64_t &inner_offset, bool is_write);
+
+    const Type *type_;
+    std::vector<ObjRef> fields_;
+    bool freed_ = false;
+};
+
+/**
+ * Array whose elements are aggregates (structs or nested arrays).
+ */
+class AggregateArray : public ManagedObject
+{
+  public:
+    AggregateArray(StorageKind storage, const Type *array_type);
+
+    int64_t byteSize() const override
+    {
+        return static_cast<int64_t>(type_->size());
+    }
+    size_t length() const { return elems_.size(); }
+    ManagedObject *element(size_t i) { return elems_[i].get(); }
+
+    void read(AccessClass cls, unsigned size, int64_t offset,
+              uint64_t &out_int, Address &out_addr) override;
+    void write(AccessClass cls, unsigned size, int64_t offset,
+               uint64_t bits, const Address &addr) override;
+
+    bool isFreed() const override { return freed_; }
+    void free() override;
+
+    void
+    markAllInitialized() override
+    {
+        for (auto &elem : elems_)
+            elem->markAllInitialized();
+    }
+
+    std::string
+    describe() const override
+    {
+        return type_->toString();
+    }
+
+  private:
+    ManagedObject *resolve(int64_t offset, unsigned size,
+                           int64_t &inner_offset, bool is_write);
+
+    const Type *type_;
+    uint64_t elemSize_;
+    std::vector<ObjRef> elems_;
+    bool freed_ = false;
+};
+
+/**
+ * A function designator; function pointers are Addresses whose pointee is
+ * a FunctionObject (paper: FunctionAddress with an id for inline caches).
+ */
+class FunctionObject : public ManagedObject
+{
+  public:
+    explicit FunctionObject(unsigned fn_id)
+        : ManagedObject(ObjectKind::functionObject, StorageKind::global),
+          fnId_(fn_id)
+    {}
+
+    unsigned fnId() const { return fnId_; }
+
+    int64_t byteSize() const override { return 0; }
+
+    void
+    read(AccessClass, unsigned, int64_t, uint64_t &, Address &) override
+    {
+        raiseTypeError("reading from a function");
+    }
+
+    void
+    write(AccessClass, unsigned, int64_t, uint64_t, const Address &) override
+    {
+        raiseTypeError("writing to a function");
+    }
+
+    std::string describe() const override { return "Function"; }
+
+  private:
+    unsigned fnId_;
+};
+
+/**
+ * The varargs descriptor created by va_start (paper Fig. 9): boxed copies
+ * of the variadic arguments plus a cursor. An access past the end of the
+ * argument array is exactly the paper's "access to a non-existent
+ * variadic argument" error.
+ */
+class VarargsObject : public ManagedObject
+{
+  public:
+    explicit VarargsObject(std::vector<Address> args)
+        : ManagedObject(ObjectKind::varargsObject, StorageKind::stack),
+          args_(std::move(args))
+    {}
+
+    int64_t byteSize() const override
+    {
+        return static_cast<int64_t>(args_.size() * 8);
+    }
+
+    size_t count() const { return args_.size(); }
+
+    /** Fetch the next argument pointer, advancing the cursor. */
+    Address
+    next()
+    {
+        if (cursor_ >= args_.size()) {
+            BugReport report;
+            report.kind = ErrorKind::varargs;
+            report.access = AccessKind::read;
+            report.storage = StorageKind::stack;
+            report.detail = "access to variadic argument " +
+                std::to_string(cursor_) + " but only " +
+                std::to_string(args_.size()) + " were passed";
+            throw MemoryErrorException(std::move(report));
+        }
+        return args_[cursor_++];
+    }
+
+    void
+    read(AccessClass, unsigned, int64_t, uint64_t &, Address &) override
+    {
+        raiseTypeError("raw read of a va_list");
+    }
+
+    void
+    write(AccessClass, unsigned, int64_t, uint64_t, const Address &) override
+    {
+        raiseTypeError("raw write of a va_list");
+    }
+
+    std::string describe() const override { return "VarArgs"; }
+
+  private:
+    std::vector<Address> args_;
+    size_t cursor_ = 0;
+};
+
+} // namespace sulong
+
+#endif // MS_MANAGED_OBJECT_H

@@ -1,0 +1,200 @@
+#include "memcheck/memcheck_runtime.h"
+
+namespace sulong
+{
+
+MemcheckRuntime::MemcheckRuntime(MemcheckOptions options)
+    : options_(options)
+{}
+
+void
+MemcheckRuntime::checkAccess(uint64_t addr, unsigned size, bool is_write,
+                             const SourceLoc &loc)
+{
+    // Like real Memcheck, the A-bit map is consulted for every byte of
+    // every access; it only ever contains object bounds for the heap
+    // (runtime binary instrumentation has no bounds for stack/global
+    // data), so only heap accesses can be flagged.
+    for (unsigned i = 0; i < size; i++) {
+        uint64_t a = addr + i;
+        uint8_t raw = abits_.get(a);
+        if (a < NativeLayout::heapBase || a >= NativeLayout::heapMax)
+            continue;
+        ABits bits = static_cast<ABits>(raw);
+        if (bits == ABits::allocated)
+            continue;
+        BugReport rep;
+        rep.access = is_write ? AccessKind::write : AccessKind::read;
+        rep.storage = StorageKind::heap;
+        if (bits == ABits::freed) {
+            rep.kind = ErrorKind::useAfterFree;
+            rep.detail = "invalid " + std::string(accessKindName(rep.access)) +
+                " of size " + std::to_string(size) +
+                " inside a block that was free'd, at " + loc.toString();
+        } else {
+            rep.kind = ErrorKind::outOfBounds;
+            rep.direction = BoundsDirection::unknown;
+            rep.detail = "invalid " + std::string(accessKindName(rep.access)) +
+                " of size " + std::to_string(size) + " at address " +
+                std::to_string(a) + " (not within a malloc'd block), at " +
+                loc.toString();
+        }
+        throw MemoryErrorException(std::move(rep));
+    }
+}
+
+void
+MemcheckRuntime::onLoad(NativeMemory &mem, uint64_t addr, unsigned size,
+                        const SourceLoc &loc)
+{
+    (void)mem;
+    checkAccess(addr, size, false, loc);
+}
+
+void
+MemcheckRuntime::onStore(NativeMemory &mem, uint64_t addr, unsigned size,
+                         const SourceLoc &loc)
+{
+    (void)mem;
+    checkAccess(addr, size, true, loc);
+}
+
+uint64_t
+MemcheckRuntime::onMalloc(NativeMemory &mem, uint64_t size)
+{
+    uint64_t rz = options_.redzone;
+    uint64_t base = mem.heapAlloc(size + 2 * rz);
+    uint64_t user = base + rz;
+    abits_.set(base, rz, static_cast<uint8_t>(ABits::noAccess));
+    abits_.set(user, size, static_cast<uint8_t>(ABits::allocated));
+    abits_.set(user + size, rz, static_cast<uint8_t>(ABits::noAccess));
+    if (options_.trackUninit)
+        vbits_.set(user, size, 1); // fresh heap memory is undefined
+    live_[user] = size;
+    return user;
+}
+
+void
+MemcheckRuntime::releaseOldest(NativeMemory &mem)
+{
+    if (quarantine_.empty())
+        return;
+    auto [user, size] = quarantine_.front();
+    quarantine_.pop_front();
+    abits_.set(user, size, static_cast<uint8_t>(ABits::noAccess));
+    mem.heapFree(user - options_.redzone);
+}
+
+void
+MemcheckRuntime::onFree(NativeMemory &mem, uint64_t addr,
+                        const SourceLoc &loc)
+{
+    if (addr == 0)
+        return;
+    auto it = live_.find(addr);
+    if (it == live_.end()) {
+        bool in_quarantine = false;
+        for (const auto &[user, size] : quarantine_) {
+            if (user == addr) {
+                in_quarantine = true;
+                break;
+            }
+        }
+        BugReport rep;
+        rep.kind = in_quarantine ? ErrorKind::doubleFree
+                                 : ErrorKind::invalidFree;
+        rep.access = AccessKind::free;
+        rep.storage = addr >= NativeLayout::heapBase &&
+                addr < NativeLayout::heapMax
+            ? StorageKind::heap
+            : (addr >= NativeLayout::stackBase ? StorageKind::stack
+                                               : StorageKind::global);
+        rep.detail = std::string(in_quarantine
+            ? "Invalid free() / double free"
+            : "Invalid free() of a non-heap or interior pointer") +
+            " at " + loc.toString();
+        throw MemoryErrorException(std::move(rep));
+    }
+    uint64_t size = it->second;
+    live_.erase(it);
+    abits_.set(addr, size, static_cast<uint8_t>(ABits::freed));
+    quarantine_.emplace_back(addr, size);
+    while (quarantine_.size() > options_.quarantineBlocks)
+        releaseOldest(mem);
+}
+
+uint64_t
+MemcheckRuntime::onRealloc(NativeMemory &mem, uint64_t addr, uint64_t size)
+{
+    if (addr == 0)
+        return onMalloc(mem, size);
+    auto it = live_.find(addr);
+    uint64_t old_size = it != live_.end() ? it->second : 0;
+    uint64_t fresh = onMalloc(mem, size);
+    uint64_t copy = std::min(old_size, size);
+    if (copy > 0) {
+        std::vector<uint8_t> tmp(copy);
+        mem.readBytes(addr, tmp.data(), copy);
+        mem.writeBytes(fresh, tmp.data(), copy);
+        for (uint64_t i = 0; i < copy; i++)
+            vbits_.set(fresh + i, 1, vbits_.get(addr + i));
+    }
+    onFree(mem, addr, SourceLoc{});
+    return fresh;
+}
+
+bool
+MemcheckRuntime::loadDefined(NativeMemory &mem, uint64_t addr,
+                             unsigned size)
+{
+    (void)mem;
+    for (unsigned i = 0; i < size; i++) {
+        if (vbits_.get(addr + i) != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+MemcheckRuntime::storeDefined(NativeMemory &mem, uint64_t addr,
+                              unsigned size, bool defined)
+{
+    (void)mem;
+    vbits_.set(addr, size, defined ? 0 : 1);
+}
+
+void
+MemcheckRuntime::onUndefinedUse(const SourceLoc &loc)
+{
+    // Valgrind detects magic constants that point towards word-wise
+    // strlen/strcmp implementations and disables checks for those code
+    // blocks (paper Section 2.3/P4): suppress reports from the
+    // optimized string routines only.
+    if (loc.file == "libc/string_opt.c")
+        return;
+    BugReport rep;
+    rep.kind = ErrorKind::uninitRead;
+    rep.access = AccessKind::read;
+    rep.detail = "Conditional jump or move depends on uninitialised "
+        "value(s) at " + loc.toString();
+    throw MemoryErrorException(std::move(rep));
+}
+
+void
+MemcheckRuntime::onStackAlloc(NativeMemory &mem, uint64_t addr,
+                              uint64_t size)
+{
+    (void)mem;
+    if (options_.trackUninit)
+        vbits_.set(addr, size, 1); // fresh stack memory is undefined
+}
+
+void
+MemcheckRuntime::onFrameExit(NativeMemory &mem, uint64_t lo, uint64_t hi)
+{
+    (void)mem;
+    if (options_.trackUninit && hi > lo)
+        vbits_.set(lo, hi - lo, 1);
+}
+
+} // namespace sulong

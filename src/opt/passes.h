@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Optimization passes modelling what Clang/LLVM do to mini-C programs
+ * (paper problem P2): classic folding and cleanup, plus the
+ * undefined-behaviour-exploiting transformations that *delete bugs*
+ * before a compile-time bug-finding tool ever sees them:
+ *
+ *  - removeDeadStores: stores into never-read, non-escaping stack arrays
+ *    are dropped even when they are out of bounds (Fig. 3);
+ *  - foldConstantGlobalLoads: constant-index loads from globals are
+ *    folded — an out-of-bounds constant index folds to 0, removing the
+ *    bug even at -O0 (Fig. 13);
+ *  - removeRedundantNullChecks: a null check dominated by a dereference
+ *    of the same pointer is folded to "not null" (Wang et al.).
+ *
+ * All passes work in place; callers re-verify in tests.
+ */
+
+#ifndef MS_OPT_PASSES_H
+#define MS_OPT_PASSES_H
+
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/** Fold constant arithmetic/casts/compares/geps. @return changes made. */
+unsigned foldConstants(Module &module);
+
+/** Block-local store-to-load forwarding (calls clobber everything). */
+unsigned forwardStores(Module &module);
+
+/** Remove unused side-effect-free instructions (loads count as dead
+ *  when unused — LLVM semantics, itself a bug-hiding behaviour). */
+unsigned eliminateDeadCode(Module &module);
+
+/** UB-exploiting dead-store elimination on non-escaping, never-loaded
+ *  allocas (deletes the Fig. 3 out-of-bounds stores). */
+unsigned removeDeadStores(Module &module);
+
+/** Fold `icmp p, null` when p was dereferenced earlier in the block. */
+unsigned removeRedundantNullChecks(Module &module);
+
+/** Fold constant-offset loads from globals; out-of-bounds offsets fold
+ *  to zero (the Fig. 13 -O0 backend behaviour). */
+unsigned foldConstantGlobalLoads(Module &module);
+
+/** Turn condbr-on-constant into br and drop unreachable blocks. */
+unsigned simplifyControlFlow(Module &module);
+
+/** Replace every use of @p from with @p to inside @p fn. */
+void replaceAllUses(Function &fn, const Value *from, Value *to);
+
+/** The residual folding a "-O0" compile still performs (Fig. 13). */
+void runO0Pipeline(Module &module);
+
+/** The aggressive "-O3" pipeline (iterated to a fixpoint). */
+void runO3Pipeline(Module &module);
+
+} // namespace sulong
+
+#endif // MS_OPT_PASSES_H

@@ -1,0 +1,67 @@
+#include "sanitizer/asan_pass.h"
+
+namespace sulong
+{
+
+bool
+isLibcFunction(const Function &fn)
+{
+    return fn.sourceFile().rfind("libc/", 0) == 0;
+}
+
+AsanPassStats
+runAsanPass(Module &module)
+{
+    AsanPassStats stats;
+    Function *check = module.findFunction("__asan_check");
+    if (check == nullptr) {
+        const Type *fn_type = module.types().functionType(
+            module.types().voidTy(),
+            {module.types().ptr(), module.types().i64(),
+             module.types().i32()},
+            false);
+        check = module.addFunction(fn_type, "__asan_check");
+        check->setIntrinsic(true);
+    }
+
+    for (const auto &fn : module.functions()) {
+        if (fn->isDeclaration() || isLibcFunction(*fn))
+            continue;
+        bool touched = false;
+        for (const auto &bb : fn->blocks()) {
+            std::vector<std::unique_ptr<Instruction>> rewritten;
+            // Move the existing instructions out so we can interleave.
+            std::vector<std::unique_ptr<Instruction>> original;
+            original.swap(bb->mutableInsts());
+            for (auto &inst : original) {
+                bool is_load = inst->op() == Opcode::load;
+                bool is_store = inst->op() == Opcode::store;
+                if (is_load || is_store) {
+                    Value *ptr = is_load ? inst->operand(0)
+                                         : inst->operand(1);
+                    uint64_t size = inst->accessType()->size();
+                    auto call = std::make_unique<Instruction>(
+                        Opcode::call, module.types().voidTy());
+                    call->addOperand(check);
+                    call->addOperand(ptr);
+                    call->addOperand(module.constI64(
+                        static_cast<int64_t>(size)));
+                    call->addOperand(module.constI32(is_store ? 1 : 0));
+                    call->setLoc(inst->loc());
+                    call->setParent(bb.get());
+                    rewritten.push_back(std::move(call));
+                    stats.insertedChecks++;
+                    touched = true;
+                }
+                rewritten.push_back(std::move(inst));
+            }
+            bb->replaceInsts(std::move(rewritten));
+        }
+        if (touched)
+            stats.instrumentedFunctions++;
+    }
+    module.finalize();
+    return stats;
+}
+
+} // namespace sulong

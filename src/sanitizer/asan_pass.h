@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Compile-time instrumentation pass of the ASan-style tool.
+ *
+ * Inserts `__asan_check(ptr, size, is_write)` calls before every load and
+ * store of *user* functions. Library code (sourceFile starting with
+ * "libc/") stays uninstrumented, like precompiled libc in real setups —
+ * the uninstrumented gap of paper problem P4. Must run after any
+ * optimization pipeline (like real ASan instruments optimized IR), so
+ * accesses the optimizer deleted are never checked (P2).
+ */
+
+#ifndef MS_SANITIZER_ASAN_PASS_H
+#define MS_SANITIZER_ASAN_PASS_H
+
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/** Instrumentation statistics, mostly for tests. */
+struct AsanPassStats
+{
+    unsigned instrumentedFunctions = 0;
+    unsigned insertedChecks = 0;
+};
+
+/** @return true when @p fn belongs to the shipped libc. */
+bool isLibcFunction(const Function &fn);
+
+/**
+ * Instrument @p module in place and re-finalize it.
+ */
+AsanPassStats runAsanPass(Module &module);
+
+} // namespace sulong
+
+#endif // MS_SANITIZER_ASAN_PASS_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Byte-granular shadow memory over the native address space.
+ *
+ * Used by the ASan-style runtime (poison values) and the Memcheck-style
+ * runtime (A-bits and V-bits). One shadow byte per application byte;
+ * segments are mirrored lazily so the cost tracks actual usage.
+ */
+
+#ifndef MS_SANITIZER_SHADOW_H
+#define MS_SANITIZER_SHADOW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "native/memory.h"
+
+namespace sulong
+{
+
+class ShadowMap
+{
+  public:
+    /** Shadow value at @p addr; untracked addresses read as @p deflt. */
+    uint8_t
+    get(uint64_t addr) const
+    {
+        uint64_t index = 0;
+        const std::vector<uint8_t> *seg = segmentOf(addr, index);
+        if (seg == nullptr || index >= seg->size())
+            return 0;
+        return (*seg)[index];
+    }
+
+    /** Set [addr, addr+len) to @p value, growing the segment mirror. */
+    void
+    set(uint64_t addr, uint64_t len, uint8_t value)
+    {
+        for (uint64_t i = 0; i < len; i++) {
+            uint64_t index = 0;
+            std::vector<uint8_t> *seg = segmentOf(addr + i, index);
+            if (seg == nullptr)
+                continue;
+            if (index >= seg->size())
+                seg->resize(index + 1, 0);
+            (*seg)[index] = value;
+        }
+    }
+
+    /** First address in [addr, addr+len) whose shadow is non-zero, or
+     *  UINT64_MAX when the whole range is clean. */
+    uint64_t
+    firstPoisoned(uint64_t addr, uint64_t len) const
+    {
+        // Fast path: the whole range usually lives in one segment whose
+        // mirror we can scan directly. The stack mirror is indexed
+        // downward, so scan it in reverse index order.
+        uint64_t index = 0;
+        const std::vector<uint8_t> *seg = segmentOf(addr, index);
+        if (seg != nullptr) {
+            uint64_t end_index = 0;
+            if (segmentOf(addr + len - 1, end_index) == seg) {
+                uint64_t lo = std::min(index, end_index);
+                uint64_t hi = std::max(index, end_index);
+                if (lo >= seg->size())
+                    return UINT64_MAX;
+                hi = std::min<uint64_t>(hi, seg->size() - 1);
+                bool reversed = end_index < index;
+                for (uint64_t i = lo; i <= hi; i++) {
+                    if ((*seg)[i] != 0) {
+                        return reversed ? addr + (index - i)
+                                        : addr + (i - lo);
+                    }
+                }
+                return UINT64_MAX;
+            }
+        }
+        for (uint64_t i = 0; i < len; i++) {
+            if (get(addr + i) != 0)
+                return addr + i;
+        }
+        return UINT64_MAX;
+    }
+
+  private:
+    const std::vector<uint8_t> *
+    segmentOf(uint64_t addr, uint64_t &index) const
+    {
+        return const_cast<ShadowMap *>(this)->segmentOf(addr, index);
+    }
+
+    std::vector<uint8_t> *
+    segmentOf(uint64_t addr, uint64_t &index)
+    {
+        if (addr >= NativeLayout::globalBase &&
+            addr < NativeLayout::heapBase) {
+            index = addr - NativeLayout::globalBase;
+            return &globals_;
+        }
+        if (addr >= NativeLayout::heapBase &&
+            addr < NativeLayout::heapMax) {
+            index = addr - NativeLayout::heapBase;
+            return &heap_;
+        }
+        if (addr >= NativeLayout::stackBase &&
+            addr < NativeLayout::stackTop) {
+            // The stack grows down from stackTop, so index downward: the
+            // mirror then grows with actual stack usage instead of
+            // jumping to the full segment size on first touch.
+            index = NativeLayout::stackTop - 1 - addr;
+            return &stack_;
+        }
+        if (addr >= NativeLayout::argsBase &&
+            addr < NativeLayout::argsBase + NativeLayout::argsSize) {
+            index = addr - NativeLayout::argsBase;
+            return &args_;
+        }
+        return nullptr;
+    }
+
+    std::vector<uint8_t> globals_;
+    std::vector<uint8_t> heap_;
+    std::vector<uint8_t> stack_;
+    std::vector<uint8_t> args_;
+};
+
+} // namespace sulong
+
+#endif // MS_SANITIZER_SHADOW_H

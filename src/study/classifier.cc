@@ -1,0 +1,109 @@
+#include "study/classifier.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/string_utils.h"
+
+namespace sulong
+{
+
+const char *
+vulnCategoryName(VulnCategory category)
+{
+    switch (category) {
+      case VulnCategory::spatial: return "Spatial";
+      case VulnCategory::temporal: return "Temporal";
+      case VulnCategory::nullDeref: return "NULL deref";
+      case VulnCategory::other: return "Other";
+      case VulnCategory::unrelated: return "Unrelated";
+    }
+    return "invalid";
+}
+
+VulnCategory
+classifyRecord(const VulnRecord &record)
+{
+    const std::string &text = record.description;
+    // Keyword groups mirror the paper's search terms; order matters:
+    // a "heap buffer overflow after free" should count once, as
+    // temporal bugs are usually described by their use-after-free
+    // aspect first — we follow CVE wording precedence instead and
+    // test spatial keywords first (they dominate the database).
+    static const char *const spatialKeys[] = {
+        "buffer overflow", "buffer underflow", "out-of-bounds",
+        "out of bounds", "oob read", "oob write", "stack overflow",
+        "heap overflow", "off-by-one buffer",
+    };
+    static const char *const temporalKeys[] = {
+        "use-after-free", "use after free", "dangling pointer",
+    };
+    static const char *const nullKeys[] = {
+        "null pointer dereference", "null dereference",
+        "null-pointer dereference",
+    };
+    static const char *const otherKeys[] = {
+        "double free", "double-free", "invalid free", "format string",
+    };
+    for (const char *key : spatialKeys) {
+        if (containsIgnoreCase(text, key))
+            return VulnCategory::spatial;
+    }
+    for (const char *key : temporalKeys) {
+        if (containsIgnoreCase(text, key))
+            return VulnCategory::temporal;
+    }
+    for (const char *key : nullKeys) {
+        if (containsIgnoreCase(text, key))
+            return VulnCategory::nullDeref;
+    }
+    for (const char *key : otherKeys) {
+        if (containsIgnoreCase(text, key))
+            return VulnCategory::other;
+    }
+    return VulnCategory::unrelated;
+}
+
+std::vector<YearlyCounts>
+countByYear(const std::vector<VulnRecord> &records, bool exploits_only)
+{
+    std::map<int, YearlyCounts> by_year;
+    for (const VulnRecord &record : records) {
+        if (exploits_only && !record.hasExploit)
+            continue;
+        YearlyCounts &counts = by_year[record.year];
+        counts.year = record.year;
+        switch (classifyRecord(record)) {
+          case VulnCategory::spatial: counts.spatial++; break;
+          case VulnCategory::temporal: counts.temporal++; break;
+          case VulnCategory::nullDeref: counts.nullDeref++; break;
+          case VulnCategory::other: counts.other++; break;
+          case VulnCategory::unrelated: break;
+        }
+    }
+    std::vector<YearlyCounts> out;
+    for (const auto &[year, counts] : by_year)
+        out.push_back(counts);
+    return out;
+}
+
+std::string
+formatCounts(const std::vector<YearlyCounts> &counts,
+             const std::string &title)
+{
+    std::ostringstream os;
+    os << title << "\n";
+    os << "  " << padRight("year", 6) << padLeft("spatial", 9)
+       << padLeft("temporal", 10) << padLeft("null", 7)
+       << padLeft("other", 8) << "\n";
+    for (const YearlyCounts &c : counts) {
+        os << "  " << padRight(std::to_string(c.year), 6)
+           << padLeft(std::to_string(c.spatial), 9)
+           << padLeft(std::to_string(c.temporal), 10)
+           << padLeft(std::to_string(c.nullDeref), 7)
+           << padLeft(std::to_string(c.other), 8) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sulong

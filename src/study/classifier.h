@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Keyword classifier over vulnerability records (paper Section 2.1).
+ */
+
+#ifndef MS_STUDY_CLASSIFIER_H
+#define MS_STUDY_CLASSIFIER_H
+
+#include "study/records.h"
+
+namespace sulong
+{
+
+/** Memory-error categories of Figs. 1 and 2. */
+enum class VulnCategory : uint8_t
+{
+    spatial,   ///< out-of-bounds accesses
+    temporal,  ///< use-after-free / dangling pointers
+    nullDeref,
+    other,     ///< invalid free, double free, format string / varargs
+    unrelated, ///< not a memory error (ignored by the study)
+};
+
+const char *vulnCategoryName(VulnCategory category);
+
+/** Classify one record by keyword search of its description. */
+VulnCategory classifyRecord(const VulnRecord &record);
+
+/** Counts of one calendar year. */
+struct YearlyCounts
+{
+    int year = 0;
+    unsigned spatial = 0;
+    unsigned temporal = 0;
+    unsigned nullDeref = 0;
+    unsigned other = 0;
+
+    unsigned total() const
+    {
+        return spatial + temporal + nullDeref + other;
+    }
+};
+
+/**
+ * Aggregate per year.
+ * @param exploits_only  count only records with a public exploit
+ *                       (Fig. 2) instead of all records (Fig. 1).
+ */
+std::vector<YearlyCounts>
+countByYear(const std::vector<VulnRecord> &records, bool exploits_only);
+
+/** Render the per-year series as an aligned text table. */
+std::string formatCounts(const std::vector<YearlyCounts> &counts,
+                         const std::string &title);
+
+} // namespace sulong
+
+#endif // MS_STUDY_CLASSIFIER_H

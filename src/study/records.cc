@@ -1,0 +1,141 @@
+#include "study/records.h"
+
+#include "support/rng.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+/** Phrase pool per category; classification keywords appear inside
+ *  larger, realistic sentences. */
+const char *const spatialPhrases[] = {
+    "stack-based buffer overflow in the request parser allows remote "
+    "attackers to execute arbitrary code",
+    "heap-based buffer overflow when decoding oversized frames",
+    "out-of-bounds read in the TIFF decoder leads to information "
+    "disclosure",
+    "out-of-bounds write via a crafted font file",
+    "buffer overflow in the cookie handling of the HTTP client",
+    "global buffer overflow triggered by a long locale name",
+    "buffer underflow when rewinding the token stream",
+    "off-by-one buffer overflow in the path canonicalizer",
+};
+
+const char *const temporalPhrases[] = {
+    "use-after-free in the DOM event dispatcher allows remote code "
+    "execution",
+    "use after free when the session is closed during renegotiation",
+    "dangling pointer dereference after the cache is invalidated",
+    "use-after-free in the timer callback queue",
+};
+
+const char *const nullPhrases[] = {
+    "NULL pointer dereference when the header is missing, causing a "
+    "denial of service",
+    "null pointer dereference in the certificate parser",
+    "crash due to a NULL dereference on malformed input",
+};
+
+const char *const otherPhrases[] = {
+    "double free in the error path of the connection pool",
+    "invalid free of a stack address when parsing fails",
+    "format string vulnerability in the logging facility",
+    "double-free when the handshake is aborted twice",
+};
+
+const char *const unrelatedPhrases[] = {
+    "SQL injection in the admin search form",
+    "cross-site scripting (XSS) in the comment preview",
+    "improper access control on the metrics endpoint",
+    "directory traversal in the archive extractor",
+    "cryptographic signature not verified before update installation",
+    "race condition in the privilege drop (TOCTOU)",
+    "integer truncation leads to an authentication bypass",
+    "cleartext storage of credentials in the debug log",
+};
+
+/** Per-year volume model: {spatial, temporal, null, other, unrelated}.
+ *  Shaped on the paper's Fig. 1: spatial highest and rising to an
+ *  all-time high in 2017 (2017 covers only Jan..Sep, like the study). */
+struct YearModel
+{
+    int year;
+    unsigned spatial, temporal, nullDeref, other, unrelated;
+};
+
+const YearModel yearModels[] = {
+    {2012, 330, 155, 115, 40, 900},
+    {2013, 290, 175, 120, 45, 950},
+    {2014, 310, 200, 160, 50, 1000},
+    {2015, 430, 245, 150, 55, 1050},
+    {2016, 560, 205, 160, 60, 1100},
+    {2017, 690, 240, 175, 65, 1150},
+};
+
+/** Exploit availability differs per category (Fig. 2: spatial bugs are
+ *  weaponized far more often than NULL dereferences). */
+double
+exploitRate(int category_index, int year)
+{
+    double boost = 1.0 + 0.03 * (year - 2012);
+    switch (category_index) {
+      case 0: return 0.105 * boost; // spatial
+      case 1: return 0.085 * boost; // temporal
+      case 2: return 0.055;         // null deref (DoS only, less traded)
+      case 3: return 0.075;         // other
+      default: return 0.040;        // unrelated
+    }
+}
+
+} // namespace
+
+std::vector<VulnRecord>
+synthesizeVulnDatabase(uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<VulnRecord> records;
+    unsigned serial = 1000;
+    for (const YearModel &model : yearModels) {
+        struct Pool
+        {
+            const char *const *phrases;
+            size_t count;
+            unsigned volume;
+        };
+        const Pool pools[5] = {
+            {spatialPhrases, std::size(spatialPhrases), model.spatial},
+            {temporalPhrases, std::size(temporalPhrases), model.temporal},
+            {nullPhrases, std::size(nullPhrases), model.nullDeref},
+            {otherPhrases, std::size(otherPhrases), model.other},
+            {unrelatedPhrases, std::size(unrelatedPhrases),
+             model.unrelated},
+        };
+        for (int cat = 0; cat < 5; cat++) {
+            // +-6% jitter so the series look like measurements.
+            unsigned n = pools[cat].volume;
+            n = static_cast<unsigned>(
+                n * (0.94 + 0.12 * rng.nextDouble()));
+            for (unsigned i = 0; i < n; i++) {
+                VulnRecord record;
+                record.year = model.year;
+                // The study window is 2012-03 .. 2017-09.
+                int lo = model.year == 2012 ? 3 : 1;
+                int hi = model.year == 2017 ? 9 : 12;
+                record.month =
+                    static_cast<int>(rng.nextRange(lo, hi));
+                record.id = "CVE-" + std::to_string(model.year) + "-" +
+                    std::to_string(serial++);
+                record.description =
+                    pools[cat].phrases[rng.nextBelow(pools[cat].count)];
+                record.hasExploit =
+                    rng.chance(exploitRate(cat, model.year));
+                records.push_back(std::move(record));
+            }
+        }
+    }
+    return records;
+}
+
+} // namespace sulong

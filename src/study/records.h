@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Synthetic vulnerability-database records for the Section 2.1 study.
+ *
+ * The paper performs keyword searches over the CVE and ExploitDB
+ * databases (2012-03 to 2017-09) to rank memory-error categories. Those
+ * databases are not available offline, so this module synthesizes a
+ * record population whose category trends follow the paper's findings
+ * (spatial errors most common and at an all-time high, temporal errors
+ * second, NULL dereferences third, a long tail of other errors, plus
+ * plenty of non-memory records). The *classifier* over the records
+ * (study/classifier.h) is the real artifact being reproduced.
+ */
+
+#ifndef MS_STUDY_RECORDS_H
+#define MS_STUDY_RECORDS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sulong
+{
+
+/** One CVE-style record. */
+struct VulnRecord
+{
+    std::string id;          ///< "CVE-2015-1234"
+    int year = 2012;
+    int month = 1;
+    std::string description; ///< free-form text, keyword-searchable
+    bool hasExploit = false; ///< also present in the exploit database
+};
+
+/**
+ * Synthesize the database. Deterministic for a given seed.
+ * @param seed  RNG seed (benches use a fixed default)
+ * @return records covering 2012-03 .. 2017-09
+ */
+std::vector<VulnRecord> synthesizeVulnDatabase(uint64_t seed = 0x51c0de);
+
+} // namespace sulong
+
+#endif // MS_STUDY_RECORDS_H

@@ -1,0 +1,47 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace sulong
+{
+
+std::string
+SourceLoc::toString() const
+{
+    std::ostringstream os;
+    os << (file.empty() ? "<unknown>" : file) << ":" << line << ":" << column;
+    return os.str();
+}
+
+std::string
+Diagnostic::toString() const
+{
+    const char *sev = "error";
+    if (severity == DiagSeverity::warning)
+        sev = "warning";
+    else if (severity == DiagSeverity::note)
+        sev = "note";
+    return loc.toString() + ": " + sev + ": " + message;
+}
+
+void
+DiagnosticEngine::report(DiagSeverity severity, const SourceLoc &loc,
+                         std::string message)
+{
+    if (severity == DiagSeverity::error)
+        numErrors_++;
+    else if (severity == DiagSeverity::warning)
+        numWarnings_++;
+    messages_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+std::string
+DiagnosticEngine::dump() const
+{
+    std::ostringstream os;
+    for (const auto &msg : messages_)
+        os << msg.toString() << "\n";
+    return os.str();
+}
+
+} // namespace sulong

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Source locations and compile-time diagnostics for the mini-C front end.
+ */
+
+#ifndef MS_SUPPORT_DIAGNOSTICS_H
+#define MS_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sulong
+{
+
+/** A position in a mini-C source file. */
+struct SourceLoc
+{
+    /// Logical file name ("<corpus:oob-stack-01>", "libc/string.c", ...).
+    std::string file;
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    std::string toString() const;
+    bool valid() const { return line != 0; }
+};
+
+/** Severity of a diagnostic message. */
+enum class DiagSeverity : uint8_t
+{
+    note,
+    warning,
+    error,
+};
+
+/** One diagnostic message emitted during compilation. */
+struct Diagnostic
+{
+    DiagSeverity severity = DiagSeverity::error;
+    SourceLoc loc;
+    std::string message;
+
+    std::string toString() const;
+};
+
+/**
+ * Collects diagnostics during lexing, parsing, sema, and codegen.
+ *
+ * Unlike a production compiler we keep this intentionally simple: errors
+ * are recorded and compilation continues where recovery is easy; callers
+ * check hasErrors() before using the produced module.
+ */
+class DiagnosticEngine
+{
+  public:
+    void report(DiagSeverity severity, const SourceLoc &loc,
+                std::string message);
+
+    void error(const SourceLoc &loc, std::string message)
+    {
+        report(DiagSeverity::error, loc, std::move(message));
+    }
+
+    void warning(const SourceLoc &loc, std::string message)
+    {
+        report(DiagSeverity::warning, loc, std::move(message));
+    }
+
+    bool hasErrors() const { return numErrors_ > 0; }
+    size_t errorCount() const { return numErrors_; }
+    size_t warningCount() const { return numWarnings_; }
+    const std::vector<Diagnostic> &messages() const { return messages_; }
+
+    /** All diagnostics joined by newlines (for test assertions). */
+    std::string dump() const;
+
+  private:
+    std::vector<Diagnostic> messages_;
+    size_t numErrors_ = 0;
+    size_t numWarnings_ = 0;
+};
+
+/** Thrown for internal invariant violations (bugs in this repo itself). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what)
+        : std::logic_error("internal error: " + what)
+    {}
+};
+
+} // namespace sulong
+
+#endif // MS_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,83 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace sulong
+{
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::none: return "none";
+      case ErrorKind::outOfBounds: return "out-of-bounds";
+      case ErrorKind::useAfterFree: return "use-after-free";
+      case ErrorKind::doubleFree: return "double-free";
+      case ErrorKind::invalidFree: return "invalid-free";
+      case ErrorKind::nullDeref: return "null-dereference";
+      case ErrorKind::varargs: return "varargs";
+      case ErrorKind::typeError: return "type-error";
+      case ErrorKind::uninitRead: return "uninitialized-read";
+      case ErrorKind::memoryLeak: return "memory-leak";
+      case ErrorKind::segfault: return "segfault";
+      case ErrorKind::engineError: return "engine-error";
+    }
+    return "invalid";
+}
+
+const char *
+accessKindName(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::read: return "read";
+      case AccessKind::write: return "write";
+      case AccessKind::free: return "free";
+    }
+    return "invalid";
+}
+
+const char *
+storageKindName(StorageKind kind)
+{
+    switch (kind) {
+      case StorageKind::stack: return "stack";
+      case StorageKind::heap: return "heap";
+      case StorageKind::global: return "global";
+      case StorageKind::mainArgs: return "main-args";
+      case StorageKind::unknown: return "unknown";
+    }
+    return "invalid";
+}
+
+const char *
+boundsDirectionName(BoundsDirection direction)
+{
+    switch (direction) {
+      case BoundsDirection::underflow: return "underflow";
+      case BoundsDirection::overflow: return "overflow";
+      case BoundsDirection::unknown: return "unknown";
+    }
+    return "invalid";
+}
+
+std::string
+BugReport::toString() const
+{
+    std::ostringstream os;
+    os << errorKindName(kind);
+    if (kind == ErrorKind::none)
+        return os.str();
+    os << " (" << accessKindName(access);
+    if (storage != StorageKind::unknown)
+        os << ", " << storageKindName(storage);
+    if (kind == ErrorKind::outOfBounds && direction != BoundsDirection::unknown)
+        os << ", " << boundsDirectionName(direction);
+    os << ")";
+    if (!function.empty())
+        os << " in " << function << "()";
+    if (!detail.empty())
+        os << ": " << detail;
+    return os.str();
+}
+
+} // namespace sulong

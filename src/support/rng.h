@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in this repository (synthetic CVE records, workload
+ * generators, fuzz-style property tests) flows through this seeded
+ * generator so every bench and test is reproducible run-to-run.
+ */
+
+#ifndef MS_SUPPORT_RNG_H
+#define MS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace sulong
+{
+
+/** SplitMix64: tiny, fast, well-distributed deterministic RNG. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    /** @return the next raw 64-bit value. */
+    uint64_t next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a value uniform in [0, bound). bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound) { return next() % bound; }
+
+    /** @return a value uniform in [lo, hi] (inclusive). */
+    int64_t nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(nextBelow(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return a double uniform in [0, 1). */
+    double nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability p. */
+    bool chance(double p) { return nextDouble() < p; }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace sulong
+
+#endif // MS_SUPPORT_RNG_H

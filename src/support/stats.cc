@@ -1,0 +1,73 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace sulong
+{
+
+namespace
+{
+
+/** Linear-interpolated quantile over a sorted sample vector. */
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    if (sorted.size() == 1)
+        return sorted[0];
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+Summary
+summarize(std::vector<double> samples)
+{
+    Summary s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    s.count = samples.size();
+    s.min = samples.front();
+    s.max = samples.back();
+    s.q1 = quantileSorted(samples, 0.25);
+    s.median = quantileSorted(samples, 0.5);
+    s.q3 = quantileSorted(samples, 0.75);
+    s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+        static_cast<double>(samples.size());
+    return s;
+}
+
+double
+geomean(const std::vector<double> &samples)
+{
+    double log_sum = 0;
+    size_t n = 0;
+    for (double v : samples) {
+        if (v > 0) {
+            log_sum += std::log(v);
+            n++;
+        }
+    }
+    return n == 0 ? 0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+std::string
+Summary::toString(int precision) const
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << median << " [" << q1 << ", " << q3 << "] ("
+       << min << ".." << max << ")";
+    return os.str();
+}
+
+} // namespace sulong

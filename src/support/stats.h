@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small summary-statistics helpers used by the benchmark harnesses to
+ * print the box-plot style numbers of Fig. 16 and the timing tables.
+ */
+
+#ifndef MS_SUPPORT_STATS_H
+#define MS_SUPPORT_STATS_H
+
+#include <string>
+#include <vector>
+
+namespace sulong
+{
+
+/** Five-number summary plus mean over a sample vector. */
+struct Summary
+{
+    double min = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double max = 0;
+    double mean = 0;
+    size_t count = 0;
+
+    /** Render as "median [q1, q3] (min..max)". */
+    std::string toString(int precision = 3) const;
+};
+
+/** Compute a Summary; an empty input yields an all-zero summary. */
+Summary summarize(std::vector<double> samples);
+
+/** Geometric mean; empty input yields 0, non-positive values are skipped. */
+double geomean(const std::vector<double> &samples);
+
+} // namespace sulong
+
+#endif // MS_SUPPORT_STATS_H

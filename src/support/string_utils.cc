@@ -1,0 +1,87 @@
+#include "support/string_utils.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sulong
+{
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+bool
+containsIgnoreCase(std::string_view text, std::string_view needle)
+{
+    if (needle.empty())
+        return true;
+    std::string lower_text = toLower(text);
+    std::string lower_needle = toLower(needle);
+    return lower_text.find(lower_needle) != std::string::npos;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        begin++;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        end--;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); i++) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+padLeft(std::string_view text, size_t width)
+{
+    std::string out(text);
+    if (out.size() < width)
+        out.insert(0, width - out.size(), ' ');
+    return out;
+}
+
+std::string
+padRight(std::string_view text, size_t width)
+{
+    std::string out(text);
+    if (out.size() < width)
+        out.append(width - out.size(), ' ');
+    return out;
+}
+
+} // namespace sulong

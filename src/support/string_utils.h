@@ -1,0 +1,40 @@
+/**
+ * @file
+ * String helpers shared across modules.
+ */
+
+#ifndef MS_SUPPORT_STRING_UTILS_H
+#define MS_SUPPORT_STRING_UTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sulong
+{
+
+/** Split @p text on @p sep; keeps empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** @return true if @p text contains @p needle (case-insensitive). */
+bool containsIgnoreCase(std::string_view text, std::string_view needle);
+
+/** @return lower-cased copy of @p text (ASCII only). */
+std::string toLower(std::string_view text);
+
+/** @return @p text with leading/trailing whitespace removed. */
+std::string_view trim(std::string_view text);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Left-pad @p text with spaces to @p width. */
+std::string padLeft(std::string_view text, size_t width);
+
+/** Right-pad @p text with spaces to @p width. */
+std::string padRight(std::string_view text, size_t width);
+
+} // namespace sulong
+
+#endif // MS_SUPPORT_STRING_UTILS_H

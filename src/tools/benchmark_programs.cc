@@ -1,0 +1,673 @@
+#include "tools/benchmark_programs.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+const char *FANNKUCHREDUX = R"C(
+/* fannkuch-redux: count pancake flips over all permutations of n. */
+static int perm[16];
+static int perm1[16];
+static int count[16];
+
+int main(int argc, char **argv) {
+    int n = argc > 1 ? atoi(argv[1]) : 7;
+    int max_flips = 0;
+    int checksum = 0;
+    int perm_count = 0;
+    for (int i = 0; i < n; i++)
+        perm1[i] = i;
+    int r = n;
+    while (1) {
+        while (r != 1) {
+            count[r - 1] = r;
+            r--;
+        }
+        for (int i = 0; i < n; i++)
+            perm[i] = perm1[i];
+        int flips = 0;
+        int k = perm[0];
+        while (k != 0) {
+            int half = (k + 1) / 2;
+            for (int i = 0; i < half; i++) {
+                int t = perm[i];
+                perm[i] = perm[k - i];
+                perm[k - i] = t;
+            }
+            flips++;
+            k = perm[0];
+        }
+        if (flips > max_flips)
+            max_flips = flips;
+        checksum += (perm_count % 2 == 0) ? flips : -flips;
+        perm_count++;
+        while (1) {
+            if (r == n) {
+                printf("%d\nPfannkuchen(%d) = %d\n", checksum, n,
+                       max_flips);
+                return 0;
+            }
+            int first = perm1[0];
+            for (int i = 0; i < r; i++)
+                perm1[i] = perm1[i + 1];
+            perm1[r] = first;
+            count[r] = count[r] - 1;
+            if (count[r] > 0)
+                break;
+            r++;
+        }
+    }
+})C";
+
+const char *FASTA = R"C(
+/* fasta: generate DNA sequences with weighted random selection. */
+static unsigned long seed = 42;
+
+static double gen_random(double max) {
+    seed = (seed * 3877 + 29573) % 139968;
+    return max * (double)seed / 139968.0;
+}
+
+struct amino { char c; double p; };
+
+static struct amino iub[15] = {
+    {'a', 0.27}, {'c', 0.12}, {'g', 0.12}, {'t', 0.27}, {'B', 0.02},
+    {'D', 0.02}, {'H', 0.02}, {'K', 0.02}, {'M', 0.02}, {'N', 0.02},
+    {'R', 0.02}, {'S', 0.02}, {'V', 0.02}, {'W', 0.02}, {'Y', 0.02}
+};
+
+static struct amino homo[4] = {
+    {'a', 0.3029549426680}, {'c', 0.1979883004921},
+    {'g', 0.1975473066391}, {'t', 0.3015094502008}
+};
+
+static void make_cumulative(struct amino *table, int n) {
+    double acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc += table[i].p;
+        table[i].p = acc;
+    }
+}
+
+static void random_fasta(const char *id, const char *desc,
+                         struct amino *table, int n, int count) {
+    printf(">%s %s\n", id, desc);
+    int col = 0;
+    char line[64];
+    for (int i = 0; i < count; i++) {
+        double r = gen_random(1.0);
+        int k = 0;
+        while (k < n - 1 && table[k].p < r)
+            k++;
+        line[col] = table[k].c;
+        col++;
+        if (col == 60) {
+            line[col] = 0;
+            puts(line);
+            col = 0;
+        }
+    }
+    if (col > 0) {
+        line[col] = 0;
+        puts(line);
+    }
+}
+
+static const char *alu =
+    "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA"
+    "TCACCTGAGGTCAGGAGTTCGAGACCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACT"
+    "AAAAATACAAAAATTAGCCGGGCGTGGTGGCGCGCGCCTGTAATCCCAGCTACTCGGGAG"
+    "GCTGAGGCAGGAGAATCGCTTGAACCCGGGAGGCGGAGGTTGCAGTGAGCCGAGATCGCG"
+    "CCACTGCACTCCAGCCTGGGCGACAGAGCGAGACTCCGTCTCAAAAA";
+
+static void repeat_fasta(const char *id, const char *desc, int count) {
+    printf(">%s %s\n", id, desc);
+    int len = (int)strlen(alu);
+    int pos = 0;
+    int col = 0;
+    char line[64];
+    for (int i = 0; i < count; i++) {
+        line[col] = alu[pos];
+        col++;
+        pos++;
+        if (pos == len)
+            pos = 0;
+        if (col == 60) {
+            line[col] = 0;
+            puts(line);
+            col = 0;
+        }
+    }
+    if (col > 0) {
+        line[col] = 0;
+        puts(line);
+    }
+}
+
+int main(int argc, char **argv) {
+    int n = argc > 1 ? atoi(argv[1]) : 600;
+    make_cumulative(iub, 15);
+    make_cumulative(homo, 4);
+    repeat_fasta("ONE", "Homo sapiens alu", n * 2);
+    random_fasta("TWO", "IUB ambiguity codes", iub, 15, n * 3);
+    random_fasta("THREE", "Homo sapiens frequency", homo, 4, n * 5);
+    return 0;
+})C";
+
+const char *FASTAREDUX = R"C(
+/* fasta-redux: lookup-table variant. Includes the fix for the rounding
+ * bug the paper's authors found (probabilities must end exactly at the
+ * table size, or the lookup runs out of bounds). */
+static unsigned long seed = 42;
+static double gen_random(void) {
+    seed = (seed * 3877 + 29573) % 139968;
+    return (double)seed / 139968.0;
+}
+
+struct amino { char c; double p; };
+static struct amino homo[4] = {
+    {'a', 0.3029549426680}, {'c', 0.1979883004921},
+    {'g', 0.1975473066391}, {'t', 0.3015094502008}
+};
+
+enum { LOOKUP_SIZE = 256 };
+static char lookup[256];
+
+static void build_lookup(void) {
+    double acc = 0;
+    int slot = 0;
+    for (int i = 0; i < 4; i++) {
+        acc += homo[i].p;
+        int end;
+        if (i == 3)
+            end = LOOKUP_SIZE; /* the fix: force the last slot */
+        else
+            end = (int)(acc * LOOKUP_SIZE);
+        while (slot < end) {
+            lookup[slot] = homo[i].c;
+            slot++;
+        }
+    }
+}
+
+int main(int argc, char **argv) {
+    int n = argc > 1 ? atoi(argv[1]) : 3000;
+    build_lookup();
+    char line[64];
+    int col = 0;
+    printf(">THREE Homo sapiens frequency\n");
+    for (int i = 0; i < n; i++) {
+        int idx = (int)(gen_random() * LOOKUP_SIZE);
+        line[col] = lookup[idx];
+        col++;
+        if (col == 60) {
+            line[col] = 0;
+            puts(line);
+            col = 0;
+        }
+    }
+    if (col > 0) {
+        line[col] = 0;
+        puts(line);
+    }
+    return 0;
+})C";
+
+const char *MANDELBROT = R"C(
+/* mandelbrot: render the set and print a byte checksum. */
+int main(int argc, char **argv) {
+    int n = argc > 1 ? atoi(argv[1]) : 80;
+    int checksum = 0;
+    int bit = 0;
+    int byte_acc = 0;
+    for (int y = 0; y < n; y++) {
+        double ci = 2.0 * y / n - 1.0;
+        for (int x = 0; x < n; x++) {
+            double cr = 2.0 * x / n - 1.5;
+            double zr = 0, zi = 0;
+            int i = 0;
+            int in_set = 1;
+            while (i < 50) {
+                double zr2 = zr * zr - zi * zi + cr;
+                double zi2 = 2.0 * zr * zi + ci;
+                zr = zr2;
+                zi = zi2;
+                if (zr * zr + zi * zi > 4.0) {
+                    in_set = 0;
+                    break;
+                }
+                i++;
+            }
+            byte_acc = byte_acc * 2 + in_set;
+            bit++;
+            if (bit == 8) {
+                checksum = (checksum * 31 + byte_acc) % 1000000007;
+                byte_acc = 0;
+                bit = 0;
+            }
+        }
+        if (bit != 0) {
+            checksum = (checksum * 31 + byte_acc) % 1000000007;
+            byte_acc = 0;
+            bit = 0;
+        }
+    }
+    printf("mandelbrot(%d) checksum=%d\n", n, checksum);
+    return 0;
+})C";
+
+const char *METEOR = R"C(
+/* meteor (reduced): exact-cover packing of a 5x4 board with five
+ * tetromino shapes via recursive backtracking over bitboards — the same
+ * algorithmic skeleton as the benchmarks-game pentomino solver. */
+enum { W = 5, H = 4, CELLS = 20, NSHAPES = 5, NVAR = 8 };
+
+static unsigned int variants[5][8];
+static int variant_count[5];
+
+static void add_variant(int shape, unsigned int mask) {
+    /* Translate the mask to every position on the board. */
+    (void)shape; (void)mask;
+}
+
+static unsigned int place(int cells0, int cells1, int cells2, int cells3) {
+    return (1u << cells0) | (1u << cells1) | (1u << cells2) | (1u << cells3);
+}
+
+static int solutions = 0;
+
+static void build(void) {
+    /* Shape 0: square; 1: line; 2: S; 3: L; 4: T (one orientation each,
+     * all translations generated at solve time). */
+    variants[0][0] = place(0, 1, W, W + 1);
+    variant_count[0] = 1;
+    variants[1][0] = place(0, 1, 2, 3);
+    variants[1][1] = place(0, W, 2 * W, 3 * W);
+    variant_count[1] = 2;
+    variants[2][0] = place(1, 2, W, W + 1);
+    variants[2][1] = place(0, W, W + 1, 2 * W + 1);
+    variant_count[2] = 2;
+    variants[3][0] = place(0, W, 2 * W, 2 * W + 1);
+    variants[3][1] = place(0, 1, 2, W);
+    variant_count[3] = 2;
+    variants[4][0] = place(0, 1, 2, W + 1);
+    variants[4][1] = place(1, W, W + 1, W + 2);
+    variant_count[4] = 2;
+}
+
+static int fits(unsigned int board, unsigned int piece) {
+    return (board & piece) == 0;
+}
+
+static unsigned int shifted(unsigned int mask, int dx, int dy) {
+    /* Shift without wrapping across rows: check column extents. */
+    unsigned int out = 0;
+    for (int c = 0; c < CELLS; c++) {
+        if ((mask & (1u << c)) != 0) {
+            int x = c % W + dx;
+            int y = c / W + dy;
+            if (x < 0 || x >= W || y < 0 || y >= H)
+                return 0xffffffffu; /* invalid */
+            out |= 1u << (y * W + x);
+        }
+    }
+    return out;
+}
+
+static void solve(unsigned int board, unsigned int used) {
+    if (used == (1u << NSHAPES) - 1) {
+        solutions++;
+        return;
+    }
+    /* Find the first free cell; some shape must cover it. */
+    int cell = 0;
+    while (cell < CELLS && (board & (1u << cell)) != 0)
+        cell++;
+    if (cell == CELLS)
+        return;
+    for (int s = 0; s < NSHAPES; s++) {
+        if ((used & (1u << s)) != 0)
+            continue;
+        for (int v = 0; v < variant_count[s]; v++) {
+            for (int dy = 0; dy < H; dy++) {
+                for (int dx = 0; dx < W; dx++) {
+                    unsigned int piece = shifted(variants[s][v], dx, dy);
+                    if (piece == 0xffffffffu)
+                        continue;
+                    if ((piece & (1u << cell)) == 0)
+                        continue;
+                    if (fits(board, piece))
+                        solve(board | piece, used | (1u << s));
+                }
+            }
+        }
+    }
+}
+
+int main(int argc, char **argv) {
+    int iterations = argc > 1 ? atoi(argv[1]) : 1;
+    for (int i = 0; i < iterations; i++) {
+        solutions = 0;
+        build();
+        solve(0, 0);
+    }
+    printf("%d solutions found\n", solutions);
+    return 0;
+})C";
+
+const char *NBODY = R"C(
+/* n-body: Jovian planet simulation. */
+enum { N = 5 };
+static double x[5], y[5], z[5], vx[5], vy[5], vz[5], mass[5];
+
+static const double PI = 3.141592653589793;
+static const double SOLAR_MASS = 4.0 * 3.141592653589793 *
+    3.141592653589793;
+static const double DAYS = 365.24;
+
+static void setup(void) {
+    /* Sun. */
+    x[0] = 0; y[0] = 0; z[0] = 0; vx[0] = 0; vy[0] = 0; vz[0] = 0;
+    mass[0] = SOLAR_MASS;
+    /* Jupiter. */
+    x[1] = 4.84143144246472090;
+    y[1] = -1.16032004402742839;
+    z[1] = -0.103622044471123109;
+    vx[1] = 0.00166007664274403694 * DAYS;
+    vy[1] = 0.00769901118419740425 * DAYS;
+    vz[1] = -0.0000690460016972063023 * DAYS;
+    mass[1] = 0.000954791938424326609 * SOLAR_MASS;
+    /* Saturn. */
+    x[2] = 8.34336671824457987;
+    y[2] = 4.12479856412430479;
+    z[2] = -0.403523417114321381;
+    vx[2] = -0.00276742510726862411 * DAYS;
+    vy[2] = 0.00499852801234917238 * DAYS;
+    vz[2] = 0.0000230417297573763929 * DAYS;
+    mass[2] = 0.000285885980666130812 * SOLAR_MASS;
+    /* Uranus. */
+    x[3] = 12.8943695621391310;
+    y[3] = -15.1111514016986312;
+    z[3] = -0.223307578892655734;
+    vx[3] = 0.00296460137564761618 * DAYS;
+    vy[3] = 0.00237847173959480950 * DAYS;
+    vz[3] = -0.0000296589568540237556 * DAYS;
+    mass[3] = 0.0000436624404335156298 * SOLAR_MASS;
+    /* Neptune. */
+    x[4] = 15.3796971148509165;
+    y[4] = -25.9193146099879641;
+    z[4] = 0.179258772950371181;
+    vx[4] = 0.00268067772490389322 * DAYS;
+    vy[4] = 0.00162824170038242295 * DAYS;
+    vz[4] = -0.0000951592254519715870 * DAYS;
+    mass[4] = 0.0000515138902046611451 * SOLAR_MASS;
+    /* Offset the sun's momentum. */
+    double px = 0, py = 0, pz = 0;
+    for (int i = 0; i < N; i++) {
+        px += vx[i] * mass[i];
+        py += vy[i] * mass[i];
+        pz += vz[i] * mass[i];
+    }
+    vx[0] = -px / SOLAR_MASS;
+    vy[0] = -py / SOLAR_MASS;
+    vz[0] = -pz / SOLAR_MASS;
+}
+
+static double energy(void) {
+    double e = 0;
+    for (int i = 0; i < N; i++) {
+        e += 0.5 * mass[i] *
+            (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+        for (int j = i + 1; j < N; j++) {
+            double dx = x[i] - x[j];
+            double dy = y[i] - y[j];
+            double dz = z[i] - z[j];
+            e -= mass[i] * mass[j] / sqrt(dx * dx + dy * dy + dz * dz);
+        }
+    }
+    return e;
+}
+
+static void advance(double dt) {
+    for (int i = 0; i < N; i++) {
+        for (int j = i + 1; j < N; j++) {
+            double dx = x[i] - x[j];
+            double dy = y[i] - y[j];
+            double dz = z[i] - z[j];
+            double d2 = dx * dx + dy * dy + dz * dz;
+            double mag = dt / (d2 * sqrt(d2));
+            vx[i] -= dx * mass[j] * mag;
+            vy[i] -= dy * mass[j] * mag;
+            vz[i] -= dz * mass[j] * mag;
+            vx[j] += dx * mass[i] * mag;
+            vy[j] += dy * mass[i] * mag;
+            vz[j] += dz * mass[i] * mag;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        x[i] += dt * vx[i];
+        y[i] += dt * vy[i];
+        z[i] += dt * vz[i];
+    }
+}
+
+int main(int argc, char **argv) {
+    int n = argc > 1 ? atoi(argv[1]) : 20000;
+    setup();
+    printf("%.9f\n", energy());
+    for (int i = 0; i < n; i++)
+        advance(0.01);
+    printf("%.9f\n", energy());
+    return 0;
+})C";
+
+const char *SPECTRALNORM = R"C(
+/* spectral-norm: power iteration on the infinite matrix A. */
+static double eval_a(int i, int j) {
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+
+static void mul_av(const double *v, double *out, int n) {
+    for (int i = 0; i < n; i++) {
+        double acc = 0;
+        for (int j = 0; j < n; j++)
+            acc += eval_a(i, j) * v[j];
+        out[i] = acc;
+    }
+}
+
+static void mul_atv(const double *v, double *out, int n) {
+    for (int i = 0; i < n; i++) {
+        double acc = 0;
+        for (int j = 0; j < n; j++)
+            acc += eval_a(j, i) * v[j];
+        out[i] = acc;
+    }
+}
+
+static void mul_atav(const double *v, double *out, double *tmp, int n) {
+    mul_av(v, tmp, n);
+    mul_atv(tmp, out, n);
+}
+
+int main(int argc, char **argv) {
+    int n = argc > 1 ? atoi(argv[1]) : 60;
+    double *u = malloc(sizeof(double) * n);
+    double *v = malloc(sizeof(double) * n);
+    double *tmp = malloc(sizeof(double) * n);
+    for (int i = 0; i < n; i++)
+        u[i] = 1.0;
+    for (int i = 0; i < 10; i++) {
+        mul_atav(u, v, tmp, n);
+        mul_atav(v, u, tmp, n);
+    }
+    double vbv = 0, vv = 0;
+    for (int i = 0; i < n; i++) {
+        vbv += u[i] * v[i];
+        vv += v[i] * v[i];
+    }
+    printf("%.9f\n", sqrt(vbv / vv));
+    free(u);
+    free(v);
+    free(tmp);
+    return 0;
+})C";
+
+const char *BINARYTREES = R"C(
+/* binary-trees: allocation-heavy tree build/check/free. */
+struct tree { struct tree *left; struct tree *right; };
+
+static struct tree *bottom_up(int depth) {
+    struct tree *node = malloc(sizeof(struct tree));
+    if (depth > 0) {
+        node->left = bottom_up(depth - 1);
+        node->right = bottom_up(depth - 1);
+    } else {
+        node->left = 0;
+        node->right = 0;
+    }
+    return node;
+}
+
+static int check(struct tree *node) {
+    if (node->left == 0)
+        return 1;
+    return 1 + check(node->left) + check(node->right);
+}
+
+static void destroy(struct tree *node) {
+    if (node->left != 0) {
+        destroy(node->left);
+        destroy(node->right);
+    }
+    free(node);
+}
+
+int main(int argc, char **argv) {
+    int max_depth = argc > 1 ? atoi(argv[1]) : 10;
+    int min_depth = 4;
+    int stretch = max_depth + 1;
+    struct tree *t = bottom_up(stretch);
+    printf("stretch tree of depth %d\t check: %d\n", stretch, check(t));
+    destroy(t);
+    struct tree *long_lived = bottom_up(max_depth);
+    for (int depth = min_depth; depth <= max_depth; depth += 2) {
+        int iterations = 1 << (max_depth - depth + min_depth);
+        int total = 0;
+        for (int i = 0; i < iterations; i++) {
+            struct tree *tmp = bottom_up(depth);
+            total += check(tmp);
+            destroy(tmp);
+        }
+        printf("%d\t trees of depth %d\t check: %d\n", iterations, depth,
+               total);
+    }
+    printf("long lived tree of depth %d\t check: %d\n", max_depth,
+           check(long_lived));
+    destroy(long_lived);
+    return 0;
+})C";
+
+const char *WHETSTONE = R"C(
+/* whetstone: the classic synthetic mix of floating-point modules. */
+static double e1[4];
+static double t = 0.499975;
+static double t1 = 0.50025;
+static double t2 = 2.0;
+
+static void pa(double *e) {
+    for (int j = 0; j < 6; j++) {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+    }
+}
+
+static void p3(double px, double py, double *z) {
+    double x1 = t * (px + py);
+    double y1 = t * (x1 + py);
+    *z = (x1 + y1) / t2;
+}
+
+int main(int argc, char **argv) {
+    int loop = argc > 1 ? atoi(argv[1]) : 50;
+    double x1 = 1.0, x2 = -1.0, x3 = -1.0, x4 = -1.0;
+    double x = 0, y = 0, z = 0;
+
+    /* Module 1: simple identifiers. */
+    for (int i = 0; i < 10 * loop; i++) {
+        x1 = (x1 + x2 + x3 - x4) * t;
+        x2 = (x1 + x2 - x3 + x4) * t;
+        x3 = (x1 - x2 + x3 + x4) * t;
+        x4 = (-x1 + x2 + x3 + x4) * t;
+    }
+    /* Module 2: array elements. */
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (int i = 0; i < 12 * loop; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+    /* Module 3: procedure calls with an array parameter. */
+    for (int i = 0; i < 14 * loop; i++)
+        pa(e1);
+    /* Module 4: trig functions. */
+    x = 0.5;
+    y = 0.5;
+    for (int i = 1; i <= 2 * loop; i++) {
+        x = t * atan(t2 * sin(x) * cos(x) /
+                     (cos(x + y) + cos(x - y) - 1.0));
+        y = t * atan(t2 * sin(y) * cos(y) /
+                     (cos(x + y) + cos(x - y) - 1.0));
+    }
+    /* Module 5: procedure calls with scalars. */
+    x = 1.0;
+    y = 1.0;
+    z = 1.0;
+    for (int i = 0; i < 12 * loop; i++)
+        p3(x, y, &z);
+    /* Module 6: standard functions. */
+    x = 0.75;
+    for (int i = 0; i < 10 * loop; i++)
+        x = sqrt(exp(log(x) / t1));
+    printf("%.6f %.6f %.6f %.6f\n", x1, e1[0], y, x);
+    printf("%.6f %.6f\n", z, t);
+    return 0;
+})C";
+
+} // namespace
+
+const std::vector<BenchmarkProgram> &
+benchmarkPrograms()
+{
+    static const std::vector<BenchmarkProgram> programs = [] {
+        std::vector<BenchmarkProgram> out;
+        out.push_back({"fannkuchredux", FANNKUCHREDUX, {"7"}, false});
+        out.push_back({"fasta", FASTA, {"600"}, false});
+        out.push_back({"fastaredux", FASTAREDUX, {"3000"}, false});
+        out.push_back({"mandelbrot", MANDELBROT, {"80"}, false});
+        out.push_back({"meteor", METEOR, {"3"}, false});
+        out.push_back({"nbody", NBODY, {"20000"}, false});
+        out.push_back({"spectralnorm", SPECTRALNORM, {"60"}, false});
+        out.push_back({"whetstone", WHETSTONE, {"50"}, false});
+        out.push_back({"binarytrees", BINARYTREES, {"10"}, true});
+        return out;
+    }();
+    return programs;
+}
+
+const BenchmarkProgram *
+findBenchmark(const std::string &name)
+{
+    for (const auto &program : benchmarkPrograms()) {
+        if (program.name == name)
+            return &program;
+    }
+    return nullptr;
+}
+
+} // namespace sulong

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The benchmark programs of the performance evaluation (Section 4.3):
+ * mini-C versions of the Computer Language Benchmarks Game programs the
+ * paper uses, plus whetstone. Problem sizes are scaled to interpreter
+ * speeds; every engine must produce identical output (the suite doubles
+ * as a cross-engine differential test).
+ *
+ * meteor is a reduced exact-cover puzzle of the same algorithmic shape
+ * (recursive backtracking over bitboards) as the original pentomino
+ * solver; fastaredux includes the cumulative-probability fix the paper's
+ * authors submitted upstream (their footnote [46]).
+ */
+
+#ifndef MS_TOOLS_BENCHMARK_PROGRAMS_H
+#define MS_TOOLS_BENCHMARK_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace sulong
+{
+
+/** One benchmark program. */
+struct BenchmarkProgram
+{
+    std::string name;
+    std::string source;
+    /// Default command-line arguments (problem size).
+    std::vector<std::string> args;
+    /// Allocation-intensive (binarytrees): reported separately like the
+    /// paper, which excluded it from the plot.
+    bool allocationIntensive = false;
+};
+
+/** All benchmark programs, in the paper's Fig. 16 order. */
+const std::vector<BenchmarkProgram> &benchmarkPrograms();
+
+/** Look up by name (nullptr when unknown). */
+const BenchmarkProgram *findBenchmark(const std::string &name);
+
+} // namespace sulong
+
+#endif // MS_TOOLS_BENCHMARK_PROGRAMS_H

@@ -1,0 +1,114 @@
+#include "tools/driver.h"
+
+#include "opt/passes.h"
+#include "sanitizer/asan_pass.h"
+
+namespace sulong
+{
+
+std::string
+ToolConfig::toString() const
+{
+    switch (kind) {
+      case ToolKind::safeSulong:
+        return "Safe Sulong";
+      case ToolKind::clang:
+        return optLevel >= 3 ? "Clang -O3" : "Clang -O0";
+      case ToolKind::asan:
+        return optLevel >= 3 ? "ASan -O3" : "ASan -O0";
+      case ToolKind::memcheck:
+        return optLevel >= 3 ? "Valgrind -O3" : "Valgrind -O0";
+    }
+    return "unknown";
+}
+
+PreparedProgram
+prepareProgram(const std::vector<SourceFile> &user_sources,
+               const ToolConfig &config)
+{
+    PreparedProgram prepared;
+
+    // Safe Sulong interprets its safety-first libc; native tools run the
+    // performance-optimized one (word-wise strlen etc.), like real
+    // precompiled libcs.
+    LibcVariant variant = config.kind == ToolKind::safeSulong
+        ? LibcVariant::safe : LibcVariant::nativeOptimized;
+    std::vector<SourceFile> sources = libcSources(variant);
+    for (const auto &src : user_sources)
+        sources.push_back(src);
+
+    CompileResult compiled = compileC(sources);
+    if (!compiled.ok()) {
+        prepared.compileErrors = compiled.errors;
+        return prepared;
+    }
+    prepared.module = std::move(compiled.module);
+
+    switch (config.kind) {
+      case ToolKind::safeSulong:
+        // No unsafe optimization: the managed engine executes the IR as
+        // the front end produced it (Fig. 4 pipeline).
+        prepared.engine = std::make_unique<ManagedEngine>(config.managed);
+        break;
+      case ToolKind::clang:
+        if (config.optLevel >= 3)
+            runO3Pipeline(*prepared.module);
+        else
+            runO0Pipeline(*prepared.module);
+        prepared.engine = std::make_unique<NativeEngine>(
+            config.toString());
+        break;
+      case ToolKind::asan:
+        if (config.optLevel >= 3)
+            runO3Pipeline(*prepared.module);
+        else
+            runO0Pipeline(*prepared.module);
+        // Like real ASan, instrumentation runs after optimization: what
+        // the optimizer deleted can no longer be checked (P2).
+        runAsanPass(*prepared.module);
+        prepared.engine = std::make_unique<NativeEngine>(
+            config.toString(),
+            std::make_shared<AsanRuntime>(config.asan));
+        break;
+      case ToolKind::memcheck:
+        if (config.optLevel >= 3)
+            runO3Pipeline(*prepared.module);
+        else
+            runO0Pipeline(*prepared.module);
+        prepared.engine = std::make_unique<NativeEngine>(
+            config.toString(),
+            std::make_shared<MemcheckRuntime>(config.memcheck));
+        break;
+    }
+    return prepared;
+}
+
+PreparedProgram
+prepareProgram(const std::string &user_source, const ToolConfig &config)
+{
+    return prepareProgram(
+        std::vector<SourceFile>{SourceFile{"<input>", user_source}}, config);
+}
+
+ExecutionResult
+runUnderTool(const std::string &user_source, const ToolConfig &config,
+             const std::vector<std::string> &args,
+             const std::string &stdin_data)
+{
+    PreparedProgram prepared = prepareProgram(user_source, config);
+    return prepared.run(args, stdin_data);
+}
+
+std::vector<ToolConfig>
+evaluationToolMatrix()
+{
+    return {
+        ToolConfig::make(ToolKind::safeSulong),
+        ToolConfig::make(ToolKind::asan, 0),
+        ToolConfig::make(ToolKind::asan, 3),
+        ToolConfig::make(ToolKind::memcheck, 0),
+        ToolConfig::make(ToolKind::memcheck, 3),
+    };
+}
+
+} // namespace sulong

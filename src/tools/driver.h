@@ -1,0 +1,106 @@
+/**
+ * @file
+ * One-call driver: compile a mini-C program, link the right libc
+ * variant, run the right optimization pipeline and instrumentation, and
+ * execute it under the selected tool — the workflow of the paper's
+ * evaluation (Section 4).
+ */
+
+#ifndef MS_TOOLS_DRIVER_H
+#define MS_TOOLS_DRIVER_H
+
+#include <memory>
+
+#include "interp/managed_engine.h"
+#include "libc/libc_sources.h"
+#include "memcheck/memcheck_runtime.h"
+#include "native/native_engine.h"
+#include "sanitizer/asan_runtime.h"
+#include "tools/engine.h"
+
+namespace sulong
+{
+
+/** The tools of the evaluation. */
+enum class ToolKind : uint8_t
+{
+    /// The paper's system: managed interpretation + safe libc, no
+    /// unsafe optimization.
+    safeSulong,
+    /// Plain native execution ("compiled with Clang, no tool").
+    clang,
+    /// Compile-time shadow-memory instrumentation (ASan-style).
+    asan,
+    /// Runtime instrumentation (Valgrind/Memcheck-style).
+    memcheck,
+};
+
+/** Complete configuration for one tool run. */
+struct ToolConfig
+{
+    ToolKind kind = ToolKind::safeSulong;
+    /// 0 or 3; ignored for safeSulong (which runs unoptimized IR).
+    int optLevel = 0;
+    ManagedOptions managed;
+    AsanOptions asan;
+    MemcheckOptions memcheck;
+
+    static ToolConfig
+    make(ToolKind kind, int opt_level = 0)
+    {
+        ToolConfig config;
+        config.kind = kind;
+        config.optLevel = opt_level;
+        return config;
+    }
+
+    /** Display name, e.g. "ASan -O3". */
+    std::string toString() const;
+};
+
+/** A compiled-and-instrumented program bound to its engine. */
+struct PreparedProgram
+{
+    std::unique_ptr<Module> module;
+    std::unique_ptr<Engine> engine;
+    std::string compileErrors;
+
+    bool ok() const { return module != nullptr && engine != nullptr; }
+
+    ExecutionResult
+    run(const std::vector<std::string> &args = {},
+        const std::string &stdin_data = "")
+    {
+        if (!ok()) {
+            ExecutionResult result;
+            result.bug.kind = ErrorKind::engineError;
+            result.bug.detail = "compilation failed: " + compileErrors;
+            return result;
+        }
+        return engine->run(*module, args, stdin_data);
+    }
+};
+
+/**
+ * Compile @p user_sources with the configuration's libc variant and
+ * pipelines, and construct the matching engine.
+ */
+PreparedProgram prepareProgram(const std::vector<SourceFile> &user_sources,
+                               const ToolConfig &config);
+
+/** Convenience: one anonymous source. */
+PreparedProgram prepareProgram(const std::string &user_source,
+                               const ToolConfig &config);
+
+/** Compile-and-run in one step. */
+ExecutionResult runUnderTool(const std::string &user_source,
+                             const ToolConfig &config,
+                             const std::vector<std::string> &args = {},
+                             const std::string &stdin_data = "");
+
+/** The seven tool configurations of the Section 4.1 comparison. */
+std::vector<ToolConfig> evaluationToolMatrix();
+
+} // namespace sulong
+
+#endif // MS_TOOLS_DRIVER_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The common execution-engine interface.
+ *
+ * Every tool in the evaluation — Safe Sulong (managed), plain native
+ * ("Clang"), ASan-style shadow memory, and Memcheck-style runtime
+ * instrumentation — implements this interface, so the corpus harness and
+ * the benchmarks drive them uniformly.
+ */
+
+#ifndef MS_TOOLS_ENGINE_H
+#define MS_TOOLS_ENGINE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "support/error.h"
+
+namespace sulong
+{
+
+/** Guest stdin/stdout/stderr plumbing shared by all engines. */
+struct GuestIO
+{
+    std::string input;
+    size_t inputPos = 0;
+    std::string output;
+    std::string errOutput;
+
+    int
+    getChar()
+    {
+        if (inputPos >= input.size())
+            return -1; // EOF
+        return static_cast<unsigned char>(input[inputPos++]);
+    }
+
+    void
+    write(int fd, const char *data, size_t len)
+    {
+        (fd == 2 ? errOutput : output).append(data, len);
+    }
+};
+
+/** Per-run limits so buggy guests cannot wedge the host. */
+struct RunLimits
+{
+    /// Maximum number of executed IR instructions (0 = unlimited).
+    uint64_t maxSteps = 500'000'000;
+    /// Maximum guest call depth. Guest calls nest host-interpreter
+    /// frames, so this also protects the host stack.
+    unsigned maxCallDepth = 3'000;
+};
+
+/**
+ * A bug-finding (or plain) execution environment for IR modules.
+ */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    /** Short tool name ("SafeSulong", "ASan", "Memcheck", "Native"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute @p module's main() with the given command line and stdin.
+     * Never throws for guest misbehaviour: bugs, traps, and engine
+     * errors are reported through the ExecutionResult.
+     */
+    virtual ExecutionResult run(const Module &module,
+                                const std::vector<std::string> &args,
+                                const std::string &stdin_data) = 0;
+
+    ExecutionResult
+    run(const Module &module, const std::vector<std::string> &args = {})
+    {
+        return run(module, args, "");
+    }
+
+    RunLimits &limits() { return limits_; }
+
+  protected:
+    RunLimits limits_;
+};
+
+} // namespace sulong
+
+#endif // MS_TOOLS_ENGINE_H

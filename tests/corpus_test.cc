@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Corpus tests: the Table 1 / Table 2 ground-truth distributions, per-
+ * entry detection by Safe Sulong (kind, access, storage, direction all
+ * matching the metadata), and the headline Section 4.1 counts.
+ */
+
+#include "test_util.h"
+
+#include "corpus/harness.h"
+
+namespace sulong
+{
+namespace
+{
+
+TEST(CorpusShapeTest, TableOneDistribution)
+{
+    const auto &corpus = bugCorpus();
+    ASSERT_EQ(corpus.size(), 68u);
+    unsigned oob = 0, nulls = 0, uaf = 0, varargs = 0;
+    for (const auto &entry : corpus) {
+        switch (entry.kind) {
+          case ErrorKind::outOfBounds: oob++; break;
+          case ErrorKind::nullDeref: nulls++; break;
+          case ErrorKind::useAfterFree: uaf++; break;
+          case ErrorKind::varargs: varargs++; break;
+          default: FAIL() << entry.id;
+        }
+    }
+    EXPECT_EQ(oob, 61u);
+    EXPECT_EQ(nulls, 5u);
+    EXPECT_EQ(uaf, 1u);
+    EXPECT_EQ(varargs, 1u);
+}
+
+TEST(CorpusShapeTest, TableTwoDistribution)
+{
+    unsigned reads = 0, writes = 0, under = 0, over = 0;
+    unsigned stack = 0, heap = 0, global = 0, main_args = 0;
+    for (const auto &entry : bugCorpus()) {
+        if (entry.kind != ErrorKind::outOfBounds)
+            continue;
+        (entry.access == AccessKind::read ? reads : writes)++;
+        (entry.direction == BoundsDirection::underflow ? under : over)++;
+        switch (entry.storage) {
+          case StorageKind::stack: stack++; break;
+          case StorageKind::heap: heap++; break;
+          case StorageKind::global: global++; break;
+          case StorageKind::mainArgs: main_args++; break;
+          default: FAIL() << entry.id;
+        }
+    }
+    EXPECT_EQ(reads, 32u);
+    EXPECT_EQ(writes, 29u);
+    EXPECT_EQ(under, 8u);
+    EXPECT_EQ(over, 53u);
+    EXPECT_EQ(stack, 32u);
+    EXPECT_EQ(heap, 17u);
+    EXPECT_EQ(global, 9u);
+    EXPECT_EQ(main_args, 3u);
+}
+
+TEST(CorpusShapeTest, UniqueIdsAndCaseStudies)
+{
+    std::set<std::string> ids;
+    unsigned case_studies = 0;
+    for (const auto &entry : bugCorpus()) {
+        EXPECT_TRUE(ids.insert(entry.id).second)
+            << "duplicate id " << entry.id;
+        EXPECT_FALSE(entry.source.empty()) << entry.id;
+        EXPECT_FALSE(entry.description.empty()) << entry.id;
+        if (entry.caseStudy)
+            case_studies++;
+    }
+    // Figs. 10, 11, 12, 13, 14 plus the missing-vararg case.
+    EXPECT_EQ(case_studies, 6u);
+}
+
+TEST(CorpusShapeTest, FormattersMatchGroundTruth)
+{
+    std::string t1 = formatTable1(bugCorpus());
+    EXPECT_NE(t1.find("Buffer overflows      61"), std::string::npos) << t1;
+    std::string t2 = formatTable2(bugCorpus());
+    EXPECT_NE(t2.find("Read   32"), std::string::npos) << t2;
+    EXPECT_NE(t2.find("Write  29"), std::string::npos) << t2;
+}
+
+/** Safe Sulong must detect each entry with fully matching metadata. */
+class CorpusEntryTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CorpusEntryTest, SafeSulongDetectsWithExactMetadata)
+{
+    const CorpusEntry &entry =
+        bugCorpus()[static_cast<size_t>(GetParam())];
+    ExecutionResult result =
+        runUnderTool(entry.source, ToolConfig::make(ToolKind::safeSulong),
+                     entry.args, entry.stdinData);
+    EXPECT_EQ(result.bug.kind, entry.kind)
+        << entry.id << ": " << result.bug.toString();
+    if (entry.kind == ErrorKind::outOfBounds) {
+        EXPECT_EQ(result.bug.access, entry.access) << entry.id;
+        EXPECT_EQ(result.bug.storage, entry.storage) << entry.id;
+        EXPECT_EQ(result.bug.direction, entry.direction) << entry.id;
+    }
+}
+
+std::string
+entryName(const ::testing::TestParamInfo<int> &info)
+{
+    std::string name = bugCorpus()[static_cast<size_t>(info.param)].id;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, CorpusEntryTest,
+                         ::testing::Range(0, 68), entryName);
+
+TEST(CorpusMatrixTest, HeadlineCountsMatchThePaper)
+{
+    const auto &corpus = bugCorpus();
+    std::vector<ToolConfig> tools = {
+        ToolConfig::make(ToolKind::safeSulong),
+        ToolConfig::make(ToolKind::asan, 0),
+        ToolConfig::make(ToolKind::asan, 3),
+    };
+    auto rows = runDetectionMatrix(corpus, tools);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].directCount, 68u);    // Safe Sulong finds all
+    EXPECT_EQ(rows[1].directCount, 60u);    // ASan -O0 misses the 8
+    EXPECT_EQ(rows[2].directCount, 56u);    // ASan -O3 misses 4 more
+    EXPECT_EQ(rows[0].errorCount, 0u);
+    EXPECT_EQ(rows[1].errorCount, 0u);
+    // ASan -O3's detections are a subset of -O0's (as in the paper).
+    for (size_t i = 0; i < corpus.size(); i++) {
+        if (rows[2].outcomes[i].detected) {
+            EXPECT_TRUE(rows[1].outcomes[i].detected) << corpus[i].id;
+        }
+    }
+}
+
+TEST(CorpusMatrixTest, ValgrindFindsAboutHalf)
+{
+    const auto &corpus = bugCorpus();
+    auto rows = runDetectionMatrix(
+        corpus, {ToolConfig::make(ToolKind::memcheck, 0)});
+    const MatrixRow &valgrind = rows[0];
+    // Direct: all 17 heap OOB + 5 NULL + 1 UAF.
+    EXPECT_EQ(valgrind.directCount, 23u);
+    // With the indirect uninitialised-value reports it reaches
+    // "slightly more than half" (the paper's wording).
+    unsigned total = valgrind.directCount + valgrind.indirectCount;
+    EXPECT_GT(total, 30u);
+    EXPECT_LT(total, 45u);
+    // Heap entries are all found directly.
+    for (size_t i = 0; i < corpus.size(); i++) {
+        if (corpus[i].kind == ErrorKind::outOfBounds &&
+            corpus[i].storage == StorageKind::heap) {
+            EXPECT_TRUE(valgrind.outcomes[i].detected) << corpus[i].id;
+        }
+        if (corpus[i].storage == StorageKind::mainArgs) {
+            EXPECT_FALSE(valgrind.outcomes[i].detected) << corpus[i].id;
+        }
+    }
+}
+
+TEST(CorpusMatrixTest, ExactlyEightExclusiveToSafeSulong)
+{
+    const auto &corpus = bugCorpus();
+    std::vector<ToolConfig> tools = {
+        ToolConfig::make(ToolKind::safeSulong),
+        ToolConfig::make(ToolKind::asan, 0),
+        ToolConfig::make(ToolKind::asan, 3),
+        ToolConfig::make(ToolKind::memcheck, 0),
+        ToolConfig::make(ToolKind::memcheck, 3),
+    };
+    auto rows = runDetectionMatrix(corpus, tools);
+    auto exclusive = exclusiveDetections(corpus, rows);
+    EXPECT_EQ(exclusive.size(), 8u);
+    // The categories the paper names: argv (3), interceptors (2),
+    // -O0-optimized-away (1), beyond-the-redzone (1), varargs (1).
+    std::set<std::string> set(exclusive.begin(), exclusive.end());
+    EXPECT_TRUE(set.count("args-r-01-argv-fixed-index"));
+    EXPECT_TRUE(set.count("stack-r-03-strtok-delim"));
+    EXPECT_TRUE(set.count("stack-r-04-printf-ld-int"));
+    EXPECT_TRUE(set.count("global-r-01-const-index"));
+    EXPECT_TRUE(set.count("global-r-02-user-index"));
+    EXPECT_TRUE(set.count("varargs-01-missing-argument"));
+}
+
+TEST(CorpusMatrixTest, Tier2AndOsrKeepEveryDetection)
+{
+    // Safe semantics (paper Section 3.4): neither eager tier-2
+    // compilation nor on-stack replacement may lose a single bug.
+    ToolConfig eager = ToolConfig::make(ToolKind::safeSulong);
+    eager.managed.compileThreshold = 1;
+    eager.managed.enableOsr = true;
+    eager.managed.osrThreshold = 50;
+    for (const CorpusEntry &entry : bugCorpus()) {
+        ExecutionResult result = runUnderTool(
+            entry.source, eager, entry.args, entry.stdinData);
+        EXPECT_EQ(result.bug.kind, entry.kind)
+            << entry.id << ": " << result.bug.toString();
+    }
+}
+
+TEST(CorpusMatrixTest, NativeBaselineDetectsAlmostNothing)
+{
+    // "Clang" without any tool: only traps (NULL derefs) surface.
+    const auto &corpus = bugCorpus();
+    auto rows = runDetectionMatrix(
+        corpus, {ToolConfig::make(ToolKind::clang, 0)});
+    EXPECT_LE(rows[0].directCount, 10u);
+    for (size_t i = 0; i < corpus.size(); i++) {
+        if (rows[0].outcomes[i].detected) {
+            EXPECT_EQ(corpus[i].kind, ErrorKind::nullDeref)
+                << corpus[i].id;
+        }
+    }
+}
+
+} // namespace
+} // namespace sulong

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Driver and benchmark-program tests: tool configuration, compile
+ * failure handling, and the cross-engine output equality of every
+ * benchmark (the Fig. 16 workloads double as differential tests).
+ */
+
+#include "test_util.h"
+
+#include "tools/benchmark_programs.h"
+
+namespace sulong
+{
+namespace
+{
+
+TEST(DriverTest, ToolNames)
+{
+    EXPECT_EQ(ToolConfig::make(ToolKind::safeSulong).toString(),
+              "Safe Sulong");
+    EXPECT_EQ(ToolConfig::make(ToolKind::clang, 0).toString(), "Clang -O0");
+    EXPECT_EQ(ToolConfig::make(ToolKind::clang, 3).toString(), "Clang -O3");
+    EXPECT_EQ(ToolConfig::make(ToolKind::asan, 3).toString(), "ASan -O3");
+    EXPECT_EQ(ToolConfig::make(ToolKind::memcheck, 0).toString(),
+              "Valgrind -O0");
+}
+
+TEST(DriverTest, EvaluationMatrixShape)
+{
+    auto tools = evaluationToolMatrix();
+    ASSERT_EQ(tools.size(), 5u);
+    EXPECT_EQ(tools[0].kind, ToolKind::safeSulong);
+}
+
+TEST(DriverTest, CompileErrorsSurfaceInResult)
+{
+    ExecutionResult result = runUnderTool(
+        "int main(void) { syntax error here }",
+        ToolConfig::make(ToolKind::safeSulong));
+    EXPECT_EQ(result.bug.kind, ErrorKind::engineError);
+    EXPECT_NE(result.bug.detail.find("compilation failed"),
+              std::string::npos);
+}
+
+TEST(DriverTest, MultipleUserSources)
+{
+    std::vector<SourceFile> sources = {
+        {"a.c", "int helper(void) { return 40; }"},
+        {"b.c", "int helper(void);\n"
+                "int main(void) { return helper() + 2; }"},
+    };
+    PreparedProgram prepared =
+        prepareProgram(sources, ToolConfig::make(ToolKind::safeSulong));
+    ASSERT_TRUE(prepared.ok()) << prepared.compileErrors;
+    EXPECT_EQ(prepared.run().exitCode, 42);
+}
+
+TEST(DriverTest, PreparedProgramIsReusable)
+{
+    PreparedProgram prepared = prepareProgram(
+        R"(int main(int argc, char **argv) { return argc; })",
+        ToolConfig::make(ToolKind::safeSulong));
+    ASSERT_TRUE(prepared.ok());
+    EXPECT_EQ(prepared.run({}).exitCode, 1);
+    EXPECT_EQ(prepared.run({"a", "b"}).exitCode, 3);
+}
+
+TEST(BenchmarkProgramsTest, RegistryComplete)
+{
+    const auto &programs = benchmarkPrograms();
+    EXPECT_EQ(programs.size(), 9u);
+    EXPECT_NE(findBenchmark("meteor"), nullptr);
+    EXPECT_NE(findBenchmark("nbody"), nullptr);
+    EXPECT_EQ(findBenchmark("unknown"), nullptr);
+    EXPECT_TRUE(findBenchmark("binarytrees")->allocationIntensive);
+}
+
+/** Every benchmark must produce identical output on every engine. */
+class BenchmarkDifferentialTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BenchmarkDifferentialTest, AllEnginesAgree)
+{
+    const BenchmarkProgram &program =
+        benchmarkPrograms()[static_cast<size_t>(GetParam())];
+    // Use small problem sizes to keep the suite fast.
+    std::vector<std::string> args = program.args;
+    if (program.name == "fannkuchredux") args = {"6"};
+    if (program.name == "fasta") args = {"150"};
+    if (program.name == "fastaredux") args = {"600"};
+    if (program.name == "mandelbrot") args = {"32"};
+    if (program.name == "meteor") args = {"1"};
+    if (program.name == "nbody") args = {"500"};
+    if (program.name == "spectralnorm") args = {"16"};
+    if (program.name == "whetstone") args = {"5"};
+    if (program.name == "binarytrees") args = {"6"};
+
+    ExecutionResult reference = runUnderTool(
+        program.source, ToolConfig::make(ToolKind::safeSulong), args);
+    ASSERT_TRUE(reference.ok())
+        << program.name << ": " << reference.bug.toString();
+    ASSERT_FALSE(reference.output.empty()) << program.name;
+
+    const ToolConfig configs[] = {
+        ToolConfig::make(ToolKind::clang, 0),
+        ToolConfig::make(ToolKind::clang, 3),
+        ToolConfig::make(ToolKind::asan, 0),
+        ToolConfig::make(ToolKind::memcheck, 0),
+    };
+    for (const ToolConfig &config : configs) {
+        ExecutionResult result =
+            runUnderTool(program.source, config, args);
+        EXPECT_TRUE(result.ok()) << program.name << " under "
+                                 << config.toString() << ": "
+                                 << result.bug.toString();
+        EXPECT_EQ(result.output, reference.output)
+            << program.name << " under " << config.toString();
+        EXPECT_EQ(result.exitCode, reference.exitCode) << program.name;
+    }
+}
+
+std::string
+benchName(const ::testing::TestParamInfo<int> &info)
+{
+    return benchmarkPrograms()[static_cast<size_t>(info.param)].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkDifferentialTest,
+                         ::testing::Range(0, 9), benchName);
+
+TEST(BenchmarkProgramsTest, Tier2MatchesOnBenchmarks)
+{
+    // Property: eager tier-2 compilation never changes benchmark output.
+    ToolConfig eager = ToolConfig::make(ToolKind::safeSulong);
+    eager.managed.compileThreshold = 1;
+    ToolConfig interp = ToolConfig::make(ToolKind::safeSulong);
+    interp.managed.enableTier2 = false;
+    for (const char *name : {"fannkuchredux", "nbody", "meteor"}) {
+        const BenchmarkProgram *program = findBenchmark(name);
+        std::vector<std::string> args = {"5"};
+        if (std::string(name) == "nbody")
+            args = {"200"};
+        if (std::string(name) == "meteor")
+            args = {"1"};
+        ExecutionResult a = runUnderTool(program->source, eager, args);
+        ExecutionResult b = runUnderTool(program->source, interp, args);
+        ASSERT_TRUE(a.ok()) << name << a.bug.toString();
+        EXPECT_EQ(a.output, b.output) << name;
+    }
+}
+
+} // namespace
+} // namespace sulong

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Managed-engine tests: tier-2 equivalence with the interpreter, compile
+ * events, limits, pointer pinning, and bug-report attribution.
+ */
+
+#include "test_util.h"
+
+#include "tools/benchmark_programs.h"
+
+namespace sulong
+{
+namespace
+{
+
+ExecutionResult
+runWith(const ManagedOptions &options, const std::string &src,
+        const std::vector<std::string> &args = {})
+{
+    ToolConfig config = ToolConfig::make(ToolKind::safeSulong);
+    config.managed = options;
+    return runUnderTool(src, config, args, "");
+}
+
+const char *kHotLoop = R"(
+static int mix(int v) { return v * 31 + 7; }
+int main(void) {
+    int acc = 1;
+    for (int i = 0; i < 5000; i++)
+        acc = mix(acc) ^ i;
+    printf("%d\n", acc);
+    return 0;
+})";
+
+TEST(TierTest, Tier2MatchesInterpreter)
+{
+    ManagedOptions interp_only;
+    interp_only.enableTier2 = false;
+    ManagedOptions eager;
+    eager.enableTier2 = true;
+    eager.compileThreshold = 1;
+
+    ExecutionResult a = runWith(interp_only, kHotLoop);
+    ExecutionResult b = runWith(eager, kHotLoop);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.exitCode, b.exitCode);
+}
+
+TEST(TierTest, HotFunctionsGetCompiled)
+{
+    ManagedOptions options;
+    options.compileThreshold = 10;
+    ManagedEngine engine(options);
+    PreparedProgram prepared =
+        prepareProgram(kHotLoop, ToolConfig::make(ToolKind::safeSulong));
+    ASSERT_TRUE(prepared.module != nullptr);
+    ExecutionResult result = engine.run(*prepared.module, {}, "");
+    ASSERT_TRUE(result.ok()) << result.bug.toString();
+    EXPECT_GT(engine.tier2Functions(), 0u);
+    bool mix_compiled = false;
+    for (const CompileEvent &event : engine.compileEvents()) {
+        if (event.function == "mix")
+            mix_compiled = true;
+    }
+    EXPECT_TRUE(mix_compiled);
+}
+
+TEST(TierTest, ColdRunCompilesNothing)
+{
+    ManagedOptions options;
+    options.compileThreshold = 1000000;
+    ManagedEngine engine(options);
+    PreparedProgram prepared = prepareProgram(
+        "int main(void) { return 5; }",
+        ToolConfig::make(ToolKind::safeSulong));
+    ASSERT_TRUE(prepared.module != nullptr);
+    ExecutionResult result = engine.run(*prepared.module, {}, "");
+    EXPECT_EQ(result.exitCode, 5);
+    EXPECT_EQ(engine.tier2Functions(), 0u);
+}
+
+TEST(TierTest, BugsStillDetectedAtTier2)
+{
+    // The buggy access happens only on the last iteration, long after
+    // the function was tier-2 compiled: safe semantics must still trap.
+    ManagedOptions eager;
+    eager.compileThreshold = 1;
+    ExecutionResult result = runWith(eager, R"(
+static int get(int *arr, int i) { return arr[i]; }
+int main(void) {
+    int data[8] = {0};
+    int acc = 0;
+    for (int i = 0; i <= 8; i++)  /* i == 8 is out of bounds */
+        acc += get(data, i);
+    return acc;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+    EXPECT_EQ(result.bug.function, "get");
+}
+
+TEST(UninitReadTest, StackReadCaughtAtTheLoad)
+{
+    ManagedOptions options;
+    options.detectUninitReads = true;
+    ExecutionResult result = runWith(options, R"(
+int main(void) {
+    int configured;
+    int fallback = 7;
+    return configured + fallback; /* read of never-written stack int */
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::uninitRead);
+    EXPECT_EQ(result.bug.storage, StorageKind::stack);
+    EXPECT_EQ(result.bug.function, "main");
+}
+
+TEST(UninitReadTest, HeapReadCaughtCallocClean)
+{
+    ManagedOptions options;
+    options.detectUninitReads = true;
+    ExecutionResult dirty = runWith(options, R"(
+int main(void) {
+    int *p = malloc(sizeof(int) * 2);
+    int v = p[1];
+    free(p);
+    return v;
+})");
+    EXPECT_EQ(dirty.bug.kind, ErrorKind::uninitRead);
+    EXPECT_EQ(dirty.bug.storage, StorageKind::heap);
+
+    ExecutionResult clean = runWith(options, R"(
+int main(void) {
+    int *p = calloc(2, sizeof(int));
+    int v = p[1];
+    free(p);
+    return v;
+})");
+    EXPECT_TRUE(clean.ok()) << clean.bug.toString();
+}
+
+TEST(UninitReadTest, PartialInitializationIsByteExact)
+{
+    ManagedOptions options;
+    options.detectUninitReads = true;
+    // Reading only the written half is fine...
+    EXPECT_TRUE(runWith(options, R"(
+int main(void) {
+    int pair[2];
+    pair[0] = 5;
+    return pair[0];
+})").ok());
+    // ...the unwritten half is caught.
+    ExecutionResult result = runWith(options, R"(
+int main(void) {
+    int pair[2];
+    pair[0] = 5;
+    return pair[1];
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::uninitRead);
+}
+
+TEST(UninitReadTest, ReallocIsNotAUse)
+{
+    ManagedOptions options;
+    options.detectUninitReads = true;
+    ExecutionResult result = runWith(options, R"(
+int main(void) {
+    int *p = malloc(sizeof(int) * 2);
+    p[0] = 1; /* p[1] stays uninitialized */
+    p = realloc(p, sizeof(int) * 4);
+    int v = p[0];
+    free(p);
+    return v;
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+    EXPECT_EQ(result.exitCode, 1);
+}
+
+TEST(UninitReadTest, LibcAndBenchmarksAreUninitClean)
+{
+    // Strong self-check: whole benchmark programs (through printf,
+    // strings, qsort, the heap) run with exact tracking enabled.
+    ToolConfig config = ToolConfig::make(ToolKind::safeSulong);
+    config.managed.detectUninitReads = true;
+    for (const char *name : {"fannkuchredux", "nbody", "binarytrees"}) {
+        const BenchmarkProgram *program = findBenchmark(name);
+        std::vector<std::string> args = {"5"};
+        if (std::string(name) == "nbody")
+            args = {"100"};
+        ExecutionResult result =
+            runUnderTool(program->source, config, args);
+        EXPECT_TRUE(result.ok())
+            << name << ": " << result.bug.toString();
+    }
+}
+
+TEST(UninitReadTest, OffByDefault)
+{
+    ExecutionResult result = testutil::runManaged(R"(
+int main(void) {
+    int x;
+    return x == x; /* harmless without tracking */
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(OsrTest, HotLoopTiersUpMidFunction)
+{
+    // main is invoked exactly once, so invocation counting alone never
+    // compiles it (the paper's missing-OSR limitation); with OSR the
+    // loop transitions to tier-2 mid-run.
+    const char *src = R"(
+int main(void) {
+    long acc = 0;
+    for (int i = 0; i < 300000; i++)
+        acc += i ^ (acc & 0xff);
+    printf("%ld\n", acc);
+    return 0;
+})";
+    ManagedOptions no_osr;
+    no_osr.compileThreshold = 50;
+    ManagedOptions with_osr = no_osr;
+    with_osr.enableOsr = true;
+    with_osr.osrThreshold = 1000;
+
+    ManagedEngine plain(no_osr);
+    ManagedEngine osr(with_osr);
+    PreparedProgram prepared =
+        prepareProgram(src, ToolConfig::make(ToolKind::safeSulong));
+    ASSERT_TRUE(prepared.module != nullptr);
+
+    ExecutionResult a = plain.run(*prepared.module, {}, "");
+    ExecutionResult b = osr.run(*prepared.module, {}, "");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(plain.tier2Functions(), 0u);
+    EXPECT_GT(osr.tier2Functions(), 0u);
+    bool osr_event = false;
+    for (const CompileEvent &event : osr.compileEvents()) {
+        if (event.function.find("(OSR)") != std::string::npos)
+            osr_event = true;
+    }
+    EXPECT_TRUE(osr_event);
+}
+
+TEST(OsrTest, BugAfterOsrStillCaught)
+{
+    // The out-of-bounds access happens long after the loop tiered up.
+    ManagedOptions with_osr;
+    with_osr.enableOsr = true;
+    with_osr.osrThreshold = 100;
+    ExecutionResult result = runWith(with_osr, R"(
+int main(void) {
+    int window[4] = {0};
+    int acc = 0;
+    for (int i = 0; i < 100000; i++)
+        acc += window[i / 25000]; /* i >= 100000/..: index 4 when i hits 100000? */
+    acc += window[4]; /* out of bounds, post-OSR */
+    return acc;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+}
+
+TEST(OsrTest, OsrOffByDefault)
+{
+    ManagedOptions options;
+    EXPECT_FALSE(options.enableOsr); // faithful to the paper's prototype
+}
+
+TEST(ManagedEngineTest, StepLimitStopsRunaway)
+{
+    ToolConfig config = ToolConfig::make(ToolKind::safeSulong);
+    PreparedProgram prepared =
+        prepareProgram("int main(void) { while (1) { } return 0; }",
+                       config);
+    ASSERT_TRUE(prepared.ok());
+    prepared.engine->limits().maxSteps = 100000;
+    ExecutionResult result = prepared.run();
+    EXPECT_EQ(result.bug.kind, ErrorKind::engineError);
+}
+
+TEST(ManagedEngineTest, CallDepthLimit)
+{
+    ToolConfig config = ToolConfig::make(ToolKind::safeSulong);
+    ExecutionResult result = runUnderTool(R"(
+static int forever(int n) { return forever(n + 1); }
+int main(void) { return forever(0); })", config);
+    EXPECT_EQ(result.bug.kind, ErrorKind::engineError);
+}
+
+TEST(ManagedEngineTest, PointerPinningRoundTrip)
+{
+    ExecutionResult result = testutil::runManaged(R"(
+int main(void) {
+    int v = 41;
+    long raw = (long)&v;
+    int *back = (int *)raw;
+    *back += 1;
+    return v;
+})");
+    ASSERT_TRUE(result.ok()) << result.bug.toString();
+    EXPECT_EQ(result.exitCode, 42);
+}
+
+TEST(ManagedEngineTest, PointerAlignmentViaPin)
+{
+    // ptrtoint % 8 is how memcpy checks alignment; offsets survive.
+    EXPECT_EQ(testutil::exitCodeOf(R"(
+int main(void) {
+    char buf[16];
+    long base = (long)&buf[0];
+    long off3 = (long)&buf[3];
+    return (int)(off3 - base);
+})"), 3);
+}
+
+TEST(ManagedEngineTest, ConjuredPointerCannotBeDereferenced)
+{
+    ExecutionResult result = testutil::runManaged(R"(
+int main(void) {
+    int *p = (int *)0x1234;
+    return *p;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::nullDeref);
+}
+
+TEST(ManagedEngineTest, ErrorAttributionNamesInnermostFunction)
+{
+    ExecutionResult result = testutil::runManaged(R"(
+static void inner(char *p) { p[10] = 1; }
+static void outer(char *p) { inner(p); }
+int main(void) {
+    char buf[4];
+    outer(buf);
+    return 0;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+    EXPECT_EQ(result.bug.function, "inner");
+}
+
+TEST(ManagedEngineTest, ExitCodePropagates)
+{
+    EXPECT_EQ(testutil::runManaged(
+        "int main(void) { exit(7); return 1; }").exitCode, 7);
+}
+
+TEST(ManagedEngineTest, OutputBeforeBugIsPreserved)
+{
+    ExecutionResult result = testutil::runManaged(R"(
+int main(void) {
+    puts("before");
+    int arr[2];
+    arr[5] = 1;
+    puts("after");
+    return 0;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+    EXPECT_EQ(result.output, "before\n");
+}
+
+TEST(ManagedEngineTest, EnvpVisibleToThreeArgMain)
+{
+    ExecutionResult result = testutil::runManaged(R"(
+int main(int argc, char **argv, char **envp) {
+    int n = 0;
+    while (envp[n] != 0)
+        n++;
+    return n;
+})");
+    ASSERT_TRUE(result.ok()) << result.bug.toString();
+    EXPECT_GT(result.exitCode, 0);
+}
+
+TEST(ManagedEngineTest, StrictTypeOptionRejectsPunning)
+{
+    ManagedOptions strict;
+    strict.strictTypes = true;
+    ExecutionResult result = runWith(strict, R"(
+int main(void) {
+    long l = 0x4142434445464748L;
+    char *p = (char *)&l;
+    return p[0]; /* byte access into an I64 box */
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::typeError);
+}
+
+TEST(LeakDetectionTest, ManagedReportsUnfreedBlocks)
+{
+    ManagedOptions options;
+    options.detectLeaks = true;
+    ExecutionResult result = runWith(options, R"(
+int main(void) {
+    char *kept = malloc(24);
+    kept[0] = 'x';
+    char *freed = malloc(8);
+    free(freed);
+    return 0;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::memoryLeak);
+    EXPECT_NE(result.bug.detail.find("1 heap block"), std::string::npos)
+        << result.bug.detail;
+    EXPECT_NE(result.bug.detail.find("24"), std::string::npos);
+}
+
+TEST(LeakDetectionTest, CleanProgramHasNoLeakReport)
+{
+    ManagedOptions options;
+    options.detectLeaks = true;
+    ExecutionResult result = runWith(options, R"(
+int main(void) {
+    char *p = malloc(16);
+    p[0] = 1;
+    free(p);
+    return 0;
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(LeakDetectionTest, LeakAfterExitCall)
+{
+    ManagedOptions options;
+    options.detectLeaks = true;
+    ExecutionResult result = runWith(options, R"(
+int main(void) {
+    malloc(100);
+    exit(0);
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::memoryLeak);
+}
+
+TEST(LeakDetectionTest, OffByDefault)
+{
+    ExecutionResult result = testutil::runManaged(
+        "int main(void) { malloc(8); return 0; }");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(ManagedEngineTest, RelaxedTypePunningWorks)
+{
+    EXPECT_EQ(testutil::exitCodeOf(R"(
+int main(void) {
+    long l = 0x4142434445464748L;
+    char *p = (char *)&l;
+    return p[0]; /* little endian: 0x48 */
+})"), 0x48);
+}
+
+} // namespace
+} // namespace sulong

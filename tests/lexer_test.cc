@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the mini-C lexer and its minimal preprocessor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+namespace sulong
+{
+namespace
+{
+
+std::vector<Token>
+lex(const std::string &src, DiagnosticEngine *diags_out = nullptr)
+{
+    static DiagnosticEngine scratch;
+    DiagnosticEngine local;
+    DiagnosticEngine &diags = diags_out != nullptr ? *diags_out : local;
+    Lexer lexer("test.c", src, diags);
+    return lexer.lexAll();
+}
+
+TEST(LexerTest, Keywords)
+{
+    auto tokens = lex("int while struct sizeof va_arg");
+    ASSERT_GE(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0].kind, Tok::kwInt);
+    EXPECT_EQ(tokens[1].kind, Tok::kwWhile);
+    EXPECT_EQ(tokens[2].kind, Tok::kwStruct);
+    EXPECT_EQ(tokens[3].kind, Tok::kwSizeof);
+    EXPECT_EQ(tokens[4].kind, Tok::kwVaArg);
+    EXPECT_EQ(tokens[5].kind, Tok::eof);
+}
+
+TEST(LexerTest, Identifiers)
+{
+    auto tokens = lex("foo _bar x9 intx");
+    EXPECT_EQ(tokens[0].kind, Tok::identifier);
+    EXPECT_EQ(tokens[0].text, "foo");
+    EXPECT_EQ(tokens[1].text, "_bar");
+    EXPECT_EQ(tokens[2].text, "x9");
+    EXPECT_EQ(tokens[3].kind, Tok::identifier); // not the keyword "int"
+}
+
+TEST(LexerTest, IntegerLiterals)
+{
+    auto tokens = lex("0 42 0x1F 7u 9L 10UL");
+    EXPECT_EQ(tokens[0].intValue, 0u);
+    EXPECT_EQ(tokens[1].intValue, 42u);
+    EXPECT_EQ(tokens[2].intValue, 31u);
+    EXPECT_TRUE(tokens[3].isUnsigned);
+    EXPECT_TRUE(tokens[4].isLong);
+    EXPECT_TRUE(tokens[5].isUnsigned);
+    EXPECT_TRUE(tokens[5].isLong);
+}
+
+TEST(LexerTest, FloatLiterals)
+{
+    auto tokens = lex("1.5 0.25 2e3 1.5e-2 3.f");
+    EXPECT_EQ(tokens[0].kind, Tok::floatLiteral);
+    EXPECT_DOUBLE_EQ(tokens[0].floatValue, 1.5);
+    EXPECT_DOUBLE_EQ(tokens[1].floatValue, 0.25);
+    EXPECT_DOUBLE_EQ(tokens[2].floatValue, 2000.0);
+    EXPECT_DOUBLE_EQ(tokens[3].floatValue, 0.015);
+    EXPECT_DOUBLE_EQ(tokens[4].floatValue, 3.0);
+}
+
+TEST(LexerTest, DotAfterNumberVsMember)
+{
+    auto tokens = lex("a.b");
+    EXPECT_EQ(tokens[0].kind, Tok::identifier);
+    EXPECT_EQ(tokens[1].kind, Tok::dot);
+    EXPECT_EQ(tokens[2].kind, Tok::identifier);
+}
+
+TEST(LexerTest, CharLiterals)
+{
+    auto tokens = lex(R"('a' '\n' '\0' '\\' '\x41')");
+    EXPECT_EQ(tokens[0].intValue, static_cast<uint64_t>('a'));
+    EXPECT_EQ(tokens[1].intValue, static_cast<uint64_t>('\n'));
+    EXPECT_EQ(tokens[2].intValue, 0u);
+    EXPECT_EQ(tokens[3].intValue, static_cast<uint64_t>('\\'));
+    EXPECT_EQ(tokens[4].intValue, 0x41u);
+}
+
+TEST(LexerTest, StringLiterals)
+{
+    auto tokens = lex(R"("hello" "a\tb" "")");
+    EXPECT_EQ(tokens[0].kind, Tok::stringLiteral);
+    EXPECT_EQ(tokens[0].stringValue, "hello");
+    EXPECT_EQ(tokens[1].stringValue, "a\tb");
+    EXPECT_EQ(tokens[2].stringValue, "");
+}
+
+TEST(LexerTest, Operators)
+{
+    auto tokens = lex("+ ++ += - -- -= -> << <<= < <= == != && || ... % ^=");
+    Tok expected[] = {
+        Tok::plus, Tok::plusplus, Tok::plusAssign, Tok::minus,
+        Tok::minusminus, Tok::minusAssign, Tok::arrow, Tok::shl,
+        Tok::shlAssign, Tok::lt, Tok::le, Tok::eqeq, Tok::ne, Tok::ampamp,
+        Tok::pipepipe, Tok::ellipsis, Tok::percent, Tok::xorAssign,
+    };
+    for (size_t i = 0; i < std::size(expected); i++)
+        EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+}
+
+TEST(LexerTest, Comments)
+{
+    auto tokens = lex("a // line comment\n b /* block\n comment */ c");
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[2].text, "c");
+    EXPECT_EQ(tokens[3].kind, Tok::eof);
+}
+
+TEST(LexerTest, LineNumbers)
+{
+    auto tokens = lex("a\nb\n  c");
+    EXPECT_EQ(tokens[0].loc.line, 1u);
+    EXPECT_EQ(tokens[1].loc.line, 2u);
+    EXPECT_EQ(tokens[2].loc.line, 3u);
+    EXPECT_EQ(tokens[2].loc.column, 3u);
+}
+
+TEST(LexerTest, IncludeIgnored)
+{
+    auto tokens = lex("#include <stdio.h>\nint x;");
+    EXPECT_EQ(tokens[0].kind, Tok::kwInt);
+}
+
+TEST(LexerTest, ObjectMacro)
+{
+    auto tokens = lex("#define SIZE 10\nint a[SIZE];");
+    // SIZE expands to the literal 10.
+    bool found = false;
+    for (const auto &tok : tokens) {
+        if (tok.kind == Tok::intLiteral && tok.intValue == 10)
+            found = true;
+        EXPECT_NE(tok.text, "SIZE");
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, MultiTokenMacro)
+{
+    auto tokens = lex("#define EXPR (1 + 2)\nEXPR");
+    Tok expected[] = {Tok::lparen, Tok::intLiteral, Tok::plus,
+                      Tok::intLiteral, Tok::rparen, Tok::eof};
+    for (size_t i = 0; i < std::size(expected); i++)
+        EXPECT_EQ(tokens[i].kind, expected[i]);
+}
+
+TEST(LexerTest, FunctionLikeMacroRejected)
+{
+    DiagnosticEngine diags;
+    lex("#define MAX(a,b) ((a)>(b)?(a):(b))\n", &diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownDirectiveRejected)
+{
+    DiagnosticEngine diags;
+    lex("#pragma once\n", &diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedStringReported)
+{
+    DiagnosticEngine diags;
+    lex("\"abc\n", &diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReported)
+{
+    DiagnosticEngine diags;
+    lex("/* never closed", &diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, UnexpectedCharacterReported)
+{
+    DiagnosticEngine diags;
+    auto tokens = lex("a $ b", &diags);
+    EXPECT_TRUE(diags.hasErrors());
+    // Lexing continues after the bad character.
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, AlwaysEndsWithEof)
+{
+    auto tokens = lex("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, Tok::eof);
+}
+
+} // namespace
+} // namespace sulong

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Unit tests for the managed object model (the paper's core): bounds and
+ * type checks, relaxed access rules, free semantics (Fig. 8), heap
+ * typing with mementos, reference counting, and globals.
+ */
+
+#include <cstring>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "ir/module.h"
+#include "managed/globals.h"
+#include "managed/heap.h"
+
+namespace sulong
+{
+namespace
+{
+
+Address dummyAddr;
+
+uint64_t
+readInt(ManagedObject &obj, unsigned size, int64_t offset)
+{
+    uint64_t bits = 0;
+    Address out;
+    obj.read(AccessClass::integer, size, offset, bits, out);
+    return bits;
+}
+
+void
+writeInt(ManagedObject &obj, unsigned size, int64_t offset, uint64_t bits)
+{
+    obj.write(AccessClass::integer, size, offset, bits, dummyAddr);
+}
+
+ErrorKind
+caughtKind(const std::function<void()> &body)
+{
+    try {
+        body();
+    } catch (const MemoryErrorException &error) {
+        return error.report().kind;
+    }
+    return ErrorKind::none;
+}
+
+TEST(PrimitiveArrayTest, ReadWriteRoundTrip)
+{
+    I32Array arr(StorageKind::stack, 4);
+    writeInt(arr, 4, 8, 0xDEADBEEF);
+    EXPECT_EQ(readInt(arr, 4, 8), 0xDEADBEEFu);
+    EXPECT_EQ(arr.byteSize(), 16);
+}
+
+TEST(PrimitiveArrayTest, BoundsOverflow)
+{
+    I32Array arr(StorageKind::stack, 4);
+    EXPECT_EQ(caughtKind([&] { readInt(arr, 4, 16); }),
+              ErrorKind::outOfBounds);
+    // Partially out-of-bounds counts too.
+    EXPECT_EQ(caughtKind([&] { readInt(arr, 4, 13); }),
+              ErrorKind::outOfBounds);
+}
+
+TEST(PrimitiveArrayTest, BoundsUnderflow)
+{
+    I64Array arr(StorageKind::global, 2);
+    EXPECT_EQ(caughtKind([&] { writeInt(arr, 8, -8, 1); }),
+              ErrorKind::outOfBounds);
+    try {
+        writeInt(arr, 8, -8, 1);
+        FAIL();
+    } catch (const MemoryErrorException &error) {
+        EXPECT_EQ(error.report().direction, BoundsDirection::underflow);
+        EXPECT_EQ(error.report().storage, StorageKind::global);
+        EXPECT_EQ(error.report().access, AccessKind::write);
+    }
+}
+
+TEST(PrimitiveArrayTest, RelaxedNarrowAccess)
+{
+    // Byte access into an I32 array is allowed (Section 3.2 relaxation).
+    I32Array arr(StorageKind::stack, 2);
+    writeInt(arr, 4, 0, 0x04030201);
+    EXPECT_EQ(readInt(arr, 1, 0), 0x01u);
+    EXPECT_EQ(readInt(arr, 1, 3), 0x04u);
+    writeInt(arr, 1, 1, 0xFF);
+    EXPECT_EQ(readInt(arr, 4, 0), 0x0403FF01u);
+}
+
+TEST(PrimitiveArrayTest, RelaxedWideAccess)
+{
+    // 8-byte access spanning two i32 elements.
+    I32Array arr(StorageKind::stack, 2);
+    writeInt(arr, 8, 0, 0x1111222233334444ull);
+    EXPECT_EQ(readInt(arr, 4, 4), 0x11112222u);
+}
+
+TEST(PrimitiveArrayTest, FloatBitsInIntArray)
+{
+    // Storing a double's bits in an I64 array (the paper's example).
+    I64Array arr(StorageKind::stack, 1);
+    double d = 2.5;
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, 8);
+    arr.write(AccessClass::floating, 8, 0, bits, dummyAddr);
+    uint64_t out = 0;
+    Address out_addr;
+    arr.read(AccessClass::floating, 8, 0, out, out_addr);
+    double back = 0;
+    std::memcpy(&back, &out, 8);
+    EXPECT_DOUBLE_EQ(back, 2.5);
+}
+
+TEST(PrimitiveArrayTest, PointerBitsAreProvenanceFree)
+{
+    // Reading pointer-class from a primitive array yields a null-pointee
+    // Address carrying the raw bits; writing a real pointer is an error.
+    I64Array arr(StorageKind::stack, 1);
+    writeInt(arr, 8, 0, 1234);
+    uint64_t bits = 0;
+    Address out;
+    arr.read(AccessClass::pointer, 8, 0, bits, out);
+    EXPECT_TRUE(out.isNull());
+    EXPECT_EQ(out.offset, 1234);
+
+    ObjRef other(new I32Array(StorageKind::heap, 1));
+    Address real{other, 0};
+    EXPECT_EQ(caughtKind([&] {
+        arr.write(AccessClass::pointer, 8, 0, 0, real);
+    }), ErrorKind::typeError);
+}
+
+TEST(StrictModeTest, MismatchedAccessRejected)
+{
+    I32Array arr(StorageKind::stack, 2);
+    StrictTypeRulesScope strict(true);
+    EXPECT_EQ(caughtKind([&] { readInt(arr, 1, 0); }),
+              ErrorKind::typeError);
+    EXPECT_EQ(caughtKind([&] { readInt(arr, 4, 2); }),
+              ErrorKind::typeError); // misaligned
+    EXPECT_EQ(readInt(arr, 4, 4), 0u); // exact access still fine
+}
+
+TEST(StrictModeTest, ScopeRestores)
+{
+    EXPECT_FALSE(strictTypeRules());
+    {
+        StrictTypeRulesScope strict(true);
+        EXPECT_TRUE(strictTypeRules());
+    }
+    EXPECT_FALSE(strictTypeRules());
+}
+
+TEST(AddressArrayTest, PointerRoundTrip)
+{
+    AddressArray arr(StorageKind::stack, 2);
+    ObjRef target(new I8Array(StorageKind::heap, 4));
+    arr.write(AccessClass::pointer, 8, 8, 0, Address{target, 2});
+    uint64_t bits = 0;
+    Address out;
+    arr.read(AccessClass::pointer, 8, 8, bits, out);
+    EXPECT_EQ(out.pointee.get(), target.get());
+    EXPECT_EQ(out.offset, 2);
+}
+
+TEST(AddressArrayTest, IntegerReadOfRealPointerRejected)
+{
+    AddressArray arr(StorageKind::stack, 1);
+    ObjRef target(new I8Array(StorageKind::heap, 4));
+    arr.write(AccessClass::pointer, 8, 0, 0, Address{target, 0});
+    EXPECT_EQ(caughtKind([&] { readInt(arr, 8, 0); }),
+              ErrorKind::typeError);
+}
+
+TEST(AddressArrayTest, IntegerZeroWriteClearsSlot)
+{
+    AddressArray arr(StorageKind::stack, 1);
+    ObjRef target(new I8Array(StorageKind::heap, 4));
+    arr.write(AccessClass::pointer, 8, 0, 0, Address{target, 0});
+    writeInt(arr, 8, 0, 0); // memset-style NULL
+    uint64_t bits = 0;
+    Address out;
+    arr.read(AccessClass::pointer, 8, 0, bits, out);
+    EXPECT_TRUE(out.isNull());
+}
+
+TEST(AddressArrayTest, OutOfBounds)
+{
+    AddressArray arr(StorageKind::mainArgs, 3);
+    uint64_t bits = 0;
+    Address out;
+    EXPECT_EQ(caughtKind([&] {
+        arr.read(AccessClass::pointer, 8, 24, bits, out);
+    }), ErrorKind::outOfBounds);
+}
+
+TEST(StructObjectTest, FieldAccessByOffset)
+{
+    TypeContext types;
+    const Type *s = types.structType("mix", {
+        {"c", types.i8()}, {"i", types.i32()}, {"p", types.ptr()},
+    });
+    StructObject obj(StorageKind::stack, s);
+    writeInt(obj, 1, 0, 0x7f);
+    writeInt(obj, 4, 4, 0xABCD);
+    EXPECT_EQ(readInt(obj, 1, 0), 0x7fu);
+    EXPECT_EQ(readInt(obj, 4, 4), 0xABCDu);
+
+    ObjRef target(new I8Array(StorageKind::heap, 1));
+    obj.write(AccessClass::pointer, 8, 8, 0, Address{target, 0});
+    uint64_t bits = 0;
+    Address out;
+    obj.read(AccessClass::pointer, 8, 8, bits, out);
+    EXPECT_EQ(out.pointee.get(), target.get());
+}
+
+TEST(StructObjectTest, PaddingAccessRejected)
+{
+    TypeContext types;
+    const Type *s = types.structType("padded2", {
+        {"c", types.i8()}, {"l", types.i64()},
+    });
+    StructObject obj(StorageKind::stack, s);
+    EXPECT_EQ(caughtKind([&] { readInt(obj, 1, 3); }),
+              ErrorKind::typeError);
+}
+
+TEST(StructObjectTest, BeyondStructIsOutOfBounds)
+{
+    TypeContext types;
+    const Type *s = types.structType("small", {{"i", types.i32()}});
+    StructObject obj(StorageKind::heap, s);
+    EXPECT_EQ(caughtKind([&] { readInt(obj, 4, 4); }),
+              ErrorKind::outOfBounds);
+}
+
+TEST(AggregateArrayTest, ElementDelegation)
+{
+    TypeContext types;
+    const Type *s = types.structType("cell", {
+        {"a", types.i32()}, {"b", types.i32()},
+    });
+    const Type *arr_type = types.arrayType(s, 3);
+    AggregateArray arr(StorageKind::stack, arr_type);
+    writeInt(arr, 4, 8 * 2 + 4, 77); // element 2, field b
+    EXPECT_EQ(readInt(arr, 4, 20), 77u);
+    EXPECT_EQ(caughtKind([&] { readInt(arr, 4, 24); }),
+              ErrorKind::outOfBounds);
+}
+
+TEST(FreeSemanticsTest, UseAfterFreeDetected)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address p = heap.allocate(16, types.i32(), nullptr);
+    writeInt(*p.pointee, 4, 0, 5);
+    heap.deallocate(p);
+    EXPECT_EQ(caughtKind([&] { readInt(*p.pointee, 4, 0); }),
+              ErrorKind::useAfterFree);
+}
+
+TEST(FreeSemanticsTest, DoubleFreeDetected)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address p = heap.allocate(8, types.i8(), nullptr);
+    heap.deallocate(p);
+    EXPECT_EQ(caughtKind([&] { heap.deallocate(p); }),
+              ErrorKind::doubleFree);
+}
+
+TEST(FreeSemanticsTest, InteriorPointerFreeIsInvalid)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address p = heap.allocate(8, types.i8(), nullptr);
+    EXPECT_EQ(caughtKind([&] { heap.deallocate(p.withOffset(2)); }),
+              ErrorKind::invalidFree);
+}
+
+TEST(FreeSemanticsTest, NonHeapFreeIsInvalid)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address stack_obj{ObjRef(new I32Array(StorageKind::stack, 1)), 0};
+    EXPECT_EQ(caughtKind([&] { heap.deallocate(stack_obj); }),
+              ErrorKind::invalidFree);
+    Address global_obj{ObjRef(new I32Array(StorageKind::global, 1)), 0};
+    EXPECT_EQ(caughtKind([&] { heap.deallocate(global_obj); }),
+              ErrorKind::invalidFree);
+}
+
+TEST(FreeSemanticsTest, FreeNullIsNoop)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    heap.deallocate(Address{});
+}
+
+TEST(HeapTypingTest, HintedAllocationIsTyped)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address p = heap.allocate(12, types.i32(), nullptr);
+    EXPECT_EQ(p.pointee->kind(), ObjectKind::i32Array);
+    EXPECT_EQ(p.pointee->byteSize(), 12);
+}
+
+TEST(HeapTypingTest, NonMultipleSizeFallsBackToBytes)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address p = heap.allocate(10, types.i32(), nullptr);
+    EXPECT_EQ(p.pointee->kind(), ObjectKind::i8Array);
+}
+
+TEST(HeapTypingTest, LazyMaterializationWithMemento)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    const Type *memento = nullptr;
+    Address p = heap.allocate(16, nullptr, &memento);
+    EXPECT_EQ(memento, nullptr);
+    // First access types the object and records the memento.
+    writeInt(*p.pointee, 4, 0, 9);
+    ASSERT_NE(memento, nullptr);
+    EXPECT_EQ(memento->kind(), TypeKind::i32);
+    EXPECT_EQ(readInt(*p.pointee, 4, 0), 9u);
+    // Bounds are enforced on the materialized payload.
+    EXPECT_EQ(caughtKind([&] { readInt(*p.pointee, 4, 16); }),
+              ErrorKind::outOfBounds);
+}
+
+TEST(HeapTypingTest, ReallocPreservesContentAndFreesOld)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address p = heap.allocate(8, types.i32(), nullptr);
+    writeInt(*p.pointee, 4, 0, 0x11);
+    writeInt(*p.pointee, 4, 4, 0x22);
+    Address q = heap.reallocate(p, 16, nullptr);
+    EXPECT_EQ(readInt(*q.pointee, 4, 0), 0x11u);
+    EXPECT_EQ(readInt(*q.pointee, 4, 4), 0x22u);
+    EXPECT_EQ(q.pointee->byteSize(), 16);
+    EXPECT_EQ(caughtKind([&] { readInt(*p.pointee, 4, 0); }),
+              ErrorKind::useAfterFree);
+}
+
+TEST(HeapTypingTest, ReallocOfFreedIsReported)
+{
+    TypeContext types;
+    ManagedHeap heap(types);
+    Address p = heap.allocate(8, types.i8(), nullptr);
+    heap.deallocate(p);
+    EXPECT_EQ(caughtKind([&] { heap.reallocate(p, 16, nullptr); }),
+              ErrorKind::useAfterFree);
+}
+
+TEST(RefCountTest, ObjectSurvivesWhileReferenced)
+{
+    ObjRef a(new I32Array(StorageKind::stack, 1));
+    {
+        ObjRef b = a;
+        Address addr{b, 0};
+        writeInt(*addr.pointee, 4, 0, 3);
+    }
+    EXPECT_EQ(readInt(*a, 4, 0), 3u);
+}
+
+TEST(RefCountTest, MoveSemantics)
+{
+    ObjRef a(new I32Array(StorageKind::stack, 1));
+    ManagedObject *raw = a.get();
+    ObjRef b = std::move(a);
+    EXPECT_EQ(a.get(), nullptr);
+    EXPECT_EQ(b.get(), raw);
+}
+
+TEST(GlobalStoreTest, MaterializesInitializers)
+{
+    Module module;
+    TypeContext &types = module.types();
+    const Type *arr4 = types.arrayType(types.i32(), 4);
+    Initializer init;
+    init.kind = Initializer::Kind::array;
+    init.elems.push_back(Initializer::makeInt(10));
+    init.elems.push_back(Initializer::makeInt(20));
+    init.elems.push_back(Initializer::makeZero());
+    init.elems.push_back(Initializer::makeInt(40));
+    GlobalVariable *g = module.addGlobal(arr4, "vals", std::move(init));
+
+    GlobalStore store(module);
+    Address addr = store.addressOf(g);
+    EXPECT_EQ(readInt(*addr.pointee, 4, 0), 10u);
+    EXPECT_EQ(readInt(*addr.pointee, 4, 4), 20u);
+    EXPECT_EQ(readInt(*addr.pointee, 4, 8), 0u);
+    EXPECT_EQ(readInt(*addr.pointee, 4, 12), 40u);
+    EXPECT_EQ(addr.pointee->storage(), StorageKind::global);
+}
+
+TEST(GlobalStoreTest, GlobalRefInitializer)
+{
+    Module module;
+    TypeContext &types = module.types();
+    GlobalVariable *target =
+        module.addGlobal(types.i32(), "t", Initializer::makeInt(5));
+    GlobalVariable *ptr = module.addGlobal(
+        types.ptr(), "p", Initializer::makeGlobalRef(target, 0));
+
+    GlobalStore store(module);
+    uint64_t bits = 0;
+    Address out;
+    store.addressOf(ptr).pointee->read(AccessClass::pointer, 8, 0, bits,
+                                       out);
+    EXPECT_EQ(out.pointee.get(), store.addressOf(target).pointee.get());
+}
+
+TEST(GlobalStoreTest, ArgvArrayIsNullTerminated)
+{
+    Module module;
+    GlobalStore store(module);
+    Address argv = store.makeStringArray({"prog", "arg"});
+    EXPECT_EQ(argv.pointee->byteSize(), 3 * 8);
+    uint64_t bits = 0;
+    Address slot;
+    argv.pointee->read(AccessClass::pointer, 8, 16, bits, slot);
+    EXPECT_TRUE(slot.isNull());
+    argv.pointee->read(AccessClass::pointer, 8, 0, bits, slot);
+    ASSERT_FALSE(slot.isNull());
+    EXPECT_EQ(slot.pointee->storage(), StorageKind::mainArgs);
+    uint64_t c = 0;
+    Address dummy;
+    slot.pointee->read(AccessClass::integer, 1, 0, c, dummy);
+    EXPECT_EQ(c, static_cast<uint64_t>('p'));
+}
+
+TEST(VarargsObjectTest, CursorAndOverflow)
+{
+    std::vector<Address> args;
+    args.push_back(Address{ObjRef(new I32Array(StorageKind::stack, 1)), 0});
+    VarargsObject va(std::move(args));
+    EXPECT_EQ(va.count(), 1u);
+    va.next();
+    EXPECT_EQ(caughtKind([&] { va.next(); }), ErrorKind::varargs);
+}
+
+} // namespace
+} // namespace sulong

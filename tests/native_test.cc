@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Native execution model tests: the flat memory (segments, allocator
+ * reuse, argv/envp layout, traps) and the unchecked engine's silent-UB
+ * behaviour that the paper's P1/P3 discussion relies on.
+ */
+
+#include "test_util.h"
+
+#include "native/memory.h"
+
+namespace sulong
+{
+namespace
+{
+
+ExecutionResult
+runNative(const std::string &src, int opt_level = 0,
+          const std::vector<std::string> &args = {},
+          const std::string &stdin_data = "")
+{
+    return runUnderTool(src, ToolConfig::make(ToolKind::clang, opt_level),
+                        args, stdin_data);
+}
+
+TEST(NativeMemoryTest, SegmentsResolveAndTrap)
+{
+    NativeMemory mem;
+    // Stack is mapped.
+    mem.writeInt(NativeLayout::stackTop - 8, 8, 0x1122);
+    EXPECT_EQ(mem.readInt(NativeLayout::stackTop - 8, 8), 0x1122u);
+    // NULL and wild addresses trap.
+    EXPECT_THROW(mem.readInt(0, 4), NativeTrap);
+    EXPECT_THROW(mem.readInt(0x9999'9999'9999ull, 1), NativeTrap);
+}
+
+TEST(NativeMemoryTest, HeapAllocatorReusesLifo)
+{
+    NativeMemory mem;
+    uint64_t a = mem.heapAlloc(32);
+    uint64_t b = mem.heapAlloc(32);
+    EXPECT_NE(a, b);
+    mem.heapFree(a);
+    mem.heapFree(b);
+    // Most recently freed comes back first (rapid reuse).
+    EXPECT_EQ(mem.heapAlloc(32), b);
+    EXPECT_EQ(mem.heapAlloc(32), a);
+}
+
+TEST(NativeMemoryTest, FreeOfUnknownIsIgnored)
+{
+    NativeMemory mem;
+    EXPECT_EQ(mem.heapFree(0x12345), 0u);
+    uint64_t a = mem.heapAlloc(16);
+    EXPECT_GT(mem.heapFree(a), 0u);
+    EXPECT_EQ(mem.heapFree(a), 0u); // double free: silently nothing
+}
+
+TEST(NativeMemoryTest, ReallocGrowsAndCopies)
+{
+    NativeMemory mem;
+    uint64_t a = mem.heapAlloc(8);
+    mem.writeInt(a, 8, 0xAABB);
+    uint64_t b = mem.heapRealloc(a, 64);
+    EXPECT_EQ(mem.readInt(b, 8), 0xAABBu);
+}
+
+TEST(NativeMemoryTest, StackAllocGrowsDown)
+{
+    NativeMemory mem;
+    uint64_t sp0 = mem.stackPointer();
+    uint64_t a = mem.stackAlloc(16);
+    uint64_t b = mem.stackAlloc(16);
+    EXPECT_LT(a, sp0);
+    EXPECT_LT(b, a);
+}
+
+TEST(NativeMemoryTest, ArgvEnvpAdjacent)
+{
+    NativeMemory mem;
+    auto [argv, envp] = mem.buildMainArgs({"prog"}, {"A=1", "B=2"});
+    // argv[0] is a string, argv[1] is NULL, and envp starts right after.
+    EXPECT_NE(mem.readInt(argv, 8), 0u);
+    EXPECT_EQ(mem.readInt(argv + 8, 8), 0u);
+    EXPECT_EQ(envp, argv + 16);
+    // Reading argv[2] silently yields envp[0] — the Fig. 10 leak.
+    uint64_t leaked = mem.readInt(argv + 16, 8);
+    EXPECT_EQ(mem.readCString(leaked), "A=1");
+}
+
+TEST(NativeMemoryTest, GlobalLayoutAppliesInitializers)
+{
+    Module module;
+    module.addGlobal(module.types().i32(), "a", Initializer::makeInt(7));
+    module.addGlobal(module.types().arrayType(module.types().i8(), 4),
+                     "s", Initializer::makeBytes(std::string("hi\0", 4)));
+    NativeMemory mem;
+    auto addrs = mem.layoutGlobals(module, 0);
+    ASSERT_EQ(addrs.size(), 2u);
+    EXPECT_EQ(mem.readInt(addrs[0], 4), 7u);
+    EXPECT_EQ(mem.readCString(addrs[1]), "hi");
+}
+
+TEST(NativeMemoryTest, FunctionAddressTagging)
+{
+    EXPECT_TRUE(NativeMemory::isFunctionAddress(
+        NativeMemory::functionAddress(3)));
+    EXPECT_EQ(NativeMemory::functionId(NativeMemory::functionAddress(3)),
+              3u);
+    EXPECT_FALSE(NativeMemory::isFunctionAddress(0x1000));
+}
+
+// --- silent undefined behaviour (what makes native the wrong model) ----
+
+TEST(NativeSilentUBTest, StackOverflowHitsNeighbor)
+{
+    // Writing one past `low` lands in some other stack slot; the program
+    // keeps running and exits normally.
+    ExecutionResult result = runNative(R"(
+int main(void) {
+    int low[2] = {1, 2};
+    low[2] = 99; /* silently lands somewhere on the stack */
+    return low[0];
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+    EXPECT_EQ(result.exitCode, 1);
+}
+
+TEST(NativeSilentUBTest, UseAfterFreeReadsReusedBlock)
+{
+    ExecutionResult result = runNative(R"(
+int main(void) {
+    int *old = malloc(sizeof(int) * 4);
+    old[0] = 111;
+    free(old);
+    int *fresh = malloc(sizeof(int) * 4); /* same block, reused */
+    fresh[0] = 222;
+    return old[0] == 222; /* dangling read sees the new data */
+})");
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.exitCode, 1);
+}
+
+TEST(NativeSilentUBTest, GlobalOverflowReadsNeighborGlobal)
+{
+    // Use a run-time index so the residual -O0 folding cannot remove the
+    // access (constant OOB indices fold away, Fig. 13).
+    ExecutionResult result = runNative(R"(
+int first[2] = {1, 2};
+int second[2] = {30, 40};
+int main(int argc, char **argv) {
+    return first[argc + 1]; /* index 2: lands in `second` with gap 0 */
+})");
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.exitCode, 30);
+}
+
+TEST(NativeSilentUBTest, ArgvOverflowLeaksEnvironment)
+{
+    ExecutionResult result = runNative(R"(
+int main(int argc, char **argv) {
+    printf("%s\n", argv[argc + 1]); /* first env var */
+    return 0;
+})");
+    EXPECT_TRUE(result.ok());
+    EXPECT_NE(result.output.find("HOME="), std::string::npos);
+}
+
+TEST(NativeSilentUBTest, DoubleFreeSilent)
+{
+    ExecutionResult result = runNative(R"(
+int main(void) {
+    char *p = malloc(4);
+    free(p);
+    free(p);
+    return 0;
+})");
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(NativeEngineTest, NullDerefTraps)
+{
+    ExecutionResult result = runNative(R"(
+int main(void) {
+    int *p = 0;
+    return *p;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::nullDeref);
+}
+
+TEST(NativeEngineTest, WildPointerSegfaults)
+{
+    ExecutionResult result = runNative(R"(
+int main(void) {
+    int *p = (int *)0x500;
+    return *p;
+})");
+    // Below the first segment but past the null page boundary logic:
+    // anything unmapped traps; small addresses read as a null deref.
+    EXPECT_TRUE(result.bug.kind == ErrorKind::segfault ||
+                result.bug.kind == ErrorKind::nullDeref);
+}
+
+TEST(NativeEngineTest, BadFunctionPointerTraps)
+{
+    ExecutionResult result = runNative(R"(
+int main(void) {
+    int (*fp)(void) = (int (*)(void))0x1234;
+    return fp();
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::segfault);
+}
+
+TEST(NativeEngineTest, OptimizedStrlenReadsPastNulHarmlessly)
+{
+    // The word-wise strlen of the native libc reads beyond the
+    // terminator; page slack makes that silent, like on real hardware.
+    ExecutionResult result = runNative(R"(
+int main(void) {
+    char *s = malloc(6);
+    strcpy(s, "hello");
+    int n = (int)strlen(s);
+    free(s);
+    return n;
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+    EXPECT_EQ(result.exitCode, 5);
+}
+
+TEST(NativeEngineTest, StepLimitWorks)
+{
+    PreparedProgram prepared = prepareProgram(
+        "int main(void) { while (1) { } }",
+        ToolConfig::make(ToolKind::clang, 0));
+    ASSERT_TRUE(prepared.ok());
+    prepared.engine->limits().maxSteps = 50000;
+    EXPECT_EQ(prepared.run().bug.kind, ErrorKind::engineError);
+}
+
+} // namespace
+} // namespace sulong

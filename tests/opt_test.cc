@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Optimizer tests: each pass individually, pipeline behaviour, verifier
+ * cleanliness after transformation, and — crucially — the bug-deleting
+ * effects of P2 that the evaluation depends on.
+ */
+
+#include "test_util.h"
+
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "opt/passes.h"
+
+namespace sulong
+{
+namespace
+{
+
+std::unique_ptr<Module>
+compileOnly(const std::string &src)
+{
+    auto sources = libcSources(LibcVariant::safe);
+    sources.push_back(SourceFile{"<input>", src});
+    CompileResult compiled = compileC(sources);
+    EXPECT_TRUE(compiled.ok()) << compiled.errors;
+    return std::move(compiled.module);
+}
+
+unsigned
+countOps(const Function &fn, Opcode op)
+{
+    unsigned n = 0;
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == op)
+                n++;
+        }
+    }
+    return n;
+}
+
+TEST(FoldTest, ConstantArithmeticFolds)
+{
+    auto module = compileOnly(R"(
+int main(void) {
+    int a = (3 + 4) * 2;
+    return a;
+})");
+    foldConstants(*module);
+    eliminateDeadCode(*module);
+    EXPECT_TRUE(moduleIsValid(*module));
+    const Function *main_fn = module->findFunction("main");
+    EXPECT_EQ(countOps(*main_fn, Opcode::add), 0u);
+    EXPECT_EQ(countOps(*main_fn, Opcode::mul), 0u);
+}
+
+TEST(FoldTest, GepIndexAbsorption)
+{
+    auto module = compileOnly(R"(
+int table[8];
+int main(void) {
+    return table[3];
+})");
+    const Function *main_fn = module->findFunction("main");
+    foldConstants(*module);
+    bool found_folded_gep = false;
+    for (const auto &bb : main_fn->blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::gep && inst->numOperands() == 1 &&
+                inst->gepConstOffset() == 12) {
+                found_folded_gep = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_folded_gep);
+    EXPECT_TRUE(moduleIsValid(*module));
+}
+
+TEST(ForwardTest, StoreToLoadForwarding)
+{
+    auto module = compileOnly(R"(
+int main(void) {
+    int x = 5;
+    int y = x + x;
+    return y;
+})");
+    const Function *main_fn = module->findFunction("main");
+    unsigned loads_before = countOps(*main_fn, Opcode::load);
+    forwardStores(*module);
+    eliminateDeadCode(*module);
+    unsigned loads_after = countOps(*main_fn, Opcode::load);
+    EXPECT_LT(loads_after, loads_before);
+    EXPECT_TRUE(moduleIsValid(*module));
+}
+
+TEST(ForwardTest, CallsClobber)
+{
+    // A call between store and load must prevent forwarding.
+    auto module = compileOnly(R"(
+static int *shared;
+static void mutate(void) { *shared = 9; }
+int main(void) {
+    int x = 5;
+    shared = &x;
+    mutate();
+    return x; /* must reload: 9 */
+})");
+    runO3Pipeline(*module);
+    EXPECT_TRUE(moduleIsValid(*module));
+    // Behaviour check: still returns 9.
+    ManagedEngine engine;
+    EXPECT_EQ(engine.run(*module, {}, "").exitCode, 9);
+}
+
+TEST(DeadStoreTest, DeletesFigThreeLoop)
+{
+    auto module = compileOnly(R"(
+static int test(unsigned long length) {
+    int arr[10] = {0};
+    for (unsigned long i = 0; i < length; i++)
+        arr[i] = (int)i;
+    return 0;
+}
+int main(void) { return test(20); })");
+    const Function *test_fn = module->findFunction("test");
+    unsigned stores_before = countOps(*test_fn, Opcode::store);
+    unsigned allocas_before = countOps(*test_fn, Opcode::alloca_);
+    runO3Pipeline(*module);
+    // The stores into the dead array and the array's alloca are gone
+    // (stores of loop counters and spilled parameters remain).
+    EXPECT_LT(countOps(*test_fn, Opcode::store), stores_before);
+    EXPECT_LT(countOps(*test_fn, Opcode::alloca_), allocas_before);
+    bool array_alloca_left = false;
+    for (const auto &bb : test_fn->blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::alloca_ &&
+                inst->accessType()->isArray()) {
+                array_alloca_left = true;
+            }
+        }
+    }
+    EXPECT_FALSE(array_alloca_left);
+    EXPECT_TRUE(moduleIsValid(*module));
+}
+
+TEST(DeadStoreTest, EscapedAllocaKept)
+{
+    auto module = compileOnly(R"(
+static void fill(int *out) { out[0] = 7; }
+int main(void) {
+    int buf[2];
+    fill(buf);     /* escapes: stores must survive */
+    return 0;
+})");
+    runO3Pipeline(*module);
+    const Function *fill_fn = module->findFunction("fill");
+    EXPECT_GT(countOps(*fill_fn, Opcode::store), 0u);
+    EXPECT_TRUE(moduleIsValid(*module));
+}
+
+TEST(NullCheckTest, RemovesCheckAfterDeref)
+{
+    auto module = compileOnly(R"(
+static int first(int *v) {
+    int head = *v;
+    if (v == 0)
+        return -1;
+    return head;
+}
+int main(void) { int x = 3; return first(&x); })");
+    // Load-load CSE first so both uses of the spilled parameter resolve
+    // to one value — like a real pipeline would.
+    forwardStores(*module);
+    unsigned removed = removeRedundantNullChecks(*module);
+    EXPECT_GT(removed, 0u);
+    EXPECT_TRUE(moduleIsValid(*module));
+    ManagedEngine engine;
+    EXPECT_EQ(engine.run(*module, {}, "").exitCode, 3);
+}
+
+TEST(NullCheckTest, KeepsCheckBeforeDeref)
+{
+    auto module = compileOnly(R"(
+static int safe(int *v) {
+    if (v == 0)
+        return -1;
+    return *v;
+}
+int main(void) { return safe(0); })");
+    unsigned removed = removeRedundantNullChecks(*module);
+    EXPECT_EQ(removed, 0u);
+}
+
+TEST(GlobalFoldTest, OutOfBoundsConstantIndexFoldsToZero)
+{
+    auto module = compileOnly(R"(
+int count[7] = {1, 2, 3, 4, 5, 6, 7};
+int main(void) {
+    return count[7];
+})");
+    unsigned changed = foldConstantGlobalLoads(*module);
+    EXPECT_GT(changed, 0u);
+    eliminateDeadCode(*module);
+    EXPECT_TRUE(moduleIsValid(*module));
+    ManagedEngine engine;
+    ExecutionResult result = engine.run(*module, {}, "");
+    EXPECT_TRUE(result.ok()); // the bug is gone
+    EXPECT_EQ(result.exitCode, 0);
+}
+
+TEST(GlobalFoldTest, InBoundsConstGlobalFolds)
+{
+    auto module = compileOnly(R"(
+int main(void) {
+    return "abc"[1]; /* const global string */
+})");
+    foldConstants(*module);
+    unsigned changed = foldConstantGlobalLoads(*module);
+    EXPECT_GT(changed, 0u);
+    ManagedEngine engine;
+    EXPECT_EQ(engine.run(*module, {}, "").exitCode, 'b');
+}
+
+TEST(GlobalFoldTest, MutableGlobalNotFolded)
+{
+    auto module = compileOnly(R"(
+int value = 5;
+int main(void) {
+    value = 6;
+    return value;
+})");
+    foldConstantGlobalLoads(*module);
+    ManagedEngine engine;
+    EXPECT_EQ(engine.run(*module, {}, "").exitCode, 6);
+}
+
+TEST(CfgTest, ConstantBranchesAndUnreachableBlocks)
+{
+    auto module = compileOnly(R"(
+int main(void) {
+    if (0)
+        return 1;
+    return 2;
+})");
+    const Function *main_fn = module->findFunction("main");
+    size_t blocks_before = main_fn->blocks().size();
+    foldConstants(*module);
+    unsigned changes = simplifyControlFlow(*module);
+    EXPECT_GT(changes, 0u);
+    EXPECT_LT(main_fn->blocks().size(), blocks_before);
+    EXPECT_TRUE(moduleIsValid(*module));
+    ManagedEngine engine;
+    EXPECT_EQ(engine.run(*module, {}, "").exitCode, 2);
+}
+
+TEST(PipelineTest, O0IsAlmostIdentity)
+{
+    // -O0 must not change the behaviour of correct programs.
+    auto module = compileOnly(R"(
+int main(void) {
+    int v = 0;
+    for (int i = 0; i < 5; i++)
+        v += i;
+    return v;
+})");
+    runO0Pipeline(*module);
+    EXPECT_TRUE(moduleIsValid(*module));
+    ManagedEngine engine;
+    EXPECT_EQ(engine.run(*module, {}, "").exitCode, 10);
+}
+
+TEST(PipelineTest, O3PreservesObservableBehaviour)
+{
+    const char *src = R"(
+int main(void) {
+    int data[8];
+    int sum = 0;
+    for (int i = 0; i < 8; i++)
+        data[i] = i * i;
+    for (int i = 0; i < 8; i++)
+        sum += data[i];
+    printf("%d\n", sum);
+    return sum % 100;
+})";
+    auto module = compileOnly(src);
+    runO3Pipeline(*module);
+    EXPECT_TRUE(moduleIsValid(*module));
+    ManagedEngine engine;
+    ExecutionResult result = engine.run(*module, {}, "");
+    EXPECT_EQ(result.output, "140\n");
+    EXPECT_EQ(result.exitCode, 40);
+}
+
+TEST(PipelineTest, ReplaceAllUsesWorks)
+{
+    auto module = compileOnly("int main(void) { return 1 + 2; }");
+    Function *main_fn = module->findFunction("main");
+    replaceAllUses(*main_fn, module->constI32(3), module->constI32(9));
+    // The folded constant 3 never appears pre-fold; just verify no crash
+    // and validity.
+    EXPECT_TRUE(moduleIsValid(*module));
+}
+
+} // namespace
+} // namespace sulong

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Parser tests: declarations, declarators, expressions, statements, and
+ * error reporting. Most checks compile end-to-end and execute on the
+ * managed engine (the parser's output is only meaningful through
+ * codegen), with dedicated error-path tests.
+ */
+
+#include "test_util.h"
+
+namespace sulong
+{
+namespace
+{
+
+using testutil::compileErrorsOf;
+using testutil::exitCodeOf;
+
+TEST(ParserTest, FunctionPointerDeclarator)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+static int twice(int v) { return v * 2; }
+int main(void) {
+    int (*fp)(int) = twice;
+    return fp(21);
+})"), 42);
+}
+
+TEST(ParserTest, FunctionPointerArray)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+static int one(void) { return 1; }
+static int two(void) { return 2; }
+int main(void) {
+    int (*table[2])(void) = {one, two};
+    return table[0]() + table[1]();
+})"), 3);
+}
+
+TEST(ParserTest, PointerToPointer)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int v = 9;
+    int *p = &v;
+    int **pp = &p;
+    return **pp;
+})"), 9);
+}
+
+TEST(ParserTest, MultiDimensionalArray)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int grid[2][3] = {{1, 2, 3}, {4, 5, 6}};
+    return grid[1][2];
+})"), 6);
+}
+
+TEST(ParserTest, ArrayOfPointers)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int a = 1, b = 2;
+    int *ptrs[2];
+    ptrs[0] = &a;
+    ptrs[1] = &b;
+    return *ptrs[0] + *ptrs[1];
+})"), 3);
+}
+
+TEST(ParserTest, TypedefChain)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+typedef unsigned long size_type;
+typedef size_type length_t;
+int main(void) {
+    length_t n = 40;
+    return (int)n + 2;
+})"), 42);
+}
+
+TEST(ParserTest, TypedefStructPointer)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+typedef struct point { int x; int y; } point_t;
+typedef point_t *point_ptr;
+int main(void) {
+    point_t p = {3, 4};
+    point_ptr q = &p;
+    return q->x + q->y;
+})"), 7);
+}
+
+TEST(ParserTest, EnumConstants)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+enum color { RED, GREEN = 10, BLUE };
+int main(void) {
+    return RED + GREEN + BLUE;
+})"), 21);
+}
+
+TEST(ParserTest, EnumInArraySize)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+enum { CAP = 4 };
+int main(void) {
+    int buf[CAP * 2];
+    buf[7] = 5;
+    return (int)(sizeof(buf) / sizeof(int)) + buf[7];
+})"), 13);
+}
+
+TEST(ParserTest, ConstantExpressionArraySize)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    char buf[(2 + 3) * 4];
+    return (int)sizeof(buf);
+})"), 20);
+}
+
+TEST(ParserTest, OperatorPrecedence)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    return 2 + 3 * 4 - 10 / 5;   /* 12 */
+})"), 12);
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    return (1 << 3) | (16 >> 2) & 7;  /* 8 | (4 & 7) = 12 */
+})"), 12);
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    return 1 < 2 == 1;  /* (1<2) == 1 */
+})"), 1);
+}
+
+TEST(ParserTest, TernaryRightAssociative)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int x = 2;
+    return x == 1 ? 10 : x == 2 ? 20 : 30;
+})"), 20);
+}
+
+TEST(ParserTest, CommaExpression)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int a = 0;
+    int b = (a = 5, a + 2);
+    return b;
+})"), 7);
+}
+
+TEST(ParserTest, AdjacentStringConcatenation)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    const char *s = "ab" "cd";
+    return (int)strlen(s);
+})"), 4);
+}
+
+TEST(ParserTest, SizeofForms)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+struct wide { long a; long b; };
+int main(void) {
+    int x = 3;
+    return (int)(sizeof(int) + sizeof x + sizeof(struct wide));
+})"), 24);
+}
+
+TEST(ParserTest, SwitchFallthrough)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int v = 0;
+    switch (2) {
+      case 1: v += 1;
+      case 2: v += 2;  /* falls through */
+      case 3: v += 4; break;
+      case 4: v += 8;
+      default: v += 16;
+    }
+    return v;
+})"), 6);
+}
+
+TEST(ParserTest, SwitchDefaultOnly)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    switch (9) {
+      default: return 5;
+    }
+})"), 5);
+}
+
+TEST(ParserTest, DoWhile)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int n = 0;
+    do { n++; } while (n < 3);
+    return n;
+})"), 3);
+}
+
+TEST(ParserTest, ForWithoutClauses)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int i = 0;
+    for (;;) {
+        i++;
+        if (i == 4) break;
+    }
+    return i;
+})"), 4);
+}
+
+TEST(ParserTest, ContinueSkipsStep)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int sum = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i % 2 == 0) continue;
+        sum += i;  /* 1+3+5+7+9 */
+    }
+    return sum;
+})"), 25);
+}
+
+TEST(ParserTest, MultipleDeclaratorsPerStatement)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+int main(void) {
+    int a = 1, *p = &a, b = 2;
+    return *p + b;
+})"), 3);
+}
+
+TEST(ParserTest, StaticLocalPersists)
+{
+    EXPECT_EQ(exitCodeOf(R"(
+static int next(void) {
+    static int counter = 0;
+    counter++;
+    return counter;
+}
+int main(void) {
+    next();
+    next();
+    return next();
+})"), 3);
+}
+
+// --- error paths -------------------------------------------------------
+
+TEST(ParserErrorTest, MissingSemicolon)
+{
+    EXPECT_NE(compileErrorsOf("int main(void) { return 0 }"), "");
+}
+
+TEST(ParserErrorTest, UnionRejected)
+{
+    EXPECT_NE(compileErrorsOf("union u { int a; }; int main(void) "
+                              "{ return 0; }"), "");
+}
+
+TEST(ParserErrorTest, GotoRejected)
+{
+    EXPECT_NE(compileErrorsOf(
+        "int main(void) { goto end; end: return 0; }"), "");
+}
+
+TEST(ParserErrorTest, StructRedefinition)
+{
+    EXPECT_NE(compileErrorsOf(R"(
+struct s { int a; };
+struct s { int b; };
+int main(void) { return 0; })"), "");
+}
+
+TEST(ParserErrorTest, NegativeArraySize)
+{
+    EXPECT_NE(compileErrorsOf(
+        "int main(void) { int a[-3]; return 0; }"), "");
+}
+
+TEST(ParserErrorTest, CaseOutsideSwitch)
+{
+    EXPECT_NE(compileErrorsOf(
+        "int main(void) { case 1: return 0; }"), "");
+}
+
+TEST(ParserErrorTest, NonConstantArrayBound)
+{
+    EXPECT_NE(compileErrorsOf(R"(
+int main(void) {
+    int n = 4;
+    int vla[n];
+    return 0;
+})"), "");
+}
+
+TEST(ParserErrorTest, RecoveryFindsMultipleErrors)
+{
+    std::string errors = compileErrorsOf(R"(
+int broken1(void) { return 0 }
+int broken2(void) { return 1 }
+int main(void) { return 0; })");
+    // Both missing semicolons are reported.
+    size_t first = errors.find("expected");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(errors.find("expected", first + 1), std::string::npos);
+}
+
+} // namespace
+} // namespace sulong

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * ASan-style tool tests: shadow map, instrumentation pass, detection
+ * capabilities AND the faithful gaps of Section 4.1 (argv, strtok,
+ * printf-%ld, redzone limits, quarantine limits).
+ */
+
+#include "test_util.h"
+
+#include "sanitizer/asan_pass.h"
+#include "sanitizer/shadow.h"
+
+namespace sulong
+{
+namespace
+{
+
+ExecutionResult
+runAsan(const std::string &src, int opt_level = 0,
+        const std::vector<std::string> &args = {},
+        const std::string &stdin_data = "",
+        AsanOptions options = {})
+{
+    ToolConfig config = ToolConfig::make(ToolKind::asan, opt_level);
+    config.asan = options;
+    return runUnderTool(src, config, args, stdin_data);
+}
+
+TEST(ShadowMapTest, SetAndGet)
+{
+    ShadowMap shadow;
+    EXPECT_EQ(shadow.get(NativeLayout::heapBase), 0);
+    shadow.set(NativeLayout::heapBase + 100, 10, 3);
+    EXPECT_EQ(shadow.get(NativeLayout::heapBase + 100), 3);
+    EXPECT_EQ(shadow.get(NativeLayout::heapBase + 109), 3);
+    EXPECT_EQ(shadow.get(NativeLayout::heapBase + 110), 0);
+}
+
+TEST(ShadowMapTest, FirstPoisoned)
+{
+    ShadowMap shadow;
+    uint64_t base = NativeLayout::stackBase + 64;
+    shadow.set(base + 5, 1, 1);
+    EXPECT_EQ(shadow.firstPoisoned(base, 5), UINT64_MAX);
+    EXPECT_EQ(shadow.firstPoisoned(base, 8), base + 5);
+}
+
+TEST(ShadowMapTest, UntrackedAddressesAreClean)
+{
+    ShadowMap shadow;
+    EXPECT_EQ(shadow.get(0), 0);
+    EXPECT_EQ(shadow.get(0x12345), 0);
+    shadow.set(0, 16, 9); // silently ignored
+    EXPECT_EQ(shadow.get(0), 0);
+}
+
+TEST(AsanPassTest, InstrumentsUserCodeOnly)
+{
+    auto sources = libcSources(LibcVariant::nativeOptimized);
+    sources.push_back(SourceFile{"<input>", R"(
+int main(void) {
+    int x = 1;
+    int y = x + 2;
+    return y;
+})"});
+    CompileResult compiled = compileC(sources);
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    AsanPassStats stats = runAsanPass(*compiled.module);
+    EXPECT_GT(stats.insertedChecks, 0u);
+    // libc functions stay uninstrumented.
+    const Function *strcpy_fn = compiled.module->findFunction("strcpy");
+    ASSERT_NE(strcpy_fn, nullptr);
+    EXPECT_TRUE(isLibcFunction(*strcpy_fn));
+    for (const auto &bb : strcpy_fn->blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::call) {
+                EXPECT_NE(inst->operand(0)->name(), "__asan_check");
+            }
+        }
+    }
+    // main is instrumented.
+    const Function *main_fn = compiled.module->findFunction("main");
+    bool has_check = false;
+    for (const auto &bb : main_fn->blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::call &&
+                inst->operand(0)->name() == "__asan_check") {
+                has_check = true;
+            }
+        }
+    }
+    EXPECT_TRUE(has_check);
+}
+
+// --- detections --------------------------------------------------------
+
+TEST(AsanDetectsTest, StackOverflowWrite)
+{
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    int a[4];
+    a[4] = 1;
+    return 0;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+    EXPECT_EQ(result.bug.storage, StorageKind::stack);
+}
+
+TEST(AsanDetectsTest, StackUnderflowRead)
+{
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    int a[4] = {0};
+    return a[-1];
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+}
+
+TEST(AsanDetectsTest, HeapOverflowAndUnderflow)
+{
+    EXPECT_EQ(runAsan(R"(
+int main(void) {
+    char *p = malloc(8);
+    p[8] = 1;
+    return 0;
+})").bug.kind, ErrorKind::outOfBounds);
+    EXPECT_EQ(runAsan(R"(
+int main(void) {
+    char *p = malloc(8);
+    return p[-1];
+})").bug.kind, ErrorKind::outOfBounds);
+}
+
+TEST(AsanDetectsTest, GlobalOverflowViaRedzone)
+{
+    ExecutionResult result = runAsan(R"(
+int table[4];
+int main(int argc, char **argv) {
+    return table[3 + argc]; /* index 4, not constant-foldable */
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+    EXPECT_EQ(result.bug.storage, StorageKind::global);
+}
+
+TEST(AsanDetectsTest, UseAfterFreeViaQuarantine)
+{
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    int *p = malloc(sizeof(int));
+    free(p);
+    int *q = malloc(sizeof(int)); /* quarantine prevents reuse */
+    *q = 1;
+    return *p;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::useAfterFree);
+}
+
+TEST(AsanDetectsTest, DoubleAndInvalidFree)
+{
+    EXPECT_EQ(runAsan(R"(
+int main(void) {
+    char *p = malloc(4);
+    free(p);
+    free(p);
+    return 0;
+})").bug.kind, ErrorKind::doubleFree);
+    EXPECT_EQ(runAsan(R"(
+int main(void) {
+    int local = 0;
+    free(&local);
+    return 0;
+})").bug.kind, ErrorKind::invalidFree);
+    EXPECT_EQ(runAsan(R"(
+int main(void) {
+    char *p = malloc(16);
+    free(p + 4);
+    return 0;
+})").bug.kind, ErrorKind::invalidFree);
+}
+
+TEST(AsanDetectsTest, InterceptedStrcpyOverflow)
+{
+    // The overflow happens inside (uninstrumented) libc code, but the
+    // strcpy interceptor checks the ranges.
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    char small[4];
+    strcpy(small, "much too long");
+    return 0;
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+}
+
+TEST(AsanDetectsTest, InterceptedStrlenUnterminated)
+{
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    char b[4];
+    b[0] = 'a'; b[1] = 'b'; b[2] = 'c'; b[3] = 'd';
+    return (int)strlen(b);
+})");
+    EXPECT_EQ(result.bug.kind, ErrorKind::outOfBounds);
+}
+
+// --- the faithful gaps (Section 4.1) -------------------------------------
+
+TEST(AsanGapsTest, ArgvOutOfBoundsMissed)
+{
+    ExecutionResult result = runAsan(R"(
+int main(int argc, char **argv) {
+    printf("%d %s\n", argc, argv[5]);
+    return 0;
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(AsanGapsTest, StrtokMissedWithoutInterceptor)
+{
+    const char *src = R"(
+int main(void) {
+    char buf[8];
+    strcpy(buf, "a b");
+    char t[1];
+    t[0] = ' ';
+    char *tok = strtok(buf, t);
+    return tok != 0;
+})";
+    EXPECT_TRUE(runAsan(src).ok());
+    // The post-paper fix (rL298650) catches it.
+    AsanOptions with_fix;
+    with_fix.interceptStrtok = true;
+    ExecutionResult fixed = runAsan(src, 0, {}, "", with_fix);
+    EXPECT_EQ(fixed.bug.kind, ErrorKind::outOfBounds);
+}
+
+TEST(AsanGapsTest, PrintfIntegerWidthMissed)
+{
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    int counter = 5;
+    printf("counter: %ld\n", counter);
+    return 0;
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(AsanGapsTest, MissingVarargMissed)
+{
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    printf("%s %d\n", "only-one");
+    return 0;
+})");
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(AsanGapsTest, FarIndexOverflowsRedzone)
+{
+    // Fig. 14: an index far past the object jumps over the redzone.
+    AsanOptions options;
+    options.redzone = 32;
+    ExecutionResult result = runAsan(R"(
+int table[4];
+int other_data[4096];
+int main(int argc, char **argv) {
+    int idx = atoi(argv[1]);
+    return table[idx];
+})", 0, {"200"}, "", options);
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(AsanGapsTest, QuarantineExhaustionMissesUaf)
+{
+    // P3: after enough intervening frees, the freed block leaves the
+    // quarantine, gets reused, and the dangling access goes undetected.
+    AsanOptions tiny;
+    tiny.quarantineBlocks = 2;
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    char *p = malloc(24);
+    p[0] = 'x';
+    free(p);
+    for (int i = 0; i < 8; i++) {
+        char *junk = malloc(24);
+        junk[0] = 'j';
+        free(junk);
+    }
+    char *fresh = malloc(24); /* reuses p's block */
+    fresh[0] = 'f';
+    return p[0]; /* undetected use-after-free */
+})", 0, {}, "", tiny);
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+}
+
+TEST(AsanDetectsTest, LeakSanitizerAnalogue)
+{
+    AsanOptions options;
+    options.detectLeaks = true;
+    ExecutionResult result = runAsan(R"(
+int main(void) {
+    malloc(8);
+    malloc(8);
+    return 0;
+})", 0, {}, "", options);
+    EXPECT_EQ(result.bug.kind, ErrorKind::memoryLeak);
+    EXPECT_NE(result.bug.detail.find("2 heap block"), std::string::npos)
+        << result.bug.detail;
+}
+
+TEST(AsanGapsTest, OptimizedAwayBugInvisible)
+{
+    const char *src = R"(
+static int scratch(unsigned long n) {
+    int arr[4] = {0};
+    for (unsigned long i = 0; i < n; i++)
+        arr[i] = (int)i;
+    return 0;
+}
+int main(void) { return scratch(6); })";
+    EXPECT_EQ(runAsan(src, 0).bug.kind, ErrorKind::outOfBounds);
+    EXPECT_TRUE(runAsan(src, 3).ok()); // the -O3 DSE deleted the store
+}
+
+} // namespace
+} // namespace sulong

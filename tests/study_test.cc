@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the CVE/ExploitDB study: classifier behaviour, database
+ * determinism, and the trend shapes of Figs. 1 and 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "study/classifier.h"
+
+namespace sulong
+{
+namespace
+{
+
+VulnRecord
+record(const char *description)
+{
+    VulnRecord r;
+    r.description = description;
+    return r;
+}
+
+TEST(ClassifierTest, SpatialKeywords)
+{
+    EXPECT_EQ(classifyRecord(record(
+        "Stack-based buffer overflow in the parser")),
+        VulnCategory::spatial);
+    EXPECT_EQ(classifyRecord(record(
+        "out-of-bounds read in decoder")), VulnCategory::spatial);
+    EXPECT_EQ(classifyRecord(record(
+        "Heap overflow via crafted input")), VulnCategory::spatial);
+    EXPECT_EQ(classifyRecord(record(
+        "buffer underflow when rewinding")), VulnCategory::spatial);
+}
+
+TEST(ClassifierTest, TemporalKeywords)
+{
+    EXPECT_EQ(classifyRecord(record("Use-after-free in the dispatcher")),
+              VulnCategory::temporal);
+    EXPECT_EQ(classifyRecord(record("dangling pointer dereference")),
+              VulnCategory::temporal);
+}
+
+TEST(ClassifierTest, NullAndOtherKeywords)
+{
+    EXPECT_EQ(classifyRecord(record("NULL pointer dereference on EOF")),
+              VulnCategory::nullDeref);
+    EXPECT_EQ(classifyRecord(record("double free in the error path")),
+              VulnCategory::other);
+    EXPECT_EQ(classifyRecord(record("format string bug in logger")),
+              VulnCategory::other);
+    EXPECT_EQ(classifyRecord(record("invalid free of a stack address")),
+              VulnCategory::other);
+}
+
+TEST(ClassifierTest, UnrelatedRecordsIgnored)
+{
+    EXPECT_EQ(classifyRecord(record("SQL injection in search")),
+              VulnCategory::unrelated);
+    EXPECT_EQ(classifyRecord(record("XSS in the preview pane")),
+              VulnCategory::unrelated);
+}
+
+TEST(ClassifierTest, CaseInsensitive)
+{
+    EXPECT_EQ(classifyRecord(record("BUFFER OVERFLOW")),
+              VulnCategory::spatial);
+    EXPECT_EQ(classifyRecord(record("Use After Free")),
+              VulnCategory::temporal);
+}
+
+TEST(ClassifierTest, CategoryNames)
+{
+    EXPECT_STREQ(vulnCategoryName(VulnCategory::spatial), "Spatial");
+    EXPECT_STREQ(vulnCategoryName(VulnCategory::temporal), "Temporal");
+    EXPECT_STREQ(vulnCategoryName(VulnCategory::nullDeref), "NULL deref");
+}
+
+TEST(DatabaseTest, Deterministic)
+{
+    auto a = synthesizeVulnDatabase(1);
+    auto b = synthesizeVulnDatabase(1);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i += 97) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].description, b[i].description);
+        EXPECT_EQ(a[i].hasExploit, b[i].hasExploit);
+    }
+    auto c = synthesizeVulnDatabase(2);
+    EXPECT_NE(a.size(), 0u);
+    // Different seed jitters differently.
+    EXPECT_NE(a.size(), c.size());
+}
+
+TEST(DatabaseTest, CoversStudyWindow)
+{
+    auto records = synthesizeVulnDatabase();
+    int min_year = 9999, max_year = 0;
+    for (const auto &r : records) {
+        min_year = std::min(min_year, r.year);
+        max_year = std::max(max_year, r.year);
+        if (r.year == 2012) {
+            EXPECT_GE(r.month, 3); // window starts 2012-03
+        }
+        if (r.year == 2017) {
+            EXPECT_LE(r.month, 9); // window ends 2017-09
+        }
+    }
+    EXPECT_EQ(min_year, 2012);
+    EXPECT_EQ(max_year, 2017);
+}
+
+TEST(TrendTest, FigureOneShape)
+{
+    auto counts = countByYear(synthesizeVulnDatabase(), false);
+    ASSERT_EQ(counts.size(), 6u);
+    for (const auto &year : counts) {
+        // Spatial dominates every year (paper: most common category).
+        EXPECT_GT(year.spatial, year.temporal) << year.year;
+        EXPECT_GT(year.temporal, year.other) << year.year;
+    }
+    // Spatial is at an all-time high at the end of the window.
+    unsigned last = counts.back().spatial;
+    for (size_t i = 0; i + 1 < counts.size(); i++)
+        EXPECT_GT(last, counts[i].spatial) << counts[i].year;
+}
+
+TEST(TrendTest, FigureTwoShape)
+{
+    auto vulns = countByYear(synthesizeVulnDatabase(), false);
+    auto exploits = countByYear(synthesizeVulnDatabase(), true);
+    ASSERT_EQ(exploits.size(), 6u);
+    for (size_t i = 0; i < exploits.size(); i++) {
+        // Exploits are a small subset of vulnerabilities...
+        EXPECT_LT(exploits[i].total(), vulns[i].total() / 4);
+        // ...and spatial bugs are the most weaponized.
+        EXPECT_GE(exploits[i].spatial, exploits[i].nullDeref);
+    }
+}
+
+TEST(TrendTest, CategoriesCorrelateWithExploitation)
+{
+    // The paper notes categories with many vulnerabilities were also
+    // exploited more often; check the rank correlation on totals.
+    auto vulns = countByYear(synthesizeVulnDatabase(), false);
+    auto exploits = countByYear(synthesizeVulnDatabase(), true);
+    unsigned v_spatial = 0, v_null = 0, e_spatial = 0, e_null = 0;
+    for (size_t i = 0; i < vulns.size(); i++) {
+        v_spatial += vulns[i].spatial;
+        v_null += vulns[i].nullDeref;
+        e_spatial += exploits[i].spatial;
+        e_null += exploits[i].nullDeref;
+    }
+    EXPECT_GT(v_spatial, v_null);
+    EXPECT_GT(e_spatial, e_null);
+}
+
+TEST(FormatTest, CountsTableRendering)
+{
+    auto counts = countByYear(synthesizeVulnDatabase(), false);
+    std::string table = formatCounts(counts, "Fig 1");
+    EXPECT_NE(table.find("Fig 1"), std::string::npos);
+    EXPECT_NE(table.find("2012"), std::string::npos);
+    EXPECT_NE(table.find("2017"), std::string::npos);
+    EXPECT_NE(table.find("spatial"), std::string::npos);
+}
+
+} // namespace
+} // namespace sulong

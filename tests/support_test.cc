@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for src/support: error taxonomy, diagnostics, RNG, stats,
+ * string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/string_utils.h"
+
+namespace sulong
+{
+namespace
+{
+
+TEST(ErrorKindTest, NamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::none), "none");
+    EXPECT_STREQ(errorKindName(ErrorKind::outOfBounds), "out-of-bounds");
+    EXPECT_STREQ(errorKindName(ErrorKind::useAfterFree), "use-after-free");
+    EXPECT_STREQ(errorKindName(ErrorKind::doubleFree), "double-free");
+    EXPECT_STREQ(errorKindName(ErrorKind::invalidFree), "invalid-free");
+    EXPECT_STREQ(errorKindName(ErrorKind::nullDeref), "null-dereference");
+    EXPECT_STREQ(errorKindName(ErrorKind::varargs), "varargs");
+    EXPECT_STREQ(errorKindName(ErrorKind::uninitRead),
+                 "uninitialized-read");
+    EXPECT_STREQ(errorKindName(ErrorKind::segfault), "segfault");
+}
+
+TEST(ErrorKindTest, AccessAndStorageNames)
+{
+    EXPECT_STREQ(accessKindName(AccessKind::read), "read");
+    EXPECT_STREQ(accessKindName(AccessKind::write), "write");
+    EXPECT_STREQ(accessKindName(AccessKind::free), "free");
+    EXPECT_STREQ(storageKindName(StorageKind::stack), "stack");
+    EXPECT_STREQ(storageKindName(StorageKind::heap), "heap");
+    EXPECT_STREQ(storageKindName(StorageKind::global), "global");
+    EXPECT_STREQ(storageKindName(StorageKind::mainArgs), "main-args");
+    EXPECT_STREQ(boundsDirectionName(BoundsDirection::underflow),
+                 "underflow");
+    EXPECT_STREQ(boundsDirectionName(BoundsDirection::overflow),
+                 "overflow");
+}
+
+TEST(BugReportTest, ToStringIncludesAllParts)
+{
+    BugReport report;
+    report.kind = ErrorKind::outOfBounds;
+    report.access = AccessKind::write;
+    report.storage = StorageKind::stack;
+    report.direction = BoundsDirection::overflow;
+    report.function = "main";
+    report.detail = "offset 40";
+    std::string text = report.toString();
+    EXPECT_NE(text.find("out-of-bounds"), std::string::npos);
+    EXPECT_NE(text.find("write"), std::string::npos);
+    EXPECT_NE(text.find("stack"), std::string::npos);
+    EXPECT_NE(text.find("overflow"), std::string::npos);
+    EXPECT_NE(text.find("main()"), std::string::npos);
+    EXPECT_NE(text.find("offset 40"), std::string::npos);
+}
+
+TEST(BugReportTest, NoneIsJustNone)
+{
+    BugReport report;
+    EXPECT_EQ(report.toString(), "none");
+}
+
+TEST(ExecutionResultTest, OkAndDetected)
+{
+    ExecutionResult result;
+    EXPECT_TRUE(result.ok());
+    result.bug.kind = ErrorKind::useAfterFree;
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.detected(ErrorKind::useAfterFree));
+    EXPECT_FALSE(result.detected(ErrorKind::outOfBounds));
+}
+
+TEST(DiagnosticsTest, CountsErrorsAndWarnings)
+{
+    DiagnosticEngine diags;
+    EXPECT_FALSE(diags.hasErrors());
+    diags.warning(SourceLoc{"f.c", 1, 2}, "w");
+    EXPECT_FALSE(diags.hasErrors());
+    diags.error(SourceLoc{"f.c", 3, 4}, "e");
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_EQ(diags.errorCount(), 1u);
+    EXPECT_EQ(diags.warningCount(), 1u);
+    EXPECT_EQ(diags.messages().size(), 2u);
+}
+
+TEST(DiagnosticsTest, DumpFormatsLocations)
+{
+    DiagnosticEngine diags;
+    diags.error(SourceLoc{"prog.c", 12, 5}, "bad thing");
+    std::string dump = diags.dump();
+    EXPECT_NE(dump.find("prog.c:12:5"), std::string::npos);
+    EXPECT_NE(dump.find("error: bad thing"), std::string::npos);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        int64_t v = rng.nextRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; i++) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(StatsTest, SummaryOfKnownSamples)
+{
+    Summary s = summarize({1, 2, 3, 4, 5});
+    EXPECT_DOUBLE_EQ(s.min, 1);
+    EXPECT_DOUBLE_EQ(s.max, 5);
+    EXPECT_DOUBLE_EQ(s.median, 3);
+    EXPECT_DOUBLE_EQ(s.mean, 3);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.q1, 2);
+    EXPECT_DOUBLE_EQ(s.q3, 4);
+}
+
+TEST(StatsTest, EmptyInput)
+{
+    Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.median, 0);
+}
+
+TEST(StatsTest, SingleSample)
+{
+    Summary s = summarize({7.5});
+    EXPECT_DOUBLE_EQ(s.min, 7.5);
+    EXPECT_DOUBLE_EQ(s.max, 7.5);
+    EXPECT_DOUBLE_EQ(s.median, 7.5);
+}
+
+TEST(StatsTest, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({1, 4}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2, 0, 8}), 4.0); // non-positive skipped
+}
+
+TEST(StringUtilsTest, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilsTest, SplitNoSeparator)
+{
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilsTest, ContainsIgnoreCase)
+{
+    EXPECT_TRUE(containsIgnoreCase("Buffer Overflow in parser",
+                                   "buffer overflow"));
+    EXPECT_TRUE(containsIgnoreCase("USE-AFTER-FREE", "use-after-free"));
+    EXPECT_FALSE(containsIgnoreCase("null deref", "overflow"));
+    EXPECT_TRUE(containsIgnoreCase("anything", ""));
+}
+
+TEST(StringUtilsTest, Trim)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtilsTest, JoinAndPad)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+} // namespace
+} // namespace sulong

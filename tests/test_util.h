@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for tests: compile-and-run shortcuts.
+ */
+
+#ifndef MS_TESTS_TEST_UTIL_H
+#define MS_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include "tools/driver.h"
+
+namespace sulong
+{
+namespace testutil
+{
+
+/** Compile @p src with the safe libc and run it on the managed engine. */
+inline ExecutionResult
+runManaged(const std::string &src, const std::vector<std::string> &args = {},
+           const std::string &stdin_data = "")
+{
+    return runUnderTool(src, ToolConfig::make(ToolKind::safeSulong), args,
+                        stdin_data);
+}
+
+/** Run and require a clean exit; returns the exit code. */
+inline int
+exitCodeOf(const std::string &src, const std::vector<std::string> &args = {},
+           const std::string &stdin_data = "")
+{
+    ExecutionResult result = runManaged(src, args, stdin_data);
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+    return result.exitCode;
+}
+
+/** Run and require a clean exit; returns stdout. */
+inline std::string
+outputOf(const std::string &src, const std::vector<std::string> &args = {},
+         const std::string &stdin_data = "")
+{
+    ExecutionResult result = runManaged(src, args, stdin_data);
+    EXPECT_TRUE(result.ok()) << result.bug.toString();
+    return result.output;
+}
+
+/** Compile only; returns the error text ("" when it compiled). */
+inline std::string
+compileErrorsOf(const std::string &src)
+{
+    PreparedProgram prepared =
+        prepareProgram(src, ToolConfig::make(ToolKind::safeSulong));
+    return prepared.ok() ? std::string() : prepared.compileErrors;
+}
+
+} // namespace testutil
+} // namespace sulong
+
+#endif // MS_TESTS_TEST_UTIL_H
