@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_typerules.dir/bench_ablation_typerules.cc.o"
+  "CMakeFiles/bench_ablation_typerules.dir/bench_ablation_typerules.cc.o.d"
+  "bench_ablation_typerules"
+  "bench_ablation_typerules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_typerules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

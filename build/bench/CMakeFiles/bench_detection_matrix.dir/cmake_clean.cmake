@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_matrix.dir/bench_detection_matrix.cc.o"
+  "CMakeFiles/bench_detection_matrix.dir/bench_detection_matrix.cc.o.d"
+  "bench_detection_matrix"
+  "bench_detection_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

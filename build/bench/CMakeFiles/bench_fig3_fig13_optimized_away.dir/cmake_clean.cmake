@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fig13_optimized_away.dir/bench_fig3_fig13_optimized_away.cc.o"
+  "CMakeFiles/bench_fig3_fig13_optimized_away.dir/bench_fig3_fig13_optimized_away.cc.o.d"
+  "bench_fig3_fig13_optimized_away"
+  "bench_fig3_fig13_optimized_away.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig13_optimized_away.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

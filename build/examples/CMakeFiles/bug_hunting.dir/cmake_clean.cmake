@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_hunting.dir/bug_hunting.cpp.o"
+  "CMakeFiles/bug_hunting.dir/bug_hunting.cpp.o.d"
+  "bug_hunting"
+  "bug_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

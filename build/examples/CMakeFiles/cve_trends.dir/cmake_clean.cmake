@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_trends.dir/cve_trends.cpp.o"
+  "CMakeFiles/cve_trends.dir/cve_trends.cpp.o.d"
+  "cve_trends"
+  "cve_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tiering.dir/perf_tiering.cpp.o"
+  "CMakeFiles/perf_tiering.dir/perf_tiering.cpp.o.d"
+  "perf_tiering"
+  "perf_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_corpus.dir/corpus_global.cc.o"
+  "CMakeFiles/ms_corpus.dir/corpus_global.cc.o.d"
+  "CMakeFiles/ms_corpus.dir/corpus_heap.cc.o"
+  "CMakeFiles/ms_corpus.dir/corpus_heap.cc.o.d"
+  "CMakeFiles/ms_corpus.dir/corpus_other.cc.o"
+  "CMakeFiles/ms_corpus.dir/corpus_other.cc.o.d"
+  "CMakeFiles/ms_corpus.dir/corpus_stack.cc.o"
+  "CMakeFiles/ms_corpus.dir/corpus_stack.cc.o.d"
+  "CMakeFiles/ms_corpus.dir/harness.cc.o"
+  "CMakeFiles/ms_corpus.dir/harness.cc.o.d"
+  "libms_corpus.a"
+  "libms_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

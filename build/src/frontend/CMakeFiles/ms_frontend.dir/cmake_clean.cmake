@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_frontend.dir/codegen.cc.o"
+  "CMakeFiles/ms_frontend.dir/codegen.cc.o.d"
+  "CMakeFiles/ms_frontend.dir/compiler.cc.o"
+  "CMakeFiles/ms_frontend.dir/compiler.cc.o.d"
+  "CMakeFiles/ms_frontend.dir/ctype.cc.o"
+  "CMakeFiles/ms_frontend.dir/ctype.cc.o.d"
+  "CMakeFiles/ms_frontend.dir/lexer.cc.o"
+  "CMakeFiles/ms_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/ms_frontend.dir/parser.cc.o"
+  "CMakeFiles/ms_frontend.dir/parser.cc.o.d"
+  "libms_frontend.a"
+  "libms_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_interp.dir/managed_engine.cc.o"
+  "CMakeFiles/ms_interp.dir/managed_engine.cc.o.d"
+  "CMakeFiles/ms_interp.dir/tier2.cc.o"
+  "CMakeFiles/ms_interp.dir/tier2.cc.o.d"
+  "libms_interp.a"
+  "libms_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

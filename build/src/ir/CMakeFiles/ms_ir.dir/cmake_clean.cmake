@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_ir.dir/builder.cc.o"
+  "CMakeFiles/ms_ir.dir/builder.cc.o.d"
+  "CMakeFiles/ms_ir.dir/module.cc.o"
+  "CMakeFiles/ms_ir.dir/module.cc.o.d"
+  "CMakeFiles/ms_ir.dir/parser.cc.o"
+  "CMakeFiles/ms_ir.dir/parser.cc.o.d"
+  "CMakeFiles/ms_ir.dir/printer.cc.o"
+  "CMakeFiles/ms_ir.dir/printer.cc.o.d"
+  "CMakeFiles/ms_ir.dir/type.cc.o"
+  "CMakeFiles/ms_ir.dir/type.cc.o.d"
+  "CMakeFiles/ms_ir.dir/verifier.cc.o"
+  "CMakeFiles/ms_ir.dir/verifier.cc.o.d"
+  "libms_ir.a"
+  "libms_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

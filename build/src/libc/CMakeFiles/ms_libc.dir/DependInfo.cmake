@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libc/libc_sources.cc" "src/libc/CMakeFiles/ms_libc.dir/libc_sources.cc.o" "gcc" "src/libc/CMakeFiles/ms_libc.dir/libc_sources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/ms_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ms_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

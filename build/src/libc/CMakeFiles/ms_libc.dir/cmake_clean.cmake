@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_libc.dir/libc_sources.cc.o"
+  "CMakeFiles/ms_libc.dir/libc_sources.cc.o.d"
+  "libms_libc.a"
+  "libms_libc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_libc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

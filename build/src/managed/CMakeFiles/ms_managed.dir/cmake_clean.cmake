@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_managed.dir/globals.cc.o"
+  "CMakeFiles/ms_managed.dir/globals.cc.o.d"
+  "CMakeFiles/ms_managed.dir/heap.cc.o"
+  "CMakeFiles/ms_managed.dir/heap.cc.o.d"
+  "CMakeFiles/ms_managed.dir/object.cc.o"
+  "CMakeFiles/ms_managed.dir/object.cc.o.d"
+  "libms_managed.a"
+  "libms_managed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_managed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_memcheck.dir/memcheck_runtime.cc.o"
+  "CMakeFiles/ms_memcheck.dir/memcheck_runtime.cc.o.d"
+  "libms_memcheck.a"
+  "libms_memcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_memcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/native/memory.cc" "src/native/CMakeFiles/ms_native.dir/memory.cc.o" "gcc" "src/native/CMakeFiles/ms_native.dir/memory.cc.o.d"
+  "/root/repo/src/native/native_engine.cc" "src/native/CMakeFiles/ms_native.dir/native_engine.cc.o" "gcc" "src/native/CMakeFiles/ms_native.dir/native_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/managed/CMakeFiles/ms_managed.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_native.dir/memory.cc.o"
+  "CMakeFiles/ms_native.dir/memory.cc.o.d"
+  "CMakeFiles/ms_native.dir/native_engine.cc.o"
+  "CMakeFiles/ms_native.dir/native_engine.cc.o.d"
+  "libms_native.a"
+  "libms_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

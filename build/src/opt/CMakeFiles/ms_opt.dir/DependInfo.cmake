@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cleanup.cc" "src/opt/CMakeFiles/ms_opt.dir/cleanup.cc.o" "gcc" "src/opt/CMakeFiles/ms_opt.dir/cleanup.cc.o.d"
+  "/root/repo/src/opt/fold.cc" "src/opt/CMakeFiles/ms_opt.dir/fold.cc.o" "gcc" "src/opt/CMakeFiles/ms_opt.dir/fold.cc.o.d"
+  "/root/repo/src/opt/memory_opts.cc" "src/opt/CMakeFiles/ms_opt.dir/memory_opts.cc.o" "gcc" "src/opt/CMakeFiles/ms_opt.dir/memory_opts.cc.o.d"
+  "/root/repo/src/opt/ub_opts.cc" "src/opt/CMakeFiles/ms_opt.dir/ub_opts.cc.o" "gcc" "src/opt/CMakeFiles/ms_opt.dir/ub_opts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

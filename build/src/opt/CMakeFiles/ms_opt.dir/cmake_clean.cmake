@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_opt.dir/cleanup.cc.o"
+  "CMakeFiles/ms_opt.dir/cleanup.cc.o.d"
+  "CMakeFiles/ms_opt.dir/fold.cc.o"
+  "CMakeFiles/ms_opt.dir/fold.cc.o.d"
+  "CMakeFiles/ms_opt.dir/memory_opts.cc.o"
+  "CMakeFiles/ms_opt.dir/memory_opts.cc.o.d"
+  "CMakeFiles/ms_opt.dir/ub_opts.cc.o"
+  "CMakeFiles/ms_opt.dir/ub_opts.cc.o.d"
+  "libms_opt.a"
+  "libms_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

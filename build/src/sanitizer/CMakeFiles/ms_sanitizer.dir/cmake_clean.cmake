@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_sanitizer.dir/asan_pass.cc.o"
+  "CMakeFiles/ms_sanitizer.dir/asan_pass.cc.o.d"
+  "CMakeFiles/ms_sanitizer.dir/asan_runtime.cc.o"
+  "CMakeFiles/ms_sanitizer.dir/asan_runtime.cc.o.d"
+  "libms_sanitizer.a"
+  "libms_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

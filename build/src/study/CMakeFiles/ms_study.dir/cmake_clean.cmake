@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_study.dir/classifier.cc.o"
+  "CMakeFiles/ms_study.dir/classifier.cc.o.d"
+  "CMakeFiles/ms_study.dir/records.cc.o"
+  "CMakeFiles/ms_study.dir/records.cc.o.d"
+  "libms_study.a"
+  "libms_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

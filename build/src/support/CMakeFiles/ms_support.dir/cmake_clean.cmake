@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_support.dir/diagnostics.cc.o"
+  "CMakeFiles/ms_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/ms_support.dir/error.cc.o"
+  "CMakeFiles/ms_support.dir/error.cc.o.d"
+  "CMakeFiles/ms_support.dir/stats.cc.o"
+  "CMakeFiles/ms_support.dir/stats.cc.o.d"
+  "CMakeFiles/ms_support.dir/string_utils.cc.o"
+  "CMakeFiles/ms_support.dir/string_utils.cc.o.d"
+  "libms_support.a"
+  "libms_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_tools.dir/benchmark_programs.cc.o"
+  "CMakeFiles/ms_tools.dir/benchmark_programs.cc.o.d"
+  "CMakeFiles/ms_tools.dir/driver.cc.o"
+  "CMakeFiles/ms_tools.dir/driver.cc.o.d"
+  "libms_tools.a"
+  "libms_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

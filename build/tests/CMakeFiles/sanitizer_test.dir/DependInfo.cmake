@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sanitizer_test.cc" "tests/CMakeFiles/sanitizer_test.dir/sanitizer_test.cc.o" "gcc" "tests/CMakeFiles/sanitizer_test.dir/sanitizer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/ms_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/ms_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/ms_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ms_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/libc/CMakeFiles/ms_libc.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ms_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcheck/CMakeFiles/ms_memcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ms_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitizer/CMakeFiles/ms_sanitizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/ms_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/managed/CMakeFiles/ms_managed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
