@@ -8,6 +8,7 @@
 #define MS_CORPUS_HARNESS_H
 
 #include "corpus/corpus.h"
+#include "tools/batch_runner.h"
 #include "tools/driver.h"
 
 namespace sulong
@@ -41,10 +42,23 @@ struct MatrixRow
 DetectionOutcome classifyOutcome(const CorpusEntry &entry,
                                  const ExecutionResult &result);
 
-/** Run @p entries under @p tools (rows are tool-major). */
+/** Run @p entries under @p tools (rows are tool-major), serially and
+ *  without a compile cache. */
 std::vector<MatrixRow>
 runDetectionMatrix(const std::vector<CorpusEntry> &entries,
                    const std::vector<ToolConfig> &tools);
+
+/**
+ * Batch-evaluated detection matrix: every (tool, entry) cell becomes one
+ * BatchJob, executed over @p options' worker pool and compile cache.
+ * Rows and cells come back in the same deterministic order as the serial
+ * overload and hold identical outcomes.
+ */
+std::vector<MatrixRow>
+runDetectionMatrix(const std::vector<CorpusEntry> &entries,
+                   const std::vector<ToolConfig> &tools,
+                   const BatchOptions &options,
+                   CompileCacheStats *cache_stats = nullptr);
 
 /** Table 1: error distribution of the corpus (ground truth). */
 std::string formatTable1(const std::vector<CorpusEntry> &entries);

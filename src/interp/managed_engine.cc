@@ -310,8 +310,8 @@ ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
     if (!resume) {
         module_ = &module;
         globals_ = std::make_unique<GlobalStore>(module);
-        heap_ = std::make_unique<ManagedHeap>(
-            const_cast<Module &>(module).types());
+        heapTypes_ = std::make_unique<TypeContext>();
+        heap_ = std::make_unique<ManagedHeap>(*heapTypes_);
         mementos_.clear();
         pinned_.clear();
         pinIds_.clear();

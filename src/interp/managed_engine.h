@@ -138,6 +138,11 @@ class ManagedEngine : public Engine
     ManagedOptions options_;
     const Module *module_ = nullptr;
     std::unique_ptr<GlobalStore> globals_;
+    /// Private context for heap-interned array shapes. Keeping it off the
+    /// module's TypeContext leaves the module strictly read-only during
+    /// execution, so batch jobs can share one cached module across
+    /// threads. Declared before heap_, which holds a reference into it.
+    std::unique_ptr<TypeContext> heapTypes_;
     std::unique_ptr<ManagedHeap> heap_;
     GuestIO io_;
     uint64_t steps_ = 0;

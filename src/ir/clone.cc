@@ -1,0 +1,263 @@
+#include "ir/clone.h"
+
+#include <unordered_map>
+
+namespace sulong
+{
+
+namespace
+{
+
+/** Maps values and types of the original module into the clone. */
+class ModuleCloner
+{
+  public:
+    explicit ModuleCloner(const Module &original)
+        : original_(original), clone_(std::make_unique<Module>())
+    {
+        size_t values = original.globals().size();
+        size_t blocks = 0;
+        for (const auto &fn : original.functions()) {
+            values += 1 + fn->numArgs();
+            blocks += fn->blocks().size();
+            for (const auto &bb : fn->blocks())
+                values += bb->insts().size();
+        }
+        // Sized up front: rehashing these maps dominated clone time.
+        valueMap_.reserve(values + values / 2);
+        blockMap_.reserve(blocks);
+        typeMap_.reserve(64);
+    }
+
+    std::unique_ptr<Module> run();
+
+  private:
+    const Type *mapType(const Type *type);
+    Value *mapValue(const Value *value);
+    void cloneGlobals();
+    Initializer mapInitializer(const Initializer &init);
+    void cloneFunctionShells();
+    void cloneBodies();
+    std::unique_ptr<Instruction> cloneInstruction(const Instruction &inst);
+
+    const Module &original_;
+    std::unique_ptr<Module> clone_;
+    std::unordered_map<const Type *, const Type *> typeMap_;
+    std::unordered_map<const Value *, Value *> valueMap_;
+    std::unordered_map<const BasicBlock *, BasicBlock *> blockMap_;
+};
+
+const Type *
+ModuleCloner::mapType(const Type *type)
+{
+    if (type == nullptr)
+        return nullptr;
+    auto it = typeMap_.find(type);
+    if (it != typeMap_.end())
+        return it->second;
+
+    TypeContext &types = clone_->types();
+    const Type *mapped = nullptr;
+    switch (type->kind()) {
+      case TypeKind::voidTy: mapped = types.voidTy(); break;
+      case TypeKind::i1: mapped = types.i1(); break;
+      case TypeKind::i8: mapped = types.i8(); break;
+      case TypeKind::i16: mapped = types.i16(); break;
+      case TypeKind::i32: mapped = types.i32(); break;
+      case TypeKind::i64: mapped = types.i64(); break;
+      case TypeKind::f32: mapped = types.f32(); break;
+      case TypeKind::f64: mapped = types.f64(); break;
+      case TypeKind::ptr: mapped = types.ptr(); break;
+      case TypeKind::array:
+        mapped = types.arrayType(mapType(type->elemType()),
+                                 type->arrayLength());
+        break;
+      case TypeKind::structTy: {
+        // Mini-C structs cannot contain themselves by value, so mapping
+        // the field types first always terminates.
+        std::vector<std::pair<std::string, const Type *>> fields;
+        fields.reserve(type->fields().size());
+        for (const StructField &field : type->fields())
+            fields.emplace_back(field.name, mapType(field.type));
+        mapped = types.structType(type->structName(), fields);
+        break;
+      }
+      case TypeKind::function: {
+        std::vector<const Type *> params;
+        params.reserve(type->paramTypes().size());
+        for (const Type *param : type->paramTypes())
+            params.push_back(mapType(param));
+        mapped = types.functionType(mapType(type->returnType()),
+                                    std::move(params), type->isVarArg());
+        break;
+      }
+    }
+    typeMap_[type] = mapped;
+    return mapped;
+}
+
+Value *
+ModuleCloner::mapValue(const Value *value)
+{
+    if (value == nullptr)
+        return nullptr;
+    auto it = valueMap_.find(value);
+    if (it != valueMap_.end())
+        return it->second;
+
+    // Globals, functions, arguments and instructions are registered
+    // up front; only interned constants are created on demand.
+    Value *mapped = nullptr;
+    switch (value->valueKind()) {
+      case ValueKind::constantInt: {
+        const auto *c = static_cast<const ConstantInt *>(value);
+        mapped = clone_->constInt(mapType(c->type()), c->value());
+        break;
+      }
+      case ValueKind::constantFP: {
+        const auto *c = static_cast<const ConstantFP *>(value);
+        mapped = clone_->constFP(mapType(c->type()), c->value());
+        break;
+      }
+      case ValueKind::constantNull:
+        mapped = clone_->constNull();
+        break;
+      default:
+        return nullptr; // unreachable for well-formed modules
+    }
+    valueMap_[value] = mapped;
+    return mapped;
+}
+
+Initializer
+ModuleCloner::mapInitializer(const Initializer &init)
+{
+    Initializer mapped;
+    mapped.kind = init.kind;
+    mapped.intValue = init.intValue;
+    mapped.fpValue = init.fpValue;
+    mapped.bytes = init.bytes;
+    mapped.addend = init.addend;
+    if (init.global != nullptr) {
+        mapped.global =
+            static_cast<const GlobalVariable *>(valueMap_.at(init.global));
+    }
+    if (init.function != nullptr) {
+        mapped.function =
+            static_cast<const Function *>(valueMap_.at(init.function));
+    }
+    mapped.elems.reserve(init.elems.size());
+    for (const Initializer &elem : init.elems)
+        mapped.elems.push_back(mapInitializer(elem));
+    return mapped;
+}
+
+void
+ModuleCloner::cloneGlobals()
+{
+    // Two phases, like the front end: create every global zeroed first so
+    // initializers can reference globals defined later.
+    for (const auto &global : original_.globals()) {
+        GlobalVariable *copy =
+            clone_->addGlobal(mapType(global->valueType()), global->name(),
+                              Initializer::makeZero(), global->isConst());
+        valueMap_[global.get()] = copy;
+    }
+}
+
+void
+ModuleCloner::cloneFunctionShells()
+{
+    for (const auto &fn : original_.functions()) {
+        // addFunction assigns ids sequentially, so cloning in module
+        // order preserves ids (and with them function-pointer encodings).
+        Function *copy =
+            clone_->addFunction(mapType(fn->fnType()), fn->name());
+        copy->setIntrinsic(fn->isIntrinsic());
+        copy->setSourceFile(fn->sourceFile());
+        for (unsigned i = 0; i < fn->numArgs(); i++) {
+            copy->arg(i)->setName(fn->arg(i)->name());
+            valueMap_[fn->arg(i)] = copy->arg(i);
+        }
+        valueMap_[fn.get()] = copy;
+    }
+}
+
+std::unique_ptr<Instruction>
+ModuleCloner::cloneInstruction(const Instruction &inst)
+{
+    auto copy =
+        std::make_unique<Instruction>(inst.op(), mapType(inst.type()));
+    copy->setName(inst.name());
+    copy->setAccessType(mapType(inst.accessType()));
+    copy->setIntPred(inst.intPred()); // same byte as the float predicate
+    copy->setGep(inst.gepConstOffset(), inst.gepScale());
+    copy->setSlot(inst.slot());
+    copy->setLoc(inst.loc());
+    return copy;
+}
+
+void
+ModuleCloner::cloneBodies()
+{
+    for (const auto &fn : original_.functions()) {
+        auto *copy = static_cast<Function *>(valueMap_.at(fn.get()));
+
+        // First pass: create blocks and instructions so that operands and
+        // branch targets can reference them regardless of layout order.
+        for (const auto &bb : fn->blocks()) {
+            BasicBlock *bbCopy = copy->addBlock(bb->name());
+            blockMap_[bb.get()] = bbCopy;
+            for (const auto &inst : bb->insts()) {
+                Instruction *instCopy =
+                    bbCopy->append(cloneInstruction(*inst));
+                valueMap_[inst.get()] = instCopy;
+            }
+        }
+
+        // Second pass: resolve operands and targets.
+        for (const auto &bb : fn->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                auto *instCopy =
+                    static_cast<Instruction *>(valueMap_.at(inst.get()));
+                for (const Value *operand : inst->operands())
+                    instCopy->addOperand(mapValue(operand));
+                if (inst->isTerminator()) {
+                    BasicBlock *t0 = inst->target(0) != nullptr
+                        ? blockMap_.at(inst->target(0)) : nullptr;
+                    BasicBlock *t1 = inst->target(1) != nullptr
+                        ? blockMap_.at(inst->target(1)) : nullptr;
+                    if (t0 != nullptr || t1 != nullptr)
+                        instCopy->setTargets(t0, t1);
+                }
+            }
+        }
+    }
+}
+
+std::unique_ptr<Module>
+ModuleCloner::run()
+{
+    cloneGlobals();
+    cloneFunctionShells();
+    for (const auto &global : original_.globals()) {
+        auto *copy = static_cast<GlobalVariable *>(valueMap_.at(global.get()));
+        copy->setInit(mapInitializer(global->init()));
+    }
+    cloneBodies();
+    // Recomputes the same dense slot numbering the original carries
+    // (cloneInstruction copied the slots already; finalize also restores
+    // numSlots(), which has no direct setter).
+    clone_->finalize();
+    return std::move(clone_);
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+cloneModule(const Module &original)
+{
+    return ModuleCloner(original).run();
+}
+
+} // namespace sulong

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Deep copy of IR modules.
+ *
+ * The compile cache (src/tools/compile_cache.h) keeps one immutable
+ * prototype module per pipeline stage and hands every evaluation job its
+ * own clone, so instrumentation passes (ASan) and engines that intern
+ * types during execution (the managed engine) never mutate shared state.
+ *
+ * Unlike the print/parse round trip (ir/parser.h), cloning supports the
+ * full IR — including named struct types — and preserves function ids,
+ * frame-slot numbering and source locations exactly, so a cloned module
+ * executes bit-identically to its original under every engine.
+ */
+
+#ifndef MS_IR_CLONE_H
+#define MS_IR_CLONE_H
+
+#include <memory>
+
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/** Deep-copy @p original into a fresh module with its own TypeContext. */
+std::unique_ptr<Module> cloneModule(const Module &original);
+
+} // namespace sulong
+
+#endif // MS_IR_CLONE_H

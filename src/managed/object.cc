@@ -7,8 +7,10 @@ namespace sulong
 
 namespace
 {
-bool g_strict_type_rules = false;
-bool g_uninit_tracking = false;
+// Per-thread so that concurrent engine runs (one batch-runner job per
+// worker thread) cannot leak their check configuration into each other.
+thread_local bool g_strict_type_rules = false;
+thread_local bool g_uninit_tracking = false;
 } // namespace
 
 bool

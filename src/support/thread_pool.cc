@@ -1,0 +1,84 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace sulong
+{
+
+unsigned
+ThreadPool::hardwareWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = hardwareWorkers();
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            activeTasks_++;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            activeTasks_--;
+            if (activeTasks_ == 0 && queue_.empty())
+                idle_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this]() { return queue_.empty() && activeTasks_ == 0; });
+}
+
+size_t
+ThreadPool::pendingTasks()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+} // namespace sulong

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A fixed-size worker pool with a FIFO job queue and futures-based
+ * results.
+ *
+ * This is the concurrency primitive behind the batch-evaluation harness
+ * (src/tools/batch_runner.h): the paper's whole evaluation is an
+ * embarrassingly parallel matrix of (program, tool) cells, so the pool
+ * only needs plain fire-and-collect semantics — no work stealing, no
+ * priorities. Tasks start in submission order (FIFO); results travel
+ * through std::future, which also propagates exceptions to the caller.
+ *
+ * Destruction drains the queue: every task submitted before the
+ * destructor runs is executed, so shutting down under load never loses
+ * work.
+ */
+
+#ifndef MS_SUPPORT_THREAD_POOL_H
+#define MS_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sulong
+{
+
+class ThreadPool
+{
+  public:
+    /** Start @p workers threads; 0 means hardwareWorkers(). */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Executes all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count suggested by the host (at least 1). */
+    static unsigned hardwareWorkers();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p fn and return a future for its result. An exception
+     * thrown by the task is captured and rethrown by future::get().
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> result = task->get_future();
+        post([task]() { (*task)(); });
+        return result;
+    }
+
+    /** Block until the queue is empty and no task is running. */
+    void waitIdle();
+
+    /** Tasks queued but not yet started (for tests/monitoring). */
+    size_t pendingTasks();
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    unsigned activeTasks_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace sulong
+
+#endif // MS_SUPPORT_THREAD_POOL_H

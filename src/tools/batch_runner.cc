@@ -1,0 +1,71 @@
+#include "tools/batch_runner.h"
+
+#include <algorithm>
+
+#include "support/thread_pool.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+ExecutionResult
+runOneJob(const BatchJob &job, CompileCache *cache)
+{
+    PreparedProgram prepared = prepareProgram(job.sources, job.config, cache);
+    return prepared.run(job.args, job.stdinData);
+}
+
+} // namespace
+
+BatchReport
+runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
+{
+    BatchReport report;
+    report.results.resize(jobs.size());
+
+    CompileCache localCache;
+    CompileCache *cache = nullptr;
+    if (options.useCompileCache)
+        cache = options.cache != nullptr ? options.cache : &localCache;
+
+    unsigned workers = options.jobs == 0 ? ThreadPool::hardwareWorkers()
+                                         : options.jobs;
+    workers = static_cast<unsigned>(
+        std::min<size_t>(workers, std::max<size_t>(jobs.size(), 1)));
+    report.workersUsed = workers;
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < jobs.size(); i++)
+            report.results[i] = runOneJob(jobs[i], cache);
+    } else {
+        ThreadPool pool(workers);
+        std::vector<std::future<ExecutionResult>> futures;
+        futures.reserve(jobs.size());
+        for (const BatchJob &job : jobs) {
+            futures.push_back(
+                pool.submit([&job, cache]() { return runOneJob(job, cache); }));
+        }
+        // Collecting by index — not by completion — keeps the report
+        // deterministic under any scheduling.
+        for (size_t i = 0; i < futures.size(); i++) {
+            try {
+                report.results[i] = futures[i].get();
+            } catch (const std::exception &e) {
+                // Engines report guest misbehaviour through results, so
+                // an exception here is a harness bug; surface it as an
+                // engine error instead of tearing down the whole batch.
+                report.results[i].bug.kind = ErrorKind::engineError;
+                report.results[i].bug.detail =
+                    std::string("batch job threw: ") + e.what();
+            }
+        }
+    }
+
+    if (cache != nullptr)
+        report.cacheStats = cache->stats();
+    return report;
+}
+
+} // namespace sulong

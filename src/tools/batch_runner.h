@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Parallel batch evaluation of (program, tool) jobs.
+ *
+ * The paper's evaluation (Sections 4-5) is an embarrassingly parallel
+ * matrix: hundreds of corpus programs times the tool configurations.
+ * runBatch() prepares and executes every job on an isolated per-job
+ * engine instance over a fixed worker pool, sharing front-end work
+ * through a CompileCache, and returns results ordered by job index —
+ * never by completion order — so a parallel detection matrix is
+ * bit-identical to a serial one.
+ *
+ * This is the seam later scaling work (sharding, async clients,
+ * multi-backend dispatch) plugs into: anything that can phrase itself as
+ * a list of BatchJobs inherits the parallelism and the cache.
+ */
+
+#ifndef MS_TOOLS_BATCH_RUNNER_H
+#define MS_TOOLS_BATCH_RUNNER_H
+
+#include "tools/compile_cache.h"
+#include "tools/driver.h"
+
+namespace sulong
+{
+
+/** One evaluation cell: a program under one tool configuration. */
+struct BatchJob
+{
+    std::vector<SourceFile> sources;
+    ToolConfig config;
+    std::vector<std::string> args;
+    std::string stdinData;
+
+    static BatchJob
+    make(const std::string &user_source, const ToolConfig &config,
+         const std::vector<std::string> &args = {},
+         const std::string &stdin_data = "")
+    {
+        BatchJob job;
+        job.sources = {SourceFile{"<input>", user_source}};
+        job.config = config;
+        job.args = args;
+        job.stdinData = stdin_data;
+        return job;
+    }
+};
+
+struct BatchOptions
+{
+    /// Worker threads; 1 runs inline on the caller, 0 means one per
+    /// hardware thread.
+    unsigned jobs = 1;
+    /// Share front-end/optimizer stages across jobs (identical results;
+    /// see CompileCache).
+    bool useCompileCache = true;
+    /// Reuse an external cache across batches; null and useCompileCache
+    /// means a cache private to this batch.
+    CompileCache *cache = nullptr;
+};
+
+struct BatchReport
+{
+    /// results[i] belongs to jobs[i], whatever order workers finished in.
+    std::vector<ExecutionResult> results;
+    CompileCacheStats cacheStats;
+    unsigned workersUsed = 0;
+};
+
+/** Run every job and collect results deterministically by job index. */
+BatchReport runBatch(const std::vector<BatchJob> &jobs,
+                     const BatchOptions &options = {});
+
+} // namespace sulong
+
+#endif // MS_TOOLS_BATCH_RUNNER_H

@@ -1,0 +1,103 @@
+#include "tools/compile_cache.h"
+
+#include "frontend/compiler.h"
+#include "ir/clone.h"
+#include "opt/passes.h"
+#include "sanitizer/asan_pass.h"
+
+namespace sulong
+{
+
+uint64_t
+CompileCache::hashSources(const std::vector<SourceFile> &sources)
+{
+    uint64_t hash = 1469598103934665603ull; // FNV offset basis
+    auto mix = [&hash](const std::string &text) {
+        for (unsigned char c : text) {
+            hash ^= c;
+            hash *= 1099511628211ull; // FNV prime
+        }
+        hash ^= 0xff; // separator so ("ab","c") != ("a","bc")
+        hash *= 1099511628211ull;
+    };
+    for (const SourceFile &src : sources) {
+        mix(src.name);
+        mix(src.text);
+    }
+    return hash;
+}
+
+std::shared_ptr<const CompileCache::Entry>
+CompileCache::getOrCompile(const std::vector<SourceFile> &user_sources,
+                           LibcVariant variant, int opt_level,
+                           bool instrumented)
+{
+    Key key{hashSources(user_sources), variant, opt_level, instrumented};
+
+    std::shared_ptr<Slot> slot;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = slots_.find(key);
+        if (it == slots_.end()) {
+            it = slots_.emplace(key, std::make_shared<Slot>()).first;
+            created = true;
+        }
+        slot = it->second;
+        // A hit may still have to wait for the compiling thread below,
+        // but it never repeats the work.
+        (created ? stats_.misses : stats_.hits)++;
+    }
+
+    std::call_once(slot->once, [&]() {
+        auto entry = std::make_shared<Entry>();
+        if (instrumented) {
+            // Copy-on-instrument: the pass runs on a private clone of the
+            // plain stage, never on a module other keys hand out.
+            auto base = getOrCompile(user_sources, variant, opt_level,
+                                     /*instrumented=*/false);
+            if (!base->ok()) {
+                entry->errors = base->errors;
+            } else {
+                std::unique_ptr<Module> module = cloneModule(*base->prototype);
+                runAsanPass(*module);
+                entry->prototype = std::move(module);
+            }
+            slot->entry = std::move(entry);
+            return;
+        }
+
+        std::vector<SourceFile> sources = libcSources(variant);
+        for (const SourceFile &src : user_sources)
+            sources.push_back(src);
+
+        CompileResult compiled = compileC(sources);
+        if (!compiled.ok()) {
+            entry->errors = compiled.errors;
+        } else {
+            if (opt_level >= 3)
+                runO3Pipeline(*compiled.module);
+            else if (opt_level >= 0)
+                runO0Pipeline(*compiled.module);
+            entry->prototype = std::move(compiled.module);
+        }
+        slot->entry = std::move(entry);
+    });
+    return slot->entry;
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.clear();
+}
+
+} // namespace sulong

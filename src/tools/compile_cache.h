@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared compile cache for the evaluation pipeline.
+ *
+ * A detection-matrix run compiles every corpus program once per tool
+ * configuration even though most cells share the identical front-end and
+ * optimization work: ASan -O0, Memcheck -O0 and Clang -O0 all execute
+ * the nativeOptimized libc linked with the user program and run the O0
+ * pipeline; the -O3 tools share the O3 pipeline; Safe Sulong runs the
+ * unoptimized IR with the safe libc. The cache keys on
+ * (source-text hash, libc variant, opt level) — the pipeline *stage* a
+ * tool kind maps onto — and stores one immutable prototype module per
+ * stage.
+ *
+ * ASan's compile-time instrumentation mutates modules, so its stages are
+ * cached separately (the `instrumented` key bit — effectively the tool
+ * kind): the pass runs once on a private *clone* of the matching
+ * uninstrumented stage (copy-on-instrument; see ir/clone.h), never on a
+ * cached module. Engines treat modules as strictly read-only, so batch
+ * jobs execute the shared prototypes directly, and cached runs stay
+ * bit-identical to uncached ones.
+ *
+ * Thread safe: concurrent lookups of the same key compile once and
+ * share the result; lookups of different keys compile in parallel.
+ */
+
+#ifndef MS_TOOLS_COMPILE_CACHE_H
+#define MS_TOOLS_COMPILE_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "ir/module.h"
+#include "libc/libc_sources.h"
+
+namespace sulong
+{
+
+/** Hit/miss counters, reported by the benches. */
+struct CompileCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+class CompileCache
+{
+  public:
+    /** A compiled-and-optimized pipeline stage (or its compile error). */
+    struct Entry
+    {
+        /// Post-pipeline prototype; null when compilation failed.
+        std::shared_ptr<const Module> prototype;
+        std::string errors;
+
+        bool ok() const { return prototype != nullptr; }
+    };
+
+    /**
+     * Return the stage for @p user_sources linked against @p variant and
+     * run through the given pipeline (@p opt_level: -1 none, 0, or 3),
+     * compiling it on first use. With @p instrumented, the stage is the
+     * ASan-instrumented clone of the corresponding plain stage. Never
+     * returns null.
+     */
+    std::shared_ptr<const Entry>
+    getOrCompile(const std::vector<SourceFile> &user_sources,
+                 LibcVariant variant, int opt_level,
+                 bool instrumented = false);
+
+    CompileCacheStats stats() const;
+
+    /** Drop all entries (counters are kept). */
+    void clear();
+
+    /** FNV-1a over names and contents of @p sources. */
+    static uint64_t hashSources(const std::vector<SourceFile> &sources);
+
+  private:
+    struct Key
+    {
+        uint64_t sourceHash;
+        LibcVariant variant;
+        int optLevel;
+        bool instrumented;
+
+        bool
+        operator<(const Key &other) const
+        {
+            if (sourceHash != other.sourceHash)
+                return sourceHash < other.sourceHash;
+            if (variant != other.variant)
+                return variant < other.variant;
+            if (optLevel != other.optLevel)
+                return optLevel < other.optLevel;
+            return instrumented < other.instrumented;
+        }
+    };
+
+    /** One cache slot; compiled at most once via its own flag. */
+    struct Slot
+    {
+        std::once_flag once;
+        std::shared_ptr<const Entry> entry;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<Slot>> slots_;
+    CompileCacheStats stats_;
+};
+
+} // namespace sulong
+
+#endif // MS_TOOLS_COMPILE_CACHE_H

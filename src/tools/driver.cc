@@ -1,10 +1,39 @@
 #include "tools/driver.h"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "ir/clone.h"
 #include "opt/passes.h"
 #include "sanitizer/asan_pass.h"
+#include "tools/compile_cache.h"
 
 namespace sulong
 {
+
+namespace
+{
+
+/** The front-end/optimizer stage a tool kind shares with its peers. */
+struct PipelineStage
+{
+    LibcVariant variant;
+    /// -1: run the IR as the front end produced it (Safe Sulong).
+    int optLevel;
+};
+
+PipelineStage
+stageFor(const ToolConfig &config)
+{
+    // Safe Sulong interprets its safety-first libc; native tools run the
+    // performance-optimized one (word-wise strlen etc.), like real
+    // precompiled libcs.
+    if (config.kind == ToolKind::safeSulong)
+        return {LibcVariant::safe, -1};
+    return {LibcVariant::nativeOptimized, config.optLevel >= 3 ? 3 : 0};
+}
+
+} // namespace
 
 std::string
 ToolConfig::toString() const
@@ -24,25 +53,45 @@ ToolConfig::toString() const
 
 PreparedProgram
 prepareProgram(const std::vector<SourceFile> &user_sources,
-               const ToolConfig &config)
+               const ToolConfig &config, CompileCache *cache)
 {
     PreparedProgram prepared;
+    PipelineStage stage = stageFor(config);
+    bool instrumented = config.kind == ToolKind::asan;
 
-    // Safe Sulong interprets its safety-first libc; native tools run the
-    // performance-optimized one (word-wise strlen etc.), like real
-    // precompiled libcs.
-    LibcVariant variant = config.kind == ToolKind::safeSulong
-        ? LibcVariant::safe : LibcVariant::nativeOptimized;
-    std::vector<SourceFile> sources = libcSources(variant);
-    for (const auto &src : user_sources)
-        sources.push_back(src);
+    if (cache != nullptr) {
+        // Tool kinds that share a pipeline stage reuse one cached
+        // prototype directly — engines treat modules as read-only, and
+        // the ASan pass ran on the cache's private clone, so nothing
+        // this job does can touch another job's module.
+        auto entry = cache->getOrCompile(user_sources, stage.variant,
+                                         stage.optLevel, instrumented);
+        if (!entry->ok()) {
+            prepared.compileErrors = entry->errors;
+            return prepared;
+        }
+        prepared.module = entry->prototype;
+    } else {
+        std::vector<SourceFile> sources = libcSources(stage.variant);
+        for (const auto &src : user_sources)
+            sources.push_back(src);
 
-    CompileResult compiled = compileC(sources);
-    if (!compiled.ok()) {
-        prepared.compileErrors = compiled.errors;
-        return prepared;
+        CompileResult compiled = compileC(sources);
+        if (!compiled.ok()) {
+            prepared.compileErrors = compiled.errors;
+            return prepared;
+        }
+        std::unique_ptr<Module> module = std::move(compiled.module);
+        if (stage.optLevel >= 3)
+            runO3Pipeline(*module);
+        else if (stage.optLevel >= 0)
+            runO0Pipeline(*module);
+        // Like real ASan, instrumentation runs after optimization: what
+        // the optimizer deleted can no longer be checked (P2).
+        if (instrumented)
+            runAsanPass(*module);
+        prepared.module = std::move(module);
     }
-    prepared.module = std::move(compiled.module);
 
     switch (config.kind) {
       case ToolKind::safeSulong:
@@ -51,30 +100,15 @@ prepareProgram(const std::vector<SourceFile> &user_sources,
         prepared.engine = std::make_unique<ManagedEngine>(config.managed);
         break;
       case ToolKind::clang:
-        if (config.optLevel >= 3)
-            runO3Pipeline(*prepared.module);
-        else
-            runO0Pipeline(*prepared.module);
         prepared.engine = std::make_unique<NativeEngine>(
             config.toString());
         break;
       case ToolKind::asan:
-        if (config.optLevel >= 3)
-            runO3Pipeline(*prepared.module);
-        else
-            runO0Pipeline(*prepared.module);
-        // Like real ASan, instrumentation runs after optimization: what
-        // the optimizer deleted can no longer be checked (P2).
-        runAsanPass(*prepared.module);
         prepared.engine = std::make_unique<NativeEngine>(
             config.toString(),
             std::make_shared<AsanRuntime>(config.asan));
         break;
       case ToolKind::memcheck:
-        if (config.optLevel >= 3)
-            runO3Pipeline(*prepared.module);
-        else
-            runO0Pipeline(*prepared.module);
         prepared.engine = std::make_unique<NativeEngine>(
             config.toString(),
             std::make_shared<MemcheckRuntime>(config.memcheck));
@@ -84,19 +118,46 @@ prepareProgram(const std::vector<SourceFile> &user_sources,
 }
 
 PreparedProgram
-prepareProgram(const std::string &user_source, const ToolConfig &config)
+prepareProgram(const std::string &user_source, const ToolConfig &config,
+               CompileCache *cache)
 {
     return prepareProgram(
-        std::vector<SourceFile>{SourceFile{"<input>", user_source}}, config);
+        std::vector<SourceFile>{SourceFile{"<input>", user_source}}, config,
+        cache);
 }
 
 ExecutionResult
 runUnderTool(const std::string &user_source, const ToolConfig &config,
              const std::vector<std::string> &args,
-             const std::string &stdin_data)
+             const std::string &stdin_data, CompileCache *cache)
 {
-    PreparedProgram prepared = prepareProgram(user_source, config);
+    PreparedProgram prepared = prepareProgram(user_source, config, cache);
     return prepared.run(args, stdin_data);
+}
+
+unsigned
+parseJobsFlag(int argc, char **argv, unsigned fallback)
+{
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+            if (i + 1 < argc)
+                value = argv[i + 1];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            value = arg + 2;
+        }
+        if (value == nullptr)
+            continue;
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(value, &end, 10);
+        if (end != value && *end == '\0')
+            return static_cast<unsigned>(parsed);
+        return fallback;
+    }
+    return fallback;
 }
 
 std::vector<ToolConfig>

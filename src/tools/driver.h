@@ -58,10 +58,16 @@ struct ToolConfig
     std::string toString() const;
 };
 
+class CompileCache;
+
 /** A compiled-and-instrumented program bound to its engine. */
 struct PreparedProgram
 {
-    std::unique_ptr<Module> module;
+    /// Const and shared: cache-backed preparation hands out the cached
+    /// prototype itself (engines never mutate a module), so concurrent
+    /// batch jobs may all point at one module. Without a cache the
+    /// program still owns its module exclusively.
+    std::shared_ptr<const Module> module;
     std::unique_ptr<Engine> engine;
     std::string compileErrors;
 
@@ -84,22 +90,37 @@ struct PreparedProgram
 /**
  * Compile @p user_sources with the configuration's libc variant and
  * pipelines, and construct the matching engine.
+ *
+ * With a @p cache, the front-end/optimizer stage shared by tool kinds is
+ * compiled once per (sources, libc variant, opt level) and this call
+ * instruments and executes a private clone of the cached prototype
+ * (copy-on-instrument), producing results identical to uncached runs.
  */
 PreparedProgram prepareProgram(const std::vector<SourceFile> &user_sources,
-                               const ToolConfig &config);
+                               const ToolConfig &config,
+                               CompileCache *cache = nullptr);
 
 /** Convenience: one anonymous source. */
 PreparedProgram prepareProgram(const std::string &user_source,
-                               const ToolConfig &config);
+                               const ToolConfig &config,
+                               CompileCache *cache = nullptr);
 
 /** Compile-and-run in one step. */
 ExecutionResult runUnderTool(const std::string &user_source,
                              const ToolConfig &config,
                              const std::vector<std::string> &args = {},
-                             const std::string &stdin_data = "");
+                             const std::string &stdin_data = "",
+                             CompileCache *cache = nullptr);
 
 /** The seven tool configurations of the Section 4.1 comparison. */
 std::vector<ToolConfig> evaluationToolMatrix();
+
+/**
+ * Parse a `--jobs N` / `--jobs=N` / `-jN` flag from a command line
+ * (first match wins); returns @p fallback when absent or malformed.
+ * 0 means "one worker per hardware thread".
+ */
+unsigned parseJobsFlag(int argc, char **argv, unsigned fallback = 1);
 
 } // namespace sulong
 

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Batch-runner tests: parallel evaluation must be bit-identical to
+ * serial (results ordered by job index, never completion order), the
+ * compile cache must actually share pipeline stages, and failures must
+ * surface per job instead of tearing down the batch.
+ */
+
+#include "test_util.h"
+
+#include "corpus/harness.h"
+#include "tools/batch_runner.h"
+
+namespace sulong
+{
+namespace
+{
+
+bool
+sameResult(const ExecutionResult &a, const ExecutionResult &b)
+{
+    return a.exitCode == b.exitCode && a.output == b.output &&
+           a.bug.kind == b.bug.kind && a.bug.access == b.bug.access &&
+           a.bug.storage == b.bug.storage &&
+           a.bug.direction == b.bug.direction && a.bug.detail == b.bug.detail;
+}
+
+std::vector<BatchJob>
+corpusJobs(size_t max_entries)
+{
+    const auto &corpus = bugCorpus();
+    std::vector<BatchJob> jobs;
+    for (size_t i = 0; i < corpus.size() && i < max_entries; i++) {
+        for (const ToolConfig &tool : evaluationToolMatrix()) {
+            jobs.push_back(BatchJob::make(corpus[i].source, tool,
+                                          corpus[i].args,
+                                          corpus[i].stdinData));
+        }
+    }
+    return jobs;
+}
+
+TEST(BatchRunnerTest, EightWorkersMatchSerial)
+{
+    std::vector<BatchJob> jobs = corpusJobs(12);
+
+    BatchOptions serial;
+    serial.jobs = 1;
+    BatchReport reference = runBatch(jobs, serial);
+
+    BatchOptions parallel;
+    parallel.jobs = 8;
+    BatchReport report = runBatch(jobs, parallel);
+
+    ASSERT_EQ(reference.results.size(), jobs.size());
+    ASSERT_EQ(report.results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); i++) {
+        EXPECT_TRUE(sameResult(reference.results[i], report.results[i]))
+            << "job " << i << " diverged: "
+            << reference.results[i].bug.toString() << " vs "
+            << report.results[i].bug.toString();
+    }
+}
+
+TEST(BatchRunnerTest, MatrixOverloadMatchesSerialHarness)
+{
+    const auto &corpus = bugCorpus();
+    std::vector<CorpusEntry> entries(corpus.begin(),
+                                     corpus.begin() + 10);
+    auto tools = evaluationToolMatrix();
+
+    std::vector<MatrixRow> reference = runDetectionMatrix(entries, tools);
+
+    BatchOptions options;
+    options.jobs = 8;
+    CompileCacheStats stats;
+    std::vector<MatrixRow> rows =
+        runDetectionMatrix(entries, tools, options, &stats);
+
+    ASSERT_EQ(rows.size(), reference.size());
+    for (size_t r = 0; r < rows.size(); r++) {
+        EXPECT_EQ(rows[r].tool, reference[r].tool);
+        EXPECT_EQ(rows[r].directCount, reference[r].directCount);
+        EXPECT_EQ(rows[r].indirectCount, reference[r].indirectCount);
+        EXPECT_EQ(rows[r].errorCount, reference[r].errorCount);
+        ASSERT_EQ(rows[r].outcomes.size(), reference[r].outcomes.size());
+        for (size_t i = 0; i < rows[r].outcomes.size(); i++) {
+            EXPECT_EQ(rows[r].outcomes[i].detected,
+                      reference[r].outcomes[i].detected);
+            EXPECT_EQ(rows[r].outcomes[i].indirect,
+                      reference[r].outcomes[i].indirect);
+            EXPECT_EQ(rows[r].outcomes[i].error,
+                      reference[r].outcomes[i].error);
+        }
+    }
+    // 5 tools map onto 5 pipeline stages per entry (3 plain + 2 ASan);
+    // everything beyond that must be a hit.
+    EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(BatchRunnerTest, CacheSharesStagesAcrossTools)
+{
+    // ASan -O0, Memcheck -O0 and Clang -O0 share one front-end stage.
+    std::string src = "int main(void) { return 41 + 1; }";
+    std::vector<BatchJob> jobs = {
+        BatchJob::make(src, ToolConfig::make(ToolKind::clang, 0)),
+        BatchJob::make(src, ToolConfig::make(ToolKind::memcheck, 0)),
+        BatchJob::make(src, ToolConfig::make(ToolKind::asan, 0)),
+    };
+    BatchOptions options;
+    options.jobs = 1;
+    BatchReport report = runBatch(jobs, options);
+    for (const ExecutionResult &result : report.results)
+        EXPECT_EQ(result.exitCode, 42);
+    // clang misses, memcheck hits clang's stage; asan misses its
+    // instrumented stage but hits the shared plain stage underneath.
+    EXPECT_EQ(report.cacheStats.misses, 2u);
+    EXPECT_EQ(report.cacheStats.hits, 2u);
+}
+
+TEST(BatchRunnerTest, CachedAndUncachedResultsAgree)
+{
+    std::vector<BatchJob> jobs = corpusJobs(6);
+
+    BatchOptions cached;
+    cached.jobs = 4;
+    BatchReport a = runBatch(jobs, cached);
+
+    BatchOptions uncached;
+    uncached.jobs = 4;
+    uncached.useCompileCache = false;
+    BatchReport b = runBatch(jobs, uncached);
+
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < jobs.size(); i++)
+        EXPECT_TRUE(sameResult(a.results[i], b.results[i])) << "job " << i;
+    EXPECT_EQ(b.cacheStats.hits + b.cacheStats.misses, 0u);
+}
+
+TEST(BatchRunnerTest, CompileErrorsStayPerJob)
+{
+    std::vector<BatchJob> jobs = {
+        BatchJob::make("int main(void) { return 0; }",
+                       ToolConfig::make(ToolKind::safeSulong)),
+        BatchJob::make("int main(void) { syntax error }",
+                       ToolConfig::make(ToolKind::safeSulong)),
+        BatchJob::make("int main(void) { return 3; }",
+                       ToolConfig::make(ToolKind::safeSulong)),
+    };
+    BatchOptions options;
+    options.jobs = 2;
+    BatchReport report = runBatch(jobs, options);
+    ASSERT_EQ(report.results.size(), 3u);
+    EXPECT_EQ(report.results[0].exitCode, 0);
+    EXPECT_EQ(report.results[1].bug.kind, ErrorKind::engineError);
+    EXPECT_EQ(report.results[2].exitCode, 3);
+}
+
+TEST(BatchRunnerTest, ExternalCacheIsReusedAcrossBatches)
+{
+    CompileCache cache;
+    std::vector<BatchJob> jobs = {BatchJob::make(
+        "int main(void) { return 7; }",
+        ToolConfig::make(ToolKind::safeSulong))};
+
+    BatchOptions options;
+    options.jobs = 1;
+    options.cache = &cache;
+    runBatch(jobs, options);
+    BatchReport second = runBatch(jobs, options);
+    EXPECT_EQ(second.results[0].exitCode, 7);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+} // namespace
+} // namespace sulong

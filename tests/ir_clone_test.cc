@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Module-clone tests: the clone must print identically, verify cleanly,
+ * execute identically, and be fully independent of the original (the
+ * compile cache's copy-on-instrument depends on that isolation).
+ */
+
+#include "test_util.h"
+
+#include "frontend/compiler.h"
+#include "ir/clone.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "libc/libc_sources.h"
+#include "opt/passes.h"
+#include "sanitizer/asan_pass.h"
+
+namespace sulong
+{
+namespace
+{
+
+const char *kProgram = R"(
+struct point { int x; int y; };
+
+int scale = 3;
+
+int area(struct point *p) { return p->x * p->y * scale; }
+
+int main(void) {
+    struct point p;
+    p.x = 6;
+    p.y = 7;
+    char buf[32];
+    sprintf(buf, "area=%d", area(&p));
+    puts(buf);
+    return area(&p) % 100;
+}
+)";
+
+std::unique_ptr<Module>
+compileProgram(LibcVariant variant = LibcVariant::safe)
+{
+    std::vector<SourceFile> sources = libcSources(variant);
+    sources.push_back(SourceFile{"<input>", kProgram});
+    CompileResult compiled = compileC(sources);
+    EXPECT_TRUE(compiled.ok()) << compiled.errors;
+    return std::move(compiled.module);
+}
+
+TEST(IrCloneTest, ClonePrintsIdentically)
+{
+    auto module = compileProgram();
+    auto clone = cloneModule(*module);
+    EXPECT_EQ(printModule(*module), printModule(*clone));
+}
+
+TEST(IrCloneTest, CloneVerifiesCleanly)
+{
+    auto module = compileProgram();
+    auto clone = cloneModule(*module);
+    auto issues = verifyModule(*clone);
+    EXPECT_TRUE(issues.empty()) << formatIssues(issues);
+}
+
+TEST(IrCloneTest, OptimizedModuleWithStructsClones)
+{
+    // The O3 pipeline plus named struct types exercises the paths the
+    // textual roundtrip cannot (the parser rejects named structs).
+    auto module = compileProgram(LibcVariant::nativeOptimized);
+    runO3Pipeline(*module);
+    auto clone = cloneModule(*module);
+    EXPECT_EQ(printModule(*module), printModule(*clone));
+    auto issues = verifyModule(*clone);
+    EXPECT_TRUE(issues.empty()) << formatIssues(issues);
+}
+
+TEST(IrCloneTest, CloneExecutesIdentically)
+{
+    auto module = compileProgram();
+    auto clone = cloneModule(*module);
+
+    ManagedEngine original{ManagedOptions{}};
+    ManagedEngine copied{ManagedOptions{}};
+    ExecutionResult a = original.run(*module, {}, "");
+    ExecutionResult b = copied.run(*clone, {}, "");
+    EXPECT_EQ(a.exitCode, b.exitCode);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.bug.kind, b.bug.kind);
+}
+
+TEST(IrCloneTest, InstrumentingCloneLeavesOriginalUntouched)
+{
+    auto module = compileProgram(LibcVariant::nativeOptimized);
+    runO0Pipeline(*module);
+    std::string before = printModule(*module);
+
+    auto clone = cloneModule(*module);
+    runAsanPass(*clone);
+
+    EXPECT_EQ(printModule(*module), before);
+    EXPECT_NE(printModule(*clone), before);
+}
+
+} // namespace
+} // namespace sulong

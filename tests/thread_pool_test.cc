@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Thread-pool unit tests: FIFO ordering, exception propagation through
+ * futures, value returns, and shutdown under load (the destructor must
+ * drain the queue, not drop it).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/thread_pool.h"
+
+namespace sulong
+{
+namespace
+{
+
+TEST(ThreadPoolTest, ReturnsValuesThroughFutures)
+{
+    ThreadPool pool(2);
+    auto a = pool.submit([] { return 7; });
+    auto b = pool.submit([] { return std::string("batch"); });
+    EXPECT_EQ(a.get(), 7);
+    EXPECT_EQ(b.get(), "batch");
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsJobsInSubmissionOrder)
+{
+    // With one worker the FIFO queue forces strict submission order.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; i++)
+        futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; i++)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 1; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("job failed"); });
+    EXPECT_EQ(ok.get(), 1);
+    try {
+        bad.get();
+        FAIL() << "expected the job's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job failed");
+    }
+    // A throwing job must not take its worker down with it.
+    EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedJobsUnderLoad)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; i++) {
+            pool.submit([&completed] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                completed.fetch_add(1);
+            });
+        }
+        // Destruct while most jobs are still queued.
+    }
+    EXPECT_EQ(completed.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleWaitsForInFlightJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 50; i++) {
+        pool.submit([&completed] {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            completed.fetch_add(1);
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(completed.load(), 50);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, WorkerCountDefaultsToHardware)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.workerCount(), ThreadPool::hardwareWorkers());
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+} // namespace
+} // namespace sulong
