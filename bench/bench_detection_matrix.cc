@@ -64,6 +64,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; i++)
         verbose = verbose || std::string(argv[i]) == "-v";
     unsigned jobs = parseJobsFlag(argc, argv, 8);
+    ResourceLimits limits = parseLimitFlags(argc, argv, corpusRunLimits());
     const auto &corpus = bugCorpus();
 
     std::vector<ToolConfig> tools = {
@@ -82,9 +83,12 @@ main(int argc, char **argv)
     BatchOptions options;
     options.jobs = jobs;
     options.useCompileCache = true;
+    options.retries = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "retries", 0));
     CompileCacheStats cache;
     auto batch_start = std::chrono::steady_clock::now();
-    auto batch_rows = runDetectionMatrix(corpus, tools, options, &cache);
+    auto batch_rows =
+        runDetectionMatrix(corpus, tools, options, &cache, &limits);
     auto batch_end = std::chrono::steady_clock::now();
 
     std::printf("%s\n", formatMatrix(corpus, rows).c_str());

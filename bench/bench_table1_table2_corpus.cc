@@ -24,12 +24,17 @@ main(int argc, char **argv)
     std::vector<BatchJob> jobs;
     jobs.reserve(corpus.size());
     ToolConfig tool = ToolConfig::make(ToolKind::safeSulong);
-    for (const CorpusEntry &entry : corpus)
+    ResourceLimits limits = parseLimitFlags(argc, argv, corpusRunLimits());
+    for (const CorpusEntry &entry : corpus) {
         jobs.push_back(
             BatchJob::make(entry.source, tool, entry.args, entry.stdinData));
+        jobs.back().limits = limits;
+    }
 
     BatchOptions options;
     options.jobs = parseJobsFlag(argc, argv, 8);
+    options.retries = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "retries", 0));
     auto start = std::chrono::steady_clock::now();
     BatchReport report = runBatch(jobs, options);
     std::chrono::duration<double> elapsed =
@@ -99,5 +104,17 @@ main(int argc, char **argv)
                 corpus.size(), report.workersUsed, elapsed.count(),
                 static_cast<unsigned long long>(report.cacheStats.hits),
                 static_cast<unsigned long long>(report.cacheStats.misses));
+    double slowest = 0;
+    size_t slowest_idx = 0;
+    for (size_t i = 0; i < report.jobStats.size(); i++) {
+        if (report.jobStats[i].elapsedMs > slowest) {
+            slowest = report.jobStats[i].elapsedMs;
+            slowest_idx = i;
+        }
+    }
+    std::printf("Governance: %u host faults, %u retries; slowest job %s "
+                "(%.1f ms)\n",
+                report.hostFaults, report.retriesUsed,
+                corpus[slowest_idx].id.c_str(), slowest);
     return missed == 0 ? 0 : 1;
 }

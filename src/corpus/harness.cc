@@ -12,7 +12,10 @@ classifyOutcome(const CorpusEntry &entry, const ExecutionResult &result)
 {
     DetectionOutcome outcome;
     outcome.report = result.bug;
-    if (result.bug.kind == ErrorKind::engineError) {
+    // A non-normal termination (resource limit, timeout, cancellation,
+    // host fault) means the engine gave up before a verdict.
+    if (result.termination != TerminationKind::normal ||
+        result.bug.kind == ErrorKind::engineError) {
         outcome.error = true;
         return outcome;
     }
@@ -59,6 +62,22 @@ foldRow(const ToolConfig &config, const std::vector<CorpusEntry> &entries,
 
 } // namespace
 
+ResourceLimits
+corpusRunLimits()
+{
+    // Generous for any correct corpus program, tight enough that a
+    // misbehaving cell terminates in well under a second instead of
+    // wedging a worker or exhausting host memory.
+    ResourceLimits limits;
+    limits.maxSteps = 50'000'000;
+    limits.maxCallDepth = 3'000;
+    limits.maxHeapBytes = 256ull * 1024 * 1024;
+    limits.maxHeapAllocations = 1'000'000;
+    limits.maxOutputBytes = 16ull * 1024 * 1024;
+    limits.deadlineMs = 0; // keep corpus outcomes time-independent
+    return limits;
+}
+
 std::vector<MatrixRow>
 runDetectionMatrix(const std::vector<CorpusEntry> &entries,
                    const std::vector<ToolConfig> &tools)
@@ -80,8 +99,11 @@ std::vector<MatrixRow>
 runDetectionMatrix(const std::vector<CorpusEntry> &entries,
                    const std::vector<ToolConfig> &tools,
                    const BatchOptions &options,
-                   CompileCacheStats *cache_stats)
+                   CompileCacheStats *cache_stats,
+                   const ResourceLimits *job_limits)
 {
+    ResourceLimits limits =
+        job_limits != nullptr ? *job_limits : corpusRunLimits();
     // Tool-major job order mirrors the serial overload, so cell
     // (tool r, entry i) is job r * |entries| + i.
     std::vector<BatchJob> jobs;
@@ -90,6 +112,7 @@ runDetectionMatrix(const std::vector<CorpusEntry> &entries,
         for (const CorpusEntry &entry : entries) {
             jobs.push_back(BatchJob::make(entry.source, config, entry.args,
                                           entry.stdinData));
+            jobs.back().limits = limits;
         }
     }
 

@@ -42,6 +42,15 @@ struct MatrixRow
 DetectionOutcome classifyOutcome(const CorpusEntry &entry,
                                  const ExecutionResult &result);
 
+/**
+ * Default per-job resource budget for corpus evaluation: generous for
+ * every correct corpus program, tight enough that loops, recursion
+ * bombs, allocation bombs, and printf bombs all terminate structurally.
+ * Deliberately leaves the wall-clock deadline off so corpus outcomes
+ * never depend on host timing.
+ */
+ResourceLimits corpusRunLimits();
+
 /** Run @p entries under @p tools (rows are tool-major), serially and
  *  without a compile cache. */
 std::vector<MatrixRow>
@@ -52,13 +61,15 @@ runDetectionMatrix(const std::vector<CorpusEntry> &entries,
  * Batch-evaluated detection matrix: every (tool, entry) cell becomes one
  * BatchJob, executed over @p options' worker pool and compile cache.
  * Rows and cells come back in the same deterministic order as the serial
- * overload and hold identical outcomes.
+ * overload and hold identical outcomes. Jobs run under @p job_limits
+ * (corpusRunLimits() when null).
  */
 std::vector<MatrixRow>
 runDetectionMatrix(const std::vector<CorpusEntry> &entries,
                    const std::vector<ToolConfig> &tools,
                    const BatchOptions &options,
-                   CompileCacheStats *cache_stats = nullptr);
+                   CompileCacheStats *cache_stats = nullptr,
+                   const ResourceLimits *job_limits = nullptr);
 
 /** Table 1: error distribution of the corpus (ground truth). */
 std::string formatTable1(const std::vector<CorpusEntry> &entries);

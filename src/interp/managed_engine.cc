@@ -271,8 +271,7 @@ ManagedEngine::~ManagedEngine() = default;
 void
 ManagedEngine::step()
 {
-    if (++steps_ > limits_.maxSteps && limits_.maxSteps != 0)
-        throw EngineError("step limit exceeded");
+    guard_.onStep();
 }
 
 void
@@ -306,12 +305,13 @@ ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
 {
     bool resume = options_.persistState && module_ == &module &&
         globals_ != nullptr;
-    steps_ = 0; // per-run limit, also when resuming with kept tier state
+    // Per-run accounting, also when resuming with kept tier state.
+    guard_ = ResourceGuard(limits_, cancelToken_);
     if (!resume) {
         module_ = &module;
         globals_ = std::make_unique<GlobalStore>(module);
         heapTypes_ = std::make_unique<TypeContext>();
-        heap_ = std::make_unique<ManagedHeap>(*heapTypes_);
+        heap_ = std::make_unique<ManagedHeap>(*heapTypes_, &guard_);
         mementos_.clear();
         pinned_.clear();
         pinIds_.clear();
@@ -324,7 +324,7 @@ ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
     }
     io_ = GuestIO{};
     io_.input = stdin_data;
-    depth_ = 0;
+    io_.guard = &guard_;
 
     StrictTypeRulesScope strict_scope(options_.strictTypes);
     UninitTrackingScope uninit_scope(options_.detectUninitReads);
@@ -371,12 +371,21 @@ ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
         reportLeaks(result);
     } catch (MemoryErrorException &error) {
         result.bug = error.report();
+    } catch (const ResourceExhausted &limit) {
+        result.termination = limit.kind();
+        result.terminationDetail = limit.detail();
     } catch (const EngineError &error) {
         result.bug.kind = ErrorKind::engineError;
         result.bug.detail = error.message();
+    } catch (const std::exception &e) {
+        // Anything else is a host-side failure; never let it escape the
+        // engine boundary.
+        result.termination = TerminationKind::hostFault;
+        result.terminationDetail = std::string("host fault: ") + e.what();
     }
     result.output = std::move(io_.output);
     result.errOutput = std::move(io_.errOutput);
+    io_.guard = nullptr;
     return result;
 }
 
@@ -384,10 +393,7 @@ MValue
 ManagedEngine::callFunction(const Function *fn, std::vector<MValue> args,
                             std::vector<MValue> varargs)
 {
-    if (++depth_ > limits_.maxCallDepth) {
-        depth_--;
-        throw EngineError("guest stack overflow (call depth limit)");
-    }
+    guard_.enterCall();
 
     // Tier management: count invocations; compile hot functions.
     if (options_.enableTier2) {
@@ -403,7 +409,8 @@ ManagedEngine::callFunction(const Function *fn, std::vector<MValue> args,
                 while (std::chrono::steady_clock::now() < until) {
                 }
             }
-            compileEvents_.push_back(CompileEvent{fn->name(), steps_});
+            compileEvents_.push_back(
+                CompileEvent{fn->name(), guard_.steps()});
             tier2Count_++;
             compiled_[fn] = std::move(code);
         }
@@ -422,15 +429,15 @@ ManagedEngine::callFunction(const Function *fn, std::vector<MValue> args,
             result = it->second->execute(*this, frame);
         else
             result = interpret(fn, frame);
-        depth_--;
+        guard_.leaveCall();
         return result;
     } catch (MemoryErrorException &error) {
-        depth_--;
+        guard_.leaveCall();
         if (error.report().function.empty())
             error.report().function = fn->name();
         throw;
     } catch (...) {
-        depth_--;
+        guard_.leaveCall();
         throw;
     }
 }
@@ -483,7 +490,7 @@ ManagedEngine::osrCompile(const Function *fn)
         }
     }
     compileEvents_.push_back(
-        CompileEvent{fn->name() + " (OSR)", steps_});
+        CompileEvent{fn->name() + " (OSR)", guard_.steps()});
     tier2Count_++;
     CompiledFunction *raw = code.get();
     compiled_[fn] = std::move(code);

@@ -87,7 +87,7 @@ class ManagedEngine : public Engine
         return compileEvents_;
     }
     /** Executed IR instructions in the last run. */
-    uint64_t executedSteps() const { return steps_; }
+    uint64_t executedSteps() const { return guard_.steps(); }
     /** Functions executed at tier 2 at least once in the last run. */
     unsigned tier2Functions() const { return tier2Count_; }
 
@@ -145,8 +145,10 @@ class ManagedEngine : public Engine
     std::unique_ptr<TypeContext> heapTypes_;
     std::unique_ptr<ManagedHeap> heap_;
     GuestIO io_;
-    uint64_t steps_ = 0;
-    unsigned depth_ = 0;
+    /// Per-run resource accounting (steps, call depth, heap, output,
+    /// deadline, cancellation). Reset on every run(); the heap and the
+    /// guest IO report into it by stable address.
+    ResourceGuard guard_;
 
     /// Allocation-site mementos (Section 3.3).
     std::map<const Instruction *, const Type *> mementos_;

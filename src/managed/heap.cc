@@ -129,6 +129,10 @@ Address
 ManagedHeap::allocate(int64_t size, const Type *elem_hint,
                       const Type **memento_slot)
 {
+    // Metered before any payload exists, so an allocation bomb trips the
+    // limit instead of exhausting host memory.
+    if (guard_ != nullptr)
+        guard_->onAlloc(size > 0 ? static_cast<uint64_t>(size) : 0);
     allocationCount_++;
     liveBytes_ += size;
     if (elem_hint != nullptr) {
@@ -298,7 +302,10 @@ ManagedHeap::deallocate(const Address &ptr)
         report.detail = "double free of " + obj->describe();
         throw MemoryErrorException(std::move(report));
     }
-    liveBytes_ -= obj->byteSize();
+    int64_t size = obj->byteSize();
+    if (guard_ != nullptr)
+        guard_->onFree(size > 0 ? static_cast<uint64_t>(size) : 0);
+    liveBytes_ -= size;
     live_.erase(obj);
     obj->free();
 }

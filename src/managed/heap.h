@@ -7,6 +7,7 @@
 #define MS_MANAGED_HEAP_H
 
 #include "managed/factory.h"
+#include "support/limits.h"
 
 namespace sulong
 {
@@ -78,7 +79,15 @@ class LazyHeapObject : public ManagedObject
 class ManagedHeap
 {
   public:
-    explicit ManagedHeap(TypeContext &types) : types_(types) {}
+    /**
+     * @param guard optional per-run resource guard; every allocation
+     * and free is metered against its heap limits (allocation bombs
+     * terminate with TerminationKind::heapLimit instead of OOMing the
+     * host).
+     */
+    explicit ManagedHeap(TypeContext &types, ResourceGuard *guard = nullptr)
+        : types_(types), guard_(guard)
+    {}
 
     /**
      * malloc: when @p elem_hint is known (from the allocation site's
@@ -118,6 +127,7 @@ class ManagedHeap
 
   private:
     TypeContext &types_;
+    ResourceGuard *guard_;
     int64_t liveBytes_ = 0;
     uint64_t allocationCount_ = 0;
     /// Live heap allocations (weak pointers; entries removed on free).

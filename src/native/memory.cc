@@ -82,6 +82,11 @@ NativeMemory::heapAlloc(uint64_t size)
     if (size == 0)
         size = 1;
     uint64_t aligned = (size + 15) / 16 * 16;
+    // Metered on the aligned block size (what the host actually maps),
+    // before the heap grows, so allocation bombs terminate with
+    // TerminationKind::heapLimit instead of OOMing the host.
+    if (guard_ != nullptr)
+        guard_->onAlloc(aligned);
     // Reuse the most recently freed block of this size class: freed
     // memory is recycled immediately, so dangling pointers silently
     // alias new allocations.
@@ -110,6 +115,8 @@ NativeMemory::heapFree(uint64_t addr)
         return 0;
     it->second.free = true;
     freeLists_[it->second.size].push_back(addr);
+    if (guard_ != nullptr)
+        guard_->onFree(it->second.size);
     return it->second.size;
 }
 

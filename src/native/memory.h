@@ -22,6 +22,7 @@
 
 #include "ir/module.h"
 #include "managed/errors.h"
+#include "support/limits.h"
 
 namespace sulong
 {
@@ -62,6 +63,13 @@ class NativeMemory
 {
   public:
     NativeMemory();
+
+    /**
+     * Attach the per-run resource guard: heap traffic (malloc/free/
+     * realloc, including the instrumented allocators layered on top) is
+     * metered against its heap limits.
+     */
+    void setGuard(ResourceGuard *guard) { guard_ = guard; }
 
     // --- Raw access --------------------------------------------------------
 
@@ -164,6 +172,7 @@ class NativeMemory
     /// defeats naive use-after-free detection, paper P3).
     std::map<uint64_t, std::vector<uint64_t>> freeLists_;
     std::map<const GlobalVariable *, uint64_t> globalAddrs_;
+    ResourceGuard *guard_ = nullptr;
 };
 
 } // namespace sulong

@@ -64,8 +64,7 @@ NativeEngine::~NativeEngine() = default;
 void
 NativeEngine::step()
 {
-    if (++steps_ > limits_.maxSteps && limits_.maxSteps != 0)
-        throw EngineError("step limit exceeded");
+    guard_.onStep();
 }
 
 ExecutionResult
@@ -73,11 +72,12 @@ NativeEngine::run(const Module &module, const std::vector<std::string> &args,
                   const std::string &stdin_data)
 {
     module_ = &module;
+    guard_ = ResourceGuard(limits_, cancelToken_);
     mem_ = std::make_unique<NativeMemory>();
+    mem_->setGuard(&guard_);
     io_ = GuestIO{};
     io_.input = stdin_data;
-    steps_ = 0;
-    depth_ = 0;
+    io_.guard = &guard_;
     checkAccesses_ = hooks_ != nullptr && hooks_->checksEveryAccess();
     trackDefined_ = hooks_ != nullptr && hooks_->tracksDefinedness();
 
@@ -131,6 +131,9 @@ NativeEngine::run(const Module &module, const std::vector<std::string> &args,
             hooks_->reportLeaks(result.bug);
     } catch (MemoryErrorException &error) {
         result.bug = error.report();
+    } catch (const ResourceExhausted &limit) {
+        result.termination = limit.kind();
+        result.terminationDetail = limit.detail();
     } catch (const NativeTrap &trap) {
         result.bug.kind = trap.addr() < 4096 ? ErrorKind::nullDeref
                                              : ErrorKind::segfault;
@@ -141,9 +144,15 @@ NativeEngine::run(const Module &module, const std::vector<std::string> &args,
     } catch (const EngineError &error) {
         result.bug.kind = ErrorKind::engineError;
         result.bug.detail = error.message();
+    } catch (const std::exception &e) {
+        // Anything else is a host-side failure; never let it escape the
+        // engine boundary.
+        result.termination = TerminationKind::hostFault;
+        result.terminationDetail = std::string("host fault: ") + e.what();
     }
     result.output = std::move(io_.output);
     result.errOutput = std::move(io_.errOutput);
+    io_.guard = nullptr;
     return result;
 }
 
@@ -151,10 +160,7 @@ NValue
 NativeEngine::callFunction(const Function *fn, std::vector<NValue> args,
                            const std::vector<NValue> &varargs)
 {
-    if (++depth_ > limits_.maxCallDepth) {
-        depth_--;
-        throw EngineError("guest stack overflow (call depth limit)");
-    }
+    guard_.enterCall();
 
     Frame frame;
     frame.savedSp = mem_->stackPointer();
@@ -192,15 +198,15 @@ NativeEngine::callFunction(const Function *fn, std::vector<NValue> args,
                                 frame.savedSp);
         }
         mem_->setStackPointer(frame.savedSp);
-        depth_--;
+        guard_.leaveCall();
         return result;
     } catch (MemoryErrorException &error) {
-        depth_--;
+        guard_.leaveCall();
         if (error.report().function.empty())
             error.report().function = fn->name();
         throw;
     } catch (...) {
-        depth_--;
+        guard_.leaveCall();
         throw;
     }
 }

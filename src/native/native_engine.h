@@ -36,7 +36,7 @@ class NativeEngine : public Engine
                         const std::vector<std::string> &args,
                         const std::string &stdin_data) override;
 
-    uint64_t executedSteps() const { return steps_; }
+    uint64_t executedSteps() const { return guard_.steps(); }
     NativeHooks *hooks() const { return hooks_.get(); }
 
   private:
@@ -79,8 +79,9 @@ class NativeEngine : public Engine
     const Module *module_ = nullptr;
     std::unique_ptr<NativeMemory> mem_;
     GuestIO io_;
-    uint64_t steps_ = 0;
-    unsigned depth_ = 0;
+    /// Per-run resource accounting; the simulated memory and guest IO
+    /// report into it by stable address.
+    ResourceGuard guard_;
     std::map<const Function *, Intr> intrCache_;
 };
 

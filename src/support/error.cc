@@ -26,6 +26,22 @@ errorKindName(ErrorKind kind)
 }
 
 const char *
+terminationKindName(TerminationKind kind)
+{
+    switch (kind) {
+      case TerminationKind::normal: return "normal";
+      case TerminationKind::stepLimit: return "step-limit";
+      case TerminationKind::stackLimit: return "stack-limit";
+      case TerminationKind::heapLimit: return "heap-limit";
+      case TerminationKind::outputLimit: return "output-limit";
+      case TerminationKind::timeout: return "timeout";
+      case TerminationKind::cancelled: return "cancelled";
+      case TerminationKind::hostFault: return "host-fault";
+    }
+    return "invalid";
+}
+
+const char *
 accessKindName(AccessKind kind)
 {
     switch (kind) {

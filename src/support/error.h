@@ -77,8 +77,37 @@ enum class BoundsDirection : uint8_t
     unknown,
 };
 
+/**
+ * How a run ended with respect to resource governance. Everything but
+ * @c normal means the harness stopped the guest, not that the guest
+ * finished or tripped a memory-safety check — so resource exhaustion is
+ * never conflated with ErrorKind::engineError.
+ */
+enum class TerminationKind : uint8_t
+{
+    /// Ran to completion (exit or a detected bug).
+    normal,
+    /// The per-run instruction budget was exhausted.
+    stepLimit,
+    /// The guest call-depth limit tripped (unbounded recursion).
+    stackLimit,
+    /// Guest heap bytes or allocation count exceeded the limit.
+    heapLimit,
+    /// Guest stdout/stderr output exceeded the byte limit.
+    outputLimit,
+    /// The wall-clock deadline expired.
+    timeout,
+    /// The run was cancelled cooperatively (watchdog, fail-fast drain).
+    cancelled,
+    /// A host-side exception escaped the job (harness bug, host OOM, or
+    /// an injected fault) — the batch isolates it instead of crashing.
+    hostFault,
+};
+
 /** @return a stable human-readable name, e.g. "out-of-bounds". */
 const char *errorKindName(ErrorKind kind);
+/** @return a stable name, e.g. "step-limit" / "host-fault". */
+const char *terminationKindName(TerminationKind kind);
 /** @return "read" / "write" / "free". */
 const char *accessKindName(AccessKind kind);
 /** @return "stack" / "heap" / "global" / "main-args" / "unknown". */
@@ -118,12 +147,24 @@ struct ExecutionResult
     int exitCode = 0;
     /// The first detected bug, if any.
     BugReport bug;
+    /// How the run ended: normal, or a structured resource-governance
+    /// termination (step/heap/output limit, timeout, cancellation, host
+    /// fault). Non-normal terminations leave bug.kind == none.
+    TerminationKind termination = TerminationKind::normal;
+    /// Detail for non-normal terminations, e.g. "step limit of 100000
+    /// instructions exceeded".
+    std::string terminationDetail;
     /// Everything the guest wrote to stdout.
     std::string output;
     /// Everything the guest wrote to stderr.
     std::string errOutput;
 
-    bool ok() const { return bug.kind == ErrorKind::none; }
+    bool
+    ok() const
+    {
+        return bug.kind == ErrorKind::none &&
+               termination == TerminationKind::normal;
+    }
     bool detected(ErrorKind kind) const { return bug.kind == kind; }
 };
 

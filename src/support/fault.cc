@@ -1,0 +1,104 @@
+#include "support/fault.h"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+namespace sulong
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer (same mixer as support/rng.h). */
+uint64_t
+mix(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+hashString(const std::string &s)
+{
+    // FNV-1a.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ull;
+    return h;
+}
+
+} // namespace
+
+void
+FaultInjector::addRule(Rule rule)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.push_back(std::move(rule));
+}
+
+double
+FaultInjector::draw(const std::string &site, uint64_t visit) const
+{
+    uint64_t h = mix(seed_ ^ mix(hashString(site)) ^ mix(visit));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void
+FaultInjector::at(const std::string &site)
+{
+    Action action = Action::delay;
+    unsigned delay_ms = 0;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uint64_t visit = visits_[site]++;
+        for (size_t r = 0; r < rules_.size(); r++) {
+            const Rule &rule = rules_[r];
+            if (!rule.site.empty() && rule.site != site)
+                continue;
+            uint64_t &fired = ruleFirings_[{r, site}];
+            if (rule.maxFirings != 0 && fired >= rule.maxFirings)
+                continue;
+            if (rule.probability < 1.0 &&
+                draw(site, visit) >= rule.probability)
+                continue;
+            fired++;
+            firings_[site]++;
+            action = rule.action;
+            delay_ms = rule.delayMs;
+            fire = true;
+            break;
+        }
+    }
+    if (!fire)
+        return;
+    switch (action) {
+      case Action::allocFailure:
+        throw std::bad_alloc();
+      case Action::hostException:
+        throw InjectedFault("injected host fault at " + site);
+      case Action::delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        break;
+    }
+}
+
+uint64_t
+FaultInjector::visits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = visits_.find(site);
+    return it == visits_.end() ? 0 : it->second;
+}
+
+uint64_t
+FaultInjector::firings(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = firings_.find(site);
+    return it == firings_.end() ? 0 : it->second;
+}
+
+} // namespace sulong

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos testing the harness.
+ *
+ * The batch runner (and any other subsystem that wants coverage of its
+ * failure paths) calls FaultInjector::at("site") at named points; rules
+ * installed by a test then fire host allocation failures, forced
+ * exceptions, or artificial delays at exactly those sites. Decisions are
+ * a pure function of (seed, site, visit index), so a parallel chaos run
+ * injects the same faults into the same jobs as a serial one — which is
+ * what lets the chaos suite assert bit-identical batch reports across
+ * worker counts.
+ */
+
+#ifndef MS_SUPPORT_FAULT_H
+#define MS_SUPPORT_FAULT_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sulong
+{
+
+/** Thrown by FaultInjector rules of kind hostException. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+class FaultInjector
+{
+  public:
+    /** What a rule does when it fires. */
+    enum class Action : uint8_t
+    {
+        /// Throw std::bad_alloc (simulated host OOM).
+        allocFailure,
+        /// Throw InjectedFault (a harness bug escaping a job).
+        hostException,
+        /// Sleep for delayMs (a stuck job, for watchdog tests).
+        delay,
+    };
+
+    struct Rule
+    {
+        /// Site the rule applies to; "" matches every site.
+        std::string site;
+        Action action = Action::hostException;
+        /// Probability of firing per visit, decided deterministically
+        /// from (seed, site, visit index).
+        double probability = 1.0;
+        /// Fire at most this many times per site (0 = unlimited).
+        unsigned maxFirings = 0;
+        /// Sleep duration for Action::delay.
+        unsigned delayMs = 0;
+    };
+
+    explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+    void addRule(Rule rule);
+
+    /**
+     * Report reaching @p site. May throw std::bad_alloc or
+     * InjectedFault, or sleep, according to the installed rules; a
+     * no-op (beyond counting) when nothing matches.
+     */
+    void at(const std::string &site);
+
+    /** Times @p site was reached / times a rule fired there. */
+    uint64_t visits(const std::string &site) const;
+    uint64_t firings(const std::string &site) const;
+
+  private:
+    /** Deterministic uniform [0,1) draw for one (site, visit) pair. */
+    double draw(const std::string &site, uint64_t visit) const;
+
+    uint64_t seed_;
+    mutable std::mutex mutex_;
+    std::vector<Rule> rules_;
+    std::map<std::string, uint64_t> visits_;
+    /// Keyed by (rule index, site) so per-site firing caps stay exact
+    /// even for wildcard rules.
+    std::map<std::pair<size_t, std::string>, uint64_t> ruleFirings_;
+    std::map<std::string, uint64_t> firings_;
+};
+
+} // namespace sulong
+
+#endif // MS_SUPPORT_FAULT_H

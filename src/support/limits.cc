@@ -1,0 +1,69 @@
+#include "support/limits.h"
+
+namespace sulong
+{
+
+ResourceGuard::ResourceGuard(const ResourceLimits &limits,
+                             CancellationToken token)
+    : limits_(limits), token_(std::move(token))
+{
+    if (limits_.deadlineMs != 0) {
+        hasDeadline_ = true;
+        deadline_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(limits_.deadlineMs);
+    }
+}
+
+void
+ResourceGuard::onAlloc(uint64_t bytes)
+{
+    allocations_++;
+    heapBytes_ += bytes;
+    if (limits_.maxHeapBytes != 0 && heapBytes_ > limits_.maxHeapBytes) {
+        exhausted(TerminationKind::heapLimit,
+                  "guest heap limit of " +
+                      std::to_string(limits_.maxHeapBytes) +
+                      " bytes exceeded (" + std::to_string(heapBytes_) +
+                      " live)");
+    }
+    if (limits_.maxHeapAllocations != 0 &&
+        allocations_ > limits_.maxHeapAllocations) {
+        exhausted(TerminationKind::heapLimit,
+                  "guest allocation count limit of " +
+                      std::to_string(limits_.maxHeapAllocations) +
+                      " exceeded");
+    }
+}
+
+void
+ResourceGuard::onOutput(uint64_t bytes)
+{
+    outputBytes_ += bytes;
+    if (limits_.maxOutputBytes != 0 &&
+        outputBytes_ > limits_.maxOutputBytes) {
+        exhausted(TerminationKind::outputLimit,
+                  "guest output limit of " +
+                      std::to_string(limits_.maxOutputBytes) +
+                      " bytes exceeded");
+    }
+}
+
+void
+ResourceGuard::checkInterrupts()
+{
+    if (token_.cancelled())
+        exhausted(TerminationKind::cancelled, "run cancelled");
+    if (hasDeadline_ && std::chrono::steady_clock::now() >= deadline_) {
+        exhausted(TerminationKind::timeout,
+                  "wall-clock deadline of " +
+                      std::to_string(limits_.deadlineMs) + " ms exceeded");
+    }
+}
+
+void
+ResourceGuard::exhausted(TerminationKind kind, std::string detail)
+{
+    throw ResourceExhausted(kind, std::move(detail));
+}
+
+} // namespace sulong

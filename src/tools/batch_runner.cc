@@ -1,7 +1,14 @@
 #include "tools/batch_runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
 
+#include "support/fault.h"
 #include "support/thread_pool.h"
 
 namespace sulong
@@ -10,11 +17,164 @@ namespace sulong
 namespace
 {
 
-ExecutionResult
-runOneJob(const BatchJob &job, CompileCache *cache)
+/**
+ * Tracks the cancellation token of every job attempt in flight. When
+ * constructed with a non-zero timeout it runs a timer thread that
+ * cancels attempts past their wall-clock budget; cancelAll() serves the
+ * fail-fast drain even when no timeout is set.
+ */
+class Watchdog
 {
-    PreparedProgram prepared = prepareProgram(job.sources, job.config, cache);
-    return prepared.run(job.args, job.stdinData);
+  public:
+    explicit Watchdog(unsigned timeout_ms) : timeoutMs_(timeout_ms)
+    {
+        if (timeoutMs_ > 0)
+            timer_ = std::thread([this] { loop(); });
+    }
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (timer_.joinable())
+            timer_.join();
+    }
+
+    void
+    watch(size_t id, CancellationToken token)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_[id] = Entry{
+            std::move(token),
+            std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeoutMs_),
+        };
+    }
+
+    void
+    release(size_t id)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(id);
+    }
+
+    /** Cancel every attempt currently in flight (fail-fast drain). */
+    void
+    cancelAll()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &[id, entry] : entries_)
+            entry.token.cancel();
+    }
+
+  private:
+    struct Entry
+    {
+        CancellationToken token;
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    void
+    loop()
+    {
+        // Poll a few times per budget so cancellation lands close to the
+        // deadline without a wakeup per entry.
+        unsigned poll_ms =
+            std::max(1u, std::min(timeoutMs_ / 4, 20u));
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            auto now = std::chrono::steady_clock::now();
+            for (auto &[id, entry] : entries_) {
+                if (now >= entry.deadline)
+                    entry.token.cancel();
+            }
+            cv_.wait_for(lock, std::chrono::milliseconds(poll_ms),
+                         [this] { return stop_; });
+        }
+    }
+
+    unsigned timeoutMs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<size_t, Entry> entries_;
+    bool stop_ = false;
+    std::thread timer_;
+};
+
+/** Would this job's outcome trigger a fail-fast drain? Guest bugs are
+ *  the harness working as intended; only harness-level failures count. */
+bool
+isHarnessFailure(const ExecutionResult &result)
+{
+    return result.termination == TerminationKind::hostFault ||
+        result.bug.kind == ErrorKind::engineError;
+}
+
+/**
+ * Run one job fully isolated: any exception that escapes preparation or
+ * execution becomes a per-job hostFault result (and may be retried),
+ * identical on the serial and parallel paths.
+ */
+ExecutionResult
+runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
+                 const BatchOptions &options, std::atomic<bool> &drain,
+                 Watchdog &watchdog, BatchReport::JobStats &stats)
+{
+    auto start = std::chrono::steady_clock::now();
+    ExecutionResult result;
+    for (;;) {
+        if (drain.load(std::memory_order_relaxed) && stats.attempts == 0) {
+            result.termination = TerminationKind::cancelled;
+            result.terminationDetail =
+                "batch drained before the job started (fail-fast)";
+            break;
+        }
+        stats.attempts++;
+        CancellationToken token;
+        try {
+            if (options.faults != nullptr)
+                options.faults->at("batch.job/" + std::to_string(index));
+            PreparedProgram prepared =
+                prepareProgram(job.sources, job.config, cache);
+            if (prepared.ok()) {
+                prepared.engine->limits() = job.limits;
+                prepared.engine->setCancellationToken(token);
+                // Watch execution only: cancellation is polled on the
+                // guest step path, and a budget that included compile
+                // time would cancel healthy jobs on a slow host.
+                watchdog.watch(index, token);
+            }
+            result = prepared.run(job.args, job.stdinData);
+        } catch (const std::exception &e) {
+            result = ExecutionResult{};
+            result.termination = TerminationKind::hostFault;
+            result.terminationDetail =
+                std::string("batch job threw: ") + e.what();
+        } catch (...) {
+            result = ExecutionResult{};
+            result.termination = TerminationKind::hostFault;
+            result.terminationDetail =
+                "batch job threw a non-standard exception";
+        }
+        watchdog.release(index);
+        if (result.termination == TerminationKind::hostFault &&
+            stats.attempts <= options.retries) {
+            if (options.retryBackoffMs > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    options.retryBackoffMs * stats.attempts));
+            }
+            continue;
+        }
+        break;
+    }
+    stats.termination = result.termination;
+    stats.elapsedMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return result;
 }
 
 } // namespace
@@ -24,6 +184,7 @@ runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
 {
     BatchReport report;
     report.results.resize(jobs.size());
+    report.jobStats.resize(jobs.size());
 
     CompileCache localCache;
     CompileCache *cache = nullptr;
@@ -36,31 +197,52 @@ runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
         std::min<size_t>(workers, std::max<size_t>(jobs.size(), 1)));
     report.workersUsed = workers;
 
+    std::atomic<bool> drain{false};
+    Watchdog watchdog(options.watchdogMs);
+    auto onJobDone = [&](const ExecutionResult &result) {
+        if (options.failFast && isHarnessFailure(result)) {
+            drain.store(true, std::memory_order_relaxed);
+            watchdog.cancelAll();
+        }
+    };
+
     if (workers <= 1) {
-        for (size_t i = 0; i < jobs.size(); i++)
-            report.results[i] = runOneJob(jobs[i], cache);
+        for (size_t i = 0; i < jobs.size(); i++) {
+            report.results[i] = runOneJobGuarded(
+                jobs[i], i, cache, options, drain, watchdog,
+                report.jobStats[i]);
+            onJobDone(report.results[i]);
+        }
     } else {
         ThreadPool pool(workers);
         std::vector<std::future<ExecutionResult>> futures;
         futures.reserve(jobs.size());
-        for (const BatchJob &job : jobs) {
-            futures.push_back(
-                pool.submit([&job, cache]() { return runOneJob(job, cache); }));
+        for (size_t i = 0; i < jobs.size(); i++) {
+            const BatchJob &job = jobs[i];
+            BatchReport::JobStats &stats = report.jobStats[i];
+            futures.push_back(pool.submit(
+                [&job, i, cache, &options, &drain, &watchdog, &stats,
+                 &onJobDone]() {
+                    ExecutionResult result = runOneJobGuarded(
+                        job, i, cache, options, drain, watchdog, stats);
+                    onJobDone(result);
+                    return result;
+                }));
         }
         // Collecting by index — not by completion — keeps the report
         // deterministic under any scheduling.
-        for (size_t i = 0; i < futures.size(); i++) {
-            try {
-                report.results[i] = futures[i].get();
-            } catch (const std::exception &e) {
-                // Engines report guest misbehaviour through results, so
-                // an exception here is a harness bug; surface it as an
-                // engine error instead of tearing down the whole batch.
-                report.results[i].bug.kind = ErrorKind::engineError;
-                report.results[i].bug.detail =
-                    std::string("batch job threw: ") + e.what();
-            }
-        }
+        for (size_t i = 0; i < futures.size(); i++)
+            report.results[i] = futures[i].get();
+    }
+
+    for (size_t i = 0; i < jobs.size(); i++) {
+        const BatchReport::JobStats &stats = report.jobStats[i];
+        if (stats.termination == TerminationKind::hostFault)
+            report.hostFaults++;
+        if (stats.attempts > 1)
+            report.retriesUsed += stats.attempts - 1;
+        if (stats.attempts == 0)
+            report.drainedJobs++;
     }
 
     if (cache != nullptr)

@@ -10,6 +10,14 @@
  * never by completion order — so a parallel detection matrix is
  * bit-identical to a serial one.
  *
+ * Every job runs guarded: engines execute under the job's
+ * ResourceLimits, a watchdog cancels attempts that overrun their
+ * wall-clock budget, host-side exceptions become per-job
+ * TerminationKind::hostFault results (optionally retried with backoff),
+ * and a fail-fast mode drains the rest of the batch after the first
+ * harness-level failure. One misbehaving cell can slow the batch down;
+ * it can no longer wedge, OOM, or tear it down.
+ *
  * This is the seam later scaling work (sharding, async clients,
  * multi-backend dispatch) plugs into: anything that can phrase itself as
  * a list of BatchJobs inherits the parallelism and the cache.
@@ -24,6 +32,8 @@
 namespace sulong
 {
 
+class FaultInjector;
+
 /** One evaluation cell: a program under one tool configuration. */
 struct BatchJob
 {
@@ -31,6 +41,9 @@ struct BatchJob
     ToolConfig config;
     std::vector<std::string> args;
     std::string stdinData;
+    /// Per-run resource budget for this job's engine; the default keeps
+    /// only the step and call-depth protections.
+    ResourceLimits limits;
 
     static BatchJob
     make(const std::string &user_source, const ToolConfig &config,
@@ -57,14 +70,56 @@ struct BatchOptions
     /// Reuse an external cache across batches; null and useCompileCache
     /// means a cache private to this batch.
     CompileCache *cache = nullptr;
+    /// Wall-clock execution budget per job attempt in milliseconds
+    /// (compilation excluded — cancellation is polled on the guest step
+    /// path); a job still executing past it is cancelled through its
+    /// token and reports TerminationKind::cancelled. 0 disables the
+    /// watchdog thread.
+    unsigned watchdogMs = 0;
+    /// Re-run a job up to this many extra times when it ends in a
+    /// TerminationKind::hostFault (a harness-side exception, possibly
+    /// transient). Guest bugs and resource terminations never retry.
+    unsigned retries = 0;
+    /// Linear backoff between retry attempts (attempt n sleeps n times
+    /// this long).
+    unsigned retryBackoffMs = 5;
+    /// Drain the batch after the first harness-level failure (hostFault
+    /// termination or ErrorKind::engineError): queued jobs are not
+    /// started and report TerminationKind::cancelled, in-flight jobs are
+    /// cancelled through their tokens. Trades the report's completeness
+    /// (and cross-worker-count determinism) for latency.
+    bool failFast = false;
+    /// Chaos-testing hook: when set, every job attempt reports the site
+    /// "batch.job/<index>" before preparing, letting tests inject host
+    /// faults and delays into chosen jobs.
+    FaultInjector *faults = nullptr;
 };
 
 struct BatchReport
 {
+    /// Per-job accounting, parallel to results.
+    struct JobStats
+    {
+        /// Wall-clock total over all attempts, in milliseconds.
+        double elapsedMs = 0;
+        /// Attempts actually run; 0 means the job was drained before
+        /// it ever started.
+        unsigned attempts = 0;
+        TerminationKind termination = TerminationKind::normal;
+    };
+
     /// results[i] belongs to jobs[i], whatever order workers finished in.
     std::vector<ExecutionResult> results;
+    /// jobStats[i] describes how results[i] was obtained.
+    std::vector<JobStats> jobStats;
     CompileCacheStats cacheStats;
     unsigned workersUsed = 0;
+    /// Jobs whose final outcome was a host fault (after retries).
+    unsigned hostFaults = 0;
+    /// Extra attempts spent across all jobs.
+    unsigned retriesUsed = 0;
+    /// Jobs never started because a fail-fast drain was triggered.
+    unsigned drainedJobs = 0;
 };
 
 /** Run every job and collect results deterministically by job index. */

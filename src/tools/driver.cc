@@ -160,6 +160,44 @@ parseJobsFlag(int argc, char **argv, unsigned fallback)
     return fallback;
 }
 
+uint64_t
+parseUint64Flag(int argc, char **argv, const char *name, uint64_t fallback)
+{
+    std::string flag = std::string("--") + name;
+    std::string flag_eq = flag + "=";
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (flag == arg) {
+            if (i + 1 < argc)
+                value = argv[i + 1];
+        } else if (std::strncmp(arg, flag_eq.c_str(), flag_eq.size()) == 0) {
+            value = arg + flag_eq.size();
+        }
+        if (value == nullptr)
+            continue;
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(value, &end, 10);
+        if (end != value && *end == '\0')
+            return parsed;
+        return fallback;
+    }
+    return fallback;
+}
+
+ResourceLimits
+parseLimitFlags(int argc, char **argv, ResourceLimits base)
+{
+    base.maxSteps = parseUint64Flag(argc, argv, "max-steps", base.maxSteps);
+    base.maxHeapBytes =
+        parseUint64Flag(argc, argv, "heap-limit", base.maxHeapBytes);
+    base.maxOutputBytes =
+        parseUint64Flag(argc, argv, "output-limit", base.maxOutputBytes);
+    base.deadlineMs =
+        parseUint64Flag(argc, argv, "deadline-ms", base.deadlineMs);
+    return base;
+}
+
 std::vector<ToolConfig>
 evaluationToolMatrix()
 {

@@ -122,6 +122,21 @@ std::vector<ToolConfig> evaluationToolMatrix();
  */
 unsigned parseJobsFlag(int argc, char **argv, unsigned fallback = 1);
 
+/**
+ * Parse an unsigned integer flag in `--name N` / `--name=N` form (first
+ * match wins); returns @p fallback when absent or malformed.
+ */
+uint64_t parseUint64Flag(int argc, char **argv, const char *name,
+                         uint64_t fallback);
+
+/**
+ * Apply the resource-governance flags to @p base and return the result:
+ * `--max-steps N`, `--heap-limit BYTES`, `--output-limit BYTES`, and
+ * `--deadline-ms MS` (0 always means unlimited).
+ */
+ResourceLimits parseLimitFlags(int argc, char **argv,
+                               ResourceLimits base = {});
+
 } // namespace sulong
 
 #endif // MS_TOOLS_DRIVER_H

@@ -16,6 +16,7 @@
 
 #include "ir/module.h"
 #include "support/error.h"
+#include "support/limits.h"
 
 namespace sulong
 {
@@ -27,6 +28,10 @@ struct GuestIO
     size_t inputPos = 0;
     std::string output;
     std::string errOutput;
+    /// When set, every write is metered against the output-bytes limit
+    /// instead of appending unboundedly (printf bombs terminate the run
+    /// with TerminationKind::outputLimit).
+    ResourceGuard *guard = nullptr;
 
     int
     getChar()
@@ -39,19 +44,14 @@ struct GuestIO
     void
     write(int fd, const char *data, size_t len)
     {
+        if (guard != nullptr)
+            guard->onOutput(len);
         (fd == 2 ? errOutput : output).append(data, len);
     }
 };
 
-/** Per-run limits so buggy guests cannot wedge the host. */
-struct RunLimits
-{
-    /// Maximum number of executed IR instructions (0 = unlimited).
-    uint64_t maxSteps = 500'000'000;
-    /// Maximum guest call depth. Guest calls nest host-interpreter
-    /// frames, so this also protects the host stack.
-    unsigned maxCallDepth = 3'000;
-};
+/// Former name of the per-run limits, generalized in support/limits.h.
+using RunLimits = ResourceLimits;
 
 /**
  * A bug-finding (or plain) execution environment for IR modules.
@@ -79,10 +79,21 @@ class Engine
         return run(module, args, "");
     }
 
-    RunLimits &limits() { return limits_; }
+    ResourceLimits &limits() { return limits_; }
+
+    /**
+     * Install a cancellation token polled on the interpreter step path:
+     * a watchdog that cancels it terminates the next run (or the one in
+     * flight) with TerminationKind::cancelled.
+     */
+    void setCancellationToken(CancellationToken token)
+    {
+        cancelToken_ = std::move(token);
+    }
 
   protected:
-    RunLimits limits_;
+    ResourceLimits limits_;
+    CancellationToken cancelToken_;
 };
 
 } // namespace sulong

@@ -22,7 +22,9 @@ sameResult(const ExecutionResult &a, const ExecutionResult &b)
     return a.exitCode == b.exitCode && a.output == b.output &&
            a.bug.kind == b.bug.kind && a.bug.access == b.bug.access &&
            a.bug.storage == b.bug.storage &&
-           a.bug.direction == b.bug.direction && a.bug.detail == b.bug.detail;
+           a.bug.direction == b.bug.direction &&
+           a.bug.detail == b.bug.detail && a.termination == b.termination &&
+           a.terminationDetail == b.terminationDetail;
 }
 
 std::vector<BatchJob>

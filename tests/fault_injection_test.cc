@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Chaos suite: the harness must survive every way a job can misbehave.
+ *
+ * Resource bombs (infinite loop, unbounded recursion, allocation bomb,
+ * printf bomb) run under all four engines and must terminate with the
+ * matching structured TerminationKind; injected host faults, delays, and
+ * watchdog cancellations must stay per-job; and a chaotic batch must be
+ * bit-identical across worker counts, because fault decisions are a pure
+ * function of (seed, site, visit) rather than scheduling.
+ */
+
+#include "test_util.h"
+
+#include "corpus/harness.h"
+#include "support/fault.h"
+#include "tools/batch_runner.h"
+
+namespace sulong
+{
+namespace
+{
+
+const char *const kLoop = "int main(void) { while (1) { } }";
+
+const char *const kRecurse = R"(
+static int forever(int n) { return forever(n + 1); }
+int main(void) { return forever(0); })";
+
+const char *const kAllocBomb = R"(
+int main(void) {
+    while (1) {
+        char *block = malloc(1048576);
+        if (block == 0)
+            return 1;
+        block[0] = 'x';
+    }
+})";
+
+const char *const kOutputBomb = R"(
+int main(void) {
+    while (1)
+        puts("spam spam spam spam spam spam spam spam");
+})";
+
+const ToolKind kAllTools[] = {
+    ToolKind::safeSulong,
+    ToolKind::clang,
+    ToolKind::asan,
+    ToolKind::memcheck,
+};
+
+/** Bomb-taming limits: every bomb trips its budget within milliseconds. */
+ResourceLimits
+chaosLimits()
+{
+    ResourceLimits limits;
+    limits.maxSteps = 2'000'000;
+    limits.maxCallDepth = 500;
+    limits.maxHeapBytes = 4ull * 1024 * 1024;
+    limits.maxHeapAllocations = 100'000;
+    limits.maxOutputBytes = 64 * 1024;
+    return limits;
+}
+
+ExecutionResult
+runLimited(const std::string &src, ToolKind kind,
+           const ResourceLimits &limits)
+{
+    PreparedProgram prepared = prepareProgram(src, ToolConfig::make(kind));
+    EXPECT_TRUE(prepared.ok()) << prepared.compileErrors;
+    if (!prepared.ok())
+        return ExecutionResult{};
+    prepared.engine->limits() = limits;
+    return prepared.run();
+}
+
+// --- Structured terminations under every engine ----------------------------
+
+TEST(ChaosTest, InfiniteLoopHitsStepLimitEverywhere)
+{
+    for (ToolKind kind : kAllTools) {
+        ExecutionResult result = runLimited(kLoop, kind, chaosLimits());
+        EXPECT_EQ(result.termination, TerminationKind::stepLimit)
+            << ToolConfig::make(kind).toString() << ": "
+            << result.terminationDetail;
+        EXPECT_EQ(result.bug.kind, ErrorKind::none);
+        EXPECT_FALSE(result.ok());
+    }
+}
+
+TEST(ChaosTest, UnboundedRecursionHitsStackLimitEverywhere)
+{
+    for (ToolKind kind : kAllTools) {
+        ExecutionResult result = runLimited(kRecurse, kind, chaosLimits());
+        EXPECT_EQ(result.termination, TerminationKind::stackLimit)
+            << ToolConfig::make(kind).toString() << ": "
+            << result.terminationDetail;
+        EXPECT_EQ(result.bug.kind, ErrorKind::none);
+    }
+}
+
+TEST(ChaosTest, AllocationBombHitsHeapLimitEverywhere)
+{
+    for (ToolKind kind : kAllTools) {
+        ExecutionResult result = runLimited(kAllocBomb, kind, chaosLimits());
+        EXPECT_EQ(result.termination, TerminationKind::heapLimit)
+            << ToolConfig::make(kind).toString() << ": "
+            << result.terminationDetail;
+    }
+}
+
+TEST(ChaosTest, AllocationCountLimitTrips)
+{
+    ResourceLimits limits = chaosLimits();
+    limits.maxHeapBytes = 0;
+    limits.maxHeapAllocations = 3;
+    ExecutionResult result =
+        runLimited(kAllocBomb, ToolKind::safeSulong, limits);
+    EXPECT_EQ(result.termination, TerminationKind::heapLimit);
+}
+
+TEST(ChaosTest, OutputBombHitsOutputLimitEverywhere)
+{
+    // Plenty of steps so the output cap always trips first, whatever a
+    // libc puts costs on each engine.
+    ResourceLimits limits = chaosLimits();
+    limits.maxSteps = 100'000'000;
+    for (ToolKind kind : kAllTools) {
+        ExecutionResult result = runLimited(kOutputBomb, kind, limits);
+        EXPECT_EQ(result.termination, TerminationKind::outputLimit)
+            << ToolConfig::make(kind).toString() << ": "
+            << result.terminationDetail;
+        // Output up to the cap is preserved for diagnosis.
+        EXPECT_FALSE(result.output.empty());
+        EXPECT_LE(result.output.size() + result.errOutput.size(),
+                  limits.maxOutputBytes);
+    }
+}
+
+TEST(ChaosTest, DeadlineTerminatesLoopEverywhere)
+{
+    ResourceLimits limits;
+    limits.maxSteps = 0; // only the clock can stop it
+    limits.deadlineMs = 50;
+    for (ToolKind kind : kAllTools) {
+        ExecutionResult result = runLimited(kLoop, kind, limits);
+        EXPECT_EQ(result.termination, TerminationKind::timeout)
+            << ToolConfig::make(kind).toString();
+    }
+}
+
+TEST(ChaosTest, PreCancelledTokenStopsRunImmediately)
+{
+    for (ToolKind kind : kAllTools) {
+        PreparedProgram prepared =
+            prepareProgram(kLoop, ToolConfig::make(kind));
+        ASSERT_TRUE(prepared.ok());
+        prepared.engine->limits().maxSteps = 0;
+        CancellationToken token;
+        token.cancel();
+        prepared.engine->setCancellationToken(token);
+        ExecutionResult result = prepared.run();
+        EXPECT_EQ(result.termination, TerminationKind::cancelled)
+            << ToolConfig::make(kind).toString();
+    }
+}
+
+// --- FaultInjector semantics -----------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsAreAPureFunctionOfSeedSiteVisit)
+{
+    auto firingPattern = [](FaultInjector &faults) {
+        std::vector<bool> pattern;
+        for (int visit = 0; visit < 64; visit++) {
+            bool fired = false;
+            try {
+                faults.at("flaky");
+            } catch (const InjectedFault &) {
+                fired = true;
+            }
+            pattern.push_back(fired);
+        }
+        return pattern;
+    };
+    FaultInjector::Rule rule;
+    rule.site = "flaky";
+    rule.probability = 0.5;
+
+    FaultInjector a(1234), b(1234), c(99);
+    a.addRule(rule);
+    b.addRule(rule);
+    c.addRule(rule);
+    std::vector<bool> pa = firingPattern(a), pb = firingPattern(b);
+    EXPECT_EQ(pa, pb);
+    EXPECT_NE(pa, firingPattern(c)); // different seed, different chaos
+    EXPECT_EQ(a.visits("flaky"), 64u);
+    EXPECT_GT(a.firings("flaky"), 0u);
+    EXPECT_LT(a.firings("flaky"), 64u);
+}
+
+TEST(FaultInjectorTest, FiringCapAndActions)
+{
+    FaultInjector faults;
+    FaultInjector::Rule oom;
+    oom.site = "alloc";
+    oom.action = FaultInjector::Action::allocFailure;
+    oom.maxFirings = 2;
+    faults.addRule(oom);
+    for (int i = 0; i < 5; i++) {
+        if (i < 2)
+            EXPECT_THROW(faults.at("alloc"), std::bad_alloc);
+        else
+            EXPECT_NO_THROW(faults.at("alloc"));
+    }
+    EXPECT_EQ(faults.visits("alloc"), 5u);
+    EXPECT_EQ(faults.firings("alloc"), 2u);
+
+    FaultInjector::Rule nap;
+    nap.site = "nap";
+    nap.action = FaultInjector::Action::delay;
+    nap.delayMs = 1;
+    faults.addRule(nap);
+    EXPECT_NO_THROW(faults.at("nap")); // sleeps, never throws
+    EXPECT_EQ(faults.firings("nap"), 1u);
+}
+
+// --- Batch-level fault tolerance -------------------------------------------
+
+BatchJob
+quickJob(int exit_code)
+{
+    return BatchJob::make(
+        "int main(void) { return " + std::to_string(exit_code) + "; }",
+        ToolConfig::make(ToolKind::safeSulong));
+}
+
+TEST(ChaosTest, InjectedHostExceptionStaysPerJob)
+{
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/1";
+    faults.addRule(rule);
+
+    std::vector<BatchJob> jobs = {quickJob(1), quickJob(2), quickJob(3)};
+    BatchOptions options;
+    options.faults = &faults;
+    BatchReport report = runBatch(jobs, options);
+
+    EXPECT_EQ(report.results[0].exitCode, 1);
+    EXPECT_EQ(report.results[1].termination, TerminationKind::hostFault);
+    EXPECT_NE(report.results[1].terminationDetail.find("injected"),
+              std::string::npos);
+    EXPECT_EQ(report.results[2].exitCode, 3);
+    EXPECT_EQ(report.hostFaults, 1u);
+    EXPECT_EQ(report.jobStats[1].attempts, 1u);
+}
+
+TEST(ChaosTest, InjectedAllocFailureBecomesHostFault)
+{
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/0";
+    rule.action = FaultInjector::Action::allocFailure;
+    faults.addRule(rule);
+
+    std::vector<BatchJob> jobs = {quickJob(1)};
+    BatchOptions options;
+    options.faults = &faults;
+    BatchReport report = runBatch(jobs, options);
+    EXPECT_EQ(report.results[0].termination, TerminationKind::hostFault);
+}
+
+TEST(ChaosTest, RetryWithBackoffRecoversTransientFaults)
+{
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/0";
+    rule.maxFirings = 2; // fails twice, then the site is healthy
+    faults.addRule(rule);
+
+    std::vector<BatchJob> jobs = {quickJob(7)};
+    BatchOptions options;
+    options.faults = &faults;
+    options.retries = 3;
+    options.retryBackoffMs = 1;
+    BatchReport report = runBatch(jobs, options);
+
+    EXPECT_EQ(report.results[0].termination, TerminationKind::normal);
+    EXPECT_EQ(report.results[0].exitCode, 7);
+    EXPECT_EQ(report.jobStats[0].attempts, 3u);
+    EXPECT_EQ(report.retriesUsed, 2u);
+    EXPECT_EQ(report.hostFaults, 0u);
+}
+
+TEST(ChaosTest, RetriesExhaustedReportsHostFault)
+{
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/0"; // no cap: every attempt fails
+    faults.addRule(rule);
+
+    std::vector<BatchJob> jobs = {quickJob(7)};
+    BatchOptions options;
+    options.faults = &faults;
+    options.retries = 2;
+    options.retryBackoffMs = 1;
+    BatchReport report = runBatch(jobs, options);
+    EXPECT_EQ(report.results[0].termination, TerminationKind::hostFault);
+    EXPECT_EQ(report.jobStats[0].attempts, 3u);
+}
+
+TEST(ChaosTest, WatchdogCancelsOverdueJob)
+{
+    std::vector<BatchJob> jobs = {quickJob(1), quickJob(2)};
+    jobs.push_back(BatchJob::make(kLoop,
+                                  ToolConfig::make(ToolKind::safeSulong)));
+    jobs[2].limits.maxSteps = 0; // nothing but the watchdog can stop it
+
+    BatchOptions options;
+    options.jobs = 2;
+    options.watchdogMs = 50;
+    BatchReport report = runBatch(jobs, options);
+
+    EXPECT_EQ(report.results[0].exitCode, 1);
+    EXPECT_EQ(report.results[1].exitCode, 2);
+    EXPECT_EQ(report.results[2].termination, TerminationKind::cancelled);
+    EXPECT_GE(report.jobStats[2].elapsedMs, 40.0);
+}
+
+TEST(ChaosTest, FailFastDrainsQueuedJobs)
+{
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/1";
+    faults.addRule(rule);
+
+    std::vector<BatchJob> jobs = {quickJob(1), quickJob(2), quickJob(3),
+                                  quickJob(4)};
+    BatchOptions options; // serial: drain point is deterministic
+    options.faults = &faults;
+    options.failFast = true;
+    BatchReport report = runBatch(jobs, options);
+
+    EXPECT_EQ(report.results[0].exitCode, 1);
+    EXPECT_EQ(report.results[1].termination, TerminationKind::hostFault);
+    EXPECT_EQ(report.results[2].termination, TerminationKind::cancelled);
+    EXPECT_EQ(report.results[3].termination, TerminationKind::cancelled);
+    EXPECT_EQ(report.jobStats[2].attempts, 0u);
+    EXPECT_EQ(report.drainedJobs, 2u);
+}
+
+TEST(ChaosTest, GuestBugsDoNotTriggerFailFast)
+{
+    std::vector<BatchJob> jobs = {
+        BatchJob::make("int main(void) { int a[3]; return a[5]; }",
+                       ToolConfig::make(ToolKind::safeSulong)),
+        quickJob(2),
+    };
+    BatchOptions options;
+    options.failFast = true;
+    BatchReport report = runBatch(jobs, options);
+    EXPECT_EQ(report.results[0].bug.kind, ErrorKind::outOfBounds);
+    EXPECT_EQ(report.results[1].exitCode, 2); // batch kept going
+    EXPECT_EQ(report.drainedJobs, 0u);
+}
+
+// --- The acceptance batch: all failure modes, deterministic --------------
+
+bool
+sameResult(const ExecutionResult &a, const ExecutionResult &b)
+{
+    return a.exitCode == b.exitCode && a.output == b.output &&
+           a.errOutput == b.errOutput && a.bug.kind == b.bug.kind &&
+           a.bug.detail == b.bug.detail && a.termination == b.termination &&
+           a.terminationDetail == b.terminationDetail;
+}
+
+TEST(ChaosTest, ChaoticBatchIsDeterministicAcrossWorkerCounts)
+{
+    // Every bomb under every engine, plus an injected host fault and an
+    // injected delay — the acceptance batch of the issue.
+    std::vector<BatchJob> jobs;
+    for (ToolKind kind : kAllTools) {
+        for (const char *src : {kLoop, kRecurse, kAllocBomb, kOutputBomb}) {
+            jobs.push_back(BatchJob::make(src, ToolConfig::make(kind)));
+            jobs.back().limits = chaosLimits();
+            if (src == kOutputBomb)
+                jobs.back().limits.maxSteps = 100'000'000;
+        }
+    }
+    jobs.push_back(quickJob(11)); // takes the host-fault injection
+    jobs.push_back(quickJob(12)); // takes the delay injection
+
+    auto configureFaults = [&jobs](FaultInjector &faults) {
+        FaultInjector::Rule boom;
+        boom.site = "batch.job/" + std::to_string(jobs.size() - 2);
+        faults.addRule(boom);
+        FaultInjector::Rule nap;
+        nap.site = "batch.job/" + std::to_string(jobs.size() - 1);
+        nap.action = FaultInjector::Action::delay;
+        nap.delayMs = 10;
+        faults.addRule(nap);
+    };
+
+    FaultInjector serialFaults(42);
+    configureFaults(serialFaults);
+    BatchOptions serial;
+    serial.jobs = 1;
+    serial.faults = &serialFaults;
+    BatchReport reference = runBatch(jobs, serial);
+
+    FaultInjector parallelFaults(42);
+    configureFaults(parallelFaults);
+    BatchOptions parallel;
+    parallel.jobs = 8;
+    parallel.faults = &parallelFaults;
+    BatchReport report = runBatch(jobs, parallel);
+
+    TerminationKind expected[] = {
+        TerminationKind::stepLimit,
+        TerminationKind::stackLimit,
+        TerminationKind::heapLimit,
+        TerminationKind::outputLimit,
+    };
+    for (size_t i = 0; i < jobs.size() - 2; i++) {
+        EXPECT_EQ(reference.results[i].termination, expected[i % 4])
+            << "job " << i << ": "
+            << reference.results[i].terminationDetail;
+    }
+    EXPECT_EQ(reference.results[jobs.size() - 2].termination,
+              TerminationKind::hostFault);
+    EXPECT_EQ(reference.results[jobs.size() - 1].termination,
+              TerminationKind::normal);
+    EXPECT_EQ(reference.results[jobs.size() - 1].exitCode, 12);
+
+    ASSERT_EQ(report.results.size(), reference.results.size());
+    for (size_t i = 0; i < jobs.size(); i++) {
+        EXPECT_TRUE(sameResult(reference.results[i], report.results[i]))
+            << "job " << i << " diverged across worker counts";
+        EXPECT_EQ(reference.jobStats[i].termination,
+                  report.jobStats[i].termination);
+    }
+}
+
+// --- Slow soak tests (labelled `slow`) -------------------------------------
+
+TEST(ChaosSlowTest, DefaultCorpusLimitsTameEveryBomb)
+{
+    // The real corpus budget (50M steps, 256MB heap, 16MB output) instead
+    // of the tight chaos budget — seconds per engine, so labelled slow.
+    for (ToolKind kind : {ToolKind::safeSulong, ToolKind::clang}) {
+        EXPECT_EQ(runLimited(kLoop, kind, corpusRunLimits()).termination,
+                  TerminationKind::stepLimit);
+        EXPECT_EQ(
+            runLimited(kAllocBomb, kind, corpusRunLimits()).termination,
+            TerminationKind::heapLimit);
+        // Whether the 16MB output cap or the 50M step budget trips first
+        // depends on the engine's per-puts cost; either is a structured
+        // termination, which is the property that matters.
+        TerminationKind bomb =
+            runLimited(kOutputBomb, kind, corpusRunLimits()).termination;
+        EXPECT_TRUE(bomb == TerminationKind::outputLimit ||
+                    bomb == TerminationKind::stepLimit)
+            << terminationKindName(bomb);
+    }
+}
+
+TEST(ChaosSlowTest, RandomFaultSoakNeverCrashesTheBatch)
+{
+    // Wildcard chaos over a mixed batch, twice with the same seed: every
+    // job must end in a structured outcome and both runs must agree.
+    std::vector<BatchJob> jobs;
+    for (int i = 0; i < 24; i++) {
+        if (i % 4 == 3) {
+            jobs.push_back(BatchJob::make(
+                kLoop, ToolConfig::make(kAllTools[i % 2])));
+            jobs.back().limits = chaosLimits();
+        } else {
+            jobs.push_back(quickJob(i));
+        }
+    }
+    auto runChaos = [&jobs]() {
+        FaultInjector faults(7);
+        FaultInjector::Rule rule; // wildcard: any job may blow up
+        rule.probability = 0.3;
+        faults.addRule(rule);
+        BatchOptions options;
+        options.jobs = 4;
+        options.faults = &faults;
+        options.retries = 1;
+        options.retryBackoffMs = 1;
+        return runBatch(jobs, options);
+    };
+    BatchReport first = runChaos();
+    BatchReport second = runChaos();
+    ASSERT_EQ(first.results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); i++) {
+        const ExecutionResult &result = first.results[i];
+        bool structured =
+            result.termination != TerminationKind::normal ||
+            result.bug.kind != ErrorKind::none || result.exitCode >= 0;
+        EXPECT_TRUE(structured) << "job " << i;
+        EXPECT_TRUE(sameResult(result, second.results[i]))
+            << "job " << i << " not deterministic under chaos";
+    }
+    EXPECT_EQ(first.retriesUsed, second.retriesUsed);
+    EXPECT_EQ(first.hostFaults, second.hostFaults);
+}
+
+} // namespace
+} // namespace sulong

@@ -278,7 +278,8 @@ TEST(ManagedEngineTest, StepLimitStopsRunaway)
     ASSERT_TRUE(prepared.ok());
     prepared.engine->limits().maxSteps = 100000;
     ExecutionResult result = prepared.run();
-    EXPECT_EQ(result.bug.kind, ErrorKind::engineError);
+    EXPECT_EQ(result.bug.kind, ErrorKind::none);
+    EXPECT_EQ(result.termination, TerminationKind::stepLimit);
 }
 
 TEST(ManagedEngineTest, CallDepthLimit)
@@ -287,7 +288,8 @@ TEST(ManagedEngineTest, CallDepthLimit)
     ExecutionResult result = runUnderTool(R"(
 static int forever(int n) { return forever(n + 1); }
 int main(void) { return forever(0); })", config);
-    EXPECT_EQ(result.bug.kind, ErrorKind::engineError);
+    EXPECT_EQ(result.bug.kind, ErrorKind::none);
+    EXPECT_EQ(result.termination, TerminationKind::stackLimit);
 }
 
 TEST(ManagedEngineTest, PointerPinningRoundTrip)

@@ -234,7 +234,9 @@ TEST(NativeEngineTest, StepLimitWorks)
         ToolConfig::make(ToolKind::clang, 0));
     ASSERT_TRUE(prepared.ok());
     prepared.engine->limits().maxSteps = 50000;
-    EXPECT_EQ(prepared.run().bug.kind, ErrorKind::engineError);
+    ExecutionResult result = prepared.run();
+    EXPECT_EQ(result.bug.kind, ErrorKind::none);
+    EXPECT_EQ(result.termination, TerminationKind::stepLimit);
 }
 
 } // namespace
