@@ -67,8 +67,15 @@ main(int argc, char **argv)
     ResourceLimits limits = parseLimitFlags(argc, argv, corpusRunLimits());
     const auto &corpus = bugCorpus();
 
+    // Tier-2 ablation knobs (--no-tier2, --tier2-threshold,
+    // --no-inlining, --no-check-elision, ...): the CI gate diffs the
+    // matrix across these configurations — the optimizing tier must
+    // never change what is detected or how it is reported.
+    ToolConfig sulong_config = ToolConfig::make(ToolKind::safeSulong);
+    sulong_config.managed = parseManagedFlags(argc, argv);
+
     std::vector<ToolConfig> tools = {
-        ToolConfig::make(ToolKind::safeSulong),
+        sulong_config,
         ToolConfig::make(ToolKind::asan, 0),
         ToolConfig::make(ToolKind::asan, 3),
         ToolConfig::make(ToolKind::memcheck, 0),

@@ -9,11 +9,16 @@
  * Expected shape: Safe Sulong starts slowest (interpreting, then paying
  * compile pauses), then overtakes Valgrind and approaches/states above
  * ASan once hot; ASan has essentially no warm-up.
+ *
+ * Usage: bench_fig15_warmup [WINDOW_SECONDS] [--json PATH] plus the
+ * tier-2 tuning flags of parseManagedFlags. The JSON records carry each
+ * tool's mean iteration time over the whole window (warm-up included).
  */
 
 #include <chrono>
 #include <cstdio>
 
+#include "tools/bench_json.h"
 #include "tools/benchmark_programs.h"
 #include "tools/driver.h"
 
@@ -22,12 +27,16 @@ main(int argc, char **argv)
 {
     using namespace sulong;
     using Clock = std::chrono::steady_clock;
-    double window_seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
+    double window_seconds = 10.0;
+    if (argc > 1 && argv[1][0] != '-')
+        window_seconds = std::atof(argv[1]);
+    std::string json_path = parseStringFlag(argc, argv, "json");
     const BenchmarkProgram *meteor = findBenchmark("meteor");
 
     std::printf("Warm-up on meteor (%.0f s window per tool)\n\n",
                 window_seconds);
 
+    std::vector<BenchRecord> records;
     for (ToolKind kind : {ToolKind::safeSulong, ToolKind::asan,
                           ToolKind::memcheck, ToolKind::clang}) {
         ToolConfig config = ToolConfig::make(kind, 0);
@@ -37,6 +46,7 @@ main(int argc, char **argv)
             config.managed.persistState = true;
             config.managed.compileThreshold = 40;
             config.managed.compileLatencyNsPerInst = 40000;
+            config.managed = parseManagedFlags(argc, argv, config.managed);
         }
         PreparedProgram prepared = prepareProgram(meteor->source, config);
         if (!prepared.ok()) {
@@ -52,6 +62,7 @@ main(int argc, char **argv)
         int bucket = 0;
         unsigned in_bucket = 0;
         unsigned total = 0;
+        double elapsed = 0;
         while (true) {
             ExecutionResult result = prepared.run(meteor->args);
             if (!result.ok()) {
@@ -61,7 +72,7 @@ main(int argc, char **argv)
             }
             in_bucket++;
             total++;
-            double elapsed =
+            elapsed =
                 std::chrono::duration<double>(Clock::now() - start)
                     .count();
             if (elapsed >= bucket + 1) {
@@ -79,6 +90,25 @@ main(int argc, char **argv)
                 break;
         }
         std::printf("  total iterations: %u\n\n", total);
+
+        BenchRecord record;
+        record.bench = "fig15.meteor";
+        record.engine = config.toString();
+        if (kind == ToolKind::safeSulong)
+            record.config = managedConfigString(config.managed);
+        record.nsPerOp =
+            total > 0 ? elapsed * 1e9 / static_cast<double>(total) : 0;
+        record.stepsPerOp =
+            managed != nullptr ? managed->executedSteps() : 0;
+        records.push_back(std::move(record));
+    }
+    if (!json_path.empty()) {
+        if (!writeBenchJson(json_path, records)) {
+            std::printf("failed to write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::printf("Wrote %zu records to %s\n", records.size(),
+                    json_path.c_str());
     }
     return 0;
 }

@@ -8,12 +8,20 @@
  * Expected shape: Valgrind is the slowest by a large factor; ASan is
  * slower than Clang -O0; warmed-up Safe Sulong sits around Clang -O0
  * (sometimes better) and approaches Clang -O3 on some benchmarks.
+ *
+ * Flags: `--quick` (fewer samples), `--json PATH` (machine-readable
+ * BENCH_tier2.json/v1 output for the CI perf gate), `--bench A,B`
+ * (restrict to the named benchmarks), plus the tier-2 tuning flags of
+ * parseManagedFlags (`--no-tier2`, `--tier2-threshold N`,
+ * `--no-inlining`, `--inline-budget N`, `--inline-min N`,
+ * `--no-check-elision`).
  */
 
 #include <chrono>
 #include <cstdio>
 
 #include "support/stats.h"
+#include "tools/bench_json.h"
 #include "tools/benchmark_programs.h"
 #include "tools/driver.h"
 
@@ -23,10 +31,11 @@ namespace
 using namespace sulong;
 using Clock = std::chrono::steady_clock;
 
-/** Median wall time of one warmed-up run. */
+/** Median wall time of one warmed-up run; also reports the IR steps one
+ *  run retires under the managed engine (0 for the native tools). */
 double
 peakSeconds(const BenchmarkProgram &program, const ToolConfig &base_config,
-            int warmup_iters, int samples)
+            int warmup_iters, int samples, uint64_t *steps_out)
 {
     ToolConfig config = base_config;
     if (config.kind == ToolKind::safeSulong)
@@ -54,6 +63,11 @@ peakSeconds(const BenchmarkProgram &program, const ToolConfig &base_config,
         times.push_back(
             std::chrono::duration<double>(Clock::now() - t0).count());
     }
+    if (steps_out != nullptr) {
+        auto *managed =
+            dynamic_cast<ManagedEngine *>(prepared.engine.get());
+        *steps_out = managed != nullptr ? managed->executedSteps() : 0;
+    }
     return summarize(times).median;
 }
 
@@ -62,14 +76,34 @@ peakSeconds(const BenchmarkProgram &program, const ToolConfig &base_config,
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    bool quick = hasFlag(argc, argv, "quick");
     int warmup = quick ? 2 : 10;
     int samples = quick ? 3 : 7;
+    std::string json_path = parseStringFlag(argc, argv, "json");
+    std::string only = parseStringFlag(argc, argv, "bench");
+    ManagedOptions managed = parseManagedFlags(argc, argv);
+    auto selected = [&only](const std::string &name) {
+        if (only.empty())
+            return true;
+        size_t pos = 0;
+        while (pos <= only.size()) {
+            size_t comma = only.find(',', pos);
+            size_t end = comma == std::string::npos ? only.size() : comma;
+            if (only.compare(pos, end - pos, name) == 0)
+                return true;
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        return false;
+    };
 
+    ToolConfig sulong_config = ToolConfig::make(ToolKind::safeSulong);
+    sulong_config.managed = managed;
     const ToolConfig tools[] = {
         ToolConfig::make(ToolKind::clang, 0),
         ToolConfig::make(ToolKind::clang, 3),
-        ToolConfig::make(ToolKind::safeSulong),
+        sulong_config,
         ToolConfig::make(ToolKind::asan, 0),
         ToolConfig::make(ToolKind::memcheck, 0),
     };
@@ -82,18 +116,30 @@ main(int argc, char **argv)
         std::printf(" %12s", tool.toString().c_str());
     std::printf("\n");
 
+    std::vector<BenchRecord> records;
     std::vector<std::vector<double>> ratios(std::size(tools));
     for (const BenchmarkProgram &program : benchmarkPrograms()) {
+        if (!selected(program.name))
+            continue;
         double base =
-            peakSeconds(program, tools[0], warmup, samples);
+            peakSeconds(program, tools[0], warmup, samples, nullptr);
         std::printf("  %-15s", program.name.c_str());
         for (size_t t = 0; t < std::size(tools); t++) {
+            uint64_t steps = 0;
             double secs =
-                peakSeconds(program, tools[t], warmup, samples);
+                peakSeconds(program, tools[t], warmup, samples, &steps);
             double rel = base > 0 ? secs / base : 0;
             std::printf(" %12.2f", rel);
             if (!program.allocationIntensive)
                 ratios[t].push_back(rel);
+            BenchRecord record;
+            record.bench = "fig16." + program.name;
+            record.engine = tools[t].toString();
+            if (tools[t].kind == ToolKind::safeSulong)
+                record.config = managedConfigString(tools[t].managed);
+            record.nsPerOp = secs * 1e9;
+            record.stepsPerOp = steps;
+            records.push_back(std::move(record));
         }
         std::printf("%s\n",
                     program.allocationIntensive
@@ -108,5 +154,13 @@ main(int argc, char **argv)
                 "almost all benchmarks, around Clang -O0 overall, on a par\n"
                 "with -O3 on some; Valgrind 2.3x-58x slower; binarytrees:\n"
                 "ASan 14x / Valgrind 58x vs Safe Sulong 1.7x.\n");
+    if (!json_path.empty()) {
+        if (!writeBenchJson(json_path, records)) {
+            std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::printf("\nWrote %zu records to %s\n", records.size(),
+                    json_path.c_str());
+    }
     return 0;
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_tier2.json/v1 files.
+
+Subcommands:
+  validate FILE...   check each file against the BENCH_tier2.json/v1 schema
+  gate ON OFF --benches A,B [--min-geomean X]
+                     compare the Safe Sulong ns_per_op of two runs of the
+                     same benchmarks (optimizations ON vs ablated OFF) and
+                     fail unless geomean(OFF/ON) >= the threshold; also
+                     fail if the retired-step counts differ, since the
+                     optimizing tier must do the same guest work.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "BENCH_tier2.json/v1"
+ENGINE = "Safe Sulong"
+
+
+def fail(msg):
+    print(f"bench_gate: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        fail(f"{path}: records missing or empty")
+    for i, r in enumerate(records):
+        where = f"{path}: records[{i}]"
+        if not isinstance(r, dict):
+            fail(f"{where}: not an object")
+        for key in ("bench", "engine", "config"):
+            if not isinstance(r.get(key), str):
+                fail(f"{where}: {key} missing or not a string")
+        if not r["bench"] or not r["engine"]:
+            fail(f"{where}: bench/engine must be non-empty")
+        ns = r.get("ns_per_op")
+        if not isinstance(ns, (int, float)) or ns <= 0:
+            fail(f"{where}: ns_per_op must be a positive number, got {ns!r}")
+        steps = r.get("steps_per_op")
+        if not isinstance(steps, int) or steps < 0:
+            fail(f"{where}: steps_per_op must be a non-negative int,"
+                 f" got {steps!r}")
+    return records
+
+
+def sulong_records(path):
+    out = {}
+    for r in load(path):
+        if r["engine"] == ENGINE:
+            if r["bench"] in out:
+                fail(f"{path}: duplicate {ENGINE} record for {r['bench']}")
+            out[r["bench"]] = r
+    return out
+
+
+def cmd_validate(args):
+    for path in args.files:
+        records = load(path)
+        print(f"{path}: ok ({len(records)} records)")
+    return 0
+
+
+def cmd_gate(args):
+    on = sulong_records(args.on)
+    off = sulong_records(args.off)
+    benches = [b for b in args.benches.split(",") if b]
+    if not benches:
+        fail("--benches is empty")
+    ratios = []
+    for bench in benches:
+        if bench not in on:
+            fail(f"{args.on}: no {ENGINE} record for {bench}")
+        if bench not in off:
+            fail(f"{args.off}: no {ENGINE} record for {bench}")
+        if on[bench]["steps_per_op"] != off[bench]["steps_per_op"]:
+            fail(f"{bench}: steps_per_op differs "
+                 f"({on[bench]['steps_per_op']} vs "
+                 f"{off[bench]['steps_per_op']}) — the optimizing tier "
+                 "must retire the same guest work")
+        ratio = off[bench]["ns_per_op"] / on[bench]["ns_per_op"]
+        ratios.append(ratio)
+        print(f"{bench}: on={on[bench]['ns_per_op'] / 1e6:.1f}ms "
+              f"off={off[bench]['ns_per_op'] / 1e6:.1f}ms "
+              f"speedup={ratio:.2f}x")
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    print(f"geomean speedup: {geomean:.3f}x (threshold {args.min_geomean}x)")
+    if geomean < args.min_geomean:
+        fail(f"geomean {geomean:.3f}x below threshold {args.min_geomean}x")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_validate = sub.add_parser("validate")
+    p_validate.add_argument("files", nargs="+")
+    p_validate.set_defaults(func=cmd_validate)
+    p_gate = sub.add_parser("gate")
+    p_gate.add_argument("on")
+    p_gate.add_argument("off")
+    p_gate.add_argument("--benches", required=True,
+                        help="comma-separated bench names to compare")
+    p_gate.add_argument("--min-geomean", type=float, default=1.2)
+    p_gate.set_defaults(func=cmd_gate)
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

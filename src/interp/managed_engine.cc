@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <string_view>
 
 #include "interp/tier2.h"
 
@@ -10,29 +11,6 @@ namespace sulong
 
 namespace
 {
-
-/** Saturating double -> signed conversion (host UB avoidance). */
-int64_t
-safeFptosi(double v)
-{
-    if (std::isnan(v))
-        return 0;
-    if (v >= 9223372036854775807.0)
-        return INT64_MAX;
-    if (v <= -9223372036854775808.0)
-        return INT64_MIN;
-    return static_cast<int64_t>(v);
-}
-
-uint64_t
-safeFptoui(double v)
-{
-    if (std::isnan(v) || v <= -1.0)
-        return 0;
-    if (v >= 18446744073709551615.0)
-        return UINT64_MAX;
-    return static_cast<uint64_t>(v);
-}
 
 AccessClass
 classOf(const Type *type)
@@ -55,10 +33,23 @@ enum class Intrinsic : uint8_t
     mFloor, mCeil, mFabs, mFmod,
 };
 
-Intrinsic
-intrinsicFor(const std::string &name)
+/** Transparent string hashing: lets the intrinsic table answer
+ *  string_view queries without materializing a std::string per call. */
+struct StringHash
 {
-    static const std::map<std::string, Intrinsic> table = {
+    using is_transparent = void;
+    size_t
+    operator()(std::string_view s) const noexcept
+    {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+Intrinsic
+intrinsicFor(std::string_view name)
+{
+    static const std::unordered_map<std::string, Intrinsic, StringHash,
+                                    std::equal_to<>> table = {
         {"malloc", Intrinsic::mallocFn},
         {"free", Intrinsic::freeFn},
         {"calloc", Intrinsic::callocFn},
@@ -127,6 +118,28 @@ boxVararg(const MValue &v)
 }
 
 } // namespace
+
+int64_t
+ManagedEngine::satFptosi(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    if (v >= 9223372036854775807.0)
+        return INT64_MAX;
+    if (v <= -9223372036854775808.0)
+        return INT64_MIN;
+    return static_cast<int64_t>(v);
+}
+
+uint64_t
+ManagedEngine::satFptoui(double v)
+{
+    if (std::isnan(v) || v <= -1.0)
+        return 0;
+    if (v >= 18446744073709551615.0)
+        return UINT64_MAX;
+    return static_cast<uint64_t>(v);
+}
 
 int64_t
 ManagedEngine::evalIntBinOp(Opcode op, const MValue &l, const MValue &r,
@@ -319,8 +332,11 @@ ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
         intrinsicCache_.clear();
         invocationCounts_.clear();
         compiled_.clear();
+        callSiteCounts_.clear();
         compileEvents_.clear();
         tier2Count_ = 0;
+        inlinedSites_ = 0;
+        resolveEpoch_ = 1;
     }
     io_ = GuestIO{};
     io_.input = stdin_data;
@@ -394,39 +410,31 @@ ManagedEngine::callFunction(const Function *fn, std::vector<MValue> args,
                             std::vector<MValue> varargs)
 {
     guard_.enterCall();
+    resolveEpoch_++;
 
     // Tier management: count invocations; compile hot functions.
+    CompiledFunction *code = nullptr;
     if (options_.enableTier2) {
         unsigned &count = invocationCounts_[fn];
         count++;
-        if (count == options_.compileThreshold && !compiled_.count(fn)) {
-            auto code = compileTier2(*fn, *this);
-            if (options_.compileLatencyNsPerInst > 0) {
-                // Model Graal's compile time (warm-up experiments).
-                auto wait = std::chrono::nanoseconds(
-                    options_.compileLatencyNsPerInst * code->codeSize());
-                auto until = std::chrono::steady_clock::now() + wait;
-                while (std::chrono::steady_clock::now() < until) {
-                }
-            }
-            compileEvents_.push_back(
-                CompileEvent{fn->name(), guard_.steps()});
-            tier2Count_++;
-            compiled_[fn] = std::move(code);
-        }
+        auto it = compiled_.find(fn);
+        if (it != compiled_.end())
+            code = it->second.get();
+        else if (count >= options_.compileThreshold)
+            code = tier2CodeFor(fn, nullptr);
     }
 
     Frame frame;
-    frame.slots.resize(fn->numSlots());
+    frame.slots.resize(code != nullptr ? code->frameSize()
+                                       : fn->numSlots());
     for (size_t i = 0; i < args.size() && i < frame.slots.size(); i++)
         frame.slots[i] = std::move(args[i]);
     frame.varargs = std::move(varargs);
 
     try {
         MValue result;
-        auto it = compiled_.find(fn);
-        if (it != compiled_.end())
-            result = it->second->execute(*this, frame);
+        if (code != nullptr)
+            result = code->execute(*this, frame);
         else
             result = interpret(fn, frame);
         guard_.leaveCall();
@@ -476,25 +484,51 @@ ManagedEngine::evalOperand(const Value *v, Frame &frame)
 }
 
 CompiledFunction *
-ManagedEngine::osrCompile(const Function *fn)
+ManagedEngine::tier2CodeFor(const Function *fn, const char *why)
 {
     auto it = compiled_.find(fn);
     if (it != compiled_.end())
         return it->second.get();
     auto code = compileTier2(*fn, *this);
     if (options_.compileLatencyNsPerInst > 0) {
+        // Model Graal's compile time (warm-up experiments).
         auto wait = std::chrono::nanoseconds(
             options_.compileLatencyNsPerInst * code->codeSize());
         auto until = std::chrono::steady_clock::now() + wait;
         while (std::chrono::steady_clock::now() < until) {
         }
     }
-    compileEvents_.push_back(
-        CompileEvent{fn->name() + " (OSR)", guard_.steps()});
+    compileEvents_.push_back(CompileEvent{
+        why != nullptr ? fn->name() + why : fn->name(), guard_.steps()});
     tier2Count_++;
     CompiledFunction *raw = code.get();
     compiled_[fn] = std::move(code);
     return raw;
+}
+
+MValue
+ManagedEngine::callCompiled(const Function *fn, CompiledFunction *code,
+                            std::vector<MValue> args)
+{
+    guard_.enterCall();
+    resolveEpoch_++;
+    Frame frame;
+    frame.slots.resize(code->frameSize());
+    for (size_t i = 0; i < args.size() && i < frame.slots.size(); i++)
+        frame.slots[i] = std::move(args[i]);
+    try {
+        MValue result = code->execute(*this, frame);
+        guard_.leaveCall();
+        return result;
+    } catch (MemoryErrorException &error) {
+        guard_.leaveCall();
+        if (error.report().function.empty())
+            error.report().function = fn->name();
+        throw;
+    } catch (...) {
+        guard_.leaveCall();
+        throw;
+    }
 }
 
 MValue
@@ -522,7 +556,7 @@ ManagedEngine::interpret(const Function *fn, Frame &frame)
             // live frame (paper Section 5 future work).
             if (osr && target->index() <= bb->index() &&
                 ++backedges >= options_.osrThreshold) {
-                CompiledFunction *code = osrCompile(fn);
+                CompiledFunction *code = tier2CodeFor(fn, " (OSR)");
                 if (code != nullptr)
                     return code->execute(*this, frame,
                                          code->entryFor(target));
@@ -563,11 +597,18 @@ ManagedEngine::loadFrom(const Address &addr, const Type *type,
 {
     if (addr.isNull())
         raiseNullDeref(false, loc);
+    return loadFromObject(addr.pointee.get(), addr.offset, type);
+}
+
+MValue
+ManagedEngine::loadFromObject(ManagedObject *obj, int64_t offset,
+                              const Type *type)
+{
     AccessClass cls = classOf(type);
     unsigned size = static_cast<unsigned>(type->size());
     uint64_t bits = 0;
     Address out;
-    addr.pointee->read(cls, size, addr.offset, bits, out);
+    obj->read(cls, size, offset, bits, out);
     switch (cls) {
       case AccessClass::pointer:
         return MValue::makeAddr(std::move(out));
@@ -594,11 +635,18 @@ ManagedEngine::storeTo(const Address &addr, const Type *type,
 {
     if (addr.isNull())
         raiseNullDeref(true, loc);
+    storeToObject(addr.pointee.get(), addr.offset, type, v);
+}
+
+void
+ManagedEngine::storeToObject(ManagedObject *obj, int64_t offset,
+                             const Type *type, const MValue &v)
+{
     AccessClass cls = classOf(type);
     unsigned size = static_cast<unsigned>(type->size());
     switch (cls) {
       case AccessClass::pointer:
-        addr.pointee->write(cls, 8, addr.offset, 0, v.a);
+        obj->write(cls, 8, offset, 0, v.a);
         return;
       case AccessClass::floating: {
         uint64_t bits = 0;
@@ -608,12 +656,12 @@ ManagedEngine::storeTo(const Address &addr, const Type *type,
         } else {
             std::memcpy(&bits, &v.f, 8);
         }
-        addr.pointee->write(cls, size, addr.offset, bits, Address{});
+        obj->write(cls, size, offset, bits, Address{});
         return;
       }
       case AccessClass::integer:
-        addr.pointee->write(cls, size, addr.offset,
-                            static_cast<uint64_t>(v.i), Address{});
+        obj->write(cls, size, offset, static_cast<uint64_t>(v.i),
+                   Address{});
         return;
     }
 }
@@ -691,11 +739,11 @@ ManagedEngine::execInstruction(const Instruction &inst, Frame &frame)
       }
       case Opcode::fptosi: {
         MValue v = evalOperand(inst.operand(0), frame);
-        return MValue::makeInt(safeFptosi(v.f), inst.type()->intBits());
+        return MValue::makeInt(satFptosi(v.f), inst.type()->intBits());
       }
       case Opcode::fptoui: {
         MValue v = evalOperand(inst.operand(0), frame);
-        return MValue::makeInt(static_cast<int64_t>(safeFptoui(v.f)),
+        return MValue::makeInt(static_cast<int64_t>(satFptoui(v.f)),
                                inst.type()->intBits());
       }
       case Opcode::sitofp: {
@@ -781,6 +829,12 @@ ManagedEngine::intrinsicIdFor(const Function *fn)
 MValue
 ManagedEngine::execCall(const Instruction &inst, Frame &frame)
 {
+    resolveEpoch_++;
+    // Call-site profile for tier-2 inlining decisions (warm-up only:
+    // inlined sites never come back through here).
+    if (options_.enableTier2 && options_.enableInlining)
+        callSiteCounts_[&inst]++;
+
     const Function *callee = nullptr;
     const Value *callee_v = inst.operand(0);
     if (callee_v->valueKind() == ValueKind::function) {

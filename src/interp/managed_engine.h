@@ -13,8 +13,8 @@
 #ifndef MS_INTERP_MANAGED_ENGINE_H
 #define MS_INTERP_MANAGED_ENGINE_H
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "interp/mvalue.h"
 #include "managed/globals.h"
@@ -43,6 +43,21 @@ struct ManagedOptions
     /// Simulated per-instruction compile latency in nanoseconds, modelling
     /// Graal's compile time for the warm-up experiments (0 = free).
     uint64_t compileLatencyNsPerInst = 0;
+    /// Profile-guided inlining: splice small hot callees directly into
+    /// the caller's tier-2 code (slots renamed, checks intact).
+    bool enableInlining = true;
+    /// Maximum pre-decoded instructions a call site may add (including
+    /// nested inlined calls) before inlining is rejected.
+    unsigned inlineBudget = 64;
+    /// Call-site invocations observed during tier-1 warm-up before a
+    /// site counts as hot. -1 = auto (half the compile threshold);
+    /// 0 = inline every eligible site (tests/ablation).
+    int inlineSiteMin = -1;
+    /// Redundant-check elision: cache pointee resolution per address
+    /// slot / per access site so straight-line re-accesses skip the
+    /// aggregate walk. Bounds/type/liveness checks always run; the
+    /// --no-check-elision ablation proves reports are bit-identical.
+    bool enableCheckElision = true;
     /// Disable the relaxed type rules of Section 3.2 (ablation).
     bool strictTypes = false;
     /// Keep profiling counters and tier-2 code across run() calls on the
@@ -90,9 +105,12 @@ class ManagedEngine : public Engine
     uint64_t executedSteps() const { return guard_.steps(); }
     /** Functions executed at tier 2 at least once in the last run. */
     unsigned tier2Functions() const { return tier2Count_; }
+    /** Call sites spliced into their caller by tier-2 inlining. */
+    unsigned inlinedSites() const { return inlinedSites_; }
 
   private:
     friend class CompiledFunction;
+    friend class Tier2Compiler;
     friend std::unique_ptr<CompiledFunction>
     compileTier2(const Function &fn, ManagedEngine &engine);
 
@@ -121,12 +139,27 @@ class ManagedEngine : public Engine
                     const SourceLoc &loc);
     void storeTo(const Address &addr, const Type *type, const MValue &v,
                  const SourceLoc &loc);
+    /// Scalar access against an already-resolved (object, offset) pair —
+    /// the tail of loadFrom/storeTo, shared with tier-2's resolution
+    /// cache so the leaf checks are one piece of code in both paths.
+    MValue loadFromObject(ManagedObject *obj, int64_t offset,
+                          const Type *type);
+    void storeToObject(ManagedObject *obj, int64_t offset, const Type *type,
+                       const MValue &v);
     MValue execCall(const Instruction &inst, Frame &frame);
     MValue callIntrinsic(const Function *fn, const Instruction *site,
                          std::vector<MValue> &args);
     ObjRef allocaObject(const Instruction &inst);
-    /** Compile (or fetch) tier-2 code for an OSR transition. */
-    CompiledFunction *osrCompile(const Function *fn);
+    /** Compile (or fetch) tier-2 code outside the invocation-count path:
+     *  OSR transitions and inline-cache compile-on-first-dispatch. */
+    CompiledFunction *tier2CodeFor(const Function *fn, const char *why);
+    /** Invoke tier-2 code directly (call inline caches), with the same
+     *  depth accounting and bug attribution as callFunction. */
+    MValue callCompiled(const Function *fn, CompiledFunction *code,
+                        std::vector<MValue> args);
+    /// Saturating float->int conversions shared by both tiers.
+    static int64_t satFptosi(double v);
+    static uint64_t satFptoui(double v);
     /** Cached intrinsic id (raw enum value) for a declared function. */
     uint8_t intrinsicIdFor(const Function *fn);
 
@@ -150,22 +183,36 @@ class ManagedEngine : public Engine
     /// guest IO report into it by stable address.
     ResourceGuard guard_;
 
-    /// Allocation-site mementos (Section 3.3).
-    std::map<const Instruction *, const Type *> mementos_;
+    /// Allocation-site mementos (Section 3.3), hashed: the malloc
+    /// wrappers of the safe libc make this a hot lookup.
+    std::unordered_map<const Instruction *, const Type *> mementos_;
     /// ptrtoint pinning: object id -> object.
-    std::map<uint64_t, ObjRef> pinned_;
+    std::unordered_map<uint64_t, ObjRef> pinned_;
     uint64_t nextPinId_ = 1;
-    std::map<const ManagedObject *, uint64_t> pinIds_;
+    std::unordered_map<const ManagedObject *, uint64_t> pinIds_;
 
     /// Intrinsic ids cached per Function (avoids name lookups on the
     /// hot call path).
-    std::map<const Function *, uint8_t> intrinsicCache_;
+    std::unordered_map<const Function *, uint8_t> intrinsicCache_;
 
     /// Tier-2 state.
-    std::map<const Function *, unsigned> invocationCounts_;
-    std::map<const Function *, std::unique_ptr<CompiledFunction>> compiled_;
+    std::unordered_map<const Function *, unsigned> invocationCounts_;
+    std::unordered_map<const Function *, std::unique_ptr<CompiledFunction>>
+        compiled_;
+    /// Per-call-site invocation counts from tier-1 warm-up; tier-2
+    /// compilation consults them to pick inlining candidates.
+    std::unordered_map<const Instruction *, uint32_t> callSiteCounts_;
     std::vector<CompileEvent> compileEvents_;
     unsigned tier2Count_ = 0;
+    unsigned inlinedSites_ = 0;
+    /// Resolution-cache epoch: bumped at call boundaries, the only
+    /// place object structure can change (free/realloc are calls).
+    /// Stores and branches never invalidate — aggregate layout is
+    /// immutable while an object is live, and every cached resolution
+    /// is re-validated structurally (object identity, offset, width,
+    /// liveness) before use anyway. Starts at 1 so the epoch==0
+    /// "uncacheable" sentinel in SlotResolution can never match.
+    uint64_t resolveEpoch_ = 1;
 };
 
 } // namespace sulong

@@ -1,8 +1,22 @@
+/**
+ * @file
+ * Tier-2 "compilation" and execution (see tier2.h for the model).
+ *
+ * The compiler flattens IR blocks into a pre-decoded PInst array and
+ * layers the optimizing upgrades on top: profile-guided inlining of
+ * small hot callees (slots renamed, bodies spliced), inline caches for
+ * the remaining monomorphic call sites, superinstruction fusion
+ * (compare+branch, load+arith, arith+store), and a conservative marking
+ * pass that enables the redundant-check elision caches. Everything the
+ * interpreter checks is still checked here; only the *re-derivation* of
+ * already-established facts (aggregate walks, callee lookups) is
+ * cached, and every cache guard falls back to the interpreter-identical
+ * slow path on mismatch.
+ */
+
 #include "interp/tier2.h"
 
-#include <chrono>
-#include <thread>
-#include <unordered_map>
+#include <algorithm>
 
 namespace sulong
 {
@@ -25,191 +39,731 @@ canonical(const Value *v,
     return v;
 }
 
+/** Walk an aggregate down to the leaf sub-object containing the access,
+ *  running exactly the checks the uncached path runs (each resolveStep
+ *  is the object's own checked resolve). @return nullptr when the
+ *  access spans sub-objects (handled byte-wise, not cacheable). */
+ManagedObject *
+resolveLeaf(ManagedObject *obj, int64_t offset, unsigned size,
+            bool is_write, int64_t &leaf_offset)
+{
+    ManagedObject *cur = obj;
+    int64_t off = offset;
+    for (;;) {
+        int64_t inner = 0;
+        ManagedObject *next = cur->resolveStep(off, size, is_write, inner);
+        if (next == nullptr)
+            return nullptr;
+        if (next == cur) {
+            leaf_offset = off;
+            return cur;
+        }
+        cur = next;
+        off = inner;
+    }
+}
+
+/** Remember which field of which struct type a successful access went
+ *  through (called only after the full checked access succeeded). */
+void
+fillAccessCache(AccessCache &cache, const StructObject *sobj,
+                int64_t offset, uint32_t size)
+{
+    const Type *st = sobj->type();
+    int idx = st->fieldAt(static_cast<uint64_t>(offset));
+    if (idx < 0)
+        return; // padding: never cached (the full path reports it)
+    const StructField &f = st->fields()[static_cast<size_t>(idx)];
+    int64_t field_off = static_cast<int64_t>(f.offset);
+    int64_t field_size = static_cast<int64_t>(f.type->size());
+    if (offset - field_off + static_cast<int64_t>(size) > field_size)
+        return; // spans beyond the field: byte-wise path, not cacheable
+    cache.structType = st;
+    cache.fieldIndex = static_cast<uint32_t>(idx);
+    cache.fieldOffset = field_off;
+    cache.fieldSize = field_size;
+}
+
+/** Int/float binops whose result a following store may consume. */
+bool
+isFusableProducer(Opcode op)
+{
+    switch (op) {
+      case Opcode::add: case Opcode::sub: case Opcode::mul:
+      case Opcode::sdiv: case Opcode::udiv: case Opcode::srem:
+      case Opcode::urem: case Opcode::and_: case Opcode::or_:
+      case Opcode::xor_: case Opcode::shl: case Opcode::lshr:
+      case Opcode::ashr:
+      case Opcode::fadd: case Opcode::fsub: case Opcode::fmul:
+      case Opcode::fdiv: case Opcode::frem:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
 
-std::unique_ptr<CompiledFunction>
-compileTier2(const Function &fn, ManagedEngine &engine)
+/**
+ * Builds one CompiledFunction. Inlining works by re-entering the block
+ * flattener on the callee with a slot-base offset, so inlined bodies
+ * share the caller's frame; a splice that turns out to be impossible
+ * (interpreter-fallback op inside, budget exceeded, recursion) is
+ * rolled back and the site becomes a call-IC site instead.
+ */
+class Tier2Compiler
 {
-    auto compiled = std::make_unique<CompiledFunction>(&fn);
+  public:
+    Tier2Compiler(const Function &fn, ManagedEngine &engine)
+        : fn_(fn), engine_(engine),
+          out_(std::make_unique<CompiledFunction>(&fn))
+    {}
 
-    // --- Alias analysis (safe peephole; values stay identical) -----------
-    std::unordered_map<const Value *, const Value *> aliases;
-    for (const auto &bb : fn.blocks()) {
-        for (const auto &inst : bb->insts()) {
-            if (inst->op() == Opcode::zext &&
-                inst->operand(0)->type()->kind() == TypeKind::i1) {
-                aliases[inst.get()] = inst->operand(0);
-            } else if (inst->op() == Opcode::icmp &&
-                       inst->intPred() == IntPred::ne &&
-                       inst->operand(1)->valueKind() ==
-                           ValueKind::constantInt &&
-                       static_cast<const ConstantInt *>(
-                           inst->operand(1))->value() == 0) {
-                const Value *src = canonical(inst->operand(0), aliases);
-                bool src_bool = src->type()->kind() == TypeKind::i1 ||
-                    (src->valueKind() == ValueKind::instruction &&
-                     static_cast<const Instruction *>(src)->op() ==
-                         Opcode::icmp);
-                if (src_bool)
-                    aliases[inst.get()] = src;
+    std::unique_ptr<CompiledFunction>
+    compile()
+    {
+        nextSlot_ = static_cast<int32_t>(fn_.numSlots());
+        maxSlot_ = nextSlot_;
+        out_->constants_.push_back(MValue{}); // index 0: absent operand
+        BodyCtx body;
+        body.fn = &fn_;
+        body.slotBase = 0;
+        buildAliases(fn_, body.aliases);
+        std::vector<const Function *> stack{&fn_};
+        emitBody(body, -1, nullptr, stack, 0);
+        out_->frameSize_ = static_cast<uint32_t>(maxSlot_);
+        markCachesAndElision();
+        engine_.inlinedSites_ += out_->inlinedSites();
+        return std::move(out_);
+    }
+
+  private:
+    using AliasMap = std::unordered_map<const Value *, const Value *>;
+
+    /** Per-emitted-body state: which function, its alias map, and the
+     *  frame-slot offset its slots/arguments are renamed by. */
+    struct BodyCtx
+    {
+        const Function *fn = nullptr;
+        AliasMap aliases;
+        int32_t slotBase = 0;
+    };
+
+    struct Fixup
+    {
+        size_t index;
+        const BasicBlock *target;
+        bool second; ///< patches t1 instead of t0
+    };
+
+    static void
+    buildAliases(const Function &fn, AliasMap &aliases)
+    {
+        for (const auto &bb : fn.blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->op() == Opcode::zext &&
+                    inst->operand(0)->type()->kind() == TypeKind::i1) {
+                    aliases[inst.get()] = inst->operand(0);
+                } else if (inst->op() == Opcode::icmp &&
+                           inst->intPred() == IntPred::ne &&
+                           inst->operand(1)->valueKind() ==
+                               ValueKind::constantInt &&
+                           static_cast<const ConstantInt *>(
+                               inst->operand(1))->value() == 0) {
+                    const Value *src = canonical(inst->operand(0), aliases);
+                    bool src_bool = src->type()->kind() == TypeKind::i1 ||
+                        (src->valueKind() == ValueKind::instruction &&
+                         static_cast<const Instruction *>(src)->op() ==
+                             Opcode::icmp);
+                    if (src_bool)
+                        aliases[inst.get()] = src;
+                }
             }
         }
     }
 
-    auto makeOperand = [&](const Value *v) {
-        v = canonical(v, aliases);
+    int32_t
+    internConstant(const Value *key, MValue value)
+    {
+        auto [it, inserted] = constantIndex_.try_emplace(
+            key, static_cast<int32_t>(out_->constants_.size()));
+        if (inserted)
+            out_->constants_.push_back(std::move(value));
+        return it->second;
+    }
+
+    POperand
+    makeOperand(const Value *v, const BodyCtx &body)
+    {
+        v = canonical(v, body.aliases);
         POperand op;
         switch (v->valueKind()) {
           case ValueKind::argument:
             op.isSlot = true;
-            op.slot = static_cast<int32_t>(
-                static_cast<const Argument *>(v)->index());
+            op.index = static_cast<int32_t>(
+                static_cast<const Argument *>(v)->index()) + body.slotBase;
             return op;
           case ValueKind::instruction:
             op.isSlot = true;
-            op.slot = static_cast<const Instruction *>(v)->slot();
+            op.index = static_cast<const Instruction *>(v)->slot() +
+                body.slotBase;
             return op;
           case ValueKind::constantInt: {
             const auto *c = static_cast<const ConstantInt *>(v);
-            op.constant = MValue::makeInt(c->value(),
-                                          c->type()->intBits());
+            op.index = internConstant(
+                v, MValue::makeInt(c->value(), c->type()->intBits()));
             return op;
           }
           case ValueKind::constantFP: {
             const auto *c = static_cast<const ConstantFP *>(v);
-            op.constant = MValue::makeFP(
-                c->value(), c->type()->kind() == TypeKind::f32 ? 32 : 64);
+            op.index = internConstant(
+                v, MValue::makeFP(
+                       c->value(),
+                       c->type()->kind() == TypeKind::f32 ? 32 : 64));
             return op;
           }
           case ValueKind::constantNull:
-            op.constant = MValue::makeAddr(Address{});
+            op.index = internConstant(v, MValue::makeAddr(Address{}));
             return op;
           case ValueKind::global:
-            op.constant = MValue::makeAddr(engine.globals_->addressOf(
-                static_cast<const GlobalVariable *>(v)));
+            op.index = internConstant(
+                v, MValue::makeAddr(engine_.globals_->addressOf(
+                       static_cast<const GlobalVariable *>(v))));
             return op;
           case ValueKind::function:
-            op.constant = MValue::makeAddr(engine.globals_->addressOf(
-                static_cast<const Function *>(v)));
+            op.index = internConstant(
+                v, MValue::makeAddr(engine_.globals_->addressOf(
+                       static_cast<const Function *>(v))));
             return op;
         }
         throw InternalError("bad operand");
-    };
+    }
 
-    // --- Flatten blocks, fuse compare+branch -----------------------------
-    std::map<const BasicBlock *, int32_t> &block_start =
-        compiled->blockStart_;
-    std::vector<std::pair<size_t, const BasicBlock *>> fixups;
-    auto &code = compiled->code_;
+    bool
+    siteIsHot(const Instruction &inst) const
+    {
+        int site_min = engine_.options_.inlineSiteMin;
+        unsigned need = site_min >= 0
+            ? static_cast<unsigned>(site_min)
+            : std::max(1u, engine_.options_.compileThreshold / 2);
+        if (need == 0)
+            return true;
+        auto it = engine_.callSiteCounts_.find(&inst);
+        return it != engine_.callSiteCounts_.end() && it->second >= need;
+    }
 
-    for (const auto &bb : fn.blocks()) {
-        block_start[bb.get()] = static_cast<int32_t>(code.size());
-        const auto &insts = bb->insts();
-        for (size_t i = 0; i < insts.size(); i++) {
-            const Instruction &inst = *insts[i];
+    /** Splice @p callee in place of the call. @return false (with all
+     *  emission rolled back) when the body cannot be inlined. */
+    bool
+    emitInline(const Instruction &inst, const Function &callee,
+               const BodyCtx &caller, std::vector<const Function *> &stack,
+               size_t budget_start)
+    {
+        if (std::find(stack.begin(), stack.end(), &callee) != stack.end())
+            return false; // (mutually) recursive
+        auto &code = out_->code_;
+        size_t code_snap = code.size();
+        size_t call_snap = out_->callSites_.size();
+        size_t range_snap = out_->inlineRanges_.size();
+        int32_t slot_snap = nextSlot_;
+
+        int32_t base = nextSlot_;
+        nextSlot_ += static_cast<int32_t>(callee.numSlots());
+        maxSlot_ = std::max(maxSlot_, nextSlot_);
+
+        // Argument setup: plain slot moves into the callee's renamed
+        // argument slots.
+        for (unsigned j = 0; j < callee.numArgs(); j++) {
             PInst pi;
-            pi.op = inst.op();
+            pi.op = Opcode::p2Move;
             pi.src = &inst;
-            pi.dest = inst.slot();
-            if (inst.type()->isInteger())
-                pi.bits = static_cast<uint8_t>(inst.type()->intBits());
-            else if (inst.type()->kind() == TypeKind::f32)
-                pi.bits = 32;
-            else if (inst.type()->kind() == TypeKind::f64)
-                pi.bits = 64;
+            pi.dest = base + static_cast<int32_t>(j);
+            pi.a = makeOperand(inst.operand(j + 1), caller);
+            code.push_back(pi);
+        }
+        int32_t ret_slot = inst.slot() >= 0
+            ? inst.slot() + caller.slotBase : -1;
 
-            switch (inst.op()) {
-              case Opcode::br:
-                fixups.emplace_back(code.size(), inst.target(0));
-                code.push_back(pi);
-                break;
-              case Opcode::condbr:
-                pi.a = makeOperand(inst.operand(0));
-                fixups.emplace_back(code.size(), inst.target(0));
-                // t1 fixup shares the index; mark with the second target
-                // through a sentinel entry right after.
-                code.push_back(pi);
-                fixups.emplace_back(code.size() - 1, inst.target(1));
-                break;
-              case Opcode::ret:
-                if (inst.numOperands() == 1)
-                    pi.a = makeOperand(inst.operand(0));
-                else
-                    pi.dest = -2; // void-return marker
-                code.push_back(pi);
-                break;
-              case Opcode::icmp: {
-                pi.pred = static_cast<uint8_t>(inst.intPred());
-                pi.a = makeOperand(inst.operand(0));
-                pi.b = makeOperand(inst.operand(1));
-                // Fuse with a directly following condbr on this result.
-                if (i + 1 < insts.size() &&
-                    insts[i + 1]->op() == Opcode::condbr &&
-                    canonical(insts[i + 1]->operand(0), aliases) == &inst) {
-                    pi.fusedCmpBr = true;
-                    fixups.emplace_back(code.size(),
-                                        insts[i + 1]->target(0));
+        BodyCtx body;
+        body.fn = &callee;
+        body.slotBase = base;
+        buildAliases(callee, body.aliases);
+        std::vector<size_t> ret_fixups;
+        stack.push_back(&callee);
+        bool ok = emitBody(body, ret_slot, &ret_fixups, stack, budget_start);
+        stack.pop_back();
+        if (!ok) {
+            code.resize(code_snap);
+            out_->callSites_.resize(call_snap);
+            out_->inlineRanges_.resize(range_snap);
+            nextSlot_ = slot_snap;
+            return false;
+        }
+        for (size_t idx : ret_fixups)
+            code[idx].t0 = static_cast<int32_t>(code.size());
+        // Inner splices were recorded first, so a pc lookup that takes
+        // the first matching range finds the innermost callee.
+        out_->inlineRanges_.push_back(
+            InlineRange{code_snap, code.size(), &callee});
+        return true;
+    }
+
+    /** Emit a call site: inline it, give it an inline cache, or (top
+     *  level only) fall back to the interpreter path. @return false when
+     *  nested inside a splice and none of the safe forms apply. */
+    bool
+    emitCall(const Instruction &inst, const BodyCtx &body,
+             std::vector<const Function *> &stack, size_t budget_start,
+             bool nested)
+    {
+        int32_t dest = inst.slot() >= 0 ? inst.slot() + body.slotBase : -1;
+        const Value *callee_v = inst.operand(0);
+        if (callee_v->valueKind() == ValueKind::function) {
+            const auto *callee = static_cast<const Function *>(callee_v);
+            // Direct-dispatch eligibility mirrors the interpreter's
+            // non-special path: a defined, non-variadic callee taking
+            // exactly the arguments passed.
+            bool eligible = !callee->isDeclaration() &&
+                !callee->isVarArg() &&
+                inst.numOperands() - 1 == callee->numArgs();
+            if (eligible && engine_.options_.enableInlining &&
+                (nested || siteIsHot(inst))) {
+                size_t start = nested ? budget_start : out_->code_.size();
+                if (emitInline(inst, *callee, body, stack, start))
+                    return true;
+            }
+            if (eligible) {
+                CallSite site;
+                site.callee = callee;
+                site.cachedFnId = callee->id();
+                for (size_t i = 1; i < inst.numOperands(); i++)
+                    site.args.push_back(makeOperand(inst.operand(i), body));
+                PInst pi;
+                pi.op = Opcode::p2CallDirect;
+                pi.src = &inst;
+                pi.dest = dest;
+                pi.callSite = static_cast<int32_t>(out_->callSites_.size());
+                out_->callSites_.push_back(std::move(site));
+                out_->code_.push_back(pi);
+                return true;
+            }
+            // Intrinsics, variadics, argument-count mismatches: only the
+            // interpreter path reproduces their semantics exactly.
+            if (nested)
+                return false;
+            PInst pi;
+            pi.op = Opcode::call;
+            pi.src = &inst;
+            pi.dest = dest;
+            out_->code_.push_back(pi);
+            return true;
+        }
+        // Function-pointer site: inline cache with the interpreter as
+        // the megamorphic/special-case fallback (needs identity slots,
+        // so top level only).
+        if (nested)
+            return false;
+        CallSite site;
+        for (size_t i = 1; i < inst.numOperands(); i++)
+            site.args.push_back(makeOperand(inst.operand(i), body));
+        PInst pi;
+        pi.op = Opcode::p2CallIndirect;
+        pi.src = &inst;
+        pi.dest = dest;
+        pi.a = makeOperand(callee_v, body);
+        pi.callSite = static_cast<int32_t>(out_->callSites_.size());
+        out_->callSites_.push_back(std::move(site));
+        out_->code_.push_back(pi);
+        return true;
+    }
+
+    /**
+     * Flatten one function body at @p body.slotBase. Top level
+     * (@p ret_fixups == nullptr) records block entries for OSR and may
+     * fall back to the interpreter per instruction; inlined bodies
+     * (@p ret_fixups set) turn rets into jumps to the continuation and
+     * must stay fallback-free — any violation returns false and the
+     * caller rolls the splice back.
+     */
+    bool
+    emitBody(const BodyCtx &body, int32_t ret_slot,
+             std::vector<size_t> *ret_fixups,
+             std::vector<const Function *> &stack, size_t budget_start)
+    {
+        bool nested = ret_fixups != nullptr;
+        auto &code = out_->code_;
+        std::unordered_map<const BasicBlock *, int32_t> block_start;
+        std::vector<Fixup> fixups;
+
+        for (const auto &bb : body.fn->blocks()) {
+            int32_t start = static_cast<int32_t>(code.size());
+            block_start[bb.get()] = start;
+            if (!nested)
+                out_->blockStart_[bb.get()] = start;
+            const auto &insts = bb->insts();
+            for (size_t i = 0; i < insts.size(); i++) {
+                const Instruction &inst = *insts[i];
+                PInst pi;
+                pi.op = inst.op();
+                pi.src = &inst;
+                pi.dest = inst.slot() >= 0 ? inst.slot() + body.slotBase
+                                           : -1;
+                if (inst.type()->isInteger())
+                    pi.bits = static_cast<uint8_t>(inst.type()->intBits());
+                else if (inst.type()->kind() == TypeKind::f32)
+                    pi.bits = 32;
+                else if (inst.type()->kind() == TypeKind::f64)
+                    pi.bits = 64;
+
+                switch (inst.op()) {
+                  case Opcode::br:
+                    fixups.push_back(Fixup{code.size(), inst.target(0),
+                                           false});
                     code.push_back(pi);
-                    fixups.emplace_back(code.size() - 1,
-                                        insts[i + 1]->target(1));
-                    i++; // skip the condbr
+                    break;
+                  case Opcode::condbr:
+                    pi.a = makeOperand(inst.operand(0), body);
+                    fixups.push_back(Fixup{code.size(), inst.target(0),
+                                           false});
+                    fixups.push_back(Fixup{code.size(), inst.target(1),
+                                           true});
+                    code.push_back(pi);
+                    break;
+                  case Opcode::ret:
+                    if (nested) {
+                        pi.op = Opcode::p2Ret;
+                        if (inst.numOperands() == 1 && ret_slot >= 0) {
+                            pi.dest = ret_slot;
+                            pi.a = makeOperand(inst.operand(0), body);
+                        } else {
+                            pi.dest = -1;
+                        }
+                        ret_fixups->push_back(code.size());
+                        code.push_back(pi);
+                        break;
+                    }
+                    if (inst.numOperands() == 1)
+                        pi.a = makeOperand(inst.operand(0), body);
+                    else
+                        pi.dest = -2; // void-return marker
+                    code.push_back(pi);
+                    break;
+                  case Opcode::icmp: {
+                    pi.pred = static_cast<uint8_t>(inst.intPred());
+                    pi.a = makeOperand(inst.operand(0), body);
+                    pi.b = makeOperand(inst.operand(1), body);
+                    tryFuseLoad(pi, inst, body);
+                    // Fuse with a directly following condbr on this
+                    // result.
+                    if (i + 1 < insts.size() &&
+                        insts[i + 1]->op() == Opcode::condbr &&
+                        canonical(insts[i + 1]->operand(0),
+                                  body.aliases) == &inst) {
+                        pi.flags |= kPFuseCmpBr;
+                        fixups.push_back(Fixup{code.size(),
+                                               insts[i + 1]->target(0),
+                                               false});
+                        fixups.push_back(Fixup{code.size(),
+                                               insts[i + 1]->target(1),
+                                               true});
+                        i++; // skip the condbr
+                    }
+                    code.push_back(pi);
+                    break;
+                  }
+                  case Opcode::fcmp:
+                    pi.pred = static_cast<uint8_t>(inst.floatPred());
+                    pi.a = makeOperand(inst.operand(0), body);
+                    pi.b = makeOperand(inst.operand(1), body);
+                    code.push_back(pi);
+                    break;
+                  case Opcode::gep:
+                    pi.a = makeOperand(inst.operand(0), body);
+                    if (inst.numOperands() > 1)
+                        pi.b = makeOperand(inst.operand(1), body);
+                    pi.gepOff = inst.gepConstOffset();
+                    pi.gepScale = inst.gepScale();
+                    code.push_back(pi);
+                    break;
+                  case Opcode::load:
+                    pi.a = makeOperand(inst.operand(0), body);
+                    code.push_back(pi);
+                    break;
+                  case Opcode::store: {
+                    // arith+store fusion: a directly preceding binop
+                    // producing exactly the stored value absorbs the
+                    // store (same slot writes, same trap order).
+                    const Value *val = canonical(inst.operand(0),
+                                                 body.aliases);
+                    if (!code.empty()) {
+                        PInst &last = code.back();
+                        if (isFusableProducer(last.op) &&
+                            (last.flags & (kPFuseCmpBr | kPFuseStore)) ==
+                                0 &&
+                            last.dest >= 0 && last.src == val) {
+                            last.flags |= kPFuseStore;
+                            last.c = makeOperand(inst.operand(1), body);
+                            last.srcStore = &inst;
+                            break;
+                        }
+                    }
+                    pi.a = makeOperand(inst.operand(0), body);
+                    pi.b = makeOperand(inst.operand(1), body);
+                    code.push_back(pi);
+                    break;
+                  }
+                  case Opcode::select:
+                    pi.a = makeOperand(inst.operand(0), body);
+                    pi.b = makeOperand(inst.operand(1), body);
+                    pi.c = makeOperand(inst.operand(2), body);
+                    code.push_back(pi);
+                    break;
+                  case Opcode::alloca_:
+                  case Opcode::fneg:
+                  case Opcode::trunc: case Opcode::sext: case Opcode::zext:
+                  case Opcode::fptosi: case Opcode::fptoui:
+                  case Opcode::sitofp: case Opcode::uitofp:
+                  case Opcode::fpext: case Opcode::fptrunc:
+                    if (inst.numOperands() >= 1)
+                        pi.a = makeOperand(inst.operand(0), body);
+                    code.push_back(pi);
+                    break;
+                  case Opcode::add: case Opcode::sub: case Opcode::mul:
+                  case Opcode::sdiv: case Opcode::udiv: case Opcode::srem:
+                  case Opcode::urem: case Opcode::and_: case Opcode::or_:
+                  case Opcode::xor_: case Opcode::shl: case Opcode::lshr:
+                  case Opcode::ashr:
+                  case Opcode::fadd: case Opcode::fsub: case Opcode::fmul:
+                  case Opcode::fdiv: case Opcode::frem:
+                    pi.a = makeOperand(inst.operand(0), body);
+                    pi.b = makeOperand(inst.operand(1), body);
+                    tryFuseLoad(pi, inst, body);
+                    code.push_back(pi);
+                    break;
+                  case Opcode::call:
+                    if (!emitCall(inst, body, stack, budget_start, nested))
+                        return false;
+                    break;
+                  case Opcode::unreachable_:
+                    if (nested)
+                        return false; // message names the enclosing fn
+                    code.push_back(pi);
+                    break;
+                  default:
+                    // ptrtoint/inttoptr: interpreter fallback reads the
+                    // original (unrenamed) slots — top level only.
+                    if (nested)
+                        return false;
+                    code.push_back(pi);
                     break;
                 }
-                code.push_back(pi);
-                break;
-              }
-              case Opcode::fcmp:
-                pi.pred = static_cast<uint8_t>(inst.floatPred());
-                pi.a = makeOperand(inst.operand(0));
-                pi.b = makeOperand(inst.operand(1));
-                code.push_back(pi);
-                break;
-              case Opcode::gep:
-                pi.a = makeOperand(inst.operand(0));
-                if (inst.numOperands() > 1)
-                    pi.b = makeOperand(inst.operand(1));
-                else
-                    pi.b.slot = -1;
-                pi.gepOff = inst.gepConstOffset();
-                pi.gepScale = inst.gepScale();
-                code.push_back(pi);
-                break;
-              case Opcode::load:
-                pi.a = makeOperand(inst.operand(0));
-                code.push_back(pi);
-                break;
-              case Opcode::store:
-                pi.a = makeOperand(inst.operand(0));
-                pi.b = makeOperand(inst.operand(1));
-                code.push_back(pi);
-                break;
-              case Opcode::select:
-                pi.a = makeOperand(inst.operand(0));
-                code.push_back(pi);
-                break;
-              default:
-                if (inst.numOperands() >= 1 && inst.op() != Opcode::call)
-                    pi.a = makeOperand(inst.operand(0));
-                if (inst.numOperands() >= 2 && inst.op() != Opcode::call)
-                    pi.b = makeOperand(inst.operand(1));
-                code.push_back(pi);
-                break;
+                if (nested && code.size() - budget_start >
+                        engine_.options_.inlineBudget)
+                    return false;
             }
         }
+        for (const Fixup &fixup : fixups) {
+            int32_t target = block_start.at(fixup.target);
+            if (fixup.second)
+                code[fixup.index].t1 = target;
+            else
+                code[fixup.index].t0 = target;
+        }
+        return true;
     }
 
-    // Apply branch fixups: for condbr/fused entries the first fixup sets
-    // t0 and the second (same index) sets t1.
-    std::map<size_t, int> seen;
-    for (const auto &[index, target] : fixups) {
-        int n = seen[index]++;
-        if (n == 0)
-            code[index].t0 = block_start.at(target);
-        else
-            code[index].t1 = block_start.at(target);
+    /** load+arith fusion: when the directly preceding PInst is a plain
+     *  load whose result this instruction consumes, absorb it. The
+     *  consuming operand already names the load's slot, which the fused
+     *  form still writes first — values and trap order are unchanged. */
+    void
+    tryFuseLoad(PInst &pi, const Instruction &inst, const BodyCtx &body)
+    {
+        (void)inst;
+        (void)body;
+        auto &code = out_->code_;
+        if (code.empty())
+            return;
+        PInst &last = code.back();
+        if (last.op != Opcode::load || last.flags != 0 || last.dest < 0)
+            return;
+        bool consumed =
+            (pi.a.isSlot && pi.a.index == last.dest) ||
+            (pi.b.isSlot && pi.b.index == last.dest);
+        if (!consumed)
+            return;
+        pi.flags |= kPFuseLoad;
+        pi.destLoad = last.dest;
+        pi.loadAddr = last.a;
+        pi.srcLoad = last.src;
+        code.pop_back();
     }
 
-    return compiled;
+    /**
+     * Post-pass enabling the check-elision caches: give every access
+     * site a struct-shape cache and flag every slot-addressed access
+     * for the per-slot resolution cache. The flags are pure capability
+     * bits — validity is decided at runtime, where every cached
+     * resolution re-proves itself structurally before use (same live
+     * object, same offset, same width, not freed). Aggregate layout is
+     * immutable while an object is live and `free` is only reachable
+     * through calls, so stores and branches cannot invalidate a
+     * resolution; only the call-boundary epoch and the liveness check
+     * can retire one. Leaf-level bounds/type/liveness/init checks are
+     * never skipped either way.
+     */
+    void
+    markCachesAndElision()
+    {
+        if (!engine_.options_.enableCheckElision)
+            return; // ic indices stay -1, no flags: ablation baseline
+        for (PInst &pi : out_->code_) {
+            if (pi.op == Opcode::load || (pi.flags & kPFuseLoad) != 0) {
+                pi.icLoad = static_cast<int32_t>(out_->accessCaches_.size());
+                out_->accessCaches_.emplace_back();
+                const POperand &addr =
+                    pi.op == Opcode::load ? pi.a : pi.loadAddr;
+                if (addr.isSlot)
+                    pi.flags |= kPElideLoad;
+            }
+            if (pi.op == Opcode::store || (pi.flags & kPFuseStore) != 0) {
+                pi.icStore =
+                    static_cast<int32_t>(out_->accessCaches_.size());
+                out_->accessCaches_.emplace_back();
+                const POperand &addr =
+                    pi.op == Opcode::store ? pi.b : pi.c;
+                if (addr.isSlot)
+                    pi.flags |= kPElideStore;
+            }
+        }
+        out_->slotRes_.assign(out_->frameSize_, SlotResolution{});
+    }
+
+    const Function &fn_;
+    ManagedEngine &engine_;
+    std::unique_ptr<CompiledFunction> out_;
+    std::unordered_map<const Value *, int32_t> constantIndex_;
+    int32_t nextSlot_ = 0;
+    int32_t maxSlot_ = 0;
+};
+
+std::unique_ptr<CompiledFunction>
+compileTier2(const Function &fn, ManagedEngine &engine)
+{
+    return Tier2Compiler(fn, engine).compile();
+}
+
+MValue
+CompiledFunction::loadAt(ManagedEngine &engine, const Address &addr,
+                         const Instruction *src, int32_t ic,
+                         SlotResolution *sr)
+{
+    if (addr.isNull())
+        engine.raiseNullDeref(false, src->loc());
+    const Type *type = src->accessType();
+    ManagedObject *obj = addr.pointee.get();
+    uint32_t size = static_cast<uint32_t>(type->size());
+    // Tier A — per-address-slot resolution: wins when the address is
+    // loop invariant. The hit test is structural (same live object,
+    // same offset, same width): aggregate layout never changes while
+    // an object is live, the ObjRef pins the root (no address reuse),
+    // and free — only reachable through a call, where the epoch moves —
+    // is caught by the isFreed test. Leaf checks
+    // (liveness/bounds/type/init) still run inside loadFromObject.
+    if (sr != nullptr && sr->epoch == engine.resolveEpoch_ &&
+        sr->obj.get() == obj && sr->offset == addr.offset &&
+        sr->size == size && !obj->isFreed()) {
+        return engine.loadFromObject(sr->leaf, sr->leafOffset, type);
+    }
+    // Tier B — struct-shape cache: wins when the address changes every
+    // time but keeps naming the same field of the same struct type
+    // (pointer chasing). No slot-cache refill on a hit.
+    if (ic >= 0 && obj->kind() == ObjectKind::structObject) {
+        auto *sobj = static_cast<StructObject *>(obj);
+        AccessCache &cache = accessCaches_[static_cast<size_t>(ic)];
+        if (sobj->type() == cache.structType && !sobj->isFreed() &&
+            addr.offset >= cache.fieldOffset &&
+            addr.offset - cache.fieldOffset +
+                    static_cast<int64_t>(size) <= cache.fieldSize) {
+            return engine.loadFromObject(sobj->field(cache.fieldIndex),
+                                         addr.offset - cache.fieldOffset,
+                                         type);
+        }
+        MValue v = engine.loadFromObject(obj, addr.offset, type);
+        fillAccessCache(cache, sobj, addr.offset, size);
+        return v;
+    }
+    if (sr != nullptr) {
+        int64_t leaf_off = 0;
+        ManagedObject *leaf =
+            resolveLeaf(obj, addr.offset, size, false, leaf_off);
+        if (leaf == nullptr) {
+            sr->epoch = 0; // spans sub-objects: byte-wise, not cacheable
+            return engine.loadFromObject(obj, addr.offset, type);
+        }
+        MValue v = engine.loadFromObject(leaf, leaf_off, type);
+        sr->epoch = engine.resolveEpoch_;
+        sr->obj = addr.pointee;
+        sr->offset = addr.offset;
+        sr->size = size;
+        sr->leaf = leaf;
+        sr->leafOffset = leaf_off;
+        return v;
+    }
+    return engine.loadFromObject(obj, addr.offset, type);
+}
+
+void
+CompiledFunction::storeAt(ManagedEngine &engine, const Address &addr,
+                          const Instruction *src, const MValue &v,
+                          int32_t ic, SlotResolution *sr)
+{
+    if (addr.isNull())
+        engine.raiseNullDeref(true, src->loc());
+    const Type *type = src->accessType();
+    ManagedObject *obj = addr.pointee.get();
+    uint32_t size = static_cast<uint32_t>(type->size());
+    // Same two cache tiers as loadAt; see the comments there.
+    if (sr != nullptr && sr->epoch == engine.resolveEpoch_ &&
+        sr->obj.get() == obj && sr->offset == addr.offset &&
+        sr->size == size && !obj->isFreed()) {
+        engine.storeToObject(sr->leaf, sr->leafOffset, type, v);
+        return;
+    }
+    if (ic >= 0 && obj->kind() == ObjectKind::structObject) {
+        auto *sobj = static_cast<StructObject *>(obj);
+        AccessCache &cache = accessCaches_[static_cast<size_t>(ic)];
+        if (sobj->type() == cache.structType && !sobj->isFreed() &&
+            addr.offset >= cache.fieldOffset &&
+            addr.offset - cache.fieldOffset +
+                    static_cast<int64_t>(size) <= cache.fieldSize) {
+            engine.storeToObject(sobj->field(cache.fieldIndex),
+                                 addr.offset - cache.fieldOffset, type, v);
+            return;
+        }
+        engine.storeToObject(obj, addr.offset, type, v);
+        fillAccessCache(cache, sobj, addr.offset, size);
+        return;
+    }
+    if (sr != nullptr) {
+        int64_t leaf_off = 0;
+        ManagedObject *leaf =
+            resolveLeaf(obj, addr.offset, size, true, leaf_off);
+        if (leaf == nullptr) {
+            sr->epoch = 0;
+            engine.storeToObject(obj, addr.offset, type, v);
+            return;
+        }
+        engine.storeToObject(leaf, leaf_off, type, v);
+        sr->epoch = engine.resolveEpoch_;
+        sr->obj = addr.pointee;
+        sr->offset = addr.offset;
+        sr->size = size;
+        sr->leaf = leaf;
+        sr->leafOffset = leaf_off;
+        return;
+    }
+    engine.storeToObject(obj, addr.offset, type, v);
 }
 
 MValue
@@ -217,114 +771,294 @@ CompiledFunction::execute(ManagedEngine &engine,
                           ManagedEngine::Frame &frame, size_t start_pc)
 {
     auto &slots = frame.slots;
+    if (slots.size() < frameSize_)
+        slots.resize(frameSize_); // OSR entry from an interpreter frame
+    const MValue *constants = constants_.data();
     auto fetch = [&](const POperand &op) -> const MValue & {
-        return op.isSlot ? slots[static_cast<size_t>(op.slot)]
-                         : op.constant;
+        return op.isSlot ? slots[static_cast<size_t>(op.index)]
+                         : constants[static_cast<size_t>(op.index)];
+    };
+    auto doFusedLoad = [&](const PInst &pi) {
+        SlotResolution *sr = (pi.flags & kPElideLoad) != 0
+            ? &slotRes_[static_cast<size_t>(pi.loadAddr.index)] : nullptr;
+        slots[static_cast<size_t>(pi.destLoad)] =
+            loadAt(engine, fetch(pi.loadAddr).a, pi.srcLoad, pi.icLoad, sr);
+    };
+    auto doFusedStore = [&](const PInst &pi, const MValue &v) {
+        SlotResolution *sr = (pi.flags & kPElideStore) != 0
+            ? &slotRes_[static_cast<size_t>(pi.c.index)] : nullptr;
+        // Stores mutate leaf contents, never aggregate layout, so they
+        // leave cached resolutions valid (no epoch bump).
+        storeAt(engine, fetch(pi.c).a, pi.srcStore, v, pi.icStore, sr);
     };
 
     size_t pc = start_pc;
-    while (true) {
-        const PInst &pi = code_[pc];
-        engine.step();
-        switch (pi.op) {
-          case Opcode::br:
-            pc = static_cast<size_t>(pi.t0);
-            continue;
-          case Opcode::condbr:
-            pc = static_cast<size_t>(fetch(pi.a).i != 0 ? pi.t0 : pi.t1);
-            continue;
-          case Opcode::ret:
-            if (pi.dest == -2)
-                return MValue{};
-            return fetch(pi.a);
-          case Opcode::icmp: {
-            bool out = ManagedEngine::evalICmp(
-                static_cast<IntPred>(pi.pred), fetch(pi.a), fetch(pi.b));
-            if (pi.dest >= 0) {
+    try {
+        while (true) {
+            const PInst &pi = code_[pc];
+            engine.step();
+            switch (pi.op) {
+              case Opcode::br:
+                pc = static_cast<size_t>(pi.t0);
+                continue;
+              case Opcode::condbr:
+                pc = static_cast<size_t>(fetch(pi.a).i != 0 ? pi.t0
+                                                            : pi.t1);
+                continue;
+              case Opcode::ret:
+                if (pi.dest == -2)
+                    return MValue{};
+                return fetch(pi.a);
+              case Opcode::icmp: {
+                if ((pi.flags & kPFuseLoad) != 0)
+                    doFusedLoad(pi);
+                bool out = ManagedEngine::evalICmp(
+                    static_cast<IntPred>(pi.pred), fetch(pi.a),
+                    fetch(pi.b));
+                if (pi.dest >= 0) {
+                    slots[static_cast<size_t>(pi.dest)] =
+                        MValue::makeInt(out ? 1 : 0, 1);
+                }
+                if ((pi.flags & kPFuseCmpBr) != 0) {
+                    pc = static_cast<size_t>(out ? pi.t0 : pi.t1);
+                    continue;
+                }
+                pc++;
+                continue;
+              }
+              case Opcode::fcmp: {
+                bool out = ManagedEngine::evalFCmp(
+                    static_cast<FloatPred>(pi.pred), fetch(pi.a),
+                    fetch(pi.b));
                 slots[static_cast<size_t>(pi.dest)] =
                     MValue::makeInt(out ? 1 : 0, 1);
-            }
-            if (pi.fusedCmpBr) {
-                pc = static_cast<size_t>(out ? pi.t0 : pi.t1);
+                pc++;
                 continue;
+              }
+              case Opcode::add: case Opcode::sub: case Opcode::mul:
+              case Opcode::sdiv: case Opcode::udiv: case Opcode::srem:
+              case Opcode::urem: case Opcode::and_: case Opcode::or_:
+              case Opcode::xor_: case Opcode::shl: case Opcode::lshr:
+              case Opcode::ashr: {
+                if ((pi.flags & kPFuseLoad) != 0)
+                    doFusedLoad(pi);
+                int64_t out = ManagedEngine::evalIntBinOp(
+                    pi.op, fetch(pi.a), fetch(pi.b), pi.bits);
+                MValue res = MValue::makeInt(out, pi.bits);
+                slots[static_cast<size_t>(pi.dest)] = res;
+                if ((pi.flags & kPFuseStore) != 0)
+                    doFusedStore(pi, res);
+                pc++;
+                continue;
+              }
+              case Opcode::fadd: case Opcode::fsub: case Opcode::fmul:
+              case Opcode::fdiv: case Opcode::frem: {
+                if ((pi.flags & kPFuseLoad) != 0)
+                    doFusedLoad(pi);
+                double out = ManagedEngine::evalFloatBinOp(
+                    pi.op, fetch(pi.a), fetch(pi.b), pi.bits);
+                MValue res = MValue::makeFP(out, pi.bits);
+                slots[static_cast<size_t>(pi.dest)] = res;
+                if ((pi.flags & kPFuseStore) != 0)
+                    doFusedStore(pi, res);
+                pc++;
+                continue;
+              }
+              case Opcode::gep: {
+                const MValue &base = fetch(pi.a);
+                int64_t offset = pi.gepOff;
+                if (pi.b.isSlot || pi.gepScale != 0) {
+                    offset += fetch(pi.b).i *
+                        static_cast<int64_t>(pi.gepScale);
+                }
+                slots[static_cast<size_t>(pi.dest)] =
+                    MValue::makeAddr(base.a.withOffset(offset));
+                pc++;
+                continue;
+              }
+              case Opcode::load: {
+                SlotResolution *sr = (pi.flags & kPElideLoad) != 0
+                    ? &slotRes_[static_cast<size_t>(pi.a.index)] : nullptr;
+                slots[static_cast<size_t>(pi.dest)] =
+                    loadAt(engine, fetch(pi.a).a, pi.src, pi.icLoad, sr);
+                pc++;
+                continue;
+              }
+              case Opcode::store: {
+                SlotResolution *sr = (pi.flags & kPElideStore) != 0
+                    ? &slotRes_[static_cast<size_t>(pi.b.index)] : nullptr;
+                storeAt(engine, fetch(pi.b).a, pi.src, fetch(pi.a),
+                        pi.icStore, sr);
+                pc++;
+                continue;
+              }
+              case Opcode::alloca_:
+                slots[static_cast<size_t>(pi.dest)] = MValue::makeAddr(
+                    Address{engine.allocaObject(*pi.src), 0});
+                pc++;
+                continue;
+              case Opcode::select: {
+                const MValue &cond = fetch(pi.a);
+                slots[static_cast<size_t>(pi.dest)] =
+                    fetch(cond.i != 0 ? pi.b : pi.c);
+                pc++;
+                continue;
+              }
+              case Opcode::fneg:
+                slots[static_cast<size_t>(pi.dest)] =
+                    MValue::makeFP(-fetch(pi.a).f, pi.bits);
+                pc++;
+                continue;
+              case Opcode::trunc:
+              case Opcode::sext:
+                slots[static_cast<size_t>(pi.dest)] =
+                    MValue::makeInt(fetch(pi.a).i, pi.bits);
+                pc++;
+                continue;
+              case Opcode::zext:
+                slots[static_cast<size_t>(pi.dest)] = MValue::makeInt(
+                    static_cast<int64_t>(fetch(pi.a).zext()), pi.bits);
+                pc++;
+                continue;
+              case Opcode::fptosi:
+                slots[static_cast<size_t>(pi.dest)] = MValue::makeInt(
+                    ManagedEngine::satFptosi(fetch(pi.a).f), pi.bits);
+                pc++;
+                continue;
+              case Opcode::fptoui:
+                slots[static_cast<size_t>(pi.dest)] = MValue::makeInt(
+                    static_cast<int64_t>(
+                        ManagedEngine::satFptoui(fetch(pi.a).f)),
+                    pi.bits);
+                pc++;
+                continue;
+              case Opcode::sitofp:
+                slots[static_cast<size_t>(pi.dest)] = MValue::makeFP(
+                    static_cast<double>(fetch(pi.a).i), pi.bits);
+                pc++;
+                continue;
+              case Opcode::uitofp:
+                slots[static_cast<size_t>(pi.dest)] = MValue::makeFP(
+                    static_cast<double>(fetch(pi.a).zext()), pi.bits);
+                pc++;
+                continue;
+              case Opcode::fpext:
+                slots[static_cast<size_t>(pi.dest)] =
+                    MValue::makeFP(fetch(pi.a).f, 64);
+                pc++;
+                continue;
+              case Opcode::fptrunc:
+                slots[static_cast<size_t>(pi.dest)] =
+                    MValue::makeFP(fetch(pi.a).f, 32);
+                pc++;
+                continue;
+              case Opcode::p2Move:
+                slots[static_cast<size_t>(pi.dest)] = fetch(pi.a);
+                pc++;
+                continue;
+              case Opcode::p2Ret:
+                // Inlined return: move the value to the call's slot and
+                // jump to the continuation.
+                if (pi.dest >= 0)
+                    slots[static_cast<size_t>(pi.dest)] = fetch(pi.a);
+                pc = static_cast<size_t>(pi.t0);
+                continue;
+              case Opcode::p2CallDirect: {
+                CallSite &site = callSites_[static_cast<size_t>(
+                    pi.callSite)];
+                if (site.code == nullptr)
+                    site.code = engine.tier2CodeFor(site.callee, " (IC)");
+                std::vector<MValue> args;
+                args.reserve(site.args.size());
+                for (const POperand &op : site.args)
+                    args.push_back(fetch(op));
+                MValue v = engine.callCompiled(site.callee, site.code,
+                                               std::move(args));
+                if (pi.dest >= 0)
+                    slots[static_cast<size_t>(pi.dest)] = std::move(v);
+                pc++;
+                continue;
+              }
+              case Opcode::p2CallIndirect: {
+                CallSite &site = callSites_[static_cast<size_t>(
+                    pi.callSite)];
+                const MValue &target = fetch(pi.a);
+                // Guard mirrors the interpreter's dispatch exactly; any
+                // miss or special case drops to the interpreter path.
+                if (target.kind == MValue::Kind::addrV &&
+                    !target.a.isNull() &&
+                    target.a.pointee->kind() ==
+                        ObjectKind::functionObject &&
+                    site.cachedFnId != kICMegamorphic) {
+                    uint32_t id = static_cast<const FunctionObject *>(
+                        target.a.pointee.get())->fnId();
+                    if (site.cachedFnId == kICEmpty) {
+                        const Function *fn = engine.module_->functionById(id);
+                        if (fn != nullptr && !fn->isDeclaration() &&
+                            !fn->isVarArg() &&
+                            fn->numArgs() == site.args.size()) {
+                            site.callee = fn;
+                            site.code = engine.tier2CodeFor(fn, " (IC)");
+                            site.cachedFnId = id;
+                        } else {
+                            site.cachedFnId = kICMegamorphic;
+                        }
+                    } else if (site.cachedFnId != id) {
+                        site.cachedFnId = kICMegamorphic; // polymorphic
+                    }
+                    if (site.cachedFnId == id) {
+                        std::vector<MValue> args;
+                        args.reserve(site.args.size());
+                        for (const POperand &op : site.args)
+                            args.push_back(fetch(op));
+                        MValue v = engine.callCompiled(site.callee,
+                                                       site.code,
+                                                       std::move(args));
+                        if (pi.dest >= 0) {
+                            slots[static_cast<size_t>(pi.dest)] =
+                                std::move(v);
+                        }
+                        pc++;
+                        continue;
+                    }
+                }
+                MValue v = engine.execInstruction(*pi.src, frame);
+                if (pi.dest >= 0)
+                    slots[static_cast<size_t>(pi.dest)] = std::move(v);
+                pc++;
+                continue;
+              }
+              case Opcode::unreachable_:
+                throw EngineError("reached 'unreachable' in " +
+                                  fn_->name());
+              default: {
+                // Remaining calls, ptrtoint/inttoptr: share the
+                // interpreter path so semantics (mementos, varargs,
+                // pinning) stay identical.
+                MValue v = engine.execInstruction(*pi.src, frame);
+                if (pi.src->slot() >= 0) {
+                    slots[static_cast<size_t>(pi.src->slot())] =
+                        std::move(v);
+                }
+                pc++;
+                continue;
+              }
             }
-            pc++;
-            continue;
-          }
-          case Opcode::fcmp: {
-            bool out = ManagedEngine::evalFCmp(
-                static_cast<FloatPred>(pi.pred), fetch(pi.a), fetch(pi.b));
-            slots[static_cast<size_t>(pi.dest)] =
-                MValue::makeInt(out ? 1 : 0, 1);
-            pc++;
-            continue;
-          }
-          case Opcode::add: case Opcode::sub: case Opcode::mul:
-          case Opcode::sdiv: case Opcode::udiv: case Opcode::srem:
-          case Opcode::urem: case Opcode::and_: case Opcode::or_:
-          case Opcode::xor_: case Opcode::shl: case Opcode::lshr:
-          case Opcode::ashr: {
-            int64_t out = ManagedEngine::evalIntBinOp(
-                pi.op, fetch(pi.a), fetch(pi.b), pi.bits);
-            slots[static_cast<size_t>(pi.dest)] =
-                MValue::makeInt(out, pi.bits);
-            pc++;
-            continue;
-          }
-          case Opcode::fadd: case Opcode::fsub: case Opcode::fmul:
-          case Opcode::fdiv: case Opcode::frem: {
-            double out = ManagedEngine::evalFloatBinOp(
-                pi.op, fetch(pi.a), fetch(pi.b), pi.bits);
-            slots[static_cast<size_t>(pi.dest)] =
-                MValue::makeFP(out, pi.bits);
-            pc++;
-            continue;
-          }
-          case Opcode::gep: {
-            const MValue &base = fetch(pi.a);
-            int64_t offset = pi.gepOff;
-            if (pi.b.isSlot || pi.gepScale != 0) {
-                offset += fetch(pi.b).i *
-                    static_cast<int64_t>(pi.gepScale);
-            }
-            slots[static_cast<size_t>(pi.dest)] =
-                MValue::makeAddr(base.a.withOffset(offset));
-            pc++;
-            continue;
-          }
-          case Opcode::load:
-            slots[static_cast<size_t>(pi.dest)] = engine.loadFrom(
-                fetch(pi.a).a, pi.src->accessType(), pi.src->loc());
-            pc++;
-            continue;
-          case Opcode::store:
-            engine.storeTo(fetch(pi.b).a, pi.src->accessType(),
-                           fetch(pi.a), pi.src->loc());
-            pc++;
-            continue;
-          case Opcode::trunc:
-          case Opcode::sext:
-            slots[static_cast<size_t>(pi.dest)] =
-                MValue::makeInt(fetch(pi.a).i, pi.bits);
-            pc++;
-            continue;
-          case Opcode::zext:
-            slots[static_cast<size_t>(pi.dest)] = MValue::makeInt(
-                static_cast<int64_t>(fetch(pi.a).zext()), pi.bits);
-            pc++;
-            continue;
-          case Opcode::unreachable_:
-            throw EngineError("reached 'unreachable' in " + fn_->name());
-          default: {
-            // Calls, allocas, rare casts: share the interpreter path so
-            // semantics (mementos, varargs, pinning) stay identical.
-            MValue v = engine.execInstruction(*pi.src, frame);
-            if (pi.src->slot() >= 0)
-                slots[static_cast<size_t>(pi.src->slot())] = std::move(v);
-            pc++;
-            continue;
-          }
         }
+    } catch (MemoryErrorException &error) {
+        // A bug raised in spliced code belongs to the callee it was
+        // inlined from — reports must name where the bug lives, not
+        // where the compiler put the code. Nested real calls were
+        // already attributed by their own frames.
+        if (error.report().function.empty()) {
+            for (const InlineRange &range : inlineRanges_) {
+                if (pc >= range.begin && pc < range.end) {
+                    error.report().function = range.callee->name();
+                    break;
+                }
+            }
+        }
+        throw;
     }
 }
 

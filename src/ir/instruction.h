@@ -56,6 +56,15 @@ enum class Opcode : uint8_t
     condbr,     ///< operand 0 (i1) ? target(0) : target(1)
     ret,        ///< optional operand 0
     unreachable_,
+
+    // Tier-2 pseudo-opcodes (interp/tier2). Never appear in IR: the
+    // pre-decoder emits them for inlined callee bodies (argument/return
+    // moves) and for call sites with an inline cache. The verifier
+    // rejects them in real instruction streams.
+    p2Move,         ///< slot move: dest = operand a
+    p2Ret,          ///< inlined return: optional move to dest, jump t0
+    p2CallDirect,   ///< call through a monomorphic direct call site
+    p2CallIndirect, ///< call through a function-pointer inline cache
 };
 
 /** icmp predicates. */

@@ -51,6 +51,10 @@ opcodeName(Opcode op)
       case Opcode::condbr: return "condbr";
       case Opcode::ret: return "ret";
       case Opcode::unreachable_: return "unreachable";
+      case Opcode::p2Move: return "p2.move";
+      case Opcode::p2Ret: return "p2.ret";
+      case Opcode::p2CallDirect: return "p2.call.direct";
+      case Opcode::p2CallIndirect: return "p2.call.indirect";
     }
     return "<bad-op>";
 }
@@ -122,11 +126,15 @@ valueRef(const Value *v)
         return "@" + v->name();
       case ValueKind::argument: {
         auto *arg = static_cast<const Argument *>(v);
-        return "%a" + std::to_string(arg->index());
+        std::string text = "%a";
+        text += std::to_string(arg->index());
+        return text;
       }
       case ValueKind::instruction: {
         auto *inst = static_cast<const Instruction *>(v);
-        return "%" + std::to_string(inst->slot());
+        std::string text = "%";
+        text += std::to_string(inst->slot());
+        return text;
       }
     }
     return "<bad-value>";

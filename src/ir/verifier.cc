@@ -239,6 +239,12 @@ class FunctionVerifier
             break;
           case Opcode::unreachable_:
             break;
+          case Opcode::p2Move:
+          case Opcode::p2Ret:
+          case Opcode::p2CallDirect:
+          case Opcode::p2CallIndirect:
+            expect(inst, false, "tier-2 pseudo-opcode in IR");
+            break;
         }
     }
 

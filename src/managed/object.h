@@ -207,6 +207,26 @@ class ManagedObject
     /** Mark every byte written (calloc, realloc'd copies, globals). */
     virtual void markAllInitialized() {}
 
+    /**
+     * One step of offset resolution, for tier-2's resolution cache:
+     * aggregates map (offset, size) to their field/element sub-object,
+     * running the same freed/bounds/padding checks as a real access and
+     * raising the identical errors; leaf objects return `this`. An
+     * access spanning sub-objects returns nullptr (not cacheable; the
+     * caller falls back to the byte-wise path). The leaf's own checks
+     * (liveness, bounds, type, init) still run on every access — this
+     * only short-circuits the aggregate *walk*, never a check.
+     */
+    virtual ManagedObject *
+    resolveStep(int64_t offset, unsigned size, bool is_write,
+                int64_t &inner_offset)
+    {
+        (void)size;
+        (void)is_write;
+        inner_offset = offset;
+        return this;
+    }
+
     /** Human-readable type for error messages, e.g. "I32Array[10]". */
     virtual std::string describe() const = 0;
 
@@ -531,6 +551,13 @@ class StructObject : public ManagedObject
         return "Struct " + type_->structName();
     }
 
+    ManagedObject *
+    resolveStep(int64_t offset, unsigned size, bool is_write,
+                int64_t &inner_offset) override
+    {
+        return resolve(offset, size, inner_offset, is_write);
+    }
+
   private:
     /** Map a byte offset to (field object, offset within field). */
     ManagedObject *resolve(int64_t offset, unsigned size,
@@ -575,6 +602,13 @@ class AggregateArray : public ManagedObject
     describe() const override
     {
         return type_->toString();
+    }
+
+    ManagedObject *
+    resolveStep(int64_t offset, unsigned size, bool is_write,
+                int64_t &inner_offset) override
+    {
+        return resolve(offset, size, inner_offset, is_write);
     }
 
   private:

@@ -1,0 +1,79 @@
+#include "tools/bench_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sulong
+{
+
+namespace
+{
+
+/** Minimal JSON string escape (the fields are ASCII identifiers, but
+ *  quoting mistakes in a gate file are not worth the shortcut). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+managedConfigString(const ManagedOptions &options)
+{
+    std::ostringstream os;
+    os << "tier2=" << (options.enableTier2 ? "on" : "off")
+       << " threshold=" << options.compileThreshold
+       << " inlining=" << (options.enableInlining ? "on" : "off")
+       << " inline-budget=" << options.inlineBudget
+       << " inline-min=" << options.inlineSiteMin
+       << " check-elision=" << (options.enableCheckElision ? "on" : "off");
+    return os.str();
+}
+
+bool
+writeBenchJson(const std::string &path,
+               const std::vector<BenchRecord> &records)
+{
+    std::ostringstream os;
+    os.precision(15);
+    os << "{\n  \"schema\": \"BENCH_tier2.json/v1\",\n  \"records\": [";
+    for (size_t i = 0; i < records.size(); i++) {
+        const BenchRecord &r = records[i];
+        os << (i ? "," : "") << "\n    {\"bench\": \"" << jsonEscape(r.bench)
+           << "\", \"engine\": \"" << jsonEscape(r.engine)
+           << "\", \"config\": \"" << jsonEscape(r.config)
+           << "\", \"ns_per_op\": " << r.nsPerOp
+           << ", \"steps_per_op\": " << r.stepsPerOp << "}";
+    }
+    os << "\n  ]\n}\n";
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::string text = os.str();
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = written == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace sulong

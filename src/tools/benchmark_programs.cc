@@ -639,6 +639,71 @@ int main(int argc, char **argv) {
     return 0;
 })C";
 
+const char *CALLTOWER = R"C(
+/* calltower: towers of tiny function calls — the call-dispatch stress
+   workload behind the tier-2 inlining and call-inline-cache numbers. */
+static int leaf_inc(int x) { return x + 1; }
+static int leaf_mix(int x) { return (x ^ 29) - (x >> 3); }
+static int step_a(int x) { return leaf_inc(x) + leaf_mix(x); }
+static int step_b(int x) { return leaf_mix(leaf_inc(x)) - leaf_inc(x >> 1); }
+static int tower(int x) { return step_a(step_b(x)) + step_b(step_a(x)); }
+
+static unsigned int chunk(unsigned int acc, int base) {
+    for (int i = 0; i < 500; i++)
+        acc = acc * 31 + (unsigned int)tower((base + i) & 0xffff);
+    return acc;
+}
+
+int main(int argc, char **argv) {
+    int n = argc > 1 ? atoi(argv[1]) : 60000;
+    unsigned int acc = 1;
+    for (int base = 0; base < n; base += 500)
+        acc = chunk(acc, base);
+    printf("calltower(%d) = %u\n", n, acc);
+    return 0;
+})C";
+
+const char *POINTERCHASE = R"C(
+/* pointerchase: repeated traversal of a linked structure with field
+   loads and stores on every node — the aggregate-walk workload behind
+   the tier-2 redundant-check-elision numbers. */
+struct node {
+    int value;
+    int visits;
+    struct node *next;
+};
+
+static long traverse(struct node *head) {
+    long sum = 0;
+    for (struct node *p = head; p; p = p->next) {
+        p->visits = p->visits + 1;
+        sum += p->value + (p->visits & 1);
+    }
+    return sum;
+}
+
+int main(int argc, char **argv) {
+    int rounds = argc > 1 ? atoi(argv[1]) : 300;
+    struct node *head = 0;
+    for (int i = 0; i < 512; i++) {
+        struct node *n = malloc(sizeof(struct node));
+        n->value = i & 63;
+        n->visits = 0;
+        n->next = head;
+        head = n;
+    }
+    long sum = 0;
+    for (int round = 0; round < rounds; round++)
+        sum += traverse(head);
+    printf("pointerchase(%d) = %ld\n", rounds, sum);
+    while (head) {
+        struct node *next = head->next;
+        free(head);
+        head = next;
+    }
+    return 0;
+})C";
+
 } // namespace
 
 const std::vector<BenchmarkProgram> &
@@ -655,6 +720,11 @@ benchmarkPrograms()
         out.push_back({"spectralnorm", SPECTRALNORM, {"60"}, false});
         out.push_back({"whetstone", WHETSTONE, {"50"}, false});
         out.push_back({"binarytrees", BINARYTREES, {"10"}, true});
+        // Tier-2 perf-gate workloads (not in the paper's Fig. 16):
+        // call-heavy and pointer-chasing kernels whose speedup the CI
+        // bench gate tracks across optimizing-tier configurations.
+        out.push_back({"calltower", CALLTOWER, {"60000"}, false});
+        out.push_back({"pointerchase", POINTERCHASE, {"300"}, false});
         return out;
     }();
     return programs;

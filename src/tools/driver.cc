@@ -198,6 +198,55 @@ parseLimitFlags(int argc, char **argv, ResourceLimits base)
     return base;
 }
 
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc; i++) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+std::string
+parseStringFlag(int argc, char **argv, const char *name,
+                const std::string &fallback)
+{
+    std::string flag = std::string("--") + name;
+    std::string flag_eq = flag + "=";
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (flag == arg) {
+            if (i + 1 < argc)
+                return argv[i + 1];
+            return fallback;
+        }
+        if (std::strncmp(arg, flag_eq.c_str(), flag_eq.size()) == 0)
+            return arg + flag_eq.size();
+    }
+    return fallback;
+}
+
+ManagedOptions
+parseManagedFlags(int argc, char **argv, ManagedOptions base)
+{
+    if (hasFlag(argc, argv, "no-tier2"))
+        base.enableTier2 = false;
+    base.compileThreshold = static_cast<unsigned>(parseUint64Flag(
+        argc, argv, "tier2-threshold", base.compileThreshold));
+    if (hasFlag(argc, argv, "no-inlining"))
+        base.enableInlining = false;
+    base.inlineBudget = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "inline-budget", base.inlineBudget));
+    base.inlineSiteMin = static_cast<int>(parseUint64Flag(
+        argc, argv, "inline-min",
+        static_cast<uint64_t>(static_cast<int64_t>(base.inlineSiteMin))));
+    if (hasFlag(argc, argv, "no-check-elision"))
+        base.enableCheckElision = false;
+    return base;
+}
+
 std::vector<ToolConfig>
 evaluationToolMatrix()
 {

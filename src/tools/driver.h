@@ -137,6 +137,24 @@ uint64_t parseUint64Flag(int argc, char **argv, const char *name,
 ResourceLimits parseLimitFlags(int argc, char **argv,
                                ResourceLimits base = {});
 
+/** @return true when the bare switch `--name` is present. */
+bool hasFlag(int argc, char **argv, const char *name);
+
+/**
+ * Parse a string flag in `--name VALUE` / `--name=VALUE` form (first
+ * match wins); returns @p fallback when absent.
+ */
+std::string parseStringFlag(int argc, char **argv, const char *name,
+                            const std::string &fallback = {});
+
+/**
+ * Apply the tier-2 tuning/ablation flags to @p base and return the
+ * result: `--no-tier2`, `--tier2-threshold N`, `--no-inlining`,
+ * `--inline-budget N`, `--inline-min N`, and `--no-check-elision`.
+ */
+ManagedOptions parseManagedFlags(int argc, char **argv,
+                                 ManagedOptions base = {});
+
 } // namespace sulong
 
 #endif // MS_TOOLS_DRIVER_H

@@ -68,9 +68,11 @@ TEST(DriverTest, PreparedProgramIsReusable)
 TEST(BenchmarkProgramsTest, RegistryComplete)
 {
     const auto &programs = benchmarkPrograms();
-    EXPECT_EQ(programs.size(), 9u);
+    EXPECT_EQ(programs.size(), 11u);
     EXPECT_NE(findBenchmark("meteor"), nullptr);
     EXPECT_NE(findBenchmark("nbody"), nullptr);
+    EXPECT_NE(findBenchmark("calltower"), nullptr);
+    EXPECT_NE(findBenchmark("pointerchase"), nullptr);
     EXPECT_EQ(findBenchmark("unknown"), nullptr);
     EXPECT_TRUE(findBenchmark("binarytrees")->allocationIntensive);
 }
@@ -95,6 +97,8 @@ TEST_P(BenchmarkDifferentialTest, AllEnginesAgree)
     if (program.name == "spectralnorm") args = {"16"};
     if (program.name == "whetstone") args = {"5"};
     if (program.name == "binarytrees") args = {"6"};
+    if (program.name == "calltower") args = {"2500"};
+    if (program.name == "pointerchase") args = {"20"};
 
     ExecutionResult reference = runUnderTool(
         program.source, ToolConfig::make(ToolKind::safeSulong), args);
@@ -127,7 +131,7 @@ benchName(const ::testing::TestParamInfo<int> &info)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkDifferentialTest,
-                         ::testing::Range(0, 9), benchName);
+                         ::testing::Range(0, 11), benchName);
 
 TEST(BenchmarkProgramsTest, Tier2MatchesOnBenchmarks)
 {

@@ -107,7 +107,8 @@ class ProgramGenerator
                 out << indent << "mix(3u);\n";
                 return;
             }
-            std::string i = "i" + std::to_string(loops_++);
+            std::string i = "i";
+            i += std::to_string(loops_++);
             out << indent << "for (int " << i << " = 0; " << i << " < "
                 << rng_.nextRange(1, 6) << "; " << i << "++) {\n";
             emitStatement(out, depth + 1, n_functions, n_globals);
@@ -149,23 +150,41 @@ class ProgramGenerator
             return std::to_string(rng_.nextRange(-20, 20));
           case 1:
             if (locals_ > 0) {
-                return "v" + std::to_string(
+                std::string text = "v";
+                text += std::to_string(
                     rng_.nextBelow(static_cast<uint64_t>(locals_)));
+                return text;
             }
             return std::to_string(rng_.nextRange(0, 9));
           case 2: {
             // Guarded division/modulo: |divisor| >= 1.
             std::string d = std::to_string(rng_.nextRange(1, 9));
-            return "(" + expr() + (rng_.chance(0.5) ? " / " : " % ") + d +
-                ")";
+            std::string text = "(";
+            text += expr();
+            text += rng_.chance(0.5) ? " / " : " % ";
+            text += d;
+            text += ")";
+            return text;
           }
           case 3: {
             // Masked shift.
-            return "(" + expr() + (rng_.chance(0.5) ? " << " : " >> ") +
-                std::to_string(rng_.nextRange(0, 7)) + ")";
+            std::string text = "(";
+            text += expr();
+            text += rng_.chance(0.5) ? " << " : " >> ";
+            text += std::to_string(rng_.nextRange(0, 7));
+            text += ")";
+            return text;
           }
-          default:
-            return "(" + expr() + " " + binop() + " " + expr() + ")";
+          default: {
+            std::string text = "(";
+            text += expr();
+            text += " ";
+            text += binop();
+            text += " ";
+            text += expr();
+            text += ")";
+            return text;
+          }
         }
     }
 
