@@ -6,9 +6,16 @@
  * Usage:
  *   bug_hunting                 # run a built-in demo program
  *   bug_hunting file.c [args]   # analyze your own mini-C program
+ *
+ * Flags:
+ *   --analyze        also run the static analyzer before the tool matrix
+ *   --analyze-only   static analysis only; exit 2 on a definite finding
+ *   --no-refute      report raw abstract findings (skip the replay)
+ *   --analyze-libc   analyze the linked libc functions too
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -45,21 +52,41 @@ main(int argc, char **argv)
 {
     using namespace sulong;
 
+    bool analyze_only = hasFlag(argc, argv, "analyze-only");
+    bool analyze = analyze_only || hasFlag(argc, argv, "analyze");
+    AnalysisOptions analysis_options = parseAnalysisFlags(argc, argv);
+
     std::string source = DEMO;
     std::vector<std::string> guest_args;
-    if (argc > 1) {
-        std::ifstream file(argv[1]);
+    const char *input_file = nullptr;
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], "--", 2) == 0)
+            continue;
+        if (input_file == nullptr)
+            input_file = argv[i];
+        else
+            guest_args.push_back(argv[i]);
+    }
+    if (input_file != nullptr) {
+        std::ifstream file(input_file);
         if (!file) {
-            std::printf("cannot open %s\n", argv[1]);
+            std::printf("cannot open %s\n", input_file);
             return 1;
         }
         std::ostringstream buf;
         buf << file.rdbuf();
         source = buf.str();
-        for (int i = 2; i < argc; i++)
-            guest_args.push_back(argv[i]);
     } else {
         std::printf("(no input file given — analyzing the built-in demo)\n\n");
+    }
+
+    if (analyze) {
+        AnalysisReport report =
+            analyzeSource(source, analysis_options, guest_args);
+        std::printf("static analysis:\n%s\n", report.toString().c_str());
+        if (analyze_only)
+            return report.definiteCount() > 0 ? 2 : 0;
+        std::printf("\n");
     }
 
     const ToolConfig tools[] = {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI gate over BENCH_tier2.json/v1 files.
+"""CI gate over BENCH_tier2.json/v1 and BENCH_analysis.json/v1 files.
 
 Subcommands:
   validate FILE...   check each file against the BENCH_tier2.json/v1 schema
@@ -9,6 +9,11 @@ Subcommands:
                      fail unless geomean(OFF/ON) >= the threshold; also
                      fail if the retired-step counts differ, since the
                      optimizing tier must do the same guest work.
+  analysis FILE [--min-recall X] [--min-definite-recall Y]
+                     validate a BENCH_analysis.json/v1 cross-validation
+                     report and fail on any false `definite` static
+                     finding (the analyzer's soundness contract) or on
+                     recall below the floors.
 """
 
 import argparse
@@ -100,6 +105,59 @@ def cmd_gate(args):
     return 0
 
 
+ANALYSIS_SCHEMA = "BENCH_analysis.json/v1"
+
+
+def load_analysis(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != ANALYSIS_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r},"
+             f" want {ANALYSIS_SCHEMA!r}")
+    for key in ("corpus_size", "definite_findings", "maybe_findings",
+                "false_definites", "static_hits", "definite_hits"):
+        v = doc.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{path}: {key} must be a non-negative int, got {v!r}")
+    for key in ("recall", "definite_recall"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or not 0 <= v <= 1:
+            fail(f"{path}: {key} must be in [0, 1], got {v!r}")
+    wall = doc.get("wall_ms")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        fail(f"{path}: wall_ms must be a non-negative number, got {wall!r}")
+    if doc["corpus_size"] == 0:
+        fail(f"{path}: corpus_size is 0 — nothing was cross-validated")
+    if not isinstance(doc.get("refuted"), bool):
+        fail(f"{path}: refuted must be a bool")
+    return doc
+
+
+def cmd_analysis(args):
+    doc = load_analysis(args.file)
+    print(f"{args.file}: ok (corpus {doc['corpus_size']},"
+          f" recall {doc['recall']:.3f},"
+          f" definite recall {doc['definite_recall']:.3f},"
+          f" false definites {doc['false_definites']},"
+          f" {doc['wall_ms']:.0f} ms)")
+    if not doc["refuted"]:
+        fail(f"{args.file}: report was produced with refutation off —"
+             " the soundness contract was not checked")
+    if doc["false_definites"] != 0:
+        fail(f"{args.file}: {doc['false_definites']} false definite"
+             " finding(s) — the analyzer reported a definite bug the"
+             " dynamic detector does not reproduce")
+    if doc["recall"] < args.min_recall:
+        fail(f"{args.file}: recall {doc['recall']:.3f} below floor"
+             f" {args.min_recall}")
+    if doc["definite_recall"] < args.min_definite_recall:
+        fail(f"{args.file}: definite recall {doc['definite_recall']:.3f}"
+             f" below floor {args.min_definite_recall}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -113,6 +171,12 @@ def main():
                         help="comma-separated bench names to compare")
     p_gate.add_argument("--min-geomean", type=float, default=1.2)
     p_gate.set_defaults(func=cmd_gate)
+    p_analysis = sub.add_parser("analysis")
+    p_analysis.add_argument("file")
+    p_analysis.add_argument("--min-recall", type=float, default=0.95)
+    p_analysis.add_argument("--min-definite-recall", type=float,
+                            default=0.90)
+    p_analysis.set_defaults(func=cmd_analysis)
     args = parser.parse_args()
     sys.exit(args.func(args))
 

@@ -1,0 +1,2502 @@
+/**
+ * @file
+ * The flow-sensitive intraprocedural abstract interpreter (analyzer.h).
+ *
+ * One FunctionAnalyzer per function definition: enumerate abstract
+ * objects (module globals + local allocation sites), run a widening
+ * worklist fixpoint over the CFG propagating AbsState (frame slots +
+ * per-object memory maps), then one final collect pass over the
+ * converged states that emits candidate findings. analyzeModule() glues
+ * the per-function results together and runs the refutation replay.
+ */
+
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "analysis/lattice.h"
+#include "analysis/refuter.h"
+#include "ir/cfg.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+/// Top value of a load/parameter of static type @p type.
+AbstractValue
+typedTop(const Type *type)
+{
+    if (type == nullptr)
+        return AbstractValue::top();
+    if (type->isInteger())
+        return AbstractValue::ofInterval(intervalOfWidth(type->intBits()));
+    if (type->isPointer())
+        return AbstractValue::unknownPointer();
+    if (type->isFloat())
+        return AbstractValue::anyFloat();
+    return AbstractValue::top();
+}
+
+/// What zero-backed storage yields when read as @p type.
+AbstractValue
+typedZero(const Type *type)
+{
+    if (type == nullptr)
+        return AbstractValue::top();
+    if (type->isInteger())
+        return AbstractValue::ofInt(0);
+    if (type->isPointer())
+        return AbstractValue::nullPointer();
+    if (type->isFloat())
+        return AbstractValue::anyFloat();
+    return AbstractValue::top();
+}
+
+/// Zero joined into an existing entry value (join of "other path reads 0").
+AbstractValue
+zeroOfKind(const AbstractValue &like)
+{
+    switch (like.kind) {
+      case AbstractValue::Kind::intVal:
+        return AbstractValue::ofInt(0);
+      case AbstractValue::Kind::pointer:
+        return AbstractValue::nullPointer();
+      case AbstractValue::Kind::fpVal:
+        return AbstractValue::anyFloat();
+      case AbstractValue::Kind::any:
+        break;
+    }
+    return AbstractValue::top();
+}
+
+/** The whole abstract state at one program point. */
+struct AbsState
+{
+    std::vector<AbstractValue> slots;
+    std::vector<ObjState> objects;
+
+    bool operator==(const AbsState &o) const
+    {
+        return slots == o.slots && objects == o.objects;
+    }
+};
+
+ObjState::Liveness
+joinLiveness(ObjState::Liveness a, ObjState::Liveness b)
+{
+    if (a == b)
+        return a;
+    return ObjState::Liveness::maybeFreed;
+}
+
+ContentsDefault
+joinDefault(ContentsDefault a, ContentsDefault b)
+{
+    if (a == b)
+        return a;
+    if (a == ContentsDefault::uninit || a == ContentsDefault::maybeUninit ||
+        b == ContentsDefault::uninit || b == ContentsDefault::maybeUninit)
+        return ContentsDefault::maybeUninit;
+    return ContentsDefault::unknown;
+}
+
+/// Do the byte ranges [ao, ao+aw) and [bo, bo+bw) intersect?
+bool
+bytesOverlap(int64_t ao, unsigned aw, int64_t bo, unsigned bw)
+{
+    return ao < bo + static_cast<int64_t>(bw) &&
+        bo < ao + static_cast<int64_t>(aw);
+}
+
+/// Does @p contents have any entry overlapping [off, off+width)?
+bool
+anyOverlap(const std::map<int64_t, MemEntry> &contents, int64_t off,
+           unsigned width)
+{
+    // Entries are at most 8 bytes wide; scan the window around [off,
+    // off+width).
+    auto it = contents.lower_bound(off - 8);
+    for (; it != contents.end() && it->first < off + static_cast<int64_t>(width);
+         ++it) {
+        if (bytesOverlap(it->first, it->second.width, off, width))
+            return true;
+    }
+    return false;
+}
+
+/// True when @p dflt means "bytes might not have been written".
+bool
+defaultMayBeUninit(ContentsDefault dflt)
+{
+    return dflt == ContentsDefault::uninit ||
+        dflt == ContentsDefault::maybeUninit;
+}
+
+uint32_t &
+versionCounter()
+{
+    static thread_local uint32_t counter = 0;
+    return counter;
+}
+
+uint32_t
+freshVersion()
+{
+    return ++versionCounter();
+}
+
+/**
+ * Join (or widen) object @p b into @p a. The contents merge is the
+ * subtle part: an entry surviving the merge claims to describe its
+ * bytes on BOTH paths, so any shape mismatch degrades to a top-valued
+ * entry (never silently to the default, which could falsely promise
+ * zero or uninit bytes).
+ */
+void
+mergeObjInto(ObjState &a, const ObjState &b, bool widen)
+{
+    ContentsDefault dfltA = a.dflt;
+    ContentsDefault dfltB = b.dflt;
+
+    std::map<int64_t, MemEntry> merged;
+    auto topEntry = [](unsigned width, bool mayBeUninit) {
+        MemEntry e;
+        e.width = static_cast<uint8_t>(width);
+        e.val = AbstractValue::top();
+        e.mayBeUninit = mayBeUninit;
+        e.version = freshVersion();
+        return e;
+    };
+    // Entries present only on one side: bytes on the other side read as
+    // that side's default.
+    auto mergeOneSided = [&](const MemEntry &e, int64_t off,
+                             const ObjState &other, ContentsDefault otherDflt) {
+        if (anyOverlap(other.contents, off, e.width)) {
+            // Mismatched shapes across the join: value unknown.
+            merged[off] = topEntry(e.width,
+                                   e.mayBeUninit ||
+                                       defaultMayBeUninit(otherDflt));
+            return;
+        }
+        MemEntry out = e;
+        switch (otherDflt) {
+          case ContentsDefault::zero:
+            out.val = joinValues(out.val, zeroOfKind(out.val));
+            break;
+          case ContentsDefault::uninit:
+            out.mayBeUninit = true;
+            break;
+          case ContentsDefault::maybeUninit:
+            out.val = AbstractValue::top();
+            out.mayBeUninit = true;
+            break;
+          case ContentsDefault::unknown:
+            out.val = AbstractValue::top();
+            break;
+        }
+        if (other.weaklyWritten)
+            out.val = AbstractValue::top();
+        out.version = freshVersion();
+        merged[off] = out;
+    };
+
+    for (const auto &[off, ea] : a.contents) {
+        auto itB = b.contents.find(off);
+        if (itB != b.contents.end() && itB->second.width == ea.width) {
+            MemEntry out;
+            out.width = ea.width;
+            out.val = widen ? widenValues(ea.val, itB->second.val)
+                            : joinValues(ea.val, itB->second.val);
+            out.mayBeUninit = ea.mayBeUninit || itB->second.mayBeUninit;
+            out.version = ea.version == itB->second.version
+                ? ea.version
+                : freshVersion();
+            merged[off] = out;
+        } else if (itB != b.contents.end()) {
+            merged[off] = topEntry(std::max<unsigned>(ea.width,
+                                                      itB->second.width),
+                                   ea.mayBeUninit || itB->second.mayBeUninit);
+        } else {
+            mergeOneSided(ea, off, b, dfltB);
+        }
+    }
+    for (const auto &[off, eb] : b.contents) {
+        if (a.contents.count(off))
+            continue;
+        mergeOneSided(eb, off, a, dfltA);
+    }
+
+    a.live = joinLiveness(a.live, b.live);
+    a.dflt = joinDefault(dfltA, dfltB);
+    a.weaklyWritten = a.weaklyWritten || b.weaklyWritten;
+    a.escaped = a.escaped || b.escaped;
+    a.contents = std::move(merged);
+}
+
+void
+mergeStateInto(AbsState &a, const AbsState &b, bool widen)
+{
+    for (size_t i = 0; i < a.slots.size(); i++)
+        a.slots[i] = widen ? widenValues(a.slots[i], b.slots[i])
+                           : joinValues(a.slots[i], b.slots[i]);
+    for (size_t i = 0; i < a.objects.size(); i++)
+        mergeObjInto(a.objects[i], b.objects[i], widen);
+}
+
+/// Load provenance for sound refinement write-back (reset per block).
+struct Origin
+{
+    int obj = -1;
+    int64_t off = 0;
+    uint8_t width = 0;
+    uint32_t version = 0;
+};
+
+/** What one abstract memory access can do. */
+struct AccessOutcome
+{
+    /// Every possibility faults: the path stops here.
+    bool mustFault = false;
+    /// The joined loaded value over non-faulting possibilities.
+    AbstractValue loaded = AbstractValue::top();
+};
+
+/**
+ * Analyzes one function definition. See the file comment for the
+ * phases; all per-function state lives here.
+ */
+class FunctionAnalyzer
+{
+  public:
+    FunctionAnalyzer(const Module &module, const Function &fn,
+                     const AnalysisOptions &options)
+        : module_(module), fn_(fn), options_(options), cfg_(fn)
+    {
+        enumerateObjects();
+    }
+
+    /// Appends this function's candidates to @p findings; returns false
+    /// when the fixpoint was abandoned (findings stay maybe).
+    bool run(std::vector<StaticFinding> &findings);
+
+  private:
+    // --- Object enumeration ----------------------------------------------
+
+    void enumerateObjects();
+    void computeMultiInstance();
+
+    // --- States ----------------------------------------------------------
+
+    AbsState entryState() const;
+    void seedGlobalContents(ObjState &state, const GlobalVariable &g) const;
+    bool expandInit(ObjState &state, const Type *type,
+                    const Initializer &init, int64_t off) const;
+
+    // --- Transfer --------------------------------------------------------
+
+    /// Executes block @p b on @p state. Successor edge states are pushed
+    /// via joinInto unless collecting. Returns nothing; findings are
+    /// emitted only when collect_ is set.
+    void transferBlock(unsigned b, AbsState state);
+
+    AbstractValue evalValue(const Value *v, const AbsState &st) const;
+    void setSlot(AbsState &st, const Instruction &inst,
+                 const AbstractValue &val);
+
+    AccessOutcome checkAccess(const Instruction &inst, AccessKind access,
+                              const AbstractValue &ptr, unsigned width,
+                              const Type *readType, AbsState &st);
+    AbstractValue readTarget(const Instruction &inst, const PointerTarget &t,
+                             unsigned width, const Type *readType,
+                             AbsState &st, bool &possibilityFaults);
+    void writeTarget(const PointerTarget &t, unsigned width,
+                     const AbstractValue &val, bool strong, AbsState &st);
+    void eraseOverlap(ObjState &obj, int64_t off, unsigned width,
+                      AbsState &st);
+    void markPointerEntriesEscaped(const MemEntry &entry, AbsState &st);
+
+    void transferCall(const Instruction &inst, AbsState &st, bool &stop);
+    void transferIntrinsic(const Instruction &inst, const Function &callee,
+                           AbsState &st, bool &stop);
+    bool transferLibcSummary(const Instruction &inst, const Function &callee,
+                             AbsState &st);
+    void havocUnknownCall(const Instruction &inst, AbsState &st);
+    void havocObject(unsigned obj, AbsState &st, bool escape);
+    void freePointer(const Instruction &inst, const AbstractValue &ptr,
+                     AbsState &st, bool viaRealloc);
+
+    // --- Branch refinement -----------------------------------------------
+
+    const Instruction *resolveCondChain(const Value *cond,
+                                        bool &polarity) const;
+    bool applyRefinement(AbsState &st, const Instruction &cmp, bool truth);
+    void writeRefinedInt(AbsState &st, const Value *v,
+                         const Interval &refined);
+    void writeRefinedPointer(AbsState &st, const Value *v,
+                             const AbstractValue &refined);
+
+    // --- Findings --------------------------------------------------------
+
+    void emitFinding(const Instruction &inst, ErrorKind kind,
+                     AccessKind access, StorageKind storage,
+                     BoundsDirection direction, bool definite,
+                     const std::string &detail,
+                     const std::string &pathCondition,
+                     std::optional<int64_t> offset = std::nullopt,
+                     std::optional<int64_t> objectSize = std::nullopt);
+    std::string describeObject(unsigned obj) const;
+
+    // --- Fixpoint driver -------------------------------------------------
+
+    void joinInto(unsigned block, const AbsState &state);
+
+    const Module &module_;
+    const Function &fn_;
+    const AnalysisOptions &options_;
+    Cfg cfg_;
+
+    std::vector<ObjectInfo> objInfo_;
+    std::map<const GlobalVariable *, unsigned> globalObj_;
+    std::map<const Instruction *, unsigned> siteObj_;
+
+    std::vector<std::optional<AbsState>> blockIn_;
+    std::vector<unsigned> visits_;
+    std::set<std::pair<int, unsigned>> worklist_; ///< (rpoIndex, block)
+    bool abandoned_ = false;
+
+    /// Set during the final pass: emitFinding records candidates.
+    bool collect_ = false;
+    std::vector<StaticFinding> *out_ = nullptr;
+    /// Index of the instruction currently transferred within its block.
+    unsigned curInstIndex_ = 0;
+    /// Dedupe of (block, inst, kind) during the collect pass.
+    std::map<std::tuple<unsigned, unsigned, int>, size_t> emitted_;
+
+    /// Load provenance per frame slot; valid within one block transfer.
+    std::vector<Origin> origins_;
+};
+
+// --- Object enumeration --------------------------------------------------
+
+void
+FunctionAnalyzer::enumerateObjects()
+{
+    for (const auto &g : module_.globals()) {
+        unsigned id = static_cast<unsigned>(objInfo_.size());
+        globalObj_[g.get()] = id;
+        ObjectInfo info;
+        info.storage = StorageKind::global;
+        info.size = Interval::of(
+            static_cast<int64_t>(g->valueType()->size()));
+        info.name = g->name();
+        info.isConst = g->isConst();
+        objInfo_.push_back(std::move(info));
+    }
+    for (const auto &bb : fn_.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Opcode::alloca_) {
+                unsigned id = static_cast<unsigned>(objInfo_.size());
+                siteObj_[inst.get()] = id;
+                ObjectInfo info;
+                info.storage = StorageKind::stack;
+                info.size = Interval::of(
+                    static_cast<int64_t>(inst->accessType()->size()));
+                info.name = inst->name().empty()
+                    ? "stack@" + bb->name()
+                    : inst->name();
+                objInfo_.push_back(std::move(info));
+            } else if (inst->op() == Opcode::call &&
+                       !inst->operands().empty()) {
+                const auto *callee =
+                    dynamic_cast<const Function *>(inst->operand(0));
+                if (callee == nullptr || !callee->isIntrinsic())
+                    continue;
+                const std::string &name = callee->name();
+                if (name != "malloc" && name != "calloc" && name != "realloc")
+                    continue;
+                unsigned id = static_cast<unsigned>(objInfo_.size());
+                siteObj_[inst.get()] = id;
+                ObjectInfo info;
+                info.storage = StorageKind::heap;
+                info.size = Interval::empty(); ///< joined at the site
+                info.name = name + "@" + bb->name();
+                objInfo_.push_back(std::move(info));
+            }
+        }
+    }
+    computeMultiInstance();
+}
+
+void
+FunctionAnalyzer::computeMultiInstance()
+{
+    size_t n = cfg_.numBlocks();
+    // selfReach[b]: b lies on a CFG cycle (reaches itself).
+    std::vector<bool> selfReach(n, false);
+    for (unsigned b = 0; b < n; b++) {
+        if (!cfg_.reachable(b))
+            continue;
+        std::vector<bool> seen(n, false);
+        std::vector<unsigned> stack(cfg_.succs(b));
+        bool found = false;
+        while (!stack.empty() && !found) {
+            unsigned cur = stack.back();
+            stack.pop_back();
+            if (cur == b) {
+                found = true;
+                break;
+            }
+            if (seen[cur])
+                continue;
+            seen[cur] = true;
+            for (unsigned s : cfg_.succs(cur))
+                stack.push_back(s);
+        }
+        selfReach[b] = found;
+    }
+    for (const auto &[inst, id] : siteObj_)
+        objInfo_[id].multiInstance = selfReach[inst->parent()->index()];
+}
+
+// --- Entry state ---------------------------------------------------------
+
+bool
+FunctionAnalyzer::expandInit(ObjState &state, const Type *type,
+                             const Initializer &init, int64_t off) const
+{
+    if (state.contents.size() > 4096)
+        return false;
+    switch (init.kind) {
+      case Initializer::Kind::zero:
+        return true; // dflt zero covers it
+      case Initializer::Kind::intVal: {
+        MemEntry e;
+        e.width = static_cast<uint8_t>(type->size());
+        if (type->isInteger()) {
+            Interval v = intervalWrap(Interval::of(init.intValue),
+                                      type->intBits());
+            e.val = AbstractValue::ofInterval(v);
+        } else if (type->isPointer()) {
+            // e.g. a pointer global initialized to 0.
+            e.val = init.intValue == 0 ? AbstractValue::nullPointer()
+                                       : AbstractValue::unknownPointer();
+        } else {
+            e.val = typedTop(type);
+        }
+        state.contents[off] = e;
+        return true;
+      }
+      case Initializer::Kind::fpVal: {
+        MemEntry e;
+        e.width = static_cast<uint8_t>(type->size());
+        e.val = AbstractValue::anyFloat();
+        state.contents[off] = e;
+        return true;
+      }
+      case Initializer::Kind::bytes: {
+        for (size_t i = 0; i < init.bytes.size(); i++) {
+            if (state.contents.size() > 4096)
+                return false;
+            int8_t b = static_cast<int8_t>(init.bytes[i]);
+            if (b == 0)
+                continue; // dflt zero covers it
+            MemEntry e;
+            e.width = 1;
+            e.val = AbstractValue::ofInt(b);
+            state.contents[off + static_cast<int64_t>(i)] = e;
+        }
+        return true;
+      }
+      case Initializer::Kind::array: {
+        const Type *elem = type->elemType();
+        int64_t esize = static_cast<int64_t>(elem->size());
+        for (size_t i = 0; i < init.elems.size(); i++) {
+            if (!expandInit(state, elem, init.elems[i],
+                            off + static_cast<int64_t>(i) * esize))
+                return false;
+        }
+        return true;
+      }
+      case Initializer::Kind::structVal: {
+        const auto &fields = type->fields();
+        for (size_t i = 0; i < init.elems.size() && i < fields.size(); i++) {
+            if (!expandInit(state, fields[i].type, init.elems[i],
+                            off + static_cast<int64_t>(fields[i].offset)))
+                return false;
+        }
+        return true;
+      }
+      case Initializer::Kind::globalRef: {
+        MemEntry e;
+        e.width = 8;
+        auto it = globalObj_.find(init.global);
+        e.val = it != globalObj_.end()
+            ? AbstractValue::pointerTo(it->second, Interval::of(init.addend))
+            : AbstractValue::unknownPointer();
+        state.contents[off] = e;
+        return true;
+      }
+      case Initializer::Kind::functionRef: {
+        MemEntry e;
+        e.width = 8;
+        AbstractValue fp;
+        fp.kind = AbstractValue::Kind::pointer;
+        fp.canBeUnknown = true;
+        e.val = fp;
+        state.contents[off] = e;
+        return true;
+      }
+    }
+    return true;
+}
+
+void
+FunctionAnalyzer::seedGlobalContents(ObjState &state,
+                                     const GlobalVariable &g) const
+{
+    state.dflt = ContentsDefault::zero;
+    if (!expandInit(state, g.valueType(), g.init(), 0)) {
+        state.contents.clear();
+        state.dflt = ContentsDefault::unknown;
+    }
+}
+
+AbsState
+FunctionAnalyzer::entryState() const
+{
+    AbsState st;
+    st.slots.assign(fn_.numSlots(), AbstractValue::top());
+    bool isMain = fn_.name() == "main";
+    for (const auto &arg : fn_.args()) {
+        AbstractValue v = typedTop(arg->type());
+        if (isMain && arg->index() == 0 && arg->type()->isInteger()) {
+            // argc >= 1 (argv[0] is the program name).
+            v = AbstractValue::ofInterval(
+                Interval::range(1, INT32_MAX));
+        } else if (isMain && arg->index() == 1) {
+            // argv itself is never null.
+            v.canBeNull = false;
+        }
+        st.slots[arg->index()] = v;
+    }
+    st.objects.resize(objInfo_.size());
+    for (const auto &g : module_.globals()) {
+        unsigned id = globalObj_.at(g.get());
+        ObjState &obj = st.objects[id];
+        if (g->isConst() || isMain) {
+            seedGlobalContents(obj, *g);
+        } else {
+            // A helper can observe any global state its callers created.
+            obj.dflt = ContentsDefault::unknown;
+        }
+    }
+    // Local allocation sites start live/uninit; no pointer can reach
+    // them before their site executes.
+    return st;
+}
+
+// --- Values --------------------------------------------------------------
+
+AbstractValue
+FunctionAnalyzer::evalValue(const Value *v, const AbsState &st) const
+{
+    switch (v->valueKind()) {
+      case ValueKind::argument:
+        return st.slots[static_cast<const Argument *>(v)->index()];
+      case ValueKind::instruction: {
+        int slot = static_cast<const Instruction *>(v)->slot();
+        return slot >= 0 ? st.slots[slot] : AbstractValue::top();
+      }
+      case ValueKind::constantInt:
+        return AbstractValue::ofInt(
+            static_cast<const ConstantInt *>(v)->value());
+      case ValueKind::constantFP:
+        return AbstractValue::anyFloat();
+      case ValueKind::constantNull:
+        return AbstractValue::nullPointer();
+      case ValueKind::global: {
+        auto it = globalObj_.find(static_cast<const GlobalVariable *>(v));
+        if (it == globalObj_.end())
+            return AbstractValue::unknownPointer();
+        return AbstractValue::pointerTo(it->second);
+      }
+      case ValueKind::function: {
+        AbstractValue fp;
+        fp.kind = AbstractValue::Kind::pointer;
+        fp.canBeUnknown = true; ///< non-null, unknown provenance
+        return fp;
+      }
+    }
+    return AbstractValue::top();
+}
+
+void
+FunctionAnalyzer::setSlot(AbsState &st, const Instruction &inst,
+                          const AbstractValue &val)
+{
+    if (inst.slot() >= 0)
+        st.slots[inst.slot()] = val;
+}
+
+// --- Memory --------------------------------------------------------------
+
+void
+FunctionAnalyzer::markPointerEntriesEscaped(const MemEntry &entry,
+                                            AbsState &st)
+{
+    if (entry.val.kind != AbstractValue::Kind::pointer)
+        return;
+    for (const PointerTarget &t : entry.val.targets)
+        st.objects[t.obj].escaped = true;
+}
+
+void
+FunctionAnalyzer::eraseOverlap(ObjState &obj, int64_t off, unsigned width,
+                               AbsState &st)
+{
+    auto it = obj.contents.lower_bound(off - 8);
+    while (it != obj.contents.end() &&
+           it->first < off + static_cast<int64_t>(width)) {
+        if (bytesOverlap(it->first, it->second.width, off, width)) {
+            markPointerEntriesEscaped(it->second, st);
+            it = obj.contents.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+/**
+ * Reads `width` bytes at t.offset of t.obj. Emits UAF / bounds / uninit
+ * candidates (when collecting) and sets @p possibilityFaults when this
+ * possibility faults on every concrete instance it describes.
+ */
+AbstractValue
+FunctionAnalyzer::readTarget(const Instruction &inst, const PointerTarget &t,
+                             unsigned width, const Type *readType,
+                             AbsState &st, bool &possibilityFaults)
+{
+    const ObjectInfo &info = objInfo_[t.obj];
+    ObjState &obj = st.objects[t.obj];
+    AccessKind access = AccessKind::read;
+
+    std::string where = describeObject(t.obj);
+    std::string pathCond = "offset " + t.offset.toString() + " of " + where;
+
+    // Temporal first, like the dynamic engine.
+    if (obj.live == ObjState::Liveness::freed) {
+        bool definite = !info.multiInstance;
+        emitFinding(inst, ErrorKind::useAfterFree, access, info.storage,
+                    BoundsDirection::unknown, definite,
+                    std::to_string(width) + "-byte read of freed " + where,
+                    pathCond,
+                    t.offset.isSingleton()
+                        ? std::optional<int64_t>(t.offset.lo)
+                        : std::nullopt,
+                    info.size.isSingleton()
+                        ? std::optional<int64_t>(info.size.lo)
+                        : std::nullopt);
+        possibilityFaults = true;
+        return AbstractValue::top();
+    }
+    if (obj.live == ObjState::Liveness::maybeFreed) {
+        emitFinding(inst, ErrorKind::useAfterFree, access, info.storage,
+                    BoundsDirection::unknown, false,
+                    std::to_string(width) + "-byte read of possibly freed " +
+                        where,
+                    pathCond);
+    }
+
+    // Bounds: fault iff off < 0 || off + width > size.
+    const Interval &off = t.offset;
+    const Interval &size = info.size;
+    int64_t w = static_cast<int64_t>(width);
+    bool mustOob = !off.isEmpty() && !size.isEmpty() &&
+        (off.hi < 0 || off.lo > size.hi - w);
+    bool mayOob = !off.isEmpty() &&
+        (off.lo < 0 || size.isEmpty() || off.hi > size.lo - w);
+    if (mustOob || mayOob) {
+        BoundsDirection dir = BoundsDirection::unknown;
+        bool under = off.lo < 0;
+        bool over = size.isEmpty() || off.hi > size.lo - w;
+        if (under && !over)
+            dir = BoundsDirection::underflow;
+        else if (over && !under)
+            dir = BoundsDirection::overflow;
+        emitFinding(inst, ErrorKind::outOfBounds, access, info.storage, dir,
+                    mustOob,
+                    std::to_string(width) + "-byte read at offset " +
+                        off.toString() + " of " + where,
+                    pathCond,
+                    off.isSingleton() ? std::optional<int64_t>(off.lo)
+                                      : std::nullopt,
+                    size.isSingleton() ? std::optional<int64_t>(size.lo)
+                                       : std::nullopt);
+        if (mustOob) {
+            possibilityFaults = true;
+            return AbstractValue::top();
+        }
+    }
+
+    // Contents. Track uninitialized bytes for stack and heap storage
+    // (globals and argv are zero-backed in the managed engine).
+    bool tracked = info.storage == StorageKind::stack ||
+        info.storage == StorageKind::heap;
+    if (off.isSingleton()) {
+        int64_t k = off.lo;
+        auto it = obj.contents.find(k);
+        if (it != obj.contents.end() && it->second.width == width) {
+            if (tracked && it->second.mayBeUninit) {
+                emitFinding(inst, ErrorKind::uninitRead, access, info.storage,
+                            BoundsDirection::unknown, false,
+                            std::to_string(width) +
+                                "-byte read of possibly uninitialized bytes"
+                                " at offset " + std::to_string(k) + " of " +
+                                where,
+                            pathCond);
+            }
+            if (inst.op() == Opcode::load && inst.slot() >= 0) {
+                origins_[inst.slot()] = {static_cast<int>(t.obj), k,
+                                         static_cast<uint8_t>(width),
+                                         it->second.version};
+            }
+            return it->second.val;
+        }
+        if (anyOverlap(obj.contents, k, width)) {
+            // Partially covered: value unknown; uninit at most maybe.
+            bool maybeUninit = tracked &&
+                (defaultMayBeUninit(obj.dflt) ||
+                 [&] {
+                     auto o = obj.contents.lower_bound(k - 8);
+                     for (; o != obj.contents.end() &&
+                          o->first < k + static_cast<int64_t>(width);
+                          ++o) {
+                         if (bytesOverlap(o->first, o->second.width, k,
+                                          width) &&
+                             o->second.mayBeUninit)
+                             return true;
+                     }
+                     return false;
+                 }());
+            if (maybeUninit) {
+                emitFinding(inst, ErrorKind::uninitRead, access, info.storage,
+                            BoundsDirection::unknown, false,
+                            std::to_string(width) +
+                                "-byte read of possibly uninitialized bytes"
+                                " at offset " + std::to_string(k) + " of " +
+                                where,
+                            pathCond);
+            }
+            return typedTop(readType);
+        }
+        // No entry: fall back to the default.
+        switch (obj.dflt) {
+          case ContentsDefault::uninit:
+            if (tracked && !obj.weaklyWritten && !obj.escaped) {
+                bool definite = !info.multiInstance;
+                emitFinding(inst, ErrorKind::uninitRead, access, info.storage,
+                            BoundsDirection::unknown, definite,
+                            std::to_string(width) +
+                                "-byte read of uninitialized bytes at"
+                                " offset " + std::to_string(k) + " of " +
+                                where,
+                            pathCond,
+                            k,
+                            size.isSingleton()
+                                ? std::optional<int64_t>(size.lo)
+                                : std::nullopt);
+                if (definite) {
+                    possibilityFaults = true;
+                    return AbstractValue::top();
+                }
+            } else if (tracked) {
+                emitFinding(inst, ErrorKind::uninitRead, access, info.storage,
+                            BoundsDirection::unknown, false,
+                            std::to_string(width) +
+                                "-byte read of possibly uninitialized bytes"
+                                " at offset " + std::to_string(k) + " of " +
+                                where,
+                            pathCond);
+            }
+            return typedTop(readType);
+          case ContentsDefault::maybeUninit:
+            if (tracked) {
+                emitFinding(inst, ErrorKind::uninitRead, access, info.storage,
+                            BoundsDirection::unknown, false,
+                            std::to_string(width) +
+                                "-byte read of possibly uninitialized bytes"
+                                " at offset " + std::to_string(k) + " of " +
+                                where,
+                            pathCond);
+            }
+            return typedTop(readType);
+          case ContentsDefault::zero: {
+            // Materialize an entry so branch refinement can write back.
+            MemEntry e;
+            e.width = static_cast<uint8_t>(width);
+            e.val = typedZero(readType);
+            e.version = freshVersion();
+            auto [slotIt, unused] = obj.contents.emplace(k, e);
+            (void)unused;
+            if (inst.op() == Opcode::load && inst.slot() >= 0) {
+                origins_[inst.slot()] = {static_cast<int>(t.obj), k,
+                                         static_cast<uint8_t>(width),
+                                         slotIt->second.version};
+            }
+            return slotIt->second.val;
+          }
+          case ContentsDefault::unknown:
+            return typedTop(readType);
+        }
+        return typedTop(readType);
+    }
+
+    // Non-singleton offset: value unknown; uninit reasoning over the
+    // whole object.
+    if (tracked) {
+        bool allUninit = obj.dflt == ContentsDefault::uninit &&
+            obj.contents.empty() && !obj.weaklyWritten && !obj.escaped &&
+            !info.multiInstance;
+        bool someUninit = defaultMayBeUninit(obj.dflt) ||
+            std::any_of(obj.contents.begin(), obj.contents.end(),
+                        [](const auto &kv) {
+                            return kv.second.mayBeUninit;
+                        });
+        if (allUninit) {
+            emitFinding(inst, ErrorKind::uninitRead, access, info.storage,
+                        BoundsDirection::unknown, true,
+                        std::to_string(width) +
+                            "-byte read of entirely uninitialized " + where,
+                        pathCond);
+            possibilityFaults = true;
+            return AbstractValue::top();
+        }
+        if (someUninit) {
+            emitFinding(inst, ErrorKind::uninitRead, access, info.storage,
+                        BoundsDirection::unknown, false,
+                        std::to_string(width) +
+                            "-byte read of possibly uninitialized bytes of " +
+                            where,
+                        pathCond);
+        }
+    }
+    return typedTop(readType);
+}
+
+/**
+ * Checks one load/store. Enumerates the pointer's possibilities (null,
+ * unknown, each target), emits candidates, and decides whether every
+ * possibility faults (mustFault: the abstract path ends here).
+ *
+ * A finding is emitted as definite only when the possibility that
+ * produces it is the ONLY possibility (single target, no null, no
+ * unknown) — otherwise some concrete execution may take a non-faulting
+ * possibility and the claim degrades to maybe. emitFinding() applies
+ * that via the `definite` flag computed here.
+ */
+AccessOutcome
+FunctionAnalyzer::checkAccess(const Instruction &inst, AccessKind access,
+                              const AbstractValue &ptr, unsigned width,
+                              const Type *readType, AbsState &st)
+{
+    AccessOutcome out;
+    out.loaded = typedTop(readType);
+
+    if (ptr.kind != AbstractValue::Kind::pointer) {
+        // Not provably a pointer (joined kinds): no claims.
+        return out;
+    }
+
+    unsigned possibilities = (ptr.canBeNull ? 1 : 0) +
+        (ptr.canBeUnknown ? 1 : 0) +
+        static_cast<unsigned>(ptr.targets.size());
+    bool exclusive = possibilities == 1;
+
+    unsigned faulting = 0;
+    if (ptr.canBeNull) {
+        emitFinding(inst, ErrorKind::nullDeref, access, StorageKind::unknown,
+                    BoundsDirection::unknown, exclusive,
+                    std::to_string(width) + "-byte " +
+                        (access == AccessKind::write ? "write" : "read") +
+                        " through a NULL pointer",
+                    exclusive ? "pointer is null on every path"
+                              : "pointer may be null");
+        faulting++;
+    }
+
+    bool first = true;
+    for (const PointerTarget &t : ptr.targets) {
+        bool possibilityFaults = false;
+        AbstractValue v;
+        if (access == AccessKind::read) {
+            v = readTarget(inst, t, width, readType, st, possibilityFaults);
+        } else {
+            // Writes share the temporal/bounds logic via readTarget's
+            // checks; reuse it with the write access kind by inlining
+            // the same checks would duplicate code, so probe with a
+            // dedicated path below.
+            v = AbstractValue::top();
+            possibilityFaults = false;
+            const ObjectInfo &info = objInfo_[t.obj];
+            ObjState &obj = st.objects[t.obj];
+            std::string where = describeObject(t.obj);
+            std::string pathCond =
+                "offset " + t.offset.toString() + " of " + where;
+            if (obj.live == ObjState::Liveness::freed) {
+                emitFinding(inst, ErrorKind::useAfterFree, access,
+                            info.storage, BoundsDirection::unknown,
+                            exclusive && !info.multiInstance,
+                            std::to_string(width) + "-byte write to freed " +
+                                where,
+                            pathCond);
+                possibilityFaults = true;
+            } else {
+                if (obj.live == ObjState::Liveness::maybeFreed) {
+                    emitFinding(inst, ErrorKind::useAfterFree, access,
+                                info.storage, BoundsDirection::unknown, false,
+                                std::to_string(width) +
+                                    "-byte write to possibly freed " + where,
+                                pathCond);
+                }
+                const Interval &off = t.offset;
+                const Interval &size = info.size;
+                int64_t w = static_cast<int64_t>(width);
+                bool mustOob = !off.isEmpty() && !size.isEmpty() &&
+                    (off.hi < 0 || off.lo > size.hi - w);
+                bool mayOob = !off.isEmpty() &&
+                    (off.lo < 0 || size.isEmpty() || off.hi > size.lo - w);
+                if (mustOob || mayOob) {
+                    BoundsDirection dir = BoundsDirection::unknown;
+                    bool under = off.lo < 0;
+                    bool over = size.isEmpty() || off.hi > size.lo - w;
+                    if (under && !over)
+                        dir = BoundsDirection::underflow;
+                    else if (over && !under)
+                        dir = BoundsDirection::overflow;
+                    emitFinding(inst, ErrorKind::outOfBounds, access,
+                                info.storage, dir, mustOob && exclusive,
+                                std::to_string(width) +
+                                    "-byte write at offset " +
+                                    off.toString() + " of " + where,
+                                pathCond,
+                                off.isSingleton()
+                                    ? std::optional<int64_t>(off.lo)
+                                    : std::nullopt,
+                                size.isSingleton()
+                                    ? std::optional<int64_t>(size.lo)
+                                    : std::nullopt);
+                    if (mustOob)
+                        possibilityFaults = true;
+                }
+            }
+        }
+        if (possibilityFaults)
+            faulting++;
+        else if (access == AccessKind::read) {
+            out.loaded = first ? v : joinValues(out.loaded, v);
+            first = false;
+        }
+    }
+    if (access == AccessKind::read && first && !ptr.canBeUnknown &&
+        possibilities > 0) {
+        // Every enumerated possibility faulted; loaded value is moot.
+        out.loaded = AbstractValue::top();
+    }
+
+    out.mustFault = !ptr.canBeUnknown && possibilities > 0 &&
+        faulting == possibilities;
+    return out;
+}
+
+void
+FunctionAnalyzer::writeTarget(const PointerTarget &t, unsigned width,
+                              const AbstractValue &val, bool strong,
+                              AbsState &st)
+{
+    ObjState &obj = st.objects[t.obj];
+    if (obj.live == ObjState::Liveness::freed)
+        return;
+    if (t.offset.isSingleton()) {
+        int64_t k = t.offset.lo;
+        if (strong) {
+            eraseOverlap(obj, k, width, st);
+            MemEntry e;
+            e.width = static_cast<uint8_t>(width);
+            e.val = val;
+            e.version = freshVersion();
+            obj.contents[k] = e;
+            return;
+        }
+        // Weak update at a known offset.
+        auto it = obj.contents.find(k);
+        if (it != obj.contents.end() && it->second.width == width) {
+            it->second.val = joinValues(it->second.val, val);
+            it->second.version = freshVersion();
+            return;
+        }
+        bool tracked = objInfo_[t.obj].storage == StorageKind::stack ||
+            objInfo_[t.obj].storage == StorageKind::heap;
+        bool hadOverlap = anyOverlap(obj.contents, k, width);
+        bool wasUninit = !hadOverlap && defaultMayBeUninit(obj.dflt) &&
+            tracked;
+        eraseOverlap(obj, k, width, st);
+        MemEntry e;
+        e.width = static_cast<uint8_t>(width);
+        // Other instances/paths may retain the old bytes: a known value
+        // only survives when the old bytes were a known default.
+        if (hadOverlap)
+            e.val = AbstractValue::top();
+        else if (obj.dflt == ContentsDefault::zero)
+            e.val = joinValues(val, zeroOfKind(val));
+        else if (obj.dflt == ContentsDefault::uninit)
+            e.val = val; ///< either uninit (flagged) or this value
+        else
+            e.val = AbstractValue::top();
+        e.mayBeUninit = wasUninit;
+        e.version = freshVersion();
+        obj.contents[k] = e;
+        obj.weaklyWritten = true;
+        return;
+    }
+    // Unknown offset: clobber the overlap range.
+    if (t.offset.isTop() || t.offset.isEmpty()) {
+        for (auto &[off, entry] : obj.contents)
+            markPointerEntriesEscaped(entry, st);
+        obj.contents.clear();
+    } else {
+        int64_t lo = t.offset.lo;
+        int64_t hi = t.offset.hi;
+        // hi + width is bounded: offsets beyond the object fault anyway.
+        eraseOverlap(obj, lo,
+                     static_cast<unsigned>(
+                         std::min<int64_t>(hi - lo + width, 1 << 20)),
+                     st);
+    }
+    obj.weaklyWritten = true;
+    if (obj.dflt == ContentsDefault::zero ||
+        obj.dflt == ContentsDefault::uninit)
+        obj.dflt = obj.dflt == ContentsDefault::uninit
+            ? ContentsDefault::maybeUninit
+            : ContentsDefault::unknown;
+}
+
+// --- Calls ---------------------------------------------------------------
+
+void
+FunctionAnalyzer::havocObject(unsigned obj, AbsState &st, bool escape)
+{
+    if (objInfo_[obj].isConst)
+        return;
+    ObjState &o = st.objects[obj];
+    for (auto &[off, entry] : o.contents)
+        markPointerEntriesEscaped(entry, st);
+    o.contents.clear();
+    o.dflt = defaultMayBeUninit(o.dflt) ? ContentsDefault::maybeUninit
+                                        : ContentsDefault::unknown;
+    o.weaklyWritten = true;
+    if (escape)
+        o.escaped = true;
+}
+
+/**
+ * Transfer of a call whose effects we cannot model: clobber everything
+ * reachable from the arguments, the non-const globals and previously
+ * escaped objects. Liveness is deliberately never touched — the
+ * documented unsoundness is that callees are assumed not to free their
+ * arguments (DESIGN.md).
+ */
+void
+FunctionAnalyzer::havocUnknownCall(const Instruction &inst, AbsState &st)
+{
+    std::vector<unsigned> work;
+    std::vector<bool> seen(objInfo_.size(), false);
+    auto seed = [&](unsigned obj) {
+        if (!seen[obj]) {
+            seen[obj] = true;
+            work.push_back(obj);
+        }
+    };
+    for (size_t i = 1; i < inst.operands().size(); i++) {
+        AbstractValue v = evalValue(inst.operand(i), st);
+        if (v.kind == AbstractValue::Kind::pointer)
+            for (const PointerTarget &t : v.targets)
+                seed(t.obj);
+    }
+    for (const auto &[g, id] : globalObj_)
+        if (!g->isConst())
+            seed(id);
+    for (unsigned i = 0; i < st.objects.size(); i++)
+        if (st.objects[i].escaped)
+            seed(i);
+    while (!work.empty()) {
+        unsigned obj = work.back();
+        work.pop_back();
+        // Walk pointers stored inside before clobbering.
+        for (const auto &[off, entry] : st.objects[obj].contents)
+            if (entry.val.kind == AbstractValue::Kind::pointer)
+                for (const PointerTarget &t : entry.val.targets)
+                    seed(t.obj);
+        havocObject(obj, st, /*escape=*/true);
+    }
+}
+
+void
+FunctionAnalyzer::freePointer(const Instruction &inst,
+                              const AbstractValue &ptr, AbsState &st,
+                              bool viaRealloc)
+{
+    if (ptr.kind != AbstractValue::Kind::pointer)
+        return;
+    // free(NULL) is a no-op; it contributes a non-faulting possibility.
+    unsigned possibilities = (ptr.canBeNull ? 1 : 0) +
+        (ptr.canBeUnknown ? 1 : 0) +
+        static_cast<unsigned>(ptr.targets.size());
+    bool exclusive = possibilities == 1;
+    const char *what = viaRealloc ? "realloc" : "free";
+
+    for (const PointerTarget &t : ptr.targets) {
+        const ObjectInfo &info = objInfo_[t.obj];
+        ObjState &obj = st.objects[t.obj];
+        std::string where = describeObject(t.obj);
+        std::string pathCond = "offset " + t.offset.toString() + " of " +
+            where;
+        if (info.storage != StorageKind::heap) {
+            emitFinding(inst, ErrorKind::invalidFree, AccessKind::free,
+                        info.storage, BoundsDirection::unknown, exclusive,
+                        std::string(what) + "() of non-heap " + where,
+                        pathCond);
+            continue;
+        }
+        // The managed heap checks the interior-pointer case before the
+        // freed case, and reports realloc() of a freed block as a
+        // use-after-free rather than a double free; mirror both so the
+        // replay and the dynamic oracle confirm the same kind.
+        if (!t.offset.contains(0)) {
+            emitFinding(inst, ErrorKind::invalidFree, AccessKind::free,
+                        info.storage, BoundsDirection::unknown, exclusive,
+                        std::string(what) + "() of interior pointer (offset " +
+                            t.offset.toString() + ") into " + where,
+                        pathCond);
+            continue;
+        }
+        ErrorKind freedKind = viaRealloc ? ErrorKind::useAfterFree
+                                         : ErrorKind::doubleFree;
+        if (obj.live == ObjState::Liveness::freed) {
+            emitFinding(inst, freedKind, AccessKind::free, info.storage,
+                        BoundsDirection::unknown,
+                        exclusive && !info.multiInstance &&
+                            t.offset.isSingleton(),
+                        std::string(what) + "() of already freed " + where,
+                        pathCond);
+            continue;
+        }
+        if (obj.live == ObjState::Liveness::maybeFreed) {
+            emitFinding(inst, freedKind, AccessKind::free, info.storage,
+                        BoundsDirection::unknown, false,
+                        std::string(what) + "() of possibly freed " + where,
+                        pathCond);
+        }
+        if (!t.offset.isSingleton() || t.offset.lo != 0) {
+            emitFinding(inst, ErrorKind::invalidFree, AccessKind::free,
+                        info.storage, BoundsDirection::unknown, false,
+                        std::string(what) +
+                            "() of possibly interior pointer into " + where,
+                        pathCond);
+        }
+        bool strong = exclusive && t.offset.isSingleton() &&
+            t.offset.lo == 0 && !info.multiInstance &&
+            obj.live == ObjState::Liveness::live;
+        obj.live = strong ? ObjState::Liveness::freed
+                          : ObjState::Liveness::maybeFreed;
+    }
+}
+
+void
+FunctionAnalyzer::transferIntrinsic(const Instruction &inst,
+                                    const Function &callee, AbsState &st,
+                                    bool &stop)
+{
+    const std::string &name = callee.name();
+    auto argVal = [&](size_t i) {
+        return i + 1 < inst.operands().size()
+            ? evalValue(inst.operand(i + 1), st)
+            : AbstractValue::top();
+    };
+    auto argInterval = [&](size_t i) {
+        AbstractValue v = argVal(i);
+        return v.isInt() ? v.ival : Interval::top();
+    };
+    auto freshAllocation = [&](ContentsDefault dflt, const Interval &size) {
+        auto it = siteObj_.find(&inst);
+        if (it == siteObj_.end()) {
+            setSlot(st, inst, AbstractValue::unknownPointer());
+            return;
+        }
+        unsigned id = it->second;
+        objInfo_[id].size = objInfo_[id].size.join(size);
+        ObjState fresh;
+        fresh.dflt = dflt;
+        if (objInfo_[id].multiInstance) {
+            // The site object summarizes many instances: keep the old
+            // ones in the summary.
+            mergeObjInto(st.objects[id], fresh, /*widen=*/false);
+            st.objects[id].live =
+                joinLiveness(st.objects[id].live, ObjState::Liveness::live);
+        } else {
+            st.objects[id] = fresh;
+        }
+        setSlot(st, inst, AbstractValue::pointerTo(id));
+    };
+
+    if (name == "malloc") {
+        freshAllocation(ContentsDefault::uninit, argInterval(0));
+    } else if (name == "calloc") {
+        freshAllocation(ContentsDefault::zero,
+                        intervalMul(argInterval(0), argInterval(1)));
+    } else if (name == "realloc") {
+        AbstractValue old = argVal(0);
+        Interval newSize = argInterval(1);
+        // realloc(NULL, n) is malloc(n); otherwise the old object is
+        // freed and its prefix copied.
+        freePointer(inst, old, st, /*viaRealloc=*/true);
+        auto it = siteObj_.find(&inst);
+        if (it != siteObj_.end()) {
+            unsigned id = it->second;
+            objInfo_[id].size = objInfo_[id].size.join(newSize);
+            ObjState fresh;
+            // The copied prefix is old contents; the tail is zero-backed
+            // in the managed engine and marked initialized.
+            fresh.dflt = ContentsDefault::unknown;
+            if (old.targets.size() == 1 && !old.canBeUnknown &&
+                !old.canBeNull && old.targets[0].offset.isSingleton() &&
+                old.targets[0].offset.lo == 0) {
+                const ObjState &src = st.objects[old.targets[0].obj];
+                fresh.contents = src.contents;
+                for (auto &[off, entry] : fresh.contents) {
+                    if (entry.mayBeUninit) {
+                        entry.val = joinValues(entry.val,
+                                               zeroOfKind(entry.val));
+                        entry.mayBeUninit = false;
+                    }
+                    entry.version = freshVersion();
+                }
+                fresh.dflt = src.dflt == ContentsDefault::uninit ||
+                        src.dflt == ContentsDefault::maybeUninit ||
+                        src.dflt == ContentsDefault::zero
+                    ? ContentsDefault::zero
+                    : ContentsDefault::unknown;
+                fresh.weaklyWritten = src.weaklyWritten;
+            }
+            if (old.canBeNull && fresh.dflt == ContentsDefault::unknown &&
+                old.targets.empty())
+                fresh.dflt = ContentsDefault::zero; // pure malloc path
+            if (objInfo_[id].multiInstance) {
+                mergeObjInto(st.objects[id], fresh, false);
+                st.objects[id].live = joinLiveness(
+                    st.objects[id].live, ObjState::Liveness::live);
+            } else {
+                st.objects[id] = fresh;
+            }
+            setSlot(st, inst, AbstractValue::pointerTo(id));
+        } else {
+            setSlot(st, inst, AbstractValue::unknownPointer());
+        }
+    } else if (name == "free") {
+        freePointer(inst, argVal(0), st, false);
+    } else if (name == "__sys_exit") {
+        stop = true;
+    } else if (name == "__sys_write") {
+        AbstractValue buf = argVal(1);
+        Interval len = argInterval(2);
+        if (buf.kind == AbstractValue::Kind::pointer && len.lo > 0) {
+            if (buf.isMustNull()) {
+                emitFinding(inst, ErrorKind::nullDeref, AccessKind::read,
+                            StorageKind::unknown, BoundsDirection::unknown,
+                            true, "write() from a NULL buffer",
+                            "buffer is null, length > 0");
+                stop = true;
+            } else if (buf.canBeNull) {
+                emitFinding(inst, ErrorKind::nullDeref, AccessKind::read,
+                            StorageKind::unknown, BoundsDirection::unknown,
+                            false, "write() from a possibly NULL buffer",
+                            "buffer may be null");
+            }
+            // Spatial checks on the buffered read: maybe-tier only (the
+            // replay confirms concrete cases).
+            for (const PointerTarget &t : buf.targets) {
+                const ObjectInfo &info = objInfo_[t.obj];
+                if (!info.size.isEmpty() && !t.offset.isEmpty() &&
+                    (t.offset.lo < 0 ||
+                     t.offset.hi > info.size.lo - len.lo)) {
+                    emitFinding(inst, ErrorKind::outOfBounds,
+                                AccessKind::read, info.storage,
+                                BoundsDirection::unknown, false,
+                                "write() of " + len.toString() +
+                                    " bytes may overrun " +
+                                    describeObject(t.obj),
+                                "offset " + t.offset.toString());
+                }
+            }
+        }
+        setSlot(st, inst, AbstractValue::ofInterval(
+                              Interval::range(-1, INT32_MAX)));
+    } else if (name == "__sys_getchar") {
+        setSlot(st, inst, AbstractValue::ofInterval(Interval::range(-1, 255)));
+    } else if (name == "__sys_alloc_size") {
+        AbstractValue p = argVal(0);
+        if (p.kind == AbstractValue::Kind::pointer && p.isMustNull()) {
+            setSlot(st, inst, AbstractValue::ofInt(0));
+        } else if (p.kind == AbstractValue::Kind::pointer &&
+                   p.targets.size() == 1 && !p.canBeNull &&
+                   !p.canBeUnknown &&
+                   objInfo_[p.targets[0].obj].size.isSingleton()) {
+            setSlot(st, inst, AbstractValue::ofInterval(
+                                  objInfo_[p.targets[0].obj].size));
+        } else {
+            setSlot(st, inst, AbstractValue::ofInterval(
+                                  Interval::range(0, INT64_MAX)));
+        }
+    } else if (name == "__va_start" || name == "__va_arg_ptr") {
+        // Varargs objects are not abstracted; a missing-argument
+        // access is only found by the replay.
+        setSlot(st, inst, AbstractValue::unknownPointer());
+    } else if (name == "__va_count") {
+        setSlot(st, inst, AbstractValue::ofInterval(
+                              Interval::range(0, INT32_MAX)));
+    } else if (name == "__va_end") {
+        // No effect.
+    } else {
+        // Math intrinsics et al.: pure, float result.
+        setSlot(st, inst, typedTop(inst.type()));
+    }
+}
+
+namespace
+{
+
+bool
+isReadOnlyLibc(const std::string &name)
+{
+    static const std::set<std::string> kReadOnly = {
+        // ctype
+        "isalpha", "isdigit", "isalnum", "isspace", "isupper", "islower",
+        "ispunct", "isprint", "isxdigit", "iscntrl", "isgraph", "toupper",
+        "tolower",
+        // string scanning
+        "strlen", "strcmp", "strncmp", "strchr", "strrchr", "strstr",
+        "strspn", "strcspn", "strpbrk", "memcmp", "memchr",
+        // conversions / math
+        "atoi", "atol", "atoll", "abs", "labs", "llabs",
+        // output (guest-visible writes go to the host io channel only)
+        "printf", "puts", "putchar", "fputs", "fputc", "fprintf",
+        // PRNG state is libc-private
+        "rand", "srand",
+        // input without guest-memory writes
+        "getchar", "getc", "fgetc",
+    };
+    return kReadOnly.count(name) > 0;
+}
+
+bool
+isDstWriteLibc(const std::string &name)
+{
+    static const std::set<std::string> kDstWrite = {
+        "strcpy", "strncpy", "strcat", "strncat", "memcpy", "memmove",
+        "memset", "sprintf", "snprintf",
+    };
+    return kDstWrite.count(name) > 0;
+}
+
+} // namespace
+
+/// strlen/memset concrete walks; returns false to fall through to the
+/// havoc fallbacks.
+bool
+FunctionAnalyzer::transferLibcSummary(const Instruction &inst,
+                                      const Function &callee, AbsState &st)
+{
+    const std::string &name = callee.name();
+    auto argVal = [&](size_t i) {
+        return i + 1 < inst.operands().size()
+            ? evalValue(inst.operand(i + 1), st)
+            : AbstractValue::top();
+    };
+    // A pointer we can walk concretely: one live target at a known
+    // non-negative offset of an object of known size.
+    auto concrete = [&](const AbstractValue &v, unsigned &obj,
+                        int64_t &off) {
+        if (v.kind != AbstractValue::Kind::pointer || v.canBeNull ||
+            v.canBeUnknown || v.targets.size() != 1 ||
+            !v.targets[0].offset.isSingleton() ||
+            v.targets[0].offset.lo < 0)
+            return false;
+        obj = v.targets[0].obj;
+        off = v.targets[0].offset.lo;
+        return st.objects[obj].live == ObjState::Liveness::live &&
+            objInfo_[obj].size.isSingleton();
+    };
+    auto knownByte = [&](unsigned obj, int64_t off, int64_t &out) {
+        const ObjState &o = st.objects[obj];
+        auto it = o.contents.find(off);
+        if (it != o.contents.end() && it->second.width == 1 &&
+            !it->second.mayBeUninit) {
+            return it->second.val.isConstInt(out);
+        }
+        if (it == o.contents.end() && !anyOverlap(o.contents, off, 1) &&
+            o.dflt == ContentsDefault::zero && !o.weaklyWritten &&
+            !o.escaped) {
+            out = 0;
+            return true;
+        }
+        return false;
+    };
+
+    if (name == "strlen") {
+        unsigned obj;
+        int64_t off;
+        if (!concrete(argVal(0), obj, off))
+            return false;
+        int64_t size = objInfo_[obj].size.lo;
+        for (int64_t i = 0; i < 4096; i++) {
+            if (off + i >= size) {
+                emitFinding(inst, ErrorKind::outOfBounds, AccessKind::read,
+                            objInfo_[obj].storage, BoundsDirection::overflow,
+                            false,
+                            "strlen() runs past the end of " +
+                                describeObject(obj) +
+                                " (no terminating NUL)",
+                            "scan from offset " + std::to_string(off),
+                            off + i, size);
+                setSlot(st, inst, AbstractValue::ofInterval(
+                                      Interval::range(0, INT64_MAX)));
+                return true;
+            }
+            int64_t b;
+            if (!knownByte(obj, off + i, b))
+                return false;
+            if (b == 0) {
+                setSlot(st, inst, AbstractValue::ofInt(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    if (name == "memset") {
+        unsigned obj;
+        int64_t off;
+        AbstractValue n = argVal(2);
+        AbstractValue c = argVal(1);
+        int64_t len, fill;
+        if (!concrete(argVal(0), obj, off) || !n.isConstInt(len) ||
+            !c.isConstInt(fill) || len < 0 || len > 4096)
+            return false;
+        int64_t size = objInfo_[obj].size.lo;
+        if (off + len > size) {
+            emitFinding(inst, ErrorKind::outOfBounds, AccessKind::write,
+                        objInfo_[obj].storage, BoundsDirection::overflow,
+                        false,
+                        "memset() of " + std::to_string(len) +
+                            " bytes overruns " + describeObject(obj),
+                        "start offset " + std::to_string(off), off, size);
+            return false; // fall through to the dst havoc
+        }
+        bool strong = !objInfo_[obj].multiInstance;
+        AbstractValue byte =
+            AbstractValue::ofInt(static_cast<int8_t>(fill));
+        PointerTarget t{obj, Interval::of(0)};
+        for (int64_t i = 0; i < len; i++) {
+            t.offset = Interval::of(off + i);
+            writeTarget(t, 1, byte, strong, st);
+        }
+        setSlot(st, inst, argVal(0));
+        return true;
+    }
+
+    return false;
+}
+
+void
+FunctionAnalyzer::transferCall(const Instruction &inst, AbsState &st,
+                               bool &stop)
+{
+    const auto *callee = inst.operands().empty()
+        ? nullptr
+        : dynamic_cast<const Function *>(inst.operand(0));
+    if (callee == nullptr) {
+        // Indirect call through a function pointer value.
+        havocUnknownCall(inst, st);
+        setSlot(st, inst, typedTop(inst.type()));
+        return;
+    }
+    if (callee->isIntrinsic()) {
+        transferIntrinsic(inst, *callee, st, stop);
+        return;
+    }
+    if (callee->isDeclaration()) {
+        // Unresolved external: the engines raise an engine-error, so no
+        // path continues past this call.
+        stop = true;
+        return;
+    }
+    const std::string &name = callee->name();
+    bool isLibc = callee->sourceFile().rfind("libc/", 0) == 0;
+    if (isLibc) {
+        if (name == "exit" || name == "abort" || name == "_exit") {
+            stop = true;
+            return;
+        }
+        if (isReadOnlyLibc(name)) {
+            setSlot(st, inst, typedTop(inst.type()));
+            return;
+        }
+        if (transferLibcSummary(inst, *callee, st))
+            return;
+        if (isDstWriteLibc(name)) {
+            // Only the destination buffer is written; it does not
+            // escape through these calls.
+            AbstractValue dst = inst.operands().size() > 1
+                ? evalValue(inst.operand(1), st)
+                : AbstractValue::top();
+            if (dst.kind == AbstractValue::Kind::pointer) {
+                for (const PointerTarget &t : dst.targets)
+                    havocObject(t.obj, st, /*escape=*/false);
+                setSlot(st, inst,
+                        inst.type() != nullptr && inst.type()->isPointer()
+                            ? dst
+                            : typedTop(inst.type()));
+                return;
+            }
+        }
+    }
+    havocUnknownCall(inst, st);
+    setSlot(st, inst, typedTop(inst.type()));
+}
+
+// --- Branch refinement ---------------------------------------------------
+
+/**
+ * Peels the codegen's `icmp ne/eq (zext (icmp ...)), 0` chains down to
+ * the innermost icmp. @p polarity starts as the branch truth and flips
+ * on every `eq ..., 0` layer.
+ */
+const Instruction *
+FunctionAnalyzer::resolveCondChain(const Value *cond, bool &polarity) const
+{
+    const auto *inst = dynamic_cast<const Instruction *>(cond);
+    while (inst != nullptr && inst->op() == Opcode::icmp) {
+        IntPred pred = inst->intPred();
+        if (pred != IntPred::eq && pred != IntPred::ne)
+            return inst;
+        const auto *rhs =
+            dynamic_cast<const ConstantInt *>(inst->operand(1));
+        if (rhs == nullptr || rhs->value() != 0 ||
+            !inst->operand(0)->type()->isInteger())
+            return inst;
+        const auto *src =
+            dynamic_cast<const Instruction *>(inst->operand(0));
+        while (src != nullptr &&
+               (src->op() == Opcode::zext || src->op() == Opcode::sext))
+            src = dynamic_cast<const Instruction *>(src->operand(0));
+        if (src == nullptr || src->op() != Opcode::icmp)
+            return inst;
+        // `x != 0` keeps the truth of x, `x == 0` negates it.
+        if (pred == IntPred::eq)
+            polarity = !polarity;
+        inst = src;
+    }
+    return nullptr;
+}
+
+void
+FunctionAnalyzer::writeRefinedInt(AbsState &st, const Value *v,
+                                  const Interval &refined)
+{
+    int slot = -1;
+    if (v->valueKind() == ValueKind::argument)
+        slot = static_cast<int>(static_cast<const Argument *>(v)->index());
+    else if (v->valueKind() == ValueKind::instruction)
+        slot = static_cast<const Instruction *>(v)->slot();
+    if (slot >= 0 && st.slots[slot].isInt()) {
+        Interval met = st.slots[slot].ival.meet(refined);
+        if (!met.isEmpty())
+            st.slots[slot].ival = met;
+    }
+    const auto *inst = dynamic_cast<const Instruction *>(v);
+    if (inst == nullptr)
+        return;
+    switch (inst->op()) {
+      case Opcode::sext:
+        // Canonical values are sign-extended: the mapping is identity.
+        writeRefinedInt(st, inst->operand(0), refined);
+        return;
+      case Opcode::zext: {
+        const Type *srcType = inst->operand(0)->type();
+        if (!srcType->isInteger())
+            return;
+        unsigned srcBits = srcType->intBits();
+        if (srcBits >= 64) {
+            writeRefinedInt(st, inst->operand(0), refined);
+            return;
+        }
+        int64_t half = int64_t{1} << (srcBits - 1);
+        int64_t full = int64_t{1} << srcBits;
+        if (refined.lo >= 0 && refined.hi < half) {
+            writeRefinedInt(st, inst->operand(0), refined);
+        } else if (refined.lo >= half && refined.hi < full) {
+            writeRefinedInt(st, inst->operand(0),
+                            Interval::range(refined.lo - full,
+                                            refined.hi - full));
+        }
+        return;
+      }
+      case Opcode::load: {
+        if (inst->slot() < 0)
+            return;
+        const Origin &origin = origins_[inst->slot()];
+        if (origin.obj < 0)
+            return;
+        auto it = st.objects[origin.obj].contents.find(origin.off);
+        if (it == st.objects[origin.obj].contents.end() ||
+            it->second.width != origin.width ||
+            it->second.version != origin.version)
+            return; // memory may have changed since the load
+        if (it->second.val.isInt()) {
+            Interval met = it->second.val.ival.meet(refined);
+            if (!met.isEmpty())
+                it->second.val.ival = met;
+        }
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+FunctionAnalyzer::writeRefinedPointer(AbsState &st, const Value *v,
+                                      const AbstractValue &refined)
+{
+    int slot = -1;
+    if (v->valueKind() == ValueKind::argument)
+        slot = static_cast<int>(static_cast<const Argument *>(v)->index());
+    else if (v->valueKind() == ValueKind::instruction)
+        slot = static_cast<const Instruction *>(v)->slot();
+    if (slot >= 0 && st.slots[slot].isPointer())
+        st.slots[slot] = refined;
+    const auto *inst = dynamic_cast<const Instruction *>(v);
+    if (inst == nullptr || inst->op() != Opcode::load || inst->slot() < 0)
+        return;
+    const Origin &origin = origins_[inst->slot()];
+    if (origin.obj < 0)
+        return;
+    auto it = st.objects[origin.obj].contents.find(origin.off);
+    if (it == st.objects[origin.obj].contents.end() ||
+        it->second.width != origin.width ||
+        it->second.version != origin.version)
+        return;
+    if (it->second.val.isPointer())
+        it->second.val = refined;
+}
+
+namespace
+{
+
+IntPred
+negatePred(IntPred pred)
+{
+    switch (pred) {
+      case IntPred::eq:  return IntPred::ne;
+      case IntPred::ne:  return IntPred::eq;
+      case IntPred::slt: return IntPred::sge;
+      case IntPred::sle: return IntPred::sgt;
+      case IntPred::sgt: return IntPred::sle;
+      case IntPred::sge: return IntPred::slt;
+      case IntPred::ult: return IntPred::uge;
+      case IntPred::ule: return IntPred::ugt;
+      case IntPred::ugt: return IntPred::ule;
+      case IntPred::uge: return IntPred::ult;
+    }
+    return pred;
+}
+
+Interval
+belowStrict(int64_t hi)
+{
+    if (hi == INT64_MIN)
+        return Interval::empty();
+    return Interval::range(INT64_MIN, hi - 1);
+}
+
+Interval
+aboveStrict(int64_t lo)
+{
+    if (lo == INT64_MAX)
+        return Interval::empty();
+    return Interval::range(lo + 1, INT64_MAX);
+}
+
+} // namespace
+
+/** Narrows operand values along a branch edge; false = edge infeasible. */
+bool
+FunctionAnalyzer::applyRefinement(AbsState &st, const Instruction &cmp,
+                                  bool truth)
+{
+    const Value *a = cmp.operand(0);
+    const Value *b = cmp.operand(1);
+    IntPred pred = truth ? cmp.intPred() : negatePred(cmp.intPred());
+
+    if (a->type()->isPointer()) {
+        // Only the null test is refined; object identity is not.
+        if (pred != IntPred::eq && pred != IntPred::ne)
+            return true;
+        AbstractValue av = evalValue(a, st);
+        AbstractValue bv = evalValue(b, st);
+        auto refineNull = [&](const Value *side, const AbstractValue &val,
+                              bool mustBeNull) -> bool {
+            if (val.kind != AbstractValue::Kind::pointer)
+                return true;
+            if (mustBeNull) {
+                if (!val.canBeNull)
+                    return false; // never null: edge infeasible
+                writeRefinedPointer(st, side, AbstractValue::nullPointer());
+                return true;
+            }
+            AbstractValue refined = val;
+            refined.canBeNull = false;
+            if (refined.targets.empty() && !refined.canBeUnknown)
+                return false; // must-null pointer on a non-null edge
+            writeRefinedPointer(st, side, refined);
+            return true;
+        };
+        bool eq = pred == IntPred::eq;
+        if (bv.isMustNull() || b->valueKind() == ValueKind::constantNull)
+            return refineNull(a, av, eq);
+        if (av.isMustNull() || a->valueKind() == ValueKind::constantNull)
+            return refineNull(b, bv, eq);
+        return true;
+    }
+    if (!a->type()->isInteger())
+        return true;
+
+    AbstractValue av = evalValue(a, st);
+    AbstractValue bv = evalValue(b, st);
+    if (!av.isInt() || !bv.isInt())
+        return true;
+    Interval ai = av.ival;
+    Interval bi = bv.ival;
+    Interval newA = ai;
+    Interval newB = bi;
+
+    switch (pred) {
+      case IntPred::eq:
+        newA = newB = ai.meet(bi);
+        break;
+      case IntPred::ne:
+        if (bi.isSingleton()) {
+            if (ai.lo == bi.lo)
+                newA = aboveStrict(ai.lo).meet(ai);
+            if (ai.hi == bi.lo)
+                newA = newA.meet(belowStrict(ai.hi));
+        }
+        if (ai.isSingleton()) {
+            if (bi.lo == ai.lo)
+                newB = aboveStrict(bi.lo).meet(bi);
+            if (bi.hi == ai.lo)
+                newB = newB.meet(belowStrict(bi.hi));
+        }
+        if (ai.isSingleton() && bi.isSingleton() && ai.lo == bi.lo)
+            return false; // equal constants on a != edge
+        break;
+      case IntPred::slt:
+        newA = ai.meet(belowStrict(bi.hi));
+        newB = bi.meet(aboveStrict(ai.lo));
+        break;
+      case IntPred::sle:
+        newA = ai.meet(Interval::range(INT64_MIN, bi.hi));
+        newB = bi.meet(Interval::range(ai.lo, INT64_MAX));
+        break;
+      case IntPred::sgt:
+        newA = ai.meet(aboveStrict(bi.lo));
+        newB = bi.meet(belowStrict(ai.hi));
+        break;
+      case IntPred::sge:
+        newA = ai.meet(Interval::range(bi.lo, INT64_MAX));
+        newB = bi.meet(Interval::range(INT64_MIN, ai.hi));
+        break;
+      case IntPred::ult:
+        // unsigned(a) < b with b's sign known non-negative bounds a to
+        // [0, b.hi-1]: any signed-negative a is a huge unsigned value.
+        if (bi.lo >= 0)
+            newA = ai.meet(Interval::range(0, bi.hi - 1));
+        if (ai.lo >= 0 && bi.lo >= 0)
+            newB = bi.meet(aboveStrict(ai.lo));
+        break;
+      case IntPred::ule:
+        if (bi.lo >= 0)
+            newA = ai.meet(Interval::range(0, bi.hi));
+        if (ai.lo >= 0 && bi.lo >= 0)
+            newB = bi.meet(Interval::range(ai.lo, INT64_MAX));
+        break;
+      case IntPred::ugt:
+        if (ai.lo >= 0 && bi.lo >= 0)
+            newA = ai.meet(aboveStrict(bi.lo));
+        if (bi.lo >= 0 && ai.lo >= 0)
+            newB = bi.meet(belowStrict(ai.hi));
+        break;
+      case IntPred::uge:
+        if (ai.lo >= 0 && bi.lo >= 0) {
+            newA = ai.meet(Interval::range(bi.lo, INT64_MAX));
+            newB = bi.meet(Interval::range(INT64_MIN, ai.hi));
+        }
+        break;
+    }
+    if (newA.isEmpty() || newB.isEmpty())
+        return false;
+    if (newA != ai)
+        writeRefinedInt(st, a, newA);
+    if (newB != bi)
+        writeRefinedInt(st, b, newB);
+    return true;
+}
+
+// --- Transfer ------------------------------------------------------------
+
+namespace
+{
+
+/// i1 result interval of `icmp pred a, b` at @p bits operand width.
+Interval
+cmpIntervals(IntPred pred, const Interval &a, const Interval &b,
+             unsigned bits)
+{
+    if (a.isEmpty() || b.isEmpty())
+        return Interval::range(0, 1);
+    bool canTrue = true;
+    bool canFalse = true;
+    auto signedCase = [&](IntPred p) {
+        switch (p) {
+          case IntPred::slt:
+            canTrue = a.lo < b.hi;
+            canFalse = a.hi >= b.lo;
+            break;
+          case IntPred::sle:
+            canTrue = a.lo <= b.hi;
+            canFalse = a.hi > b.lo;
+            break;
+          case IntPred::sgt:
+            canTrue = a.hi > b.lo;
+            canFalse = a.lo <= b.hi;
+            break;
+          case IntPred::sge:
+            canTrue = a.hi >= b.lo;
+            canFalse = a.lo < b.hi;
+            break;
+          default:
+            break;
+        }
+    };
+    switch (pred) {
+      case IntPred::eq:
+        canTrue = !a.meet(b).isEmpty();
+        canFalse = !(a.isSingleton() && b.isSingleton() && a.lo == b.lo);
+        break;
+      case IntPred::ne:
+        canFalse = !a.meet(b).isEmpty();
+        canTrue = !(a.isSingleton() && b.isSingleton() && a.lo == b.lo);
+        break;
+      case IntPred::slt:
+      case IntPred::sle:
+      case IntPred::sgt:
+      case IntPred::sge:
+        signedCase(pred);
+        break;
+      case IntPred::ult:
+      case IntPred::ule:
+      case IntPred::ugt:
+      case IntPred::uge: {
+        if (a.lo >= 0 && b.lo >= 0) {
+            // Same order as signed for non-negative values.
+            IntPred s = pred == IntPred::ult ? IntPred::slt
+                : pred == IntPred::ule      ? IntPred::sle
+                : pred == IntPred::ugt      ? IntPred::sgt
+                                            : IntPred::sge;
+            signedCase(s);
+        } else if (a.isSingleton() && b.isSingleton()) {
+            uint64_t mask = bits >= 64 ? ~uint64_t{0}
+                                       : (uint64_t{1} << bits) - 1;
+            uint64_t ua = static_cast<uint64_t>(a.lo) & mask;
+            uint64_t ub = static_cast<uint64_t>(b.lo) & mask;
+            bool r = pred == IntPred::ult ? ua < ub
+                : pred == IntPred::ule   ? ua <= ub
+                : pred == IntPred::ugt   ? ua > ub
+                                         : ua >= ub;
+            canTrue = r;
+            canFalse = !r;
+        }
+        break;
+      }
+    }
+    if (canTrue && !canFalse)
+        return Interval::of(1);
+    if (!canTrue && canFalse)
+        return Interval::of(0);
+    return Interval::range(0, 1);
+}
+
+bool
+mustNonNull(const AbstractValue &v)
+{
+    return v.isPointer() && !v.canBeNull &&
+        (v.canBeUnknown || !v.targets.empty());
+}
+
+} // namespace
+
+void
+FunctionAnalyzer::joinInto(unsigned block, const AbsState &state)
+{
+    if (collect_)
+        return;
+    if (!blockIn_[block].has_value()) {
+        blockIn_[block] = state;
+        worklist_.insert({cfg_.rpoIndex(block), block});
+        return;
+    }
+    AbsState merged = *blockIn_[block];
+    bool widen = visits_[block] >= options_.widenAfter;
+    mergeStateInto(merged, state, widen);
+    if (!(merged == *blockIn_[block])) {
+        blockIn_[block] = std::move(merged);
+        worklist_.insert({cfg_.rpoIndex(block), block});
+    }
+}
+
+std::string
+FunctionAnalyzer::describeObject(unsigned obj) const
+{
+    const ObjectInfo &info = objInfo_[obj];
+    std::string out;
+    if (info.size.isSingleton())
+        out += std::to_string(info.size.lo) + "-byte ";
+    switch (info.storage) {
+      case StorageKind::stack:
+        out += "stack object";
+        break;
+      case StorageKind::heap:
+        out += "heap object";
+        break;
+      case StorageKind::global:
+        out += "global";
+        break;
+      case StorageKind::mainArgs:
+        out += "argv object";
+        break;
+      case StorageKind::unknown:
+        out += "object";
+        break;
+    }
+    if (!info.name.empty())
+        out += " '" + info.name + "'";
+    return out;
+}
+
+void
+FunctionAnalyzer::emitFinding(const Instruction &inst, ErrorKind kind,
+                              AccessKind access, StorageKind storage,
+                              BoundsDirection direction, bool definite,
+                              const std::string &detail,
+                              const std::string &pathCondition,
+                              std::optional<int64_t> offset,
+                              std::optional<int64_t> objectSize)
+{
+    if (!collect_ || out_ == nullptr)
+        return;
+    StaticFinding f;
+    f.kind = kind;
+    f.access = access;
+    f.storage = storage;
+    f.direction = direction;
+    f.confidence = definite && !abandoned_ ? Confidence::definite
+                                           : Confidence::maybe;
+    f.function = fn_.name();
+    f.blockIndex = inst.parent()->index();
+    f.instIndex = curInstIndex_;
+    f.loc = inst.loc();
+    f.detail = detail;
+    f.pathCondition = pathCondition;
+    f.offset = offset;
+    f.objectSize = objectSize;
+    auto key = std::make_tuple(f.blockIndex, f.instIndex,
+                               static_cast<int>(kind));
+    auto [it, fresh] = emitted_.emplace(key, out_->size());
+    if (fresh) {
+        out_->push_back(std::move(f));
+    } else if (f.confidence == Confidence::definite &&
+               (*out_)[it->second].confidence == Confidence::maybe) {
+        (*out_)[it->second] = std::move(f);
+    }
+}
+
+void
+FunctionAnalyzer::transferBlock(unsigned b, AbsState st)
+{
+    std::fill(origins_.begin(), origins_.end(), Origin{});
+    const BasicBlock &bb = *fn_.blocks()[b];
+    const auto &insts = bb.insts();
+    for (size_t idx = 0; idx < insts.size(); idx++) {
+        const Instruction &inst = *insts[idx];
+        curInstIndex_ = static_cast<unsigned>(idx);
+        switch (inst.op()) {
+          case Opcode::alloca_: {
+            auto it = siteObj_.find(&inst);
+            if (it == siteObj_.end())
+                break;
+            unsigned id = it->second;
+            ObjState fresh;
+            fresh.dflt = ContentsDefault::uninit;
+            if (objInfo_[id].multiInstance) {
+                mergeObjInto(st.objects[id], fresh, false);
+                st.objects[id].live = joinLiveness(
+                    st.objects[id].live, ObjState::Liveness::live);
+            } else {
+                st.objects[id] = fresh;
+            }
+            setSlot(st, inst, AbstractValue::pointerTo(id));
+            break;
+          }
+          case Opcode::load: {
+            AbstractValue ptr = evalValue(inst.operand(0), st);
+            unsigned width =
+                static_cast<unsigned>(inst.accessType()->size());
+            AccessOutcome out = checkAccess(inst, AccessKind::read, ptr,
+                                            width, inst.accessType(), st);
+            if (out.mustFault)
+                return;
+            setSlot(st, inst, out.loaded);
+            break;
+          }
+          case Opcode::store: {
+            AbstractValue val = evalValue(inst.operand(0), st);
+            AbstractValue ptr = evalValue(inst.operand(1), st);
+            unsigned width =
+                static_cast<unsigned>(inst.accessType()->size());
+            AccessOutcome out = checkAccess(inst, AccessKind::write, ptr,
+                                            width, inst.accessType(), st);
+            if (out.mustFault)
+                return;
+            if (ptr.kind != AbstractValue::Kind::pointer ||
+                ptr.canBeUnknown) {
+                // The store may hit any object we track.
+                for (unsigned i = 0; i < st.objects.size(); i++)
+                    havocObject(i, st, /*escape=*/false);
+                break;
+            }
+            bool strong = ptr.targets.size() == 1 && !ptr.canBeNull &&
+                ptr.targets[0].offset.isSingleton() &&
+                !objInfo_[ptr.targets[0].obj].multiInstance &&
+                st.objects[ptr.targets[0].obj].live ==
+                    ObjState::Liveness::live;
+            for (const PointerTarget &t : ptr.targets)
+                writeTarget(t, width, val, strong, st);
+            break;
+          }
+          case Opcode::gep: {
+            AbstractValue base = evalValue(inst.operand(0), st);
+            Interval add = Interval::of(inst.gepConstOffset());
+            if (inst.operands().size() > 1) {
+                AbstractValue idxV = evalValue(inst.operand(1), st);
+                Interval idx = idxV.isInt() ? idxV.ival : Interval::top();
+                add = intervalAdd(
+                    add,
+                    intervalMul(idx, Interval::of(static_cast<int64_t>(
+                                         inst.gepScale()))));
+            }
+            if (base.kind != AbstractValue::Kind::pointer) {
+                setSlot(st, inst, AbstractValue::unknownPointer());
+                break;
+            }
+            AbstractValue out = base;
+            for (PointerTarget &t : out.targets)
+                t.offset = intervalAdd(t.offset, add);
+            setSlot(st, inst, out);
+            break;
+          }
+          case Opcode::add:
+          case Opcode::sub:
+          case Opcode::mul: {
+            AbstractValue av = evalValue(inst.operand(0), st);
+            AbstractValue bv = evalValue(inst.operand(1), st);
+            unsigned bits = inst.type()->intBits();
+            if (!av.isInt() || !bv.isInt()) {
+                setSlot(st, inst,
+                        AbstractValue::ofInterval(intervalOfWidth(bits)));
+                break;
+            }
+            Interval r = inst.op() == Opcode::add
+                ? intervalAdd(av.ival, bv.ival)
+                : inst.op() == Opcode::sub
+                    ? intervalSub(av.ival, bv.ival)
+                    : intervalMul(av.ival, bv.ival);
+            setSlot(st, inst,
+                    AbstractValue::ofInterval(intervalWrap(r, bits)));
+            break;
+          }
+          case Opcode::sdiv:
+          case Opcode::udiv:
+          case Opcode::srem:
+          case Opcode::urem:
+          case Opcode::and_:
+          case Opcode::or_:
+          case Opcode::xor_:
+          case Opcode::shl:
+          case Opcode::lshr:
+          case Opcode::ashr: {
+            AbstractValue av = evalValue(inst.operand(0), st);
+            AbstractValue bv = evalValue(inst.operand(1), st);
+            unsigned bits = inst.type()->intBits();
+            uint64_t mask = bits >= 64 ? ~uint64_t{0}
+                                       : (uint64_t{1} << bits) - 1;
+            int64_t ca = 0, cb = 0;
+            bool exact = av.isConstInt(ca) && bv.isConstInt(cb);
+            Interval r = intervalOfWidth(bits);
+            if (exact) {
+                uint64_t ua = static_cast<uint64_t>(ca) & mask;
+                uint64_t ub = static_cast<uint64_t>(cb) & mask;
+                unsigned sh = static_cast<unsigned>(
+                    static_cast<uint64_t>(cb) & (bits - 1));
+                bool ok = true;
+                int64_t v = 0;
+                switch (inst.op()) {
+                  case Opcode::sdiv:
+                    if (cb == 0)
+                        ok = false;
+                    else if (ca == INT64_MIN && cb == -1)
+                        v = INT64_MIN;
+                    else
+                        v = ca / cb;
+                    break;
+                  case Opcode::udiv:
+                    if (ub == 0)
+                        ok = false;
+                    else
+                        v = static_cast<int64_t>(ua / ub);
+                    break;
+                  case Opcode::srem:
+                    if (cb == 0)
+                        ok = false;
+                    else if (ca == INT64_MIN && cb == -1)
+                        v = 0;
+                    else
+                        v = ca % cb;
+                    break;
+                  case Opcode::urem:
+                    if (ub == 0)
+                        ok = false;
+                    else
+                        v = static_cast<int64_t>(ua % ub);
+                    break;
+                  case Opcode::and_:
+                    v = ca & cb;
+                    break;
+                  case Opcode::or_:
+                    v = ca | cb;
+                    break;
+                  case Opcode::xor_:
+                    v = ca ^ cb;
+                    break;
+                  case Opcode::shl:
+                    v = static_cast<int64_t>(ua << sh);
+                    break;
+                  case Opcode::lshr:
+                    v = static_cast<int64_t>(ua >> sh);
+                    break;
+                  case Opcode::ashr:
+                    v = ca >> sh;
+                    break;
+                  default:
+                    ok = false;
+                    break;
+                }
+                if (ok)
+                    r = intervalWrap(Interval::of(v), bits);
+            } else if (inst.op() == Opcode::and_) {
+                // a & m with a non-negative mask is within [0, m].
+                if (bv.isConstInt(cb) && cb >= 0)
+                    r = Interval::range(0, cb);
+                else if (av.isConstInt(ca) && ca >= 0)
+                    r = Interval::range(0, ca);
+            } else if (inst.op() == Opcode::urem && bv.isConstInt(cb) &&
+                       cb > 0 && av.isInt() && av.ival.lo >= 0) {
+                r = Interval::range(0, cb - 1);
+            } else if (inst.op() == Opcode::sdiv && bv.isConstInt(cb) &&
+                       cb > 1 && av.isInt() && av.ival.lo >= 0 &&
+                       !av.ival.isTop()) {
+                r = Interval::range(av.ival.lo / cb, av.ival.hi / cb);
+            }
+            setSlot(st, inst, AbstractValue::ofInterval(r));
+            break;
+          }
+          case Opcode::fadd:
+          case Opcode::fsub:
+          case Opcode::fmul:
+          case Opcode::fdiv:
+          case Opcode::frem:
+          case Opcode::fneg:
+            setSlot(st, inst, AbstractValue::anyFloat());
+            break;
+          case Opcode::icmp: {
+            AbstractValue av = evalValue(inst.operand(0), st);
+            AbstractValue bv = evalValue(inst.operand(1), st);
+            Interval r = Interval::range(0, 1);
+            if (av.isInt() && bv.isInt()) {
+                unsigned bits = inst.operand(0)->type()->isInteger()
+                    ? inst.operand(0)->type()->intBits()
+                    : 64;
+                r = cmpIntervals(inst.intPred(), av.ival, bv.ival, bits);
+            } else if (av.isPointer() || bv.isPointer()) {
+                IntPred pred = inst.intPred();
+                if (pred == IntPred::eq || pred == IntPred::ne) {
+                    bool knownEq = av.isMustNull() && bv.isMustNull();
+                    bool knownNe = (av.isMustNull() && mustNonNull(bv)) ||
+                        (bv.isMustNull() && mustNonNull(av));
+                    if (knownEq)
+                        r = Interval::of(pred == IntPred::eq ? 1 : 0);
+                    else if (knownNe)
+                        r = Interval::of(pred == IntPred::eq ? 0 : 1);
+                }
+            }
+            setSlot(st, inst, AbstractValue::ofInterval(r));
+            break;
+          }
+          case Opcode::fcmp:
+            setSlot(st, inst,
+                    AbstractValue::ofInterval(Interval::range(0, 1)));
+            break;
+          case Opcode::trunc: {
+            AbstractValue av = evalValue(inst.operand(0), st);
+            unsigned bits = inst.type()->intBits();
+            setSlot(st, inst,
+                    AbstractValue::ofInterval(
+                        av.isInt() ? intervalWrap(av.ival, bits)
+                                   : intervalOfWidth(bits)));
+            break;
+          }
+          case Opcode::zext: {
+            AbstractValue av = evalValue(inst.operand(0), st);
+            const Type *srcType = inst.operand(0)->type();
+            unsigned srcBits =
+                srcType->isInteger() ? srcType->intBits() : 64;
+            Interval r = intervalOfWidth(inst.type()->intBits());
+            if (av.isInt()) {
+                if (av.ival.lo >= 0) {
+                    r = av.ival;
+                } else if (av.ival.isSingleton() && srcBits < 64) {
+                    uint64_t m = (uint64_t{1} << srcBits) - 1;
+                    r = Interval::of(static_cast<int64_t>(
+                        static_cast<uint64_t>(av.ival.lo) & m));
+                } else if (srcBits < 64) {
+                    r = Interval::range(0,
+                                        static_cast<int64_t>(
+                                            (uint64_t{1} << srcBits) - 1));
+                }
+            }
+            setSlot(st, inst, AbstractValue::ofInterval(r));
+            break;
+          }
+          case Opcode::sext: {
+            AbstractValue av = evalValue(inst.operand(0), st);
+            setSlot(st, inst,
+                    av.isInt() ? av
+                               : AbstractValue::ofInterval(
+                                     intervalOfWidth(
+                                         inst.type()->intBits())));
+            break;
+          }
+          case Opcode::fptosi:
+          case Opcode::fptoui:
+          case Opcode::ptrtoint:
+            setSlot(st, inst,
+                    AbstractValue::ofInterval(
+                        intervalOfWidth(inst.type()->intBits())));
+            break;
+          case Opcode::sitofp:
+          case Opcode::uitofp:
+          case Opcode::fpext:
+          case Opcode::fptrunc:
+            setSlot(st, inst, AbstractValue::anyFloat());
+            break;
+          case Opcode::inttoptr:
+            setSlot(st, inst, AbstractValue::unknownPointer());
+            break;
+          case Opcode::select: {
+            AbstractValue cond = evalValue(inst.operand(0), st);
+            int64_t c;
+            if (cond.isConstInt(c)) {
+                setSlot(st, inst,
+                        evalValue(inst.operand(c != 0 ? 1 : 2), st));
+            } else {
+                setSlot(st, inst,
+                        joinValues(evalValue(inst.operand(1), st),
+                                   evalValue(inst.operand(2), st)));
+            }
+            break;
+          }
+          case Opcode::call: {
+            bool stop = false;
+            transferCall(inst, st, stop);
+            if (stop)
+                return;
+            break;
+          }
+          case Opcode::br:
+            joinInto(inst.target(0)->index(), st);
+            return;
+          case Opcode::condbr: {
+            AbstractValue cond = evalValue(inst.operand(0), st);
+            int64_t c;
+            if (cond.isConstInt(c)) {
+                joinInto(inst.target(c != 0 ? 0 : 1)->index(), st);
+                return;
+            }
+            for (unsigned edge = 0; edge < 2; edge++) {
+                bool truth = edge == 0;
+                AbsState branch = st;
+                bool polarity = truth;
+                const Instruction *cmp =
+                    resolveCondChain(inst.operand(0), polarity);
+                bool feasible = true;
+                if (cmp != nullptr)
+                    feasible = applyRefinement(branch, *cmp, polarity);
+                if (feasible)
+                    joinInto(inst.target(edge)->index(), branch);
+            }
+            return;
+          }
+          case Opcode::ret:
+          case Opcode::unreachable_:
+            return;
+          default:
+            // Tier-2 pseudo-ops never appear in analyzable IR.
+            setSlot(st, inst, AbstractValue::top());
+            break;
+        }
+    }
+}
+
+bool
+FunctionAnalyzer::run(std::vector<StaticFinding> &findings)
+{
+    size_t n = cfg_.numBlocks();
+    if (n == 0)
+        return true;
+    blockIn_.assign(n, std::nullopt);
+    visits_.assign(n, 0);
+    origins_.assign(fn_.numSlots(), Origin{});
+    unsigned entry = fn_.entry()->index();
+    blockIn_[entry] = entryState();
+    worklist_.insert({cfg_.rpoIndex(entry), entry});
+    while (!worklist_.empty()) {
+        auto it = worklist_.begin();
+        unsigned b = it->second;
+        worklist_.erase(it);
+        if (++visits_[b] > options_.maxBlockVisits) {
+            abandoned_ = true;
+            break;
+        }
+        transferBlock(b, *blockIn_[b]);
+    }
+    collect_ = true;
+    out_ = &findings;
+    for (unsigned b : cfg_.reversePostOrder()) {
+        if (blockIn_[b].has_value())
+            transferBlock(b, *blockIn_[b]);
+    }
+    collect_ = false;
+    out_ = nullptr;
+    return !abandoned_;
+}
+
+} // namespace
+
+AnalysisReport
+analyzeModule(const Module &module, const AnalysisOptions &options)
+{
+    AnalysisReport report;
+    for (const auto &fn : module.functions()) {
+        if (fn->isDeclaration() || fn->isIntrinsic())
+            continue;
+        if (options.userCodeOnly &&
+            fn->sourceFile().rfind("libc/", 0) == 0)
+            continue;
+        FunctionAnalyzer analyzer(module, *fn, options);
+        std::vector<StaticFinding> fnFindings;
+        bool complete = analyzer.run(fnFindings);
+        report.incomplete = report.incomplete || !complete;
+        report.functionsAnalyzed++;
+        for (StaticFinding &f : fnFindings)
+            report.findings.push_back(std::move(f));
+    }
+
+    if (!options.refute)
+        return report;
+
+    const Function *main = module.findFunction("main");
+    if (main == nullptr || main->isDeclaration()) {
+        // Nothing to replay: nothing can stay definite.
+        for (StaticFinding &f : report.findings)
+            f.confidence = Confidence::maybe;
+        return report;
+    }
+
+    ReplayResult replay = replayModule(module, options);
+    report.replayRan = true;
+    switch (replay.end) {
+      case ReplayEnd::fault:
+        report.replayOutcome = "fault";
+        break;
+      case ReplayEnd::exit:
+        report.replayOutcome = "exit";
+        break;
+      case ReplayEnd::inconclusive:
+        report.replayOutcome = replay.reason.empty()
+            ? "inconclusive"
+            : "inconclusive: " + replay.reason;
+        break;
+    }
+
+    bool matched = false;
+    for (StaticFinding &f : report.findings) {
+        bool confirms = replay.end == ReplayEnd::fault &&
+            replay.fault.has_value() &&
+            replay.fault->function == f.function &&
+            replay.fault->blockIndex == f.blockIndex &&
+            replay.fault->instIndex == f.instIndex &&
+            replay.fault->kind == f.kind;
+        if (confirms) {
+            f.confidence = Confidence::definite;
+            f.replayConfirmed = true;
+            // Prefer the concrete details the replay established.
+            if (replay.fault->offset.has_value())
+                f.offset = replay.fault->offset;
+            if (replay.fault->objectSize.has_value())
+                f.objectSize = replay.fault->objectSize;
+            matched = true;
+        } else {
+            f.confidence = Confidence::maybe;
+        }
+    }
+    if (replay.end == ReplayEnd::fault && replay.fault.has_value() &&
+        !matched)
+        report.findings.push_back(*replay.fault);
+    return report;
+}
+
+} // namespace sulong

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Flow-sensitive, intraprocedural abstract interpreter over the IR.
+ *
+ * For every function definition, a worklist fixpoint over the CFG
+ * propagates an abstract state (frame-slot values + abstract memory, see
+ * lattice.h) and collects candidate memory errors: definite/maybe null
+ * dereferences, constant- and interval-out-of-bounds accesses, use after
+ * free and double free along must-reach paths, invalid frees, and reads
+ * of uninitialized locals. Branch refinement narrows intervals through
+ * the `load; icmp; zext; icmp ne 0; condbr` chains the unoptimized
+ * codegen emits, writing refinements back through load provenance so
+ * loop counters that live in allocas actually get bounded.
+ *
+ * The optional refutation stage (refuter.h) then replays the program
+ * concretely and demotes every candidate it cannot confirm to `maybe`.
+ */
+
+#ifndef MS_ANALYSIS_ANALYZER_H
+#define MS_ANALYSIS_ANALYZER_H
+
+#include "analysis/finding.h"
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/**
+ * Analyze every function definition of @p module (subject to
+ * AnalysisOptions::userCodeOnly) and, when enabled, refute/confirm the
+ * candidates by bounded concrete replay.
+ */
+AnalysisReport analyzeModule(const Module &module,
+                             const AnalysisOptions &options = {});
+
+} // namespace sulong
+
+#endif // MS_ANALYSIS_ANALYZER_H

@@ -1,0 +1,1612 @@
+/**
+ * @file
+ * Bounded concrete replay (refuter.h).
+ *
+ * A deliberately conservative re-implementation of the managed engine's
+ * semantics: every value is either fully concrete or poison, and the
+ * replay throws `Inconclusive` the moment poison (or a construct whose
+ * dynamic outcome we are not byte-for-byte sure of: host-address
+ * pointer comparisons, division by zero, pointer bits in primitive
+ * regions, accesses spanning leaf struct fields) would influence
+ * control flow, addressing or a reported fault. Everything the replay
+ * *does* report therefore happened along a concrete prefix the dynamic
+ * engine executes identically — which is what makes replay-confirmed
+ * findings safe to publish as `definite`.
+ */
+
+#include "analysis/refuter.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+/// Canonical integer representation: masked to width, sign-extended.
+int64_t
+canonInt(int64_t v, unsigned bits)
+{
+    if (bits >= 64)
+        return v;
+    uint64_t mask = (uint64_t{1} << bits) - 1;
+    uint64_t raw = static_cast<uint64_t>(v) & mask;
+    if (raw & (uint64_t{1} << (bits - 1)))
+        raw |= ~mask;
+    return static_cast<int64_t>(raw);
+}
+
+uint64_t
+zextInt(int64_t v, unsigned bits)
+{
+    if (bits >= 64)
+        return static_cast<uint64_t>(v);
+    return static_cast<uint64_t>(v) & ((uint64_t{1} << bits) - 1);
+}
+
+/** A concrete (or poison) runtime value. */
+struct RValue
+{
+    enum class Kind : uint8_t
+    {
+        poison,
+        intVal,
+        fpVal,
+        ptr,
+        fnptr,
+    };
+
+    Kind kind = Kind::poison;
+    int64_t i = 0;       ///< canonical integer
+    unsigned bits = 64;  ///< integer width
+    double f = 0;
+    int obj = -1;        ///< pointer target object; -1 = null pointee
+    int64_t off = 0;     ///< pointer offset
+    const Function *fn = nullptr;
+
+    static RValue poison() { return {}; }
+    static RValue makeInt(int64_t v, unsigned bits)
+    {
+        RValue r;
+        r.kind = Kind::intVal;
+        r.bits = bits;
+        r.i = canonInt(v, bits);
+        return r;
+    }
+    static RValue makeFP(double v)
+    {
+        RValue r;
+        r.kind = Kind::fpVal;
+        r.f = v;
+        return r;
+    }
+    static RValue makePtr(int obj, int64_t off)
+    {
+        RValue r;
+        r.kind = Kind::ptr;
+        r.obj = obj;
+        r.off = off;
+        return r;
+    }
+    static RValue makeFn(const Function *fn)
+    {
+        RValue r;
+        r.kind = Kind::fnptr;
+        r.fn = fn;
+        return r;
+    }
+
+    bool isPoison() const { return kind == Kind::poison; }
+    bool isNull() const { return kind == Kind::ptr && obj < 0; }
+};
+
+/// Per-byte shadow state of replay memory.
+enum class ByteState : uint8_t
+{
+    uninit,
+    init,
+    ptrPart,  ///< part of an 8-byte slot tracked in `slots`
+    poisoned, ///< holds bytes of a poison store
+};
+
+/** One replay memory object. */
+struct RObject
+{
+    /// Class of an object with no static type (raw malloc, argv
+    /// internals, vararg boxes): fixed on first scalar access like the
+    /// managed heap's materialization.
+    enum class DynClass : uint8_t
+    {
+        none,
+        primitive,
+        address,
+        varargs,
+    };
+
+    StorageKind storage = StorageKind::unknown;
+    const Type *type = nullptr; ///< element type when statically known
+    DynClass dynClass = DynClass::none;
+    uint64_t size = 0;
+    bool freed = false;
+    /// Stack/heap bytes are uninit-tracked; global/argv storage is
+    /// zero-backed and always initialized (managed engine behavior).
+    std::vector<uint8_t> bytes;
+    std::vector<ByteState> state;
+    /// 8-byte slot values of address regions, keyed by byte offset.
+    std::map<uint64_t, RValue> slots;
+    /// Varargs object payload (boxed argument object ids) and cursor.
+    std::vector<int> vaBoxes;
+    size_t vaCursor = 0;
+    std::string name;
+};
+
+/// Thrown when the replay cannot stay bit-faithful.
+struct Inconclusive
+{
+    std::string reason;
+};
+
+/// Thrown after Replayer::fault_ has been filled in.
+struct Faulted
+{
+};
+
+/// Thrown on exit() / return from main.
+struct Exited
+{
+};
+
+/** The whole-program interpreter. */
+class Replayer
+{
+  public:
+    Replayer(const Module &module, const AnalysisOptions &options)
+        : module_(module), options_(options)
+    {
+    }
+
+    ReplayResult run();
+
+  private:
+    struct Frame
+    {
+        const Function *fn = nullptr;
+        std::vector<RValue> slots;
+        std::vector<RValue> varargs;
+    };
+
+    // Setup.
+    void setupGlobals();
+    void applyInit(RObject &obj, const Type *type, const Initializer &init,
+                   uint64_t off);
+    int makeStringArrayObject(const std::vector<std::string> &strings,
+                              const char *name);
+    int makeStringObject(const std::string &text);
+
+    // Execution.
+    RValue callFunction(const Function &fn, std::vector<RValue> args);
+    RValue evalOperand(const Value *v, const Frame &frame) const;
+    RValue execInstruction(const Instruction &inst, Frame &frame);
+    RValue execCall(const Instruction &inst, Frame &frame);
+    bool evalICmpValues(IntPred pred, const RValue &l, const RValue &r);
+    RValue callIntrinsic(const Instruction &inst, const Function &callee,
+                         std::vector<RValue> args, Frame &frame);
+    int boxVararg(const RValue &v);
+
+    // Memory.
+    int newObject(StorageKind storage, const Type *type, uint64_t size,
+                  bool zeroed, std::string name);
+    RObject &object(int id) { return objects_[id]; }
+    void checkAccess(const RValue &ptr, uint64_t width, AccessKind access);
+    RValue loadValue(const RValue &ptr, const Type *type);
+    void storeValue(const RValue &ptr, const Type *type, const RValue &v);
+    RValue loadByte(const RValue &ptr); ///< checked i8 read (sys_write)
+
+    struct Region
+    {
+        uint64_t start = 0;
+        uint64_t size = 0;
+        /// Scalar leaf type; null for untyped whole-object regions.
+        const Type *scalar = nullptr;
+    };
+    /// Resolves the leaf region containing [off, off+width) or throws
+    /// Inconclusive when the access straddles leaf boundaries.
+    Region resolveRegion(RObject &o, uint64_t off, uint64_t width,
+                         bool pointerAccess);
+
+    // Faults.
+    [[noreturn]] void fault(ErrorKind kind, AccessKind access,
+                            const RObject *obj, BoundsDirection direction,
+                            std::optional<int64_t> offset,
+                            std::optional<int64_t> objectSize,
+                            std::string detail);
+    [[noreturn]] void stop(std::string reason) { throw Inconclusive{std::move(reason)}; }
+    void step()
+    {
+        if (++steps_ > options_.replaySteps)
+            stop("replay step budget exhausted");
+    }
+
+    std::string describe(const RObject &o) const;
+
+    const Module &module_;
+    const AnalysisOptions &options_;
+    std::vector<RObject> objects_;
+    std::map<const GlobalVariable *, int> globalObj_;
+    uint64_t heapUsed_ = 0;
+    unsigned depth_ = 0;
+    uint64_t steps_ = 0;
+    size_t stdinPos_ = 0;
+
+    // Fault anchoring: the instruction currently executing.
+    const Function *curFn_ = nullptr;
+    unsigned curBlock_ = 0;
+    unsigned curInst_ = 0;
+    SourceLoc curLoc_;
+
+    std::optional<StaticFinding> fault_;
+
+    friend struct FaultAccess;
+};
+
+// ---------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------
+
+int
+Replayer::newObject(StorageKind storage, const Type *type, uint64_t size,
+                    bool zeroed, std::string name)
+{
+    RObject o;
+    o.storage = storage;
+    o.type = type;
+    o.size = size;
+    o.bytes.assign(size, 0);
+    o.state.assign(size, zeroed ? ByteState::init : ByteState::uninit);
+    o.name = std::move(name);
+    objects_.push_back(std::move(o));
+    return static_cast<int>(objects_.size()) - 1;
+}
+
+void
+Replayer::applyInit(RObject &obj, const Type *type, const Initializer &init,
+                    uint64_t off)
+{
+    switch (init.kind) {
+      case Initializer::Kind::zero:
+        return;
+      case Initializer::Kind::intVal: {
+        uint64_t w = type->size();
+        if (type->isPointer()) {
+            // A zero stays zero-backed (reads as null); any other
+            // integer-as-pointer constant is untrackable.
+            if (init.intValue != 0)
+                for (uint64_t k = 0; k < w && off + k < obj.size; k++)
+                    obj.state[off + k] = ByteState::poisoned;
+            return;
+        }
+        uint64_t raw = static_cast<uint64_t>(init.intValue);
+        for (uint64_t k = 0; k < w && off + k < obj.size; k++)
+            obj.bytes[off + k] = static_cast<uint8_t>(raw >> (8 * k));
+        return;
+      }
+      case Initializer::Kind::fpVal: {
+        uint64_t w = type->size();
+        if (w == 4) {
+            float f = static_cast<float>(init.fpValue);
+            std::memcpy(obj.bytes.data() + off, &f, 4);
+        } else {
+            std::memcpy(obj.bytes.data() + off, &init.fpValue, 8);
+        }
+        return;
+      }
+      case Initializer::Kind::bytes: {
+        for (size_t k = 0; k < init.bytes.size() && off + k < obj.size; k++)
+            obj.bytes[off + k] = static_cast<uint8_t>(init.bytes[k]);
+        return;
+      }
+      case Initializer::Kind::array: {
+        const Type *elem = type->elemType();
+        uint64_t esz = elem->size();
+        for (size_t k = 0; k < init.elems.size(); k++)
+            applyInit(obj, elem, init.elems[k], off + k * esz);
+        return;
+      }
+      case Initializer::Kind::structVal: {
+        const auto &fields = type->fields();
+        for (size_t k = 0; k < init.elems.size() && k < fields.size(); k++)
+            applyInit(obj, fields[k].type, init.elems[k],
+                      off + fields[k].offset);
+        return;
+      }
+      case Initializer::Kind::globalRef: {
+        auto it = globalObj_.find(init.global);
+        RValue p = it == globalObj_.end()
+            ? RValue::makePtr(-1, init.addend)
+            : RValue::makePtr(it->second, init.addend);
+        obj.slots[off] = p;
+        for (uint64_t k = 0; k < 8 && off + k < obj.size; k++)
+            obj.state[off + k] = ByteState::ptrPart;
+        return;
+      }
+      case Initializer::Kind::functionRef: {
+        obj.slots[off] = RValue::makeFn(init.function);
+        for (uint64_t k = 0; k < 8 && off + k < obj.size; k++)
+            obj.state[off + k] = ByteState::ptrPart;
+        return;
+      }
+    }
+}
+
+void
+Replayer::setupGlobals()
+{
+    // Two-phase: allocate first so initializers can reference any global.
+    for (const auto &g : module_.globals()) {
+        int id = newObject(StorageKind::global, g->valueType(),
+                           g->valueType()->size(), /*zeroed=*/true, g->name());
+        globalObj_[g.get()] = id;
+    }
+    for (const auto &g : module_.globals())
+        applyInit(object(globalObj_[g.get()]), g->valueType(), g->init(), 0);
+}
+
+int
+Replayer::makeStringObject(const std::string &text)
+{
+    int id = newObject(StorageKind::mainArgs, nullptr, text.size() + 1,
+                       /*zeroed=*/true, "argv string");
+    RObject &o = object(id);
+    o.dynClass = RObject::DynClass::primitive;
+    std::memcpy(o.bytes.data(), text.data(), text.size());
+    return id;
+}
+
+int
+Replayer::makeStringArrayObject(const std::vector<std::string> &strings,
+                                const char *name)
+{
+    // Null-terminated pointer array, like the engine's makeStringArray:
+    // the terminator slot stays zero-backed and initialized.
+    int arr = newObject(StorageKind::mainArgs, nullptr,
+                        (strings.size() + 1) * 8, /*zeroed=*/true, name);
+    object(arr).dynClass = RObject::DynClass::address;
+    for (size_t k = 0; k < strings.size(); k++) {
+        int s = makeStringObject(strings[k]);
+        RObject &a = object(arr);
+        a.slots[k * 8] = RValue::makePtr(s, 0);
+        for (uint64_t b = 0; b < 8; b++)
+            a.state[k * 8 + b] = ByteState::ptrPart;
+    }
+    return arr;
+}
+
+ReplayResult
+Replayer::run()
+{
+    ReplayResult result;
+    const Function *main = module_.findFunction("main");
+    if (main == nullptr || main->isDeclaration()) {
+        result.end = ReplayEnd::inconclusive;
+        result.reason = "no main() definition";
+        return result;
+    }
+    try {
+        setupGlobals();
+        // Mirror the engine's pre-main region: argc, a null-terminated
+        // argv of the replayed arguments, and its fixed fake environment.
+        std::vector<RValue> args;
+        if (main->numArgs() >= 1) {
+            std::vector<std::string> argvStrings;
+            argvStrings.push_back("program");
+            for (const std::string &a : options_.replayArgs)
+                argvStrings.push_back(a);
+            args.push_back(RValue::makeInt(
+                static_cast<int64_t>(argvStrings.size()), 32));
+            if (main->numArgs() >= 2)
+                args.push_back(RValue::makePtr(
+                    makeStringArrayObject(argvStrings, "argv"), 0));
+            if (main->numArgs() >= 3) {
+                static const std::vector<std::string> envStrings = {
+                    "HOME=/home/user", "PATH=/usr/local/bin:/usr/bin",
+                    "SECRET_TOKEN=hunter2", "LANG=C",
+                };
+                args.push_back(RValue::makePtr(
+                    makeStringArrayObject(envStrings, "envp"), 0));
+            }
+        }
+        callFunction(*main, std::move(args));
+        result.end = ReplayEnd::exit;
+    } catch (const Exited &) {
+        result.end = ReplayEnd::exit;
+    } catch (const Faulted &) {
+        result.end = ReplayEnd::fault;
+        result.fault = fault_;
+    } catch (const Inconclusive &stopped) {
+        result.end = ReplayEnd::inconclusive;
+        result.reason = stopped.reason;
+    }
+    result.steps = steps_;
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Faults and access checking
+// ---------------------------------------------------------------------
+
+std::string
+Replayer::describe(const RObject &o) const
+{
+    std::ostringstream os;
+    os << o.size << "-byte " << storageKindName(o.storage) << " object";
+    if (!o.name.empty())
+        os << " '" << o.name << "'";
+    return os.str();
+}
+
+void
+Replayer::fault(ErrorKind kind, AccessKind access, const RObject *obj,
+                BoundsDirection direction, std::optional<int64_t> offset,
+                std::optional<int64_t> objectSize, std::string detail)
+{
+    StaticFinding f;
+    f.kind = kind;
+    f.access = access;
+    f.storage = obj != nullptr ? obj->storage : StorageKind::unknown;
+    f.direction = direction;
+    f.confidence = Confidence::definite;
+    f.function = curFn_ != nullptr ? curFn_->name() : "<unknown>";
+    f.blockIndex = curBlock_;
+    f.instIndex = curInst_;
+    f.loc = curLoc_;
+    f.detail = std::move(detail);
+    f.replayConfirmed = true;
+    f.offset = offset;
+    f.objectSize = objectSize;
+    fault_ = std::move(f);
+    throw Faulted{};
+}
+
+void
+Replayer::checkAccess(const RValue &ptr, uint64_t width, AccessKind access)
+{
+    if (ptr.isPoison())
+        stop("access through unknown pointer");
+    if (ptr.kind == RValue::Kind::fnptr)
+        stop("data access through function pointer");
+    if (ptr.obj < 0) {
+        std::ostringstream os;
+        os << accessKindName(access) << " through null pointer";
+        if (ptr.off != 0)
+            os << " (offset " << ptr.off << ")";
+        fault(ErrorKind::nullDeref, access, nullptr, BoundsDirection::unknown,
+              ptr.off, std::nullopt, os.str());
+    }
+    RObject &o = object(ptr.obj);
+    if (o.freed) {
+        std::ostringstream os;
+        os << accessKindName(access) << " of freed " << describe(o);
+        fault(ErrorKind::useAfterFree, access, &o, BoundsDirection::unknown,
+              ptr.off, static_cast<int64_t>(o.size), os.str());
+    }
+    if (ptr.off < 0 ||
+        static_cast<uint64_t>(ptr.off) + width > o.size) {
+        BoundsDirection dir = ptr.off < 0 ? BoundsDirection::underflow
+                                          : BoundsDirection::overflow;
+        std::ostringstream os;
+        os << width << "-byte " << accessKindName(access) << " at offset "
+           << ptr.off << " of " << describe(o);
+        fault(ErrorKind::outOfBounds, access, &o, dir, ptr.off,
+              static_cast<int64_t>(o.size), os.str());
+    }
+}
+
+Replayer::Region
+Replayer::resolveRegion(RObject &o, uint64_t off, uint64_t width,
+                        bool pointerAccess)
+{
+    if (o.dynClass == RObject::DynClass::varargs)
+        stop("direct access to a va_list object");
+    const Type *t = o.type;
+    if (t == nullptr) {
+        // Untyped object: classed as a whole on first scalar access.
+        if (o.dynClass == RObject::DynClass::none)
+            o.dynClass = pointerAccess ? RObject::DynClass::address
+                                       : RObject::DynClass::primitive;
+        Region r;
+        r.start = 0;
+        r.size = o.size;
+        r.scalar = nullptr;
+        return r;
+    }
+    uint64_t base = 0;
+    // A typed heap object's type is the allocation-site element hint:
+    // the managed heap builds an array of that element spanning the
+    // whole block, and falls back to a plain byte array when the size is
+    // not a multiple of the element size (ManagedHeap::allocTyped).
+    if (o.storage == StorageKind::heap) {
+        uint64_t esz = t->size();
+        if (esz == 0 || o.size % esz != 0) {
+            if (o.dynClass == RObject::DynClass::none)
+                o.dynClass = RObject::DynClass::primitive;
+            Region r;
+            r.start = 0;
+            r.size = o.size;
+            r.scalar = nullptr;
+            return r;
+        }
+        if (!t->isAggregate()) {
+            Region r;
+            r.start = 0;
+            r.size = o.size;
+            r.scalar = t;
+            return r;
+        }
+        uint64_t idx = off / esz;
+        base = idx * esz;
+        off -= base;
+    }
+    while (true) {
+        if (t->isStruct()) {
+            int idx = t->fieldAt(off);
+            if (idx < 0)
+                stop("access into struct padding");
+            const StructField &f = t->fields()[static_cast<size_t>(idx)];
+            base += f.offset;
+            off -= f.offset;
+            t = f.type;
+            continue;
+        }
+        if (t->isArray()) {
+            const Type *elem = t->elemType();
+            uint64_t esz = elem->size();
+            if (esz == 0)
+                stop("zero-sized array element");
+            if (elem->isAggregate()) {
+                uint64_t idx = off / esz;
+                base += idx * esz;
+                off -= idx * esz;
+                t = elem;
+                continue;
+            }
+            Region r;
+            r.start = base;
+            r.size = t->size();
+            r.scalar = elem;
+            if (off + width > r.size)
+                stop("access spans a leaf region boundary");
+            return r;
+        }
+        // Scalar leaf.
+        Region r;
+        r.start = base;
+        r.size = t->size();
+        r.scalar = t;
+        if (off + width > r.size)
+            stop("access spans a leaf region boundary");
+        return r;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed loads and stores
+// ---------------------------------------------------------------------
+
+RValue
+Replayer::loadValue(const RValue &ptr, const Type *type)
+{
+    uint64_t width = type->size();
+    checkAccess(ptr, width, AccessKind::read);
+    RObject &o = object(ptr.obj);
+    uint64_t off = static_cast<uint64_t>(ptr.off);
+    bool pointerAccess = type->isPointer();
+    Region region = resolveRegion(o, off, width, pointerAccess);
+
+    bool addressRegion =
+        (region.scalar != nullptr && region.scalar->isPointer()) ||
+        (region.scalar == nullptr &&
+         o.dynClass == RObject::DynClass::address);
+    bool tracked =
+        o.storage == StorageKind::stack || o.storage == StorageKind::heap;
+
+    if (addressRegion) {
+        if ((off - region.start) % 8 != 0 || width != 8)
+            stop("partial access to a pointer slot");
+        auto it = o.slots.find(off);
+        if (it == o.slots.end()) {
+            // Slot never written: uninitialized for tracked storage,
+            // zero-backed (a null pointer / zero) otherwise.
+            ByteState s = o.state[off];
+            if (s == ByteState::poisoned)
+                return RValue::poison();
+            if (tracked && s == ByteState::uninit) {
+                std::ostringstream os;
+                os << "read of uninitialized bytes at offset " << off
+                   << " of " << describe(o);
+                fault(ErrorKind::uninitRead, AccessKind::read, &o,
+                      BoundsDirection::unknown, ptr.off,
+                      static_cast<int64_t>(o.size), os.str());
+            }
+            return pointerAccess ? RValue::makePtr(-1, 0)
+                                 : RValue::makeInt(0, type->intBits());
+        }
+        const RValue &sv = it->second;
+        if (sv.isPoison())
+            return RValue::poison();
+        if (pointerAccess) {
+            if (sv.kind == RValue::Kind::ptr ||
+                sv.kind == RValue::Kind::fnptr)
+                return sv;
+            stop("pointer read of a non-pointer slot value");
+        }
+        if (type->isInteger()) {
+            // Managed relaxation: an 8-byte integer read of a NULL slot
+            // yields the slot's offset; reading real pointer bits as an
+            // integer is a type error there, so inconclusive here.
+            if (sv.kind == RValue::Kind::intVal)
+                return RValue::makeInt(sv.i, type->intBits());
+            if (sv.isNull())
+                return RValue::makeInt(sv.off, type->intBits());
+            stop("integer read of stored pointer bits");
+        }
+        stop("float read of a pointer slot");
+    }
+
+    // Primitive region: little-endian byte reinterpretation.
+    for (uint64_t k = 0; k < width; k++) {
+        ByteState s = o.state[off + k];
+        if (s == ByteState::poisoned)
+            return RValue::poison();
+        if (s == ByteState::ptrPart)
+            stop("scalar read overlapping pointer bits");
+        if (tracked && s == ByteState::uninit) {
+            std::ostringstream os;
+            os << "read of uninitialized bytes at offset " << off + k
+               << " of " << describe(o);
+            fault(ErrorKind::uninitRead, AccessKind::read, &o,
+                  BoundsDirection::unknown, static_cast<int64_t>(off + k),
+                  static_cast<int64_t>(o.size), os.str());
+        }
+    }
+    if (pointerAccess) {
+        // Pointer reads from primitive-classed memory are a type error
+        // in the managed engine.
+        stop("pointer read from primitive memory");
+    }
+    uint64_t raw = 0;
+    for (uint64_t k = 0; k < width; k++)
+        raw |= static_cast<uint64_t>(o.bytes[off + k]) << (8 * k);
+    if (type->isFloat()) {
+        if (width == 4) {
+            float f;
+            uint32_t raw32 = static_cast<uint32_t>(raw);
+            std::memcpy(&f, &raw32, 4);
+            return RValue::makeFP(f);
+        }
+        double d;
+        std::memcpy(&d, &raw, 8);
+        return RValue::makeFP(d);
+    }
+    return RValue::makeInt(static_cast<int64_t>(raw), type->intBits());
+}
+
+void
+Replayer::storeValue(const RValue &ptr, const Type *type, const RValue &v)
+{
+    uint64_t width = type->size();
+    checkAccess(ptr, width, AccessKind::write);
+    RObject &o = object(ptr.obj);
+    uint64_t off = static_cast<uint64_t>(ptr.off);
+    bool pointerAccess = type->isPointer();
+    Region region = resolveRegion(o, off, width, pointerAccess);
+
+    bool addressRegion =
+        (region.scalar != nullptr && region.scalar->isPointer()) ||
+        (region.scalar == nullptr &&
+         o.dynClass == RObject::DynClass::address);
+
+    if (addressRegion) {
+        if ((off - region.start) % 8 != 0 || width != 8)
+            stop("partial write to a pointer slot");
+        if (v.isPoison()) {
+            o.slots.erase(off);
+            for (uint64_t k = 0; k < 8; k++)
+                o.state[off + k] = ByteState::poisoned;
+            return;
+        }
+        if (!pointerAccess && v.kind != RValue::Kind::ptr &&
+            v.kind != RValue::Kind::fnptr) {
+            // Integer traffic through pointer slots is where the managed
+            // per-slot MValue model and our byte model can drift apart.
+            stop("integer write to a pointer slot");
+        }
+        o.slots[off] = v;
+        for (uint64_t k = 0; k < 8; k++)
+            o.state[off + k] = ByteState::ptrPart;
+        return;
+    }
+
+    // Primitive region.
+    if (pointerAccess || v.kind == RValue::Kind::ptr ||
+        v.kind == RValue::Kind::fnptr) {
+        if (v.isNull() && v.off == 0 && !pointerAccess) {
+            // Tolerated: storing a plain zero.
+        } else {
+            stop("pointer write into primitive memory");
+        }
+    }
+    if (v.isPoison()) {
+        for (uint64_t k = 0; k < width; k++)
+            o.state[off + k] = ByteState::poisoned;
+        return;
+    }
+    uint64_t raw = 0;
+    if (v.kind == RValue::Kind::intVal) {
+        raw = static_cast<uint64_t>(v.i);
+    } else if (v.kind == RValue::Kind::fpVal) {
+        if (width == 4) {
+            float f = static_cast<float>(v.f);
+            uint32_t raw32;
+            std::memcpy(&raw32, &f, 4);
+            raw = raw32;
+        } else {
+            std::memcpy(&raw, &v.f, 8);
+        }
+    }
+    for (uint64_t k = 0; k < width; k++) {
+        o.bytes[off + k] = static_cast<uint8_t>(raw >> (8 * k));
+        o.state[off + k] = ByteState::init;
+    }
+}
+
+RValue
+Replayer::loadByte(const RValue &ptr)
+{
+    checkAccess(ptr, 1, AccessKind::read);
+    RObject &o = object(ptr.obj);
+    uint64_t off = static_cast<uint64_t>(ptr.off);
+    ByteState s = o.state[off];
+    if (s == ByteState::poisoned)
+        return RValue::poison();
+    if (s == ByteState::ptrPart)
+        stop("byte read overlapping pointer bits");
+    bool tracked =
+        o.storage == StorageKind::stack || o.storage == StorageKind::heap;
+    if (tracked && s == ByteState::uninit) {
+        std::ostringstream os;
+        os << "read of uninitialized bytes at offset " << off << " of "
+           << describe(o);
+        fault(ErrorKind::uninitRead, AccessKind::read, &o,
+              BoundsDirection::unknown, ptr.off,
+              static_cast<int64_t>(o.size), os.str());
+    }
+    return RValue::makeInt(o.bytes[off], 8);
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------
+
+RValue
+Replayer::evalOperand(const Value *v, const Frame &frame) const
+{
+    switch (v->valueKind()) {
+      case ValueKind::argument:
+        return frame.slots[static_cast<const Argument *>(v)->index()];
+      case ValueKind::instruction: {
+        int slot = static_cast<const Instruction *>(v)->slot();
+        return slot >= 0 ? frame.slots[static_cast<size_t>(slot)]
+                         : RValue::poison();
+      }
+      case ValueKind::constantInt: {
+        const auto *c = static_cast<const ConstantInt *>(v);
+        return RValue::makeInt(c->value(), c->type()->intBits());
+      }
+      case ValueKind::constantFP:
+        return RValue::makeFP(static_cast<const ConstantFP *>(v)->value());
+      case ValueKind::constantNull:
+        return RValue::makePtr(-1, 0);
+      case ValueKind::global: {
+        auto it = globalObj_.find(static_cast<const GlobalVariable *>(v));
+        return it == globalObj_.end() ? RValue::poison()
+                                      : RValue::makePtr(it->second, 0);
+      }
+      case ValueKind::function:
+        return RValue::makeFn(static_cast<const Function *>(v));
+    }
+    return RValue::poison();
+}
+
+namespace
+{
+
+/// Mirrors ManagedEngine::evalIntBinOp + makeInt canonicalization.
+/// Returns poison on division by zero (the engine throws EngineError
+/// there, which ends the run without a bug report — the caller must
+/// treat poison from a division as inconclusive-on-use like any poison).
+RValue
+evalIntBinOp(Opcode op, const RValue &l, const RValue &r, unsigned bits,
+             bool &divByZero)
+{
+    uint64_t lz = zextInt(l.i, l.bits);
+    uint64_t rz = zextInt(r.i, r.bits);
+    int64_t result = 0;
+    switch (op) {
+      case Opcode::add:
+        result = static_cast<int64_t>(static_cast<uint64_t>(l.i) +
+                                      static_cast<uint64_t>(r.i));
+        break;
+      case Opcode::sub:
+        result = static_cast<int64_t>(static_cast<uint64_t>(l.i) -
+                                      static_cast<uint64_t>(r.i));
+        break;
+      case Opcode::mul:
+        result = static_cast<int64_t>(static_cast<uint64_t>(l.i) *
+                                      static_cast<uint64_t>(r.i));
+        break;
+      case Opcode::sdiv:
+        if (r.i == 0) {
+            divByZero = true;
+            return RValue::poison();
+        }
+        result = (l.i == INT64_MIN && r.i == -1) ? INT64_MIN : l.i / r.i;
+        break;
+      case Opcode::udiv:
+        if (rz == 0) {
+            divByZero = true;
+            return RValue::poison();
+        }
+        result = static_cast<int64_t>(lz / rz);
+        break;
+      case Opcode::srem:
+        if (r.i == 0) {
+            divByZero = true;
+            return RValue::poison();
+        }
+        result = (l.i == INT64_MIN && r.i == -1) ? 0 : l.i % r.i;
+        break;
+      case Opcode::urem:
+        if (rz == 0) {
+            divByZero = true;
+            return RValue::poison();
+        }
+        result = static_cast<int64_t>(lz % rz);
+        break;
+      case Opcode::and_: result = l.i & r.i; break;
+      case Opcode::or_: result = l.i | r.i; break;
+      case Opcode::xor_: result = l.i ^ r.i; break;
+      case Opcode::shl:
+        result = static_cast<int64_t>(lz << (rz & (bits - 1)));
+        break;
+      case Opcode::lshr:
+        result = static_cast<int64_t>(lz >> (rz & (bits - 1)));
+        break;
+      case Opcode::ashr:
+        result = l.i >> (rz & (bits - 1));
+        break;
+      default:
+        return RValue::poison();
+    }
+    return RValue::makeInt(result, bits);
+}
+
+int64_t
+satFptosi(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    if (v >= 9223372036854775807.0)
+        return INT64_MAX;
+    if (v <= -9223372036854775808.0)
+        return INT64_MIN;
+    return static_cast<int64_t>(v);
+}
+
+uint64_t
+satFptoui(double v)
+{
+    if (std::isnan(v) || v <= -1.0)
+        return 0;
+    if (v >= 18446744073709551615.0)
+        return UINT64_MAX;
+    return static_cast<uint64_t>(v);
+}
+
+bool
+evalFCmp(FloatPred pred, double l, double r)
+{
+    if (std::isnan(l) || std::isnan(r))
+        return false;
+    switch (pred) {
+      case FloatPred::oeq: return l == r;
+      case FloatPred::one: return l != r;
+      case FloatPred::olt: return l < r;
+      case FloatPred::ole: return l <= r;
+      case FloatPred::ogt: return l > r;
+      case FloatPred::oge: return l >= r;
+    }
+    return false;
+}
+
+} // namespace
+
+/// Mirrors ManagedEngine::evalICmp, going inconclusive where the engine
+/// would compare host addresses of two distinct live objects.
+bool
+Replayer::evalICmpValues(IntPred pred, const RValue &l, const RValue &r)
+{
+    bool lp = l.kind == RValue::Kind::ptr;
+    bool rp = r.kind == RValue::Kind::ptr;
+    if (l.kind == RValue::Kind::fnptr || r.kind == RValue::Kind::fnptr) {
+        if (l.kind == r.kind && (pred == IntPred::eq || pred == IntPred::ne))
+            return (l.fn == r.fn) == (pred == IntPred::eq);
+        stop("function pointer comparison");
+    }
+    if (lp || rp) {
+        // The non-pointer side degrades to (null pointee, offset 0),
+        // exactly like an MValue integer's empty address.
+        int lo = lp ? l.obj : -1;
+        int ro = rp ? r.obj : -1;
+        int64_t loff = lp ? l.off : 0;
+        int64_t roff = rp ? r.off : 0;
+        switch (pred) {
+          case IntPred::eq:
+            return lo == ro && loff == roff;
+          case IntPred::ne:
+            return lo != ro || loff != roff;
+          default: {
+            bool less, lesseq;
+            if (lo == ro) {
+                less = loff < roff;
+                lesseq = loff <= roff;
+            } else if (lo < 0 || ro < 0) {
+                // The engine compares host addresses; a null pointee is
+                // the host nullptr and orders below every real object.
+                less = lo < 0;
+                lesseq = less;
+            } else {
+                stop("relational comparison of pointers into "
+                     "distinct objects");
+            }
+            switch (pred) {
+              case IntPred::ult: case IntPred::slt: return less;
+              case IntPred::ule: case IntPred::sle: return lesseq;
+              case IntPred::ugt: case IntPred::sgt: return !lesseq;
+              default: return !less;
+            }
+          }
+        }
+    }
+    switch (pred) {
+      case IntPred::eq: return l.i == r.i;
+      case IntPred::ne: return l.i != r.i;
+      case IntPred::slt: return l.i < r.i;
+      case IntPred::sle: return l.i <= r.i;
+      case IntPred::sgt: return l.i > r.i;
+      case IntPred::sge: return l.i >= r.i;
+      case IntPred::ult: return zextInt(l.i, l.bits) < zextInt(r.i, r.bits);
+      case IntPred::ule: return zextInt(l.i, l.bits) <= zextInt(r.i, r.bits);
+      case IntPred::ugt: return zextInt(l.i, l.bits) > zextInt(r.i, r.bits);
+      case IntPred::uge: return zextInt(l.i, l.bits) >= zextInt(r.i, r.bits);
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// The interpreter loop
+// ---------------------------------------------------------------------
+
+RValue
+Replayer::callFunction(const Function &fn, std::vector<RValue> args)
+{
+    if (depth_ >= options_.replayDepth)
+        stop("call depth budget exhausted");
+    depth_++;
+    Frame frame;
+    frame.fn = &fn;
+    frame.slots.assign(static_cast<size_t>(fn.numSlots()), RValue::poison());
+    size_t nParams = fn.numArgs();
+    for (size_t k = 0; k < nParams && k < args.size(); k++)
+        frame.slots[k] = args[k];
+    for (size_t k = nParams; k < args.size(); k++)
+        frame.varargs.push_back(args[k]);
+
+    const BasicBlock *bb = fn.entry();
+    size_t idx = 0;
+    while (true) {
+        const Instruction &inst = *bb->insts()[idx];
+        curFn_ = &fn;
+        curBlock_ = static_cast<unsigned>(bb->index());
+        curInst_ = static_cast<unsigned>(idx);
+        curLoc_ = inst.loc();
+        step();
+
+        switch (inst.op()) {
+          case Opcode::br:
+            bb = inst.target(0);
+            idx = 0;
+            continue;
+          case Opcode::condbr: {
+            RValue cond = evalOperand(inst.operand(0), frame);
+            if (cond.isPoison())
+                stop("branch on unknown value");
+            bb = cond.i != 0 ? inst.target(0) : inst.target(1);
+            idx = 0;
+            continue;
+          }
+          case Opcode::ret:
+            depth_--;
+            if (inst.numOperands() == 1)
+                return evalOperand(inst.operand(0), frame);
+            return RValue::poison();
+          case Opcode::unreachable_:
+            // The engine raises EngineError here (no bug report).
+            stop("reached 'unreachable' in " + fn.name());
+          default:
+            break;
+        }
+
+        RValue result = execInstruction(inst, frame);
+        if (inst.slot() >= 0)
+            frame.slots[static_cast<size_t>(inst.slot())] = result;
+        idx++;
+    }
+}
+
+RValue
+Replayer::execInstruction(const Instruction &inst, Frame &frame)
+{
+    switch (inst.op()) {
+      case Opcode::alloca_: {
+        const Type *t = inst.accessType();
+        uint64_t size = t != nullptr ? t->size() : 0;
+        if (heapUsed_ + size > options_.replayHeapBytes)
+            stop("replay memory budget exhausted");
+        heapUsed_ += size;
+        std::string name = inst.name().empty() ? "local" : inst.name();
+        int id = newObject(StorageKind::stack, t, size, /*zeroed=*/false,
+                           std::move(name));
+        return RValue::makePtr(id, 0);
+      }
+      case Opcode::load: {
+        RValue addr = evalOperand(inst.operand(0), frame);
+        return loadValue(addr, inst.accessType());
+      }
+      case Opcode::store: {
+        RValue value = evalOperand(inst.operand(0), frame);
+        RValue addr = evalOperand(inst.operand(1), frame);
+        storeValue(addr, inst.accessType(), value);
+        return RValue::poison();
+      }
+      case Opcode::gep: {
+        RValue base = evalOperand(inst.operand(0), frame);
+        int64_t offset = inst.gepConstOffset();
+        if (inst.numOperands() > 1) {
+            RValue index = evalOperand(inst.operand(1), frame);
+            if (index.isPoison())
+                return RValue::poison();
+            offset += index.i * static_cast<int64_t>(inst.gepScale());
+        }
+        if (base.isPoison())
+            return RValue::poison();
+        if (base.kind == RValue::Kind::ptr)
+            return RValue::makePtr(base.obj, base.off + offset);
+        // Like the engine, gep on a non-pointer yields a null-pointee
+        // address carrying just the offset.
+        return RValue::makePtr(-1, offset);
+      }
+      case Opcode::add: case Opcode::sub: case Opcode::mul:
+      case Opcode::sdiv: case Opcode::udiv: case Opcode::srem:
+      case Opcode::urem: case Opcode::and_: case Opcode::or_:
+      case Opcode::xor_: case Opcode::shl: case Opcode::lshr:
+      case Opcode::ashr: {
+        RValue l = evalOperand(inst.operand(0), frame);
+        RValue r = evalOperand(inst.operand(1), frame);
+        if (l.isPoison() || r.isPoison())
+            return RValue::poison();
+        if (l.kind != RValue::Kind::intVal || r.kind != RValue::Kind::intVal)
+            stop("integer arithmetic on a pointer value");
+        bool divByZero = false;
+        RValue v = evalIntBinOp(inst.op(), l, r, inst.type()->intBits(),
+                                divByZero);
+        if (divByZero)
+            stop("integer division by zero");
+        return v;
+      }
+      case Opcode::fadd: case Opcode::fsub: case Opcode::fmul:
+      case Opcode::fdiv: case Opcode::frem: {
+        RValue l = evalOperand(inst.operand(0), frame);
+        RValue r = evalOperand(inst.operand(1), frame);
+        if (l.isPoison() || r.isPoison())
+            return RValue::poison();
+        bool f32 = inst.type()->size() == 4;
+        double lf = f32 ? static_cast<float>(l.f) : l.f;
+        double rf = f32 ? static_cast<float>(r.f) : r.f;
+        double out;
+        switch (inst.op()) {
+          case Opcode::fadd: out = lf + rf; break;
+          case Opcode::fsub: out = lf - rf; break;
+          case Opcode::fmul: out = lf * rf; break;
+          case Opcode::fdiv: out = lf / rf; break;
+          default: out = std::fmod(lf, rf); break;
+        }
+        if (f32)
+            out = static_cast<float>(out);
+        return RValue::makeFP(out);
+      }
+      case Opcode::fneg: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        return RValue::makeFP(inst.type()->size() == 4
+                                  ? -static_cast<float>(v.f)
+                                  : -v.f);
+      }
+      case Opcode::icmp: {
+        RValue l = evalOperand(inst.operand(0), frame);
+        RValue r = evalOperand(inst.operand(1), frame);
+        if (l.isPoison() || r.isPoison())
+            return RValue::poison();
+        return RValue::makeInt(evalICmpValues(inst.intPred(), l, r) ? 1 : 0,
+                               1);
+      }
+      case Opcode::fcmp: {
+        RValue l = evalOperand(inst.operand(0), frame);
+        RValue r = evalOperand(inst.operand(1), frame);
+        if (l.isPoison() || r.isPoison())
+            return RValue::poison();
+        return RValue::makeInt(
+            evalFCmp(inst.floatPred(), l.f, r.f) ? 1 : 0, 1);
+      }
+      case Opcode::trunc: case Opcode::sext: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        return RValue::makeInt(v.i, inst.type()->intBits());
+      }
+      case Opcode::zext: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        return RValue::makeInt(static_cast<int64_t>(zextInt(v.i, v.bits)),
+                               inst.type()->intBits());
+      }
+      case Opcode::fptosi: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        return RValue::makeInt(satFptosi(v.f), inst.type()->intBits());
+      }
+      case Opcode::fptoui: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        return RValue::makeInt(static_cast<int64_t>(satFptoui(v.f)),
+                               inst.type()->intBits());
+      }
+      case Opcode::sitofp: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        double d = static_cast<double>(v.i);
+        if (inst.type()->size() == 4)
+            d = static_cast<float>(d);
+        return RValue::makeFP(d);
+      }
+      case Opcode::uitofp: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        double d = static_cast<double>(zextInt(v.i, v.bits));
+        if (inst.type()->size() == 4)
+            d = static_cast<float>(d);
+        return RValue::makeFP(d);
+      }
+      case Opcode::fpext: {
+        return evalOperand(inst.operand(0), frame);
+      }
+      case Opcode::fptrunc: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        return RValue::makeFP(static_cast<float>(v.f));
+      }
+      case Opcode::ptrtoint:
+        // The concrete result is a host address: never reproducible.
+        return RValue::poison();
+      case Opcode::inttoptr: {
+        RValue v = evalOperand(inst.operand(0), frame);
+        if (v.isPoison())
+            return RValue::poison();
+        return RValue::makePtr(-1, v.i);
+      }
+      case Opcode::select: {
+        RValue cond = evalOperand(inst.operand(0), frame);
+        if (cond.isPoison())
+            return RValue::poison();
+        return evalOperand(inst.operand(cond.i != 0 ? 1 : 2), frame);
+      }
+      case Opcode::call:
+        return execCall(inst, frame);
+      default:
+        stop("unmodelled instruction in replay");
+    }
+}
+
+RValue
+Replayer::execCall(const Instruction &inst, Frame &frame)
+{
+    RValue calleeV = evalOperand(inst.operand(0), frame);
+    const Function *callee = nullptr;
+    if (inst.operand(0)->valueKind() == ValueKind::function) {
+        callee = static_cast<const Function *>(inst.operand(0));
+    } else if (calleeV.kind == RValue::Kind::fnptr) {
+        callee = calleeV.fn;
+    } else {
+        stop("call through a non-function value");
+    }
+    std::vector<RValue> args;
+    for (unsigned k = 1; k < inst.numOperands(); k++)
+        args.push_back(evalOperand(inst.operand(k), frame));
+    if (callee->isIntrinsic())
+        return callIntrinsic(inst, *callee, std::move(args), frame);
+    if (callee->isDeclaration())
+        stop("call to unresolved external '" + callee->name() + "'");
+    return callFunction(*callee, std::move(args));
+}
+
+// ---------------------------------------------------------------------
+// Intrinsics
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/// Broad element class of a replay object, mirroring the managed heap's
+/// array classes.
+enum class ObjClass : uint8_t
+{
+    primitive,
+    address,
+    aggregate,
+    untyped,
+};
+
+ObjClass
+classifyObject(const RObject &o)
+{
+    const Type *t = o.type;
+    if (t == nullptr) {
+        switch (o.dynClass) {
+          case RObject::DynClass::address:
+            return ObjClass::address;
+          case RObject::DynClass::primitive:
+            return ObjClass::primitive;
+          default:
+            return ObjClass::untyped;
+        }
+    }
+    while (t->isArray())
+        t = t->elemType();
+    if (t->isPointer())
+        return ObjClass::address;
+    if (t->isAggregate())
+        return ObjClass::aggregate;
+    return ObjClass::primitive;
+}
+
+} // namespace
+
+int
+Replayer::boxVararg(const RValue &v)
+{
+    switch (v.kind) {
+      case RValue::Kind::intVal: {
+        unsigned bits = v.bits < 8 ? 8 : v.bits;
+        uint64_t size = bits / 8;
+        int id = newObject(StorageKind::stack, nullptr, size,
+                           /*zeroed=*/true, "vararg");
+        RObject &o = object(id);
+        o.dynClass = RObject::DynClass::primitive;
+        for (uint64_t k = 0; k < size; k++)
+            o.bytes[k] =
+                static_cast<uint8_t>(static_cast<uint64_t>(v.i) >> (8 * k));
+        return id;
+      }
+      case RValue::Kind::fpVal: {
+        int id = newObject(StorageKind::stack, nullptr, 8, /*zeroed=*/true,
+                           "vararg");
+        RObject &o = object(id);
+        o.dynClass = RObject::DynClass::primitive;
+        std::memcpy(o.bytes.data(), &v.f, 8);
+        return id;
+      }
+      case RValue::Kind::ptr:
+      case RValue::Kind::fnptr: {
+        int id = newObject(StorageKind::stack, nullptr, 8, /*zeroed=*/true,
+                           "vararg");
+        RObject &o = object(id);
+        o.dynClass = RObject::DynClass::address;
+        o.slots[0] = v;
+        for (uint64_t k = 0; k < 8; k++)
+            o.state[k] = ByteState::ptrPart;
+        return id;
+      }
+      case RValue::Kind::poison: {
+        int id = newObject(StorageKind::stack, nullptr, 8, /*zeroed=*/false,
+                           "vararg");
+        RObject &o = object(id);
+        o.dynClass = RObject::DynClass::primitive;
+        o.state.assign(8, ByteState::poisoned);
+        return id;
+      }
+    }
+    return -1;
+}
+
+RValue
+Replayer::callIntrinsic(const Instruction &inst, const Function &callee,
+                        std::vector<RValue> args, Frame &frame)
+{
+    const std::string &name = callee.name();
+    auto intArg = [&](size_t k) -> int64_t {
+        if (k >= args.size() || args[k].kind != RValue::Kind::intVal)
+            stop("non-integer argument to " + name);
+        return args[k].i;
+    };
+    auto fpArg = [&](size_t k) -> double {
+        if (k >= args.size() || args[k].kind != RValue::Kind::fpVal)
+            stop("non-float argument to " + name);
+        return args[k].f;
+    };
+    for (const RValue &a : args)
+        if (a.isPoison())
+            stop("unknown argument reaches " + name);
+
+    if (name == "malloc" || name == "calloc") {
+        bool isCalloc = name == "calloc";
+        int64_t size = isCalloc
+            ? static_cast<int64_t>(static_cast<uint64_t>(intArg(0)) *
+                                   static_cast<uint64_t>(intArg(1)))
+            : intArg(0);
+        if (size < 0)
+            stop("allocation with negative size");
+        if (heapUsed_ + static_cast<uint64_t>(size) >
+            options_.replayHeapBytes)
+            stop("replay memory budget exhausted");
+        heapUsed_ += static_cast<uint64_t>(size);
+        int id = newObject(StorageKind::heap, inst.accessType(),
+                           static_cast<uint64_t>(size), isCalloc, name);
+        return RValue::makePtr(id, 0);
+    }
+    if (name == "free") {
+        const RValue &p = args.empty() ? RValue::poison() : args[0];
+        if (p.isNull())
+            return RValue::poison(); // free(NULL) is a no-op
+        if (p.kind != RValue::Kind::ptr)
+            stop("free of a non-pointer value");
+        RObject &o = object(p.obj);
+        if (o.storage != StorageKind::heap) {
+            std::ostringstream os;
+            os << "free() of " << storageKindName(o.storage) << " object "
+               << describe(o);
+            fault(ErrorKind::invalidFree, AccessKind::free, &o,
+                  BoundsDirection::unknown, p.off,
+                  static_cast<int64_t>(o.size), os.str());
+        }
+        if (p.off != 0) {
+            std::ostringstream os;
+            os << "free() of interior pointer (offset " << p.off
+               << ") into " << describe(o);
+            fault(ErrorKind::invalidFree, AccessKind::free, &o,
+                  BoundsDirection::unknown, p.off,
+                  static_cast<int64_t>(o.size), os.str());
+        }
+        if (o.freed) {
+            fault(ErrorKind::doubleFree, AccessKind::free, &o,
+                  BoundsDirection::unknown, p.off,
+                  static_cast<int64_t>(o.size),
+                  "double free of " + describe(o));
+        }
+        o.freed = true;
+        heapUsed_ -= o.size <= heapUsed_ ? o.size : heapUsed_;
+        return RValue::poison();
+    }
+    if (name == "realloc") {
+        const RValue &p = args.empty() ? RValue::poison() : args[0];
+        int64_t newSize = intArg(1);
+        if (newSize < 0)
+            stop("allocation with negative size");
+        if (p.kind != RValue::Kind::ptr)
+            stop("realloc of a non-pointer value");
+        if (!p.isNull()) {
+            RObject &o = object(p.obj);
+            if (o.storage != StorageKind::heap || p.off != 0) {
+                std::ostringstream os;
+                os << "realloc() of " << describe(o);
+                if (p.off != 0)
+                    os << " at non-zero offset " << p.off;
+                fault(ErrorKind::invalidFree, AccessKind::free, &o,
+                      BoundsDirection::unknown, p.off,
+                      static_cast<int64_t>(o.size), os.str());
+            }
+            if (o.freed) {
+                fault(ErrorKind::useAfterFree, AccessKind::free, &o,
+                      BoundsDirection::unknown, p.off,
+                      static_cast<int64_t>(o.size),
+                      "realloc() of already freed " + describe(o));
+            }
+            if (classifyObject(o) == ObjClass::aggregate)
+                stop("realloc of an aggregate heap object");
+        }
+        if (heapUsed_ + static_cast<uint64_t>(newSize) >
+            options_.replayHeapBytes)
+            stop("replay memory budget exhausted");
+        heapUsed_ += static_cast<uint64_t>(newSize);
+        // A never-accessed (still unclassed, untyped) block reallocates
+        // to a fresh *uninitialized* block, like the engine's lazy path;
+        // otherwise the copied block is marked fully initialized.
+        bool neverAccessed = !p.isNull() && object(p.obj).type == nullptr &&
+            object(p.obj).dynClass == RObject::DynClass::none;
+        int id = newObject(StorageKind::heap, nullptr,
+                           static_cast<uint64_t>(newSize),
+                           /*zeroed=*/!neverAccessed && !p.isNull(),
+                           "realloc");
+        if (p.isNull() || neverAccessed) {
+            if (!p.isNull()) {
+                RObject &oldMut = object(p.obj);
+                oldMut.freed = true;
+                heapUsed_ -=
+                    oldMut.size <= heapUsed_ ? oldMut.size : heapUsed_;
+            }
+            return RValue::makePtr(id, 0);
+        }
+        {
+            // Copy min(old,new) then mark everything initialized, like
+            // ManagedHeap::reallocate (the copy is not a "use").
+            RObject &fresh = object(id);
+            const RObject &old = object(p.obj);
+            if (classifyObject(old) == ObjClass::address) {
+                fresh.dynClass = RObject::DynClass::address;
+                for (const auto &[off, sv] : old.slots) {
+                    if (off + 8 > fresh.size)
+                        break;
+                    fresh.slots[off] = sv;
+                    for (uint64_t k = 0; k < 8; k++)
+                        fresh.state[off + k] = ByteState::ptrPart;
+                }
+            } else {
+                fresh.dynClass = RObject::DynClass::primitive;
+                uint64_t copy = old.size < fresh.size ? old.size
+                                                      : fresh.size;
+                for (uint64_t k = 0; k < copy; k++) {
+                    if (old.state[k] == ByteState::poisoned)
+                        fresh.state[k] = ByteState::poisoned;
+                    else if (old.state[k] == ByteState::ptrPart)
+                        stop("realloc copy over pointer bits");
+                    else
+                        fresh.bytes[k] = old.bytes[k];
+                }
+            }
+            RObject &oldMut = object(p.obj);
+            oldMut.freed = true;
+            heapUsed_ -= oldMut.size <= heapUsed_ ? oldMut.size : heapUsed_;
+        }
+        return RValue::makePtr(id, 0);
+    }
+    if (name == "__sys_exit")
+        throw Exited{};
+    if (name == "__sys_write") {
+        int64_t len = intArg(2);
+        const RValue &buf = args[1];
+        if (len > 0 && buf.kind != RValue::Kind::ptr)
+            stop("write from a non-pointer buffer");
+        if (len > 0 && buf.isNull()) {
+            fault(ErrorKind::nullDeref, AccessKind::read, nullptr,
+                  BoundsDirection::unknown, std::nullopt, std::nullopt,
+                  "NULL dereference at " + curLoc_.toString());
+        }
+        for (int64_t k = 0; k < len; k++) {
+            RValue byte = loadByte(RValue::makePtr(buf.obj, buf.off + k));
+            (void)byte; // output is discarded; only the checks matter
+            step();
+        }
+        return RValue::makeInt(len, 64);
+    }
+    if (name == "__sys_getchar") {
+        int c = stdinPos_ < options_.replayStdin.size()
+            ? static_cast<unsigned char>(options_.replayStdin[stdinPos_++])
+            : -1;
+        return RValue::makeInt(c, 32);
+    }
+    if (name == "__sys_alloc_size") {
+        const RValue &p = args.empty() ? RValue::poison() : args[0];
+        if (p.isNull())
+            return RValue::makeInt(0, 64);
+        if (p.kind != RValue::Kind::ptr)
+            stop("__sys_alloc_size of a non-pointer value");
+        return RValue::makeInt(static_cast<int64_t>(object(p.obj).size), 64);
+    }
+    if (name == "__va_start") {
+        // Box first: newObject may reallocate objects_, so no reference
+        // into it can be held across the boxVararg calls.
+        std::vector<int> boxes;
+        boxes.reserve(frame.varargs.size());
+        for (const RValue &v : frame.varargs)
+            boxes.push_back(boxVararg(v));
+        int id = newObject(StorageKind::stack, nullptr,
+                           frame.varargs.size() * 8, /*zeroed=*/true,
+                           "va_list");
+        RObject &o = object(id);
+        o.dynClass = RObject::DynClass::varargs;
+        o.vaBoxes = std::move(boxes);
+        return RValue::makePtr(id, 0);
+    }
+    if (name == "__va_count")
+        return RValue::makeInt(static_cast<int64_t>(frame.varargs.size()),
+                               32);
+    if (name == "__va_arg_ptr") {
+        const RValue &ap = args.empty() ? RValue::poison() : args[0];
+        if (ap.isNull()) {
+            fault(ErrorKind::nullDeref, AccessKind::read, nullptr,
+                  BoundsDirection::unknown, std::nullopt, std::nullopt,
+                  "NULL dereference at " + curLoc_.toString());
+        }
+        if (ap.kind != RValue::Kind::ptr)
+            stop("va_arg on a non-pointer value");
+        RObject &o = object(ap.obj);
+        if (o.dynClass != RObject::DynClass::varargs) {
+            fault(ErrorKind::varargs, AccessKind::read, &o,
+                  BoundsDirection::unknown, std::nullopt, std::nullopt,
+                  "va_arg on a non-va_list value");
+        }
+        if (o.vaCursor >= o.vaBoxes.size()) {
+            std::ostringstream os;
+            os << "access to variadic argument " << o.vaCursor
+               << " but only " << o.vaBoxes.size() << " were passed";
+            fault(ErrorKind::varargs, AccessKind::read, &o,
+                  BoundsDirection::unknown, std::nullopt, std::nullopt,
+                  os.str());
+        }
+        return RValue::makePtr(o.vaBoxes[o.vaCursor++], 0);
+    }
+    if (name == "__va_end")
+        return RValue::poison();
+
+    // Math intrinsics (same host libm as the engine).
+    if (name == "sqrt") return RValue::makeFP(std::sqrt(fpArg(0)));
+    if (name == "sin") return RValue::makeFP(std::sin(fpArg(0)));
+    if (name == "cos") return RValue::makeFP(std::cos(fpArg(0)));
+    if (name == "tan") return RValue::makeFP(std::tan(fpArg(0)));
+    if (name == "atan") return RValue::makeFP(std::atan(fpArg(0)));
+    if (name == "atan2")
+        return RValue::makeFP(std::atan2(fpArg(0), fpArg(1)));
+    if (name == "exp") return RValue::makeFP(std::exp(fpArg(0)));
+    if (name == "log") return RValue::makeFP(std::log(fpArg(0)));
+    if (name == "pow") return RValue::makeFP(std::pow(fpArg(0), fpArg(1)));
+    if (name == "floor") return RValue::makeFP(std::floor(fpArg(0)));
+    if (name == "ceil") return RValue::makeFP(std::ceil(fpArg(0)));
+    if (name == "fabs") return RValue::makeFP(std::fabs(fpArg(0)));
+    if (name == "fmod")
+        return RValue::makeFP(std::fmod(fpArg(0), fpArg(1)));
+
+    stop("unmodelled intrinsic '" + name + "'");
+}
+
+} // namespace
+
+ReplayResult
+replayModule(const Module &module, const AnalysisOptions &options)
+{
+    Replayer replayer(module, options);
+    return replayer.run();
+}
+
+} // namespace sulong

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Refutation stage: bounded concrete replay of the analyzed program.
+ *
+ * A small whole-program interpreter re-executes the module from main()
+ * with the managed engine's error semantics (same check order: null,
+ * use-after-free, bounds; same free/realloc rules; byte-granular
+ * uninitialized-read tracking for stack and heap storage). Values that
+ * depend on inputs the replay does not have (stdin bytes beyond the
+ * provided buffer, unresolved externals) are poison; the replay stops as
+ * inconclusive the moment poison would steer control flow or address a
+ * memory access, so any fault it does reach is reached along a fully
+ * concrete prefix — exactly what the dynamic engine would execute.
+ *
+ * The analyzer uses the replay in both directions: a candidate finding is
+ * confirmed (stays `definite`) only when the replay faults at the same
+ * instruction with the same error kind; and a replay fault with no
+ * matching candidate becomes a new definite finding.
+ */
+
+#ifndef MS_ANALYSIS_REFUTER_H
+#define MS_ANALYSIS_REFUTER_H
+
+#include <optional>
+
+#include "analysis/finding.h"
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/** How a concrete replay ended. */
+enum class ReplayEnd : uint8_t
+{
+    /// Tripped a memory-safety check; `fault` is filled in.
+    fault,
+    /// Guest called exit() or returned from main.
+    exit,
+    /// Unknown value reached control flow / an address, a resource
+    /// budget ran out, or an unmodelled construct was hit.
+    inconclusive,
+};
+
+/** Result of one bounded concrete replay. */
+struct ReplayResult
+{
+    ReplayEnd end = ReplayEnd::inconclusive;
+    /// Why an inconclusive replay stopped (diagnostic only).
+    std::string reason;
+    /// The fault, as a StaticFinding anchored at the faulting
+    /// instruction (confidence definite, replayConfirmed set).
+    std::optional<StaticFinding> fault;
+    /// Instructions executed.
+    uint64_t steps = 0;
+};
+
+/** Replay @p module from main() under the option budgets. */
+ReplayResult replayModule(const Module &module,
+                          const AnalysisOptions &options);
+
+} // namespace sulong
+
+#endif // MS_ANALYSIS_REFUTER_H

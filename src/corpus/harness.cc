@@ -1,5 +1,6 @@
 #include "corpus/harness.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "support/string_utils.h"
@@ -209,6 +210,149 @@ formatMatrix(const std::vector<CorpusEntry> &entries,
         if (row.errorCount > 0)
             os << "  (" << row.errorCount << " errors)";
         os << "\n";
+    }
+    return os.str();
+}
+
+unsigned
+CrossValidationReport::falseDefinites() const
+{
+    unsigned n = 0;
+    for (const CrossValidationRow &row : rows)
+        n += row.falseDefinite ? 1 : 0;
+    return n;
+}
+
+unsigned
+CrossValidationReport::definiteHits() const
+{
+    unsigned n = 0;
+    for (const CrossValidationRow &row : rows)
+        n += row.definiteHit ? 1 : 0;
+    return n;
+}
+
+unsigned
+CrossValidationReport::staticHits() const
+{
+    unsigned n = 0;
+    for (const CrossValidationRow &row : rows)
+        n += row.staticHit ? 1 : 0;
+    return n;
+}
+
+double
+CrossValidationReport::recall() const
+{
+    return rows.empty() ? 0.0
+                        : static_cast<double>(staticHits()) /
+            static_cast<double>(rows.size());
+}
+
+double
+CrossValidationReport::definiteRecall() const
+{
+    return rows.empty() ? 0.0
+                        : static_cast<double>(definiteHits()) /
+            static_cast<double>(rows.size());
+}
+
+CrossValidationReport
+crossValidateCorpus(const std::vector<CorpusEntry> &entries,
+                    const AnalysisOptions &base)
+{
+    CrossValidationReport report;
+    auto start = std::chrono::steady_clock::now();
+
+    // The oracle is the engine the refutation stage models: Safe Sulong
+    // with uninitialized-read detection on, under the corpus budget.
+    ToolConfig config = ToolConfig::make(ToolKind::safeSulong);
+    config.managed.detectUninitReads = true;
+
+    for (const CorpusEntry &entry : entries) {
+        CrossValidationRow row;
+        row.id = entry.id;
+        row.expectedKind = entry.kind;
+        row.expected = bugClassOfError(entry.kind);
+
+        PreparedProgram prepared = prepareProgram(entry.source, config);
+        if (!prepared.ok()) {
+            row.dynamicError = true;
+            report.rows.push_back(std::move(row));
+            continue;
+        }
+
+        AnalysisOptions options = base;
+        options.replayArgs = entry.args;
+        options.replayStdin = entry.stdinData;
+        AnalysisReport analysis = analyzeModule(*prepared.module, options);
+        row.replayOutcome = analysis.replayOutcome;
+
+        prepared.engine->limits() = corpusRunLimits();
+        ExecutionResult dynamic = prepared.run(entry.args, entry.stdinData);
+        row.dynamicReport = dynamic.bug;
+        row.dynamicError =
+            dynamic.termination != TerminationKind::normal ||
+            dynamic.bug.kind == ErrorKind::engineError;
+
+        for (const StaticFinding &f : analysis.findings) {
+            bool definite = f.confidence == Confidence::definite;
+            (definite ? row.definiteCount : row.maybeCount)++;
+            if (f.kind == entry.kind) {
+                row.staticHit = true;
+                row.definiteHit = row.definiteHit || definite;
+            }
+            if (definite &&
+                (row.dynamicError || dynamic.bug.kind != f.kind))
+                row.falseDefinite = true;
+        }
+        report.rows.push_back(std::move(row));
+    }
+
+    report.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return report;
+}
+
+std::string
+formatCrossValidation(const CrossValidationReport &report)
+{
+    unsigned definiteTotal = 0, maybeTotal = 0;
+    for (const CrossValidationRow &row : report.rows) {
+        definiteTotal += row.definiteCount;
+        maybeTotal += row.maybeCount;
+    }
+    std::ostringstream os;
+    os << "Static/dynamic cross-validation over " << report.rows.size()
+       << " corpus bugs\n";
+    os << "  definite findings   " << padLeft(std::to_string(definiteTotal), 5)
+       << "\n";
+    os << "  maybe findings      " << padLeft(std::to_string(maybeTotal), 5)
+       << "\n";
+    os << "  false definites     "
+       << padLeft(std::to_string(report.falseDefinites()), 5) << "\n";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%u/%zu (%.1f%%)", report.staticHits(),
+                  report.rows.size(), report.recall() * 100.0);
+    os << "  static recall       " << buf << "\n";
+    std::snprintf(buf, sizeof buf, "%u/%zu (%.1f%%)", report.definiteHits(),
+                  report.rows.size(), report.definiteRecall() * 100.0);
+    os << "  definite recall     " << buf << "\n";
+    for (const CrossValidationRow &row : report.rows) {
+        if (!row.falseDefinite)
+            continue;
+        os << "  FALSE DEFINITE " << row.id << ": static definite vs dynamic "
+           << errorKindName(row.dynamicReport.kind)
+           << (row.dynamicError ? " (oracle error)" : "")
+           << " [replay: " << row.replayOutcome << "]\n";
+    }
+    for (const CrossValidationRow &row : report.rows) {
+        if (row.staticHit || row.falseDefinite)
+            continue;
+        os << "  missed " << row.id << " ("
+           << errorKindName(row.expectedKind) << ") [replay: "
+           << row.replayOutcome << "]\n";
     }
     return os.str();
 }

@@ -7,7 +7,9 @@
 #ifndef MS_CORPUS_HARNESS_H
 #define MS_CORPUS_HARNESS_H
 
+#include "analysis/analyzer.h"
 #include "corpus/corpus.h"
+#include "study/classifier.h"
 #include "tools/batch_runner.h"
 #include "tools/driver.h"
 
@@ -88,6 +90,60 @@ std::vector<std::string>
 exclusiveDetections(const std::vector<CorpusEntry> &entries,
                     const std::vector<MatrixRow> &rows,
                     bool count_indirect_as_found = false);
+
+/** Static-vs-dynamic comparison for one corpus entry. */
+struct CrossValidationRow
+{
+    std::string id;
+    /// Ground-truth kind and shared-taxonomy class of the planted bug.
+    ErrorKind expectedKind = ErrorKind::outOfBounds;
+    BugClass expected = BugClass::spatial;
+    /// The dynamic oracle's verdict (Safe Sulong, uninitialized-read
+    /// detection on, corpusRunLimits()).
+    BugReport dynamicReport;
+    /// The oracle gave up (compile failure / resource termination /
+    /// engine error) — nothing can be confirmed against it.
+    bool dynamicError = false;
+    unsigned definiteCount = 0;
+    unsigned maybeCount = 0;
+    /// A `definite` static finding whose kind the oracle did not
+    /// reproduce. The soundness contract is that this never happens.
+    bool falseDefinite = false;
+    /// A `definite` finding has the planted bug's kind.
+    bool definiteHit = false;
+    /// Any finding (definite or maybe) has the planted bug's kind.
+    bool staticHit = false;
+    std::string replayOutcome;
+};
+
+/** Corpus-wide static/dynamic agreement summary. */
+struct CrossValidationReport
+{
+    std::vector<CrossValidationRow> rows;
+    double wallMs = 0;
+
+    unsigned falseDefinites() const;
+    unsigned definiteHits() const;
+    unsigned staticHits() const;
+    /// Fraction of planted bugs the analyzer reported at any confidence.
+    double recall() const;
+    /// Fraction the analyzer reported as replay-confirmed `definite`.
+    double definiteRecall() const;
+};
+
+/**
+ * Run the static analyzer over every corpus entry — replaying the
+ * entry's triggering inputs in the refutation stage — then run the
+ * dynamic detector on the same module, and compare. Every `definite`
+ * static finding must agree in kind with the dynamic report; any
+ * disagreement is recorded as a false definite.
+ */
+CrossValidationReport
+crossValidateCorpus(const std::vector<CorpusEntry> &entries,
+                    const AnalysisOptions &base = {});
+
+/** Render the cross-validation summary (and any disagreeing rows). */
+std::string formatCrossValidation(const CrossValidationReport &report);
 
 } // namespace sulong
 

@@ -1,0 +1,123 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+
+namespace sulong
+{
+
+std::vector<const BasicBlock *>
+successors(const BasicBlock &bb)
+{
+    std::vector<const BasicBlock *> out;
+    const Instruction *term = bb.terminator();
+    if (term == nullptr)
+        return out;
+    switch (term->op()) {
+      case Opcode::br:
+        out.push_back(term->target(0));
+        break;
+      case Opcode::condbr:
+        out.push_back(term->target(0));
+        if (term->target(1) != term->target(0))
+            out.push_back(term->target(1));
+        break;
+      default:
+        break; // ret / unreachable: no successors
+    }
+    return out;
+}
+
+Cfg::Cfg(const Function &fn) : fn_(&fn)
+{
+    size_t n = fn.blocks().size();
+    succs_.resize(n);
+    preds_.resize(n);
+    rpoIndex_.assign(n, -1);
+    idom_.assign(n, -1);
+    if (n == 0)
+        return;
+
+    for (const auto &bb : fn.blocks()) {
+        for (const BasicBlock *succ : successors(*bb))
+            succs_[bb->index()].push_back(succ->index());
+    }
+
+    // Iterative post-order DFS from the entry block.
+    std::vector<unsigned> post;
+    std::vector<uint8_t> state(n, 0); // 0 new, 1 on stack, 2 done
+    std::vector<std::pair<unsigned, size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[block, next] = stack.back();
+        if (next < succs_[block].size()) {
+            unsigned succ = succs_[block][next++];
+            if (state[succ] == 0) {
+                state[succ] = 1;
+                stack.emplace_back(succ, 0);
+            }
+        } else {
+            state[block] = 2;
+            post.push_back(block);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < rpo_.size(); i++)
+        rpoIndex_[rpo_[i]] = static_cast<int>(i);
+
+    // Predecessors, restricted to reachable sources.
+    for (unsigned block : rpo_) {
+        for (unsigned succ : succs_[block])
+            preds_[succ].push_back(block);
+    }
+
+    // Cooper/Harvey/Kennedy iterative dominators over the RPO.
+    idom_[0] = 0;
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoIndex_[a] > rpoIndex_[b])
+                a = idom_[a];
+            while (rpoIndex_[b] > rpoIndex_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned block : rpo_) {
+            if (block == 0)
+                continue;
+            int new_idom = -1;
+            for (unsigned pred : preds_[block]) {
+                if (idom_[pred] < 0)
+                    continue;
+                new_idom = new_idom < 0
+                    ? static_cast<int>(pred)
+                    : intersect(new_idom, static_cast<int>(pred));
+            }
+            if (new_idom >= 0 && idom_[block] != new_idom) {
+                idom_[block] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Cfg::dominates(unsigned a, unsigned b) const
+{
+    if (rpoIndex_[a] < 0 || rpoIndex_[b] < 0)
+        return false;
+    unsigned cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == 0)
+            return false;
+        cur = static_cast<unsigned>(idom_[cur]);
+    }
+}
+
+} // namespace sulong

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CFG helpers over IR functions: successors/predecessors, reverse
+ * post-order, reachability and dominators.
+ *
+ * Shared by the static analyzer (worklist order, must-reach reasoning)
+ * and the verifier's lint tier (unreachable blocks, def-dominates-use).
+ * Everything works on the block indices assigned by Function::addBlock.
+ */
+
+#ifndef MS_IR_CFG_H
+#define MS_IR_CFG_H
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace sulong
+{
+
+/** Successor blocks of @p bb (0, 1 or 2, from its terminator). */
+std::vector<const BasicBlock *> successors(const BasicBlock &bb);
+
+/**
+ * Precomputed CFG of one function definition. Indices are block
+ * indices (BasicBlock::index()), which are dense and stable while the
+ * function is not structurally modified.
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    const Function &function() const { return *fn_; }
+    size_t numBlocks() const { return succs_.size(); }
+
+    const std::vector<unsigned> &succs(unsigned block) const
+    {
+        return succs_[block];
+    }
+    const std::vector<unsigned> &preds(unsigned block) const
+    {
+        return preds_[block];
+    }
+
+    /** True when @p block is reachable from the entry block. */
+    bool reachable(unsigned block) const { return rpoIndex_[block] >= 0; }
+
+    /** Reachable blocks in reverse post-order (entry first). */
+    const std::vector<unsigned> &reversePostOrder() const { return rpo_; }
+
+    /** Position of @p block in the RPO, or -1 if unreachable. */
+    int rpoIndex(unsigned block) const { return rpoIndex_[block]; }
+
+    /**
+     * Immediate dominator of @p block (entry's idom is itself);
+     * -1 for unreachable blocks.
+     */
+    int idom(unsigned block) const { return idom_[block]; }
+
+    /** True when @p a dominates @p b (both reachable; a == b counts). */
+    bool dominates(unsigned a, unsigned b) const;
+
+  private:
+    const Function *fn_;
+    std::vector<std::vector<unsigned>> succs_;
+    std::vector<std::vector<unsigned>> preds_;
+    std::vector<unsigned> rpo_;
+    std::vector<int> rpoIndex_;
+    std::vector<int> idom_;
+};
+
+} // namespace sulong
+
+#endif // MS_IR_CFG_H

@@ -1,8 +1,10 @@
 #include "ir/verifier.h"
 
+#include <map>
 #include <set>
 #include <sstream>
 
+#include "ir/cfg.h"
 #include "ir/printer.h"
 
 namespace sulong
@@ -289,6 +291,125 @@ class FunctionVerifier
     std::set<const BasicBlock *> blockSet_;
 };
 
+/** Warning-tier lint checks for one function definition. */
+class FunctionLinter
+{
+  public:
+    FunctionLinter(const Function &fn, std::vector<VerifyIssue> &issues)
+        : fn_(fn), cfg_(fn), issues_(issues)
+    {}
+
+    void
+    run()
+    {
+        checkUnreachableBlocks();
+        checkDominance();
+        checkDeadAllocaStores();
+    }
+
+  private:
+    void
+    warn(const Instruction *inst, const std::string &message)
+    {
+        std::string text = message;
+        if (inst != nullptr)
+            text += " [" + printInstruction(*inst) + "]";
+        issues_.push_back(VerifyIssue{fn_.name(), text});
+    }
+
+    void
+    checkUnreachableBlocks()
+    {
+        for (const auto &bb : fn_.blocks()) {
+            if (!cfg_.reachable(bb->index()))
+                warn(nullptr, "unreachable block ^" + bb->name());
+        }
+    }
+
+    void
+    checkDominance()
+    {
+        // Position of every instruction within its block, for same-block
+        // definition-before-use checks.
+        std::map<const Instruction *, size_t> position;
+        for (const auto &bb : fn_.blocks()) {
+            for (size_t i = 0; i < bb->insts().size(); i++)
+                position[bb->insts()[i].get()] = i;
+        }
+        for (const auto &bb : fn_.blocks()) {
+            if (!cfg_.reachable(bb->index()))
+                continue;
+            for (const auto &inst : bb->insts()) {
+                for (const Value *operand : inst->operands()) {
+                    if (operand == nullptr ||
+                        operand->valueKind() != ValueKind::instruction)
+                        continue;
+                    const auto *def =
+                        static_cast<const Instruction *>(operand);
+                    const BasicBlock *def_bb = def->parent();
+                    if (def_bb == nullptr ||
+                        def_bb->parent() != bb->parent()) {
+                        warn(inst.get(), "operand defined outside this "
+                                         "function");
+                        continue;
+                    }
+                    bool dominated;
+                    if (def_bb == bb.get()) {
+                        dominated =
+                            position[def] < position[inst.get()];
+                    } else {
+                        dominated = cfg_.reachable(def_bb->index()) &&
+                            cfg_.dominates(def_bb->index(), bb->index());
+                    }
+                    if (!dominated) {
+                        warn(inst.get(),
+                             "use not dominated by its definition (" +
+                                 printInstruction(*def) + ")");
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    checkDeadAllocaStores()
+    {
+        // An alloca whose address only ever feeds the address operand of
+        // stores is written but never read: every such store is dead.
+        // Any other use (load, gep, call argument, stored *as a value*,
+        // compare, ...) counts as an escape and disables the check.
+        for (const auto &bb : fn_.blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->op() != Opcode::alloca_)
+                    continue;
+                bool escapes = false;
+                unsigned stores = 0;
+                for (const auto &bb2 : fn_.blocks()) {
+                    for (const auto &use : bb2->insts()) {
+                        for (size_t i = 0; i < use->numOperands(); i++) {
+                            if (use->operand(i) != inst.get())
+                                continue;
+                            if (use->op() == Opcode::store && i == 1)
+                                stores++;
+                            else
+                                escapes = true;
+                        }
+                    }
+                }
+                if (!escapes && stores > 0) {
+                    warn(inst.get(),
+                         std::to_string(stores) +
+                             " dead store(s) to never-loaded alloca");
+                }
+            }
+        }
+    }
+
+    const Function &fn_;
+    Cfg cfg_;
+    std::vector<VerifyIssue> &issues_;
+};
+
 } // namespace
 
 std::vector<VerifyIssue>
@@ -298,6 +419,19 @@ verifyModule(const Module &module)
     for (const auto &fn : module.functions()) {
         FunctionVerifier verifier(*fn, issues);
         verifier.run();
+    }
+    return issues;
+}
+
+std::vector<VerifyIssue>
+lintModule(const Module &module)
+{
+    std::vector<VerifyIssue> issues;
+    for (const auto &fn : module.functions()) {
+        if (fn->isDeclaration())
+            continue;
+        FunctionLinter linter(*fn, issues);
+        linter.run();
     }
     return issues;
 }

@@ -45,6 +45,19 @@ struct VerifyIssue
  */
 std::vector<VerifyIssue> verifyModule(const Module &module);
 
+/**
+ * Warning-tier lint checks the static analyzer relies on but that do
+ * not make a module unexecutable (so they never gate compilation):
+ *  - blocks unreachable from the entry block;
+ *  - instruction-result operands whose definition does not dominate the
+ *    use (same-block uses must come after the definition);
+ *  - stores to an alloca whose address is never loaded, never offset
+ *    and never escapes (dead local stores).
+ *
+ * @return all lint findings (empty means the module is lint-clean).
+ */
+std::vector<VerifyIssue> lintModule(const Module &module);
+
 /** Convenience wrapper: true if verifyModule() found nothing. */
 bool moduleIsValid(const Module &module);
 

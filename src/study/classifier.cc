@@ -9,16 +9,41 @@ namespace sulong
 {
 
 const char *
-vulnCategoryName(VulnCategory category)
+bugClassName(BugClass bug_class)
 {
-    switch (category) {
-      case VulnCategory::spatial: return "Spatial";
-      case VulnCategory::temporal: return "Temporal";
-      case VulnCategory::nullDeref: return "NULL deref";
-      case VulnCategory::other: return "Other";
-      case VulnCategory::unrelated: return "Unrelated";
+    switch (bug_class) {
+      case BugClass::spatial: return "Spatial";
+      case BugClass::temporal: return "Temporal";
+      case BugClass::nullDeref: return "NULL deref";
+      case BugClass::other: return "Other";
+      case BugClass::unrelated: return "Unrelated";
     }
     return "invalid";
+}
+
+BugClass
+bugClassOfError(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::outOfBounds:
+      case ErrorKind::segfault:
+        return BugClass::spatial;
+      case ErrorKind::useAfterFree:
+        return BugClass::temporal;
+      case ErrorKind::nullDeref:
+        return BugClass::nullDeref;
+      case ErrorKind::doubleFree:
+      case ErrorKind::invalidFree:
+      case ErrorKind::varargs:
+      case ErrorKind::typeError:
+      case ErrorKind::uninitRead:
+        return BugClass::other;
+      case ErrorKind::none:
+      case ErrorKind::memoryLeak:
+      case ErrorKind::engineError:
+        return BugClass::unrelated;
+    }
+    return BugClass::unrelated;
 }
 
 VulnCategory

@@ -7,12 +7,19 @@
 #define MS_STUDY_CLASSIFIER_H
 
 #include "study/records.h"
+#include "support/error.h"
 
 namespace sulong
 {
 
-/** Memory-error categories of Figs. 1 and 2. */
-enum class VulnCategory : uint8_t
+/**
+ * The memory-error taxonomy of Figs. 1 and 2, shared by every report
+ * producer: the CVE study's keyword classifier, the dynamic engines'
+ * BugReports (via bugClassOfError) and the static analyzer's findings.
+ * One enum + one name table, so the cross-validation harness can compare
+ * static and dynamic verdicts without parallel string tables.
+ */
+enum class BugClass : uint8_t
 {
     spatial,   ///< out-of-bounds accesses
     temporal,  ///< use-after-free / dangling pointers
@@ -21,7 +28,18 @@ enum class VulnCategory : uint8_t
     unrelated, ///< not a memory error (ignored by the study)
 };
 
-const char *vulnCategoryName(VulnCategory category);
+/// The CVE study's historical name for the same categories.
+using VulnCategory = BugClass;
+
+const char *bugClassName(BugClass bug_class);
+inline const char *
+vulnCategoryName(VulnCategory category)
+{
+    return bugClassName(category);
+}
+
+/** Map a dynamic/static ErrorKind onto the shared taxonomy. */
+BugClass bugClassOfError(ErrorKind kind);
 
 /** Classify one record by keyword search of its description. */
 VulnCategory classifyRecord(const VulnRecord &record);

@@ -139,6 +139,18 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
                 options.faults->at("batch.job/" + std::to_string(index));
             PreparedProgram prepared =
                 prepareProgram(job.sources, job.config, cache);
+            if (prepared.ok() && options.analysis != nullptr) {
+                // Analyzed before execution so findings survive even a
+                // cancelled run; the analyzer replays this job's inputs.
+                AnalysisOptions analysis_options = *options.analysis;
+                analysis_options.replayArgs = job.args;
+                analysis_options.replayStdin = job.stdinData;
+                AnalysisReport analysis =
+                    analyzeModule(*prepared.module, analysis_options);
+                stats.staticDefinite = analysis.definiteCount();
+                stats.staticMaybe = analysis.maybeCount();
+                stats.staticFindings = std::move(analysis.findings);
+            }
             if (prepared.ok()) {
                 prepared.engine->limits() = job.limits;
                 prepared.engine->setCancellationToken(token);

@@ -26,6 +26,7 @@
 #ifndef MS_TOOLS_BATCH_RUNNER_H
 #define MS_TOOLS_BATCH_RUNNER_H
 
+#include "analysis/analyzer.h"
 #include "tools/compile_cache.h"
 #include "tools/driver.h"
 
@@ -93,6 +94,11 @@ struct BatchOptions
     /// "batch.job/<index>" before preparing, letting tests inject host
     /// faults and delays into chosen jobs.
     FaultInjector *faults = nullptr;
+    /// When set, every job's compiled module is also statically analyzed
+    /// (before execution, on the job's worker) with these options; the
+    /// job's args/stdin become the refutation replay inputs, and the
+    /// findings land in the job's JobStats.
+    const AnalysisOptions *analysis = nullptr;
 };
 
 struct BatchReport
@@ -106,6 +112,11 @@ struct BatchReport
         /// it ever started.
         unsigned attempts = 0;
         TerminationKind termination = TerminationKind::normal;
+        /// Static findings for this job's module (populated only when
+        /// BatchOptions::analysis is set).
+        std::vector<StaticFinding> staticFindings;
+        unsigned staticDefinite = 0;
+        unsigned staticMaybe = 0;
     };
 
     /// results[i] belongs to jobs[i], whatever order workers finished in.

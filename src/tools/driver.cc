@@ -247,6 +247,36 @@ parseManagedFlags(int argc, char **argv, ManagedOptions base)
     return base;
 }
 
+AnalysisOptions
+parseAnalysisFlags(int argc, char **argv, AnalysisOptions base)
+{
+    if (hasFlag(argc, argv, "no-refute"))
+        base.refute = false;
+    if (hasFlag(argc, argv, "analyze-libc"))
+        base.userCodeOnly = false;
+    base.widenAfter = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "widen-after", base.widenAfter));
+    base.replaySteps =
+        parseUint64Flag(argc, argv, "replay-steps", base.replaySteps);
+    return base;
+}
+
+AnalysisReport
+analyzeSource(const std::string &user_source, const AnalysisOptions &options,
+              const std::vector<std::string> &guest_args)
+{
+    PreparedProgram prepared =
+        prepareProgram(user_source, ToolConfig::make(ToolKind::safeSulong));
+    if (!prepared.ok()) {
+        AnalysisReport report;
+        report.replayOutcome = "compile error: " + prepared.compileErrors;
+        return report;
+    }
+    AnalysisOptions effective = options;
+    effective.replayArgs = guest_args;
+    return analyzeModule(*prepared.module, effective);
+}
+
 std::vector<ToolConfig>
 evaluationToolMatrix()
 {

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "analysis/analyzer.h"
 #include "interp/managed_engine.h"
 #include "libc/libc_sources.h"
 #include "memcheck/memcheck_runtime.h"
@@ -154,6 +155,27 @@ std::string parseStringFlag(int argc, char **argv, const char *name,
  */
 ManagedOptions parseManagedFlags(int argc, char **argv,
                                  ManagedOptions base = {});
+
+/**
+ * Apply the static-analysis flags to @p base and return the result:
+ * `--no-refute` (skip the concrete replay; nothing is demoted),
+ * `--analyze-libc` (also analyze the linked libc functions),
+ * `--widen-after N`, and `--replay-steps N`. The `--analyze` /
+ * `--analyze-only` switches themselves are mode toggles for the caller
+ * (query them with hasFlag()).
+ */
+AnalysisOptions parseAnalysisFlags(int argc, char **argv,
+                                   AnalysisOptions base = {});
+
+/**
+ * Compile @p user_source for Safe Sulong and run the static analyzer
+ * over the user functions of the resulting module, with @p guest_args
+ * as the refutation stage's replayed argv. Compile errors come back as
+ * an AnalysisReport whose replayOutcome holds the message.
+ */
+AnalysisReport analyzeSource(const std::string &user_source,
+                             const AnalysisOptions &options = {},
+                             const std::vector<std::string> &guest_args = {});
 
 } // namespace sulong
 

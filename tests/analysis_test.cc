@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the static analysis layer (src/analysis): per-bug-class
+ * positive and negative programs, refutation demotion, and smoke runs
+ * over the example programs and the safe libc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "corpus/harness.h"
+#include "tools/batch_runner.h"
+#include "tools/benchmark_programs.h"
+#include "test_util.h"
+
+namespace sulong
+{
+namespace
+{
+
+std::shared_ptr<const Module>
+moduleOf(const std::string &src)
+{
+    PreparedProgram prepared =
+        prepareProgram(src, ToolConfig::make(ToolKind::safeSulong));
+    EXPECT_TRUE(prepared.ok()) << prepared.compileErrors;
+    return prepared.module;
+}
+
+AnalysisReport
+analyze(const std::string &src, AnalysisOptions options = {})
+{
+    std::shared_ptr<const Module> module = moduleOf(src);
+    if (module == nullptr)
+        return {};
+    return analyzeModule(*module, options);
+}
+
+bool
+hasFinding(const AnalysisReport &report, ErrorKind kind,
+           Confidence confidence)
+{
+    for (const StaticFinding &f : report.findings)
+        if (f.kind == kind && f.confidence == confidence)
+            return true;
+    return false;
+}
+
+bool
+hasDefinite(const AnalysisReport &report, ErrorKind kind)
+{
+    return hasFinding(report, kind, Confidence::definite);
+}
+
+// ---------------------------------------------------------------------
+// Null dereference
+// ---------------------------------------------------------------------
+
+TEST(AnalysisNullDeref, DefiniteOnStraightLine)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int *p = 0;
+    return *p;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::nullDeref))
+        << report.toString();
+}
+
+TEST(AnalysisNullDeref, CheckedPointerIsClean)
+{
+    AnalysisReport report = analyze(R"(
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(4 * sizeof(int));
+    if (p == 0)
+        return 1;
+    p[0] = 7;
+    int v = p[0];
+    free(p);
+    return v;
+})");
+    EXPECT_FALSE(hasDefinite(report, ErrorKind::nullDeref))
+        << report.toString();
+}
+
+// ---------------------------------------------------------------------
+// Out of bounds
+// ---------------------------------------------------------------------
+
+TEST(AnalysisOob, ConstantIndexStore)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int a[4];
+    a[6] = 1;
+    return 0;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::outOfBounds))
+        << report.toString();
+}
+
+TEST(AnalysisOob, LoopWalksOffTheEnd)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int a[8];
+    int i;
+    for (i = 0; i <= 8; i++)
+        a[i] = i;
+    return a[0];
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::outOfBounds))
+        << report.toString();
+}
+
+TEST(AnalysisOob, InBoundsLoopIsClean)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int a[8];
+    int i;
+    for (i = 0; i < 8; i++)
+        a[i] = i;
+    int sum = 0;
+    for (i = 0; i < 8; i++)
+        sum = sum + a[i];
+    return sum;
+})");
+    EXPECT_FALSE(hasDefinite(report, ErrorKind::outOfBounds))
+        << report.toString();
+}
+
+// ---------------------------------------------------------------------
+// Temporal errors
+// ---------------------------------------------------------------------
+
+TEST(AnalysisTemporal, UseAfterFree)
+{
+    AnalysisReport report = analyze(R"(
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(sizeof(int));
+    if (p == 0)
+        return 1;
+    *p = 3;
+    free(p);
+    return *p;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::useAfterFree))
+        << report.toString();
+}
+
+TEST(AnalysisTemporal, DoubleFree)
+{
+    AnalysisReport report = analyze(R"(
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(16);
+    if (p == 0)
+        return 1;
+    free(p);
+    free(p);
+    return 0;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::doubleFree))
+        << report.toString();
+}
+
+TEST(AnalysisTemporal, InvalidFreeOfStackObject)
+{
+    AnalysisReport report = analyze(R"(
+#include <stdlib.h>
+int main(void) {
+    int a[4];
+    a[0] = 1;
+    free(a);
+    return 0;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::invalidFree))
+        << report.toString();
+}
+
+TEST(AnalysisTemporal, MallocFreeOnceIsClean)
+{
+    AnalysisReport report = analyze(R"(
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(8 * sizeof(int));
+    if (p == 0)
+        return 1;
+    int i;
+    for (i = 0; i < 8; i++)
+        p[i] = i;
+    int v = p[7];
+    free(p);
+    return v;
+})");
+    EXPECT_FALSE(hasDefinite(report, ErrorKind::useAfterFree));
+    EXPECT_FALSE(hasDefinite(report, ErrorKind::doubleFree));
+    EXPECT_FALSE(hasDefinite(report, ErrorKind::invalidFree));
+}
+
+// ---------------------------------------------------------------------
+// Uninitialized reads
+// ---------------------------------------------------------------------
+
+TEST(AnalysisUninit, ReadOfUninitializedLocal)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int x;
+    return x;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::uninitRead))
+        << report.toString();
+}
+
+TEST(AnalysisUninit, InitializedLocalIsClean)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int x = 5;
+    int y = x + 1;
+    return y;
+})");
+    EXPECT_FALSE(hasDefinite(report, ErrorKind::uninitRead))
+        << report.toString();
+}
+
+// ---------------------------------------------------------------------
+// Refutation
+// ---------------------------------------------------------------------
+
+TEST(AnalysisRefutation, UnreachedFaultIsDemoted)
+{
+    // The faulting store is syntactically a guaranteed null write, but
+    // the guard is false for the replayed input (argc == 1), so the
+    // concrete replay exits cleanly and the report must demote to maybe.
+    const char *src = R"(
+int main(int argc, char **argv) {
+    if (argc > 5) {
+        int *p = 0;
+        *p = 1;
+    }
+    return 0;
+})";
+    AnalysisOptions noRefute;
+    noRefute.refute = false;
+    AnalysisReport raw = analyze(src, noRefute);
+    EXPECT_TRUE(hasDefinite(raw, ErrorKind::nullDeref)) << raw.toString();
+
+    AnalysisReport refuted = analyze(src);
+    EXPECT_FALSE(hasDefinite(refuted, ErrorKind::nullDeref))
+        << refuted.toString();
+    EXPECT_TRUE(hasFinding(refuted, ErrorKind::nullDeref, Confidence::maybe))
+        << refuted.toString();
+}
+
+TEST(AnalysisRefutation, ReplayConfirmsReachedFault)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int a[4];
+    int i;
+    for (i = 0; i < 4; i++)
+        a[i] = i;
+    return a[4];
+})");
+    ASSERT_TRUE(hasDefinite(report, ErrorKind::outOfBounds))
+        << report.toString();
+    bool confirmed = false;
+    for (const StaticFinding &f : report.findings)
+        if (f.kind == ErrorKind::outOfBounds &&
+            f.confidence == Confidence::definite && f.replayConfirmed)
+            confirmed = true;
+    EXPECT_TRUE(confirmed) << report.toString();
+}
+
+TEST(AnalysisRefutation, ReplayAddsFaultMissedByAbstraction)
+{
+    // The index comes through a helper call, so the intraprocedural
+    // abstraction cannot prove the overflow — but the concrete replay
+    // reaches it and promotes it into the report.
+    AnalysisReport report = analyze(R"(
+static int pick(int n) { return n + 3; }
+int main(void) {
+    int a[4];
+    a[0] = 0;
+    a[pick(2)] = 1;
+    return 0;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::outOfBounds))
+        << report.toString();
+}
+
+// ---------------------------------------------------------------------
+// Benign programs stay clean
+// ---------------------------------------------------------------------
+
+TEST(AnalysisClean, StringAndHeapWork)
+{
+    AnalysisReport report = analyze(R"(
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+    char buf[32];
+    strcpy(buf, "hello");
+    strcat(buf, " world");
+    char *dup = strdup(buf);
+    if (dup == 0)
+        return 1;
+    int n = (int)strlen(dup);
+    free(dup);
+    return n;
+})");
+    EXPECT_EQ(report.definiteCount(), 0u) << report.toString();
+}
+
+TEST(AnalysisClean, PrintfProgram)
+{
+    AnalysisReport report = analyze(R"(
+int main(void) {
+    int i;
+    for (i = 0; i < 3; i++)
+        printf("%d\n", i);
+    return 0;
+})");
+    EXPECT_EQ(report.definiteCount(), 0u) << report.toString();
+}
+
+// ---------------------------------------------------------------------
+// Options plumbing
+// ---------------------------------------------------------------------
+
+TEST(AnalysisOptions, AnalyzeOnlyNeedsNoExecution)
+{
+    // analyzeModule never runs the engine; a report for a program whose
+    // bug sits behind unbounded input still comes back (as maybe).
+    AnalysisReport report = analyze(R"(
+int main(int argc, char **argv) {
+    int a[4];
+    a[argc * 2] = 1;
+    return 0;
+})");
+    EXPECT_GE(report.findings.size(), 0u);
+    EXPECT_EQ(report.functionsAnalyzed, 1u);
+}
+
+TEST(AnalysisOptions, ReplayArgsDriveTheVerdict)
+{
+    const char *src = R"(
+int main(int argc, char **argv) {
+    int a[4];
+    if (argc > 4)
+        a[argc] = 1;
+    return 0;
+})";
+    std::shared_ptr<const Module> module = moduleOf(src);
+    ASSERT_NE(module, nullptr);
+
+    AnalysisOptions quiet;
+    AnalysisReport clean = analyzeModule(*module, quiet);
+    EXPECT_EQ(clean.definiteCount(), 0u) << clean.toString();
+
+    AnalysisOptions loud;
+    loud.replayArgs = {"a", "b", "c", "d", "e"};
+    AnalysisReport hit = analyzeModule(*module, loud);
+    EXPECT_TRUE(hasDefinite(hit, ErrorKind::outOfBounds)) << hit.toString();
+}
+
+// ---------------------------------------------------------------------
+// Corpus cross-validation: the soundness contract
+// ---------------------------------------------------------------------
+
+TEST(AnalysisCrossValidation, ZeroFalseDefinitesOverCorpus)
+{
+    CrossValidationReport report = crossValidateCorpus(bugCorpus());
+    ASSERT_EQ(report.rows.size(), bugCorpus().size());
+    EXPECT_EQ(report.falseDefinites(), 0u) << formatCrossValidation(report);
+    // Empirical floors with head-room: the analyzer currently reports
+    // all 68 planted bugs and replay-confirms 67 of them as definite.
+    EXPECT_GE(report.recall(), 0.95) << formatCrossValidation(report);
+    EXPECT_GE(report.definiteRecall(), 0.90)
+        << formatCrossValidation(report);
+}
+
+// ---------------------------------------------------------------------
+// Smoke: example programs and the safe libc
+// ---------------------------------------------------------------------
+
+TEST(AnalysisSmoke, QuickstartDemoFindsItsPlantedBug)
+{
+    // The quickstart example's demo program: an off-by-one store.
+    AnalysisReport report = analyze(R"(
+#include <stdio.h>
+int main(void) {
+    int squares[10];
+    for (int i = 1; i <= 10; i++)
+        squares[i] = i * i;
+    printf("3^2 = %d\n", squares[3]);
+    return 0;
+})");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::outOfBounds))
+        << report.toString();
+}
+
+TEST(AnalysisSmoke, BenchmarkProgramsStayClean)
+{
+    // The performance suite doubles as a clean-program corpus: every
+    // benchmark is correct, so no replay fault (hence no definite
+    // finding) may appear. A short replay budget keeps this fast — a
+    // budget stop leaves findings at maybe, which is still clean.
+    for (const BenchmarkProgram &bench : benchmarkPrograms()) {
+        std::shared_ptr<const Module> module = moduleOf(bench.source);
+        ASSERT_NE(module, nullptr) << bench.name;
+        AnalysisOptions options;
+        options.replaySteps = 200'000;
+        options.replayArgs = bench.args;
+        AnalysisReport report = analyzeModule(*module, options);
+        EXPECT_EQ(report.definiteCount(), 0u)
+            << bench.name << "\n" << report.toString();
+    }
+}
+
+TEST(AnalysisSmoke, LibcBodiesStayClean)
+{
+    // Exercise a broad swath of the safe libc and analyze its function
+    // bodies too (not just user code): nothing may be definite.
+    AnalysisOptions options;
+    options.userCodeOnly = false;
+    std::shared_ptr<const Module> module = moduleOf(R"(
+#include <string.h>
+#include <stdlib.h>
+#include <stdio.h>
+static int cmp_int(const void *a, const void *b) {
+    return *(const int *)a - *(const int *)b;
+}
+int main(void) {
+    char buf[64];
+    strcpy(buf, "hello");
+    strncat(buf, " world", 32);
+    char *dup = strdup(buf);
+    if (dup == 0)
+        return 1;
+    if (strcmp(dup, buf) != 0 || strstr(buf, "world") == 0)
+        return 1;
+    memmove(buf + 1, buf, 10);
+    memset(buf + 20, 'x', 8);
+    int nums[5] = {4, 1, 3, 5, 2};
+    qsort(nums, 5, sizeof(int), cmp_int);
+    char out[32];
+    snprintf(out, sizeof out, "%d %s", nums[0], dup);
+    printf("%s len=%d atoi=%d\n", out, (int)strlen(out), atoi("42"));
+    free(dup);
+    return 0;
+})");
+    ASSERT_NE(module, nullptr);
+    AnalysisReport report = analyzeModule(*module, options);
+    EXPECT_EQ(report.definiteCount(), 0u) << report.toString();
+    EXPECT_GT(report.functionsAnalyzed, 10u);
+}
+
+// ---------------------------------------------------------------------
+// Batch-runner integration
+// ---------------------------------------------------------------------
+
+TEST(AnalysisBatch, FindingsLandInJobStats)
+{
+    std::vector<BatchJob> jobs;
+    jobs.push_back(BatchJob::make(
+        "int main(void) { int *p = 0; return *p; }",
+        ToolConfig::make(ToolKind::safeSulong)));
+    jobs.push_back(BatchJob::make(
+        "int main(void) { return 0; }",
+        ToolConfig::make(ToolKind::safeSulong)));
+
+    AnalysisOptions analysis;
+    BatchOptions options;
+    options.analysis = &analysis;
+    BatchReport report = runBatch(jobs, options);
+
+    ASSERT_EQ(report.jobStats.size(), 2u);
+    EXPECT_GE(report.jobStats[0].staticDefinite, 1u);
+    ASSERT_FALSE(report.jobStats[0].staticFindings.empty());
+    EXPECT_EQ(report.jobStats[0].staticFindings[0].kind,
+              ErrorKind::nullDeref);
+    EXPECT_EQ(report.jobStats[1].staticDefinite, 0u);
+    EXPECT_TRUE(report.jobStats[1].staticFindings.empty());
+    // The dynamic run still happened and agrees.
+    EXPECT_EQ(report.results[0].bug.kind, ErrorKind::nullDeref);
+    EXPECT_TRUE(report.results[1].ok());
+}
+
+TEST(AnalysisBatch, NoAnalysisByDefault)
+{
+    std::vector<BatchJob> jobs;
+    jobs.push_back(BatchJob::make(
+        "int main(void) { int *p = 0; return *p; }",
+        ToolConfig::make(ToolKind::safeSulong)));
+    BatchReport report = runBatch(jobs);
+    ASSERT_EQ(report.jobStats.size(), 1u);
+    EXPECT_TRUE(report.jobStats[0].staticFindings.empty());
+    EXPECT_EQ(report.jobStats[0].staticDefinite, 0u);
+}
+
+} // namespace
+} // namespace sulong
