@@ -14,6 +14,17 @@ Subcommands:
                      report and fail on any false `definite` static
                      finding (the analyzer's soundness contract) or on
                      recall below the floors.
+  obs METRICS [--trace FILE] [--require NAME...]
+                     validate an obs/v1 metrics document (and optionally
+                     a Chrome trace-event file) emitted by --metrics-json
+                     / --trace-out; each --require'd counter must be
+                     present and nonzero ("a|b" accepts either).
+  overhead --base B... --with W... --benches A,B [--max-ratio X]
+                     compare Safe Sulong ns_per_op of a telemetry-enabled
+                     build (--with) against the MS_OBS=OFF baseline
+                     (--base) over paired measurement rounds, and fail
+                     if the geomean of per-bench median ratios exceeds
+                     the ceiling — disabled hooks must be (near) free.
 """
 
 import argparse
@@ -158,6 +169,153 @@ def cmd_analysis(args):
     return 0
 
 
+OBS_SCHEMA = "obs/v1"
+
+
+def load_obs_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != OBS_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {OBS_SCHEMA!r}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: counters missing or not an object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} must be a non-negative int,"
+                 f" got {value!r}")
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        fail(f"{path}: gauges missing or not an object")
+    for name, value in gauges.items():
+        if not isinstance(value, int):
+            fail(f"{path}: gauge {name!r} must be an int, got {value!r}")
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict):
+        fail(f"{path}: histograms missing or not an object")
+    for name, hist in histograms.items():
+        where = f"{path}: histogram {name!r}"
+        if not isinstance(hist, dict):
+            fail(f"{where}: not an object")
+        for key in ("count", "sum"):
+            v = hist.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{where}: {key} must be a non-negative int, got {v!r}")
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"{where}: buckets missing or not a list")
+        total = 0
+        for b in buckets:
+            if (not isinstance(b, list) or len(b) != 3 or
+                    not all(isinstance(x, int) and x >= 0 for x in b)):
+                fail(f"{where}: bucket {b!r} is not a [lo, hi, count]"
+                     " triple of non-negative ints")
+            lo, hi, count = b
+            if lo > hi:
+                fail(f"{where}: bucket [{lo}, {hi}] has lo > hi")
+            total += count
+        if total != hist["count"]:
+            fail(f"{where}: bucket counts sum to {total},"
+                 f" count says {hist['count']}")
+    return doc
+
+
+def check_obs_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents missing or not a list")
+    if not events:
+        fail(f"{path}: traceEvents is empty — tracing produced nothing")
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"{where}: name missing or empty")
+        if e.get("ph") not in ("X", "i"):
+            fail(f"{where}: ph is {e.get('ph')!r}, want 'X' or 'i'")
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(e.get(key), (int, float)):
+                fail(f"{where}: {key} missing or not a number")
+        if e["ph"] == "X" and not isinstance(e.get("dur"), (int, float)):
+            fail(f"{where}: complete span without a dur")
+    return events
+
+
+def cmd_obs(args):
+    doc = load_obs_metrics(args.metrics)
+    counters = doc["counters"]
+    for requirement in args.require:
+        # "a|b" means any one of the alternatives satisfies it.
+        alternatives = [name for name in requirement.split("|") if name]
+        if not any(counters.get(name, 0) > 0 for name in alternatives):
+            fail(f"{args.metrics}: required counter {requirement!r}"
+                 " is missing or zero")
+    print(f"{args.metrics}: ok ({len(counters)} counters,"
+          f" {len(doc['histograms'])} histograms,"
+          f" {len(args.require)} requirement(s) met)")
+    if args.trace:
+        events = check_obs_trace(args.trace)
+        spans = sum(1 for e in events if e["ph"] == "X")
+        print(f"{args.trace}: ok ({len(events)} events, {spans} spans)")
+    return 0
+
+
+def cmd_overhead(args):
+    """Wall-clock comparisons on shared CI hosts are noisy (frequency
+    scaling, co-tenancy) at a scale far above the overhead ceiling, so
+    the gate takes several PAIRED rounds — each round runs both builds
+    back to back, ideally alternating which goes first — and judges the
+    per-bench MEDIAN of the per-round ratios. Pairing cancels slow
+    drift; the median discards rounds where a scheduler hiccup landed on
+    one side; alternation cancels within-round warm-up bias."""
+    if len(args.base) != len(args.with_obs):
+        fail(f"--base has {len(args.base)} file(s) but --with has"
+             f" {len(args.with_obs)} — rounds must be paired")
+    base_rounds = [sulong_records(p) for p in args.base]
+    with_rounds = [sulong_records(p) for p in args.with_obs]
+    benches = [b for b in args.benches.split(",") if b]
+    if not benches:
+        fail("--benches is empty")
+    medians = []
+    for bench in benches:
+        ratios = []
+        for base, with_obs, bp, wp in zip(base_rounds, with_rounds,
+                                          args.base, args.with_obs):
+            if bench not in base:
+                fail(f"{bp}: no {ENGINE} record for {bench}")
+            if bench not in with_obs:
+                fail(f"{wp}: no {ENGINE} record for {bench}")
+            if base[bench]["steps_per_op"] != with_obs[bench]["steps_per_op"]:
+                fail(f"{bench}: steps_per_op differs "
+                     f"({base[bench]['steps_per_op']} vs "
+                     f"{with_obs[bench]['steps_per_op']}) — telemetry hooks "
+                     "must not change the guest work retired")
+            ratios.append(with_obs[bench]["ns_per_op"] /
+                          base[bench]["ns_per_op"])
+        ratios.sort()
+        mid = len(ratios) // 2
+        if len(ratios) % 2:
+            median = ratios[mid]
+        else:
+            median = math.sqrt(ratios[mid - 1] * ratios[mid])
+        medians.append(median)
+        rounds = ", ".join(f"{r:.3f}" for r in ratios)
+        print(f"{bench}: per-round ratios [{rounds}] median={median:.3f}x")
+    geomean = math.exp(sum(map(math.log, medians)) / len(medians))
+    print(f"geomean overhead: {geomean:.3f}x (ceiling {args.max_ratio}x)")
+    if geomean > args.max_ratio:
+        fail(f"disabled-telemetry overhead {geomean:.3f}x exceeds"
+             f" ceiling {args.max_ratio}x")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -177,6 +335,25 @@ def main():
     p_analysis.add_argument("--min-definite-recall", type=float,
                             default=0.90)
     p_analysis.set_defaults(func=cmd_analysis)
+    p_obs = sub.add_parser("obs")
+    p_obs.add_argument("metrics")
+    p_obs.add_argument("--trace", help="Chrome trace-event file to check")
+    p_obs.add_argument("--require", nargs="*", default=[],
+                       help="counters that must be nonzero;"
+                            " 'a|b' accepts either")
+    p_obs.set_defaults(func=cmd_obs)
+    p_overhead = sub.add_parser("overhead")
+    p_overhead.add_argument("--base", nargs="+", required=True,
+                            help="MS_OBS=OFF baseline bench JSON,"
+                                 " one file per round")
+    p_overhead.add_argument("--with", dest="with_obs", nargs="+",
+                            required=True,
+                            help="default-build (hooks compiled in,"
+                                 " disabled) bench JSON, paired by round")
+    p_overhead.add_argument("--benches", required=True,
+                            help="comma-separated bench names to compare")
+    p_overhead.add_argument("--max-ratio", type=float, default=1.02)
+    p_overhead.set_defaults(func=cmd_overhead)
     args = parser.parse_args()
     sys.exit(args.func(args))
 

@@ -21,6 +21,8 @@
 #include "analysis/lattice.h"
 #include "analysis/refuter.h"
 #include "ir/cfg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sulong
 {
@@ -284,6 +286,16 @@ class FunctionAnalyzer
     /// Appends this function's candidates to @p findings; returns false
     /// when the fixpoint was abandoned (findings stay maybe).
     bool run(std::vector<StaticFinding> &findings);
+
+    /// Fixpoint iterations of the last run() (telemetry).
+    uint64_t
+    blockVisitsTotal() const
+    {
+        uint64_t total = 0;
+        for (unsigned v : visits_)
+            total += v;
+        return total;
+    }
 
   private:
     // --- Object enumeration ----------------------------------------------
@@ -2429,6 +2441,8 @@ FunctionAnalyzer::run(std::vector<StaticFinding> &findings)
 AnalysisReport
 analyzeModule(const Module &module, const AnalysisOptions &options)
 {
+    MS_TRACE_SPAN("analysis.module");
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     AnalysisReport report;
     for (const auto &fn : module.functions()) {
         if (fn->isDeclaration() || fn->isIntrinsic())
@@ -2436,26 +2450,45 @@ analyzeModule(const Module &module, const AnalysisOptions &options)
         if (options.userCodeOnly &&
             fn->sourceFile().rfind("libc/", 0) == 0)
             continue;
+        MS_TRACE_SPAN("analysis.function", fn->name());
         FunctionAnalyzer analyzer(module, *fn, options);
         std::vector<StaticFinding> fnFindings;
         bool complete = analyzer.run(fnFindings);
+        reg.counter("analysis.functions").inc();
+        if (uint64_t visits = analyzer.blockVisitsTotal(); visits != 0)
+            reg.counter("analysis.fixpoint.block_visits").inc(visits);
         report.incomplete = report.incomplete || !complete;
         report.functionsAnalyzed++;
         for (StaticFinding &f : fnFindings)
             report.findings.push_back(std::move(f));
     }
 
-    if (!options.refute)
+    auto countFindings = [&reg, &report] {
+        uint64_t definite = 0;
+        uint64_t maybe = 0;
+        for (const StaticFinding &f : report.findings)
+            (f.confidence == Confidence::definite ? definite : maybe)++;
+        if (definite != 0)
+            reg.counter("analysis.findings.definite").inc(definite);
+        if (maybe != 0)
+            reg.counter("analysis.findings.maybe").inc(maybe);
+    };
+
+    if (!options.refute) {
+        countFindings();
         return report;
+    }
 
     const Function *main = module.findFunction("main");
     if (main == nullptr || main->isDeclaration()) {
         // Nothing to replay: nothing can stay definite.
         for (StaticFinding &f : report.findings)
             f.confidence = Confidence::maybe;
+        countFindings();
         return report;
     }
 
+    MS_TRACE_SPAN("analysis.refute");
     ReplayResult replay = replayModule(module, options);
     report.replayRan = true;
     switch (replay.end) {
@@ -2473,6 +2506,8 @@ analyzeModule(const Module &module, const AnalysisOptions &options)
     }
 
     bool matched = false;
+    uint64_t confirmed = 0;
+    uint64_t demoted = 0;
     for (StaticFinding &f : report.findings) {
         bool confirms = replay.end == ReplayEnd::fault &&
             replay.fault.has_value() &&
@@ -2489,13 +2524,23 @@ analyzeModule(const Module &module, const AnalysisOptions &options)
             if (replay.fault->objectSize.has_value())
                 f.objectSize = replay.fault->objectSize;
             matched = true;
+            confirmed++;
         } else {
+            if (f.confidence == Confidence::definite)
+                demoted++;
             f.confidence = Confidence::maybe;
         }
     }
     if (replay.end == ReplayEnd::fault && replay.fault.has_value() &&
-        !matched)
+        !matched) {
         report.findings.push_back(*replay.fault);
+        reg.counter("analysis.refute.promoted").inc();
+    }
+    if (confirmed != 0)
+        reg.counter("analysis.refute.confirmed").inc(confirmed);
+    if (demoted != 0)
+        reg.counter("analysis.refute.demoted").inc(demoted);
+    countFindings();
     return report;
 }
 

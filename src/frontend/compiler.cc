@@ -6,6 +6,8 @@
 #include "frontend/lexer.h"
 #include "frontend/parser.h"
 #include "ir/verifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sulong
 {
@@ -67,6 +69,8 @@ CompileResult
 compileC(const std::vector<SourceFile> &sources,
          const CompileOptions &options)
 {
+    MS_TRACE_SPAN("frontend.compile");
+    obs::MetricsRegistry::global().counter("frontend.compiles").inc();
     CompileResult result;
     DiagnosticEngine diags;
     auto module = std::make_unique<Module>();
@@ -80,18 +84,24 @@ compileC(const std::vector<SourceFile> &sources,
         all.push_back(src);
 
     TypedefMap typedefs;
-    for (const auto &src : all) {
-        Lexer lexer(src.name, src.text, diags);
-        Parser parser(lexer.lexAll(), ctypes, diags, typedefs);
-        parser.parseInto(unit);
+    {
+        MS_TRACE_SPAN("frontend.parse");
+        for (const auto &src : all) {
+            Lexer lexer(src.name, src.text, diags);
+            Parser parser(lexer.lexAll(), ctypes, diags, typedefs);
+            parser.parseInto(unit);
+        }
     }
     if (diags.hasErrors()) {
         result.errors = diags.dump();
         return result;
     }
 
-    CodeGen codegen(*module, ctypes, diags);
-    codegen.generate(unit);
+    {
+        MS_TRACE_SPAN("frontend.codegen");
+        CodeGen codegen(*module, ctypes, diags);
+        codegen.generate(unit);
+    }
     if (diags.hasErrors()) {
         result.errors = diags.dump();
         return result;
@@ -105,6 +115,7 @@ compileC(const std::vector<SourceFile> &sources,
             fn->setIntrinsic(true);
     }
 
+    MS_TRACE_SPAN("frontend.verify");
     module->finalize();
     auto issues = verifyModule(*module);
     if (!issues.empty()) {

@@ -5,6 +5,8 @@
 #include <string_view>
 
 #include "interp/tier2.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sulong
 {
@@ -316,15 +318,24 @@ ExecutionResult
 ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
                    const std::string &stdin_data)
 {
+    MS_TRACE_SPAN("managed.run");
     bool resume = options_.persistState && module_ == &module &&
         globals_ != nullptr;
     // Per-run accounting, also when resuming with kept tier state.
     guard_ = ResourceGuard(limits_, cancelToken_);
+    // One relaxed load per run; hot paths branch on the cached bool.
+    profiling_ = obs::metricsEnabled();
+    telem_ = ManagedTelemetry{};
+    fnProfiles_.clear();
     if (!resume) {
         module_ = &module;
         globals_ = std::make_unique<GlobalStore>(module);
         heapTypes_ = std::make_unique<TypeContext>();
         heap_ = std::make_unique<ManagedHeap>(*heapTypes_, &guard_);
+        heapAllocBytesFlushed_ = 0;
+        heapFreedBytesFlushed_ = 0;
+        heapAllocsFlushed_ = 0;
+        heapFreesFlushed_ = 0;
         mementos_.clear();
         pinned_.clear();
         pinIds_.clear();
@@ -402,7 +413,15 @@ ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
     result.output = std::move(io_.output);
     result.errOutput = std::move(io_.errOutput);
     io_.guard = nullptr;
+    if (profiling_)
+        flushTelemetry(result);
     return result;
+}
+
+ManagedEngine::FnProfile *
+ManagedEngine::profileFor(const Function *fn)
+{
+    return &fnProfiles_[fn];
 }
 
 MValue
@@ -422,6 +441,10 @@ ManagedEngine::callFunction(const Function *fn, std::vector<MValue> args,
             code = it->second.get();
         else if (count >= options_.compileThreshold)
             code = tier2CodeFor(fn, nullptr);
+    }
+    if (profiling_) {
+        FnProfile *prof = profileFor(fn);
+        (code != nullptr ? prof->tier2Calls : prof->tier1Calls)++;
     }
 
     Frame frame;
@@ -489,6 +512,8 @@ ManagedEngine::tier2CodeFor(const Function *fn, const char *why)
     auto it = compiled_.find(fn);
     if (it != compiled_.end())
         return it->second.get();
+    MS_TRACE_SPAN("tier2.compile", fn->name());
+    unsigned inlinedBefore = inlinedSites_;
     auto code = compileTier2(*fn, *this);
     if (options_.compileLatencyNsPerInst > 0) {
         // Model Graal's compile time (warm-up experiments).
@@ -501,6 +526,11 @@ ManagedEngine::tier2CodeFor(const Function *fn, const char *why)
     compileEvents_.push_back(CompileEvent{
         why != nullptr ? fn->name() + why : fn->name(), guard_.steps()});
     tier2Count_++;
+    if (profiling_) {
+        telem_.tier2Compiles++;
+        telem_.inlinedSites += inlinedSites_ - inlinedBefore;
+        telem_.tier2CodeSizes.push_back(code->codeSize());
+    }
     CompiledFunction *raw = code.get();
     compiled_[fn] = std::move(code);
     return raw;
@@ -538,9 +568,12 @@ ManagedEngine::interpret(const Function *fn, Frame &frame)
     size_t idx = 0;
     uint64_t backedges = 0;
     bool osr = options_.enableTier2 && options_.enableOsr;
+    FnProfile *prof = profiling_ ? profileFor(fn) : nullptr;
     while (true) {
         const Instruction &inst = *bb->insts()[idx];
         step();
+        if (prof != nullptr)
+            prof->tier1Steps++;
         switch (inst.op()) {
           case Opcode::br:
           case Opcode::condbr: {

@@ -82,6 +82,32 @@ struct CompileEvent
 };
 
 /**
+ * Per-run execution-profiler scratch. Plain (non-atomic) fields: the
+ * engine is single-threaded per run, so hot paths pay one predicted
+ * branch per event and the totals go to the global obs registry in one
+ * batch when run() finishes (see ManagedEngine::flushTelemetry).
+ */
+struct ManagedTelemetry
+{
+    uint64_t tier2Compiles = 0;
+    uint64_t inlinedSites = 0;
+    // Call inline caches (tier-2 indirect call sites).
+    uint64_t icToMono = 0;
+    uint64_t icToMega = 0;
+    uint64_t icHits = 0;
+    // Redundant-check elision: address-slot resolutions and struct-shape
+    // access caches (the two complementary tiers of PR 3).
+    uint64_t elideSlotHits = 0;
+    uint64_t elideSlotMisses = 0;
+    uint64_t elideShapeHits = 0;
+    uint64_t elideShapeMisses = 0;
+    /// Code size of each tier-2 compile this run; recorded here and
+    /// flushed to the registry histogram at run() end, so the compile
+    /// path never touches the registry from this TU.
+    std::vector<uint64_t> tier2CodeSizes;
+};
+
+/**
  * The Safe Sulong engine.
  */
 class ManagedEngine : public Engine
@@ -167,6 +193,22 @@ class ManagedEngine : public Engine
     void step();
     void reportLeaks(ExecutionResult &result);
 
+    // --- Execution profiler ------------------------------------------------
+    /// Per-function retired-step and tier attribution.
+    struct FnProfile
+    {
+        uint64_t tier1Steps = 0;
+        uint64_t tier2Steps = 0;
+        uint64_t tier1Calls = 0;
+        uint64_t tier2Calls = 0;
+    };
+    FnProfile *profileFor(const Function *fn);
+    /// Push this run's telemetry into the global obs registry. Defined
+    /// in engine_telemetry.cc: keeping the registry-heavy code out of
+    /// this TU keeps the interpreter's codegen byte-identical between
+    /// MS_OBS=ON and =OFF builds (the perf-gate comparison).
+    void flushTelemetry(const ExecutionResult &result);
+
     // --- State ---------------------------------------------------------------
     ManagedOptions options_;
     const Module *module_ = nullptr;
@@ -213,6 +255,19 @@ class ManagedEngine : public Engine
     /// liveness) before use anyway. Starts at 1 so the epoch==0
     /// "uncacheable" sentinel in SlotResolution can never match.
     uint64_t resolveEpoch_ = 1;
+
+    /// Execution-profiler state; profiling_ is captured once per run
+    /// from obs::metricsEnabled() so the per-instruction cost of a
+    /// disabled profiler is a single predicted branch.
+    bool profiling_ = false;
+    ManagedTelemetry telem_;
+    std::unordered_map<const Function *, FnProfile> fnProfiles_;
+    /// Heap totals already flushed (the heap outlives run() under
+    /// persistState, so flushes must be delta-based).
+    uint64_t heapAllocBytesFlushed_ = 0;
+    uint64_t heapFreedBytesFlushed_ = 0;
+    uint64_t heapAllocsFlushed_ = 0;
+    uint64_t heapFreesFlushed_ = 0;
 };
 
 } // namespace sulong

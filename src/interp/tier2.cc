@@ -673,6 +673,8 @@ CompiledFunction::loadAt(ManagedEngine &engine, const Address &addr,
     if (sr != nullptr && sr->epoch == engine.resolveEpoch_ &&
         sr->obj.get() == obj && sr->offset == addr.offset &&
         sr->size == size && !obj->isFreed()) {
+        if (engine.profiling_)
+            engine.telem_.elideSlotHits++;
         return engine.loadFromObject(sr->leaf, sr->leafOffset, type);
     }
     // Tier B — struct-shape cache: wins when the address changes every
@@ -685,15 +687,21 @@ CompiledFunction::loadAt(ManagedEngine &engine, const Address &addr,
             addr.offset >= cache.fieldOffset &&
             addr.offset - cache.fieldOffset +
                     static_cast<int64_t>(size) <= cache.fieldSize) {
+            if (engine.profiling_)
+                engine.telem_.elideShapeHits++;
             return engine.loadFromObject(sobj->field(cache.fieldIndex),
                                          addr.offset - cache.fieldOffset,
                                          type);
         }
+        if (engine.profiling_)
+            engine.telem_.elideShapeMisses++;
         MValue v = engine.loadFromObject(obj, addr.offset, type);
         fillAccessCache(cache, sobj, addr.offset, size);
         return v;
     }
     if (sr != nullptr) {
+        if (engine.profiling_)
+            engine.telem_.elideSlotMisses++;
         int64_t leaf_off = 0;
         ManagedObject *leaf =
             resolveLeaf(obj, addr.offset, size, false, leaf_off);
@@ -727,6 +735,8 @@ CompiledFunction::storeAt(ManagedEngine &engine, const Address &addr,
     if (sr != nullptr && sr->epoch == engine.resolveEpoch_ &&
         sr->obj.get() == obj && sr->offset == addr.offset &&
         sr->size == size && !obj->isFreed()) {
+        if (engine.profiling_)
+            engine.telem_.elideSlotHits++;
         engine.storeToObject(sr->leaf, sr->leafOffset, type, v);
         return;
     }
@@ -737,15 +747,21 @@ CompiledFunction::storeAt(ManagedEngine &engine, const Address &addr,
             addr.offset >= cache.fieldOffset &&
             addr.offset - cache.fieldOffset +
                     static_cast<int64_t>(size) <= cache.fieldSize) {
+            if (engine.profiling_)
+                engine.telem_.elideShapeHits++;
             engine.storeToObject(sobj->field(cache.fieldIndex),
                                  addr.offset - cache.fieldOffset, type, v);
             return;
         }
+        if (engine.profiling_)
+            engine.telem_.elideShapeMisses++;
         engine.storeToObject(obj, addr.offset, type, v);
         fillAccessCache(cache, sobj, addr.offset, size);
         return;
     }
     if (sr != nullptr) {
+        if (engine.profiling_)
+            engine.telem_.elideSlotMisses++;
         int64_t leaf_off = 0;
         ManagedObject *leaf =
             resolveLeaf(obj, addr.offset, size, true, leaf_off);
@@ -792,11 +808,15 @@ CompiledFunction::execute(ManagedEngine &engine,
         storeAt(engine, fetch(pi.c).a, pi.srcStore, v, pi.icStore, sr);
     };
 
+    ManagedEngine::FnProfile *prof =
+        engine.profiling_ ? engine.profileFor(fn_) : nullptr;
     size_t pc = start_pc;
     try {
         while (true) {
             const PInst &pi = code_[pc];
             engine.step();
+            if (prof != nullptr)
+                prof->tier2Steps++;
             switch (pi.op) {
               case Opcode::br:
                 pc = static_cast<size_t>(pi.t0);
@@ -992,6 +1012,7 @@ CompiledFunction::execute(ManagedEngine &engine,
                     site.cachedFnId != kICMegamorphic) {
                     uint32_t id = static_cast<const FunctionObject *>(
                         target.a.pointee.get())->fnId();
+                    uint32_t cachedBefore = site.cachedFnId;
                     if (site.cachedFnId == kICEmpty) {
                         const Function *fn = engine.module_->functionById(id);
                         if (fn != nullptr && !fn->isDeclaration() &&
@@ -1000,13 +1021,21 @@ CompiledFunction::execute(ManagedEngine &engine,
                             site.callee = fn;
                             site.code = engine.tier2CodeFor(fn, " (IC)");
                             site.cachedFnId = id;
+                            if (engine.profiling_)
+                                engine.telem_.icToMono++;
                         } else {
                             site.cachedFnId = kICMegamorphic;
+                            if (engine.profiling_)
+                                engine.telem_.icToMega++;
                         }
                     } else if (site.cachedFnId != id) {
                         site.cachedFnId = kICMegamorphic; // polymorphic
+                        if (engine.profiling_)
+                            engine.telem_.icToMega++;
                     }
                     if (site.cachedFnId == id) {
+                        if (engine.profiling_ && cachedBefore == id)
+                            engine.telem_.icHits++;
                         std::vector<MValue> args;
                         args.reserve(site.args.size());
                         for (const POperand &op : site.args)

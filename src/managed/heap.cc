@@ -135,6 +135,7 @@ ManagedHeap::allocate(int64_t size, const Type *elem_hint,
         guard_->onAlloc(size > 0 ? static_cast<uint64_t>(size) : 0);
     allocationCount_++;
     liveBytes_ += size;
+    allocBytesTotal_ += size > 0 ? static_cast<uint64_t>(size) : 0;
     if (elem_hint != nullptr) {
         ObjRef obj = allocTyped(elem_hint, size);
         if (!obj) {
@@ -306,6 +307,8 @@ ManagedHeap::deallocate(const Address &ptr)
     if (guard_ != nullptr)
         guard_->onFree(size > 0 ? static_cast<uint64_t>(size) : 0);
     liveBytes_ -= size;
+    freedBytesTotal_ += size > 0 ? static_cast<uint64_t>(size) : 0;
+    freeCount_++;
     live_.erase(obj);
     obj->free();
 }

@@ -112,6 +112,10 @@ class ManagedHeap
     /** Bytes logically allocated and not yet freed (for stats/tests). */
     int64_t liveBytes() const { return liveBytes_; }
     uint64_t allocationCount() const { return allocationCount_; }
+    /** Cumulative totals for the execution profiler (never decrease). */
+    uint64_t allocBytesTotal() const { return allocBytesTotal_; }
+    uint64_t freedBytesTotal() const { return freedBytesTotal_; }
+    uint64_t freeCount() const { return freeCount_; }
 
     /**
      * Leak census at program exit (paper Section 6): blocks that were
@@ -130,6 +134,9 @@ class ManagedHeap
     ResourceGuard *guard_;
     int64_t liveBytes_ = 0;
     uint64_t allocationCount_ = 0;
+    uint64_t allocBytesTotal_ = 0;
+    uint64_t freedBytesTotal_ = 0;
+    uint64_t freeCount_ = 0;
     /// Live heap allocations (weak pointers; entries removed on free).
     std::map<const ManagedObject *, int64_t> live_;
 

@@ -1,0 +1,410 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sulong::obs
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char raw : s) {
+        // Unsigned, or high bytes sign-extend and mis-format as \uffXX.
+        unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        default:
+            if (c < 0x20 || c >= 0x7F) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent validator; enough JSON to check our own output. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    bool
+    check(std::string *error)
+    {
+        bool ok = value() && (skipWs(), pos_ == text_.size());
+        if (!ok && error != nullptr) {
+            *error = "invalid JSON at byte " + std::to_string(pos_) +
+                (message_.empty() ? "" : ": " + message_);
+        }
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            pos_++;
+    }
+
+    bool
+    fail(const char *why)
+    {
+        if (message_.empty())
+            message_ = why;
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        pos_++;
+        while (pos_ < text_.size()) {
+            unsigned char c = static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                pos_++;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                pos_++;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; i++) {
+                        if (pos_ + i >= text_.size() ||
+                            std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])) == 0)
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                           e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                    return fail("bad escape");
+                }
+            }
+            pos_++;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+            pos_++;
+        if (pos_ == start ||
+            (pos_ == start + 1 && text_[start] == '-'))
+            return fail("expected number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            pos_++;
+            size_t frac = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                       0)
+                pos_++;
+            if (pos_ == frac)
+                return fail("expected fraction digits");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            pos_++;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                pos_++;
+            size_t exp = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                       0)
+                pos_++;
+            if (pos_ == exp)
+                return fail("expected exponent digits");
+        }
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (depth_ > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        depth_++;
+        pos_++; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            pos_++;
+            depth_--;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            pos_++;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                pos_++;
+                depth_--;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        depth_++;
+        pos_++; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            pos_++;
+            depth_--;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                pos_++;
+                depth_--;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    std::string message_;
+};
+
+} // namespace
+
+bool
+validateJson(std::string_view text, std::string *error)
+{
+    return JsonChecker(text).check(error);
+}
+
+namespace
+{
+
+/** Nanoseconds rendered as fractional microseconds ("12.345"). */
+std::string
+microseconds(uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    std::ostringstream out;
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &event : events) {
+        if (!first)
+            out << ",";
+        first = false;
+        // Chrome trace timestamps are microseconds; keep sub-us
+        // precision with fractional values.
+        out << "{\"name\":\"" << jsonEscape(event.name) << "\""
+            << ",\"ph\":\"" << event.phase << "\""
+            << ",\"ts\":" << microseconds(event.tsNs);
+        if (event.phase == 'X')
+            out << ",\"dur\":" << microseconds(event.durNs);
+        out << ",\"pid\":1,\"tid\":" << event.tid;
+        if (event.phase == 'i')
+            out << ",\"s\":\"t\"";
+        if (!event.detail.empty())
+            out << ",\"args\":{\"detail\":\"" << jsonEscape(event.detail)
+                << "\"}";
+        out << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+metricsJson(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"obs/v1\",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : snapshot.counters) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << jsonEscape(name) << "\":" << value;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : snapshot.gauges) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << jsonEscape(name) << "\":" << value;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, hist] : snapshot.histograms) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << jsonEscape(name) << "\":{\"count\":" << hist.count
+            << ",\"sum\":" << hist.sum << ",\"buckets\":[";
+        bool firstBucket = true;
+        for (const HistogramSnapshot::Bucket &bucket : hist.buckets) {
+            if (!firstBucket)
+                out << ",";
+            firstBucket = false;
+            out << "[" << bucket.lo << "," << bucket.hi << ","
+                << bucket.count << "]";
+        }
+        out << "]}";
+    }
+    out << "}}";
+    return out.str();
+}
+
+namespace
+{
+
+bool
+writeValidated(const std::string &path, const std::string &text,
+               std::string *error)
+{
+    std::string parseError;
+    if (!validateJson(text, &parseError)) {
+        if (error != nullptr)
+            *error = path + ": refusing to write: " + parseError;
+        return false;
+    }
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+        if (error != nullptr)
+            *error = path + ": cannot open for writing";
+        return false;
+    }
+    file << text << "\n";
+    file.close();
+    if (!file) {
+        if (error != nullptr)
+            *error = path + ": write failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeChromeTrace(const std::string &path, std::string *error)
+{
+    std::vector<TraceEvent> events = TraceCollector::global().drain();
+    return writeValidated(path, chromeTraceJson(events), error);
+}
+
+bool
+writeMetricsJson(const std::string &path, std::string *error)
+{
+    MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    return writeValidated(path, metricsJson(snap), error);
+}
+
+} // namespace sulong::obs

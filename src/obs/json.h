@@ -1,0 +1,55 @@
+/**
+ * @file
+ * JSON emission shared by every exporter in the repo: a strict string
+ * escaper, the Chrome trace-event writer (--trace-out), the obs/v1
+ * metrics writer (--metrics-json), and a small validating parser used
+ * by tests and by the writers themselves (each writer re-parses its own
+ * output before returning, so a malformed document is a hard error at
+ * the source rather than a downstream tooling failure).
+ */
+
+#ifndef MS_OBS_JSON_H
+#define MS_OBS_JSON_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sulong::obs
+{
+
+/**
+ * Escape @p s for inclusion in a JSON string literal. Escapes quote,
+ * backslash, all control characters below 0x20, and every byte >= 0x7F
+ * as \u00XX — so the output is plain-ASCII valid JSON even when the
+ * input is arbitrary bytes (guest program output, fuzzer sources).
+ */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Validate that @p text is a well-formed JSON document.
+ * @param error if non-null, receives a position-tagged message.
+ */
+bool validateJson(std::string_view text, std::string *error = nullptr);
+
+/** Chrome trace-event document ({"traceEvents": [...]}) for @p events. */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events);
+
+/** obs/v1 metrics document for @p snapshot. */
+std::string metricsJson(const MetricsSnapshot &snapshot);
+
+/**
+ * Drain the global collector and write the Chrome trace to @p path.
+ * @return false (with *error set) on I/O failure or invalid output.
+ */
+bool writeChromeTrace(const std::string &path, std::string *error = nullptr);
+
+/** Snapshot the global registry and write obs/v1 metrics to @p path. */
+bool writeMetricsJson(const std::string &path, std::string *error = nullptr);
+
+} // namespace sulong::obs
+
+#endif // MS_OBS_JSON_H

@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+namespace sulong::obs
+{
+
+namespace detail
+{
+
+unsigned
+threadStripe()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned stripe =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return stripe;
+}
+
+} // namespace detail
+
+void
+setMetricsEnabled(bool enabled)
+{
+    detail::g_metricsEnabled.store(kObsCompiledIn && enabled,
+                                   std::memory_order_relaxed);
+}
+
+void
+setTracingEnabled(bool enabled)
+{
+    detail::g_tracingEnabled.store(kObsCompiledIn && enabled,
+                                   std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < kBuckets; i++) {
+        uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+        if (n == 0)
+            continue;
+        snap.buckets.push_back(
+            {bucketLowerBound(i), bucketUpperBound(i), n});
+    }
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (std::atomic<uint64_t> &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it != counters_.end())
+        return *it->second;
+    Counter &c = counterStore_.emplace_back(std::string(name));
+    counters_.emplace(c.name(), &c);
+    return c;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end())
+        return *it->second;
+    Gauge &g = gaugeStore_.emplace_back(std::string(name));
+    gauges_.emplace(g.name(), &g);
+    return g;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return *it->second;
+    Histogram &h = histogramStore_.emplace_back(std::string(name));
+    histograms_.emplace(h.name(), &h);
+    return h;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters_) {
+        uint64_t v = counter->value();
+        if (v != 0)
+            snap.counters.emplace(name, v);
+    }
+    for (const auto &[name, gauge] : gauges_) {
+        int64_t v = gauge->value();
+        if (v != 0)
+            snap.gauges.emplace(name, v);
+    }
+    for (const auto &[name, histogram] : histograms_) {
+        HistogramSnapshot h = histogram->snapshot();
+        if (h.count != 0)
+            snap.histograms.emplace(name, std::move(h));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+} // namespace sulong::obs

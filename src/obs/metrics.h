@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Lock-free metrics registry: named Counters, Gauges, and log-scale
+ * Histograms usable from hot interpreter paths.
+ *
+ * Design:
+ *  - Every metric is registered once by name in a global (or
+ *    test-private) MetricsRegistry and lives at a stable address for the
+ *    life of the registry, so hot code caches the handle and never
+ *    touches the registry mutex again.
+ *  - Counter increments are striped: each counter owns a small array of
+ *    cache-line-sized cells and a thread picks its cell by a sticky
+ *    thread index, so concurrent writers (batch workers) almost never
+ *    share a cache line. Increments are relaxed atomic fetch_adds —
+ *    no locks anywhere on the write path. Reads merge the stripes
+ *    (merge-on-read), which makes totals exact and, because addition
+ *    commutes, identical for any thread count or schedule.
+ *  - Histograms use fixed log2 buckets (bucket k counts values in
+ *    [2^(k-1), 2^k - 1], bucket 0 counts zeros), so bucket boundaries
+ *    are schema constants, not per-run state.
+ *  - Everything is gated on one relaxed-atomic enabled flag; with the
+ *    MS_OBS_DISABLED compile definition the flag is constant-false and
+ *    the hooks compile to nothing (the no-hooks baseline build the CI
+ *    overhead gate compares against).
+ */
+
+#ifndef MS_OBS_METRICS_H
+#define MS_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sulong::obs
+{
+
+/// Compile-time master switch (see MS_OBS in CMakeLists.txt).
+#ifdef MS_OBS_DISABLED
+inline constexpr bool kObsCompiledIn = false;
+#else
+inline constexpr bool kObsCompiledIn = true;
+#endif
+
+namespace detail
+{
+inline std::atomic<bool> g_metricsEnabled{false};
+inline std::atomic<bool> g_tracingEnabled{false};
+
+/** Sticky per-thread stripe index (assigned on first use). */
+unsigned threadStripe();
+} // namespace detail
+
+/** One relaxed-atomic load: the only cost of a disabled hook. */
+inline bool
+metricsEnabled()
+{
+    return kObsCompiledIn &&
+        detail::g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+inline bool
+tracingEnabled()
+{
+    return kObsCompiledIn &&
+        detail::g_tracingEnabled.load(std::memory_order_relaxed);
+}
+
+void setMetricsEnabled(bool enabled);
+void setTracingEnabled(bool enabled);
+
+/** Monotonic counter, striped across threads; see file comment. */
+class Counter
+{
+  public:
+    static constexpr unsigned kStripes = 16;
+
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    inc(uint64_t n = 1)
+    {
+        if (!metricsEnabled())
+            return;
+        cells_[detail::threadStripe() % kStripes].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Merge-on-read: exact sum over the stripes. */
+    uint64_t
+    value() const
+    {
+        uint64_t total = 0;
+        for (const Cell &cell : cells_)
+            total += cell.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    const std::string &name() const { return name_; }
+
+    void
+    reset()
+    {
+        for (Cell &cell : cells_)
+            cell.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Cell
+    {
+        std::atomic<uint64_t> v{0};
+    };
+
+    std::string name_;
+    std::array<Cell, kStripes> cells_;
+};
+
+/** Last-writer-wins signed value (set/add). */
+class Gauge
+{
+  public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    set(int64_t v)
+    {
+        if (metricsEnabled())
+            value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t delta)
+    {
+        if (metricsEnabled())
+            value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+    const std::string &name() const { return name_; }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::string name_;
+    std::atomic<int64_t> value_{0};
+};
+
+/** Snapshot of one histogram; only non-empty buckets are materialized. */
+struct HistogramSnapshot
+{
+    struct Bucket
+    {
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        uint64_t count = 0;
+    };
+
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::vector<Bucket> buckets;
+};
+
+/** Fixed log2-bucket histogram (65 buckets cover all of uint64). */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Bucket index of @p v: 0 for 0, else 1 + floor(log2(v)). */
+    static unsigned
+    bucketIndex(uint64_t v)
+    {
+        return static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /** Inclusive [lower, upper] value range of bucket @p index. */
+    static uint64_t
+    bucketLowerBound(unsigned index)
+    {
+        return index == 0 ? 0 : uint64_t{1} << (index - 1);
+    }
+    static uint64_t
+    bucketUpperBound(unsigned index)
+    {
+        if (index == 0)
+            return 0;
+        if (index >= 64)
+            return ~uint64_t{0};
+        return (uint64_t{1} << index) - 1;
+    }
+
+    void
+    record(uint64_t v)
+    {
+        if (!metricsEnabled())
+            return;
+        buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    HistogramSnapshot snapshot() const;
+    const std::string &name() const { return name_; }
+    void reset();
+
+  private:
+    std::string name_;
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** Point-in-time view of every non-zero metric, keyed by name. */
+struct MetricsSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/**
+ * Name -> metric table. Registration (first lookup of a name) takes a
+ * mutex; the returned references are stable for the registry's lifetime,
+ * so hot paths resolve once and then run lock-free.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry every subsystem reports into. */
+    static MetricsRegistry &global();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** Zero-valued metrics are skipped (registration is not data). */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric; registered names and handles stay valid. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Counter *, std::less<>> counters_;
+    std::map<std::string, Gauge *, std::less<>> gauges_;
+    std::map<std::string, Histogram *, std::less<>> histograms_;
+    // Deques never relocate elements: handles stay stable as the
+    // registry grows.
+    std::deque<Counter> counterStore_;
+    std::deque<Gauge> gaugeStore_;
+    std::deque<Histogram> histogramStore_;
+};
+
+} // namespace sulong::obs
+
+#endif // MS_OBS_METRICS_H

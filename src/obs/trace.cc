@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sulong::obs
+{
+
+namespace
+{
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+TraceCollector::TraceCollector() : epoch_(steadyNowNs()) {}
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+uint64_t
+TraceCollector::nowNs() const
+{
+    return steadyNowNs() - epoch_;
+}
+
+TraceCollector::ThreadBuf &
+TraceCollector::localBuf()
+{
+    thread_local std::shared_ptr<ThreadBuf> buf = [this] {
+        auto fresh = std::make_shared<ThreadBuf>();
+        std::lock_guard<std::mutex> lock(mutex_);
+        fresh->capacity = capacity_;
+        buffers_.push_back(fresh);
+        return fresh;
+    }();
+    return *buf;
+}
+
+void
+TraceCollector::record(TraceEvent event)
+{
+    event.tid = detail::threadStripe();
+    ThreadBuf &buf = localBuf();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    if (buf.ring.size() < buf.capacity) {
+        buf.ring.push_back(std::move(event));
+        return;
+    }
+    // Full: overwrite the oldest entry instead of growing.
+    buf.ring[buf.next] = std::move(event);
+    buf.next = (buf.next + 1) % buf.capacity;
+    buf.dropped++;
+}
+
+std::vector<TraceEvent>
+TraceCollector::drain(bool clear)
+{
+    std::vector<std::shared_ptr<ThreadBuf>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers = buffers_;
+    }
+    std::vector<TraceEvent> events;
+    for (const auto &buf : buffers) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        events.insert(events.end(), buf->ring.begin(), buf->ring.end());
+        if (clear) {
+            buf->ring.clear();
+            buf->next = 0;
+            buf->dropped = 0;
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.tsNs != b.tsNs)
+                             return a.tsNs < b.tsNs;
+                         return a.durNs > b.durNs;
+                     });
+    return events;
+}
+
+uint64_t
+TraceCollector::dropped() const
+{
+    std::vector<std::shared_ptr<ThreadBuf>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers = buffers_;
+    }
+    uint64_t total = 0;
+    for (const auto &buf : buffers) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        total += buf->dropped;
+    }
+    return total;
+}
+
+void
+TraceCollector::setCapacityPerThread(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+void
+traceInstant(std::string name, std::string detail)
+{
+    if (!tracingEnabled())
+        return;
+    TraceEvent event;
+    event.name = std::move(name);
+    event.detail = std::move(detail);
+    event.phase = 'i';
+    event.tsNs = TraceCollector::global().nowNs();
+    TraceCollector::global().record(std::move(event));
+}
+
+} // namespace sulong::obs

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-thread ring-buffer span tracer with steady-clock timestamps.
+ *
+ * Spans are recorded with the MS_TRACE_SPAN macro (RAII: the guard's
+ * destructor stamps the duration) and instants with traceInstant().
+ * Each thread appends into its own fixed-capacity ring buffer behind a
+ * per-thread mutex that only the drain ever contends on, so the hot
+ * path is an uncontended lock plus a vector write. When a ring fills,
+ * the oldest events are overwritten and counted as dropped — tracing
+ * never allocates unboundedly or blocks the traced workload.
+ *
+ * The collector keeps a shared_ptr to every thread's buffer, so events
+ * from threads that have already exited (batch workers) remain
+ * drainable. drain() merges all buffers sorted by (start, -duration),
+ * which puts parent spans before their children as Chrome's
+ * trace-event viewers expect.
+ */
+
+#ifndef MS_OBS_TRACE_H
+#define MS_OBS_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sulong::obs
+{
+
+struct TraceEvent
+{
+    std::string name;
+    std::string detail; ///< Optional free-form argument ("" = none).
+    char phase = 'X';   ///< 'X' = complete span, 'i' = instant.
+    uint64_t tid = 0;   ///< Dense per-thread id (same as stripe index).
+    uint64_t tsNs = 0;  ///< Steady-clock start, ns since first use.
+    uint64_t durNs = 0; ///< Span duration (0 for instants).
+};
+
+class TraceCollector
+{
+  public:
+    static constexpr size_t kDefaultCapacityPerThread = 65536;
+
+    static TraceCollector &global();
+
+    /** Record a finished span or instant into this thread's ring. */
+    void record(TraceEvent event);
+
+    /**
+     * Merge every thread's ring, sorted by (tsNs, -durNs).
+     * @param clear also empty the rings and zero the dropped count.
+     */
+    std::vector<TraceEvent> drain(bool clear = true);
+
+    /** Events overwritten because a ring was full. */
+    uint64_t dropped() const;
+
+    /** Applies to rings created after the call (test hook). */
+    void setCapacityPerThread(size_t capacity);
+
+    /** Nanoseconds since the collector's steady-clock epoch. */
+    uint64_t nowNs() const;
+
+  private:
+    TraceCollector();
+
+    struct ThreadBuf
+    {
+        std::mutex mutex;
+        std::vector<TraceEvent> ring;
+        size_t capacity = kDefaultCapacityPerThread;
+        size_t next = 0;  ///< Ring write cursor once full.
+        uint64_t dropped = 0;
+    };
+
+    ThreadBuf &localBuf();
+
+    mutable std::mutex mutex_; ///< Guards buffers_ and capacity_.
+    std::vector<std::shared_ptr<ThreadBuf>> buffers_;
+    size_t capacity_ = kDefaultCapacityPerThread;
+    uint64_t epoch_ = 0; ///< steady_clock time at construction.
+};
+
+/** Record a phase='i' instant event (if tracing is on). */
+void traceInstant(std::string name, std::string detail = "");
+
+/** RAII span: construction stamps the start, destruction records. */
+class SpanGuard
+{
+  public:
+    explicit SpanGuard(const char *name, std::string detail = "")
+    {
+        if (!tracingEnabled())
+            return;
+        active_ = true;
+        name_ = name;
+        detail_ = std::move(detail);
+        startNs_ = TraceCollector::global().nowNs();
+    }
+
+    ~SpanGuard()
+    {
+        if (!active_)
+            return;
+        TraceEvent event;
+        event.name = name_;
+        event.detail = std::move(detail_);
+        event.phase = 'X';
+        event.tsNs = startNs_;
+        event.durNs = TraceCollector::global().nowNs() - startNs_;
+        TraceCollector::global().record(std::move(event));
+    }
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+  private:
+    bool active_ = false;
+    const char *name_ = "";
+    std::string detail_;
+    uint64_t startNs_ = 0;
+};
+
+#define MS_OBS_CAT2(a, b) a##b
+#define MS_OBS_CAT(a, b) MS_OBS_CAT2(a, b)
+
+/**
+ * Open a span covering the rest of the enclosing scope:
+ *   MS_TRACE_SPAN("tier2.compile");
+ *   MS_TRACE_SPAN("tier2.compile", fn->name());
+ */
+#define MS_TRACE_SPAN(...) \
+    ::sulong::obs::SpanGuard MS_OBS_CAT(msTraceSpan_, __LINE__){__VA_ARGS__}
+
+} // namespace sulong::obs
+
+#endif // MS_OBS_TRACE_H

@@ -4,6 +4,9 @@
 #include <new>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sulong
 {
 
@@ -74,6 +77,9 @@ FaultInjector::at(const std::string &site)
     }
     if (!fire)
         return;
+    // Recorded before the throw, so the event survives the unwind.
+    obs::MetricsRegistry::global().counter("fault.injected").inc();
+    obs::traceInstant("fault.injected", site);
     switch (action) {
       case Action::allocFailure:
         throw std::bad_alloc();

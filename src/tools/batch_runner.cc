@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/fault.h"
 #include "support/thread_pool.h"
 
@@ -75,6 +77,9 @@ class Watchdog
     {
         CancellationToken token;
         std::chrono::steady_clock::time_point deadline;
+        /// The poll loop re-cancels an overrun entry every tick; count
+        /// (and trace) only the first fire per attempt.
+        bool fired = false;
     };
 
     void
@@ -88,8 +93,17 @@ class Watchdog
         while (!stop_) {
             auto now = std::chrono::steady_clock::now();
             for (auto &[id, entry] : entries_) {
-                if (now >= entry.deadline)
+                if (now >= entry.deadline) {
                     entry.token.cancel();
+                    if (!entry.fired) {
+                        entry.fired = true;
+                        obs::MetricsRegistry::global()
+                            .counter("batch.watchdog.fires")
+                            .inc();
+                        obs::traceInstant("batch.watchdog.fire",
+                                          "job " + std::to_string(id));
+                    }
+                }
             }
             cv_.wait_for(lock, std::chrono::milliseconds(poll_ms),
                          [this] { return stop_; });
@@ -123,6 +137,9 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
                  const BatchOptions &options, std::atomic<bool> &drain,
                  Watchdog &watchdog, BatchReport::JobStats &stats)
 {
+    MS_TRACE_SPAN("batch.job", "job " + std::to_string(index));
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.counter("batch.jobs").inc();
     auto start = std::chrono::steady_clock::now();
     ExecutionResult result;
     for (;;) {
@@ -174,6 +191,9 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
         watchdog.release(index);
         if (result.termination == TerminationKind::hostFault &&
             stats.attempts <= options.retries) {
+            reg.counter("batch.retries").inc();
+            obs::traceInstant("batch.retry",
+                              "job " + std::to_string(index));
             if (options.retryBackoffMs > 0) {
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     options.retryBackoffMs * stats.attempts));
@@ -186,6 +206,10 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
     stats.elapsedMs = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+    // Wall-clock only ever feeds histograms, never counters — counter
+    // totals stay identical across worker counts (determinism test).
+    reg.histogram("batch.job.ms")
+        .record(static_cast<uint64_t>(stats.elapsedMs));
     return result;
 }
 
@@ -194,6 +218,8 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
 BatchReport
 runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
 {
+    MS_TRACE_SPAN("batch.run",
+                  std::to_string(jobs.size()) + " job(s)");
     BatchReport report;
     report.results.resize(jobs.size());
     report.jobStats.resize(jobs.size());
@@ -256,6 +282,11 @@ runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
         if (stats.attempts == 0)
             report.drainedJobs++;
     }
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    if (report.hostFaults != 0)
+        reg.counter("batch.host_faults").inc(report.hostFaults);
+    if (report.drainedJobs != 0)
+        reg.counter("batch.drained").inc(report.drainedJobs);
 
     if (cache != nullptr)
         report.cacheStats = cache->stats();

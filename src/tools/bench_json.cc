@@ -3,39 +3,15 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace sulong
 {
 
-namespace
-{
-
-/** Minimal JSON string escape (the fields are ASCII identifiers, but
- *  quoting mistakes in a gate file are not worth the shortcut). */
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace
+// Bench/config strings come from user-controlled flags, so escaping
+// uses the shared strict escaper (controls + non-ASCII as \u00XX)
+// rather than a local identifiers-are-ASCII shortcut.
+using obs::jsonEscape;
 
 std::string
 managedConfigString(const ManagedOptions &options)

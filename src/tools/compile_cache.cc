@@ -2,6 +2,8 @@
 
 #include "frontend/compiler.h"
 #include "ir/clone.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/passes.h"
 #include "sanitizer/asan_pass.h"
 
@@ -41,15 +43,24 @@ CompileCache::getOrCompile(const std::vector<SourceFile> &user_sources,
         auto it = slots_.find(key);
         if (it == slots_.end()) {
             it = slots_.emplace(key, std::make_shared<Slot>()).first;
+            lru_.push_front(key);
+            it->second->lruPos = lru_.begin();
             created = true;
+            enforceCapacityLocked();
+        } else {
+            lru_.splice(lru_.begin(), lru_, it->second->lruPos);
         }
         slot = it->second;
         // A hit may still have to wait for the compiling thread below,
         // but it never repeats the work.
         (created ? stats_.misses : stats_.hits)++;
     }
+    obs::MetricsRegistry::global()
+        .counter(created ? "compile_cache.misses" : "compile_cache.hits")
+        .inc();
 
     std::call_once(slot->once, [&]() {
+        MS_TRACE_SPAN("compile_cache.compile");
         auto entry = std::make_shared<Entry>();
         if (instrumented) {
             // Copy-on-instrument: the pass runs on a private clone of the
@@ -98,6 +109,35 @@ CompileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     slots_.clear();
+    lru_.clear();
+}
+
+void
+CompileCache::setCapacity(size_t max_entries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = max_entries;
+    enforceCapacityLocked();
+}
+
+void
+CompileCache::enforceCapacityLocked()
+{
+    if (capacity_ == 0)
+        return;
+    uint64_t evicted = 0;
+    while (slots_.size() > capacity_ && !lru_.empty()) {
+        // A thread still compiling into the evicted slot keeps it alive
+        // through its own shared_ptr; we only drop the cache's ref.
+        slots_.erase(lru_.back());
+        lru_.pop_back();
+        stats_.evictions++;
+        evicted++;
+    }
+    if (evicted != 0)
+        obs::MetricsRegistry::global()
+            .counter("compile_cache.evictions")
+            .inc(evicted);
 }
 
 } // namespace sulong

@@ -28,6 +28,7 @@
 #define MS_TOOLS_COMPILE_CACHE_H
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,11 +39,12 @@
 namespace sulong
 {
 
-/** Hit/miss counters, reported by the benches. */
+/** Hit/miss/evict counters, reported by the benches and the registry. */
 struct CompileCacheStats
 {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
 };
 
 class CompileCache
@@ -75,6 +77,14 @@ class CompileCache
     /** Drop all entries (counters are kept). */
     void clear();
 
+    /**
+     * Bound the cache to @p max_entries stages, evicting in LRU order
+     * (0 = unbounded, the default). In-flight users of an evicted stage
+     * keep it alive through their shared_ptr; eviction only drops the
+     * cache's own reference.
+     */
+    void setCapacity(size_t max_entries);
+
     /** FNV-1a over names and contents of @p sources. */
     static uint64_t hashSources(const std::vector<SourceFile> &sources);
 
@@ -104,10 +114,18 @@ class CompileCache
     {
         std::once_flag once;
         std::shared_ptr<const Entry> entry;
+        /// Position in lru_ for O(1) touch/evict.
+        std::list<Key>::iterator lruPos;
     };
+
+    /** Evict least-recently-used slots down to capacity_ (locked). */
+    void enforceCapacityLocked();
 
     mutable std::mutex mutex_;
     std::map<Key, std::shared_ptr<Slot>> slots_;
+    /// Most-recently-used keys at the front.
+    std::list<Key> lru_;
+    size_t capacity_ = 0;
     CompileCacheStats stats_;
 };
 

@@ -1,9 +1,13 @@
 #include "tools/driver.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "ir/clone.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/passes.h"
 #include "sanitizer/asan_pass.h"
 #include "tools/compile_cache.h"
@@ -82,14 +86,19 @@ prepareProgram(const std::vector<SourceFile> &user_sources,
             return prepared;
         }
         std::unique_ptr<Module> module = std::move(compiled.module);
-        if (stage.optLevel >= 3)
-            runO3Pipeline(*module);
-        else if (stage.optLevel >= 0)
-            runO0Pipeline(*module);
+        {
+            MS_TRACE_SPAN("pipeline.optimize");
+            if (stage.optLevel >= 3)
+                runO3Pipeline(*module);
+            else if (stage.optLevel >= 0)
+                runO0Pipeline(*module);
+        }
         // Like real ASan, instrumentation runs after optimization: what
         // the optimizer deleted can no longer be checked (P2).
-        if (instrumented)
+        if (instrumented) {
+            MS_TRACE_SPAN("pipeline.instrument");
             runAsanPass(*module);
+        }
         prepared.module = std::move(module);
     }
 
@@ -287,6 +296,51 @@ evaluationToolMatrix()
         ToolConfig::make(ToolKind::memcheck, 0),
         ToolConfig::make(ToolKind::memcheck, 3),
     };
+}
+
+ObsFlags
+parseObsFlags(int argc, char **argv)
+{
+    ObsFlags flags;
+    flags.traceOut = parseStringFlag(argc, argv, "trace-out");
+    flags.metricsJson = parseStringFlag(argc, argv, "metrics-json");
+    flags.stats = hasFlag(argc, argv, "stats");
+    obs::setTracingEnabled(!flags.traceOut.empty());
+    obs::setMetricsEnabled(flags.metricsWanted());
+    return flags;
+}
+
+bool
+writeObsOutputs(const ObsFlags &flags)
+{
+    bool ok = true;
+    std::string error;
+    if (!flags.traceOut.empty() &&
+        !obs::writeChromeTrace(flags.traceOut, &error)) {
+        std::fprintf(stderr, "trace-out: %s\n", error.c_str());
+        ok = false;
+    }
+    if (!flags.metricsJson.empty() &&
+        !obs::writeMetricsJson(flags.metricsJson, &error)) {
+        std::fprintf(stderr, "metrics-json: %s\n", error.c_str());
+        ok = false;
+    }
+    if (flags.stats) {
+        obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::global().snapshot();
+        std::printf("--- stats ---\n");
+        for (const auto &[name, value] : snap.counters)
+            std::printf("%-40s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+        for (const auto &[name, value] : snap.gauges)
+            std::printf("%-40s %lld\n", name.c_str(),
+                        static_cast<long long>(value));
+        for (const auto &[name, hist] : snap.histograms)
+            std::printf("%-40s count=%llu sum=%llu\n", name.c_str(),
+                        static_cast<unsigned long long>(hist.count),
+                        static_cast<unsigned long long>(hist.sum));
+    }
+    return ok;
 }
 
 } // namespace sulong

@@ -177,6 +177,38 @@ AnalysisReport analyzeSource(const std::string &user_source,
                              const AnalysisOptions &options = {},
                              const std::vector<std::string> &guest_args = {});
 
+/** Telemetry-output selection shared by every CLI. */
+struct ObsFlags
+{
+    /// Chrome trace-event JSON destination ("" = tracing stays off).
+    std::string traceOut;
+    /// obs/v1 metrics JSON destination ("" = none).
+    std::string metricsJson;
+    /// Print a human-readable stats dump (counters + cache) on exit.
+    bool stats = false;
+
+    bool
+    metricsWanted() const
+    {
+        return stats || !metricsJson.empty();
+    }
+};
+
+/**
+ * Parse `--trace-out=FILE`, `--metrics-json=FILE`, and `--stats`, and
+ * ENABLE the corresponding collection globally (tracing only when a
+ * trace file was requested; metrics when either a metrics file or
+ * --stats was). Collection stays off entirely when none are given.
+ */
+ObsFlags parseObsFlags(int argc, char **argv);
+
+/**
+ * Write the outputs selected by @p flags: the Chrome trace, the obs/v1
+ * metrics document, and/or the --stats text dump to stdout. Returns
+ * false (after printing a diagnostic to stderr) if any write failed.
+ */
+bool writeObsOutputs(const ObsFlags &flags);
+
 } // namespace sulong
 
 #endif // MS_TOOLS_DRIVER_H

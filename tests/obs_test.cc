@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Telemetry-layer tests: histogram bucket math, striped-counter merge
+ * correctness under thread_pool contention, span nesting/ordering,
+ * trace- and metrics-JSON round trips through the validating parser,
+ * the jobs=1 vs jobs=8 counter-determinism contract, compile-cache LRU
+ * eviction, and the disabled-by-default guarantee.
+ */
+
+#include "test_util.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "corpus/corpus.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/thread_pool.h"
+#include "tools/batch_runner.h"
+#include "tools/compile_cache.h"
+
+namespace sulong
+{
+namespace
+{
+
+using obs::Counter;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::TraceCollector;
+using obs::TraceEvent;
+
+/**
+ * Collection is process-global state; every test that turns it on
+ * restores the off default so suites stay order-independent.
+ */
+struct MetricsOn
+{
+    MetricsOn() { obs::setMetricsEnabled(true); }
+    ~MetricsOn() { obs::setMetricsEnabled(false); }
+};
+
+struct TracingOn
+{
+    TracingOn()
+    {
+        obs::setTracingEnabled(true);
+        // Start from an empty ring: earlier tests may have traced.
+        TraceCollector::global().drain();
+    }
+    ~TracingOn() { obs::setTracingEnabled(false); }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    return buf.str();
+}
+
+TEST(HistogramTest, BucketIndexAndBounds)
+{
+    // Bucket 0 holds only zeros; bucket k holds [2^(k-1), 2^k - 1].
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(1023), 10u);
+    EXPECT_EQ(Histogram::bucketIndex(1024), 11u);
+    EXPECT_EQ(Histogram::bucketIndex(~uint64_t{0}), 64u);
+
+    EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketLowerBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketLowerBound(2), 2u);
+    EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+    EXPECT_EQ(Histogram::bucketLowerBound(11), 1024u);
+    EXPECT_EQ(Histogram::bucketUpperBound(11), 2047u);
+    EXPECT_EQ(Histogram::bucketLowerBound(64), uint64_t{1} << 63);
+    EXPECT_EQ(Histogram::bucketUpperBound(64), ~uint64_t{0});
+
+    // Every value falls inside its own bucket's inclusive range.
+    for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 7ull, 8ull, 1000ull,
+                       1024ull, 123456789ull}) {
+        unsigned idx = Histogram::bucketIndex(v);
+        EXPECT_GE(v, Histogram::bucketLowerBound(idx)) << v;
+        EXPECT_LE(v, Histogram::bucketUpperBound(idx)) << v;
+    }
+}
+
+TEST(HistogramTest, SnapshotMaterializesOnlyNonEmptyBuckets)
+{
+    MetricsOn on;
+    Histogram hist("test.hist");
+    hist.record(0);
+    hist.record(1);
+    hist.record(1);
+    hist.record(1500); // bucket 11: [1024, 2047]
+
+    HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.sum, 1502u);
+    ASSERT_EQ(snap.buckets.size(), 3u);
+    EXPECT_EQ(snap.buckets[0].lo, 0u);
+    EXPECT_EQ(snap.buckets[0].hi, 0u);
+    EXPECT_EQ(snap.buckets[0].count, 1u);
+    EXPECT_EQ(snap.buckets[1].lo, 1u);
+    EXPECT_EQ(snap.buckets[1].hi, 1u);
+    EXPECT_EQ(snap.buckets[1].count, 2u);
+    EXPECT_EQ(snap.buckets[2].lo, 1024u);
+    EXPECT_EQ(snap.buckets[2].hi, 2047u);
+    EXPECT_EQ(snap.buckets[2].count, 1u);
+
+    hist.reset();
+    EXPECT_EQ(hist.snapshot().count, 0u);
+    EXPECT_TRUE(hist.snapshot().buckets.empty());
+}
+
+TEST(CounterTest, StripedMergeIsExactUnderContention)
+{
+    MetricsOn on;
+    Counter counter("test.contended");
+
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kIncsPerThread = 100000;
+    {
+        ThreadPool pool(kThreads);
+        for (unsigned t = 0; t < kThreads; t++) {
+            pool.submit([&counter] {
+                for (uint64_t i = 0; i < kIncsPerThread; i++)
+                    counter.inc();
+            });
+        }
+        pool.waitIdle();
+    }
+    EXPECT_EQ(counter.value(), kThreads * kIncsPerThread);
+
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, DisabledCollectionRecordsNothing)
+{
+    ASSERT_FALSE(obs::metricsEnabled());
+    Counter counter("test.disabled");
+    counter.inc(42);
+    EXPECT_EQ(counter.value(), 0u);
+
+    Histogram hist("test.disabled.hist");
+    hist.record(7);
+    EXPECT_EQ(hist.snapshot().count, 0u);
+
+    // Spans short-circuit at construction when tracing is off.
+    ASSERT_FALSE(obs::tracingEnabled());
+    TraceCollector::global().drain();
+    {
+        MS_TRACE_SPAN("test.disabled.span");
+    }
+    EXPECT_TRUE(TraceCollector::global().drain().empty());
+}
+
+TEST(RegistryTest, HandlesAreStableAndResetKeepsThem)
+{
+    MetricsOn on;
+    MetricsRegistry &reg = MetricsRegistry::global();
+    Counter &c = reg.counter("obs_test.registry.counter");
+    Counter &again = reg.counter("obs_test.registry.counter");
+    EXPECT_EQ(&c, &again);
+
+    c.inc(3);
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("obs_test.registry.counter"), 3u);
+
+    reg.reset();
+    // Zero-valued metrics are skipped by snapshot...
+    EXPECT_EQ(reg.snapshot().counters.count("obs_test.registry.counter"),
+              0u);
+    // ...but the old handle still works after the reset.
+    c.inc();
+    EXPECT_EQ(reg.snapshot().counters.at("obs_test.registry.counter"), 1u);
+}
+
+TEST(TraceTest, SpanNestingAndDrainOrdering)
+{
+    TracingOn on;
+    {
+        MS_TRACE_SPAN("outer");
+        {
+            MS_TRACE_SPAN("inner", "detail-text");
+            // Give the inner span measurable width so the outer span is
+            // strictly longer and the (ts, -dur) sort is unambiguous.
+            volatile uint64_t sink = 0;
+            for (int i = 0; i < 50000; i++)
+                sink = sink + static_cast<uint64_t>(i);
+        }
+        obs::traceInstant("mark");
+    }
+
+    std::vector<TraceEvent> events = TraceCollector::global().drain();
+    ASSERT_EQ(events.size(), 3u);
+
+    // Sorted by start time: the outer span opened first, so it precedes
+    // the inner span it contains; the instant fired last.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[2].name, "mark");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_EQ(events[2].phase, 'i');
+    EXPECT_EQ(events[1].detail, "detail-text");
+
+    // Containment: inner lies inside [outer.ts, outer.ts + outer.dur].
+    const TraceEvent &outer = events[0];
+    const TraceEvent &inner = events[1];
+    EXPECT_LE(outer.tsNs, inner.tsNs);
+    EXPECT_GE(outer.tsNs + outer.durNs, inner.tsNs + inner.durNs);
+
+    // drain(clear=true) emptied the rings.
+    EXPECT_TRUE(TraceCollector::global().drain().empty());
+}
+
+TEST(TraceTest, RingOverwritesOldestAndCountsDropped)
+{
+    TracingOn on;
+    TraceCollector &collector = TraceCollector::global();
+    collector.setCapacityPerThread(4);
+    // Capacity applies to rings created after the call, so record from
+    // a fresh thread.
+    std::thread([&collector] {
+        for (int i = 0; i < 10; i++)
+            obs::traceInstant("evt" + std::to_string(i));
+    }).join();
+
+    // 10 events into a 4-slot ring: 6 overwritten.
+    EXPECT_EQ(collector.dropped(), 6u);
+    std::vector<TraceEvent> events = collector.drain();
+    EXPECT_EQ(collector.dropped(), 0u); // drain(clear) resets the count
+    // The survivors are the newest four, still in timestamp order.
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().name, "evt6");
+    EXPECT_EQ(events.back().name, "evt9");
+    collector.setCapacityPerThread(TraceCollector::kDefaultCapacityPerThread);
+}
+
+TEST(JsonTest, EscaperHandlesControlsQuotesAndHighBytes)
+{
+    EXPECT_EQ(obs::jsonEscape("plain ascii"), "plain ascii");
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(obs::jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(obs::jsonEscape("line\nbreak\r"), "line\\nbreak\\r");
+    EXPECT_EQ(obs::jsonEscape(std::string("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+    // DEL and high bytes must not pass through raw (and must not
+    // sign-extend into \uffXX).
+    EXPECT_EQ(obs::jsonEscape("\x7f"), "\\u007f");
+    EXPECT_EQ(obs::jsonEscape("caf\xc3\xa9"), "caf\\u00c3\\u00a9");
+    // Embedded NUL survives as an escape, not a truncation.
+    EXPECT_EQ(obs::jsonEscape(std::string_view("a\0b", 3)), "a\\u0000b");
+
+    // Whatever the escaper emits must parse as a JSON string.
+    std::string nasty;
+    for (int c = 0; c < 256; c++)
+        nasty += static_cast<char>(c);
+    std::string doc = "\"" + obs::jsonEscape(nasty) + "\"";
+    std::string error;
+    EXPECT_TRUE(obs::validateJson(doc, &error)) << error;
+}
+
+TEST(JsonTest, ValidatorAcceptsGoodAndRejectsBad)
+{
+    EXPECT_TRUE(obs::validateJson("{}"));
+    EXPECT_TRUE(obs::validateJson("[1, -2.5, 1e9, \"x\", true, null]"));
+    EXPECT_TRUE(obs::validateJson("{\"a\": {\"b\": [0.125]}}"));
+
+    EXPECT_FALSE(obs::validateJson(""));
+    EXPECT_FALSE(obs::validateJson("{"));
+    EXPECT_FALSE(obs::validateJson("{\"a\":}"));
+    EXPECT_FALSE(obs::validateJson("[1,]"));
+    EXPECT_FALSE(obs::validateJson("\"unterminated"));
+    EXPECT_FALSE(obs::validateJson("\"raw\ncontrol\""));
+    EXPECT_FALSE(obs::validateJson("{} trailing"));
+    EXPECT_FALSE(obs::validateJson("01x"));
+}
+
+TEST(JsonTest, ChromeTraceRoundTrip)
+{
+    TracingOn on;
+    {
+        MS_TRACE_SPAN("roundtrip.span", "with \"quotes\" and \n newline");
+        obs::traceInstant("roundtrip.instant");
+    }
+
+    const std::string path = "obs_test_trace.json";
+    std::string error;
+    ASSERT_TRUE(obs::writeChromeTrace(path, &error)) << error;
+
+    std::string text = readFile(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(obs::validateJson(text, &error)) << error;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"roundtrip.span\""), std::string::npos);
+    EXPECT_NE(text.find("\"roundtrip.instant\""), std::string::npos);
+    EXPECT_NE(text.find("\\\"quotes\\\""), std::string::npos);
+    // Instants carry Chrome's scope field; spans carry durations.
+    EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(text.find("\"dur\":"), std::string::npos);
+}
+
+TEST(JsonTest, MetricsRoundTripCarriesSchemaAndBuckets)
+{
+    MetricsOn on;
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.reset();
+    reg.counter("obs_test.json.counter").inc(5);
+    reg.gauge("obs_test.json.gauge").set(-3);
+    reg.histogram("obs_test.json.hist").record(1500);
+
+    const std::string path = "obs_test_metrics.json";
+    std::string error;
+    ASSERT_TRUE(obs::writeMetricsJson(path, &error)) << error;
+
+    std::string text = readFile(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(obs::validateJson(text, &error)) << error;
+    EXPECT_NE(text.find("\"schema\":\"obs/v1\""), std::string::npos);
+    EXPECT_NE(text.find("\"obs_test.json.counter\":5"), std::string::npos);
+    EXPECT_NE(text.find("\"obs_test.json.gauge\":-3"), std::string::npos);
+    // The 1500 landed in log2 bucket [1024, 2047].
+    EXPECT_NE(text.find("[1024,2047,1]"), std::string::npos);
+    reg.reset();
+}
+
+TEST(CompileCacheTest, LruEvictionKeepsInFlightEntriesAlive)
+{
+    const char *srcA = "int main(void) { return 11; }\n";
+    const char *srcB = "int main(void) { return 22; }\n";
+    auto sources = [](const char *text) {
+        return std::vector<SourceFile>{SourceFile{"<obs_test>", text}};
+    };
+
+    CompileCache cache;
+    cache.setCapacity(1);
+
+    auto a = cache.getOrCompile(sources(srcA), LibcVariant::safe, -1);
+    ASSERT_TRUE(a->ok()) << a->errors;
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Second key displaces the first (capacity 1)...
+    auto b = cache.getOrCompile(sources(srcB), LibcVariant::safe, -1);
+    ASSERT_TRUE(b->ok()) << b->errors;
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // ...but eviction only dropped the cache's reference: the handle we
+    // hold still works.
+    EXPECT_TRUE(a->ok());
+
+    // Re-requesting the evicted stage recompiles it.
+    auto a2 = cache.getOrCompile(sources(srcA), LibcVariant::safe, -1);
+    ASSERT_TRUE(a2->ok()) << a2->errors;
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+
+    // And asking again while it is resident is a hit.
+    auto a3 = cache.getOrCompile(sources(srcA), LibcVariant::safe, -1);
+    EXPECT_EQ(a2->prototype.get(), a3->prototype.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+/**
+ * The determinism contract: counters never record wall-clock values
+ * (those only feed histograms), so a batch run's counter totals are
+ * identical for any worker count. Spans and timing histograms may
+ * differ; the counter map may not.
+ */
+TEST(DeterminismTest, CounterTotalsMatchAcrossJobCounts)
+{
+    MetricsOn on;
+    MetricsRegistry &reg = MetricsRegistry::global();
+
+    const auto &corpus = bugCorpus();
+    const size_t kEntries = 10;
+    ASSERT_GE(corpus.size(), kEntries);
+    std::vector<BatchJob> jobs;
+    for (size_t i = 0; i < kEntries; i++) {
+        jobs.push_back(BatchJob::make(
+            corpus[i].source, ToolConfig::make(ToolKind::safeSulong),
+            corpus[i].args, corpus[i].stdinData));
+    }
+
+    auto runWithJobs = [&](unsigned workers) {
+        reg.reset();
+        BatchOptions options;
+        options.jobs = workers;
+        runBatch(jobs, options);
+        return reg.snapshot().counters;
+    };
+
+    std::map<std::string, uint64_t> serial = runWithJobs(1);
+    std::map<std::string, uint64_t> parallel = runWithJobs(8);
+    reg.reset();
+
+    // The runs exercised the interesting counters at all.
+    EXPECT_GT(serial.at("batch.jobs"), 0u);
+    EXPECT_GT(serial.at("managed.steps.tier1"), 0u);
+    EXPECT_GT(serial.at("compile_cache.misses"), 0u);
+
+    EXPECT_EQ(serial.size(), parallel.size());
+    for (const auto &[name, value] : serial) {
+        auto it = parallel.find(name);
+        ASSERT_NE(it, parallel.end()) << name << " missing in parallel run";
+        EXPECT_EQ(value, it->second) << name << " diverged across job counts";
+    }
+}
+
+} // namespace
+} // namespace sulong
