@@ -25,6 +25,12 @@ Subcommands:
                      (--base) over paired measurement rounds, and fail
                      if the geomean of per-bench median ratios exceeds
                      the ceiling — disabled hooks must be (near) free.
+  fuzz FILE [--min-programs N] [--min-rate X]
+                     validate a BENCH_fuzz.json/v1 campaign report
+                     (fuzz_runner --json) and fail on any unexplained
+                     disagreement, any compile error, any injected bug
+                     the managed engine missed, a malformed shrink
+                     ratio, or a campaign smaller/slower than the floors.
 """
 
 import argparse
@@ -316,6 +322,90 @@ def cmd_overhead(args):
     return 0
 
 
+FUZZ_SCHEMA = "BENCH_fuzz.json/v1"
+
+
+def load_fuzz(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != FUZZ_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {FUZZ_SCHEMA!r}")
+    for key in ("seed_begin", "seed_count", "bug_ratio_pct", "jobs",
+                "programs", "clean", "injected", "compile_errors",
+                "injected_detected_managed", "unexplained", "survivors",
+                "duplicates_collapsed"):
+        v = doc.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{path}: {key} must be a non-negative int, got {v!r}")
+    for key in ("wall_ms", "programs_per_sec"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{path}: {key} must be a non-negative number, got {v!r}")
+    static = doc.get("static")
+    if not isinstance(static, dict):
+        fail(f"{path}: static missing or not an object")
+    for key in ("hits", "definite", "maybe"):
+        v = static.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{path}: static.{key} must be a non-negative int,"
+                 f" got {v!r}")
+    disagreements = doc.get("disagreements")
+    if not isinstance(disagreements, dict):
+        fail(f"{path}: disagreements missing or not an object")
+    for key in ("missed-bug", "false-positive", "output-divergence",
+                "termination-divergence"):
+        v = disagreements.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{path}: disagreements[{key!r}] must be a non-negative"
+                 f" int, got {v!r}")
+    minimizer = doc.get("minimizer")
+    if not isinstance(minimizer, dict):
+        fail(f"{path}: minimizer missing or not an object")
+    runs = minimizer.get("predicate_runs")
+    if not isinstance(runs, int) or runs < 0:
+        fail(f"{path}: minimizer.predicate_runs must be a non-negative"
+             f" int, got {runs!r}")
+    shrink = minimizer.get("shrink_ratio")
+    if not isinstance(shrink, (int, float)) or not 0 <= shrink <= 1:
+        fail(f"{path}: minimizer.shrink_ratio must be in [0, 1],"
+             f" got {shrink!r}")
+    if doc["clean"] + doc["injected"] != doc["programs"]:
+        fail(f"{path}: clean ({doc['clean']}) + injected"
+             f" ({doc['injected']}) != programs ({doc['programs']})")
+    return doc
+
+
+def cmd_fuzz(args):
+    doc = load_fuzz(args.file)
+    print(f"{args.file}: ok ({doc['programs']} programs from seed"
+          f" {doc['seed_begin']}, {doc['injected']} injected,"
+          f" {doc['unexplained']} unexplained,"
+          f" {doc['survivors']} survivor(s),"
+          f" {doc['programs_per_sec']:.1f} programs/s)")
+    if doc["programs"] <= 0:
+        fail(f"{args.file}: campaign ran zero programs")
+    if doc["programs"] < args.min_programs:
+        fail(f"{args.file}: only {doc['programs']} programs, floor is"
+             f" {args.min_programs}")
+    if doc["unexplained"] != 0:
+        fail(f"{args.file}: {doc['unexplained']} unexplained"
+             " disagreement(s) — an engine, the oracle, or the ground"
+             " truth is wrong; triage the survivors")
+    if doc["compile_errors"] != 0:
+        fail(f"{args.file}: {doc['compile_errors']} generated program(s)"
+             " failed to compile — the generator emitted invalid C")
+    if doc["injected_detected_managed"] != doc["injected"]:
+        fail(f"{args.file}: managed engine detected"
+             f" {doc['injected_detected_managed']} of {doc['injected']}"
+             " injected bugs — the managed model must catch every class")
+    if doc["programs_per_sec"] < args.min_rate:
+        fail(f"{args.file}: throughput {doc['programs_per_sec']:.1f}"
+             f" programs/s below floor {args.min_rate}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -354,6 +444,13 @@ def main():
                             help="comma-separated bench names to compare")
     p_overhead.add_argument("--max-ratio", type=float, default=1.02)
     p_overhead.set_defaults(func=cmd_overhead)
+    p_fuzz = sub.add_parser("fuzz")
+    p_fuzz.add_argument("file")
+    p_fuzz.add_argument("--min-programs", type=int, default=1,
+                        help="fail if the campaign ran fewer programs")
+    p_fuzz.add_argument("--min-rate", type=float, default=0.0,
+                        help="fail below this programs/s throughput")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     args = parser.parse_args()
     sys.exit(args.func(args))
 

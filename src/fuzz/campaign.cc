@@ -1,0 +1,468 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "obs/json.h"
+#include "support/thread_pool.h"
+#include "tools/compile_cache.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+/// Decorrelates the mutator stream from the generator stream: both are
+/// seeded from the campaign seed, but must not replay each other.
+constexpr uint64_t kMutatorSalt = 0xA5F152F7D3C91E4Bull;
+
+size_t
+classIndex(BugClass bug_class)
+{
+    return static_cast<size_t>(bug_class) < 4
+        ? static_cast<size_t>(bug_class) : 3;
+}
+
+/** Everything one seed contributes to the merged report. */
+struct SeedResult
+{
+    uint64_t seed = 0;
+    InjectedBug bug;
+    bool compileError = false;
+    bool managedDetected = false;
+    /// (engine, detected) for every engine verdict on an injected seed.
+    std::vector<std::pair<std::string, bool>> detections;
+    unsigned staticDefinite = 0;
+    unsigned staticMaybe = 0;
+    bool staticHit = false;
+    bool analysisRan = false;
+    /// Every non-none disagreement verdict (engine, kind, detail).
+    struct Flag
+    {
+        std::string engine;
+        DisagreementKind kind = DisagreementKind::none;
+        std::string detail;
+    };
+    std::vector<Flag> flags;
+    /// Minimized reproducer for the first disagreement (when any).
+    bool hasSurvivor = false;
+    Survivor survivor;
+};
+
+SeedResult
+runSeed(uint64_t seed, const CampaignOptions &options)
+{
+    SeedResult out;
+    out.seed = seed;
+    FuzzProgram program = generateSeedProgram(seed, options);
+    out.bug = program.bug;
+
+    // One private cache per seed: the five engine runs share compiled
+    // pipeline stages (managed/tier-2 share one, native/memcheck
+    // another), cutting per-seed compiles roughly in half. Never shared
+    // across seeds or workers, so no locking and no cross-seed state.
+    CompileCache cache;
+    OracleReport report = runOracle(program, options.oracle, &cache);
+    out.compileError = report.compileError;
+    out.staticDefinite = report.staticDefinite;
+    out.staticMaybe = report.staticMaybe;
+    out.staticHit = report.staticHit;
+    out.analysisRan = report.analysisRan;
+    for (const EngineVerdict &v : report.verdicts) {
+        if (program.bug.injected())
+            out.detections.emplace_back(v.engine, v.detected);
+        if (v.engine == "managed")
+            out.managedDetected = v.detected;
+        if (v.disagreement != DisagreementKind::none)
+            out.flags.push_back({v.engine, v.disagreement, v.detail});
+    }
+
+    const EngineVerdict *primary = report.firstDisagreement();
+    if (primary == nullptr)
+        return out;
+
+    // Shrink the survivor while its signature — the same engine flagged
+    // with the same disagreement kind — persists. Analysis only re-runs
+    // when the static analyzer IS the disagreeing party.
+    FuzzProgram shrunk = program;
+    MinimizeStats stats;
+    stats.originalStatements = program.statementCount();
+    stats.originalBytes = program.render().size();
+    stats.finalStatements = stats.originalStatements;
+    stats.finalBytes = stats.originalBytes;
+    if (options.minimize) {
+        OracleOptions check_options = options.oracle;
+        check_options.runAnalysis = primary->engine == "static";
+        std::string sig_engine = primary->engine;
+        DisagreementKind sig_kind = primary->disagreement;
+        MinimizePredicate keep = [&](const FuzzProgram &candidate) {
+            CompileCache candidate_cache;
+            OracleReport r = runOracle(candidate, check_options,
+                                       &candidate_cache);
+            // A candidate that stops compiling trivially "diverges" —
+            // never accept one, or every survivor shrinks to garbage.
+            if (r.compileError)
+                return false;
+            for (const EngineVerdict &v : r.verdicts)
+                if (v.engine == sig_engine && v.disagreement == sig_kind)
+                    return true;
+            return false;
+        };
+        shrunk = minimizeProgram(program, keep, &stats);
+    }
+
+    out.hasSurvivor = true;
+    out.survivor.seed = seed;
+    out.survivor.mutator = program.bug.mutator;
+    out.survivor.bugClass = program.bug.bugClass();
+    out.survivor.kind = primary->disagreement;
+    out.survivor.engine = primary->engine;
+    out.survivor.detail = primary->detail;
+    out.survivor.source = shrunk.render();
+    out.survivor.shapeHash = shapeHash(out.survivor.source);
+    out.survivor.minimizeStats = stats;
+    return out;
+}
+
+std::string
+fixed(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    return buf;
+}
+
+const char *
+bugClassKey(size_t index)
+{
+    static const char *names[] = {"spatial", "temporal", "null-deref",
+                                  "other"};
+    return names[index < 4 ? index : 3];
+}
+
+} // namespace
+
+FuzzProgram
+generateSeedProgram(uint64_t seed, const CampaignOptions &options)
+{
+    ProgramGenerator generator(seed, options.generator);
+    FuzzProgram program = generator.generate();
+    program.seed = seed;
+    Rng mutator_rng(seed ^ kMutatorSalt);
+    MutatorKind kind = pickMutator(
+        mutator_rng, static_cast<double>(options.bugRatioPct) / 100.0);
+    return injectBug(std::move(program), kind, mutator_rng);
+}
+
+uint64_t
+shapeHash(const std::string &source)
+{
+    // FNV-1a 64 with every decimal-literal run collapsed to '#': two
+    // survivors that differ only in constants (or generated name
+    // suffixes) share a shape.
+    uint64_t hash = 0xcbf29ce484222325ull;
+    bool in_number = false;
+    for (char c : source) {
+        bool digit = c >= '0' && c <= '9';
+        if (digit && in_number)
+            continue;
+        in_number = digit;
+        char feed = digit ? '#' : c;
+        hash ^= static_cast<unsigned char>(feed);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+uint64_t
+CampaignReport::unexplained() const
+{
+    uint64_t total = 0;
+    for (size_t i = 1; i < disagreementsByKind.size(); i++)
+        total += disagreementsByKind[i];
+    return total;
+}
+
+CampaignReport
+runCampaign(const CampaignOptions &options)
+{
+    auto start = std::chrono::steady_clock::now();
+    CampaignReport report;
+    report.seedBegin = options.seedBegin;
+    report.seedCount = options.seedCount;
+    report.bugRatioPct = options.bugRatioPct;
+
+    unsigned jobs = options.jobs == 0 ? ThreadPool::hardwareWorkers()
+                                      : options.jobs;
+    report.jobsUsed = jobs;
+
+    std::vector<SeedResult> results(options.seedCount);
+    auto run_range = [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; i++)
+            results[i] = runSeed(options.seedBegin + i, options);
+    };
+    if (jobs <= 1 || options.seedCount <= 1) {
+        run_range(0, options.seedCount);
+    } else {
+        // Contiguous chunks over the pool; results land in per-seed
+        // slots, so the merge below is identical at any worker count.
+        uint64_t chunk = std::max<uint64_t>(
+            1, options.seedCount / (static_cast<uint64_t>(jobs) * 8));
+        ThreadPool pool(jobs);
+        std::vector<std::future<void>> pending;
+        for (uint64_t lo = 0; lo < options.seedCount; lo += chunk) {
+            uint64_t hi = std::min(options.seedCount, lo + chunk);
+            pending.push_back(pool.submit([&, lo, hi] {
+                run_range(lo, hi);
+            }));
+        }
+        for (auto &f : pending)
+            f.get();
+    }
+
+    // Deterministic merge in seed order.
+    std::map<std::tuple<size_t, int, std::string, uint64_t>, size_t>
+        dedup;
+    for (SeedResult &r : results) {
+        report.programs++;
+        if (r.bug.injected()) {
+            report.injectedPrograms++;
+            if (r.managedDetected)
+                report.injectedDetectedManaged++;
+            for (auto &[engine, detected] : r.detections)
+                report.detectionsByEngine[engine]
+                    [classIndex(r.bug.bugClass())] += detected ? 1 : 0;
+        } else {
+            report.cleanPrograms++;
+        }
+        if (r.compileError)
+            report.compileErrors++;
+        if (r.analysisRan) {
+            report.staticDefinite += r.staticDefinite;
+            report.staticMaybe += r.staticMaybe;
+            report.staticHits += r.staticHit ? 1 : 0;
+        }
+        for (const SeedResult::Flag &flag : r.flags)
+            report.disagreementsByKind[static_cast<size_t>(flag.kind)]++;
+        if (!r.hasSurvivor)
+            continue;
+        report.minimizerPredicateRuns +=
+            r.survivor.minimizeStats.predicateRuns;
+        auto key = std::make_tuple(classIndex(r.survivor.bugClass),
+                                   static_cast<int>(r.survivor.kind),
+                                   r.survivor.engine,
+                                   r.survivor.shapeHash);
+        auto [it, inserted] = dedup.emplace(key,
+                                            report.survivors.size());
+        if (inserted) {
+            report.survivors.push_back(std::move(r.survivor));
+        } else {
+            report.survivors[it->second].duplicates++;
+            report.duplicatesCollapsed++;
+        }
+    }
+
+    report.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return report;
+}
+
+namespace
+{
+
+double
+aggregateShrinkRatio(const std::vector<Survivor> &survivors)
+{
+    size_t original = 0;
+    size_t final_bytes = 0;
+    for (const Survivor &s : survivors) {
+        original += s.minimizeStats.originalBytes;
+        final_bytes += s.minimizeStats.finalBytes;
+    }
+    return original == 0
+        ? 1.0
+        : static_cast<double>(final_bytes) / static_cast<double>(original);
+}
+
+void
+appendCounts(std::ostringstream &out, const CampaignReport &report)
+{
+    out << "\"programs\": " << report.programs
+        << ", \"clean\": " << report.cleanPrograms
+        << ", \"injected\": " << report.injectedPrograms
+        << ", \"compile_errors\": " << report.compileErrors
+        << ", \"injected_detected_managed\": "
+        << report.injectedDetectedManaged;
+    out << ", \"static\": {\"hits\": " << report.staticHits
+        << ", \"definite\": " << report.staticDefinite
+        << ", \"maybe\": " << report.staticMaybe << "}";
+    out << ", \"disagreements\": {";
+    for (size_t i = 1; i < report.disagreementsByKind.size(); i++) {
+        if (i > 1)
+            out << ", ";
+        out << "\"" << disagreementKindName(
+                           static_cast<DisagreementKind>(i))
+            << "\": " << report.disagreementsByKind[i];
+    }
+    out << "}, \"unexplained\": " << report.unexplained();
+    out << ", \"survivors\": " << report.survivors.size()
+        << ", \"duplicates_collapsed\": " << report.duplicatesCollapsed;
+    out << ", \"minimizer\": {\"predicate_runs\": "
+        << report.minimizerPredicateRuns << ", \"shrink_ratio\": "
+        << fixed(aggregateShrinkRatio(report.survivors)) << "}";
+}
+
+void
+appendSurvivors(std::ostringstream &out, const CampaignReport &report)
+{
+    out << "\"survivor_list\": [";
+    for (size_t i = 0; i < report.survivors.size(); i++) {
+        const Survivor &s = report.survivors[i];
+        if (i > 0)
+            out << ", ";
+        out << "{\"seed\": " << s.seed
+            << ", \"mutator\": \"" << mutatorKindName(s.mutator)
+            << "\", \"bug_class\": \"" << bugClassName(s.bugClass)
+            << "\", \"kind\": \"" << disagreementKindName(s.kind)
+            << "\", \"engine\": \"" << obs::jsonEscape(s.engine)
+            << "\", \"shape_hash\": \"" << std::hex << s.shapeHash
+            << std::dec << "\", \"duplicates\": " << s.duplicates
+            << ", \"statements\": ["
+            << s.minimizeStats.originalStatements << ", "
+            << s.minimizeStats.finalStatements << "]"
+            << ", \"bytes\": [" << s.minimizeStats.originalBytes << ", "
+            << s.minimizeStats.finalBytes << "]"
+            << ", \"detail\": \"" << obs::jsonEscape(s.detail)
+            << "\", \"source\": \"" << obs::jsonEscape(s.source)
+            << "\"}";
+    }
+    out << "]";
+}
+
+} // namespace
+
+std::string
+CampaignReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"schema\": \"FUZZ_report.json/v1\", \"seed_begin\": "
+        << seedBegin << ", \"seed_count\": " << seedCount
+        << ", \"bug_ratio_pct\": " << bugRatioPct << ", ";
+    appendCounts(out, *this);
+    out << ", \"detections\": {";
+    bool first_engine = true;
+    for (const auto &[engine, counts] : detectionsByEngine) {
+        if (!first_engine)
+            out << ", ";
+        first_engine = false;
+        out << "\"" << obs::jsonEscape(engine) << "\": {";
+        for (size_t c = 0; c < counts.size(); c++) {
+            if (c > 0)
+                out << ", ";
+            out << "\"" << bugClassKey(c) << "\": " << counts[c];
+        }
+        out << "}";
+    }
+    out << "}, ";
+    appendSurvivors(out, *this);
+    out << "}";
+    return out.str();
+}
+
+std::string
+CampaignReport::toBenchJson() const
+{
+    double wall_s = wallMs / 1000.0;
+    double per_sec = wall_s > 0
+        ? static_cast<double>(programs) / wall_s : 0.0;
+    std::ostringstream out;
+    out << "{\"schema\": \"BENCH_fuzz.json/v1\", \"seed_begin\": "
+        << seedBegin << ", \"seed_count\": " << seedCount
+        << ", \"bug_ratio_pct\": " << bugRatioPct
+        << ", \"jobs\": " << jobsUsed
+        << ", \"wall_ms\": " << fixed(wallMs)
+        << ", \"programs_per_sec\": " << fixed(per_sec) << ", ";
+    appendCounts(out, *this);
+    out << "}";
+    return out.str();
+}
+
+std::string
+CampaignReport::corpusCandidatesJson() const
+{
+    // Survivors in the corpus interchange shape: enough ground truth to
+    // hand-promote one into src/corpus/ (see README, "fuzzing
+    // campaigns") after the underlying engine bug is understood.
+    std::ostringstream out;
+    out << "{\"schema\": \"FUZZ_corpus_candidates.json/v1\", "
+        << "\"entries\": [";
+    for (size_t i = 0; i < survivors.size(); i++) {
+        const Survivor &s = survivors[i];
+        if (i > 0)
+            out << ", ";
+        out << "{\"id\": \"fuzz-" << mutatorKindName(s.mutator) << "-seed"
+            << s.seed << "\", \"description\": \""
+            << obs::jsonEscape(s.detail)
+            << "\", \"bug_class\": \"" << bugClassName(s.bugClass)
+            << "\", \"disagreement\": \"" << disagreementKindName(s.kind)
+            << "\", \"engine\": \"" << obs::jsonEscape(s.engine)
+            << "\", \"source\": \"" << obs::jsonEscape(s.source)
+            << "\"}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+CampaignReport::formatSummary(bool verbose) const
+{
+    std::ostringstream out;
+    out << "Fuzz campaign: seeds [" << seedBegin << ", "
+        << seedBegin + seedCount << "), " << programs << " programs ("
+        << cleanPrograms << " clean, " << injectedPrograms
+        << " injected), " << jobsUsed << " worker(s), "
+        << fixed(wallMs) << " ms";
+    if (wallMs > 0) {
+        out << " (" << fixed(static_cast<double>(programs) /
+                             (wallMs / 1000.0))
+            << " programs/s)";
+    }
+    out << "\n";
+    out << "  managed detection: " << injectedDetectedManaged << "/"
+        << injectedPrograms << " injected bugs\n";
+    out << "  static analyzer:   " << staticHits << " hit(s), "
+        << staticDefinite << " definite, " << staticMaybe
+        << " maybe finding(s)\n";
+    for (const auto &[engine, counts] : detectionsByEngine) {
+        out << "  " << engine << " exact-kind detections:";
+        for (size_t c = 0; c < counts.size(); c++)
+            out << " " << bugClassKey(c) << "=" << counts[c];
+        out << "\n";
+    }
+    out << "  disagreements:";
+    for (size_t i = 1; i < disagreementsByKind.size(); i++)
+        out << " " << disagreementKindName(
+                          static_cast<DisagreementKind>(i))
+            << "=" << disagreementsByKind[i];
+    out << " (unexplained " << unexplained() << ")\n";
+    out << "  survivors: " << survivors.size() << " unique ("
+        << duplicatesCollapsed << " duplicate(s) collapsed, "
+        << minimizerPredicateRuns << " minimizer oracle runs)\n";
+    if (verbose) {
+        for (const Survivor &s : survivors) {
+            out << "--- seed " << s.seed << " [" << s.engine << " "
+                << disagreementKindName(s.kind) << ", "
+                << bugClassName(s.bugClass) << ", x"
+                << (s.duplicates + 1) << "] " << s.detail << "\n";
+            out << s.source;
+        }
+    }
+    return out.str();
+}
+
+} // namespace sulong

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Campaign driver: seed ranges, parallel oracle runs, survivor triage.
+ *
+ * A campaign maps a seed range through generate -> (maybe) inject ->
+ * differential oracle, minimizes every survivor while preserving its
+ * disagreement signature, and dedups survivors on
+ * (BugClass x DisagreementKind x engine x minimized shape hash) so one
+ * root cause shows up once no matter how many seeds hit it.
+ *
+ * Determinism contract: everything a seed produces — program, oracle
+ * verdicts, minimized survivor — is a pure function of (seed, options),
+ * results merge in seed order, and the deterministic report excludes
+ * wall-clock, so reports are byte-identical across --jobs levels, hosts,
+ * and shard assignments. CI leans on this: a nightly shard is fully
+ * reproducible from its seed range alone.
+ */
+
+#ifndef MS_FUZZ_CAMPAIGN_H
+#define MS_FUZZ_CAMPAIGN_H
+
+#include <array>
+#include <map>
+
+#include "fuzz/minimizer.h"
+#include "fuzz/mutator.h"
+#include "fuzz/oracle.h"
+
+namespace sulong
+{
+
+struct CampaignOptions
+{
+    uint64_t seedBegin = 1;
+    uint64_t seedCount = 1000;
+    /// Worker threads; 1 runs inline on the caller, 0 means one per
+    /// hardware thread. Never affects results, only wall-clock.
+    unsigned jobs = 1;
+    /// Percentage of seeds that receive a bug-injection mutator
+    /// (seed-determined, so the clean/buggy split is reproducible).
+    unsigned bugRatioPct = 50;
+    /// Shrink survivors (statement removal + expression collapsing)
+    /// while preserving the disagreement signature.
+    bool minimize = true;
+    GeneratorOptions generator;
+    OracleOptions oracle;
+};
+
+/** One deduplicated disagreement, minimized and reproducible. */
+struct Survivor
+{
+    uint64_t seed = 0;
+    MutatorKind mutator = MutatorKind::none;
+    BugClass bugClass = BugClass::unrelated;
+    DisagreementKind kind = DisagreementKind::none;
+    /// Engine whose verdict disagreed ("managed", "asan", "static", ...).
+    std::string engine;
+    std::string detail;
+    /// FNV-1a 64 over the literal-canonicalized minimized source.
+    uint64_t shapeHash = 0;
+    /// Minimized source (original source when minimization is off).
+    std::string source;
+    MinimizeStats minimizeStats;
+    /// Seed-distinct duplicates collapsed into this survivor.
+    unsigned duplicates = 0;
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignReport
+{
+    uint64_t seedBegin = 0;
+    uint64_t seedCount = 0;
+    unsigned bugRatioPct = 0;
+    unsigned jobsUsed = 0;
+
+    uint64_t programs = 0;
+    uint64_t cleanPrograms = 0;
+    uint64_t injectedPrograms = 0;
+    uint64_t compileErrors = 0;
+    /// Injected bugs the managed engine reported with the exact
+    /// ground-truth kind (the acceptance bar is == injectedPrograms).
+    uint64_t injectedDetectedManaged = 0;
+    /// Exact-kind detections per engine per BugClass (statistics — the
+    /// industrialized Table 1/2).
+    std::map<std::string, std::array<uint64_t, 4>> detectionsByEngine;
+    uint64_t staticHits = 0;
+    uint64_t staticDefinite = 0;
+    uint64_t staticMaybe = 0;
+    /// Disagreement verdicts by kind, before dedup (index:
+    /// DisagreementKind).
+    std::array<uint64_t, kDisagreementKindCount> disagreementsByKind{};
+
+    std::vector<Survivor> survivors;
+    uint64_t duplicatesCollapsed = 0;
+    uint64_t minimizerPredicateRuns = 0;
+
+    /// Wall-clock of the whole campaign; never part of the
+    /// deterministic report.
+    double wallMs = 0;
+
+    /// Disagreement verdicts + compile failures: the number CI gates
+    /// on. Every one of these is a bug in an engine, the analyzer, the
+    /// front end, or the generator's well-definedness argument.
+    uint64_t unexplained() const;
+
+    /** Deterministic campaign report (FUZZ_report.json/v1): identical
+     *  bytes for identical (seed range, options), any --jobs. */
+    std::string toJson() const;
+    /** BENCH_fuzz.json/v1 for the CI perf/quality gate (adds wall-clock
+     *  and throughput, so NOT jobs-deterministic). */
+    std::string toBenchJson() const;
+    /** Candidate corpus entries (one per reproducing survivor) in the
+     *  corpus JSON interchange format. */
+    std::string corpusCandidatesJson() const;
+    /** Human-readable summary table. */
+    std::string formatSummary(bool verbose = false) const;
+};
+
+/**
+ * The pure per-seed pipeline: generate the seed's program and apply its
+ * seed-determined mutator. Exposed so the CLI can re-render any seed
+ * (`fuzz_runner --print-seed N`) and tests can pin programs.
+ */
+FuzzProgram generateSeedProgram(uint64_t seed,
+                                const CampaignOptions &options);
+
+/** Canonical shape hash: FNV-1a 64 over @p source with every decimal
+ *  literal collapsed, so seed-distinct clones of one shape collide. */
+uint64_t shapeHash(const std::string &source);
+
+/** Run the campaign over options.seedCount seeds. */
+CampaignReport runCampaign(const CampaignOptions &options);
+
+} // namespace sulong
+
+#endif // MS_FUZZ_CAMPAIGN_H

@@ -1,0 +1,381 @@
+#include "fuzz/generator.h"
+
+#include <sstream>
+
+namespace sulong
+{
+
+const char *
+mutatorKindName(MutatorKind kind)
+{
+    switch (kind) {
+      case MutatorKind::none:         return "none";
+      case MutatorKind::oobIndex:     return "oob-index";
+      case MutatorKind::useAfterFree: return "use-after-free";
+      case MutatorKind::doubleFree:   return "double-free";
+      case MutatorKind::uninitRead:   return "uninit-read";
+      case MutatorKind::invalidFree:  return "invalid-free";
+      case MutatorKind::nullDeref:    return "null-deref";
+    }
+    return "?";
+}
+
+namespace
+{
+
+void
+renderStmts(std::ostringstream &out, const std::vector<FuzzStmt> &stmts,
+            int depth)
+{
+    std::string indent(static_cast<size_t>(depth) * 4, ' ');
+    for (const FuzzStmt &s : stmts) {
+        if (!s.isBlock) {
+            out << indent << s.text << "\n";
+            continue;
+        }
+        out << indent << s.text << "\n";
+        renderStmts(out, s.body, depth + 1);
+        if (s.hasElse) {
+            out << indent << "} else {\n";
+            renderStmts(out, s.elseBody, depth + 1);
+        }
+        out << indent << "}\n";
+    }
+}
+
+unsigned
+countStmts(const std::vector<FuzzStmt> &stmts)
+{
+    unsigned n = 0;
+    for (const FuzzStmt &s : stmts) {
+        n += 1 + countStmts(s.body);
+        if (s.hasElse)
+            n += countStmts(s.elseBody);
+    }
+    return n;
+}
+
+} // namespace
+
+std::string
+FuzzProgram::render() const
+{
+    std::ostringstream out;
+    for (const std::string &decl : prelude)
+        out << decl << "\n";
+    out << "int main(void) {\n";
+    out << "    int v0 = 11;\n";
+    renderStmts(out, stmts, 1);
+    out << "    printf(\"%u %d\\n\", acc, v0);\n";
+    out << "    return (int)(acc % 126);\n";
+    out << "}\n";
+    return out.str();
+}
+
+unsigned
+FuzzProgram::statementCount() const
+{
+    return countStmts(stmts);
+}
+
+ProgramGenerator::ProgramGenerator(uint64_t seed, GeneratorOptions options)
+    : rng_(seed), options_(options)
+{}
+
+FuzzProgram
+ProgramGenerator::generate()
+{
+    FuzzProgram program;
+    // The checksum pair is load-bearing: the epilogue references both,
+    // so the minimizer can never strip it (the program stops compiling).
+    program.prelude.push_back(
+        "static unsigned int acc = 1;\n"
+        "static void mix(unsigned int v) { acc = acc * 31 + v; }");
+
+    int n_globals = static_cast<int>(
+        rng_.nextRange(options_.minGlobals, options_.maxGlobals));
+    for (int i = 0; i < n_globals; i++) {
+        int len = static_cast<int>(rng_.nextRange(2, 6));
+        std::ostringstream decl;
+        decl << "int g" << i << "[" << len << "] = {"
+             << rng_.nextRange(-9, 9) << ", " << rng_.nextRange(-9, 9)
+             << "};";
+        program.prelude.push_back(decl.str());
+        std::string name = "g";
+        name += std::to_string(i);
+        globalArrays_.push_back({std::move(name), len});
+    }
+
+    functions_ = static_cast<int>(
+        rng_.nextRange(options_.minFunctions, options_.maxFunctions));
+    for (int f = 0; f < functions_; f++)
+        program.prelude.push_back(emitFunction(f));
+
+    // main() body. v0 is declared by the fixed header.
+    scalars_.push_back({"v0", false});
+    nextScalar_ = 1;
+    int n_stmts = static_cast<int>(
+        rng_.nextRange(options_.minStatements, options_.maxStatements));
+    for (int i = 0; i < n_stmts; i++)
+        program.stmts.push_back(statement(1));
+    return program;
+}
+
+std::string
+ProgramGenerator::emitFunction(int index)
+{
+    std::ostringstream out;
+    out << "static int f" << index << "(int a, int b) {\n";
+    out << "    int r = a " << binop() << " (b " << binop() << " "
+        << rng_.nextRange(1, 9) << ");\n";
+    if (rng_.chance(0.5)) {
+        out << "    if (r " << cmpop() << " " << rng_.nextRange(-5, 5)
+            << ")\n        r = r " << binop() << " " << rng_.nextRange(1, 7)
+            << ";\n";
+    }
+    if (rng_.chance(0.4)) {
+        // Earlier generated functions are callable (no recursion, so
+        // every call chain terminates).
+        if (index > 0) {
+            out << "    r = r ^ f"
+                << rng_.nextBelow(static_cast<uint64_t>(index)) << "(r, "
+                << rng_.nextRange(-7, 7) << ");\n";
+        } else {
+            out << "    r = r + " << rng_.nextRange(1, 5) << ";\n";
+        }
+    }
+    out << "    mix((unsigned int)r);\n";
+    out << "    return r;\n";
+    out << "}";
+    return out.str();
+}
+
+std::vector<FuzzStmt>
+ProgramGenerator::blockBody(int depth)
+{
+    size_t outer_scalars = scalars_.size();
+    size_t outer_arrays = arrays_.size();
+    std::vector<FuzzStmt> body;
+    int n = static_cast<int>(rng_.nextRange(1, 3));
+    for (int i = 0; i < n; i++)
+        body.push_back(statement(depth));
+    // Names declared in the block go out of scope with it.
+    scalars_.resize(outer_scalars);
+    arrays_.resize(outer_arrays);
+    return body;
+}
+
+FuzzStmt
+ProgramGenerator::statement(int depth)
+{
+    switch (rng_.nextBelow(9)) {
+      case 0: { // declare a scalar (any scope; tracked per block)
+        bool is_unsigned = rng_.chance(0.3);
+        std::string name = "v" + std::to_string(nextScalar_++);
+        std::string text = std::string(is_unsigned ? "unsigned int " : "int ")
+            + name + " = " + expr(is_unsigned, 0) + ";";
+        scalars_.push_back({name, is_unsigned});
+        return FuzzStmt::leaf(text);
+      }
+      case 1: { // declare a local array
+        int len = static_cast<int>(rng_.nextRange(2, 6));
+        std::string name = "a" + std::to_string(nextArray_++);
+        std::ostringstream text;
+        text << "int " << name << "[" << len << "] = {"
+             << rng_.nextRange(-9, 9) << ", " << rng_.nextRange(-9, 9)
+             << "};";
+        arrays_.push_back({name, len});
+        return FuzzStmt::leaf(text.str());
+      }
+      case 2: { // store through a safe array index
+        const Array *target = nullptr;
+        if (!arrays_.empty() && rng_.chance(0.5))
+            target = &arrays_[rng_.nextBelow(arrays_.size())];
+        else if (!globalArrays_.empty())
+            target = &globalArrays_[rng_.nextBelow(globalArrays_.size())];
+        if (target == nullptr)
+            return FuzzStmt::leaf("mix(2u);");
+        return FuzzStmt::leaf(target->name + "[" + safeIndex(*target, 0) +
+                              "] = " + intExpr(0) + ";");
+      }
+      case 3: { // assign / compound-assign a scalar (never loop counters)
+        std::vector<size_t> targets;
+        for (size_t s = 0; s < scalars_.size(); s++)
+            if (scalars_[s].assignable)
+                targets.push_back(s);
+        if (targets.empty())
+            return FuzzStmt::leaf("mix(4u);");
+        const Scalar &var = scalars_[targets[rng_.nextBelow(targets.size())]];
+        static const char *compound[] = {" = ", " += ", " -= ", " ^= "};
+        return FuzzStmt::leaf(var.name + compound[rng_.nextBelow(4)] +
+                              expr(var.isUnsigned, 0) + ";");
+      }
+      case 4: { // bounded for loop
+        if (depth >= options_.maxDepth)
+            return FuzzStmt::leaf("mix(3u);");
+        std::string i = "i";
+        i += std::to_string(nextLoop_++);
+        FuzzStmt loop;
+        loop.isBlock = true;
+        loop.text = "for (int ";
+        loop.text += i;
+        loop.text += " = 0; ";
+        loop.text += i;
+        loop.text += " < ";
+        loop.text += std::to_string(rng_.nextRange(1, 6));
+        loop.text += "; ";
+        loop.text += i;
+        loop.text += "++) {";
+        scalars_.push_back({i, false, false});
+        loop.body = blockBody(depth + 1);
+        scalars_.pop_back();
+        return loop;
+      }
+      case 5: { // if / if-else
+        if (depth >= options_.maxDepth)
+            return FuzzStmt::leaf("mix(5u);");
+        FuzzStmt branch;
+        branch.isBlock = true;
+        branch.text = "if (" + intExpr(0) + " " + cmpop() + " " +
+            intExpr(0) + ") {";
+        branch.body = blockBody(depth + 1);
+        if (rng_.chance(0.6)) {
+            branch.hasElse = true;
+            branch.elseBody = blockBody(depth + 1);
+        }
+        return branch;
+      }
+      case 6: { // while loop over a fresh bounded counter
+        if (depth >= options_.maxDepth)
+            return FuzzStmt::leaf("mix(9u);");
+        std::string w = "w";
+        w += std::to_string(nextLoop_++);
+        FuzzStmt decl = FuzzStmt::leaf(
+            "int " + w + " = " + std::to_string(rng_.nextRange(1, 5)) + ";");
+        FuzzStmt loop;
+        loop.isBlock = true;
+        loop.text = "while (" + w + " > 0) {";
+        scalars_.push_back({w, false, false});
+        loop.body = blockBody(depth + 1);
+        scalars_.pop_back();
+        loop.body.push_back(FuzzStmt::leaf(w + " = " + w + " - 1;"));
+        // Wrap {decl; loop} in a block so the counter name scopes with
+        // its loop and removal stays atomic for the minimizer.
+        FuzzStmt wrapper;
+        wrapper.isBlock = true;
+        wrapper.text = "{";
+        wrapper.body.push_back(std::move(decl));
+        wrapper.body.push_back(std::move(loop));
+        return wrapper;
+      }
+      case 7: { // call a generated helper
+        std::string f = "f" + std::to_string(
+            rng_.nextBelow(static_cast<uint64_t>(functions_)));
+        return FuzzStmt::leaf("v0 = v0 ^ " + f + "(" + intExpr(0) + ", " +
+                              intExpr(0) + ");");
+      }
+      default: // fold an expression into the checksum
+        return FuzzStmt::leaf("mix((unsigned int)(" + intExpr(0) + "));");
+    }
+}
+
+std::string
+ProgramGenerator::safeIndex(const Array &array, int depth)
+{
+    // Reduce an arbitrary expression modulo the array length: always in
+    // bounds, and the cast keeps the reduction on non-negative values.
+    return "(unsigned int)(" + intExpr(depth + 1) + ") % " +
+        std::to_string(array.length) + "u";
+}
+
+std::string
+ProgramGenerator::expr(bool want_unsigned, int depth)
+{
+    // Type-directed synthesis: every alternative yields a well-defined
+    // value of the requested type (int or unsigned int).
+    const char *cast = want_unsigned ? "(unsigned int)" : "(int)";
+    if (depth >= options_.maxExprDepth) {
+        return want_unsigned
+            ? std::to_string(rng_.nextRange(0, 20)) + "u"
+            : std::to_string(rng_.nextRange(-20, 20));
+    }
+    switch (rng_.nextBelow(8)) {
+      case 0: // literal
+        return want_unsigned
+            ? std::to_string(rng_.nextRange(0, 20)) + "u"
+            : std::to_string(rng_.nextRange(-20, 20));
+      case 1: { // scalar in scope (cast when types differ)
+        if (scalars_.empty())
+            return want_unsigned ? "4u" : "4";
+        const Scalar &var = scalars_[rng_.nextBelow(scalars_.size())];
+        if (var.isUnsigned == want_unsigned)
+            return var.name;
+        return std::string(cast) + var.name;
+      }
+      case 2: { // safe array element
+        const Array *source = nullptr;
+        if (!arrays_.empty() && rng_.chance(0.5))
+            source = &arrays_[rng_.nextBelow(arrays_.size())];
+        else if (!globalArrays_.empty())
+            source = &globalArrays_[rng_.nextBelow(globalArrays_.size())];
+        if (source == nullptr)
+            return want_unsigned ? "7u" : "7";
+        std::string element =
+            source->name + "[" + safeIndex(*source, depth) + "]";
+        return want_unsigned ? std::string(cast) + element : element;
+      }
+      case 3: { // guarded division / modulo (divisor >= 1)
+        std::string out = "(";
+        out += expr(want_unsigned, depth + 1);
+        out += rng_.chance(0.5) ? " / " : " % ";
+        out += std::to_string(rng_.nextRange(1, 9));
+        out += want_unsigned ? "u)" : ")";
+        return out;
+      }
+      case 4: { // masked shift
+        return "(" + expr(want_unsigned, depth + 1) +
+            (rng_.chance(0.5) ? " << " : " >> ") +
+            std::to_string(rng_.nextRange(0, 7)) + ")";
+      }
+      case 5: { // comparison (an int 0/1; cast for unsigned contexts)
+        std::string cmp = "(" + intExpr(depth + 1) + " " + cmpop() + " " +
+            intExpr(depth + 1) + ")";
+        return want_unsigned ? std::string(cast) + cmp : cmp;
+      }
+      case 6: { // call a generated helper
+        std::string call = "f" +
+            std::to_string(rng_.nextBelow(
+                static_cast<uint64_t>(functions_ > 0 ? functions_ : 1))) +
+            "(" + intExpr(depth + 1) + ", " + intExpr(depth + 1) + ")";
+        if (functions_ == 0)
+            return want_unsigned ? "1u" : "1";
+        return want_unsigned ? std::string(cast) + call : call;
+      }
+      default: { // binary arithmetic
+        std::string out = "(";
+        out += expr(want_unsigned, depth + 1);
+        out += " ";
+        out += binop();
+        out += " ";
+        out += expr(want_unsigned, depth + 1);
+        out += ")";
+        return out;
+      }
+    }
+}
+
+std::string
+ProgramGenerator::binop()
+{
+    static const char *ops[] = {"+", "-", "*", "&", "|", "^"};
+    return ops[rng_.nextBelow(6)];
+}
+
+std::string
+ProgramGenerator::cmpop()
+{
+    static const char *ops[] = {"<", ">", "<=", ">=", "==", "!="};
+    return ops[rng_.nextBelow(6)];
+}
+
+} // namespace sulong

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Deterministic grammar-based mini-C program generator.
+ *
+ * The generative scenario engine's front half: a seeded, type-directed
+ * generator that produces *well-defined* mini-C programs (array indices
+ * reduced modulo the array length, divisors forced non-zero, shift
+ * amounts masked, every variable initialized), structured so that the
+ * bug-injection mutators (src/fuzz/mutator.h) and the auto-minimizer
+ * (src/fuzz/minimizer.h) can operate on whole statements instead of raw
+ * text. Every program folds its observable behaviour into a checksum
+ * printed at exit, so two engines agree iff they computed the same
+ * values in the same order.
+ *
+ * Determinism contract: generation consumes randomness only from the
+ * seeded Rng, so the same (seed, options) pair renders a byte-identical
+ * program on every host, worker count, and build type.
+ */
+
+#ifndef MS_FUZZ_GENERATOR_H
+#define MS_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "study/classifier.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace sulong
+{
+
+/** Which bug-injection mutator produced a program's planted bug. */
+enum class MutatorKind : uint8_t
+{
+    none, ///< clean program, well-defined by construction
+    oobIndex,
+    useAfterFree,
+    doubleFree,
+    uninitRead,
+    invalidFree,
+    nullDeref,
+};
+
+/// Number of bug-injecting MutatorKinds (excludes `none`).
+inline constexpr int kMutatorCount = 6;
+
+const char *mutatorKindName(MutatorKind kind);
+
+/** Ground truth recorded for one injected bug. */
+struct InjectedBug
+{
+    MutatorKind mutator = MutatorKind::none;
+    /// Expected ErrorKind of the planted fault (none for clean programs).
+    ErrorKind kind = ErrorKind::none;
+    AccessKind access = AccessKind::read;
+    StorageKind storage = StorageKind::unknown;
+    BoundsDirection direction = BoundsDirection::unknown;
+    /// Out-of-bounds accesses only: the access lands within one element
+    /// of the object, i.e. inside any adjacent redzone. "Far" overflows
+    /// (false) are the ones redzone-based detectors are allowed to miss.
+    bool adjacent = true;
+    /// The faulting access uses a compile-time-constant address into a
+    /// global, which even the O0 native pipeline constant-folds away
+    /// before instrumentation (paper Fig. 13) — redzone-based detectors
+    /// are allowed to miss it.
+    bool foldable = false;
+    /// Human-readable summary, e.g. "heap overflow write, 1 past end".
+    std::string description;
+
+    bool injected() const { return mutator != MutatorKind::none; }
+    BugClass bugClass() const
+    {
+        return kind == ErrorKind::none ? BugClass::unrelated
+                                       : bugClassOfError(kind);
+    }
+};
+
+/**
+ * One statement of a generated program. A leaf holds its full text; a
+ * block holds a header line (`for (...) {` / `if (...) {`), a body, an
+ * optional else-body, and renders its own closing braces. The minimizer
+ * removes whole FuzzStmts and recurses into bodies.
+ */
+struct FuzzStmt
+{
+    std::string text;
+    bool isBlock = false;
+    std::vector<FuzzStmt> body;
+    bool hasElse = false;
+    std::vector<FuzzStmt> elseBody;
+    /// Injected-bug statements are pinned: the minimizer must not remove
+    /// or rewrite them, or a missed-bug disagreement would "survive"
+    /// trivially in a program that no longer contains the planted bug.
+    bool pinned = false;
+
+    static FuzzStmt
+    leaf(std::string text)
+    {
+        FuzzStmt s;
+        s.text = std::move(text);
+        return s;
+    }
+};
+
+/**
+ * A generated program in structured form: the prelude (checksum
+ * helpers, globals, helper functions — one entry per declaration), the
+ * statements of main(), and the planted-bug ground truth. The fixed
+ * main() header declares `v0`; the fixed epilogue prints the checksum
+ * and `v0` and returns `acc % 126`.
+ */
+struct FuzzProgram
+{
+    uint64_t seed = 0;
+    std::vector<std::string> prelude;
+    std::vector<FuzzStmt> stmts;
+    InjectedBug bug;
+
+    /** Render the complete C source. */
+    std::string render() const;
+    /** Statements in main(), counting nested ones. */
+    unsigned statementCount() const;
+};
+
+/** Size knobs of the generator grammar. */
+struct GeneratorOptions
+{
+    int minGlobals = 1;
+    int maxGlobals = 3;
+    int minFunctions = 1;
+    int maxFunctions = 3;
+    int minStatements = 4;
+    int maxStatements = 10;
+    /// Maximum statement nesting depth inside main().
+    int maxDepth = 3;
+    /// Maximum recursive expression depth.
+    int maxExprDepth = 4;
+};
+
+/**
+ * Seeded grammar + type-directed expression generator. One instance
+ * generates one program (the Rng state is consumed by generate()).
+ */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(uint64_t seed, GeneratorOptions options = {});
+
+    /** Generate a well-defined program for this generator's seed. */
+    FuzzProgram generate();
+
+  private:
+    /// A scalar variable in scope (type int or unsigned int). Loop
+    /// counters are visible to expressions but never assignment targets
+    /// — a generated `i1 = -500;` inside the loop body would turn a
+    /// bounded loop into a multi-million-step one.
+    struct Scalar
+    {
+        std::string name;
+        bool isUnsigned = false;
+        bool assignable = true;
+    };
+    /// A fixed-length int array in scope.
+    struct Array
+    {
+        std::string name;
+        int length = 1;
+    };
+
+    std::string emitFunction(int index);
+    FuzzStmt statement(int depth);
+    std::vector<FuzzStmt> blockBody(int depth);
+    std::string expr(bool want_unsigned, int depth);
+    std::string intExpr(int depth) { return expr(false, depth); }
+    std::string safeIndex(const Array &array, int depth);
+    std::string binop();
+    std::string cmpop();
+
+    Rng rng_;
+    GeneratorOptions options_;
+    int functions_ = 0;
+    std::vector<Scalar> scalars_;
+    std::vector<Array> arrays_;
+    std::vector<Array> globalArrays_;
+    int nextScalar_ = 0;
+    int nextArray_ = 0;
+    int nextLoop_ = 0;
+};
+
+} // namespace sulong
+
+#endif // MS_FUZZ_GENERATOR_H

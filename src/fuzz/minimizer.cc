@@ -1,0 +1,201 @@
+#include "fuzz/minimizer.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+bool
+check(const FuzzProgram &program, const MinimizePredicate &keep,
+      MinimizeStats *stats)
+{
+    if (stats != nullptr)
+        stats->predicateRuns++;
+    return keep(program);
+}
+
+/** @return true when @p stmt or anything nested in it is pinned. */
+bool
+containsPinned(const FuzzStmt &stmt)
+{
+    if (stmt.pinned)
+        return true;
+    for (const FuzzStmt &s : stmt.body)
+        if (containsPinned(s))
+            return true;
+    for (const FuzzStmt &s : stmt.elseBody)
+        if (containsPinned(s))
+            return true;
+    return false;
+}
+
+bool
+anyPinned(const std::vector<FuzzStmt> &stmts)
+{
+    for (const FuzzStmt &s : stmts)
+        if (containsPinned(s))
+            return true;
+    return false;
+}
+
+/** Remove statements greedily, last to first, recursing into bodies. */
+bool
+removeStatements(std::vector<FuzzStmt> &stmts, FuzzProgram &program,
+                 const MinimizePredicate &keep, MinimizeStats *stats)
+{
+    bool any = false;
+    for (size_t i = stmts.size(); i-- > 0;) {
+        if (!containsPinned(stmts[i])) {
+            FuzzStmt saved = std::move(stmts[i]);
+            stmts.erase(stmts.begin() + static_cast<ptrdiff_t>(i));
+            if (check(program, keep, stats)) {
+                any = true;
+                continue;
+            }
+            stmts.insert(stmts.begin() + static_cast<ptrdiff_t>(i),
+                         std::move(saved));
+        }
+        FuzzStmt &kept = stmts[i];
+        if (!kept.isBlock)
+            continue;
+        if (kept.hasElse && !anyPinned(kept.elseBody)) {
+            // Dropping just the else-branch keeps the then-body alive.
+            std::vector<FuzzStmt> saved_else = std::move(kept.elseBody);
+            kept.hasElse = false;
+            kept.elseBody.clear();
+            if (check(program, keep, stats)) {
+                any = true;
+            } else {
+                kept.hasElse = true;
+                kept.elseBody = std::move(saved_else);
+            }
+        }
+        any |= removeStatements(kept.body, program, keep, stats);
+        if (kept.hasElse)
+            any |= removeStatements(kept.elseBody, program, keep, stats);
+    }
+    return any;
+}
+
+/** Drop whole prelude declarations (globals, helper functions). The
+ *  checksum helpers survive because the epilogue references them: a
+ *  candidate without them no longer compiles and the predicate (which
+ *  re-runs the oracle) rejects it. */
+bool
+removePrelude(FuzzProgram &program, const MinimizePredicate &keep,
+              MinimizeStats *stats)
+{
+    bool any = false;
+    for (size_t i = program.prelude.size(); i-- > 0;) {
+        std::string saved = std::move(program.prelude[i]);
+        program.prelude.erase(program.prelude.begin() +
+                              static_cast<ptrdiff_t>(i));
+        if (check(program, keep, stats)) {
+            any = true;
+            continue;
+        }
+        program.prelude.insert(program.prelude.begin() +
+                                   static_cast<ptrdiff_t>(i),
+                               std::move(saved));
+    }
+    return any;
+}
+
+/** @return the index just past the parenthesis group opening at @p open,
+ *  or std::string::npos when unbalanced. */
+size_t
+matchParen(const std::string &text, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < text.size(); i++) {
+        if (text[i] == '(')
+            depth++;
+        else if (text[i] == ')' && --depth == 0)
+            return i + 1;
+    }
+    return std::string::npos;
+}
+
+/** Collapse parenthesized subexpressions of one statement text to the
+ *  constant 1, left to right, re-scanning after each success. */
+bool
+simplifyText(std::string &text, FuzzProgram &program,
+             const MinimizePredicate &keep, MinimizeStats *stats)
+{
+    bool any = false;
+    size_t from = 0;
+    while (true) {
+        size_t open = text.find('(', from);
+        if (open == std::string::npos)
+            return any;
+        size_t end = matchParen(text, open);
+        if (end == std::string::npos)
+            return any;
+        std::string inner = text.substr(open + 1, end - open - 2);
+        // Skip casts ("(int)x" -> "1x" never compiles) and spans already
+        // minimal.
+        if (inner == "int" || inner == "unsigned int" || inner == "void" ||
+            inner == "1") {
+            from = open + 1;
+            continue;
+        }
+        std::string saved = text;
+        text = text.substr(0, open) + "1" + text.substr(end);
+        if (check(program, keep, stats)) {
+            any = true;
+            from = open; // re-scan from the replacement
+        } else {
+            text = std::move(saved);
+            from = open + 1; // descend into the group
+        }
+    }
+}
+
+bool
+simplifyStatements(std::vector<FuzzStmt> &stmts, FuzzProgram &program,
+                   const MinimizePredicate &keep, MinimizeStats *stats)
+{
+    bool any = false;
+    for (FuzzStmt &stmt : stmts) {
+        if (!stmt.pinned)
+            any |= simplifyText(stmt.text, program, keep, stats);
+        if (stmt.isBlock) {
+            any |= simplifyStatements(stmt.body, program, keep, stats);
+            if (stmt.hasElse)
+                any |= simplifyStatements(stmt.elseBody, program, keep,
+                                          stats);
+        }
+    }
+    return any;
+}
+
+} // namespace
+
+FuzzProgram
+minimizeProgram(const FuzzProgram &program, const MinimizePredicate &keep,
+                MinimizeStats *stats)
+{
+    FuzzProgram current = program;
+    if (stats != nullptr) {
+        stats->originalStatements = current.statementCount();
+        stats->originalBytes = current.render().size();
+    }
+    // Every accepted change strictly shrinks the rendered program, so
+    // the sweep loop terminates; a final sweep with no changes means a
+    // re-run would change nothing either (idempotence).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        changed |= removeStatements(current.stmts, current, keep, stats);
+        changed |= removePrelude(current, keep, stats);
+        changed |= simplifyStatements(current.stmts, current, keep, stats);
+    }
+    if (stats != nullptr) {
+        stats->finalStatements = current.statementCount();
+        stats->finalBytes = current.render().size();
+    }
+    return current;
+}
+
+} // namespace sulong

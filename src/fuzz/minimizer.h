@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Greedy statement/expression auto-minimizer for survivors.
+ *
+ * A survivor (a program some engine disagrees about) is shrunk before
+ * being reported: statements are removed greedily to a fixpoint —
+ * recursing into loop/branch bodies — then parenthesized subexpressions
+ * are collapsed to the constant 1. A candidate is kept only when the
+ * caller's predicate still holds (the campaign's predicate re-runs the
+ * oracle and requires the same disagreement signature), so minimization
+ * can never turn one bug into a different one. The greedy passes repeat
+ * until a full sweep changes nothing, which also makes the minimizer
+ * idempotent: minimizing a minimized program is a no-op.
+ */
+
+#ifndef MS_FUZZ_MINIMIZER_H
+#define MS_FUZZ_MINIMIZER_H
+
+#include <functional>
+
+#include "fuzz/generator.h"
+
+namespace sulong
+{
+
+/**
+ * Does a candidate program still exhibit the property being preserved?
+ * Called O(statements + parenthesized spans) times; it must be
+ * deterministic (same candidate, same answer).
+ */
+using MinimizePredicate = std::function<bool(const FuzzProgram &)>;
+
+struct MinimizeStats
+{
+    unsigned originalStatements = 0;
+    unsigned finalStatements = 0;
+    size_t originalBytes = 0;
+    size_t finalBytes = 0;
+    /// Predicate evaluations (each one typically re-runs the oracle).
+    unsigned predicateRuns = 0;
+
+    double
+    shrinkRatio() const
+    {
+        return originalBytes == 0
+            ? 1.0
+            : static_cast<double>(finalBytes) /
+                static_cast<double>(originalBytes);
+    }
+};
+
+/**
+ * Greedily shrink @p program while @p keep stays true. @p keep must be
+ * true for @p program itself (the caller checks its survivor first).
+ */
+FuzzProgram minimizeProgram(const FuzzProgram &program,
+                            const MinimizePredicate &keep,
+                            MinimizeStats *stats = nullptr);
+
+} // namespace sulong
+
+#endif // MS_FUZZ_MINIMIZER_H

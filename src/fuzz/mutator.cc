@@ -1,0 +1,280 @@
+#include "fuzz/mutator.h"
+
+namespace sulong
+{
+
+namespace
+{
+
+/**
+ * Splice @p snippet into main() at a seeded top-level position, so the
+ * fault is reached unconditionally (never under a generated branch).
+ */
+void
+splice(FuzzProgram &program, std::vector<FuzzStmt> snippet, Rng &rng)
+{
+    size_t at = rng.nextBelow(program.stmts.size() + 1);
+    program.stmts.insert(program.stmts.begin() +
+                             static_cast<ptrdiff_t>(at),
+                         std::make_move_iterator(snippet.begin()),
+                         std::make_move_iterator(snippet.end()));
+}
+
+/** A pinned leaf: part of the planted bug, immune to the minimizer. */
+FuzzStmt
+L(std::string text)
+{
+    FuzzStmt s = FuzzStmt::leaf(std::move(text));
+    s.pinned = true;
+    return s;
+}
+
+std::string
+num(int64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+injectOobIndex(FuzzProgram &program, Rng &rng)
+{
+    // Variant space: storage x access x direction (+ a "far" overflow
+    // that skips past any adjacent redzone — the paper's ASan miss).
+    int storage_pick = static_cast<int>(rng.nextBelow(3));
+    bool is_write = rng.chance(0.5);
+    bool underflow = rng.chance(0.3);
+    bool far = !underflow && rng.chance(0.25);
+    int len = static_cast<int>(rng.nextRange(2, 5));
+    int64_t index = underflow ? -1 : (far ? len + 8 : len);
+
+    InjectedBug &bug = program.bug;
+    bug.mutator = MutatorKind::oobIndex;
+    bug.kind = ErrorKind::outOfBounds;
+    bug.access = is_write ? AccessKind::write : AccessKind::read;
+    bug.direction = underflow ? BoundsDirection::underflow
+                              : BoundsDirection::overflow;
+    bug.adjacent = !far;
+
+    std::vector<FuzzStmt> snippet;
+    std::string name;
+    switch (storage_pick) {
+      case 0: { // heap
+        bug.storage = StorageKind::heap;
+        name = "fzh";
+        snippet.push_back(L("int *fzh = malloc(sizeof(int) * " + num(len) +
+                            ");"));
+        snippet.push_back(L("for (int fzi = 0; fzi < " + num(len) +
+                            "; fzi++) fzh[fzi] = fzi + 1;"));
+        break;
+      }
+      case 1: { // stack
+        bug.storage = StorageKind::stack;
+        name = "fzs";
+        snippet.push_back(L("int fzs[" + num(len) + "] = {"
+                            + num(rng.nextRange(1, 9)) + ", "
+                            + num(rng.nextRange(1, 9)) + "};"));
+        break;
+      }
+      default: { // global (appended last, so both neighbours are padded)
+        bug.storage = StorageKind::global;
+        name = "fzg";
+        program.prelude.push_back("int fzg[" + num(len) + "] = {"
+                                  + num(rng.nextRange(1, 9)) + ", "
+                                  + num(rng.nextRange(1, 9)) + "};");
+        break;
+      }
+    }
+    // A constant index into a global folds away in the native pipeline
+    // before instrumentation (Fig. 13) — half the global variants route
+    // the index through a variable the O0 pipeline cannot fold, so the
+    // redzone check actually fires.
+    std::string index_expr = num(index);
+    if (bug.storage == StorageKind::global) {
+        bug.foldable = rng.chance(0.5);
+        if (!bug.foldable) {
+            snippet.push_back(L("int fzj = " + num(index) + ";"));
+            index_expr = "fzj";
+        }
+    }
+    std::string access = name + "[" + index_expr + "]";
+    if (is_write)
+        snippet.push_back(L(access + " = 42;"));
+    else
+        snippet.push_back(L("mix((unsigned int)" + access + ");"));
+    if (bug.storage == StorageKind::heap)
+        snippet.push_back(L("free(fzh);"));
+
+    bug.description = std::string(storageKindName(bug.storage)) + " " +
+        (underflow ? "underflow" : (far ? "far overflow" : "overflow")) +
+        " " + (is_write ? "write" : "read") + " at index " + num(index) +
+        " of " + num(len) +
+        (bug.foldable ? " (constant address, folds before asan)" : "");
+    splice(program, std::move(snippet), rng);
+}
+
+void
+injectUseAfterFree(FuzzProgram &program, Rng &rng)
+{
+    bool is_write = rng.chance(0.5);
+    int len = static_cast<int>(rng.nextRange(1, 4));
+    InjectedBug &bug = program.bug;
+    bug.mutator = MutatorKind::useAfterFree;
+    bug.kind = ErrorKind::useAfterFree;
+    bug.access = is_write ? AccessKind::write : AccessKind::read;
+    bug.storage = StorageKind::heap;
+    bug.description = std::string("heap ") +
+        (is_write ? "write" : "read") + " after free";
+
+    std::vector<FuzzStmt> snippet;
+    snippet.push_back(L("int *fzu = malloc(sizeof(int) * " + num(len) +
+                        ");"));
+    snippet.push_back(L("fzu[0] = " + num(rng.nextRange(1, 9)) + ";"));
+    snippet.push_back(L("free(fzu);"));
+    if (is_write)
+        snippet.push_back(L("fzu[0] = 7;"));
+    else
+        snippet.push_back(L("mix((unsigned int)fzu[0]);"));
+    splice(program, std::move(snippet), rng);
+}
+
+void
+injectDoubleFree(FuzzProgram &program, Rng &rng)
+{
+    int len = static_cast<int>(rng.nextRange(1, 4));
+    InjectedBug &bug = program.bug;
+    bug.mutator = MutatorKind::doubleFree;
+    bug.kind = ErrorKind::doubleFree;
+    bug.access = AccessKind::free;
+    bug.storage = StorageKind::heap;
+    bug.description = "free() called twice on one block";
+
+    std::vector<FuzzStmt> snippet;
+    snippet.push_back(L("int *fzd = malloc(sizeof(int) * " + num(len) +
+                        ");"));
+    snippet.push_back(L("fzd[0] = " + num(rng.nextRange(1, 9)) + ";"));
+    snippet.push_back(L("mix((unsigned int)fzd[0]);"));
+    snippet.push_back(L("free(fzd);"));
+    snippet.push_back(L("free(fzd);"));
+    splice(program, std::move(snippet), rng);
+}
+
+void
+injectUninitRead(FuzzProgram &program, Rng &rng)
+{
+    // The uninitialized value flows into a branch: that is the shape the
+    // Memcheck-style V-bit tracker reports ("conditional jump depends
+    // on uninitialised value"), and the managed object model flags the
+    // read itself.
+    bool heap = rng.chance(0.5);
+    InjectedBug &bug = program.bug;
+    bug.mutator = MutatorKind::uninitRead;
+    bug.kind = ErrorKind::uninitRead;
+    bug.access = AccessKind::read;
+    bug.storage = heap ? StorageKind::heap : StorageKind::stack;
+    bug.description = std::string(heap ? "heap" : "stack") +
+        " read of an uninitialized int";
+
+    std::vector<FuzzStmt> snippet;
+    if (heap) {
+        snippet.push_back(L("int *fzn = malloc(sizeof(int) * 2);"));
+        snippet.push_back(L("if (fzn[0] > 0) mix(1u); else mix(2u);"));
+        snippet.push_back(L("free(fzn);"));
+    } else {
+        snippet.push_back(L("int fzn[2];"));
+        snippet.push_back(L("if (fzn[0] > 0) mix(1u); else mix(2u);"));
+    }
+    splice(program, std::move(snippet), rng);
+}
+
+void
+injectInvalidFree(FuzzProgram &program, Rng &rng)
+{
+    bool interior = rng.chance(0.5);
+    InjectedBug &bug = program.bug;
+    bug.mutator = MutatorKind::invalidFree;
+    bug.kind = ErrorKind::invalidFree;
+    bug.access = AccessKind::free;
+    bug.storage = interior ? StorageKind::heap : StorageKind::stack;
+
+    std::vector<FuzzStmt> snippet;
+    if (interior) {
+        bug.description = "free() of an interior heap pointer";
+        snippet.push_back(L("int *fzp = malloc(sizeof(int) * 4);"));
+        snippet.push_back(L("fzp[1] = " + num(rng.nextRange(1, 9)) + ";"));
+        snippet.push_back(L("free(fzp + 1);"));
+    } else {
+        bug.description = "free() of a stack address";
+        snippet.push_back(L("int fzx = " + num(rng.nextRange(1, 9)) + ";"));
+        snippet.push_back(L("mix((unsigned int)fzx);"));
+        snippet.push_back(L("free(&fzx);"));
+    }
+    splice(program, std::move(snippet), rng);
+}
+
+void
+injectNullDeref(FuzzProgram &program, Rng &rng)
+{
+    bool is_write = rng.chance(0.5);
+    InjectedBug &bug = program.bug;
+    bug.mutator = MutatorKind::nullDeref;
+    bug.kind = ErrorKind::nullDeref;
+    bug.access = is_write ? AccessKind::write : AccessKind::read;
+    bug.storage = StorageKind::unknown;
+    bug.description = std::string("NULL pointer ") +
+        (is_write ? "write" : "read");
+
+    std::vector<FuzzStmt> snippet;
+    snippet.push_back(L("int *fzz = 0;"));
+    if (is_write)
+        snippet.push_back(L("fzz[0] = 1;"));
+    else
+        snippet.push_back(L("mix((unsigned int)fzz[0]);"));
+    splice(program, std::move(snippet), rng);
+}
+
+} // namespace
+
+FuzzProgram
+injectBug(FuzzProgram program, MutatorKind kind, Rng &rng)
+{
+    switch (kind) {
+      case MutatorKind::none:
+        break;
+      case MutatorKind::oobIndex:
+        injectOobIndex(program, rng);
+        break;
+      case MutatorKind::useAfterFree:
+        injectUseAfterFree(program, rng);
+        break;
+      case MutatorKind::doubleFree:
+        injectDoubleFree(program, rng);
+        break;
+      case MutatorKind::uninitRead:
+        injectUninitRead(program, rng);
+        break;
+      case MutatorKind::invalidFree:
+        injectInvalidFree(program, rng);
+        break;
+      case MutatorKind::nullDeref:
+        injectNullDeref(program, rng);
+        break;
+    }
+    return program;
+}
+
+MutatorKind
+pickMutator(Rng &rng, double bug_ratio)
+{
+    if (!rng.chance(bug_ratio))
+        return MutatorKind::none;
+    switch (rng.nextBelow(kMutatorCount)) {
+      case 0:  return MutatorKind::oobIndex;
+      case 1:  return MutatorKind::useAfterFree;
+      case 2:  return MutatorKind::doubleFree;
+      case 3:  return MutatorKind::uninitRead;
+      case 4:  return MutatorKind::invalidFree;
+      default: return MutatorKind::nullDeref;
+    }
+}
+
+} // namespace sulong

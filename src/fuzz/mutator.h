@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bug-injection mutators with recorded ground truth.
+ *
+ * Each mutator takes a well-defined generated program and plants exactly
+ * one memory error of a known BugClass — out-of-bounds index,
+ * use-after-free, double free, uninitialized read, invalid free, or NULL
+ * dereference — as a self-contained statement sequence spliced into
+ * main() at a seeded position. The mutator records the planted bug's
+ * ErrorKind / AccessKind / StorageKind / BoundsDirection so the
+ * differential oracle can judge every engine against ground truth
+ * instead of against each other.
+ *
+ * Contract: the injected fault is (a) reached unconditionally on the
+ * program's only input, (b) the *first* fault the program executes (the
+ * base program is well-defined by construction), and (c) adjacent — an
+ * out-of-bounds access lands within one element of the object — so
+ * redzone-based detectors see it too. The campaign relies on (a)-(b) to
+ * treat any engine that misses the bug as a finding about the engine.
+ */
+
+#ifndef MS_FUZZ_MUTATOR_H
+#define MS_FUZZ_MUTATOR_H
+
+#include "fuzz/generator.h"
+
+namespace sulong
+{
+
+/**
+ * Plant one bug of @p kind into @p program (a clean generated program),
+ * consuming randomness from @p rng to pick the variant (storage class,
+ * read vs write, overflow vs underflow) and the splice position. The
+ * returned program's `bug` field holds the ground truth.
+ */
+FuzzProgram injectBug(FuzzProgram program, MutatorKind kind, Rng &rng);
+
+/** The seeded mutator choice used by the campaign: seed-determined
+ *  clean/buggy split at @p bug_ratio, uniform over mutators. */
+MutatorKind pickMutator(Rng &rng, double bug_ratio);
+
+} // namespace sulong
+
+#endif // MS_FUZZ_MUTATOR_H

@@ -24,15 +24,22 @@ namespace sulong
 namespace
 {
 
-/** Follow boolean-widening aliases: zext(i1) and `icmp ne X, 0` where X
- *  is itself boolean-valued produce the same 0/1 payload as their source,
- *  so tier-2 reads the source slot directly. */
+/** Follow boolean-widening aliases. In a truthiness context (condbr
+ *  condition, cmp+br fusion detection) every alias is safe: the source
+ *  is non-zero iff the widened value is. In a *value* context only
+ *  type-preserving aliases (i1 -> i1, from `icmp ne X, 0` of a bool) may
+ *  be followed: MValue keeps integers in sign-extended canonical form,
+ *  so an i1 true reads back as -1, and forwarding a zext(i1) consumer
+ *  to the raw i1 slot would hand it -1 where the widened value is 1. */
 const Value *
 canonical(const Value *v,
-          const std::unordered_map<const Value *, const Value *> &aliases)
+          const std::unordered_map<const Value *, const Value *> &aliases,
+          bool truthy)
 {
     auto it = aliases.find(v);
-    while (it != aliases.end()) {
+    while (it != aliases.end() &&
+           (truthy ||
+            it->second->type()->kind() == v->type()->kind())) {
         v = it->second;
         it = aliases.find(v);
     }
@@ -170,7 +177,8 @@ class Tier2Compiler
                                ValueKind::constantInt &&
                            static_cast<const ConstantInt *>(
                                inst->operand(1))->value() == 0) {
-                    const Value *src = canonical(inst->operand(0), aliases);
+                    const Value *src =
+                        canonical(inst->operand(0), aliases, true);
                     bool src_bool = src->type()->kind() == TypeKind::i1 ||
                         (src->valueKind() == ValueKind::instruction &&
                          static_cast<const Instruction *>(src)->op() ==
@@ -193,9 +201,9 @@ class Tier2Compiler
     }
 
     POperand
-    makeOperand(const Value *v, const BodyCtx &body)
+    makeOperand(const Value *v, const BodyCtx &body, bool truthy = false)
     {
-        v = canonical(v, body.aliases);
+        v = canonical(v, body.aliases, truthy);
         POperand op;
         switch (v->valueKind()) {
           case ValueKind::argument:
@@ -422,7 +430,7 @@ class Tier2Compiler
                     code.push_back(pi);
                     break;
                   case Opcode::condbr:
-                    pi.a = makeOperand(inst.operand(0), body);
+                    pi.a = makeOperand(inst.operand(0), body, true);
                     fixups.push_back(Fixup{code.size(), inst.target(0),
                                            false});
                     fixups.push_back(Fixup{code.size(), inst.target(1),
@@ -458,7 +466,7 @@ class Tier2Compiler
                     if (i + 1 < insts.size() &&
                         insts[i + 1]->op() == Opcode::condbr &&
                         canonical(insts[i + 1]->operand(0),
-                                  body.aliases) == &inst) {
+                                  body.aliases, true) == &inst) {
                         pi.flags |= kPFuseCmpBr;
                         fixups.push_back(Fixup{code.size(),
                                                insts[i + 1]->target(0),
@@ -494,7 +502,7 @@ class Tier2Compiler
                     // producing exactly the stored value absorbs the
                     // store (same slot writes, same trap order).
                     const Value *val = canonical(inst.operand(0),
-                                                 body.aliases);
+                                                 body.aliases, false);
                     if (!code.empty()) {
                         PInst &last = code.back();
                         if (isFusableProducer(last.op) &&

@@ -576,8 +576,15 @@ class IRParser
                             break;
                         }
                     }
-                    if (want == nullptr)
-                        want = inst->type(); // all-constant: keep guess
+                    if (want == nullptr) {
+                        // All-constant: keep the guess — except for icmp,
+                        // whose result type (i1) says nothing about its
+                        // operands; retyping `icmp eq 3, 16` to i1 would
+                        // truncate the constants. Keep their parsed type.
+                        want = inst->op() == Opcode::icmp
+                            ? inst->operand(0)->type()
+                            : inst->type();
+                    }
                     if (infer_result)
                         inst->setResultType(want);
                     for (size_t i = 0; i < inst->numOperands(); i++) {

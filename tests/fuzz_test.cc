@@ -8,204 +8,26 @@
  * object model, the flat-memory model, and both instrumentation
  * runtimes against each other. Any divergence is a bug in one of them.
  *
- * Generated programs avoid undefined behaviour by construction: array
- * indices are reduced modulo the array length, divisors are forced
+ * The programs come from the shared src/fuzz generator (the scenario
+ * engine's front half), which keeps them well-defined by construction:
+ * array indices are reduced modulo the array length, divisors are forced
  * non-zero, shift amounts are masked, and all variables are initialized
  * (signed overflow wraps identically in every engine by IR semantics).
+ * The campaign driver (tools/fuzz_runner) runs the same generator at
+ * scale; this suite pins the per-engine agreement property — including
+ * -O3, which the campaign oracle does not run — and IR round-tripping.
  */
-
-#include <sstream>
 
 #include "test_util.h"
 
+#include "fuzz/generator.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
-#include "support/rng.h"
 
 namespace sulong
 {
 namespace
 {
-
-/** Random program builder. */
-class ProgramGenerator
-{
-  public:
-    explicit ProgramGenerator(uint64_t seed) : rng_(seed) {}
-
-    std::string
-    generate()
-    {
-        std::ostringstream out;
-        out << "static unsigned int acc = 1;\n";
-        out << "static void mix(unsigned int v) { acc = acc * 31 + v; }\n";
-        int n_globals = static_cast<int>(rng_.nextRange(1, 3));
-        for (int i = 0; i < n_globals; i++) {
-            out << "int g" << i << "[" << rng_.nextRange(2, 6) << "] = {"
-                << rng_.nextRange(-9, 9) << ", " << rng_.nextRange(-9, 9)
-                << "};\n";
-        }
-        int n_functions = static_cast<int>(rng_.nextRange(1, 3));
-        for (int f = 0; f < n_functions; f++)
-            emitFunction(out, f);
-        out << "int main(void) {\n";
-        int n_stmts = static_cast<int>(rng_.nextRange(3, 8));
-        locals_ = 0;
-        out << "    int v0 = " << rng_.nextRange(-50, 50) << ";\n";
-        locals_ = 1;
-        for (int i = 0; i < n_stmts; i++)
-            emitStatement(out, 1, n_functions, n_globals);
-        out << "    printf(\"%u %d\\n\", acc, v0);\n";
-        out << "    return (int)(acc % 126);\n";
-        out << "}\n";
-        return out.str();
-    }
-
-  private:
-    void
-    emitFunction(std::ostringstream &out, int index)
-    {
-        out << "static int f" << index << "(int a, int b) {\n";
-        out << "    int r = a " << binop() << " (b " << binop() << " "
-            << rng_.nextRange(1, 9) << ");\n";
-        if (rng_.chance(0.5)) {
-            out << "    if (r " << cmpop() << " " << rng_.nextRange(-5, 5)
-                << ")\n        r = r " << binop() << " " << rng_.nextRange(1, 7)
-                << ";\n";
-        }
-        out << "    mix((unsigned int)r);\n";
-        out << "    return r;\n";
-        out << "}\n";
-    }
-
-    void
-    emitStatement(std::ostringstream &out, int depth, int n_functions,
-                  int n_globals)
-    {
-        std::string indent(static_cast<size_t>(depth) * 4, ' ');
-        switch (rng_.nextBelow(6)) {
-          case 0: { // new local — only at function scope, so every
-                     // later expression may reference it
-            if (depth > 1) {
-                out << indent << "mix(7u);\n";
-                return;
-            }
-            out << indent << "int v" << locals_ << " = " << expr()
-                << ";\n";
-            locals_++;
-            return;
-          }
-          case 1: { // assignment through a safe array access
-            int g = static_cast<int>(rng_.nextBelow(
-                static_cast<uint64_t>(n_globals)));
-            out << indent << "g" << g << "[(unsigned int)(" << expr()
-                << ") % 2] = " << expr() << ";\n";
-            return;
-          }
-          case 2: { // bounded for loop
-            if (depth >= 3) {
-                out << indent << "mix(3u);\n";
-                return;
-            }
-            std::string i = "i";
-            i += std::to_string(loops_++);
-            out << indent << "for (int " << i << " = 0; " << i << " < "
-                << rng_.nextRange(1, 6) << "; " << i << "++) {\n";
-            emitStatement(out, depth + 1, n_functions, n_globals);
-            out << indent << "}\n";
-            return;
-          }
-          case 3: { // if/else
-            if (depth >= 3) {
-                out << indent << "mix(5u);\n";
-                return;
-            }
-            out << indent << "if (" << expr() << " " << cmpop() << " "
-                << expr() << ") {\n";
-            emitStatement(out, depth + 1, n_functions, n_globals);
-            out << indent << "} else {\n";
-            emitStatement(out, depth + 1, n_functions, n_globals);
-            out << indent << "}\n";
-            return;
-          }
-          case 4: { // call a generated function
-            int f = static_cast<int>(rng_.nextBelow(
-                static_cast<uint64_t>(n_functions)));
-            out << indent << "v0 = v0 ^ f" << f << "(" << expr() << ", "
-                << expr() << ");\n";
-            return;
-          }
-          default: // mix an expression into the checksum
-            out << indent << "mix((unsigned int)(" << expr() << "));\n";
-            return;
-        }
-    }
-
-    /** A small, always-defined integer expression. */
-    std::string
-    expr()
-    {
-        switch (rng_.nextBelow(5)) {
-          case 0:
-            return std::to_string(rng_.nextRange(-20, 20));
-          case 1:
-            if (locals_ > 0) {
-                std::string text = "v";
-                text += std::to_string(
-                    rng_.nextBelow(static_cast<uint64_t>(locals_)));
-                return text;
-            }
-            return std::to_string(rng_.nextRange(0, 9));
-          case 2: {
-            // Guarded division/modulo: |divisor| >= 1.
-            std::string d = std::to_string(rng_.nextRange(1, 9));
-            std::string text = "(";
-            text += expr();
-            text += rng_.chance(0.5) ? " / " : " % ";
-            text += d;
-            text += ")";
-            return text;
-          }
-          case 3: {
-            // Masked shift.
-            std::string text = "(";
-            text += expr();
-            text += rng_.chance(0.5) ? " << " : " >> ";
-            text += std::to_string(rng_.nextRange(0, 7));
-            text += ")";
-            return text;
-          }
-          default: {
-            std::string text = "(";
-            text += expr();
-            text += " ";
-            text += binop();
-            text += " ";
-            text += expr();
-            text += ")";
-            return text;
-          }
-        }
-    }
-
-    std::string
-    binop()
-    {
-        static const char *ops[] = {"+", "-", "*", "&", "|", "^"};
-        return ops[rng_.nextBelow(6)];
-    }
-
-    std::string
-    cmpop()
-    {
-        static const char *ops[] = {"<", ">", "<=", ">=", "==", "!="};
-        return ops[rng_.nextBelow(6)];
-    }
-
-    Rng rng_;
-    int locals_ = 0;
-    int loops_ = 0;
-};
 
 class DifferentialFuzzTest : public ::testing::TestWithParam<int>
 {
@@ -214,7 +36,7 @@ class DifferentialFuzzTest : public ::testing::TestWithParam<int>
 TEST_P(DifferentialFuzzTest, AllEnginesAgreeOnRandomProgram)
 {
     ProgramGenerator generator(0xF002 + static_cast<uint64_t>(GetParam()));
-    std::string program = generator.generate();
+    std::string program = generator.generate().render();
 
     ExecutionResult reference = runUnderTool(
         program, ToolConfig::make(ToolKind::safeSulong));
