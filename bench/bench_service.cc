@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Chaos-load benchmark of the analysis daemon: boots an in-process
+ * ServiceServer, hammers it from concurrent client threads with a mixed
+ * clean/buggy job stream (optionally with injected daemon-side job and
+ * write faults), then drains it and emits a BENCH_service.json/v1
+ * document the CI gate checks: zero daemon deaths, every job answered
+ * with exactly one structured frame, a clean drain, and throughput.
+ *
+ * Usage:
+ *   bench_service [--clients N] [--jobs-per-client N] [--workers N]
+ *                 [--queue-cap N] [--chaos-job P] [--chaos-write P]
+ *                 [--chaos-seed N] [--socket PATH] [--json FILE]
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "support/fault.h"
+#include "tools/driver.h"
+
+using namespace sulong;
+using namespace sulong::service;
+
+namespace
+{
+
+const char *kCleanSource = R"(
+#include <stdio.h>
+int main(void) {
+    int total = 0;
+    for (int i = 1; i <= 100; i++) total += i;
+    printf("total=%d\n", total);
+    return 0;
+}
+)";
+
+const char *kBugSource = R"(
+int main(void) {
+    int buf[8];
+    buf[8] = 1;
+    return 0;
+}
+)";
+
+/** Per-client accounting; summed after the threads join. */
+struct ClientStats
+{
+    uint64_t ok = 0;
+    uint64_t bug = 0;
+    uint64_t errorFrames = 0;
+    uint64_t transportFailures = 0;
+    std::vector<double> latenciesMs;
+};
+
+double
+addChaos(FaultInjector &faults, int argc, char **argv, const char *flag,
+         const char *prefix)
+{
+    std::string value = parseStringFlag(argc, argv, flag);
+    if (value.empty())
+        return 0;
+    FaultInjector::Rule rule;
+    rule.site = prefix;
+    rule.sitePrefix = true;
+    rule.action = FaultInjector::Action::hostException;
+    rule.probability = std::atof(value.c_str());
+    faults.addRule(rule);
+    return rule.probability;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    size_t index = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[index];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned clients = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "clients", 4));
+    unsigned per_client = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "jobs-per-client", 50));
+
+    FaultInjector faults(parseUint64Flag(argc, argv, "chaos-seed", 0));
+    double chaos_job =
+        addChaos(faults, argc, argv, "chaos-job", "service.job/");
+    double chaos_write =
+        addChaos(faults, argc, argv, "chaos-write", "service.write/");
+
+    ServiceConfig config;
+    config.workers = parseJobsFlag(argc, argv, 4);
+    config.queueCapacity = static_cast<size_t>(
+        parseUint64Flag(argc, argv, "queue-cap", 256));
+    config.tenantCapacity = config.queueCapacity;
+    config.watchdogMs = 10000;
+    if (chaos_job > 0 || chaos_write > 0)
+        config.faults = &faults;
+
+    ServerOptions options;
+    options.socketPath = parseStringFlag(
+        argc, argv, "socket",
+        "/tmp/ms_bench_service_" + std::to_string(::getpid()) + ".sock");
+    ServiceServer server(config, options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+        return 1;
+    }
+
+    uint64_t jobs_total = static_cast<uint64_t>(clients) * per_client;
+    std::vector<ClientStats> stats(clients);
+    std::vector<std::thread> threads;
+    auto start = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < clients; c++) {
+        threads.emplace_back([&, c] {
+            ClientStats &mine = stats[c];
+            ServiceClient client;
+            std::string err;
+            if (!client.connect(options.socketPath, &err)) {
+                mine.transportFailures += per_client;
+                return;
+            }
+            for (unsigned i = 0; i < per_client; i++) {
+                JobRequest request;
+                request.tenant = "bench-" + std::to_string(c % 3);
+                request.source = i % 3 == 0 ? kBugSource : kCleanSource;
+                Frame reply;
+                bool answered = false;
+                auto job_start = std::chrono::steady_clock::now();
+                // A write fault costs its connection after the error
+                // frame; a lost *send* is retried on a fresh connection
+                // (nothing was answered yet), a lost *reply* is what
+                // the transport_failures gate counts.
+                for (int attempt = 0; attempt < 3 && !answered;
+                     attempt++) {
+                    if (!client.connected() &&
+                        !client.connect(options.socketPath, &err))
+                        continue;
+                    if (client.submitJob(request, &reply, &err)) {
+                        answered = true;
+                    } else {
+                        client.close();
+                    }
+                }
+                if (!answered) {
+                    mine.transportFailures++;
+                    continue;
+                }
+                mine.latenciesMs.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - job_start)
+                        .count());
+                if (reply.type == FrameType::error) {
+                    mine.errorFrames++;
+                    // The stream stays aligned only while the
+                    // connection lives; write faults close it for us.
+                    continue;
+                }
+                obs::JsonValue doc;
+                if (!obs::parseJson(reply.payload, &doc, &err)) {
+                    mine.transportFailures++;
+                    continue;
+                }
+                if (doc.find("bug") != nullptr)
+                    mine.bug++;
+                else
+                    mine.ok++;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    // The daemon must still answer after the whole load, then drain
+    // clean. In-process: reaching this line at all means zero deaths.
+    bool healthy = false;
+    {
+        ServiceClient client;
+        obs::JsonValue health;
+        healthy = client.connect(options.socketPath, &error) &&
+            client.health(&health, &error);
+    }
+    server.requestDrain();
+    bool drained_clean = server.runUntilDrained() == 0;
+
+    ClientStats total;
+    for (const ClientStats &s : stats) {
+        total.ok += s.ok;
+        total.bug += s.bug;
+        total.errorFrames += s.errorFrames;
+        total.transportFailures += s.transportFailures;
+        total.latenciesMs.insert(total.latenciesMs.end(),
+                                 s.latenciesMs.begin(),
+                                 s.latenciesMs.end());
+    }
+    std::sort(total.latenciesMs.begin(), total.latenciesMs.end());
+    uint64_t structured = total.ok + total.bug + total.errorFrames;
+    double jobs_per_sec =
+        wall_ms > 0 ? 1000.0 * static_cast<double>(structured) / wall_ms
+                    : 0;
+
+    std::printf("bench_service: %llu jobs over %u client(s), %u worker(s)\n",
+                static_cast<unsigned long long>(jobs_total), clients,
+                server.service().workers());
+    std::printf("  ok=%llu bug=%llu error_frames=%llu transport=%llu\n",
+                static_cast<unsigned long long>(total.ok),
+                static_cast<unsigned long long>(total.bug),
+                static_cast<unsigned long long>(total.errorFrames),
+                static_cast<unsigned long long>(total.transportFailures));
+    std::printf("  wall=%.0fms throughput=%.1f jobs/s p50=%.1fms "
+                "p90=%.1fms p99=%.1fms\n",
+                wall_ms, jobs_per_sec,
+                percentile(total.latenciesMs, 0.50),
+                percentile(total.latenciesMs, 0.90),
+                percentile(total.latenciesMs, 0.99));
+    std::printf("  healthy_after_load=%s drained_clean=%s\n",
+                healthy ? "true" : "false",
+                drained_clean ? "true" : "false");
+
+    std::string json_path = parseStringFlag(argc, argv, "json");
+    if (!json_path.empty()) {
+        char buffer[512];
+        std::string out = "{\n  \"schema\": \"BENCH_service.json/v1\",\n";
+        std::snprintf(buffer, sizeof buffer,
+                      "  \"clients\": %u,\n  \"workers\": %u,\n"
+                      "  \"jobs_total\": %llu,\n",
+                      clients, server.service().workers(),
+                      static_cast<unsigned long long>(jobs_total));
+        out += buffer;
+        std::snprintf(buffer, sizeof buffer,
+                      "  \"chaos\": {\"job\": %.3f, \"write\": %.3f},\n",
+                      chaos_job, chaos_write);
+        out += buffer;
+        std::snprintf(
+            buffer, sizeof buffer,
+            "  \"ok\": %llu,\n  \"bug\": %llu,\n"
+            "  \"error_frames\": %llu,\n  \"structured_replies\": %llu,\n"
+            "  \"transport_failures\": %llu,\n  \"daemon_deaths\": 0,\n",
+            static_cast<unsigned long long>(total.ok),
+            static_cast<unsigned long long>(total.bug),
+            static_cast<unsigned long long>(total.errorFrames),
+            static_cast<unsigned long long>(structured),
+            static_cast<unsigned long long>(total.transportFailures));
+        out += buffer;
+        std::snprintf(
+            buffer, sizeof buffer,
+            "  \"healthy_after_load\": %s,\n  \"drained_clean\": %s,\n"
+            "  \"wall_ms\": %.1f,\n  \"jobs_per_sec\": %.2f,\n"
+            "  \"latency_ms\": {\"p50\": %.2f, \"p90\": %.2f, "
+            "\"p99\": %.2f}\n}\n",
+            healthy ? "true" : "false", drained_clean ? "true" : "false",
+            wall_ms, jobs_per_sec, percentile(total.latenciesMs, 0.50),
+            percentile(total.latenciesMs, 0.90),
+            percentile(total.latenciesMs, 0.99));
+        out += buffer;
+        if (!obs::validateJson(out, &error)) {
+            std::fprintf(stderr, "bench_service: emitted bad JSON: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::ofstream file(json_path);
+        file << out;
+        if (!file) {
+            std::fprintf(stderr, "bench_service: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+    }
+
+    bool accounted = structured + total.transportFailures == jobs_total;
+    if (!accounted)
+        std::fprintf(stderr, "bench_service: accounting hole: "
+                             "%llu structured + %llu transport != %llu\n",
+                     static_cast<unsigned long long>(structured),
+                     static_cast<unsigned long long>(
+                         total.transportFailures),
+                     static_cast<unsigned long long>(jobs_total));
+    return accounted && total.transportFailures == 0 && healthy &&
+                   drained_clean
+               ? 0
+               : 1;
+}

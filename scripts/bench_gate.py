@@ -31,6 +31,13 @@ Subcommands:
                      disagreement, any compile error, any injected bug
                      the managed engine missed, a malformed shrink
                      ratio, or a campaign smaller/slower than the floors.
+  service FILE [--min-jobs N] [--min-rate X]
+                     validate a BENCH_service.json/v1 chaos-load report
+                     (bench_service --json) and fail on any daemon
+                     death, any job not answered with exactly one
+                     structured frame, an unhealthy daemon after load,
+                     a dirty drain, or a load smaller/slower than the
+                     floors.
 """
 
 import argparse
@@ -406,6 +413,81 @@ def cmd_fuzz(args):
     return 0
 
 
+SERVICE_SCHEMA = "BENCH_service.json/v1"
+
+
+def load_service(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != SERVICE_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r},"
+             f" want {SERVICE_SCHEMA!r}")
+    for key in ("clients", "workers", "jobs_total", "ok", "bug",
+                "error_frames", "structured_replies",
+                "transport_failures", "daemon_deaths"):
+        v = doc.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{path}: {key} must be a non-negative int, got {v!r}")
+    for key in ("wall_ms", "jobs_per_sec"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{path}: {key} must be a non-negative number, got {v!r}")
+    for key in ("healthy_after_load", "drained_clean"):
+        if not isinstance(doc.get(key), bool):
+            fail(f"{path}: {key} must be a bool")
+    latency = doc.get("latency_ms")
+    if not isinstance(latency, dict):
+        fail(f"{path}: latency_ms missing or not an object")
+    for key in ("p50", "p90", "p99"):
+        v = latency.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{path}: latency_ms.{key} must be a non-negative"
+                 f" number, got {v!r}")
+    if latency["p50"] > latency["p90"] or latency["p90"] > latency["p99"]:
+        fail(f"{path}: latency percentiles are not monotonic")
+    if doc["ok"] + doc["bug"] + doc["error_frames"] != \
+            doc["structured_replies"]:
+        fail(f"{path}: ok + bug + error_frames !="
+             f" structured_replies ({doc['structured_replies']})")
+    return doc
+
+
+def cmd_service(args):
+    doc = load_service(args.file)
+    print(f"{args.file}: ok ({doc['jobs_total']} jobs,"
+          f" {doc['clients']} clients, {doc['structured_replies']}"
+          f" structured, {doc['error_frames']} error frames,"
+          f" {doc['jobs_per_sec']:.1f} jobs/s,"
+          f" p99 {doc['latency_ms']['p99']:.1f} ms)")
+    if doc["daemon_deaths"] != 0:
+        fail(f"{args.file}: {doc['daemon_deaths']} daemon death(s) —"
+             " an injected fault escaped its job isolation")
+    if doc["structured_replies"] + doc["transport_failures"] != \
+            doc["jobs_total"]:
+        fail(f"{args.file}: accounting hole —"
+             f" {doc['structured_replies']} structured +"
+             f" {doc['transport_failures']} transport !="
+             f" {doc['jobs_total']} jobs")
+    if doc["transport_failures"] != 0:
+        fail(f"{args.file}: {doc['transport_failures']} job(s) never"
+             " received a structured reply — every failure must degrade"
+             " into an answered error, not silence")
+    if not doc["healthy_after_load"]:
+        fail(f"{args.file}: daemon did not answer a health probe after"
+             " the load")
+    if not doc["drained_clean"]:
+        fail(f"{args.file}: drain did not complete cleanly")
+    if doc["jobs_total"] < args.min_jobs:
+        fail(f"{args.file}: only {doc['jobs_total']} jobs, floor is"
+             f" {args.min_jobs}")
+    if doc["jobs_per_sec"] < args.min_rate:
+        fail(f"{args.file}: throughput {doc['jobs_per_sec']:.1f} jobs/s"
+             f" below floor {args.min_rate}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -451,6 +533,13 @@ def main():
     p_fuzz.add_argument("--min-rate", type=float, default=0.0,
                         help="fail below this programs/s throughput")
     p_fuzz.set_defaults(func=cmd_fuzz)
+    p_service = sub.add_parser("service")
+    p_service.add_argument("file")
+    p_service.add_argument("--min-jobs", type=int, default=1,
+                           help="fail if the load ran fewer jobs")
+    p_service.add_argument("--min-rate", type=float, default=0.0,
+                           help="fail below this jobs/s throughput")
+    p_service.set_defaults(func=cmd_service)
     args = parser.parse_args()
     sys.exit(args.func(args))
 

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -54,16 +56,20 @@ jsonEscape(std::string_view s)
 namespace
 {
 
-/** Recursive-descent validator; enough JSON to check our own output. */
+/**
+ * Recursive-descent parser; one grammar serves both the validator
+ * (null sink — nothing is built) and parseJson (values built as the
+ * productions succeed).
+ */
 class JsonChecker
 {
   public:
     explicit JsonChecker(std::string_view text) : text_(text) {}
 
     bool
-    check(std::string *error)
+    check(std::string *error, JsonValue *sink = nullptr)
     {
-        bool ok = value() && (skipWs(), pos_ == text_.size());
+        bool ok = value(sink) && (skipWs(), pos_ == text_.size());
         if (!ok && error != nullptr) {
             *error = "invalid JSON at byte " + std::to_string(pos_) +
                 (message_.empty() ? "" : ": " + message_);
@@ -98,8 +104,25 @@ class JsonChecker
         return true;
     }
 
+    /** Append @p code point as UTF-8 (inputs below 0x100 that came in
+     *  as \u00XX round-trip to the raw byte jsonEscape encoded). */
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
     bool
-    string()
+    string(std::string *decoded = nullptr)
     {
         if (pos_ >= text_.size() || text_[pos_] != '"')
             return fail("expected string");
@@ -118,17 +141,40 @@ class JsonChecker
                     return fail("truncated escape");
                 char e = text_[pos_];
                 if (e == 'u') {
+                    unsigned code = 0;
                     for (int i = 1; i <= 4; i++) {
                         if (pos_ + i >= text_.size() ||
                             std::isxdigit(static_cast<unsigned char>(
                                 text_[pos_ + i])) == 0)
                             return fail("bad \\u escape");
+                        char h = text_[pos_ + i];
+                        code = code * 16 +
+                            static_cast<unsigned>(
+                                   h <= '9' ? h - '0'
+                                            : (h | 0x20) - 'a' + 10);
                     }
                     pos_ += 4;
-                } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                           e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                    if (decoded != nullptr) {
+                        if (code < 0x100)
+                            *decoded += static_cast<char>(code);
+                        else
+                            appendUtf8(*decoded, code);
+                    }
+                } else if (e == '"' || e == '\\' || e == '/') {
+                    if (decoded != nullptr)
+                        *decoded += e;
+                } else if (e == 'b' || e == 'f' || e == 'n' || e == 'r' ||
+                           e == 't') {
+                    if (decoded != nullptr) {
+                        const char *from = "bfnrt";
+                        const char *to = "\b\f\n\r\t";
+                        *decoded += to[std::strchr(from, e) - from];
+                    }
+                } else {
                     return fail("bad escape");
                 }
+            } else if (decoded != nullptr) {
+                *decoded += static_cast<char>(c);
             }
             pos_++;
         }
@@ -136,7 +182,7 @@ class JsonChecker
     }
 
     bool
-    number()
+    number(JsonValue *sink)
     {
         size_t start = pos_;
         if (pos_ < text_.size() && text_[pos_] == '-')
@@ -171,11 +217,17 @@ class JsonChecker
             if (pos_ == exp)
                 return fail("expected exponent digits");
         }
+        if (sink != nullptr) {
+            *sink = JsonValue::makeNumber(
+                std::strtod(std::string(text_.substr(start, pos_ - start))
+                                .c_str(),
+                            nullptr));
+        }
         return true;
     }
 
     bool
-    value()
+    value(JsonValue *sink)
     {
         if (depth_ > 64)
             return fail("nesting too deep");
@@ -184,41 +236,69 @@ class JsonChecker
             return fail("unexpected end of input");
         char c = text_[pos_];
         if (c == '{')
-            return object();
+            return object(sink);
         if (c == '[')
-            return array();
-        if (c == '"')
-            return string();
-        if (c == 't')
-            return literal("true");
-        if (c == 'f')
-            return literal("false");
-        if (c == 'n')
-            return literal("null");
-        return number();
+            return array(sink);
+        if (c == '"') {
+            std::string decoded;
+            if (!string(sink != nullptr ? &decoded : nullptr))
+                return false;
+            if (sink != nullptr)
+                *sink = JsonValue::makeString(std::move(decoded));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            if (sink != nullptr)
+                *sink = JsonValue::makeBool(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            if (sink != nullptr)
+                *sink = JsonValue::makeBool(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            if (sink != nullptr)
+                *sink = JsonValue::makeNull();
+            return true;
+        }
+        return number(sink);
     }
 
     bool
-    object()
+    object(JsonValue *sink)
     {
         depth_++;
         pos_++; // '{'
+        std::vector<std::pair<std::string, JsonValue>> members;
         skipWs();
         if (pos_ < text_.size() && text_[pos_] == '}') {
             pos_++;
             depth_--;
+            if (sink != nullptr)
+                *sink = JsonValue::makeObject(std::move(members));
             return true;
         }
         while (true) {
             skipWs();
-            if (!string())
+            std::string key;
+            if (!string(sink != nullptr ? &key : nullptr))
                 return false;
             skipWs();
             if (pos_ >= text_.size() || text_[pos_] != ':')
                 return fail("expected ':'");
             pos_++;
-            if (!value())
+            JsonValue member;
+            if (!value(sink != nullptr ? &member : nullptr))
                 return false;
+            if (sink != nullptr)
+                members.emplace_back(std::move(key), std::move(member));
             skipWs();
             if (pos_ < text_.size() && text_[pos_] == ',') {
                 pos_++;
@@ -227,6 +307,8 @@ class JsonChecker
             if (pos_ < text_.size() && text_[pos_] == '}') {
                 pos_++;
                 depth_--;
+                if (sink != nullptr)
+                    *sink = JsonValue::makeObject(std::move(members));
                 return true;
             }
             return fail("expected ',' or '}'");
@@ -234,19 +316,25 @@ class JsonChecker
     }
 
     bool
-    array()
+    array(JsonValue *sink)
     {
         depth_++;
         pos_++; // '['
+        std::vector<JsonValue> elements;
         skipWs();
         if (pos_ < text_.size() && text_[pos_] == ']') {
             pos_++;
             depth_--;
+            if (sink != nullptr)
+                *sink = JsonValue::makeArray(std::move(elements));
             return true;
         }
         while (true) {
-            if (!value())
+            JsonValue element;
+            if (!value(sink != nullptr ? &element : nullptr))
                 return false;
+            if (sink != nullptr)
+                elements.push_back(std::move(element));
             skipWs();
             if (pos_ < text_.size() && text_[pos_] == ',') {
                 pos_++;
@@ -255,6 +343,8 @@ class JsonChecker
             if (pos_ < text_.size() && text_[pos_] == ']') {
                 pos_++;
                 depth_--;
+                if (sink != nullptr)
+                    *sink = JsonValue::makeArray(std::move(elements));
                 return true;
             }
             return fail("expected ',' or ']'");
@@ -273,6 +363,130 @@ bool
 validateJson(std::string_view text, std::string *error)
 {
     return JsonChecker(text).check(error);
+}
+
+const std::string &
+JsonValue::emptyString()
+{
+    static const std::string empty;
+    return empty;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::object)
+        return nullptr;
+    for (const auto &[name, member] : members_) {
+        if (name == key)
+            return &member;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::asBool(bool fallback) const
+{
+    return kind_ == Kind::boolean ? bool_ : fallback;
+}
+
+double
+JsonValue::asDouble(double fallback) const
+{
+    return kind_ == Kind::number ? number_ : fallback;
+}
+
+uint64_t
+JsonValue::asUint64(uint64_t fallback) const
+{
+    if (kind_ != Kind::number || number_ < 0)
+        return fallback;
+    uint64_t truncated = static_cast<uint64_t>(number_);
+    if (static_cast<double>(truncated) != number_)
+        return fallback;
+    return truncated;
+}
+
+const std::string &
+JsonValue::asString(const std::string &fallback) const
+{
+    return kind_ == Kind::string ? string_ : fallback;
+}
+
+bool
+JsonValue::boolAt(std::string_view key, bool fallback) const
+{
+    const JsonValue *member = find(key);
+    return member != nullptr ? member->asBool(fallback) : fallback;
+}
+
+uint64_t
+JsonValue::uintAt(std::string_view key, uint64_t fallback) const
+{
+    const JsonValue *member = find(key);
+    return member != nullptr ? member->asUint64(fallback) : fallback;
+}
+
+const std::string &
+JsonValue::stringAt(std::string_view key, const std::string &fallback) const
+{
+    const JsonValue *member = find(key);
+    return member != nullptr ? member->asString(fallback) : fallback;
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue out;
+    out.kind_ = Kind::boolean;
+    out.bool_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue out;
+    out.kind_ = Kind::number;
+    out.number_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue out;
+    out.kind_ = Kind::string;
+    out.string_ = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> v)
+{
+    JsonValue out;
+    out.kind_ = Kind::array;
+    out.elements_ = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> v)
+{
+    JsonValue out;
+    out.kind_ = Kind::object;
+    out.members_ = std::move(v);
+    return out;
+}
+
+bool
+parseJson(std::string_view text, JsonValue *out, std::string *error)
+{
+    JsonValue parsed;
+    if (!JsonChecker(text).check(error, &parsed))
+        return false;
+    *out = std::move(parsed);
+    return true;
 }
 
 namespace

@@ -11,8 +11,11 @@
 #ifndef MS_OBS_JSON_H
 #define MS_OBS_JSON_H
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -34,6 +37,92 @@ std::string jsonEscape(std::string_view s);
  * @param error if non-null, receives a position-tagged message.
  */
 bool validateJson(std::string_view text, std::string *error = nullptr);
+
+/**
+ * Parsed JSON document. Object member order is preserved (so documents
+ * round-trip deterministically), and lookups are linear — the service
+ * protocol's requests are small, flat objects, never big tables.
+ *
+ * Accessors are total: asking an object for a missing key or a value
+ * for the wrong type returns the fallback instead of throwing, which
+ * keeps "garbage request" handling in the daemon a straight-line check
+ * rather than exception control flow.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::null; }
+    bool isObject() const { return kind_ == Kind::object; }
+    bool isArray() const { return kind_ == Kind::array; }
+    bool isString() const { return kind_ == Kind::string; }
+    bool isNumber() const { return kind_ == Kind::number; }
+    bool isBool() const { return kind_ == Kind::boolean; }
+
+    /** Member of an object (null when absent or not an object). */
+    const JsonValue *find(std::string_view key) const;
+
+    bool asBool(bool fallback = false) const;
+    double asDouble(double fallback = 0) const;
+    /// Negative and fractional numbers return the fallback: every
+    /// numeric protocol field is a count, a byte size, or a
+    /// milliseconds value.
+    uint64_t asUint64(uint64_t fallback = 0) const;
+    const std::string &asString(const std::string &fallback = emptyString()) const;
+    const std::vector<JsonValue> &elements() const { return elements_; }
+    const std::vector<std::pair<std::string, JsonValue>> &members() const
+    {
+        return members_;
+    }
+
+    /** Convenience over find(): object member or typed fallback. */
+    bool boolAt(std::string_view key, bool fallback = false) const;
+    uint64_t uintAt(std::string_view key, uint64_t fallback = 0) const;
+    const std::string &stringAt(std::string_view key,
+                                const std::string &fallback =
+                                    emptyString()) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> v);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> v);
+
+  private:
+    static const std::string &emptyString();
+
+    Kind kind_ = Kind::null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse @p text into a JsonValue. Same grammar the validator accepts
+ * (strict JSON, 64-deep nesting cap); \uXXXX escapes below U+0100
+ * decode to the raw byte (matching jsonEscape's output), higher ones
+ * to UTF-8.
+ * @return false (with *error position-tagged) on malformed input;
+ *         @p out is untouched.
+ */
+bool parseJson(std::string_view text, JsonValue *out,
+               std::string *error = nullptr);
 
 /** Chrome trace-event document ({"traceEvents": [...]}) for @p events. */
 std::string chromeTraceJson(const std::vector<TraceEvent> &events);

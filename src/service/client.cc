@@ -1,0 +1,198 @@
+#include "service/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace sulong::service
+{
+
+namespace
+{
+
+void
+setError(std::string *error, std::string message)
+{
+    if (error != nullptr)
+        *error = std::move(message);
+}
+
+} // namespace
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+bool
+ServiceClient::connect(const std::string &socket_path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path)) {
+        setError(error, "socket path must be 1.." +
+                            std::to_string(sizeof(addr.sun_path) - 1) +
+                            " bytes");
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        setError(error, std::string("socket: ") + std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error, "connect " + socket_path + ": " +
+                            std::strerror(errno));
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    reader_ = FrameReader();
+    return true;
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServiceClient::sendRaw(std::string_view bytes, std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    const char *p = bytes.data();
+    size_t left = bytes.size();
+    while (left > 0) {
+        ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, std::string("send: ") + std::strerror(errno));
+            return false;
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServiceClient::sendFrame(FrameType type, std::string_view payload,
+                         std::string *error)
+{
+    return sendRaw(encodeFrame(type, payload), error);
+}
+
+bool
+ServiceClient::readFrame(Frame *out, std::string *error,
+                         unsigned timeout_ms)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    char buf[4096];
+    for (;;) {
+        DecodeStatus status = reader_.next(out);
+        if (status == DecodeStatus::frame)
+            return true;
+        if (status != DecodeStatus::needMore) {
+            setError(error, std::string("protocol error from daemon: ") +
+                                decodeStatusName(status));
+            return false;
+        }
+        int wait_ms = timeout_ms == 0
+            ? 500
+            : static_cast<int>(std::chrono::duration_cast<
+                                   std::chrono::milliseconds>(
+                                   deadline -
+                                   std::chrono::steady_clock::now())
+                                   .count());
+        if (timeout_ms != 0 && wait_ms <= 0) {
+            setError(error, "timed out waiting for a frame");
+            return false;
+        }
+        pollfd pfd = {fd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, wait_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, std::string("poll: ") + std::strerror(errno));
+            return false;
+        }
+        if (rc == 0)
+            continue;
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n == 0) {
+            setError(error, "connection closed by daemon");
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            setError(error, std::string("recv: ") + std::strerror(errno));
+            return false;
+        }
+        reader_.feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+}
+
+bool
+ServiceClient::submitJob(const JobRequest &request, Frame *reply,
+                         std::string *error, unsigned timeout_ms)
+{
+    if (!sendFrame(FrameType::jobRequest, encodeJobRequest(request), error))
+        return false;
+    return readFrame(reply, error, timeout_ms);
+}
+
+bool
+ServiceClient::health(obs::JsonValue *out, std::string *error)
+{
+    if (!sendFrame(FrameType::healthRequest, "", error))
+        return false;
+    Frame reply;
+    if (!readFrame(&reply, error))
+        return false;
+    if (reply.type != FrameType::healthResponse) {
+        setError(error, "unexpected reply to a health request");
+        return false;
+    }
+    return obs::parseJson(reply.payload, out, error);
+}
+
+bool
+ServiceClient::requestDrain(std::string *error)
+{
+    if (!sendFrame(FrameType::drainRequest, "", error))
+        return false;
+    Frame reply;
+    if (!readFrame(&reply, error))
+        return false;
+    if (reply.type != FrameType::drainAck) {
+        setError(error, "unexpected reply to a drain request");
+        return false;
+    }
+    return true;
+}
+
+} // namespace sulong::service

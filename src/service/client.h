@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Blocking client for the msulongd wire protocol. Used by the
+ * msulong_client CLI, the service tests (which also need the raw-byte
+ * escape hatch to send deliberately broken frames), and bench_service.
+ */
+
+#ifndef MS_SERVICE_CLIENT_H
+#define MS_SERVICE_CLIENT_H
+
+#include <string>
+#include <string_view>
+
+#include "service/protocol.h"
+
+namespace sulong::service
+{
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    bool connect(const std::string &socket_path, std::string *error);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send raw bytes as-is (tests use this to poison the stream). */
+    bool sendRaw(std::string_view bytes, std::string *error);
+
+    bool sendFrame(FrameType type, std::string_view payload,
+                   std::string *error);
+
+    /**
+     * Block until one complete frame arrives. @return false on
+     * timeout, EOF, or a transport error (*error distinguishes them).
+     */
+    bool readFrame(Frame *out, std::string *error,
+                   unsigned timeout_ms = 30000);
+
+    /** Send one job request and wait for its response or error frame. */
+    bool submitJob(const JobRequest &request, Frame *reply,
+                   std::string *error, unsigned timeout_ms = 30000);
+
+    /** Fetch the daemon's health snapshot. */
+    bool health(obs::JsonValue *out, std::string *error);
+
+    /** Ask the daemon to drain; waits for the drainAck. */
+    bool requestDrain(std::string *error);
+
+  private:
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+} // namespace sulong::service
+
+#endif // MS_SERVICE_CLIENT_H

@@ -1,0 +1,347 @@
+#include "service/protocol.h"
+
+#include "analysis/finding.h"
+
+namespace sulong::service
+{
+
+namespace
+{
+
+void
+appendLe16(std::string &out, uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void
+appendLe32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+uint16_t
+readLe16(const char *p)
+{
+    return static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                                 (static_cast<uint8_t>(p[1]) << 8));
+}
+
+uint32_t
+readLe32(const char *p)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; i--)
+        v = (v << 8) | static_cast<uint8_t>(p[i]);
+    return v;
+}
+
+/*
+ * In-place document builders. Appending key/value pairs piecewise
+ * (instead of chaining operator+) keeps one allocation growing and
+ * sidesteps GCC 12's spurious -Wrestrict on temporary concatenations.
+ * A separator is inserted automatically unless the document is at an
+ * opening brace/bracket.
+ */
+
+void
+addSeparator(std::string &out)
+{
+    if (!out.empty() && out.back() != '{' && out.back() != '[')
+        out += ',';
+}
+
+void
+addKey(std::string &out, const char *key)
+{
+    addSeparator(out);
+    out += '"';
+    out += key;
+    out += "\":";
+}
+
+void
+addString(std::string &out, const char *key, std::string_view value)
+{
+    addKey(out, key);
+    out += '"';
+    out += obs::jsonEscape(value);
+    out += '"';
+}
+
+void
+addUint(std::string &out, const char *key, uint64_t value)
+{
+    addKey(out, key);
+    out += std::to_string(value);
+}
+
+void
+addInt(std::string &out, const char *key, int64_t value)
+{
+    addKey(out, key);
+    out += std::to_string(value);
+}
+
+void
+addBool(std::string &out, const char *key, bool value)
+{
+    addKey(out, key);
+    out += value ? "true" : "false";
+}
+
+} // namespace
+
+bool
+isKnownFrameType(uint8_t type)
+{
+    return type >= static_cast<uint8_t>(FrameType::jobRequest) &&
+        type <= static_cast<uint8_t>(FrameType::drainAck);
+}
+
+std::string
+encodeFrame(FrameType type, std::string_view payload)
+{
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    appendLe16(out, kFrameMagic);
+    out.push_back(static_cast<char>(type));
+    out.push_back('\0');
+    appendLe32(out, static_cast<uint32_t>(payload.size()));
+    out.append(payload);
+    return out;
+}
+
+const char *
+decodeStatusName(DecodeStatus status)
+{
+    switch (status) {
+      case DecodeStatus::needMore:
+        return "need-more";
+      case DecodeStatus::frame:
+        return "frame";
+      case DecodeStatus::badMagic:
+        return "bad-magic";
+      case DecodeStatus::badType:
+        return "bad-type";
+      case DecodeStatus::oversized:
+        return "oversized";
+    }
+    return "unknown";
+}
+
+DecodeStatus
+FrameReader::next(Frame *out)
+{
+    if (poisoned_)
+        return poison_;
+    if (buffer_.size() < kFrameHeaderBytes)
+        return DecodeStatus::needMore;
+    const char *head = buffer_.data();
+    if (readLe16(head) != kFrameMagic) {
+        poisoned_ = true;
+        poison_ = DecodeStatus::badMagic;
+        return poison_;
+    }
+    uint8_t type = static_cast<uint8_t>(head[2]);
+    if (!isKnownFrameType(type)) {
+        poisoned_ = true;
+        poison_ = DecodeStatus::badType;
+        return poison_;
+    }
+    uint32_t length = readLe32(head + 4);
+    if (length > maxFrameBytes_) {
+        poisoned_ = true;
+        poison_ = DecodeStatus::oversized;
+        return poison_;
+    }
+    if (buffer_.size() < kFrameHeaderBytes + length)
+        return DecodeStatus::needMore;
+    out->type = static_cast<FrameType>(type);
+    out->payload.assign(buffer_, kFrameHeaderBytes, length);
+    buffer_.erase(0, kFrameHeaderBytes + length);
+    return DecodeStatus::frame;
+}
+
+bool
+toolFromName(const std::string &name, ToolKind *out)
+{
+    if (name == "safe") {
+        *out = ToolKind::safeSulong;
+        return true;
+    }
+    if (name == "clang") {
+        *out = ToolKind::clang;
+        return true;
+    }
+    if (name == "asan") {
+        *out = ToolKind::asan;
+        return true;
+    }
+    if (name == "memcheck") {
+        *out = ToolKind::memcheck;
+        return true;
+    }
+    return false;
+}
+
+std::string
+encodeJobRequest(const JobRequest &request)
+{
+    std::string out = "{";
+    addString(out, "schema", "msulong.job/v1");
+    addString(out, "tenant", request.tenant);
+    addString(out, "tool", request.tool);
+    addUint(out, "opt",
+            static_cast<uint64_t>(request.optLevel < 0 ? 0
+                                                       : request.optLevel));
+    addString(out, "source", request.source);
+    addKey(out, "args");
+    out += '[';
+    for (size_t i = 0; i < request.args.size(); i++) {
+        if (i > 0)
+            out += ',';
+        out += '"';
+        out += obs::jsonEscape(request.args[i]);
+        out += '"';
+    }
+    out += ']';
+    addString(out, "stdin", request.stdinData);
+    addBool(out, "analyze", request.analyze);
+    addKey(out, "limits");
+    out += '{';
+    addUint(out, "max_steps", request.maxSteps);
+    addUint(out, "max_call_depth", request.maxCallDepth);
+    addUint(out, "heap_limit", request.maxHeapBytes);
+    addUint(out, "output_limit", request.maxOutputBytes);
+    addUint(out, "deadline_ms", request.deadlineMs);
+    out += "}}";
+    return out;
+}
+
+bool
+decodeJobRequest(const obs::JsonValue &doc, JobRequest *out,
+                 std::string *error)
+{
+    auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("request payload is not a JSON object");
+    if (doc.stringAt("schema") != "msulong.job/v1")
+        return fail("missing or unsupported schema "
+                    "(expected \"msulong.job/v1\")");
+    JobRequest request;
+    request.tenant = doc.stringAt("tenant", "default");
+    if (request.tenant.empty() || request.tenant.size() > 64)
+        return fail("tenant must be 1..64 characters");
+    request.tool = doc.stringAt("tool", "safe");
+    ToolKind kind;
+    if (!toolFromName(request.tool, &kind))
+        return fail("unknown tool (expected safe|clang|asan|memcheck)");
+    request.optLevel = static_cast<int>(doc.uintAt("opt", 0));
+    const obs::JsonValue *source = doc.find("source");
+    if (source == nullptr || !source->isString())
+        return fail("missing string field \"source\"");
+    request.source = source->asString();
+    if (const obs::JsonValue *args = doc.find("args")) {
+        if (!args->isArray())
+            return fail("\"args\" must be an array of strings");
+        for (const obs::JsonValue &arg : args->elements()) {
+            if (!arg.isString())
+                return fail("\"args\" must be an array of strings");
+            request.args.push_back(arg.asString());
+        }
+    }
+    request.stdinData = doc.stringAt("stdin");
+    request.analyze = doc.boolAt("analyze", false);
+    if (const obs::JsonValue *limits = doc.find("limits")) {
+        if (!limits->isObject())
+            return fail("\"limits\" must be an object");
+        request.maxSteps = limits->uintAt("max_steps", 0);
+        request.maxCallDepth = limits->uintAt("max_call_depth", 0);
+        request.maxHeapBytes = limits->uintAt("heap_limit", 0);
+        request.maxOutputBytes = limits->uintAt("output_limit", 0);
+        request.deadlineMs = limits->uintAt("deadline_ms", 0);
+    }
+    *out = std::move(request);
+    return true;
+}
+
+std::string
+encodeErrorPayload(const ErrorInfo &info)
+{
+    std::string out = "{";
+    addString(out, "schema", "msulong.error/v1");
+    addString(out, "code", info.code);
+    addString(out, "detail", info.detail);
+    if (info.retryAfterMs != 0)
+        addUint(out, "retry_after_ms", info.retryAfterMs);
+    out += '}';
+    return out;
+}
+
+std::string
+encodeJobResponse(const JobOutcome &outcome)
+{
+    const ExecutionResult &result = outcome.result;
+    std::string out = "{";
+    addString(out, "schema", "msulong.result/v1");
+    addUint(out, "id", outcome.id);
+    addString(out, "tenant", outcome.tenant);
+    addString(out, "tool", outcome.tool);
+    addUint(out, "opt",
+            static_cast<uint64_t>(outcome.optLevel < 0 ? 0
+                                                       : outcome.optLevel));
+    addInt(out, "exit_code", result.exitCode);
+    addString(out, "termination", terminationKindName(result.termination));
+    addString(out, "termination_detail", result.terminationDetail);
+    if (result.bug.kind != ErrorKind::none) {
+        addKey(out, "bug");
+        out += '{';
+        addString(out, "kind", errorKindName(result.bug.kind));
+        addString(out, "access", accessKindName(result.bug.access));
+        addString(out, "storage", storageKindName(result.bug.storage));
+        addString(out, "function", result.bug.function);
+        addString(out, "detail", result.bug.detail);
+        if (result.bug.offset.has_value())
+            addInt(out, "offset", *result.bug.offset);
+        if (result.bug.objectSize.has_value())
+            addInt(out, "object_size", *result.bug.objectSize);
+        out += '}';
+    }
+    addString(out, "output", result.output);
+    addString(out, "err_output", result.errOutput);
+    addUint(out, "attempts", outcome.stats.attempts);
+    if (outcome.analyzed) {
+        addKey(out, "static");
+        out += '{';
+        addUint(out, "definite", outcome.stats.staticDefinite);
+        addUint(out, "maybe", outcome.stats.staticMaybe);
+        addKey(out, "findings");
+        out += '[';
+        for (size_t i = 0; i < outcome.stats.staticFindings.size(); i++) {
+            const StaticFinding &finding = outcome.stats.staticFindings[i];
+            if (i > 0)
+                out += ',';
+            out += '{';
+            addString(out, "kind", errorKindName(finding.kind));
+            addString(out, "confidence",
+                      confidenceName(finding.confidence));
+            addString(out, "function", finding.function);
+            addUint(out, "block", finding.blockIndex);
+            addUint(out, "inst", finding.instIndex);
+            addString(out, "detail", finding.detail);
+            out += '}';
+        }
+        out += "]}";
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace sulong::service

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Wire protocol of the analysis daemon (msulongd).
+ *
+ * Frames are length-prefixed so a stream socket can carry a mix of job,
+ * health, and drain traffic without in-band delimiters:
+ *
+ *     offset  size  field
+ *     0       2     magic 0x4D53 ("MS"), little-endian
+ *     2       1     FrameType
+ *     3       1     reserved (must be 0 on send, ignored on receive)
+ *     4       4     payload length, little-endian
+ *     8       n     payload (UTF-8 JSON for every defined type)
+ *
+ * Payload schemas are versioned JSON documents ("msulong.job/v1",
+ * "msulong.result/v1", ...). Responses deliberately carry no wall-clock
+ * timings — latency goes to the obs histograms only — so the payload a
+ * client receives for a given request sequence is byte-identical
+ * whatever the daemon's worker count (the repo-wide determinism
+ * contract, extended to the wire).
+ */
+
+#ifndef MS_SERVICE_PROTOCOL_H
+#define MS_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "support/error.h"
+#include "tools/batch_runner.h"
+#include "tools/driver.h"
+
+namespace sulong::service
+{
+
+/// "MS", little-endian, at the start of every frame.
+constexpr uint16_t kFrameMagic = 0x4D53;
+constexpr size_t kFrameHeaderBytes = 8;
+/// Default per-frame payload cap; a larger announced length is a
+/// protocol error, not an allocation.
+constexpr uint32_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class FrameType : uint8_t
+{
+    /// client -> daemon: one "msulong.job/v1" document.
+    jobRequest = 1,
+    /// daemon -> client: the matching "msulong.result/v1" document.
+    jobResponse = 2,
+    /// daemon -> client: structured error ("msulong.error/v1").
+    error = 3,
+    /// client -> daemon: empty payload.
+    healthRequest = 4,
+    /// daemon -> client: "msulong.health/v1" snapshot.
+    healthResponse = 5,
+    /// client -> daemon: ask the daemon to drain and exit.
+    drainRequest = 6,
+    /// daemon -> client: drain acknowledged (sent before draining).
+    drainAck = 7,
+};
+
+bool isKnownFrameType(uint8_t type);
+
+struct Frame
+{
+    FrameType type = FrameType::error;
+    std::string payload;
+};
+
+/** Serialize one frame (header + payload). */
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+enum class DecodeStatus : uint8_t
+{
+    /// No complete frame buffered yet.
+    needMore,
+    /// One frame extracted into *out.
+    frame,
+    /// Stream poisoned: bytes at the read position are not a frame
+    /// header. The connection cannot resynchronize and must close.
+    badMagic,
+    /// Header is well-formed but the type byte is undefined.
+    badType,
+    /// Announced payload length exceeds the configured cap.
+    oversized,
+};
+
+const char *decodeStatusName(DecodeStatus status);
+
+/**
+ * Incremental frame decoder: feed() arbitrary byte chunks as they
+ * arrive, then pull complete frames with next(). A protocol error
+ * (badMagic/badType/oversized) is sticky — the stream has no way back
+ * to a frame boundary, so the caller reports it and closes.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+        : maxFrameBytes_(max_frame_bytes)
+    {}
+
+    void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+    DecodeStatus next(Frame *out);
+
+    /** Bytes received but not yet consumed by next(). */
+    size_t buffered() const { return buffer_.size(); }
+
+  private:
+    uint32_t maxFrameBytes_;
+    std::string buffer_;
+    bool poisoned_ = false;
+    DecodeStatus poison_ = DecodeStatus::needMore;
+};
+
+/**
+ * One analysis job as submitted over the wire ("msulong.job/v1").
+ * Limits of 0 inherit the daemon's configured default/ceiling for that
+ * field — a tenant can tighten its budget but never escape the cap.
+ */
+struct JobRequest
+{
+    std::string tenant = "default";
+    /// "safe" | "clang" | "asan" | "memcheck".
+    std::string tool = "safe";
+    int optLevel = 0;
+    std::string source;
+    std::vector<std::string> args;
+    std::string stdinData;
+    /// Also run the static analyzer and include its findings.
+    bool analyze = false;
+    uint64_t maxSteps = 0;
+    uint64_t maxCallDepth = 0;
+    uint64_t maxHeapBytes = 0;
+    uint64_t maxOutputBytes = 0;
+    uint64_t deadlineMs = 0;
+};
+
+/** Map a wire tool name to a ToolKind; false for unknown names. */
+bool toolFromName(const std::string &name, ToolKind *out);
+
+/** Serialize @p request as a "msulong.job/v1" document. */
+std::string encodeJobRequest(const JobRequest &request);
+
+/**
+ * Validate and decode a parsed "msulong.job/v1" document.
+ * @return false (with *error describing the first problem) when the
+ *         schema tag, tool name, or field types are wrong.
+ */
+bool decodeJobRequest(const obs::JsonValue &doc, JobRequest *out,
+                      std::string *error);
+
+/** Structured daemon-side error ("msulong.error/v1"). */
+struct ErrorInfo
+{
+    /// "malformed-frame" | "oversized-frame" | "bad-request" |
+    /// "overloaded" | "draining" | "read-fault" | "write-fault" |
+    /// "internal".
+    std::string code;
+    std::string detail;
+    /// For "overloaded": suggested client backoff before retrying.
+    uint64_t retryAfterMs = 0;
+};
+
+std::string encodeErrorPayload(const ErrorInfo &info);
+
+/** Everything the daemon reports back for one admitted job. */
+struct JobOutcome
+{
+    /// Daemon-assigned id, echoed so a pipelining client can match
+    /// responses to requests.
+    uint64_t id = 0;
+    std::string tenant;
+    std::string tool;
+    int optLevel = 0;
+    bool analyzed = false;
+    ExecutionResult result;
+    BatchReport::JobStats stats;
+};
+
+/**
+ * Serialize @p outcome as a "msulong.result/v1" document. Contains no
+ * wall-clock fields (see file comment).
+ */
+std::string encodeJobResponse(const JobOutcome &outcome);
+
+} // namespace sulong::service
+
+#endif // MS_SERVICE_PROTOCOL_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unix-domain socket front end of the analysis daemon.
+ *
+ * One accept thread plus one reader thread per connection; job
+ * responses are written from the worker thread that finished the job,
+ * serialized per connection by a write mutex. Every transport-level
+ * failure mode is structured: garbage or oversized frames earn an error
+ * frame before the connection closes, malformed requests earn one and
+ * the connection survives, injected accept/read/write faults
+ * (service.accept/<conn>, service.read/<conn>, service.write/<job>)
+ * degrade exactly one connection — never the daemon.
+ *
+ * Drain sequence (SIGTERM or a drainRequest frame): stop accepting and
+ * unlink the socket, reject new requests with "draining", let the
+ * service finish or cancel in-flight jobs (every admitted job still
+ * answers its client), and only then close the client sockets — data
+ * first, sockets last.
+ */
+
+#ifndef MS_SERVICE_SERVER_H
+#define MS_SERVICE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace sulong::service
+{
+
+struct ServerOptions
+{
+    /// Filesystem path of the AF_UNIX listening socket.
+    std::string socketPath;
+    /// Frames announcing a larger payload are a protocol error.
+    uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+    /// Grace given to in-flight jobs on drain before cancellation.
+    unsigned drainGraceMs = 2000;
+};
+
+class ServiceServer
+{
+  public:
+    ServiceServer(const ServiceConfig &service_config,
+                  const ServerOptions &options);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /** Bind, listen, and start the accept thread. */
+    bool start(std::string *error);
+
+    /**
+     * Begin the drain asynchronously (safe from any thread; the
+     * daemon's signal thread calls this on SIGTERM). Idempotent.
+     */
+    void requestDrain();
+
+    /**
+     * Block until a drain is requested, then execute the full drain
+     * sequence. @return 0 on a clean drain (always, currently — the
+     * value is the daemon's exit code).
+     */
+    int runUntilDrained();
+
+    const std::string &socketPath() const { return options_.socketPath; }
+    AnalysisService &service() { return *service_; }
+
+  private:
+    struct Connection;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void handleFrame(const std::shared_ptr<Connection> &conn,
+                     Frame frame);
+    void handleJobRequest(const std::shared_ptr<Connection> &conn,
+                          const std::string &payload);
+
+    /** Serialized frame write; false when the connection is gone. */
+    bool sendFrame(const std::shared_ptr<Connection> &conn, FrameType type,
+                   std::string_view payload);
+    bool sendError(const std::shared_ptr<Connection> &conn,
+                   const ErrorInfo &info);
+    /** Shut the socket down; the reader thread then exits and closes. */
+    void closeConnection(const std::shared_ptr<Connection> &conn);
+    /** Close the fd once the reader is gone and no response is pending. */
+    static void maybeCloseFd(const std::shared_ptr<Connection> &conn);
+
+    ServerOptions options_;
+    FaultInjector *faults_ = nullptr;
+    std::unique_ptr<AnalysisService> service_;
+
+    int listenFd_ = -1;
+    /// Self-pipe waking the accept poll on drain.
+    int wakePipe_[2] = {-1, -1};
+    std::thread acceptThread_;
+    std::atomic<bool> stopAccept_{false};
+    std::atomic<uint64_t> connCounter_{0};
+
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
+    bool drainRequested_ = false;
+
+    /// Held across the shutdown sequence so a concurrent
+    /// runUntilDrained() (e.g. from the destructor) blocks until the
+    /// drain fully completed instead of returning into a teardown race.
+    std::mutex shutdownMutex_;
+    bool drained_ = false;
+};
+
+} // namespace sulong::service
+
+#endif // MS_SERVICE_SERVER_H

@@ -1,0 +1,325 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/fault.h"
+
+namespace sulong::service
+{
+
+namespace
+{
+
+/** min over "0 means unlimited" fields. */
+uint64_t
+clampLimit(uint64_t requested, uint64_t ceiling)
+{
+    if (ceiling == 0)
+        return requested;
+    if (requested == 0)
+        return ceiling;
+    return std::min(requested, ceiling);
+}
+
+} // namespace
+
+const char *
+admitStatusName(AdmitStatus status)
+{
+    switch (status) {
+      case AdmitStatus::accepted:
+        return "accepted";
+      case AdmitStatus::overloadedGlobal:
+        return "overloaded-global";
+      case AdmitStatus::overloadedTenant:
+        return "overloaded-tenant";
+      case AdmitStatus::draining:
+        return "draining";
+      case AdmitStatus::invalid:
+        return "invalid";
+    }
+    return "unknown";
+}
+
+AnalysisService::AnalysisService(const ServiceConfig &config)
+    : config_(config), watchdog_(config.watchdogMs),
+      started_(std::chrono::steady_clock::now())
+{
+    if (config_.workers == 0)
+        config_.workers = ThreadPool::hardwareWorkers();
+    if (config_.queueCapacity == 0)
+        config_.queueCapacity = 1;
+    if (config_.tenantCapacity == 0)
+        config_.tenantCapacity = config_.queueCapacity;
+    cache_.setCapacity(config_.cacheCapacity);
+    pool_ = std::make_unique<ThreadPool>(config_.workers);
+}
+
+AnalysisService::~AnalysisService()
+{
+    // Refuse new work and fast-cancel whatever is still queued; the
+    // pool destructor then drains the (now fast) queue.
+    beginDrain();
+    hardDrain_.store(true, std::memory_order_relaxed);
+    watchdog_.cancelAll(/*sticky=*/true);
+    pool_.reset();
+}
+
+AdmitStatus
+AnalysisService::submit(JobRequest request, DoneFn done,
+                        uint64_t *retry_after_ms)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.counter("service.requests").inc();
+    if (request.source.size() > config_.maxSourceBytes) {
+        reg.counter("service.rejected.invalid").inc();
+        return AdmitStatus::invalid;
+    }
+    uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_) {
+            reg.counter("service.rejected.draining").inc();
+            return AdmitStatus::draining;
+        }
+        if (pending_ >= config_.queueCapacity) {
+            if (retry_after_ms != nullptr) {
+                // Scale the hint with the backlog per worker: a deeper
+                // queue earns a longer backoff. Deterministic in the
+                // admission state, no clocks involved.
+                *retry_after_ms =
+                    25 * (pending_ / std::max(1u, config_.workers) + 1);
+            }
+            reg.counter("service.rejected.overloaded").inc();
+            return AdmitStatus::overloadedGlobal;
+        }
+        size_t &tenant_pending = tenantPending_[request.tenant];
+        if (tenant_pending >= config_.tenantCapacity) {
+            if (retry_after_ms != nullptr)
+                *retry_after_ms = 25 * (tenant_pending + 1);
+            reg.counter("service.rejected.tenant").inc();
+            return AdmitStatus::overloadedTenant;
+        }
+        tenant_pending++;
+        pending_++;
+        id = nextId_++;
+    }
+    reg.counter("service.admitted").inc();
+    pool_->submit([this, id, request = std::move(request),
+                   done = std::move(done)]() mutable {
+        runJob(id, std::move(request), done);
+    });
+    return AdmitStatus::accepted;
+}
+
+ResourceLimits
+AnalysisService::effectiveLimits(const JobRequest &request) const
+{
+    const ResourceLimits &ceiling = config_.limitCeiling;
+    ResourceLimits limits;
+    limits.maxSteps = clampLimit(request.maxSteps, ceiling.maxSteps);
+    limits.maxCallDepth = static_cast<unsigned>(
+        clampLimit(request.maxCallDepth, ceiling.maxCallDepth));
+    limits.maxHeapBytes =
+        clampLimit(request.maxHeapBytes, ceiling.maxHeapBytes);
+    limits.maxHeapAllocations = ceiling.maxHeapAllocations;
+    limits.maxOutputBytes =
+        clampLimit(request.maxOutputBytes, ceiling.maxOutputBytes);
+    limits.deadlineMs = clampLimit(request.deadlineMs, ceiling.deadlineMs);
+    return limits;
+}
+
+void
+AnalysisService::runJob(uint64_t id, JobRequest request, const DoneFn &done)
+{
+    MS_TRACE_SPAN("service.job", "job " + std::to_string(id));
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+
+    JobOutcome outcome;
+    outcome.id = id;
+    outcome.tenant = request.tenant;
+    outcome.tool = request.tool;
+    outcome.optLevel = request.optLevel;
+    outcome.analyzed = request.analyze;
+
+    ToolKind kind = ToolKind::safeSulong;
+    toolFromName(request.tool, &kind);
+    BatchJob job = BatchJob::make(request.source,
+                                  ToolConfig::make(kind, request.optLevel),
+                                  request.args, request.stdinData);
+    job.limits = effectiveLimits(request);
+
+    GuardedJobOptions options;
+    options.retries = config_.retries;
+    options.retryBackoffMs = config_.retryBackoffMs;
+    options.faults = config_.faults;
+    options.faultSitePrefix = "service.job/";
+    AnalysisOptions analysis;
+    if (request.analyze)
+        options.analysis = &analysis;
+
+    outcome.result =
+        runGuardedJob(job, static_cast<size_t>(id), &cache_, options,
+                      hardDrain_, watchdog_, outcome.stats);
+
+    switch (outcome.result.termination) {
+      case TerminationKind::normal:
+        reg.counter(outcome.result.bug.kind == ErrorKind::none
+                        ? "service.jobs.ok"
+                        : "service.jobs.bug")
+            .inc();
+        break;
+      case TerminationKind::hostFault:
+        reg.counter("service.jobs.host_fault").inc();
+        break;
+      case TerminationKind::cancelled:
+        reg.counter("service.jobs.cancelled").inc();
+        break;
+      default:
+        reg.counter("service.jobs.terminated").inc();
+        break;
+    }
+
+    // The callback runs before this job is accounted finished so a
+    // drain cannot complete between a job's end and its response write:
+    // "drained" always implies "every admitted job has answered".
+    done(outcome);
+    finishJob(request.tenant);
+}
+
+void
+AnalysisService::finishJob(const std::string &tenant)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_--;
+        auto it = tenantPending_.find(tenant);
+        if (it != tenantPending_.end() && --it->second == 0)
+            tenantPending_.erase(it);
+    }
+    idleCv_.notify_all();
+}
+
+void
+AnalysisService::beginDrain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_)
+            return;
+        draining_ = true;
+    }
+    obs::MetricsRegistry::global().counter("service.drains").inc();
+}
+
+void
+AnalysisService::drain(unsigned grace_ms)
+{
+    MS_TRACE_SPAN("service.drain");
+    beginDrain();
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait_for(lock, std::chrono::milliseconds(grace_ms),
+                     [this] { return pending_ == 0; });
+    if (pending_ != 0) {
+        // Hard phase: jobs not yet started report cancelled without
+        // running; in-flight attempts (and ones still compiling, via
+        // the sticky flag) are cancelled through their tokens. Every
+        // one still produces a structured outcome for its client.
+        hardDrain_.store(true, std::memory_order_relaxed);
+        lock.unlock();
+        watchdog_.cancelAll(/*sticky=*/true);
+        obs::MetricsRegistry::global()
+            .counter("service.drain.cancelled")
+            .inc();
+        lock.lock();
+        idleCv_.wait(lock, [this] { return pending_ == 0; });
+    }
+}
+
+bool
+AnalysisService::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+size_t
+AnalysisService::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_;
+}
+
+unsigned
+AnalysisService::workers() const
+{
+    return config_.workers;
+}
+
+CompileCacheStats
+AnalysisService::cacheStats() const
+{
+    return cache_.stats();
+}
+
+std::string
+AnalysisService::healthJson() const
+{
+    uint64_t uptime_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+    size_t pending;
+    size_t tenants;
+    bool draining;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending = pending_;
+        tenants = tenantPending_.size();
+        draining = draining_;
+    }
+    CompileCacheStats cache = cache_.stats();
+
+    // Appended piecewise (not via chained operator+) — see protocol.cc.
+    auto add_uint = [](std::string &doc, const char *key, uint64_t value) {
+        doc += ",\"";
+        doc += key;
+        doc += "\":";
+        doc += std::to_string(value);
+    };
+    std::string out = "{\"schema\":\"msulong.health/v1\"";
+    out += ",\"draining\":";
+    out += draining ? "true" : "false";
+    add_uint(out, "pending", pending);
+    add_uint(out, "active_tenants", tenants);
+    add_uint(out, "workers", config_.workers);
+    add_uint(out, "queue_capacity", config_.queueCapacity);
+    add_uint(out, "tenant_capacity", config_.tenantCapacity);
+    add_uint(out, "uptime_ms", uptime_ms);
+    out += ",\"cache\":{\"hits\":";
+    out += std::to_string(cache.hits);
+    add_uint(out, "misses", cache.misses);
+    add_uint(out, "evictions", cache.evictions);
+    out += "},\"counters\":{";
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    bool first = true;
+    for (const auto &[name, value] : snap.counters) {
+        if (name.rfind("service.", 0) != 0)
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += obs::jsonEscape(name);
+        out += "\":";
+        out += std::to_string(value);
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace sulong::service

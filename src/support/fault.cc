@@ -59,8 +59,12 @@ FaultInjector::at(const std::string &site)
         uint64_t visit = visits_[site]++;
         for (size_t r = 0; r < rules_.size(); r++) {
             const Rule &rule = rules_[r];
-            if (!rule.site.empty() && rule.site != site)
+            if (rule.sitePrefix) {
+                if (site.rfind(rule.site, 0) != 0)
+                    continue;
+            } else if (!rule.site.empty() && rule.site != site) {
                 continue;
+            }
             uint64_t &fired = ruleFirings_[{r, site}];
             if (rule.maxFirings != 0 && fired >= rule.maxFirings)
                 continue;
@@ -105,6 +109,36 @@ FaultInjector::firings(const std::string &site) const
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = firings_.find(site);
     return it == firings_.end() ? 0 : it->second;
+}
+
+namespace
+{
+
+uint64_t
+sumWithPrefix(const std::map<std::string, uint64_t> &table,
+              const std::string &prefix)
+{
+    uint64_t total = 0;
+    for (auto it = table.lower_bound(prefix);
+         it != table.end() && it->first.rfind(prefix, 0) == 0; ++it)
+        total += it->second;
+    return total;
+}
+
+} // namespace
+
+uint64_t
+FaultInjector::visitsWithPrefix(const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sumWithPrefix(visits_, prefix);
+}
+
+uint64_t
+FaultInjector::firingsWithPrefix(const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sumWithPrefix(firings_, prefix);
 }
 
 } // namespace sulong

@@ -52,6 +52,11 @@ class FaultInjector
     {
         /// Site the rule applies to; "" matches every site.
         std::string site;
+        /// Match any site starting with @p site instead of exactly.
+        /// The daemon's chaos flags use this to target one site family
+        /// ("service.read/" hits service.read/1, service.read/2, ...)
+        /// across dynamically numbered connections and jobs.
+        bool sitePrefix = false;
         Action action = Action::hostException;
         /// Probability of firing per visit, decided deterministically
         /// from (seed, site, visit index).
@@ -76,6 +81,11 @@ class FaultInjector
     /** Times @p site was reached / times a rule fired there. */
     uint64_t visits(const std::string &site) const;
     uint64_t firings(const std::string &site) const;
+
+    /** Aggregates over every site starting with @p prefix (chaos
+     *  accounting across per-connection/per-job site families). */
+    uint64_t visitsWithPrefix(const std::string &prefix) const;
+    uint64_t firingsWithPrefix(const std::string &prefix) const;
 
   private:
     /** Deterministic uniform [0,1) draw for one (site, visit) pair. */

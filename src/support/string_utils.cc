@@ -84,4 +84,34 @@ padRight(std::string_view text, size_t width)
     return out;
 }
 
+bool
+parseUint64Strict(std::string_view text, uint64_t *out, std::string *error)
+{
+    auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    if (text.empty())
+        return fail("empty value");
+    if (text[0] == '-')
+        return fail("negative value");
+    if (text[0] == '+')
+        return fail("explicit sign not accepted");
+    uint64_t value = 0;
+    for (size_t i = 0; i < text.size(); i++) {
+        char c = text[i];
+        if (c < '0' || c > '9') {
+            return fail(i == 0 ? "not a number"
+                               : "trailing garbage after digits");
+        }
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return fail("overflows uint64");
+        value = value * 10 + digit;
+    }
+    *out = value;
+    return true;
+}
+
 } // namespace sulong

@@ -6,6 +6,7 @@
 #ifndef MS_SUPPORT_STRING_UTILS_H
 #define MS_SUPPORT_STRING_UTILS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,23 @@ std::string padLeft(std::string_view text, size_t width);
 
 /** Right-pad @p text with spaces to @p width. */
 std::string padRight(std::string_view text, size_t width);
+
+/**
+ * Strict decimal uint64 parse: the whole of @p text must be digits (an
+ * optional leading '+' is rejected too — flag values are plain counts),
+ * with no leading/trailing garbage, no sign, and no overflow past
+ * uint64. This is the one parser behind every numeric command-line
+ * flag (driver, benches, daemon), so "--max-steps=1e9",
+ * "--heap-limit=-1", and "--deadline-ms=99999999999999999999999" all
+ * fail loudly instead of silently truncating or wrapping.
+ *
+ * @param error if non-null, receives a human-readable reason on failure
+ *        ("empty value", "trailing garbage ...", "negative value",
+ *        "overflows uint64").
+ * @return true and sets @p out on success; false leaves @p out alone.
+ */
+bool parseUint64Strict(std::string_view text, uint64_t *out,
+                       std::string *error = nullptr);
 
 } // namespace sulong
 

@@ -16,63 +16,61 @@
 namespace sulong
 {
 
-namespace
-{
-
 /**
- * Tracks the cancellation token of every job attempt in flight. When
- * constructed with a non-zero timeout it runs a timer thread that
- * cancels attempts past their wall-clock budget; cancelAll() serves the
- * fail-fast drain even when no timeout is set.
+ * Timer state behind JobWatchdog. When constructed with a non-zero
+ * timeout it runs a timer thread that cancels attempts past their
+ * wall-clock budget; cancelAll() serves the fail-fast/service drains
+ * even when no timeout is set.
  */
-class Watchdog
+struct JobWatchdog::Impl
 {
-  public:
-    explicit Watchdog(unsigned timeout_ms) : timeoutMs_(timeout_ms)
+    explicit Impl(unsigned timeout_ms) : timeoutMs(timeout_ms)
     {
-        if (timeoutMs_ > 0)
-            timer_ = std::thread([this] { loop(); });
+        if (timeoutMs > 0)
+            timer = std::thread([this] { loop(); });
     }
 
-    ~Watchdog()
+    ~Impl()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
-            stop_ = true;
+            std::lock_guard<std::mutex> lock(mutex);
+            stop = true;
         }
-        cv_.notify_all();
-        if (timer_.joinable())
-            timer_.join();
+        cv.notify_all();
+        if (timer.joinable())
+            timer.join();
     }
 
     void
     watch(size_t id, CancellationToken token)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        entries_[id] = Entry{
+        std::lock_guard<std::mutex> lock(mutex);
+        if (cancelNew)
+            token.cancel();
+        entries[id] = Entry{
             std::move(token),
             std::chrono::steady_clock::now() +
-                std::chrono::milliseconds(timeoutMs_),
+                std::chrono::milliseconds(timeoutMs),
         };
     }
 
     void
     release(size_t id)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        entries_.erase(id);
+        std::lock_guard<std::mutex> lock(mutex);
+        entries.erase(id);
     }
 
-    /** Cancel every attempt currently in flight (fail-fast drain). */
     void
-    cancelAll()
+    cancelAll(bool sticky)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (auto &[id, entry] : entries_)
+        std::lock_guard<std::mutex> lock(mutex);
+        if (sticky)
+            cancelNew = true;
+        for (auto &[id, entry] : entries)
             entry.token.cancel();
     }
 
-  private:
     struct Entry
     {
         CancellationToken token;
@@ -88,11 +86,11 @@ class Watchdog
         // Poll a few times per budget so cancellation lands close to the
         // deadline without a wakeup per entry.
         unsigned poll_ms =
-            std::max(1u, std::min(timeoutMs_ / 4, 20u));
-        std::unique_lock<std::mutex> lock(mutex_);
-        while (!stop_) {
+            std::max(1u, std::min(timeoutMs / 4, 20u));
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!stop) {
             auto now = std::chrono::steady_clock::now();
-            for (auto &[id, entry] : entries_) {
+            for (auto &[id, entry] : entries) {
                 if (now >= entry.deadline) {
                     entry.token.cancel();
                     if (!entry.fired) {
@@ -105,18 +103,48 @@ class Watchdog
                     }
                 }
             }
-            cv_.wait_for(lock, std::chrono::milliseconds(poll_ms),
-                         [this] { return stop_; });
+            cv.wait_for(lock, std::chrono::milliseconds(poll_ms),
+                        [this] { return stop; });
         }
     }
 
-    unsigned timeoutMs_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::map<size_t, Entry> entries_;
-    bool stop_ = false;
-    std::thread timer_;
+    unsigned timeoutMs;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<size_t, Entry> entries;
+    bool stop = false;
+    /// Sticky cancel: tokens registered after a cancelAll(sticky) are
+    /// cancelled on arrival (service drain).
+    bool cancelNew = false;
+    std::thread timer;
 };
+
+JobWatchdog::JobWatchdog(unsigned timeout_ms)
+    : impl_(std::make_unique<Impl>(timeout_ms))
+{}
+
+JobWatchdog::~JobWatchdog() = default;
+
+void
+JobWatchdog::watch(size_t id, CancellationToken token)
+{
+    impl_->watch(id, std::move(token));
+}
+
+void
+JobWatchdog::release(size_t id)
+{
+    impl_->release(id);
+}
+
+void
+JobWatchdog::cancelAll(bool sticky)
+{
+    impl_->cancelAll(sticky);
+}
+
+namespace
+{
 
 /** Would this job's outcome trigger a fail-fast drain? Guest bugs are
  *  the harness working as intended; only harness-level failures count. */
@@ -127,15 +155,13 @@ isHarnessFailure(const ExecutionResult &result)
         result.bug.kind == ErrorKind::engineError;
 }
 
-/**
- * Run one job fully isolated: any exception that escapes preparation or
- * execution becomes a per-job hostFault result (and may be retried),
- * identical on the serial and parallel paths.
- */
+} // namespace
+
 ExecutionResult
-runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
-                 const BatchOptions &options, std::atomic<bool> &drain,
-                 Watchdog &watchdog, BatchReport::JobStats &stats)
+runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
+              const GuardedJobOptions &options,
+              const std::atomic<bool> &drain, JobWatchdog &watchdog,
+              BatchReport::JobStats &stats)
 {
     MS_TRACE_SPAN("batch.job", "job " + std::to_string(index));
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
@@ -153,7 +179,8 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
         CancellationToken token;
         try {
             if (options.faults != nullptr)
-                options.faults->at("batch.job/" + std::to_string(index));
+                options.faults->at(options.faultSitePrefix +
+                                   std::to_string(index));
             PreparedProgram prepared =
                 prepareProgram(job.sources, job.config, cache);
             if (prepared.ok() && options.analysis != nullptr) {
@@ -191,6 +218,13 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
         watchdog.release(index);
         if (result.termination == TerminationKind::hostFault &&
             stats.attempts <= options.retries) {
+            // A drain that fires between attempts ends the retry loop
+            // but must not erase the outcome: the stats keep the
+            // hostFault termination and the attempts actually spent.
+            // (Burning another attempt here used to let a drain-time
+            // cancellation overwrite the real TerminationKind.)
+            if (drain.load(std::memory_order_relaxed))
+                break;
             reg.counter("batch.retries").inc();
             obs::traceInstant("batch.retry",
                               "job " + std::to_string(index));
@@ -213,8 +247,6 @@ runOneJobGuarded(const BatchJob &job, size_t index, CompileCache *cache,
     return result;
 }
 
-} // namespace
-
 BatchReport
 runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
 {
@@ -236,7 +268,12 @@ runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
     report.workersUsed = workers;
 
     std::atomic<bool> drain{false};
-    Watchdog watchdog(options.watchdogMs);
+    JobWatchdog watchdog(options.watchdogMs);
+    GuardedJobOptions job_options;
+    job_options.retries = options.retries;
+    job_options.retryBackoffMs = options.retryBackoffMs;
+    job_options.faults = options.faults;
+    job_options.analysis = options.analysis;
     auto onJobDone = [&](const ExecutionResult &result) {
         if (options.failFast && isHarnessFailure(result)) {
             drain.store(true, std::memory_order_relaxed);
@@ -246,8 +283,8 @@ runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
 
     if (workers <= 1) {
         for (size_t i = 0; i < jobs.size(); i++) {
-            report.results[i] = runOneJobGuarded(
-                jobs[i], i, cache, options, drain, watchdog,
+            report.results[i] = runGuardedJob(
+                jobs[i], i, cache, job_options, drain, watchdog,
                 report.jobStats[i]);
             onJobDone(report.results[i]);
         }
@@ -259,10 +296,11 @@ runBatch(const std::vector<BatchJob> &jobs, const BatchOptions &options)
             const BatchJob &job = jobs[i];
             BatchReport::JobStats &stats = report.jobStats[i];
             futures.push_back(pool.submit(
-                [&job, i, cache, &options, &drain, &watchdog, &stats,
+                [&job, i, cache, &job_options, &drain, &watchdog, &stats,
                  &onJobDone]() {
-                    ExecutionResult result = runOneJobGuarded(
-                        job, i, cache, options, drain, watchdog, stats);
+                    ExecutionResult result = runGuardedJob(
+                        job, i, cache, job_options, drain, watchdog,
+                        stats);
                     onJobDone(result);
                     return result;
                 }));

@@ -26,6 +26,9 @@
 #ifndef MS_TOOLS_BATCH_RUNNER_H
 #define MS_TOOLS_BATCH_RUNNER_H
 
+#include <atomic>
+#include <memory>
+
 #include "analysis/analyzer.h"
 #include "tools/compile_cache.h"
 #include "tools/driver.h"
@@ -136,6 +139,74 @@ struct BatchReport
 /** Run every job and collect results deterministically by job index. */
 BatchReport runBatch(const std::vector<BatchJob> &jobs,
                      const BatchOptions &options = {});
+
+/**
+ * Tracks the cancellation token of every job attempt in flight. With a
+ * non-zero timeout a timer thread cancels attempts past their
+ * wall-clock budget; cancelAll() serves fail-fast and service drains
+ * even when no timeout is set. Shared by runBatch and the analysis
+ * daemon (src/service/), which watches every request's execution with
+ * one of these.
+ */
+class JobWatchdog
+{
+  public:
+    explicit JobWatchdog(unsigned timeout_ms);
+    ~JobWatchdog();
+
+    JobWatchdog(const JobWatchdog &) = delete;
+    JobWatchdog &operator=(const JobWatchdog &) = delete;
+
+    /** Start the budget clock for attempt @p id. */
+    void watch(size_t id, CancellationToken token);
+    void release(size_t id);
+
+    /**
+     * Cancel every attempt currently in flight. With @p sticky, also
+     * cancel every attempt registered from now on — the service drain
+     * uses this so a job that was still compiling when the drain began
+     * is cancelled the moment it reaches its execution phase.
+     */
+    void cancelAll(bool sticky = false);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * The per-job slice of BatchOptions: how one guarded attempt sequence
+ * behaves. runBatch derives one from its BatchOptions; the daemon
+ * builds one per request.
+ */
+struct GuardedJobOptions
+{
+    /// Extra attempts after a TerminationKind::hostFault outcome.
+    unsigned retries = 0;
+    /// Linear backoff between retry attempts.
+    unsigned retryBackoffMs = 5;
+    /// Chaos hook: each attempt reports "<faultSitePrefix><index>"
+    /// before preparing ("batch.job/3", "service.job/17").
+    FaultInjector *faults = nullptr;
+    const char *faultSitePrefix = "batch.job/";
+    /// Static analysis alongside execution (findings land in JobStats).
+    const AnalysisOptions *analysis = nullptr;
+};
+
+/**
+ * Run one job fully isolated: any exception that escapes preparation or
+ * execution becomes a hostFault result (and may be retried). When
+ * @p drain is set, a job that has not started reports cancelled without
+ * running, and a job between retry attempts stops retrying and keeps
+ * the termination of its last real attempt — the drain never erases
+ * what actually happened to the job.
+ */
+ExecutionResult runGuardedJob(const BatchJob &job, size_t index,
+                              CompileCache *cache,
+                              const GuardedJobOptions &options,
+                              const std::atomic<bool> &drain,
+                              JobWatchdog &watchdog,
+                              BatchReport::JobStats &stats);
 
 } // namespace sulong
 

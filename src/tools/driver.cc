@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "opt/passes.h"
 #include "sanitizer/asan_pass.h"
+#include "support/string_utils.h"
 #include "tools/compile_cache.h"
 
 namespace sulong
@@ -144,6 +145,33 @@ runUnderTool(const std::string &user_source, const ToolConfig &config,
     return prepared.run(args, stdin_data);
 }
 
+namespace
+{
+
+/**
+ * Shared strict numeric-flag decode. Every caller is a CLI entry point,
+ * so a malformed value ("--max-steps=1e9", "-j -4", an overflowing
+ * count) is a usage error: diagnose it clearly on stderr and exit(2)
+ * rather than silently falling back — silent truncation of a resource
+ * limit is exactly the failure mode the daemon's admission control must
+ * not have.
+ */
+uint64_t
+parseFlagValueOrDie(const char *flag_name, const char *text)
+{
+    uint64_t value = 0;
+    std::string why;
+    if (!parseUint64Strict(text, &value, &why)) {
+        std::fprintf(stderr,
+                     "error: invalid value '%s' for %s: %s\n", text,
+                     flag_name, why.c_str());
+        std::exit(2);
+    }
+    return value;
+}
+
+} // namespace
+
 unsigned
 parseJobsFlag(int argc, char **argv, unsigned fallback)
 {
@@ -160,11 +188,14 @@ parseJobsFlag(int argc, char **argv, unsigned fallback)
         }
         if (value == nullptr)
             continue;
-        char *end = nullptr;
-        unsigned long parsed = std::strtoul(value, &end, 10);
-        if (end != value && *end == '\0')
-            return static_cast<unsigned>(parsed);
-        return fallback;
+        uint64_t parsed = parseFlagValueOrDie("--jobs", value);
+        if (parsed > UINT32_MAX) {
+            std::fprintf(stderr,
+                         "error: invalid value '%s' for --jobs: "
+                         "exceeds the worker-count range\n", value);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(parsed);
     }
     return fallback;
 }
@@ -185,11 +216,7 @@ parseUint64Flag(int argc, char **argv, const char *name, uint64_t fallback)
         }
         if (value == nullptr)
             continue;
-        char *end = nullptr;
-        unsigned long long parsed = std::strtoull(value, &end, 10);
-        if (end != value && *end == '\0')
-            return parsed;
-        return fallback;
+        return parseFlagValueOrDie(flag.c_str(), value);
     }
     return fallback;
 }

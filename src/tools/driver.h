@@ -118,14 +118,18 @@ std::vector<ToolConfig> evaluationToolMatrix();
 
 /**
  * Parse a `--jobs N` / `--jobs=N` / `-jN` flag from a command line
- * (first match wins); returns @p fallback when absent or malformed.
+ * (first match wins); returns @p fallback when absent. A present but
+ * malformed value (trailing garbage, sign, overflow — see
+ * parseUint64Strict) prints a clear diagnostic and exits 2.
  * 0 means "one worker per hardware thread".
  */
 unsigned parseJobsFlag(int argc, char **argv, unsigned fallback = 1);
 
 /**
  * Parse an unsigned integer flag in `--name N` / `--name=N` form (first
- * match wins); returns @p fallback when absent or malformed.
+ * match wins); returns @p fallback when absent. A present but malformed
+ * value (trailing garbage, sign, overflow) prints a clear diagnostic
+ * and exits 2 — resource-limit flags must never silently truncate.
  */
 uint64_t parseUint64Flag(int argc, char **argv, const char *name,
                          uint64_t fallback);

@@ -6,9 +6,14 @@
  * surface per job instead of tearing down the batch.
  */
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "test_util.h"
 
 #include "corpus/harness.h"
+#include "support/fault.h"
 #include "tools/batch_runner.h"
 
 namespace sulong
@@ -156,6 +161,133 @@ TEST(BatchRunnerTest, CompileErrorsStayPerJob)
     EXPECT_EQ(report.results[0].exitCode, 0);
     EXPECT_EQ(report.results[1].bug.kind, ErrorKind::engineError);
     EXPECT_EQ(report.results[2].exitCode, 3);
+}
+
+TEST(GuardedJobTest, RetryExhaustionReportsLastTerminationAndAttempts)
+{
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/0";
+    rule.action = FaultInjector::Action::hostException;
+    faults.addRule(rule);
+
+    BatchJob job = BatchJob::make("int main(void) { return 0; }",
+                                  ToolConfig::make(ToolKind::safeSulong));
+    GuardedJobOptions options;
+    options.retries = 2;
+    options.retryBackoffMs = 0;
+    options.faults = &faults;
+    JobWatchdog watchdog(0);
+    BatchReport::JobStats stats;
+    std::atomic<bool> drain{false};
+    ExecutionResult result =
+        runGuardedJob(job, 0, nullptr, options, drain, watchdog, stats);
+
+    EXPECT_EQ(stats.attempts, 3u); // 1 + retries, all spent
+    EXPECT_EQ(stats.termination, TerminationKind::hostFault);
+    EXPECT_EQ(result.termination, TerminationKind::hostFault);
+    EXPECT_NE(result.terminationDetail.find("injected host fault"),
+              std::string::npos)
+        << result.terminationDetail;
+}
+
+TEST(GuardedJobTest, TransientFaultRecoversWithinRetryBudget)
+{
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/0";
+    rule.action = FaultInjector::Action::hostException;
+    rule.maxFirings = 2; // attempts 1 and 2 fault, attempt 3 succeeds
+    faults.addRule(rule);
+
+    BatchJob job = BatchJob::make("int main(void) { return 9; }",
+                                  ToolConfig::make(ToolKind::safeSulong));
+    GuardedJobOptions options;
+    options.retries = 3;
+    options.retryBackoffMs = 0;
+    options.faults = &faults;
+    JobWatchdog watchdog(0);
+    BatchReport::JobStats stats;
+    std::atomic<bool> drain{false};
+    ExecutionResult result =
+        runGuardedJob(job, 0, nullptr, options, drain, watchdog, stats);
+
+    EXPECT_EQ(stats.attempts, 3u);
+    EXPECT_EQ(stats.termination, TerminationKind::normal);
+    EXPECT_EQ(result.exitCode, 9);
+}
+
+TEST(GuardedJobTest, DrainBeforeStartIsCancelledWithZeroAttempts)
+{
+    BatchJob job = BatchJob::make("int main(void) { return 0; }",
+                                  ToolConfig::make(ToolKind::safeSulong));
+    JobWatchdog watchdog(0);
+    BatchReport::JobStats stats;
+    std::atomic<bool> drain{true};
+    ExecutionResult result = runGuardedJob(job, 0, nullptr, {}, drain,
+                                           watchdog, stats);
+    EXPECT_EQ(stats.attempts, 0u);
+    EXPECT_EQ(result.termination, TerminationKind::cancelled);
+}
+
+TEST(GuardedJobTest, DrainBetweenRetriesKeepsTheHostFaultOutcome)
+{
+    // Regression: a drain firing between retry attempts used to burn
+    // one more (immediately-cancelled) attempt, overwriting the real
+    // hostFault termination. Now the loop breaks before attempt 3.
+    FaultInjector faults;
+    FaultInjector::Rule rule;
+    rule.site = "batch.job/0";
+    rule.action = FaultInjector::Action::hostException;
+    faults.addRule(rule);
+
+    BatchJob job = BatchJob::make("int main(void) { return 0; }",
+                                  ToolConfig::make(ToolKind::safeSulong));
+    GuardedJobOptions options;
+    options.retries = 5;
+    options.retryBackoffMs = 600; // attempt 2 starts ~600ms in
+    options.faults = &faults;
+    JobWatchdog watchdog(0);
+    BatchReport::JobStats stats;
+    std::atomic<bool> drain{false};
+
+    // Flip the drain inside attempt 1's backoff window: wait for the
+    // first fault-site visit (attempt 1 has faulted and begun its
+    // sleep), then set the flag well before attempt 2's 600ms mark.
+    std::thread flipper([&] {
+        while (faults.visits("batch.job/0") == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        drain.store(true);
+        watchdog.cancelAll(true); // mirror the service's hard drain
+    });
+    ExecutionResult result =
+        runGuardedJob(job, 0, nullptr, options, drain, watchdog, stats);
+    flipper.join();
+
+    // The outcome of the last real attempt survives the drain: never
+    // cancelled, and no attempt was spent after the drain fired.
+    EXPECT_EQ(result.termination, TerminationKind::hostFault);
+    EXPECT_EQ(stats.termination, TerminationKind::hostFault);
+    EXPECT_GE(stats.attempts, 1u);
+    EXPECT_LT(stats.attempts, 1u + options.retries);
+}
+
+TEST(GuardedJobTest, StickyCancelAllCancelsLaterWatches)
+{
+    JobWatchdog watchdog(0);
+    watchdog.cancelAll(/*sticky=*/true);
+    CancellationToken token;
+    watchdog.watch(1, token);
+    EXPECT_TRUE(token.cancelled());
+    watchdog.release(1);
+
+    JobWatchdog fresh(0);
+    CancellationToken other;
+    fresh.cancelAll(/*sticky=*/false);
+    fresh.watch(2, other);
+    EXPECT_FALSE(other.cancelled()); // non-sticky only hits in-flight
+    fresh.release(2);
 }
 
 TEST(BatchRunnerTest, ExternalCacheIsReusedAcrossBatches)

@@ -291,6 +291,55 @@ TEST(JsonTest, ValidatorAcceptsGoodAndRejectsBad)
     EXPECT_FALSE(obs::validateJson("01x"));
 }
 
+TEST(JsonTest, ParserBuildsTypedValuesPreservingMemberOrder)
+{
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(
+        "{\"n\": 42, \"neg\": -1, \"frac\": 2.5, \"s\": \"a\\\"b\\n\","
+        " \"t\": true, \"z\": null, \"arr\": [1, \"two\", false],"
+        " \"obj\": {\"inner\": 7}}",
+        &doc, &error))
+        << error;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.uintAt("n"), 42u);
+    // Counts-only contract: negative and fractional fall back.
+    EXPECT_EQ(doc.uintAt("neg", 99), 99u);
+    EXPECT_EQ(doc.uintAt("frac", 99), 99u);
+    EXPECT_EQ(doc.find("frac")->asDouble(), 2.5);
+    EXPECT_EQ(doc.stringAt("s"), "a\"b\n");
+    EXPECT_TRUE(doc.boolAt("t"));
+    EXPECT_TRUE(doc.find("z")->isNull());
+    ASSERT_NE(doc.find("arr"), nullptr);
+    ASSERT_EQ(doc.find("arr")->elements().size(), 3u);
+    EXPECT_EQ(doc.find("arr")->elements()[1].asString(), "two");
+    EXPECT_EQ(doc.find("obj")->uintAt("inner"), 7u);
+    // Member order is insertion order, so re-emission is deterministic.
+    EXPECT_EQ(doc.members().front().first, "n");
+    EXPECT_EQ(doc.members().back().first, "obj");
+    // Missing keys and wrong types are fallbacks, never throws.
+    EXPECT_EQ(doc.find("nope"), nullptr);
+    EXPECT_EQ(doc.uintAt("s", 5), 5u);
+    EXPECT_EQ(doc.stringAt("n", "dflt"), "dflt");
+}
+
+TEST(JsonTest, ParserRejectsMalformedInputAndRoundTripsEscapes)
+{
+    obs::JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(obs::parseJson("{\"a\":", &doc, &error));
+    EXPECT_FALSE(obs::parseJson("[1,]", &doc, &error));
+    EXPECT_FALSE(obs::parseJson("", &doc, &error));
+
+    // jsonEscape output parses back to the original bytes, including
+    // high bytes escaped as \u00XX.
+    std::string raw = "quote\" slash\\ ctrl\x01 high\xC3\xA9";
+    ASSERT_TRUE(obs::parseJson("\"" + obs::jsonEscape(raw) + "\"", &doc,
+                               &error))
+        << error;
+    EXPECT_EQ(doc.asString(), raw);
+}
+
 TEST(JsonTest, ChromeTraceRoundTrip)
 {
     TracingOn on;

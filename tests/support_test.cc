@@ -213,5 +213,41 @@ TEST(StringUtilsTest, JoinAndPad)
     EXPECT_EQ(padLeft("long", 2), "long");
 }
 
+TEST(StringUtilsTest, ParseUint64StrictAcceptsOnlyCleanDecimals)
+{
+    uint64_t value = 123;
+    EXPECT_TRUE(parseUint64Strict("0", &value));
+    EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(parseUint64Strict("42", &value));
+    EXPECT_EQ(value, 42u);
+    EXPECT_TRUE(parseUint64Strict("18446744073709551615", &value));
+    EXPECT_EQ(value, UINT64_MAX);
+}
+
+TEST(StringUtilsTest, ParseUint64StrictRejectsJunkWithReasons)
+{
+    uint64_t value = 77;
+    std::string why;
+    EXPECT_FALSE(parseUint64Strict("", &value, &why));
+    EXPECT_EQ(why, "empty value");
+    EXPECT_FALSE(parseUint64Strict("-3", &value, &why));
+    EXPECT_EQ(why, "negative value");
+    EXPECT_FALSE(parseUint64Strict("+3", &value, &why));
+    EXPECT_EQ(why, "explicit sign not accepted");
+    EXPECT_FALSE(parseUint64Strict("12x", &value, &why));
+    EXPECT_EQ(why, "trailing garbage after digits");
+    EXPECT_FALSE(parseUint64Strict("x12", &value, &why));
+    EXPECT_EQ(why, "not a number");
+    EXPECT_FALSE(parseUint64Strict("0x10", &value, &why));
+    EXPECT_EQ(why, "trailing garbage after digits");
+    EXPECT_FALSE(parseUint64Strict("18446744073709551616", &value, &why));
+    EXPECT_EQ(why, "overflows uint64");
+    EXPECT_FALSE(
+        parseUint64Strict("99999999999999999999999", &value, &why));
+    EXPECT_EQ(why, "overflows uint64");
+    // Failures never clobber the output slot.
+    EXPECT_EQ(value, 77u);
+}
+
 } // namespace
 } // namespace sulong

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * msulong_client — command-line client for msulongd.
+ *
+ * Submits one source file (or the built-in demo programs) as analysis
+ * jobs, prints the structured responses, and maps the outcome to an
+ * exit code the CI chaos load can gate on:
+ *
+ *   0  every job answered with a clean result
+ *   1  at least one job reported a bug or a non-normal termination
+ *   3  at least one job earned a structured error frame (overloaded,
+ *      draining, injected fault, bad request) — the daemon answered
+ *   4  transport failure (connect/send/recv) — the daemon did NOT
+ *      answer; the chaos gate treats only this as unaccounted
+ *
+ * Usage:
+ *   msulong_client [--socket=PATH] FILE [--tool=safe|clang|asan|memcheck]
+ *                  [--opt=N] [--tenant=NAME] [--analyze] [--count=N]
+ *                  [--guest-stdin=TEXT] [--quiet]
+ *   msulong_client --demo=clean|bug [...]
+ *   msulong_client --health | --drain
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/client.h"
+#include "tools/driver.h"
+
+using namespace sulong;
+using namespace sulong::service;
+
+namespace
+{
+
+const char *kDemoClean = R"(
+#include <stdio.h>
+int main(void) {
+    int total = 0;
+    for (int i = 1; i <= 10; i++) total += i;
+    printf("total=%d\n", total);
+    return 0;
+}
+)";
+
+const char *kDemoBug = R"(
+int main(void) {
+    int buf[4];
+    buf[4] = 1; /* one past the end */
+    return 0;
+}
+)";
+
+int
+worstExit(int current, int candidate)
+{
+    // 4 (transport) dominates, then 3 (error frame), then 1, then 0.
+    return candidate > current ? candidate : current;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path =
+        parseStringFlag(argc, argv, "socket", "/tmp/msulong.sock");
+    bool quiet = hasFlag(argc, argv, "quiet");
+
+    ServiceClient client;
+    std::string error;
+    if (!client.connect(socket_path, &error)) {
+        std::fprintf(stderr, "msulong_client: %s\n", error.c_str());
+        return 4;
+    }
+
+    if (hasFlag(argc, argv, "health")) {
+        obs::JsonValue health;
+        if (!client.health(&health, &error)) {
+            std::fprintf(stderr, "msulong_client: %s\n", error.c_str());
+            return 4;
+        }
+        std::printf("pending=%llu workers=%llu draining=%s\n",
+                    static_cast<unsigned long long>(
+                        health.uintAt("pending")),
+                    static_cast<unsigned long long>(
+                        health.uintAt("workers")),
+                    health.boolAt("draining") ? "true" : "false");
+        return 0;
+    }
+    if (hasFlag(argc, argv, "drain")) {
+        if (!client.requestDrain(&error)) {
+            std::fprintf(stderr, "msulong_client: %s\n", error.c_str());
+            return 4;
+        }
+        if (!quiet)
+            std::printf("drain acknowledged\n");
+        return 0;
+    }
+
+    JobRequest request;
+    request.tenant = parseStringFlag(argc, argv, "tenant", "default");
+    request.tool = parseStringFlag(argc, argv, "tool", "safe");
+    request.optLevel = static_cast<int>(
+        parseUint64Flag(argc, argv, "opt", 0));
+    request.analyze = hasFlag(argc, argv, "analyze");
+    request.stdinData = parseStringFlag(argc, argv, "guest-stdin");
+    request.maxSteps = parseUint64Flag(argc, argv, "max-steps", 0);
+    request.maxHeapBytes = parseUint64Flag(argc, argv, "heap-limit", 0);
+    request.maxOutputBytes =
+        parseUint64Flag(argc, argv, "output-limit", 0);
+    request.deadlineMs = parseUint64Flag(argc, argv, "deadline-ms", 0);
+
+    std::string demo = parseStringFlag(argc, argv, "demo");
+    if (demo == "clean") {
+        request.source = kDemoClean;
+    } else if (demo == "bug") {
+        request.source = kDemoBug;
+    } else if (!demo.empty()) {
+        std::fprintf(stderr,
+                     "msulong_client: unknown demo '%s' "
+                     "(expected clean|bug)\n", demo.c_str());
+        return 2;
+    } else {
+        // First non-flag argument is the source file.
+        const char *path = nullptr;
+        for (int i = 1; i < argc; i++) {
+            if (argv[i][0] != '-') {
+                // Skip values consumed by "--flag value" forms.
+                if (i > 1 && argv[i - 1][0] == '-' &&
+                    std::string(argv[i - 1]).find('=') == std::string::npos)
+                    continue;
+                path = argv[i];
+                break;
+            }
+        }
+        if (path == nullptr) {
+            std::fprintf(stderr,
+                         "usage: msulong_client [--socket=PATH] FILE "
+                         "| --demo=clean|bug | --health | --drain\n");
+            return 2;
+        }
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "msulong_client: cannot read %s\n",
+                         path);
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        request.source = text.str();
+    }
+
+    uint64_t count = parseUint64Flag(argc, argv, "count", 1);
+    int exit_code = 0;
+    for (uint64_t i = 0; i < count; i++) {
+        Frame reply;
+        // The daemon closes a connection after answering it with a
+        // read/write-fault error; a send that then fails submitted
+        // nothing, so retry it on a fresh connection. Only a job whose
+        // *reply* never arrives is a transport failure (exit 4).
+        bool answered = false;
+        for (int attempt = 0; attempt < 3 && !answered; attempt++) {
+            if (!client.connected() &&
+                !client.connect(socket_path, &error))
+                continue;
+            if (client.submitJob(request, &reply, &error))
+                answered = true;
+            else
+                client.close();
+        }
+        if (!answered) {
+            std::fprintf(stderr, "msulong_client: %s\n", error.c_str());
+            return 4;
+        }
+        obs::JsonValue doc;
+        if (!obs::parseJson(reply.payload, &doc, &error)) {
+            std::fprintf(stderr,
+                         "msulong_client: unparseable reply: %s\n",
+                         error.c_str());
+            return 4;
+        }
+        if (reply.type == FrameType::error) {
+            if (!quiet)
+                std::printf("error code=%s detail=\"%s\"\n",
+                            doc.stringAt("code").c_str(),
+                            doc.stringAt("detail").c_str());
+            exit_code = worstExit(exit_code, 3);
+            continue;
+        }
+        if (reply.type != FrameType::jobResponse) {
+            std::fprintf(stderr,
+                         "msulong_client: unexpected frame type %d\n",
+                         static_cast<int>(reply.type));
+            return 4;
+        }
+        const std::string &termination = doc.stringAt("termination");
+        const obs::JsonValue *bug = doc.find("bug");
+        if (!quiet) {
+            std::printf("job id=%llu termination=%s",
+                        static_cast<unsigned long long>(doc.uintAt("id")),
+                        termination.c_str());
+            if (bug != nullptr)
+                std::printf(" bug=%s", bug->stringAt("kind").c_str());
+            std::printf(" attempts=%llu\n",
+                        static_cast<unsigned long long>(
+                            doc.uintAt("attempts")));
+            const std::string &output = doc.stringAt("output");
+            if (!output.empty())
+                std::fputs(output.c_str(), stdout);
+        }
+        if (termination != "normal" || bug != nullptr)
+            exit_code = worstExit(exit_code, 1);
+    }
+    return exit_code;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * msulongd — the fault-isolated multi-tenant analysis daemon.
+ *
+ * Listens on an AF_UNIX socket for framed compile+run+analyze jobs
+ * (see src/service/protocol.h), executes them over a shared worker
+ * pool with per-tenant admission control and per-job fault isolation,
+ * and drains gracefully on SIGTERM/SIGINT or a client drain request:
+ * stop accepting, answer every admitted job (finished or cancelled),
+ * flush telemetry, exit 0.
+ *
+ * Chaos flags inject deterministic faults into the daemon's own
+ * accept/read/write/job paths so CI can prove that every injected
+ * fault degrades exactly one client, never the daemon.
+ *
+ * Usage:
+ *   msulongd --socket=/tmp/msulong.sock [--jobs N] [--queue-cap N]
+ *            [--tenant-cap N] [--watchdog-ms N] [--retries N]
+ *            [--cache-cap N] [--drain-grace-ms N] [--max-frame-bytes N]
+ *            [--max-steps N] [--heap-limit BYTES] [--output-limit BYTES]
+ *            [--deadline-ms MS]
+ *            [--chaos-seed N] [--chaos-accept P] [--chaos-read P]
+ *            [--chaos-write P] [--chaos-job P]
+ *            [--metrics-json FILE] [--trace-out FILE] [--stats]
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "support/fault.h"
+#include "tools/driver.h"
+
+using namespace sulong;
+using namespace sulong::service;
+
+namespace
+{
+
+/**
+ * Install a prefix rule over one daemon fault-site family when the
+ * flag is present (value = firing probability per visit, e.g.
+ * --chaos-read=0.05). @return true when installed.
+ */
+bool
+addChaosRule(FaultInjector &faults, int argc, char **argv,
+             const char *flag, const char *site_prefix)
+{
+    std::string value = parseStringFlag(argc, argv, flag);
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    double probability = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || probability < 0 ||
+        probability > 1) {
+        std::fprintf(stderr,
+                     "error: invalid value '%s' for --%s: expected a "
+                     "probability in [0,1]\n", value.c_str(), flag);
+        std::exit(2);
+    }
+    FaultInjector::Rule rule;
+    rule.site = site_prefix;
+    rule.sitePrefix = true;
+    rule.action = FaultInjector::Action::hostException;
+    rule.probability = probability;
+    faults.addRule(rule);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path =
+        parseStringFlag(argc, argv, "socket", "/tmp/msulong.sock");
+
+    // Block the shutdown signals in every thread the daemon will ever
+    // spawn, then dedicate one thread to sigwait: signal handling
+    // becomes ordinary synchronous code with no async-signal-safety
+    // constraints on the drain path.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    ObsFlags obs_flags = parseObsFlags(argc, argv);
+
+    ServiceConfig config;
+    config.workers = parseJobsFlag(argc, argv, 2);
+    config.queueCapacity = static_cast<size_t>(
+        parseUint64Flag(argc, argv, "queue-cap", 64));
+    config.tenantCapacity = static_cast<size_t>(
+        parseUint64Flag(argc, argv, "tenant-cap", 16));
+    config.watchdogMs = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "watchdog-ms", 10000));
+    config.retries =
+        static_cast<unsigned>(parseUint64Flag(argc, argv, "retries", 0));
+    config.cacheCapacity = static_cast<size_t>(
+        parseUint64Flag(argc, argv, "cache-cap", 64));
+    config.limitCeiling = parseLimitFlags(argc, argv);
+
+    FaultInjector faults(parseUint64Flag(argc, argv, "chaos-seed", 0));
+    bool chaos = false;
+    chaos |= addChaosRule(faults, argc, argv, "chaos-accept",
+                          "service.accept/");
+    chaos |= addChaosRule(faults, argc, argv, "chaos-read",
+                          "service.read/");
+    chaos |= addChaosRule(faults, argc, argv, "chaos-write",
+                          "service.write/");
+    chaos |= addChaosRule(faults, argc, argv, "chaos-job",
+                          "service.job/");
+    if (chaos)
+        config.faults = &faults;
+
+    ServerOptions server_options;
+    server_options.socketPath = socket_path;
+    server_options.maxFrameBytes = static_cast<uint32_t>(parseUint64Flag(
+        argc, argv, "max-frame-bytes", kDefaultMaxFrameBytes));
+    server_options.drainGraceMs = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "drain-grace-ms", 2000));
+
+    ServiceServer server(config, server_options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "msulongd: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "msulongd: listening on %s (%u workers)\n",
+                 socket_path.c_str(), server.service().workers());
+
+    std::thread signal_thread([&server, &sigs] {
+        int sig = 0;
+        if (sigwait(&sigs, &sig) == 0) {
+            std::fprintf(stderr,
+                         "msulongd: received signal %d, draining\n", sig);
+            server.requestDrain();
+        }
+    });
+    signal_thread.detach();
+
+    int rc = server.runUntilDrained();
+    // Telemetry flushes after the last job has answered, so the
+    // document reflects the whole run.
+    if (!writeObsOutputs(obs_flags))
+        rc = rc == 0 ? 1 : rc;
+    std::fprintf(stderr, "msulongd: drained, exiting %d\n", rc);
+    return rc;
+}
