@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Direct A/B measurement of tier-3 threaded execution against tier-2 on
+ * the perf-gate workloads: the same program runs warmed up in the same
+ * process under both modes, so the speedup ratio is immune to the
+ * host-noise that makes relative-to-Clang numbers (bench_fig16_peak)
+ * jitter run to run. Also cross-checks that both modes retire exactly
+ * the same IR steps — tier-3 dispatches the same guest work faster, it
+ * never skips any — and reports the tier-3 event counters (translations,
+ * superblocks, OSR entries, deopts by reason).
+ *
+ * Flags: `--quick` (fewer samples), `--json PATH` (BENCH_tier3.json/v1
+ * for the `bench_gate.py tier3` CI gate), `--bench A,B` (restrict to the
+ * named benchmarks), plus the managed-engine tuning flags of
+ * parseManagedFlags (applied to BOTH arms; the tier-3 arm forces tier-3
+ * on, the baseline arm forces it off).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/stats.h"
+#include "tools/bench_json.h"
+#include "tools/benchmark_programs.h"
+#include "tools/driver.h"
+
+namespace
+{
+
+using namespace sulong;
+using Clock = std::chrono::steady_clock;
+
+struct Measurement
+{
+    double seconds = 0; ///< median warmed-up wall time of one run
+    uint64_t steps = 0; ///< IR instructions retired by the last run
+    /// Tier-3 event counters summed over every run of this arm (the
+    /// engine resets its per-run telemetry, and translation happens
+    /// once during warm-up, so only the sum sees it).
+    uint64_t compiles = 0;
+    uint64_t superblocks = 0;
+    uint64_t osrEntries = 0;
+    uint64_t deoptMega = 0;
+    uint64_t deoptShape = 0;
+    uint64_t deoptSteps = 0;
+    uint64_t deoptBug = 0;
+};
+
+Measurement
+measure(const BenchmarkProgram &program, ManagedOptions options,
+        int warmup, int samples)
+{
+    ToolConfig config = ToolConfig::make(ToolKind::safeSulong);
+    options.persistState = true; // keep tier-2/tier-3 code hot
+    config.managed = options;
+    PreparedProgram prepared = prepareProgram(program.source, config);
+    if (!prepared.ok()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     prepared.compileErrors.c_str());
+        std::exit(1);
+    }
+    auto *managed = dynamic_cast<ManagedEngine *>(prepared.engine.get());
+    Measurement m;
+    auto accumulate = [&] {
+        const ManagedTelemetry &t = managed->telemetry();
+        m.compiles += t.t3Compiles;
+        m.superblocks += t.t3Superblocks;
+        m.osrEntries += t.t3OsrEntries;
+        m.deoptMega += t.t3DeoptMega;
+        m.deoptShape += t.t3DeoptShape;
+        m.deoptSteps += t.t3DeoptSteps;
+        m.deoptBug += t.t3DeoptBug;
+    };
+    std::vector<double> times;
+    for (int i = 0; i < warmup + samples; i++) {
+        auto t0 = Clock::now();
+        ExecutionResult result = prepared.run(program.args);
+        double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (!result.ok()) {
+            std::fprintf(stderr, "%s failed: %s\n", program.name.c_str(),
+                         result.bug.toString().c_str());
+            std::exit(1);
+        }
+        accumulate();
+        if (i >= warmup)
+            times.push_back(secs);
+    }
+    m.seconds = summarize(times).median;
+    m.steps = managed->executedSteps();
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = hasFlag(argc, argv, "quick");
+    int warmup = quick ? 3 : 10;
+    int samples = quick ? 3 : 7;
+    std::string json_path = parseStringFlag(argc, argv, "json");
+    std::string only = parseStringFlag(argc, argv, "bench");
+    ManagedOptions base = parseManagedFlags(argc, argv);
+    // Bench configuration (both arms): allow tier-1 -> tier-2 OSR so the
+    // loop-in-main benchmarks reach the compiled tiers at all.  The engine
+    // default stays off to match the paper's prototype; this is the peak
+    // configuration the fig16 harness also uses.
+    base.enableOsr = true;
+    base.osrThreshold = 5000;
+    auto selected = [&only](const std::string &name) {
+        if (only.empty())
+            return true;
+        size_t pos = 0;
+        while (pos <= only.size()) {
+            size_t comma = only.find(',', pos);
+            size_t end = comma == std::string::npos ? only.size() : comma;
+            if (only.compare(pos, end - pos, name) == 0)
+                return true;
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        return false;
+    };
+
+    ManagedOptions tier2_only = base;
+    tier2_only.enableTier3 = false;
+    ManagedOptions tier3 = base;
+    tier3.enableTier3 = true;
+
+    std::printf("Tier-3 vs tier-2, same process, warmed up "
+                "(median of %d samples after %d warm-up runs)\n\n",
+                samples, warmup);
+    std::printf("  %-15s %12s %12s %9s %7s %6s %6s\n", "benchmark",
+                "tier2 ms", "tier3 ms", "speedup", "sblocks", "osr",
+                "deopts");
+
+    std::vector<Tier3Record> records;
+    for (const BenchmarkProgram &program : benchmarkPrograms()) {
+        if (!selected(program.name))
+            continue;
+        Measurement off = measure(program, tier2_only, warmup, samples);
+        Measurement on = measure(program, tier3, warmup, samples);
+        if (on.steps != off.steps) {
+            std::fprintf(stderr,
+                         "%s: retired steps differ (tier2 %llu, tier3 "
+                         "%llu) — tier-3 changed the guest work\n",
+                         program.name.c_str(),
+                         static_cast<unsigned long long>(off.steps),
+                         static_cast<unsigned long long>(on.steps));
+            return 1;
+        }
+        double speedup =
+            on.seconds > 0 ? off.seconds / on.seconds : 0;
+        std::printf("  %-15s %12.3f %12.3f %8.2fx %7llu %6llu %6llu\n",
+                    program.name.c_str(), off.seconds * 1e3,
+                    on.seconds * 1e3, speedup,
+                    static_cast<unsigned long long>(on.superblocks),
+                    static_cast<unsigned long long>(on.osrEntries),
+                    static_cast<unsigned long long>(
+                        on.deoptMega + on.deoptShape + on.deoptSteps +
+                        on.deoptBug));
+        Tier3Record record;
+        record.bench = "fig16." + program.name;
+        record.config = managedConfigString(tier3);
+        record.tier2NsPerOp = off.seconds * 1e9;
+        record.tier3NsPerOp = on.seconds * 1e9;
+        record.tier2Steps = off.steps;
+        record.tier3Steps = on.steps;
+        record.compiles = on.compiles;
+        record.superblocks = on.superblocks;
+        record.osrEntries = on.osrEntries;
+        record.deoptMega = on.deoptMega;
+        record.deoptShape = on.deoptShape;
+        record.deoptSteps = on.deoptSteps;
+        record.deoptBug = on.deoptBug;
+        records.push_back(std::move(record));
+    }
+
+    std::vector<double> speedups;
+    for (const Tier3Record &r : records)
+        speedups.push_back(r.tier2NsPerOp / r.tier3NsPerOp);
+    std::printf("  %-15s %12s %12s %8.2fx\n", "geomean", "", "",
+                geomean(speedups));
+    if (!json_path.empty()) {
+        if (!writeTier3BenchJson(json_path, records)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("\nWrote %zu records to %s\n", records.size(),
+                    json_path.c_str());
+    }
+    return 0;
+}

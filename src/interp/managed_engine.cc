@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "interp/tier2.h"
+#include "interp/tier3.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -13,16 +14,6 @@ namespace sulong
 
 namespace
 {
-
-AccessClass
-classOf(const Type *type)
-{
-    if (type->isPointer())
-        return AccessClass::pointer;
-    if (type->isFloat())
-        return AccessClass::floating;
-    return AccessClass::integer;
-}
 
 /** Engine intrinsics, resolved once per function. */
 enum class Intrinsic : uint8_t
@@ -143,138 +134,47 @@ ManagedEngine::satFptoui(double v)
     return static_cast<uint64_t>(v);
 }
 
+void
+ManagedEngine::raiseDivZero()
+{
+    throw EngineError("integer division by zero");
+}
+
 int64_t
-ManagedEngine::evalIntBinOp(Opcode op, const MValue &l, const MValue &r,
-                            unsigned width)
+ManagedEngine::badIntBinOp()
 {
-    switch (op) {
-      case Opcode::add:
-        return static_cast<int64_t>(
-            static_cast<uint64_t>(l.i) + static_cast<uint64_t>(r.i));
-      case Opcode::sub:
-        return static_cast<int64_t>(
-            static_cast<uint64_t>(l.i) - static_cast<uint64_t>(r.i));
-      case Opcode::mul:
-        return static_cast<int64_t>(
-            static_cast<uint64_t>(l.i) * static_cast<uint64_t>(r.i));
-      case Opcode::sdiv:
-        if (r.i == 0)
-            throw EngineError("integer division by zero");
-        if (l.i == INT64_MIN && r.i == -1)
-            return INT64_MIN;
-        return l.i / r.i;
-      case Opcode::udiv:
-        if (r.zext() == 0)
-            throw EngineError("integer division by zero");
-        return static_cast<int64_t>(l.zext() / r.zext());
-      case Opcode::srem:
-        if (r.i == 0)
-            throw EngineError("integer division by zero");
-        if (l.i == INT64_MIN && r.i == -1)
-            return 0;
-        return l.i % r.i;
-      case Opcode::urem:
-        if (r.zext() == 0)
-            throw EngineError("integer division by zero");
-        return static_cast<int64_t>(l.zext() % r.zext());
-      case Opcode::and_: return l.i & r.i;
-      case Opcode::or_: return l.i | r.i;
-      case Opcode::xor_: return l.i ^ r.i;
-      case Opcode::shl:
-        return static_cast<int64_t>(l.zext() << (r.zext() & (width - 1)));
-      case Opcode::lshr:
-        return static_cast<int64_t>(l.zext() >> (r.zext() & (width - 1)));
-      case Opcode::ashr:
-        return l.i >> (r.zext() & (width - 1));
-      default:
-        throw InternalError("evalIntBinOp: bad opcode");
-    }
-}
-
-double
-ManagedEngine::evalFloatBinOp(Opcode op, const MValue &l, const MValue &r,
-                              unsigned width)
-{
-    if (width == 32) {
-        float lf = static_cast<float>(l.f);
-        float rf = static_cast<float>(r.f);
-        switch (op) {
-          case Opcode::fadd: return lf + rf;
-          case Opcode::fsub: return lf - rf;
-          case Opcode::fmul: return lf * rf;
-          case Opcode::fdiv: return lf / rf;
-          default: return std::fmod(lf, rf);
-        }
-    }
-    switch (op) {
-      case Opcode::fadd: return l.f + r.f;
-      case Opcode::fsub: return l.f - r.f;
-      case Opcode::fmul: return l.f * r.f;
-      case Opcode::fdiv: return l.f / r.f;
-      default: return std::fmod(l.f, r.f);
-    }
+    throw InternalError("evalIntBinOp: bad opcode");
 }
 
 bool
-ManagedEngine::evalICmp(IntPred pred, const MValue &l, const MValue &r)
+ManagedEngine::evalPtrCmp(IntPred pred, const MValue &l, const MValue &r)
 {
-    if (l.kind == MValue::Kind::addrV || r.kind == MValue::Kind::addrV) {
-        // Pointer comparison: identity for eq/ne; offsets within the same
-        // object, stable object identity otherwise, for relational.
-        const ManagedObject *lo = l.a.pointee.get();
-        const ManagedObject *ro = r.a.pointee.get();
+    // Pointer comparison: identity for eq/ne; offsets within the same
+    // object, stable object identity otherwise, for relational.
+    const ManagedObject *lo = l.a.pointee.get();
+    const ManagedObject *ro = r.a.pointee.get();
+    switch (pred) {
+      case IntPred::eq:
+        return lo == ro && l.a.offset == r.a.offset;
+      case IntPred::ne:
+        return lo != ro || l.a.offset != r.a.offset;
+      default: {
+        bool less, lesseq;
+        if (lo == ro) {
+            less = l.a.offset < r.a.offset;
+            lesseq = l.a.offset <= r.a.offset;
+        } else {
+            less = lo < ro;
+            lesseq = less;
+        }
         switch (pred) {
-          case IntPred::eq:
-            return lo == ro && l.a.offset == r.a.offset;
-          case IntPred::ne:
-            return lo != ro || l.a.offset != r.a.offset;
-          default: {
-            bool less, lesseq;
-            if (lo == ro) {
-                less = l.a.offset < r.a.offset;
-                lesseq = l.a.offset <= r.a.offset;
-            } else {
-                less = lo < ro;
-                lesseq = less;
-            }
-            switch (pred) {
-              case IntPred::ult: case IntPred::slt: return less;
-              case IntPred::ule: case IntPred::sle: return lesseq;
-              case IntPred::ugt: case IntPred::sgt: return !lesseq;
-              default: return !less;
-            }
-          }
+          case IntPred::ult: case IntPred::slt: return less;
+          case IntPred::ule: case IntPred::sle: return lesseq;
+          case IntPred::ugt: case IntPred::sgt: return !lesseq;
+          default: return !less;
         }
+      }
     }
-    switch (pred) {
-      case IntPred::eq: return l.i == r.i;
-      case IntPred::ne: return l.i != r.i;
-      case IntPred::slt: return l.i < r.i;
-      case IntPred::sle: return l.i <= r.i;
-      case IntPred::sgt: return l.i > r.i;
-      case IntPred::sge: return l.i >= r.i;
-      case IntPred::ult: return l.zext() < r.zext();
-      case IntPred::ule: return l.zext() <= r.zext();
-      case IntPred::ugt: return l.zext() > r.zext();
-      case IntPred::uge: return l.zext() >= r.zext();
-    }
-    return false;
-}
-
-bool
-ManagedEngine::evalFCmp(FloatPred pred, const MValue &l, const MValue &r)
-{
-    if (std::isnan(l.f) || std::isnan(r.f))
-        return false;
-    switch (pred) {
-      case FloatPred::oeq: return l.f == r.f;
-      case FloatPred::one: return l.f != r.f;
-      case FloatPred::olt: return l.f < r.f;
-      case FloatPred::ole: return l.f <= r.f;
-      case FloatPred::ogt: return l.f > r.f;
-      case FloatPred::oge: return l.f >= r.f;
-    }
-    return false;
 }
 
 ManagedEngine::ManagedEngine(ManagedOptions options)
@@ -343,6 +243,8 @@ ManagedEngine::run(const Module &module, const std::vector<std::string> &args,
         intrinsicCache_.clear();
         invocationCounts_.clear();
         compiled_.clear();
+        tier3Retired_.clear();
+        tier3Count_ = 0;
         callSiteCounts_.clear();
         compileEvents_.clear();
         tier2Count_ = 0;
@@ -442,9 +344,12 @@ ManagedEngine::callFunction(const Function *fn, std::vector<MValue> args,
         else if (count >= options_.compileThreshold)
             code = tier2CodeFor(fn, nullptr);
     }
+    Tier3Code *t3 = code != nullptr ? maybeTier3(fn, code) : nullptr;
     if (profiling_) {
         FnProfile *prof = profileFor(fn);
-        (code != nullptr ? prof->tier2Calls : prof->tier1Calls)++;
+        (t3 != nullptr       ? prof->tier3Calls
+             : code != nullptr ? prof->tier2Calls
+                               : prof->tier1Calls)++;
     }
 
     Frame frame;
@@ -456,7 +361,9 @@ ManagedEngine::callFunction(const Function *fn, std::vector<MValue> args,
 
     try {
         MValue result;
-        if (code != nullptr)
+        if (t3 != nullptr)
+            result = t3->execute(*this, frame);
+        else if (code != nullptr)
             result = code->execute(*this, frame);
         else
             result = interpret(fn, frame);
@@ -536,6 +443,62 @@ ManagedEngine::tier2CodeFor(const Function *fn, const char *why)
     return raw;
 }
 
+Tier3Code *
+ManagedEngine::tier3CodeFor(const Function *fn, CompiledFunction *code)
+{
+    if (code->tier3_ != nullptr)
+        return code->tier3_;
+    if (!options_.enableTier3 || code->tier3Fails_ >= 2)
+        return nullptr;
+    MS_TRACE_SPAN("tier3.translate", fn->name());
+    auto t3 = translateTier3(*fn, *code, *this);
+    if (t3 == nullptr) {
+        code->tier3Fails_ = 2; // empty body: never retry
+        return nullptr;
+    }
+    tier3Count_++;
+    telem_.t3Compiles++;
+    telem_.t3Superblocks += t3->superblocks();
+    if (profiling_)
+        telem_.tier3CodeSizes.push_back(t3->codeSize());
+    code->tier3_ = t3.get();
+    code->tier3Owner_ = std::move(t3);
+    return code->tier3_;
+}
+
+Tier3Code *
+ManagedEngine::maybeTier3(const Function *fn, CompiledFunction *code)
+{
+    if (code->tier3_ != nullptr)
+        return code->tier3_;
+    if (!options_.enableTier3 || code->tier3Fails_ >= 2 ||
+        ++code->activations_ < options_.tier3Threshold)
+        return nullptr;
+    return tier3CodeFor(fn, code);
+}
+
+Tier3Code *
+ManagedEngine::tier3ForOsr(const Function *fn, CompiledFunction *code)
+{
+    Tier3Code *t3 = tier3CodeFor(fn, code);
+    if (t3 != nullptr)
+        telem_.t3OsrEntries++;
+    return t3;
+}
+
+void
+ManagedEngine::retireTier3(CompiledFunction &code)
+{
+    // Recursive activations of the retired code deopt independently;
+    // only the first retirement moves the owner (and counts a strike).
+    if (code.tier3Owner_ == nullptr)
+        return;
+    tier3Retired_.push_back(std::move(code.tier3Owner_));
+    code.tier3_ = nullptr;
+    code.activations_ = 0;
+    code.tier3Fails_++;
+}
+
 MValue
 ManagedEngine::callCompiled(const Function *fn, CompiledFunction *code,
                             std::vector<MValue> args)
@@ -547,7 +510,58 @@ ManagedEngine::callCompiled(const Function *fn, CompiledFunction *code,
     for (size_t i = 0; i < args.size() && i < frame.slots.size(); i++)
         frame.slots[i] = std::move(args[i]);
     try {
-        MValue result = code->execute(*this, frame);
+        // IC-dispatched calls never pass through invocationCounts_, so
+        // the tier-up check lives here too (activations_ counts both).
+        Tier3Code *t3 = maybeTier3(fn, code);
+        if (t3 != nullptr && profiling_)
+            profileFor(fn)->tier3Calls++;
+        MValue result = t3 != nullptr ? t3->execute(*this, frame)
+                                      : code->execute(*this, frame);
+        guard_.leaveCall();
+        return result;
+    } catch (MemoryErrorException &error) {
+        guard_.leaveCall();
+        if (error.report().function.empty())
+            error.report().function = fn->name();
+        throw;
+    } catch (...) {
+        guard_.leaveCall();
+        throw;
+    }
+}
+
+ManagedEngine::Frame
+ManagedEngine::acquireFrame()
+{
+    if (framePool_.empty())
+        return Frame{};
+    Frame frame = std::move(framePool_.back());
+    framePool_.pop_back();
+    return frame;
+}
+
+void
+ManagedEngine::releaseFrame(Frame &&frame)
+{
+    // clear() keeps the slot capacity but destroys the values, so a
+    // pooled frame pins no objects and resize() re-value-initializes.
+    frame.slots.clear();
+    frame.varargs.clear();
+    framePool_.push_back(std::move(frame));
+}
+
+MValue
+ManagedEngine::callCompiledFrame(const Function *fn, CompiledFunction *code,
+                                 Frame &frame)
+{
+    guard_.enterCall();
+    resolveEpoch_++;
+    try {
+        Tier3Code *t3 = maybeTier3(fn, code);
+        if (t3 != nullptr && profiling_)
+            profileFor(fn)->tier3Calls++;
+        MValue result = t3 != nullptr ? t3->execute(*this, frame)
+                                      : code->execute(*this, frame);
         guard_.leaveCall();
         return result;
     } catch (MemoryErrorException &error) {
@@ -633,35 +647,6 @@ ManagedEngine::loadFrom(const Address &addr, const Type *type,
     return loadFromObject(addr.pointee.get(), addr.offset, type);
 }
 
-MValue
-ManagedEngine::loadFromObject(ManagedObject *obj, int64_t offset,
-                              const Type *type)
-{
-    AccessClass cls = classOf(type);
-    unsigned size = static_cast<unsigned>(type->size());
-    uint64_t bits = 0;
-    Address out;
-    obj->read(cls, size, offset, bits, out);
-    switch (cls) {
-      case AccessClass::pointer:
-        return MValue::makeAddr(std::move(out));
-      case AccessClass::floating:
-        if (type->kind() == TypeKind::f32) {
-            float f = 0;
-            std::memcpy(&f, &bits, 4);
-            return MValue::makeFP(f, 32);
-        } else {
-            double d = 0;
-            std::memcpy(&d, &bits, 8);
-            return MValue::makeFP(d, 64);
-        }
-      case AccessClass::integer:
-        return MValue::makeInt(static_cast<int64_t>(bits),
-                               type->intBits() == 1 ? 1 : type->intBits());
-    }
-    throw InternalError("bad access class");
-}
-
 void
 ManagedEngine::storeTo(const Address &addr, const Type *type,
                        const MValue &v, const SourceLoc &loc)
@@ -671,32 +656,10 @@ ManagedEngine::storeTo(const Address &addr, const Type *type,
     storeToObject(addr.pointee.get(), addr.offset, type, v);
 }
 
-void
-ManagedEngine::storeToObject(ManagedObject *obj, int64_t offset,
-                             const Type *type, const MValue &v)
+MValue
+ManagedEngine::badAccessClass()
 {
-    AccessClass cls = classOf(type);
-    unsigned size = static_cast<unsigned>(type->size());
-    switch (cls) {
-      case AccessClass::pointer:
-        obj->write(cls, 8, offset, 0, v.a);
-        return;
-      case AccessClass::floating: {
-        uint64_t bits = 0;
-        if (type->kind() == TypeKind::f32) {
-            float f = static_cast<float>(v.f);
-            std::memcpy(&bits, &f, 4);
-        } else {
-            std::memcpy(&bits, &v.f, 8);
-        }
-        obj->write(cls, size, offset, bits, Address{});
-        return;
-      }
-      case AccessClass::integer:
-        obj->write(cls, size, offset, static_cast<uint64_t>(v.i),
-                   Address{});
-        return;
-    }
+    throw InternalError("bad access class");
 }
 
 MValue

@@ -13,10 +13,12 @@
 #ifndef MS_INTERP_MANAGED_ENGINE_H
 #define MS_INTERP_MANAGED_ENGINE_H
 
+#include <cmath>
 #include <memory>
 #include <unordered_map>
 
 #include "interp/mvalue.h"
+#include "ir/type.h"
 #include "managed/globals.h"
 #include "managed/heap.h"
 #include "tools/engine.h"
@@ -25,6 +27,7 @@ namespace sulong
 {
 
 class CompiledFunction;
+class Tier3Code;
 
 /** Tunables of the managed engine. */
 struct ManagedOptions
@@ -58,6 +61,22 @@ struct ManagedOptions
     /// aggregate walk. Bounds/type/liveness checks always run; the
     /// --no-check-elision ablation proves reports are bit-identical.
     bool enableCheckElision = true;
+    /// Tier-3: re-label hot tier-2 bodies as a direct-threaded
+    /// superblock stream (computed-goto dispatch where the toolchain
+    /// supports it; see threaded.h). Every check still runs; tier-3
+    /// deopts back to tier-2 on IC megamorphism, shape-cache miss
+    /// streaks, step-budget edges, and any detected bug.
+    bool enableTier3 = true;
+    /// Tier-2 activations after which a function is tier-3 translated.
+    unsigned tier3Threshold = 200;
+    /// Superblock fusion: batch straight-line runs into one step-charge
+    /// (off = every op is its own superblock; the --no-fusion ablation
+    /// isolates the dispatch win from batched accounting).
+    bool enableFusion = true;
+    /// OSR from tier-2 loop back-edges into tier-3 mid-activation.
+    bool tier3Osr = true;
+    /// Back-edges in one tier-2 activation before tier-3 OSR kicks in.
+    unsigned tier3OsrThreshold = 10'000;
     /// Disable the relaxed type rules of Section 3.2 (ablation).
     bool strictTypes = false;
     /// Keep profiling counters and tier-2 code across run() calls on the
@@ -105,6 +124,20 @@ struct ManagedTelemetry
     /// flushed to the registry histogram at run() end, so the compile
     /// path never touches the registry from this TU.
     std::vector<uint64_t> tier2CodeSizes;
+    // Tier-3 (cold-path events are counted unconditionally — they are
+    // rare, and benches read them through telemetry() without needing
+    // the obs registry; only the flush is profiling-gated).
+    uint64_t t3Compiles = 0;
+    uint64_t t3Superblocks = 0;
+    uint64_t t3OsrEntries = 0;
+    uint64_t t3DeoptMega = 0;
+    uint64_t t3DeoptShape = 0;
+    uint64_t t3DeoptSteps = 0;
+    uint64_t t3DeoptBug = 0;
+    /// Checked memory effects retired inside charged superblocks
+    /// (profiling-gated: this one lives on the hot dispatch path).
+    uint64_t t3FusedChecks = 0;
+    std::vector<uint64_t> tier3CodeSizes;
 };
 
 /**
@@ -131,14 +164,23 @@ class ManagedEngine : public Engine
     uint64_t executedSteps() const { return guard_.steps(); }
     /** Functions executed at tier 2 at least once in the last run. */
     unsigned tier2Functions() const { return tier2Count_; }
+    /** Functions translated to tier-3 in the last run. */
+    unsigned tier3Functions() const { return tier3Count_; }
     /** Call sites spliced into their caller by tier-2 inlining. */
     unsigned inlinedSites() const { return inlinedSites_; }
+    /** This run's profiler scratch (tier-3 event counters are always
+     *  populated; the rest only when obs metrics are enabled). */
+    const ManagedTelemetry &telemetry() const { return telem_; }
 
   private:
     friend class CompiledFunction;
     friend class Tier2Compiler;
+    friend class Tier3Code;
     friend std::unique_ptr<CompiledFunction>
     compileTier2(const Function &fn, ManagedEngine &engine);
+    friend std::unique_ptr<Tier3Code>
+    translateTier3(const Function &fn, CompiledFunction &t2,
+                   ManagedEngine &engine);
 
     struct Frame
     {
@@ -147,13 +189,120 @@ class ManagedEngine : public Engine
     };
 
     /// Shared arithmetic/comparison cores used by both tiers, so tier-2
-    /// cannot drift from interpreter semantics.
-    static int64_t evalIntBinOp(Opcode op, const MValue &l, const MValue &r,
-                                unsigned width);
-    static double evalFloatBinOp(Opcode op, const MValue &l, const MValue &r,
-                                 unsigned width);
-    static bool evalICmp(IntPred pred, const MValue &l, const MValue &r);
-    static bool evalFCmp(FloatPred pred, const MValue &l, const MValue &r);
+    /// cannot drift from interpreter semantics. Inline: these sit on the
+    /// per-instruction path of every tier; the throwing edges stay
+    /// out-of-line so the hot body carries no EH setup.
+    static int64_t
+    evalIntBinOp(Opcode op, const MValue &l, const MValue &r, unsigned width)
+    {
+        switch (op) {
+          case Opcode::add:
+            return static_cast<int64_t>(
+                static_cast<uint64_t>(l.i) + static_cast<uint64_t>(r.i));
+          case Opcode::sub:
+            return static_cast<int64_t>(
+                static_cast<uint64_t>(l.i) - static_cast<uint64_t>(r.i));
+          case Opcode::mul:
+            return static_cast<int64_t>(
+                static_cast<uint64_t>(l.i) * static_cast<uint64_t>(r.i));
+          case Opcode::sdiv:
+            if (r.i == 0)
+                raiseDivZero();
+            if (l.i == INT64_MIN && r.i == -1)
+                return INT64_MIN;
+            return l.i / r.i;
+          case Opcode::udiv:
+            if (r.zext() == 0)
+                raiseDivZero();
+            return static_cast<int64_t>(l.zext() / r.zext());
+          case Opcode::srem:
+            if (r.i == 0)
+                raiseDivZero();
+            if (l.i == INT64_MIN && r.i == -1)
+                return 0;
+            return l.i % r.i;
+          case Opcode::urem:
+            if (r.zext() == 0)
+                raiseDivZero();
+            return static_cast<int64_t>(l.zext() % r.zext());
+          case Opcode::and_: return l.i & r.i;
+          case Opcode::or_: return l.i | r.i;
+          case Opcode::xor_: return l.i ^ r.i;
+          case Opcode::shl:
+            return static_cast<int64_t>(l.zext() << (r.zext() & (width - 1)));
+          case Opcode::lshr:
+            return static_cast<int64_t>(l.zext() >> (r.zext() & (width - 1)));
+          case Opcode::ashr:
+            return l.i >> (r.zext() & (width - 1));
+          default:
+            return badIntBinOp();
+        }
+    }
+
+    static double
+    evalFloatBinOp(Opcode op, const MValue &l, const MValue &r,
+                   unsigned width)
+    {
+        if (width == 32) {
+            float lf = static_cast<float>(l.f);
+            float rf = static_cast<float>(r.f);
+            switch (op) {
+              case Opcode::fadd: return lf + rf;
+              case Opcode::fsub: return lf - rf;
+              case Opcode::fmul: return lf * rf;
+              case Opcode::fdiv: return lf / rf;
+              default: return std::fmod(lf, rf);
+            }
+        }
+        switch (op) {
+          case Opcode::fadd: return l.f + r.f;
+          case Opcode::fsub: return l.f - r.f;
+          case Opcode::fmul: return l.f * r.f;
+          case Opcode::fdiv: return l.f / r.f;
+          default: return std::fmod(l.f, r.f);
+        }
+    }
+
+    static bool
+    evalICmp(IntPred pred, const MValue &l, const MValue &r)
+    {
+        if (l.kind == MValue::Kind::addrV || r.kind == MValue::Kind::addrV)
+            return evalPtrCmp(pred, l, r);
+        switch (pred) {
+          case IntPred::eq: return l.i == r.i;
+          case IntPred::ne: return l.i != r.i;
+          case IntPred::slt: return l.i < r.i;
+          case IntPred::sle: return l.i <= r.i;
+          case IntPred::sgt: return l.i > r.i;
+          case IntPred::sge: return l.i >= r.i;
+          case IntPred::ult: return l.zext() < r.zext();
+          case IntPred::ule: return l.zext() <= r.zext();
+          case IntPred::ugt: return l.zext() > r.zext();
+          case IntPred::uge: return l.zext() >= r.zext();
+        }
+        return false;
+    }
+
+    static bool
+    evalFCmp(FloatPred pred, const MValue &l, const MValue &r)
+    {
+        if (std::isnan(l.f) || std::isnan(r.f))
+            return false;
+        switch (pred) {
+          case FloatPred::oeq: return l.f == r.f;
+          case FloatPred::one: return l.f != r.f;
+          case FloatPred::olt: return l.f < r.f;
+          case FloatPred::ole: return l.f <= r.f;
+          case FloatPred::ogt: return l.f > r.f;
+          case FloatPred::oge: return l.f >= r.f;
+        }
+        return false;
+    }
+
+    /// Cold edges of the inline eval cores.
+    [[noreturn]] static void raiseDivZero();
+    [[noreturn]] static int64_t badIntBinOp();
+    static bool evalPtrCmp(IntPred pred, const MValue &l, const MValue &r);
 
     // --- Interpreter core -------------------------------------------------
     MValue callFunction(const Function *fn, std::vector<MValue> args,
@@ -168,10 +317,157 @@ class ManagedEngine : public Engine
     /// Scalar access against an already-resolved (object, offset) pair —
     /// the tail of loadFrom/storeTo, shared with tier-2's resolution
     /// cache so the leaf checks are one piece of code in both paths.
-    MValue loadFromObject(ManagedObject *obj, int64_t offset,
-                          const Type *type);
-    void storeToObject(ManagedObject *obj, int64_t offset, const Type *type,
-                       const MValue &v);
+    /// Inline, with a devirtualizing kind dispatch: leaf reads/writes
+    /// are the single hottest operation of every tier, and the leaf
+    /// classes are final, so naming the concrete class lets the whole
+    /// check-and-copy body inline into the caller.
+    MValue
+    loadFromObject(ManagedObject *obj, int64_t offset, const Type *type)
+    {
+        AccessClass cls = accessClassOf(type);
+        unsigned size = static_cast<unsigned>(type->size());
+        uint64_t bits = 0;
+        Address out;
+        readObject(obj, cls, size, offset, bits, out);
+        switch (cls) {
+          case AccessClass::pointer:
+            return MValue::makeAddr(std::move(out));
+          case AccessClass::floating:
+            if (type->kind() == TypeKind::f32) {
+                float f = 0;
+                std::memcpy(&f, &bits, 4);
+                return MValue::makeFP(f, 32);
+            } else {
+                double d = 0;
+                std::memcpy(&d, &bits, 8);
+                return MValue::makeFP(d, 64);
+            }
+          case AccessClass::integer:
+            return MValue::makeInt(static_cast<int64_t>(bits),
+                                   type->intBits() == 1 ? 1
+                                                        : type->intBits());
+        }
+        return badAccessClass();
+    }
+
+    void
+    storeToObject(ManagedObject *obj, int64_t offset, const Type *type,
+                  const MValue &v)
+    {
+        AccessClass cls = accessClassOf(type);
+        unsigned size = static_cast<unsigned>(type->size());
+        switch (cls) {
+          case AccessClass::pointer:
+            writeObject(obj, cls, 8, offset, 0, v.a);
+            return;
+          case AccessClass::floating: {
+            uint64_t bits = 0;
+            if (type->kind() == TypeKind::f32) {
+                float f = static_cast<float>(v.f);
+                std::memcpy(&bits, &f, 4);
+            } else {
+                std::memcpy(&bits, &v.f, 8);
+            }
+            writeObject(obj, cls, size, offset, bits, Address{});
+            return;
+          }
+          case AccessClass::integer:
+            writeObject(obj, cls, size, offset,
+                        static_cast<uint64_t>(v.i), Address{});
+            return;
+        }
+    }
+
+    static AccessClass
+    accessClassOf(const Type *type)
+    {
+        if (type->isPointer())
+            return AccessClass::pointer;
+        if (type->isFloat())
+            return AccessClass::floating;
+        return AccessClass::integer;
+    }
+
+    /// Dispatch a leaf read by object kind so final leaf classes
+    /// devirtualize; aggregates keep the virtual byte-wise walk.
+    static void
+    readObject(ManagedObject *obj, AccessClass cls, unsigned size,
+               int64_t offset, uint64_t &bits, Address &out)
+    {
+        if (!obj->exactKind()) {
+            obj->read(cls, size, offset, bits, out);
+            return;
+        }
+        switch (obj->kind()) {
+          case ObjectKind::i8Array:
+            static_cast<I8Array *>(obj)->read(cls, size, offset, bits, out);
+            return;
+          case ObjectKind::i16Array:
+            static_cast<I16Array *>(obj)->read(cls, size, offset, bits,
+                                               out);
+            return;
+          case ObjectKind::i32Array:
+            static_cast<I32Array *>(obj)->read(cls, size, offset, bits,
+                                               out);
+            return;
+          case ObjectKind::i64Array:
+            static_cast<I64Array *>(obj)->read(cls, size, offset, bits,
+                                               out);
+            return;
+          case ObjectKind::f32Array:
+            static_cast<F32Array *>(obj)->read(cls, size, offset, bits,
+                                               out);
+            return;
+          case ObjectKind::f64Array:
+            static_cast<F64Array *>(obj)->read(cls, size, offset, bits,
+                                               out);
+            return;
+          default:
+            obj->read(cls, size, offset, bits, out);
+            return;
+        }
+    }
+
+    static void
+    writeObject(ManagedObject *obj, AccessClass cls, unsigned size,
+                int64_t offset, uint64_t bits, const Address &addr)
+    {
+        if (!obj->exactKind()) {
+            obj->write(cls, size, offset, bits, addr);
+            return;
+        }
+        switch (obj->kind()) {
+          case ObjectKind::i8Array:
+            static_cast<I8Array *>(obj)->write(cls, size, offset, bits,
+                                               addr);
+            return;
+          case ObjectKind::i16Array:
+            static_cast<I16Array *>(obj)->write(cls, size, offset, bits,
+                                                addr);
+            return;
+          case ObjectKind::i32Array:
+            static_cast<I32Array *>(obj)->write(cls, size, offset, bits,
+                                                addr);
+            return;
+          case ObjectKind::i64Array:
+            static_cast<I64Array *>(obj)->write(cls, size, offset, bits,
+                                                addr);
+            return;
+          case ObjectKind::f32Array:
+            static_cast<F32Array *>(obj)->write(cls, size, offset, bits,
+                                                addr);
+            return;
+          case ObjectKind::f64Array:
+            static_cast<F64Array *>(obj)->write(cls, size, offset, bits,
+                                                addr);
+            return;
+          default:
+            obj->write(cls, size, offset, bits, addr);
+            return;
+        }
+    }
+
+    [[noreturn]] static MValue badAccessClass();
     MValue execCall(const Instruction &inst, Frame &frame);
     MValue callIntrinsic(const Function *fn, const Instruction *site,
                          std::vector<MValue> &args);
@@ -183,6 +479,31 @@ class ManagedEngine : public Engine
      *  depth accounting and bug attribution as callFunction. */
     MValue callCompiled(const Function *fn, CompiledFunction *code,
                         std::vector<MValue> args);
+    /** Tier-3's call fast path: invoke @p code on a frame the caller
+     *  already sized and filled (via acquireFrame), skipping the
+     *  intermediate argument vector callCompiled needs. Same depth
+     *  accounting, tier-up check, and bug attribution. */
+    MValue callCompiledFrame(const Function *fn, CompiledFunction *code,
+                             Frame &frame);
+    /** Pop a cleared frame off the pool (fresh value-initialized slots
+     *  after resize; the backing allocation is reused across calls). */
+    Frame acquireFrame();
+    /** Clear @p frame and return it to the pool. Skipped on unwind —
+     *  the frame just destructs and the pool refills on later calls. */
+    void releaseFrame(Frame &&frame);
+    /** Fetch (or translate) tier-3 code for a tier-2 body; null when
+     *  tier-3 is off, the function is barred, or the body is empty. */
+    Tier3Code *tier3CodeFor(const Function *fn, CompiledFunction *code);
+    /** Tier-up check on the call path: counts a tier-2 activation and
+     *  translates once the threshold is crossed. */
+    Tier3Code *maybeTier3(const Function *fn, CompiledFunction *code);
+    /** Tier-3 OSR request from a hot tier-2 back-edge. */
+    Tier3Code *tier3ForOsr(const Function *fn, CompiledFunction *code);
+    /** Invalidate a function's tier-3 code after a deopt (megamorphic
+     *  IC / polymorphic shapes). The code object moves to a graveyard —
+     *  recursive activations still executing it stay valid — and two
+     *  strikes bar the function from retranslation. */
+    void retireTier3(CompiledFunction &code);
     /// Saturating float->int conversions shared by both tiers.
     static int64_t satFptosi(double v);
     static uint64_t satFptoui(double v);
@@ -199,8 +520,10 @@ class ManagedEngine : public Engine
     {
         uint64_t tier1Steps = 0;
         uint64_t tier2Steps = 0;
+        uint64_t tier3Steps = 0;
         uint64_t tier1Calls = 0;
         uint64_t tier2Calls = 0;
+        uint64_t tier3Calls = 0;
     };
     FnProfile *profileFor(const Function *fn);
     /// Push this run's telemetry into the global obs registry. Defined
@@ -247,6 +570,17 @@ class ManagedEngine : public Engine
     std::vector<CompileEvent> compileEvents_;
     unsigned tier2Count_ = 0;
     unsigned inlinedSites_ = 0;
+    /// Tier-3 state. Live code is owned by its CompiledFunction; retired
+    /// code parks here until the next full reset so activations that
+    /// deopted out of it can finish unwinding safely.
+    unsigned tier3Count_ = 0;
+    std::vector<std::unique_ptr<Tier3Code>> tier3Retired_;
+    /// Recycled call frames for tier-3's call handlers: tiny-call
+    /// workloads otherwise spend more time in the per-call slot-vector
+    /// malloc/free than in the callee. Frames are cleared on release,
+    /// so acquire + resize hands out value-initialized slots — the
+    /// exact state a fresh frame would have.
+    std::vector<Frame> framePool_;
     /// Resolution-cache epoch: bumped at call boundaries, the only
     /// place object structure can change (free/realloc are calls).
     /// Stores and branches never invalidate — aggregate layout is

@@ -1,0 +1,29 @@
+#include "interp/threaded.h"
+
+namespace sulong
+{
+
+const char *
+topName(TOp op)
+{
+    switch (op) {
+#define MS_T3_NAME(name)                                                \
+      case TOp::name:                                                   \
+        return #name;
+        MS_T3_OPS(MS_T3_NAME)
+#undef MS_T3_NAME
+    }
+    return "?";
+}
+
+bool
+threadedDispatchEnabled()
+{
+#ifdef MS_THREADED_DISPATCH
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace sulong

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dispatch vocabulary for the tier-3 direct-threaded interpreter.
+ *
+ * Tier-3 re-labels the tier-2 PInst stream with a flat opcode (TOp)
+ * whose values are dense array indices, so the executor can dispatch
+ * either through a computed-goto label table (GCC/Clang `&&label`
+ * extension, probed by CMake into MS_THREADED_DISPATCH) or through a
+ * portable switch that compiles on any C++20 toolchain. The X-macro
+ * below is the single source of truth: the enum, the label table, the
+ * switch, and topName() are all generated from it, so the two dispatch
+ * modes can never drift apart.
+ *
+ * Each TOp already folds in the tier-2 superinstruction flags
+ * (kPFuseLoad/kPFuseStore/kPFuseCmpBr): the executor never re-tests
+ * PInst::flags on the hot path. Ops with no specialized handler (plain
+ * `call`, ptrtoint/inttoptr, megamorphic indirect-call sites) funnel
+ * into tInterp, which defers to the tier-1 instruction evaluator —
+ * exactly what tier-2's default case does.
+ */
+
+#ifndef MS_INTERP_THREADED_H
+#define MS_INTERP_THREADED_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sulong
+{
+
+/**
+ * One entry per tier-3 handler. Order is the dispatch-table order;
+ * keep branches/returns first (hottest) and the interpreter escape
+ * hatch last.
+ */
+#define MS_T3_OPS(X)                                                    \
+    X(tBr)          /* unconditional jump */                            \
+    X(tCondBr)      /* conditional jump on an i1 slot */                \
+    X(tRet)         /* return a value */                                \
+    X(tRetVoid)     /* return void */                                   \
+    X(tICmp)        /* integer compare */                               \
+    X(tICmpBr)      /* fused compare + branch */                        \
+    X(tICmpLoad)    /* fused load + compare */                          \
+    X(tICmpLoadBr)  /* fused load + compare + branch */                 \
+    X(tIArith)      /* integer arithmetic */                            \
+    X(tIArithL)     /* fused load + arith */                            \
+    X(tIArithS)     /* arith + fused store */                           \
+    X(tIArithLS)    /* fused load + arith + fused store */              \
+    X(tFArith)      /* float arithmetic */                              \
+    X(tFArithL)     /* fused load + float arith */                      \
+    X(tFArithS)     /* float arith + fused store */                     \
+    X(tFArithLS)    /* fused load + float arith + fused store */        \
+    X(tFCmp)        /* float compare */                                 \
+    X(tGep)         /* address arithmetic */                            \
+    X(tLoad)        /* checked load (bounds/liveness/type/init) */      \
+    X(tStore)       /* checked store */                                 \
+    X(tAlloca)      /* stack allocation */                              \
+    X(tSelect)      /* ternary select */                                \
+    X(tFneg)        /* float negate */                                  \
+    X(tTruncSext)   /* trunc / sext (shared makeInt path) */            \
+    X(tZext)        /* zext */                                          \
+    X(tCastOther)   /* fp<->int and fp resize casts */                  \
+    X(tMove)        /* inline-splice slot move */                       \
+    X(tInlineRet)   /* inline-splice return (move + jump) */            \
+    X(tCallDirect)  /* direct call through a CallSite */                \
+    X(tCallIndirect)/* monomorphic-IC indirect call */                  \
+    X(tInterp)      /* tier-1 evaluator escape hatch */                 \
+    X(tUnreachable) /* 'unreachable' trap */
+
+/// Flat tier-3 opcode; values are dense dispatch-table indices.
+enum class TOp : uint8_t
+{
+#define MS_T3_ENUM(name) name,
+    MS_T3_OPS(MS_T3_ENUM)
+#undef MS_T3_ENUM
+};
+
+/// Number of tier-3 handlers (size of the dispatch table).
+inline constexpr size_t kNumTOps = []() {
+    size_t n = 0;
+#define MS_T3_COUNT(name) n++;
+    MS_T3_OPS(MS_T3_COUNT)
+#undef MS_T3_COUNT
+    return n;
+}();
+
+/// Handler name for telemetry/debugging ("tICmpBr", ...).
+const char *topName(TOp op);
+
+/// True when this build dispatches through computed-goto labels; false
+/// when it uses the portable switch fallback. Purely informational —
+/// both modes execute identical semantics.
+bool threadedDispatchEnabled();
+
+} // namespace sulong
+
+#endif // MS_INTERP_THREADED_H

@@ -18,6 +18,8 @@
 
 #include <algorithm>
 
+#include "interp/tier3.h"
+
 namespace sulong
 {
 
@@ -44,51 +46,6 @@ canonical(const Value *v,
         it = aliases.find(v);
     }
     return v;
-}
-
-/** Walk an aggregate down to the leaf sub-object containing the access,
- *  running exactly the checks the uncached path runs (each resolveStep
- *  is the object's own checked resolve). @return nullptr when the
- *  access spans sub-objects (handled byte-wise, not cacheable). */
-ManagedObject *
-resolveLeaf(ManagedObject *obj, int64_t offset, unsigned size,
-            bool is_write, int64_t &leaf_offset)
-{
-    ManagedObject *cur = obj;
-    int64_t off = offset;
-    for (;;) {
-        int64_t inner = 0;
-        ManagedObject *next = cur->resolveStep(off, size, is_write, inner);
-        if (next == nullptr)
-            return nullptr;
-        if (next == cur) {
-            leaf_offset = off;
-            return cur;
-        }
-        cur = next;
-        off = inner;
-    }
-}
-
-/** Remember which field of which struct type a successful access went
- *  through (called only after the full checked access succeeded). */
-void
-fillAccessCache(AccessCache &cache, const StructObject *sobj,
-                int64_t offset, uint32_t size)
-{
-    const Type *st = sobj->type();
-    int idx = st->fieldAt(static_cast<uint64_t>(offset));
-    if (idx < 0)
-        return; // padding: never cached (the full path reports it)
-    const StructField &f = st->fields()[static_cast<size_t>(idx)];
-    int64_t field_off = static_cast<int64_t>(f.offset);
-    int64_t field_size = static_cast<int64_t>(f.type->size());
-    if (offset - field_off + static_cast<int64_t>(size) > field_size)
-        return; // spans beyond the field: byte-wise path, not cacheable
-    cache.structType = st;
-    cache.fieldIndex = static_cast<uint32_t>(idx);
-    cache.fieldOffset = field_off;
-    cache.fieldSize = field_size;
 }
 
 /** Int/float binops whose result a following store may consume. */
@@ -661,10 +618,59 @@ compileTier2(const Function &fn, ManagedEngine &engine)
     return Tier2Compiler(fn, engine).compile();
 }
 
+// Out of line: Tier3Code is incomplete in tier2.h (tier3Owner_).
+CompiledFunction::CompiledFunction(const Function *fn) : fn_(fn) {}
+CompiledFunction::~CompiledFunction() = default;
+
+/** Walk an aggregate down to the leaf sub-object containing the access,
+ *  running exactly the checks the uncached path runs (each resolveStep
+ *  is the object's own checked resolve). @return nullptr when the
+ *  access spans sub-objects (handled byte-wise, not cacheable). */
+ManagedObject *
+CompiledFunction::resolveLeaf(ManagedObject *obj, int64_t offset, unsigned size,
+            bool is_write, int64_t &leaf_offset)
+{
+    ManagedObject *cur = obj;
+    int64_t off = offset;
+    for (;;) {
+        int64_t inner = 0;
+        ManagedObject *next = cur->resolveStep(off, size, is_write, inner);
+        if (next == nullptr)
+            return nullptr;
+        if (next == cur) {
+            leaf_offset = off;
+            return cur;
+        }
+        cur = next;
+        off = inner;
+    }
+}
+
+/** Remember which field of which struct type a successful access went
+ *  through (called only after the full checked access succeeded). */
+void
+CompiledFunction::fillAccessCache(AccessCache &cache, const StructObject *sobj,
+                int64_t offset, uint32_t size)
+{
+    const Type *st = sobj->type();
+    int idx = st->fieldAt(static_cast<uint64_t>(offset));
+    if (idx < 0)
+        return; // padding: never cached (the full path reports it)
+    const StructField &f = st->fields()[static_cast<size_t>(idx)];
+    int64_t field_off = static_cast<int64_t>(f.offset);
+    int64_t field_size = static_cast<int64_t>(f.type->size());
+    if (offset - field_off + static_cast<int64_t>(size) > field_size)
+        return; // spans beyond the field: byte-wise path, not cacheable
+    cache.structType = st;
+    cache.fieldIndex = static_cast<uint32_t>(idx);
+    cache.fieldOffset = field_off;
+    cache.fieldSize = field_size;
+}
+
 MValue
 CompiledFunction::loadAt(ManagedEngine &engine, const Address &addr,
                          const Instruction *src, int32_t ic,
-                         SlotResolution *sr)
+                         SlotResolution *sr, uint16_t *shape_miss)
 {
     if (addr.isNull())
         engine.raiseNullDeref(false, src->loc());
@@ -697,12 +703,16 @@ CompiledFunction::loadAt(ManagedEngine &engine, const Address &addr,
                     static_cast<int64_t>(size) <= cache.fieldSize) {
             if (engine.profiling_)
                 engine.telem_.elideShapeHits++;
+            if (shape_miss != nullptr)
+                *shape_miss = 0;
             return engine.loadFromObject(sobj->field(cache.fieldIndex),
                                          addr.offset - cache.fieldOffset,
                                          type);
         }
         if (engine.profiling_)
             engine.telem_.elideShapeMisses++;
+        if (shape_miss != nullptr)
+            ++*shape_miss;
         MValue v = engine.loadFromObject(obj, addr.offset, type);
         fillAccessCache(cache, sobj, addr.offset, size);
         return v;
@@ -732,7 +742,8 @@ CompiledFunction::loadAt(ManagedEngine &engine, const Address &addr,
 void
 CompiledFunction::storeAt(ManagedEngine &engine, const Address &addr,
                           const Instruction *src, const MValue &v,
-                          int32_t ic, SlotResolution *sr)
+                          int32_t ic, SlotResolution *sr,
+                          uint16_t *shape_miss)
 {
     if (addr.isNull())
         engine.raiseNullDeref(true, src->loc());
@@ -757,12 +768,16 @@ CompiledFunction::storeAt(ManagedEngine &engine, const Address &addr,
                     static_cast<int64_t>(size) <= cache.fieldSize) {
             if (engine.profiling_)
                 engine.telem_.elideShapeHits++;
+            if (shape_miss != nullptr)
+                *shape_miss = 0;
             engine.storeToObject(sobj->field(cache.fieldIndex),
                                  addr.offset - cache.fieldOffset, type, v);
             return;
         }
         if (engine.profiling_)
             engine.telem_.elideShapeMisses++;
+        if (shape_miss != nullptr)
+            ++*shape_miss;
         engine.storeToObject(obj, addr.offset, type, v);
         fillAccessCache(cache, sobj, addr.offset, size);
         return;
@@ -790,9 +805,11 @@ CompiledFunction::storeAt(ManagedEngine &engine, const Address &addr,
     engine.storeToObject(obj, addr.offset, type, v);
 }
 
+
 MValue
 CompiledFunction::execute(ManagedEngine &engine,
-                          ManagedEngine::Frame &frame, size_t start_pc)
+                          ManagedEngine::Frame &frame, size_t start_pc,
+                          bool allow_osr3)
 {
     auto &slots = frame.slots;
     if (slots.size() < frameSize_)
@@ -818,6 +835,22 @@ CompiledFunction::execute(ManagedEngine &engine,
 
     ManagedEngine::FnProfile *prof =
         engine.profiling_ ? engine.profileFor(fn_) : nullptr;
+    // Tier-3 OSR: count loop back-edges (branch targets at or before
+    // the current pc) and tier up mid-activation once hot. Branch
+    // targets are superblock heads, so any back-edge target is a valid
+    // tier-3 entry with the live frame as-is. Off while resuming from a
+    // tier-3 deopt (allow_osr3 == false) so the tiers can't ping-pong.
+    bool osr3 = allow_osr3 && engine.options_.enableTier3 &&
+        engine.options_.tier3Osr;
+    uint64_t backedges3 = 0;
+    auto osrTarget = [&](size_t target, size_t cur) -> Tier3Code * {
+        if (!osr3 || target > cur ||
+            ++backedges3 < engine.options_.tier3OsrThreshold)
+            return nullptr;
+        Tier3Code *t3 = engine.tier3ForOsr(fn_, this);
+        osr3 = false; // one shot: entered, or translation unavailable
+        return t3;
+    };
     size_t pc = start_pc;
     try {
         while (true) {
@@ -826,13 +859,21 @@ CompiledFunction::execute(ManagedEngine &engine,
             if (prof != nullptr)
                 prof->tier2Steps++;
             switch (pi.op) {
-              case Opcode::br:
-                pc = static_cast<size_t>(pi.t0);
+              case Opcode::br: {
+                size_t target = static_cast<size_t>(pi.t0);
+                if (Tier3Code *t3 = osrTarget(target, pc))
+                    return t3->execute(engine, frame, target);
+                pc = target;
                 continue;
-              case Opcode::condbr:
-                pc = static_cast<size_t>(fetch(pi.a).i != 0 ? pi.t0
-                                                            : pi.t1);
+              }
+              case Opcode::condbr: {
+                size_t target = static_cast<size_t>(
+                    fetch(pi.a).i != 0 ? pi.t0 : pi.t1);
+                if (Tier3Code *t3 = osrTarget(target, pc))
+                    return t3->execute(engine, frame, target);
+                pc = target;
                 continue;
+              }
               case Opcode::ret:
                 if (pi.dest == -2)
                     return MValue{};
@@ -848,7 +889,11 @@ CompiledFunction::execute(ManagedEngine &engine,
                         MValue::makeInt(out ? 1 : 0, 1);
                 }
                 if ((pi.flags & kPFuseCmpBr) != 0) {
-                    pc = static_cast<size_t>(out ? pi.t0 : pi.t1);
+                    size_t target =
+                        static_cast<size_t>(out ? pi.t0 : pi.t1);
+                    if (Tier3Code *t3 = osrTarget(target, pc))
+                        return t3->execute(engine, frame, target);
+                    pc = target;
                     continue;
                 }
                 pc++;

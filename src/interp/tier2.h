@@ -131,22 +131,29 @@ struct InlineRange
     const Function *callee = nullptr;
 };
 
+class Tier3Code;
+
 /**
  * A tier-2 compiled function body.
  */
 class CompiledFunction
 {
   public:
-    explicit CompiledFunction(const Function *fn) : fn_(fn) {}
+    // Ctor/dtor out of line: Tier3Code is incomplete here (tier3Owner_).
+    explicit CompiledFunction(const Function *fn);
+    ~CompiledFunction();
 
     /**
      * Execute on the given frame (same semantics as the interpreter).
      * @param start_pc  pre-decoded index to begin at — block entries
      *                  only; used by on-stack replacement to enter
      *                  mid-function with the interpreter's live frame.
+     * @param allow_osr3  count loop back-edges and OSR into tier-3 when
+     *                  hot; off when tier-3 itself resumes here after a
+     *                  deopt (no ping-pong re-entry).
      */
     MValue execute(ManagedEngine &engine, ManagedEngine::Frame &frame,
-                   size_t start_pc = 0);
+                   size_t start_pc = 0, bool allow_osr3 = true);
 
     size_t codeSize() const { return code_.size(); }
 
@@ -168,12 +175,30 @@ class CompiledFunction
 
   private:
     friend class Tier2Compiler;
+    friend class Tier3Code;
+    friend class ManagedEngine;
+    friend std::unique_ptr<Tier3Code>
+    translateTier3(const Function &fn, CompiledFunction &t2,
+                   ManagedEngine &engine);
 
+    /**
+     * Checked load/store through the elision caches. @p shape_miss,
+     * when given, tracks the access site's consecutive shape-cache miss
+     * streak (reset on a hit) so tier-3 can deopt a site that went
+     * polymorphic; tier-2 itself never needs it.
+     */
     MValue loadAt(ManagedEngine &engine, const Address &addr,
-                  const Instruction *src, int32_t ic, SlotResolution *sr);
+                  const Instruction *src, int32_t ic, SlotResolution *sr,
+                  uint16_t *shape_miss = nullptr);
     void storeAt(ManagedEngine &engine, const Address &addr,
                  const Instruction *src, const MValue &v, int32_t ic,
-                 SlotResolution *sr);
+                 SlotResolution *sr, uint16_t *shape_miss = nullptr);
+    static ManagedObject *resolveLeaf(ManagedObject *obj, int64_t offset,
+                                      unsigned size, bool is_write,
+                                      int64_t &leaf_offset);
+    static void fillAccessCache(AccessCache &cache,
+                                const StructObject *sobj, int64_t offset,
+                                uint32_t size);
 
     const Function *fn_;
     std::vector<PInst> code_;
@@ -184,6 +209,16 @@ class CompiledFunction
     std::vector<AccessCache> accessCaches_;
     std::vector<SlotResolution> slotRes_;
     std::vector<InlineRange> inlineRanges_;
+
+    // --- tier-3 state (owned here so the hot lookup is one load) ---
+    /// Tier-2 activations since the last (re)translation; crossing
+    /// ManagedOptions::tier3Threshold triggers tier-3 translation.
+    uint32_t activations_ = 0;
+    /// Times tier-3 code for this function was invalidated; two strikes
+    /// bar the function from retranslation (megamorphism is sticky).
+    uint8_t tier3Fails_ = 0;
+    Tier3Code *tier3_ = nullptr; ///< hot pointer (null = not translated)
+    std::unique_ptr<Tier3Code> tier3Owner_;
 };
 
 /** Pre-decode @p fn (resolving globals through the engine's state). */

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tier-3 execution: direct-threaded superblock dispatch.
+ *
+ * Tier-3 takes a hot tier-2 body and re-labels it, 1:1 and in the same
+ * index space, as a flat TInst stream: each instruction carries a dense
+ * dispatch opcode (TOp, with the tier-2 superinstruction flags folded
+ * in) so the executor jumps handler-to-handler through a computed-goto
+ * label table (or a portable switch — see threaded.h) instead of
+ * re-decoding flags and switching on a sparse Opcode every step.
+ *
+ * On top of dispatch, straight-line runs of instructions are fused into
+ * *superblocks*: maximal single-entry sequences that end at any branch,
+ * return, call, or interpreter-escape op. The superblock head charges
+ * the whole run's step count against the ResourceGuard in one batched
+ * onSteps() call; every op in the run still executes individually with
+ * every bounds/liveness/type/init check — fusion batches *accounting*,
+ * never semantics. Exceptions and deopts mid-superblock return the
+ * not-yet-executed remainder with uncharge(), so executedSteps() is
+ * bit-identical to tier-1/tier-2 on every path.
+ *
+ * Because translation is 1:1, a tier-3 pc *is* a tier-2 pc: OSR enters
+ * at any branch target, and deopt resumes tier-2 at the very next
+ * instruction with the live frame — no state reconstruction beyond the
+ * slot array both tiers already share. Deopt reasons: the step budget
+ * edge (the guard refuses a batch that would cross the limit; tier-2
+ * then steps per-op so the limit trips on exactly the right
+ * instruction), an indirect call site going megamorphic, a struct-shape
+ * cache missing kShapeMissDeoptStreak times in a row, and any detected
+ * bug (reconciled, attributed, and rethrown so reports stay
+ * byte-identical across tiers).
+ */
+
+#ifndef MS_INTERP_TIER3_H
+#define MS_INTERP_TIER3_H
+
+#include "interp/threaded.h"
+#include "interp/tier2.h"
+
+namespace sulong
+{
+
+/** One tier-3 instruction: the tier-2 PInst plus its flat dispatch
+ *  opcode and, on superblock heads, the batched step charge. */
+struct TInst
+{
+    PInst pi;
+    TOp top = TOp::tInterp;
+    /// Superblock length in ops, charged at once on entry; 0 on
+    /// non-head instructions (already covered by their head's charge).
+    uint16_t charge = 0;
+    /// Checked memory effects (loads/stores/allocas, incl. fused) in
+    /// the superblock — telemetry for "fused checks retired".
+    uint16_t checks = 0;
+    /// Index into Tier3Code::allocaCache_ for recyclable alloca sites
+    /// (scalar and primitive-array locals); -1 when the site's type has
+    /// no reset support and must always allocate afresh.
+    int32_t allocaSite = -1;
+};
+
+/// Consecutive shape-cache misses at one access site before tier-3
+/// concludes the site went polymorphic and deopts to tier-2.
+constexpr uint16_t kShapeMissDeoptStreak = 64;
+
+/// Superblock length cap (charge/checks are uint16_t; also bounds the
+/// step-accounting granularity the guard sees in one batch).
+constexpr size_t kMaxSuperblockLen = 1024;
+
+/**
+ * Direct-threaded code for one hot function. Shares the tier-2 body's
+ * call sites, inline caches, and elision caches (the PInst operands
+ * index into them), so IC/cache state stays coherent across deopts.
+ */
+class Tier3Code
+{
+  public:
+    Tier3Code(const Function *fn, CompiledFunction *t2)
+        : fn_(fn), t2_(t2)
+    {}
+
+    /**
+     * Execute on the given frame. @p start_pc must be a superblock head
+     * (function entry, any branch target, or any block entry — which
+     * covers every OSR entry point).
+     */
+    MValue execute(ManagedEngine &engine, ManagedEngine::Frame &frame,
+                   size_t start_pc = 0);
+
+    size_t codeSize() const { return code_.size(); }
+    unsigned superblocks() const { return superblocks_; }
+
+  private:
+    friend std::unique_ptr<Tier3Code>
+    translateTier3(const Function &fn, CompiledFunction &t2,
+                   ManagedEngine &engine);
+
+    const Function *fn_;
+    CompiledFunction *t2_;
+    std::vector<TInst> code_;
+    /// Per access site: consecutive shape-cache misses (tier-3's own —
+    /// tier-2 re-fills shape caches without deopting, so streaks are a
+    /// tier-3-only concern). Indexed like CompiledFunction's caches.
+    std::vector<uint16_t> shapeMiss_;
+    /// Per recyclable alloca site: the object most recently handed out.
+    /// When its refcount drops back to 1 (only this cache holds it), the
+    /// local provably died without escaping and the next execution of
+    /// the site resets and reuses it instead of allocating.
+    std::vector<ObjRef> allocaCache_;
+    unsigned superblocks_ = 0;
+};
+
+/**
+ * Translate a tier-2 body into tier-3 threaded code. Superblock fusion
+ * honors ManagedOptions::enableFusion (off = every op is its own
+ * superblock, isolating the dispatch win from batched accounting).
+ * Returns null only for an empty body.
+ */
+std::unique_ptr<Tier3Code> translateTier3(const Function &fn,
+                                          CompiledFunction &t2,
+                                          ManagedEngine &engine);
+
+} // namespace sulong
+
+#endif // MS_INTERP_TIER3_H

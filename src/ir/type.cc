@@ -8,17 +8,9 @@ namespace sulong
 {
 
 unsigned
-Type::intBits() const
+Type::intBitsBad() const
 {
-    switch (kind_) {
-      case TypeKind::i1: return 1;
-      case TypeKind::i8: return 8;
-      case TypeKind::i16: return 16;
-      case TypeKind::i32: return 32;
-      case TypeKind::i64: return 64;
-      default:
-        throw InternalError("intBits() on non-integer type");
-    }
+    throw InternalError("intBits() on non-integer type");
 }
 
 int

@@ -83,8 +83,20 @@ class Type
     /// A type a single load/store can move: int, float, or pointer.
     bool isScalar() const { return isInteger() || isFloat() || isPointer(); }
 
-    /** Bit width for integer types (i1 -> 1, ..., i64 -> 64). */
-    unsigned intBits() const;
+    /** Bit width for integer types (i1 -> 1, ..., i64 -> 64). Inline:
+     *  this sits on the per-access path of the managed engine. */
+    unsigned
+    intBits() const
+    {
+        switch (kind_) {
+          case TypeKind::i1: return 1;
+          case TypeKind::i8: return 8;
+          case TypeKind::i16: return 16;
+          case TypeKind::i32: return 32;
+          case TypeKind::i64: return 64;
+          default: return intBitsBad();
+        }
+    }
 
     /** Size in bytes (structs/arrays include padding; void/function: 0). */
     uint64_t size() const { return size_; }
@@ -114,6 +126,9 @@ class Type
   private:
     friend class TypeContext;
     Type() = default;
+
+    /// Cold half of intBits(): the throw on a non-integer type.
+    [[noreturn]] unsigned intBitsBad() const;
 
     TypeKind kind_ = TypeKind::voidTy;
     uint64_t size_ = 0;

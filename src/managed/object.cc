@@ -5,38 +5,6 @@
 namespace sulong
 {
 
-namespace
-{
-// Per-thread so that concurrent engine runs (one batch-runner job per
-// worker thread) cannot leak their check configuration into each other.
-thread_local bool g_strict_type_rules = false;
-thread_local bool g_uninit_tracking = false;
-} // namespace
-
-bool
-uninitTracking()
-{
-    return g_uninit_tracking;
-}
-
-void
-setUninitTracking(bool enabled)
-{
-    g_uninit_tracking = enabled;
-}
-
-bool
-strictTypeRules()
-{
-    return g_strict_type_rules;
-}
-
-void
-setStrictTypeRules(bool strict)
-{
-    g_strict_type_rules = strict;
-}
-
 void
 ManagedObject::free()
 {
@@ -82,14 +50,6 @@ ManagedObject::raiseTypeError(const std::string &what) const
     report.storage = storage_;
     report.detail = what;
     throw MemoryErrorException(std::move(report));
-}
-
-void
-ManagedObject::checkBounds(int64_t offset, unsigned size,
-                           bool is_write) const
-{
-    if (offset < 0 || offset + static_cast<int64_t>(size) > byteSize())
-        raiseBounds(AccessClass::integer, offset, size, is_write);
 }
 
 // -----------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #ifndef MS_MANAGED_OBJECT_H
 #define MS_MANAGED_OBJECT_H
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -120,8 +121,23 @@ enum class AccessClass : uint8_t
  * alignment), which breaks many real-world programs but models the
  * "strict type safety" end of the paper's trade-off discussion.
  */
-bool strictTypeRules();
-void setStrictTypeRules(bool strict);
+/// Implementation detail of strictTypeRules(): thread-local so that
+/// concurrent engine runs (one batch-runner job per worker thread)
+/// cannot leak their check configuration into each other. Inline here
+/// because the accessor sits on the per-access check path.
+inline thread_local bool g_strict_type_rules = false;
+
+inline bool
+strictTypeRules()
+{
+    return g_strict_type_rules;
+}
+
+inline void
+setStrictTypeRules(bool strict)
+{
+    g_strict_type_rules = strict;
+}
 
 /**
  * Opt-in exact uninitialized-read detection (the paper's Section 6 /
@@ -129,8 +145,20 @@ void setStrictTypeRules(bool strict);
  * initialization and report the first read of a never-written byte —
  * exactly, at the faulting load, unlike Memcheck's use-site heuristics.
  */
-bool uninitTracking();
-void setUninitTracking(bool enabled);
+/// See g_strict_type_rules for the storage rationale.
+inline thread_local bool g_uninit_tracking = false;
+
+inline bool
+uninitTracking()
+{
+    return g_uninit_tracking;
+}
+
+inline void
+setUninitTracking(bool enabled)
+{
+    g_uninit_tracking = enabled;
+}
 
 /** RAII guard for uninitialized-read tracking. */
 class UninitTrackingScope
@@ -230,6 +258,29 @@ class ManagedObject
     /** Human-readable type for error messages, e.g. "I32Array[10]". */
     virtual std::string describe() const = 0;
 
+    /** Number of live references (intrusive count). */
+    long refCount() const { return refs_; }
+
+    /**
+     * Restore the object to its just-allocated state so a tier-3 alloca
+     * site can recycle it instead of allocating afresh. Only legal when
+     * the caller holds the sole reference (refCount() == 1), so no live
+     * pointer can observe the recycled identity. Returns false when the
+     * object cannot be reset (freed, or a kind without support); the
+     * caller must then allocate normally. A reset object is
+     * indistinguishable from a fresh one: zeroed payload, uninit
+     * tracking rearmed, same checks on every later access.
+     */
+    virtual bool resetForReuse() { return false; }
+
+    /**
+     * True when kind() names this object's exact dynamic type. Wrapper
+     * objects (LazyHeapObject) masquerade under a leaf kind for cache
+     * purposes; they leave this false so devirtualizing dispatch falls
+     * back to the virtual call.
+     */
+    bool exactKind() const { return exactKind_; }
+
     // Intrusive refcount plumbing.
     void retain() { refs_++; }
     void
@@ -248,10 +299,18 @@ class ManagedObject
                                   unsigned size, bool is_write) const;
     [[noreturn]] void raiseUseAfterFree(bool is_write) const;
     [[noreturn]] void raiseTypeError(const std::string &what) const;
-    void checkBounds(int64_t offset, unsigned size, bool is_write) const;
+
+    /// Inline: one compare on the per-access path; the raise is cold.
+    void
+    checkBounds(int64_t offset, unsigned size, bool is_write) const
+    {
+        if (offset < 0 || offset + static_cast<int64_t>(size) > byteSize())
+            raiseBounds(AccessClass::integer, offset, size, is_write);
+    }
 
     ObjectKind kind_;
     StorageKind storage_;
+    bool exactKind_ = false;
     std::string name_;
     long refs_ = 0;
 };
@@ -310,12 +369,13 @@ ObjRef::~ObjRef()
  * into a primitive array.
  */
 template <typename T, ObjectKind K>
-class PrimitiveArray : public ManagedObject
+class PrimitiveArray final : public ManagedObject
 {
   public:
     PrimitiveArray(StorageKind storage, size_t count)
         : ManagedObject(K, storage), data_(count, T{})
     {
+        exactKind_ = true;
         // Only automatic and dynamic storage can be read before being
         // written; static storage is initialized by the loader.
         if (uninitTracking() &&
@@ -391,6 +451,17 @@ class PrimitiveArray : public ManagedObject
     }
 
     bool isFreed() const override { return freed_; }
+
+    bool
+    resetForReuse() override
+    {
+        if (freed_)
+            return false;
+        std::fill(data_.begin(), data_.end(), T{});
+        if (!inited_.empty())
+            inited_.assign(inited_.size(), false);
+        return true;
+    }
 
     void
     free() override
@@ -477,12 +548,14 @@ using F64Array = PrimitiveArray<double, ObjectKind::f64Array>;
  * Array of pointers. Only pointer-class accesses of pointer size are
  * legal; everything else violates even the relaxed type rules.
  */
-class AddressArray : public ManagedObject
+class AddressArray final : public ManagedObject
 {
   public:
     AddressArray(StorageKind storage, size_t count)
         : ManagedObject(ObjectKind::addressArray, storage), data_(count)
-    {}
+    {
+        exactKind_ = true;
+    }
 
     int64_t
     byteSize() const override
@@ -501,6 +574,17 @@ class AddressArray : public ManagedObject
     bool isFreed() const override { return freed_; }
     void free() override;
 
+    bool
+    resetForReuse() override
+    {
+        if (freed_)
+            return false;
+        // Dropping the held Addresses also releases their referents,
+        // exactly as destruction would.
+        std::fill(data_.begin(), data_.end(), Address{});
+        return true;
+    }
+
     std::string
     describe() const override
     {
@@ -518,7 +602,7 @@ class AddressArray : public ManagedObject
  * A struct instance: one sub-object per field, resolved by byte offset
  * against the IR struct layout (the paper's Truffle object-model map).
  */
-class StructObject : public ManagedObject
+class StructObject final : public ManagedObject
 {
   public:
     StructObject(StorageKind storage, const Type *type);
@@ -571,7 +655,7 @@ class StructObject : public ManagedObject
 /**
  * Array whose elements are aggregates (structs or nested arrays).
  */
-class AggregateArray : public ManagedObject
+class AggregateArray final : public ManagedObject
 {
   public:
     AggregateArray(StorageKind storage, const Type *array_type);
@@ -625,7 +709,7 @@ class AggregateArray : public ManagedObject
  * A function designator; function pointers are Addresses whose pointee is
  * a FunctionObject (paper: FunctionAddress with an id for inline caches).
  */
-class FunctionObject : public ManagedObject
+class FunctionObject final : public ManagedObject
 {
   public:
     explicit FunctionObject(unsigned fn_id)
@@ -661,7 +745,7 @@ class FunctionObject : public ManagedObject
  * argument array is exactly the paper's "access to a non-existent
  * variadic argument" error.
  */
-class VarargsObject : public ManagedObject
+class VarargsObject final : public ManagedObject
 {
   public:
     explicit VarargsObject(std::vector<Address> args)

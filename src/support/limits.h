@@ -118,6 +118,32 @@ class ResourceGuard
             checkInterrupts();
     }
 
+    /**
+     * Charge a batch of @p n instructions at once (tier-3 superblock
+     * heads). Returns false — charging *nothing* — when the batch would
+     * cross the step limit: the caller must fall back to per-step
+     * accounting (deopt to a per-op tier) so the limit trips at exactly
+     * the same instruction as tier-1/tier-2 would trip it. Polls
+     * interrupts when the batch crosses a 4096-step boundary, matching
+     * onStep's cadence.
+     */
+    bool
+    onSteps(uint64_t n)
+    {
+        uint64_t next = steps_ + n;
+        if (limits_.maxSteps != 0 && next > limits_.maxSteps)
+            return false;
+        bool poll = ((steps_ ^ next) >> 12) != 0;
+        steps_ = next;
+        if (poll)
+            checkInterrupts();
+        return true;
+    }
+
+    /// Return @p n not-yet-executed instructions from a batch charged
+    /// with onSteps (exception or deopt mid-superblock).
+    void uncharge(uint64_t n) { steps_ -= n; }
+
     /// Guest call entry/exit (the host interpreter recurses with it).
     void
     enterCall()

@@ -264,9 +264,75 @@ parseStringFlag(int argc, char **argv, const char *name,
     return fallback;
 }
 
+namespace
+{
+
+/**
+ * Strict parsing for the tier-tuning surface: a typo'd `--tier*` /
+ * `--no-tier*` flag used to be silently ignored (and so silently
+ * benchmarked the wrong configuration). Unknown spellings and value
+ * flags without a value are usage errors, in parity with how
+ * parseUint64Strict already rejects malformed values.
+ */
+void
+validateTierFlags(int argc, char **argv)
+{
+    static const char *const switches[] = {
+        "--no-tier2",
+        "--no-tier3",
+        "--no-tier3-osr",
+    };
+    static const char *const value_flags[] = {
+        "--tier2-threshold",
+        "--tier3-threshold",
+        "--tier3-osr-threshold",
+    };
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--tier", 6) != 0 &&
+            std::strncmp(arg, "--no-tier", 9) != 0)
+            continue;
+        bool known = false;
+        for (const char *flag : switches) {
+            if (std::strcmp(arg, flag) == 0) {
+                known = true;
+                break;
+            }
+        }
+        for (const char *flag : value_flags) {
+            if (known)
+                break;
+            size_t len = std::strlen(flag);
+            if (std::strcmp(arg, flag) == 0) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "error: %s requires a value\n",
+                                 flag);
+                    std::exit(2);
+                }
+                known = true;
+                i++; // the next argument is this flag's value
+            } else if (std::strncmp(arg, flag, len) == 0 &&
+                       arg[len] == '=') {
+                known = true;
+            }
+        }
+        if (!known) {
+            std::fprintf(stderr,
+                         "error: unknown flag '%s' (known tier flags: "
+                         "--no-tier2, --tier2-threshold, --no-tier3, "
+                         "--tier3-threshold, --no-tier3-osr, "
+                         "--tier3-osr-threshold)\n", arg);
+            std::exit(2);
+        }
+    }
+}
+
+} // namespace
+
 ManagedOptions
 parseManagedFlags(int argc, char **argv, ManagedOptions base)
 {
+    validateTierFlags(argc, argv);
     if (hasFlag(argc, argv, "no-tier2"))
         base.enableTier2 = false;
     base.compileThreshold = static_cast<unsigned>(parseUint64Flag(
@@ -280,6 +346,16 @@ parseManagedFlags(int argc, char **argv, ManagedOptions base)
         static_cast<uint64_t>(static_cast<int64_t>(base.inlineSiteMin))));
     if (hasFlag(argc, argv, "no-check-elision"))
         base.enableCheckElision = false;
+    if (hasFlag(argc, argv, "no-tier3"))
+        base.enableTier3 = false;
+    base.tier3Threshold = static_cast<unsigned>(parseUint64Flag(
+        argc, argv, "tier3-threshold", base.tier3Threshold));
+    if (hasFlag(argc, argv, "no-fusion"))
+        base.enableFusion = false;
+    if (hasFlag(argc, argv, "no-tier3-osr"))
+        base.tier3Osr = false;
+    base.tier3OsrThreshold = static_cast<unsigned>(parseUint64Flag(
+        argc, argv, "tier3-osr-threshold", base.tier3OsrThreshold));
     return base;
 }
 

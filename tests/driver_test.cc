@@ -65,6 +65,53 @@ TEST(DriverTest, PreparedProgramIsReusable)
     EXPECT_EQ(prepared.run({"a", "b"}).exitCode, 3);
 }
 
+/** Call parseManagedFlags on a synthetic command line. */
+ManagedOptions
+parseFlags(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    std::string prog = "msulong";
+    argv.push_back(prog.data());
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    return parseManagedFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(DriverTest, TierFlagsParse)
+{
+    ManagedOptions opts = parseFlags(
+        {"--tier2-threshold", "9", "--no-fusion", "--tier3-threshold=7",
+         "--no-tier3-osr", "--tier3-osr-threshold=123"});
+    EXPECT_EQ(opts.compileThreshold, 9u);
+    EXPECT_FALSE(opts.enableFusion);
+    EXPECT_EQ(opts.tier3Threshold, 7u);
+    EXPECT_FALSE(opts.tier3Osr);
+    EXPECT_EQ(opts.tier3OsrThreshold, 123u);
+    EXPECT_TRUE(opts.enableTier3);
+    EXPECT_FALSE(parseFlags({"--no-tier3"}).enableTier3);
+    EXPECT_FALSE(parseFlags({"--no-tier2"}).enableTier2);
+}
+
+TEST(DriverTest, MisspelledTierFlagIsUsageError)
+{
+    // A typo'd tier flag used to be silently ignored — and silently
+    // benchmarked the wrong configuration. Now it is a usage error.
+    EXPECT_EXIT(parseFlags({"--tier3-treshold", "7"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    EXPECT_EXIT(parseFlags({"--no-tier4"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    EXPECT_EXIT(parseFlags({"--tier3_threshold=7"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(DriverTest, TierValueFlagWithoutValueIsUsageError)
+{
+    EXPECT_EXIT(parseFlags({"--tier3-threshold"}),
+                ::testing::ExitedWithCode(2), "requires a value");
+    EXPECT_EXIT(parseFlags({"--tier2-threshold"}),
+                ::testing::ExitedWithCode(2), "requires a value");
+}
+
 TEST(BenchmarkProgramsTest, RegistryComplete)
 {
     const auto &programs = benchmarkPrograms();
