@@ -17,10 +17,15 @@ Subcommands:
                      code, and the geomean same-process speedup meets the
                      threshold.
   analysis FILE [--min-recall X] [--min-definite-recall Y]
+                [--require-scaling] [--max-scaling-blowup X]
+                [--fewer-maybes-than OTHER]
                      validate a BENCH_analysis.json/v1 cross-validation
                      report and fail on any false `definite` static
                      finding (the analyzer's soundness contract) or on
-                     recall below the floors.
+                     recall below the floors; optionally check the
+                     program-size scaling curve for superlinear blowup
+                     and compare maybe-finding counts against an
+                     ablation run.
   obs METRICS [--trace FILE] [--require NAME...]
                      validate an obs/v1 metrics document (and optionally
                      a Chrome trace-event file) emitted by --metrics-json
@@ -243,7 +248,72 @@ def load_analysis(path):
         fail(f"{path}: corpus_size is 0 — nothing was cross-validated")
     if not isinstance(doc.get("refuted"), bool):
         fail(f"{path}: refuted must be a bool")
+    # Interprocedural fields (absent in pre-interprocedural reports).
+    for key in ("summaries", "solver"):
+        if key in doc and not isinstance(doc[key], bool):
+            fail(f"{path}: {key} must be a bool")
+    for key in ("solver_refutations", "summaries_applied",
+                "interproc_definite", "interproc_maybe",
+                "interproc_refuted", "cache_hits", "cache_misses"):
+        if key in doc:
+            v = doc[key]
+            if not isinstance(v, int) or v < 0:
+                fail(f"{path}: {key} must be a non-negative int, got {v!r}")
+    if "scaling" in doc:
+        scaling = doc["scaling"]
+        if not isinstance(scaling, list):
+            fail(f"{path}: scaling must be a list")
+        for i, p in enumerate(scaling):
+            where = f"{path}: scaling[{i}]"
+            if not isinstance(p, dict):
+                fail(f"{where}: not an object")
+            for key in ("n", "functions", "sccs"):
+                v = p.get(key)
+                if not isinstance(v, int) or v <= 0:
+                    fail(f"{where}: {key} must be a positive int, got {v!r}")
+            wall = p.get("wall_ms")
+            if not isinstance(wall, (int, float)) or wall < 0:
+                fail(f"{where}: wall_ms must be a non-negative number,"
+                     f" got {wall!r}")
     return doc
+
+
+def check_scaling(path, doc, max_blowup):
+    """The bench analyzes call chains of N helpers for growing N; the
+    analysis must stay roughly linear in program size. Wall clock on CI
+    is noisy at sub-millisecond scale, so the gate checks structure
+    strictly (monotone N, function counts tracking N, SCC condensation
+    actually happening) and per-function time only against a generous
+    blowup ceiling."""
+    scaling = doc.get("scaling")
+    if not scaling:
+        fail(f"{path}: scaling curve missing or empty — the bench did"
+             " not measure the program-size curve")
+    prev_n = 0
+    for p in scaling:
+        if p["n"] <= prev_n:
+            fail(f"{path}: scaling curve Ns are not strictly increasing")
+        prev_n = p["n"]
+        if p["functions"] < p["n"]:
+            fail(f"{path}: scaling point N={p['n']} analyzed only"
+                 f" {p['functions']} functions — the chain was not"
+                 " analyzed whole-program")
+        if p["sccs"] < p["functions"]:
+            fail(f"{path}: scaling point N={p['n']} has fewer SCCs"
+                 f" ({p['sccs']}) than functions ({p['functions']}) —"
+                 " a non-recursive chain must condense to singleton SCCs")
+    first, last = scaling[0], scaling[-1]
+    per_fn_first = max(first["wall_ms"], 1e-3) / first["functions"]
+    per_fn_last = max(last["wall_ms"], 1e-3) / last["functions"]
+    blowup = per_fn_last / per_fn_first
+    print(f"{path}: scaling N={first['n']}..{last['n']},"
+          f" per-function time blowup {blowup:.2f}x"
+          f" (ceiling {max_blowup}x)")
+    if blowup > max_blowup:
+        fail(f"{path}: per-function analysis time grew {blowup:.2f}x"
+             f" from N={first['n']} to N={last['n']} (ceiling"
+             f" {max_blowup}x) — superlinear blowup in the"
+             " interprocedural analysis")
 
 
 def cmd_analysis(args):
@@ -266,6 +336,18 @@ def cmd_analysis(args):
     if doc["definite_recall"] < args.min_definite_recall:
         fail(f"{args.file}: definite recall {doc['definite_recall']:.3f}"
              f" below floor {args.min_definite_recall}")
+    if args.require_scaling or "scaling" in doc:
+        check_scaling(args.file, doc, args.max_scaling_blowup)
+    if args.fewer_maybes_than:
+        other = load_analysis(args.fewer_maybes_than)
+        print(f"{args.file}: maybe findings {doc['maybe_findings']} vs"
+              f" {args.fewer_maybes_than}: {other['maybe_findings']}")
+        if doc["maybe_findings"] >= other["maybe_findings"]:
+            fail(f"{args.file}: {doc['maybe_findings']} maybe findings"
+                 f" is not strictly fewer than"
+                 f" {args.fewer_maybes_than}'s"
+                 f" {other['maybe_findings']} — the ablated arm should"
+                 " lose precision")
     return 0
 
 
@@ -599,6 +681,17 @@ def main():
     p_analysis.add_argument("--min-recall", type=float, default=0.95)
     p_analysis.add_argument("--min-definite-recall", type=float,
                             default=0.90)
+    p_analysis.add_argument("--require-scaling", action="store_true",
+                            help="fail if the report has no program-size"
+                                 " scaling curve")
+    p_analysis.add_argument("--max-scaling-blowup", type=float,
+                            default=25.0,
+                            help="ceiling on per-function analysis-time"
+                                 " growth across the scaling curve")
+    p_analysis.add_argument("--fewer-maybes-than", metavar="OTHER",
+                            help="fail unless this report has strictly"
+                                 " fewer maybe findings than OTHER"
+                                 " (ablation comparison)")
     p_analysis.set_defaults(func=cmd_analysis)
     p_obs = sub.add_parser("obs")
     p_obs.add_argument("metrics")

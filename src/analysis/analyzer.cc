@@ -13,22 +13,30 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <future>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
 
+#include "analysis/callgraph.h"
+#include "analysis/constraints.h"
 #include "analysis/lattice.h"
 #include "analysis/refuter.h"
+#include "analysis/summary.h"
 #include "ir/cfg.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/thread_pool.h"
 
 namespace sulong
 {
 
 namespace
 {
+
+using Ret = FunctionSummary::Ret;
 
 /// Top value of a load/parameter of static type @p type.
 AbstractValue
@@ -276,9 +284,22 @@ struct AccessOutcome
 class FunctionAnalyzer
 {
   public:
+    /**
+     * @p callgraph / @p summaries / @p summaryOut are the interprocedural
+     * hooks: when null (PR-4 mode, --no-summaries), calls to user
+     * functions havoc everything reachable. When set, completed callee
+     * summaries are applied at call sites, indirect calls are folded over
+     * the may-call set, and this function's own summary is recorded into
+     * @p summaryOut.
+     */
     FunctionAnalyzer(const Module &module, const Function &fn,
-                     const AnalysisOptions &options)
-        : module_(module), fn_(fn), options_(options), cfg_(fn)
+                     const AnalysisOptions &options,
+                     const CallGraph *callgraph = nullptr,
+                     const SummaryDb *summaries = nullptr,
+                     FunctionSummary *summaryOut = nullptr)
+        : module_(module), fn_(fn), options_(options),
+          callgraph_(callgraph), summaries_(summaries),
+          summaryOut_(summaryOut), cfg_(fn)
     {
         enumerateObjects();
     }
@@ -296,6 +317,11 @@ class FunctionAnalyzer
             total += v;
         return total;
     }
+
+    /// Call sites where a callee summary replaced the havoc fallback
+    /// (counted during the collect pass only, so the value is
+    /// deterministic).
+    unsigned summariesApplied() const { return summariesApplied_; }
 
   private:
     // --- Object enumeration ----------------------------------------------
@@ -339,9 +365,20 @@ class FunctionAnalyzer
     bool transferLibcSummary(const Instruction &inst, const Function &callee,
                              AbsState &st);
     void havocUnknownCall(const Instruction &inst, AbsState &st);
+    void havocReachableFrom(std::vector<unsigned> seeds, AbsState &st);
     void havocObject(unsigned obj, AbsState &st, bool escape);
     void freePointer(const Instruction &inst, const AbstractValue &ptr,
                      AbsState &st, bool viaRealloc);
+
+    // --- Interprocedural summaries ---------------------------------------
+
+    /// The summary entry for a pointer-parameter pseudo object, or null.
+    ParamEffect *paramEffectOf(unsigned obj);
+    /// Applies @p sum at call @p inst instead of havocking.
+    void applySummary(const Instruction &inst, const FunctionSummary &sum,
+                      AbsState &st, bool &stop);
+    /// Folds one `ret` site into summaryOut_ (collect pass only).
+    void recordReturn(const Instruction &inst, AbsState &st);
 
     // --- Branch refinement -----------------------------------------------
 
@@ -371,11 +408,17 @@ class FunctionAnalyzer
     const Module &module_;
     const Function &fn_;
     const AnalysisOptions &options_;
+    const CallGraph *callgraph_ = nullptr;
+    const SummaryDb *summaries_ = nullptr;
+    FunctionSummary *summaryOut_ = nullptr;
     Cfg cfg_;
 
     std::vector<ObjectInfo> objInfo_;
     std::map<const GlobalVariable *, unsigned> globalObj_;
     std::map<const Instruction *, unsigned> siteObj_;
+    /// Parameter index -> pseudo-object id (-1 when not a pointer param).
+    std::vector<int> paramObj_;
+    unsigned summariesApplied_ = 0;
 
     std::vector<std::optional<AbsState>> blockIn_;
     std::vector<unsigned> visits_;
@@ -427,19 +470,58 @@ FunctionAnalyzer::enumerateObjects()
                        !inst->operands().empty()) {
                 const auto *callee =
                     dynamic_cast<const Function *>(inst->operand(0));
-                if (callee == nullptr || !callee->isIntrinsic())
+                if (callee == nullptr)
                     continue;
-                const std::string &name = callee->name();
-                if (name != "malloc" && name != "calloc" && name != "realloc")
+                bool site = false;
+                if (callee->isIntrinsic()) {
+                    const std::string &name = callee->name();
+                    site = name == "malloc" || name == "calloc" ||
+                        name == "realloc";
+                } else if (summaries_ != nullptr &&
+                           !callee->isDeclaration()) {
+                    // A summarized callee that returns a fresh heap
+                    // allocation gets a site object of its own, exactly
+                    // like a direct malloc().
+                    const FunctionSummary &s = (*summaries_)[callee->id()];
+                    site = s.computed && !s.pessimistic &&
+                        s.ret == Ret::freshHeap;
+                }
+                if (!site)
                     continue;
                 unsigned id = static_cast<unsigned>(objInfo_.size());
                 siteObj_[inst.get()] = id;
                 ObjectInfo info;
                 info.storage = StorageKind::heap;
                 info.size = Interval::empty(); ///< joined at the site
-                info.name = name + "@" + bb->name();
+                info.name = callee->name() + "@" + bb->name();
                 objInfo_.push_back(std::move(info));
             }
+        }
+    }
+    // Pointer-parameter pseudo objects: when this function is being
+    // summarized, each pointer argument is modelled as pointing into an
+    // opaque caller-owned object of unknown size, so that stores through
+    // it can be tracked as ParamEffects. Findings against these objects
+    // are suppressed (silent): the access is judged at the call sites,
+    // where the real object is known.
+    paramObj_.assign(fn_.numArgs(), -1);
+    if (summaryOut_ != nullptr && fn_.name() != "main") {
+        for (const auto &arg : fn_.args()) {
+            if (!arg->type()->isPointer())
+                continue;
+            unsigned id = static_cast<unsigned>(objInfo_.size());
+            paramObj_[arg->index()] = static_cast<int>(id);
+            ObjectInfo info;
+            info.storage = StorageKind::unknown;
+            // Not top(): checkAccess computes size.hi - width, which
+            // would overflow INT64_MIN.
+            info.size = Interval::range(0, INT64_MAX);
+            info.name = arg->name().empty()
+                ? "arg" + std::to_string(arg->index())
+                : arg->name();
+            info.silent = true;
+            info.paramIndex = static_cast<int>(arg->index());
+            objInfo_.push_back(std::move(info));
         }
     }
     computeMultiInstance();
@@ -594,10 +676,26 @@ FunctionAnalyzer::entryState() const
         } else if (isMain && arg->index() == 1) {
             // argv itself is never null.
             v.canBeNull = false;
+        } else if (paramObj_[arg->index()] >= 0) {
+            // The pointer may be null, but when it is not, it refers to
+            // the parameter's pseudo object at its start.
+            v = AbstractValue::pointerTo(
+                static_cast<unsigned>(paramObj_[arg->index()]));
+            v.canBeNull = true;
         }
         st.slots[arg->index()] = v;
     }
     st.objects.resize(objInfo_.size());
+    for (int id : paramObj_) {
+        if (id < 0)
+            continue;
+        ObjState &obj = st.objects[static_cast<unsigned>(id)];
+        // Caller memory: initialized-but-unknown bytes, and externally
+        // aliased (the caller holds the address), so unknown calls
+        // clobber it.
+        obj.dflt = ContentsDefault::unknown;
+        obj.escaped = true;
+    }
     for (const auto &g : module_.globals()) {
         unsigned id = globalObj_.at(g.get());
         ObjState &obj = st.objects[id];
@@ -658,14 +756,28 @@ FunctionAnalyzer::setSlot(AbsState &st, const Instruction &inst,
 
 // --- Memory --------------------------------------------------------------
 
+ParamEffect *
+FunctionAnalyzer::paramEffectOf(unsigned obj)
+{
+    if (summaryOut_ == nullptr || objInfo_[obj].paramIndex < 0)
+        return nullptr;
+    size_t idx = static_cast<size_t>(objInfo_[obj].paramIndex);
+    if (summaryOut_->params.size() <= idx)
+        summaryOut_->params.resize(fn_.numArgs());
+    return &summaryOut_->params[idx];
+}
+
 void
 FunctionAnalyzer::markPointerEntriesEscaped(const MemEntry &entry,
                                             AbsState &st)
 {
     if (entry.val.kind != AbstractValue::Kind::pointer)
         return;
-    for (const PointerTarget &t : entry.val.targets)
+    for (const PointerTarget &t : entry.val.targets) {
         st.objects[t.obj].escaped = true;
+        if (ParamEffect *pe = paramEffectOf(t.obj))
+            pe->escapes = true;
+    }
 }
 
 void
@@ -697,6 +809,8 @@ FunctionAnalyzer::readTarget(const Instruction &inst, const PointerTarget &t,
     const ObjectInfo &info = objInfo_[t.obj];
     ObjState &obj = st.objects[t.obj];
     AccessKind access = AccessKind::read;
+    // Parameter pseudo objects: accesses are judged at call sites.
+    const bool silent = info.silent;
 
     std::string where = describeObject(t.obj);
     std::string pathCond = "offset " + t.offset.toString() + " of " + where;
@@ -704,20 +818,22 @@ FunctionAnalyzer::readTarget(const Instruction &inst, const PointerTarget &t,
     // Temporal first, like the dynamic engine.
     if (obj.live == ObjState::Liveness::freed) {
         bool definite = !info.multiInstance;
-        emitFinding(inst, ErrorKind::useAfterFree, access, info.storage,
-                    BoundsDirection::unknown, definite,
-                    std::to_string(width) + "-byte read of freed " + where,
-                    pathCond,
-                    t.offset.isSingleton()
-                        ? std::optional<int64_t>(t.offset.lo)
-                        : std::nullopt,
-                    info.size.isSingleton()
-                        ? std::optional<int64_t>(info.size.lo)
-                        : std::nullopt);
+        if (!silent)
+            emitFinding(inst, ErrorKind::useAfterFree, access, info.storage,
+                        BoundsDirection::unknown, definite,
+                        std::to_string(width) + "-byte read of freed " +
+                            where,
+                        pathCond,
+                        t.offset.isSingleton()
+                            ? std::optional<int64_t>(t.offset.lo)
+                            : std::nullopt,
+                        info.size.isSingleton()
+                            ? std::optional<int64_t>(info.size.lo)
+                            : std::nullopt);
         possibilityFaults = true;
         return AbstractValue::top();
     }
-    if (obj.live == ObjState::Liveness::maybeFreed) {
+    if (obj.live == ObjState::Liveness::maybeFreed && !silent) {
         emitFinding(inst, ErrorKind::useAfterFree, access, info.storage,
                     BoundsDirection::unknown, false,
                     std::to_string(width) + "-byte read of possibly freed " +
@@ -741,15 +857,16 @@ FunctionAnalyzer::readTarget(const Instruction &inst, const PointerTarget &t,
             dir = BoundsDirection::underflow;
         else if (over && !under)
             dir = BoundsDirection::overflow;
-        emitFinding(inst, ErrorKind::outOfBounds, access, info.storage, dir,
-                    mustOob,
-                    std::to_string(width) + "-byte read at offset " +
-                        off.toString() + " of " + where,
-                    pathCond,
-                    off.isSingleton() ? std::optional<int64_t>(off.lo)
-                                      : std::nullopt,
-                    size.isSingleton() ? std::optional<int64_t>(size.lo)
-                                       : std::nullopt);
+        if (!silent)
+            emitFinding(inst, ErrorKind::outOfBounds, access, info.storage,
+                        dir, mustOob,
+                        std::to_string(width) + "-byte read at offset " +
+                            off.toString() + " of " + where,
+                        pathCond,
+                        off.isSingleton() ? std::optional<int64_t>(off.lo)
+                                          : std::nullopt,
+                        size.isSingleton() ? std::optional<int64_t>(size.lo)
+                                           : std::nullopt);
         if (mustOob) {
             possibilityFaults = true;
             return AbstractValue::top();
@@ -957,19 +1074,21 @@ FunctionAnalyzer::checkAccess(const Instruction &inst, AccessKind access,
             possibilityFaults = false;
             const ObjectInfo &info = objInfo_[t.obj];
             ObjState &obj = st.objects[t.obj];
+            const bool silent = info.silent;
             std::string where = describeObject(t.obj);
             std::string pathCond =
                 "offset " + t.offset.toString() + " of " + where;
             if (obj.live == ObjState::Liveness::freed) {
-                emitFinding(inst, ErrorKind::useAfterFree, access,
-                            info.storage, BoundsDirection::unknown,
-                            exclusive && !info.multiInstance,
-                            std::to_string(width) + "-byte write to freed " +
-                                where,
-                            pathCond);
+                if (!silent)
+                    emitFinding(inst, ErrorKind::useAfterFree, access,
+                                info.storage, BoundsDirection::unknown,
+                                exclusive && !info.multiInstance,
+                                std::to_string(width) +
+                                    "-byte write to freed " + where,
+                                pathCond);
                 possibilityFaults = true;
             } else {
-                if (obj.live == ObjState::Liveness::maybeFreed) {
+                if (obj.live == ObjState::Liveness::maybeFreed && !silent) {
                     emitFinding(inst, ErrorKind::useAfterFree, access,
                                 info.storage, BoundsDirection::unknown, false,
                                 std::to_string(width) +
@@ -991,18 +1110,19 @@ FunctionAnalyzer::checkAccess(const Instruction &inst, AccessKind access,
                         dir = BoundsDirection::underflow;
                     else if (over && !under)
                         dir = BoundsDirection::overflow;
-                    emitFinding(inst, ErrorKind::outOfBounds, access,
-                                info.storage, dir, mustOob && exclusive,
-                                std::to_string(width) +
-                                    "-byte write at offset " +
-                                    off.toString() + " of " + where,
-                                pathCond,
-                                off.isSingleton()
-                                    ? std::optional<int64_t>(off.lo)
-                                    : std::nullopt,
-                                size.isSingleton()
-                                    ? std::optional<int64_t>(size.lo)
-                                    : std::nullopt);
+                    if (!silent)
+                        emitFinding(inst, ErrorKind::outOfBounds, access,
+                                    info.storage, dir, mustOob && exclusive,
+                                    std::to_string(width) +
+                                        "-byte write at offset " +
+                                        off.toString() + " of " + where,
+                                    pathCond,
+                                    off.isSingleton()
+                                        ? std::optional<int64_t>(off.lo)
+                                        : std::nullopt,
+                                    size.isSingleton()
+                                        ? std::optional<int64_t>(size.lo)
+                                        : std::nullopt);
                     if (mustOob)
                         possibilityFaults = true;
                 }
@@ -1031,6 +1151,25 @@ FunctionAnalyzer::writeTarget(const PointerTarget &t, unsigned width,
                               const AbstractValue &val, bool strong,
                               AbsState &st)
 {
+    if (summaryOut_ != nullptr) {
+        if (ParamEffect *pe = paramEffectOf(t.obj))
+            pe->pointeeWritten = true;
+        const ObjectInfo &dst = objInfo_[t.obj];
+        if (dst.storage == StorageKind::global && !dst.isConst)
+            summaryOut_->writesGlobals = true;
+        // Storing a pointer-to-parameter value somewhere the caller (or
+        // external code) can reach it makes the parameter escape. Stores
+        // into private locals are exempt: if the local itself escapes
+        // later, markPointerEntriesEscaped records it then.
+        bool shared = dst.storage == StorageKind::global ||
+            dst.storage == StorageKind::heap || dst.silent ||
+            st.objects[t.obj].escaped;
+        if (shared && val.kind == AbstractValue::Kind::pointer) {
+            for (const PointerTarget &vt : val.targets)
+                if (ParamEffect *pe = paramEffectOf(vt.obj))
+                    pe->escapes = true;
+        }
+    }
     ObjState &obj = st.objects[t.obj];
     if (obj.live == ObjState::Liveness::freed)
         return;
@@ -1105,6 +1244,15 @@ FunctionAnalyzer::havocObject(unsigned obj, AbsState &st, bool escape)
 {
     if (objInfo_[obj].isConst)
         return;
+    if (summaryOut_ != nullptr) {
+        if (ParamEffect *pe = paramEffectOf(obj)) {
+            pe->pointeeWritten = true;
+            if (escape)
+                pe->escapes = true;
+        }
+        if (objInfo_[obj].storage == StorageKind::global)
+            summaryOut_->writesGlobals = true;
+    }
     ObjState &o = st.objects[obj];
     for (auto &[off, entry] : o.contents)
         markPointerEntriesEscaped(entry, st);
@@ -1117,14 +1265,12 @@ FunctionAnalyzer::havocObject(unsigned obj, AbsState &st, bool escape)
 }
 
 /**
- * Transfer of a call whose effects we cannot model: clobber everything
- * reachable from the arguments, the non-const globals and previously
- * escaped objects. Liveness is deliberately never touched — the
- * documented unsoundness is that callees are assumed not to free their
- * arguments (DESIGN.md).
+ * Clobbers @p seeds and everything transitively reachable from pointers
+ * stored inside them, marking every visited object escaped.
  */
 void
-FunctionAnalyzer::havocUnknownCall(const Instruction &inst, AbsState &st)
+FunctionAnalyzer::havocReachableFrom(std::vector<unsigned> seeds,
+                                     AbsState &st)
 {
     std::vector<unsigned> work;
     std::vector<bool> seen(objInfo_.size(), false);
@@ -1134,18 +1280,8 @@ FunctionAnalyzer::havocUnknownCall(const Instruction &inst, AbsState &st)
             work.push_back(obj);
         }
     };
-    for (size_t i = 1; i < inst.operands().size(); i++) {
-        AbstractValue v = evalValue(inst.operand(i), st);
-        if (v.kind == AbstractValue::Kind::pointer)
-            for (const PointerTarget &t : v.targets)
-                seed(t.obj);
-    }
-    for (const auto &[g, id] : globalObj_)
-        if (!g->isConst())
-            seed(id);
-    for (unsigned i = 0; i < st.objects.size(); i++)
-        if (st.objects[i].escaped)
-            seed(i);
+    for (unsigned obj : seeds)
+        seed(obj);
     while (!work.empty()) {
         unsigned obj = work.back();
         work.pop_back();
@@ -1156,6 +1292,38 @@ FunctionAnalyzer::havocUnknownCall(const Instruction &inst, AbsState &st)
                     seed(t.obj);
         havocObject(obj, st, /*escape=*/true);
     }
+}
+
+/**
+ * Transfer of a call whose effects we cannot model: clobber everything
+ * reachable from the arguments, the non-const globals and previously
+ * escaped objects. Liveness is deliberately never touched — the
+ * documented unsoundness is that callees are assumed not to free their
+ * arguments (DESIGN.md).
+ */
+void
+FunctionAnalyzer::havocUnknownCall(const Instruction &inst, AbsState &st)
+{
+    if (summaryOut_ != nullptr) {
+        // The unknown callee may write any global (and anything
+        // reachable from one), so the caller of *this* function must
+        // havoc its own globals too.
+        summaryOut_->writesGlobals = true;
+    }
+    std::vector<unsigned> seeds;
+    for (size_t i = 1; i < inst.operands().size(); i++) {
+        AbstractValue v = evalValue(inst.operand(i), st);
+        if (v.kind == AbstractValue::Kind::pointer)
+            for (const PointerTarget &t : v.targets)
+                seeds.push_back(t.obj);
+    }
+    for (const auto &[g, id] : globalObj_)
+        if (!g->isConst())
+            seeds.push_back(id);
+    for (unsigned i = 0; i < st.objects.size(); i++)
+        if (st.objects[i].escaped)
+            seeds.push_back(i);
+    havocReachableFrom(std::move(seeds), st);
 }
 
 void
@@ -1175,6 +1343,15 @@ FunctionAnalyzer::freePointer(const Instruction &inst,
     for (const PointerTarget &t : ptr.targets) {
         const ObjectInfo &info = objInfo_[t.obj];
         ObjState &obj = st.objects[t.obj];
+        if (info.silent) {
+            // A parameter pseudo object: whether the free is valid
+            // depends on the caller's argument. Record the effect and
+            // judge nothing here.
+            if (ParamEffect *pe = paramEffectOf(t.obj))
+                pe->mayFree = true;
+            obj.live = joinLiveness(obj.live, ObjState::Liveness::maybeFreed);
+            continue;
+        }
         std::string where = describeObject(t.obj);
         std::string pathCond = "offset " + t.offset.toString() + " of " +
             where;
@@ -1343,7 +1520,8 @@ FunctionAnalyzer::transferIntrinsic(const Instruction &inst,
             // replay confirms concrete cases).
             for (const PointerTarget &t : buf.targets) {
                 const ObjectInfo &info = objInfo_[t.obj];
-                if (!info.size.isEmpty() && !t.offset.isEmpty() &&
+                if (!info.silent && !info.size.isEmpty() &&
+                    !t.offset.isEmpty() &&
                     (t.offset.lo < 0 ||
                      t.offset.hi > info.size.lo - len.lo)) {
                     emitFinding(inst, ErrorKind::outOfBounds,
@@ -1542,7 +1720,28 @@ FunctionAnalyzer::transferCall(const Instruction &inst, AbsState &st,
         ? nullptr
         : dynamic_cast<const Function *>(inst.operand(0));
     if (callee == nullptr) {
-        // Indirect call through a function pointer value.
+        // Indirect call through a function pointer value: when every
+        // type-compatible address-taken candidate has a usable summary,
+        // their join is a sound transfer function for the site.
+        if (callgraph_ != nullptr && summaries_ != nullptr) {
+            std::vector<const Function *> cands = callgraph_->mayCall(inst);
+            bool usable = !cands.empty();
+            FunctionSummary merged;
+            for (const Function *c : cands) {
+                if (!usable)
+                    break;
+                const FunctionSummary &cs = (*summaries_)[c->id()];
+                if (!cs.computed || cs.pessimistic) {
+                    usable = false;
+                    break;
+                }
+                joinSummaryInto(merged, cs, /*widen=*/false);
+            }
+            if (usable && merged.computed && !merged.pessimistic) {
+                applySummary(inst, merged, st, stop);
+                return;
+            }
+        }
         havocUnknownCall(inst, st);
         setSlot(st, inst, typedTop(inst.type()));
         return;
@@ -1587,8 +1786,193 @@ FunctionAnalyzer::transferCall(const Instruction &inst, AbsState &st,
             }
         }
     }
+    // Interprocedural: a completed, bounded callee summary replaces the
+    // havoc-everything fallback. Libc definitions are never summarized
+    // (userCodeOnly skips them), so their `computed` flag stays false
+    // and they keep the PR-4 treatment above.
+    if (summaries_ != nullptr) {
+        const FunctionSummary &sum = (*summaries_)[callee->id()];
+        if (sum.computed && !sum.pessimistic) {
+            applySummary(inst, sum, st, stop);
+            return;
+        }
+    }
     havocUnknownCall(inst, st);
     setSlot(st, inst, typedTop(inst.type()));
+}
+
+void
+FunctionAnalyzer::applySummary(const Instruction &inst,
+                               const FunctionSummary &sum, AbsState &st,
+                               bool &stop)
+{
+    if (collect_)
+        summariesApplied_++;
+    size_t nargs = inst.operands().empty() ? 0 : inst.operands().size() - 1;
+
+    // Per-argument pointee effects.
+    for (size_t i = 0; i < nargs; i++) {
+        AbstractValue v = evalValue(inst.operand(i + 1), st);
+        if (v.kind != AbstractValue::Kind::pointer)
+            continue;
+        ParamEffect e;
+        if (i < sum.params.size()) {
+            e = sum.params[i];
+        } else {
+            // Varargs beyond the formals: assume the worst.
+            e.pointeeWritten = e.escapes = e.mayFree = true;
+        }
+        for (const PointerTarget &t : v.targets) {
+            if (e.mayFree) {
+                // Callee may free() the block (never "must": the
+                // summary joins every path).
+                if (objInfo_[t.obj].storage == StorageKind::heap ||
+                    objInfo_[t.obj].silent) {
+                    ObjState &o = st.objects[t.obj];
+                    o.live = joinLiveness(o.live,
+                                          ObjState::Liveness::maybeFreed);
+                }
+                if (ParamEffect *pe = paramEffectOf(t.obj))
+                    pe->mayFree = true;
+            }
+            if (e.pointeeWritten) {
+                havocObject(t.obj, st, /*escape=*/e.escapes);
+            } else if (e.escapes) {
+                st.objects[t.obj].escaped = true;
+                if (ParamEffect *pe = paramEffectOf(t.obj))
+                    pe->escapes = true;
+            }
+        }
+    }
+
+    if (sum.writesGlobals) {
+        std::vector<unsigned> seeds;
+        for (const auto &[g, id] : globalObj_)
+            if (!g->isConst())
+                seeds.push_back(id);
+        for (unsigned i = 0; i < st.objects.size(); i++)
+            if (st.objects[i].escaped)
+                seeds.push_back(i);
+        havocReachableFrom(std::move(seeds), st);
+    }
+
+    if (sum.neverReturns) {
+        stop = true;
+        return;
+    }
+
+    switch (sum.ret) {
+      case Ret::none:
+        // void return.
+        setSlot(st, inst, typedTop(inst.type()));
+        break;
+      case Ret::interval: {
+        Interval r = Interval::empty();
+        if (sum.hasAffine && sum.affineArg < nargs) {
+            AbstractValue a =
+                evalValue(inst.operand(sum.affineArg + 1), st);
+            if (a.isInt())
+                r = affineApply(sum, a.ival);
+        }
+        if (r.isEmpty())
+            r = sum.retInterval;
+        setSlot(st, inst,
+                r.isEmpty() ? typedTop(inst.type())
+                            : AbstractValue::ofInterval(r));
+        break;
+      }
+      case Ret::freshHeap: {
+        auto it = siteObj_.find(&inst);
+        if (it == siteObj_.end()) {
+            setSlot(st, inst, AbstractValue::unknownPointer());
+            break;
+        }
+        unsigned id = it->second;
+        objInfo_[id].size = objInfo_[id].size.join(sum.allocSize);
+        ObjState fresh;
+        fresh.dflt = sum.allocContents;
+        if (objInfo_[id].multiInstance) {
+            mergeObjInto(st.objects[id], fresh, /*widen=*/false);
+            st.objects[id].live = joinLiveness(st.objects[id].live,
+                                               ObjState::Liveness::live);
+        } else {
+            st.objects[id] = fresh;
+        }
+        AbstractValue p = AbstractValue::pointerTo(id);
+        p.canBeNull = sum.retMayBeNull;
+        setSlot(st, inst, p);
+        break;
+      }
+      case Ret::unknown:
+        setSlot(st, inst, typedTop(inst.type()));
+        break;
+    }
+}
+
+void
+FunctionAnalyzer::recordReturn(const Instruction &inst, AbsState &st)
+{
+    FunctionSummary &s = *summaryOut_;
+    s.neverReturns = false;
+    if (inst.operands().empty())
+        return; // void: Ret::none stays the bottom of the lattice
+    AbstractValue v = evalValue(inst.operand(0), st);
+    auto degrade = [&s] { s.ret = Ret::unknown; };
+
+    if (v.isInt()) {
+        if (s.ret == Ret::none) {
+            s.ret = Ret::interval;
+            s.retInterval = v.ival;
+        } else if (s.ret == Ret::interval) {
+            s.retInterval = s.retInterval.join(v.ival);
+        } else {
+            degrade();
+        }
+        return;
+    }
+    if (v.kind == AbstractValue::Kind::pointer && !v.canBeUnknown) {
+        // Fresh-heap recognition: every non-null possibility is a live,
+        // unescaped heap allocation of this function, returned at its
+        // start. Anything else (stack/global/parameter pointers,
+        // interior pointers, escaped or freed blocks) degrades.
+        Interval size = Interval::empty();
+        ContentsDefault contents = ContentsDefault::unknown;
+        bool first = true;
+        for (const PointerTarget &t : v.targets) {
+            const ObjState &o = st.objects[t.obj];
+            if (objInfo_[t.obj].storage != StorageKind::heap ||
+                !t.offset.isSingleton() || t.offset.lo != 0 ||
+                o.live != ObjState::Liveness::live || o.escaped) {
+                degrade();
+                return;
+            }
+            // Bytes the callee wrote individually are initialized but
+            // unknown to the caller; the rest keep the block's default.
+            ContentsDefault d = o.contents.empty()
+                ? o.dflt
+                : joinDefault(o.dflt, ContentsDefault::unknown);
+            size = size.join(objInfo_[t.obj].size);
+            contents = first ? d : joinDefault(contents, d);
+            first = false;
+        }
+        if (s.ret == Ret::none) {
+            s.ret = Ret::freshHeap;
+            s.allocSize = size;
+            s.allocContents = v.targets.empty()
+                ? ContentsDefault::unknown
+                : contents;
+            s.retMayBeNull = v.canBeNull;
+        } else if (s.ret == Ret::freshHeap) {
+            s.allocSize = s.allocSize.join(size);
+            if (!v.targets.empty())
+                s.allocContents = joinDefault(s.allocContents, contents);
+            s.retMayBeNull = s.retMayBeNull || v.canBeNull;
+        } else {
+            degrade();
+        }
+        return;
+    }
+    degrade();
 }
 
 // --- Branch refinement ---------------------------------------------------
@@ -2393,6 +2777,9 @@ FunctionAnalyzer::transferBlock(unsigned b, AbsState st)
             return;
           }
           case Opcode::ret:
+            if (collect_ && summaryOut_ != nullptr)
+                recordReturn(inst, st);
+            return;
           case Opcode::unreachable_:
             return;
           default:
@@ -2436,6 +2823,194 @@ FunctionAnalyzer::run(std::vector<StaticFinding> &findings)
     return !abandoned_;
 }
 
+// --- Affine return detection ---------------------------------------------
+
+/**
+ * Syntactic recognition of `return m*x + k` shapes over one integer
+ * argument in straight-line functions. The unoptimized codegen spills
+ * every argument to an alloca and splits the body over an
+ * unconditional entry -> body chain, so the recognizer concatenates
+ * that chain (bailing at any conditional branch) and allows the value
+ * chain to pass through one load of an alloca that is stored exactly
+ * once — from the argument, before the load — and never otherwise
+ * referenced.
+ *
+ * Records the composed (mul, add) after every chain step as an
+ * AffineStep prefix; affineApply() later refuses the chain whenever any
+ * prefix's image over the call-site argument interval leaves its wrap
+ * width, which keeps the transfer sound under two's-complement wrap.
+ */
+void
+detectAffineReturn(const Function &fn, FunctionSummary &s)
+{
+    if (s.ret != Ret::interval || fn.blocks().empty())
+        return;
+    // Straight-line region: follow unconditional branches from the
+    // entry. Every reachable block lies on this chain (a conditional
+    // branch bails out), so blocks off the chain are dead and the
+    // concatenation is the execution order.
+    std::vector<const Instruction *> insts;
+    const Instruction *term = nullptr;
+    const BasicBlock *bb = fn.blocks().front().get();
+    for (size_t guard = fn.blocks().size(); bb != nullptr && guard > 0;
+         guard--) {
+        const BasicBlock *next = nullptr;
+        for (const auto &inst : bb->insts()) {
+            switch (inst->op()) {
+              case Opcode::br:
+                next = inst->target(0);
+                break;
+              case Opcode::ret:
+                term = inst.get();
+                break;
+              case Opcode::condbr:
+              case Opcode::unreachable_:
+                return;
+              default:
+                insts.push_back(inst.get());
+                break;
+            }
+        }
+        if (term != nullptr)
+            break;
+        bb = next;
+    }
+    if (term == nullptr || term->operands().empty())
+        return;
+
+    constexpr int64_t kCoefLimit = int64_t{1} << 31;
+    struct RawStep
+    {
+        int64_t mul = 1;
+        int64_t add = 0;
+        unsigned bits = 64;
+    };
+    std::vector<RawStep> ops; ///< outermost op first
+    const Value *v = term->operand(0);
+    int argIndex = -1;
+    unsigned argBits = 64;
+
+    while (argIndex < 0) {
+        if (v->valueKind() == ValueKind::argument) {
+            const auto *a = static_cast<const Argument *>(v);
+            if (!a->type()->isInteger())
+                return;
+            argIndex = static_cast<int>(a->index());
+            argBits = a->type()->intBits();
+            break;
+        }
+        const auto *inst = dynamic_cast<const Instruction *>(v);
+        if (inst == nullptr)
+            return;
+        if (inst->op() == Opcode::sext) {
+            // Value-preserving widening.
+            v = inst->operand(0);
+            continue;
+        }
+        if (inst->op() == Opcode::add || inst->op() == Opcode::sub ||
+            inst->op() == Opcode::mul) {
+            if (inst->type() == nullptr || !inst->type()->isInteger())
+                return;
+            const auto *c0 =
+                dynamic_cast<const ConstantInt *>(inst->operand(0));
+            const auto *c1 =
+                dynamic_cast<const ConstantInt *>(inst->operand(1));
+            if ((c0 == nullptr) == (c1 == nullptr))
+                return; // need exactly one constant side
+            int64_t c = c0 != nullptr ? c0->value() : c1->value();
+            if (c > kCoefLimit || c < -kCoefLimit)
+                return;
+            RawStep step;
+            step.bits = inst->type()->intBits();
+            switch (inst->op()) {
+              case Opcode::add:
+                step.mul = 1;
+                step.add = c;
+                break;
+              case Opcode::sub:
+                if (c1 != nullptr) { // x - c
+                    step.mul = 1;
+                    step.add = -c;
+                } else { // c - x
+                    step.mul = -1;
+                    step.add = c;
+                }
+                break;
+              default: // mul
+                step.mul = c;
+                step.add = 0;
+                break;
+            }
+            ops.push_back(step);
+            v = c0 != nullptr ? inst->operand(1) : inst->operand(0);
+            continue;
+        }
+        if (inst->op() == Opcode::load) {
+            const auto *addr =
+                dynamic_cast<const Instruction *>(inst->operand(0));
+            if (addr == nullptr || addr->op() != Opcode::alloca_)
+                return;
+            const Argument *spilled = nullptr;
+            size_t storePos = insts.size();
+            size_t loadPos = insts.size();
+            int stores = 0;
+            for (size_t i = 0; i < insts.size(); i++) {
+                const Instruction *cur = insts[i];
+                if (cur == inst)
+                    loadPos = i;
+                if (cur == addr)
+                    continue;
+                bool refs = false;
+                for (size_t oi = 0; oi < cur->operands().size(); oi++)
+                    if (cur->operand(oi) == addr)
+                        refs = true;
+                if (!refs)
+                    continue;
+                if (cur->op() == Opcode::store &&
+                    cur->operand(1) == addr &&
+                    cur->operand(0) != addr) {
+                    stores++;
+                    storePos = i;
+                    spilled =
+                        dynamic_cast<const Argument *>(cur->operand(0));
+                } else if (cur->op() == Opcode::load &&
+                           cur->operand(0) == addr) {
+                    // Reads are harmless.
+                } else {
+                    return; // the address escapes; value not tracked
+                }
+            }
+            if (stores != 1 || spilled == nullptr ||
+                !spilled->type()->isInteger() || storePos > loadPos)
+                return;
+            argIndex = static_cast<int>(spilled->index());
+            argBits = spilled->type()->intBits();
+            break;
+        }
+        return;
+    }
+
+    // Compose innermost-first, recording every prefix.
+    int64_t mul = 1;
+    int64_t add = 0;
+    std::vector<AffineStep> prefixes;
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+        __int128 nm = static_cast<__int128>(it->mul) * mul;
+        __int128 na = static_cast<__int128>(it->mul) * add + it->add;
+        if (nm > kCoefLimit || nm < -kCoefLimit || na > kCoefLimit ||
+            na < -kCoefLimit)
+            return;
+        mul = static_cast<int64_t>(nm);
+        add = static_cast<int64_t>(na);
+        prefixes.push_back({mul, add, it->bits});
+    }
+    if (prefixes.empty()) // `return x` verbatim
+        prefixes.push_back({1, 0, argBits});
+    s.hasAffine = true;
+    s.affineArg = static_cast<unsigned>(argIndex);
+    s.prefixes = std::move(prefixes);
+}
+
 } // namespace
 
 AnalysisReport
@@ -2444,23 +3019,205 @@ analyzeModule(const Module &module, const AnalysisOptions &options)
     MS_TRACE_SPAN("analysis.module");
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     AnalysisReport report;
+
+    auto analyzable = [&options](const Function &fn) {
+        if (fn.isDeclaration() || fn.isIntrinsic())
+            return false;
+        if (options.userCodeOnly && fn.sourceFile().rfind("libc/", 0) == 0)
+            return false;
+        return true;
+    };
+
+    // Interprocedural scaffolding: the call graph's SCC condensation
+    // orders the per-function analyses bottom-up (callees before
+    // callers), so a call site always sees its callees' completed
+    // summaries. SCCs of equal depth are pairwise unreachable and run
+    // in parallel when options.jobs > 1; results are keyed by function
+    // id and assembled in module order, so the output is identical for
+    // every job count.
+    CallGraph graph = CallGraph::build(module);
+    SccInfo sccs = condense(graph);
+    report.sccCount = static_cast<unsigned>(sccs.sccs.size());
+
+    const bool useSummaries = options.summaries;
+    size_t n = graph.size();
+    SummaryDb summaries(n);
+    std::vector<std::vector<StaticFinding>> fnFindings(n);
+    std::vector<uint8_t> fnComplete(n, 1);
+    std::vector<uint8_t> fnAnalyzed(n, 0);
+    std::vector<uint64_t> fnVisits(n, 0);
+    std::vector<unsigned> fnApplied(n, 0);
+
+    auto runScc = [&](const Scc &scc) {
+        std::vector<const Function *> members;
+        for (unsigned id : scc.members) {
+            const Function *fn = graph.node(id).fn;
+            if (fn != nullptr && analyzable(*fn))
+                members.push_back(fn);
+        }
+        if (members.empty())
+            return;
+        if (useSummaries && scc.recursive) {
+            // Optimistic bottom: no effects, no returns. Iterate to a
+            // widened fixpoint; an unstable SCC degrades to pessimistic
+            // so call sites fall back to havocking.
+            for (const Function *fn : members) {
+                FunctionSummary init;
+                init.computed = true;
+                init.ret = Ret::none;
+                init.neverReturns = true;
+                init.params.assign(fn->numArgs(), ParamEffect{});
+                summaries[fn->id()] = init;
+            }
+            bool stable = false;
+            for (unsigned round = 0;
+                 round < options.summaryDepth && !stable; round++) {
+                stable = true;
+                for (const Function *fn : members) {
+                    FunctionSummary fresh;
+                    std::vector<StaticFinding> scratch;
+                    FunctionAnalyzer a(module, *fn, options, &graph,
+                                       &summaries, &fresh);
+                    bool complete = a.run(scratch);
+                    fresh.computed = true;
+                    if (!complete)
+                        fresh = FunctionSummary::makePessimistic(
+                            fn->numArgs());
+                    if (joinSummaryInto(summaries[fn->id()], fresh,
+                                        /*widen=*/round >= 1))
+                        stable = false;
+                }
+            }
+            if (!stable) {
+                for (const Function *fn : members)
+                    summaries[fn->id()] =
+                        FunctionSummary::makePessimistic(fn->numArgs());
+            }
+        }
+        // Findings pass over the (now stable) summaries; singletons
+        // compute their summary in the same run.
+        for (const Function *fn : members) {
+            unsigned id = fn->id();
+            // Optimistic bottom, like the recursive init: recordReturn
+            // raises `ret` from none and clears neverReturns at the
+            // first executed `ret` site. (The default-constructed
+            // summary starts at Ret::unknown — the lattice top — which
+            // recordReturn can never improve.)
+            FunctionSummary fresh;
+            fresh.ret = Ret::none;
+            fresh.neverReturns = true;
+            FunctionAnalyzer a(module, *fn, options,
+                               useSummaries ? &graph : nullptr,
+                               useSummaries ? &summaries : nullptr,
+                               useSummaries ? &fresh : nullptr);
+            bool complete = a.run(fnFindings[id]);
+            fnAnalyzed[id] = 1;
+            fnComplete[id] = complete ? 1 : 0;
+            fnVisits[id] = a.blockVisitsTotal();
+            fnApplied[id] = a.summariesApplied();
+            if (useSummaries && !scc.recursive) {
+                fresh.computed = true;
+                if (!complete) {
+                    fresh = FunctionSummary::makePessimistic(fn->numArgs());
+                } else {
+                    if (fresh.params.size() < fn->numArgs())
+                        fresh.params.resize(fn->numArgs());
+                    detectAffineReturn(*fn, fresh);
+                }
+                summaries[id] = std::move(fresh);
+            }
+        }
+    };
+
+    // Schedule by SCC depth: within one level, SCCs are independent.
+    std::vector<std::vector<unsigned>> byDepth(sccs.maxDepth + 1);
+    for (unsigned i = 0; i < sccs.sccs.size(); i++)
+        byDepth[sccs.sccs[i].depth].push_back(i);
+    unsigned jobs = std::max(1u, options.jobs);
+    std::optional<ThreadPool> pool;
+    for (const auto &level : byDepth) {
+        if (jobs > 1 && level.size() > 1) {
+            if (!pool.has_value())
+                pool.emplace(jobs);
+            std::vector<std::future<void>> pending;
+            for (unsigned si : level)
+                pending.push_back(pool->submit(
+                    [&runScc, &sccs, si] { runScc(sccs.sccs[si]); }));
+            for (std::future<void> &f : pending)
+                f.get();
+        } else {
+            for (unsigned si : level)
+                runScc(sccs.sccs[si]);
+        }
+    }
+
+    // Deterministic assembly in module function order.
     for (const auto &fn : module.functions()) {
-        if (fn->isDeclaration() || fn->isIntrinsic())
+        unsigned id = fn->id();
+        if (id >= n || !fnAnalyzed[id])
             continue;
-        if (options.userCodeOnly &&
-            fn->sourceFile().rfind("libc/", 0) == 0)
-            continue;
-        MS_TRACE_SPAN("analysis.function", fn->name());
-        FunctionAnalyzer analyzer(module, *fn, options);
-        std::vector<StaticFinding> fnFindings;
-        bool complete = analyzer.run(fnFindings);
         reg.counter("analysis.functions").inc();
-        if (uint64_t visits = analyzer.blockVisitsTotal(); visits != 0)
-            reg.counter("analysis.fixpoint.block_visits").inc(visits);
-        report.incomplete = report.incomplete || !complete;
+        if (fnVisits[id] != 0)
+            reg.counter("analysis.fixpoint.block_visits").inc(fnVisits[id]);
+        report.incomplete = report.incomplete || !fnComplete[id];
         report.functionsAnalyzed++;
-        for (StaticFinding &f : fnFindings)
+        report.summariesApplied += fnApplied[id];
+        for (StaticFinding &f : fnFindings[id])
             report.findings.push_back(std::move(f));
+    }
+    reg.counter("analysis.callgraph.functions").inc(graph.size());
+    reg.counter("analysis.callgraph.sccs").inc(report.sccCount);
+    if (report.summariesApplied != 0)
+        reg.counter("analysis.summary.applied").inc(report.summariesApplied);
+
+    // Constraint-based refutation: try to prove each bounds/null finding
+    // infeasible along every witness path. A proof drops the finding
+    // with a certificate; everything else continues to the replayer.
+    if (options.solver && !report.findings.empty()) {
+        MS_TRACE_SPAN("analysis.solver");
+        std::map<std::string, std::unique_ptr<PathRefuter>> refuters;
+        std::vector<StaticFinding> kept;
+        kept.reserve(report.findings.size());
+        for (StaticFinding &f : report.findings) {
+            bool eligible = f.kind == ErrorKind::outOfBounds ||
+                f.kind == ErrorKind::nullDeref;
+            const Function *fn =
+                eligible ? module.findFunction(f.function) : nullptr;
+            if (fn == nullptr || fn->isDeclaration()) {
+                kept.push_back(std::move(f));
+                continue;
+            }
+            std::unique_ptr<PathRefuter> &refuter = refuters[f.function];
+            if (refuter == nullptr)
+                refuter = std::make_unique<PathRefuter>(module, *fn);
+            RefutationCheck check = refuter->check(f);
+            report.solverChecked++;
+            switch (check.verdict) {
+              case RefuteVerdict::provenInfeasible: {
+                Refutation ref;
+                ref.function = f.function;
+                ref.blockIndex = f.blockIndex;
+                ref.instIndex = f.instIndex;
+                ref.kind = f.kind;
+                ref.certificate = check.certificate;
+                report.refutations.push_back(std::move(ref));
+                reg.counter("analysis.solver.refuted").inc();
+                break;
+              }
+              case RefuteVerdict::feasible:
+                reg.counter("analysis.solver.feasible").inc();
+                kept.push_back(std::move(f));
+                break;
+              case RefuteVerdict::unknown:
+                report.solverUnknown++;
+                reg.counter("analysis.solver.unknown").inc();
+                kept.push_back(std::move(f));
+                break;
+            }
+        }
+        report.findings = std::move(kept);
+        if (report.solverChecked != 0)
+            reg.counter("analysis.solver.checked").inc(report.solverChecked);
     }
 
     auto countFindings = [&reg, &report] {

@@ -1,0 +1,1089 @@
+#include "analysis/constraints.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "analysis/solver.h"
+#include "ir/instruction.h"
+
+namespace sulong
+{
+
+const char *
+refuteVerdictName(RefuteVerdict verdict)
+{
+    switch (verdict) {
+      case RefuteVerdict::provenInfeasible:
+        return "proven-infeasible";
+      case RefuteVerdict::feasible:
+        return "feasible";
+      case RefuteVerdict::unknown:
+        return "unknown";
+    }
+    return "?";
+}
+
+namespace
+{
+
+using int128 = __int128;
+
+/// Complete enumeration bound; more witness paths -> unknown.
+constexpr size_t kMaxPaths = 64;
+
+bool
+fitsI64(int128 v)
+{
+    return v >= int128{INT64_MIN} && v <= int128{INT64_MAX};
+}
+
+/**
+ * A linear expression `mul * value(var) + add` over one solver
+ * variable; var < 0 encodes the constant `add`. This is the whole
+ * symbolic value domain: anything non-affine becomes a fresh bounded
+ * variable, which keeps every derived constraint a relaxation of the
+ * real execution.
+ */
+struct Lin
+{
+    int var = -1;
+    int64_t mul = 1;
+    int64_t add = 0;
+
+    static Lin constant(int64_t c) { return {-1, 1, c}; }
+    bool isConst() const { return var < 0; }
+};
+
+constexpr int kBaseUnknown = -1;
+constexpr int kBaseNull = -2;
+constexpr int kBaseGlobal = -3;
+
+/** Symbolic value of one slot along one path. */
+struct SymVal
+{
+    enum class Kind : uint8_t
+    {
+        top,
+        intv,
+        ptr,
+    };
+
+    Kind kind = Kind::top;
+    Lin lin;                // intv
+    int base = kBaseUnknown; // ptr: object id or a kBase* sentinel
+    Lin off;                // ptr: byte offset within base
+    bool mayBeNull = false; // ptr
+
+    static SymVal top_() { return {}; }
+    static SymVal ofLin(Lin lin)
+    {
+        SymVal v;
+        v.kind = Kind::intv;
+        v.lin = lin;
+        return v;
+    }
+    static SymVal pointer(int base, Lin off, bool may_be_null)
+    {
+        SymVal v;
+        v.kind = Kind::ptr;
+        v.base = base;
+        v.off = off;
+        v.mayBeNull = may_be_null;
+        return v;
+    }
+    static SymVal unknownPtr()
+    {
+        return pointer(kBaseUnknown, Lin::constant(0), true);
+    }
+    static SymVal nullPtr()
+    {
+        return pointer(kBaseNull, Lin::constant(0), true);
+    }
+};
+
+IntPred
+negatePred(IntPred pred)
+{
+    switch (pred) {
+      case IntPred::eq:  return IntPred::ne;
+      case IntPred::ne:  return IntPred::eq;
+      case IntPred::slt: return IntPred::sge;
+      case IntPred::sle: return IntPred::sgt;
+      case IntPred::sgt: return IntPred::sle;
+      case IntPred::sge: return IntPred::slt;
+      case IntPred::ult: return IntPred::uge;
+      case IntPred::ule: return IntPred::ugt;
+      case IntPred::ugt: return IntPred::ule;
+      case IntPred::uge: return IntPred::ult;
+    }
+    return pred;
+}
+
+/** Peels `icmp ne/eq (zext (icmp ...)), 0` chains exactly like the
+ *  analyzer's resolveCondChain, flipping @p polarity per `== 0`. */
+const Instruction *
+peelCondChain(const Value *cond, bool &polarity)
+{
+    const auto *inst = dynamic_cast<const Instruction *>(cond);
+    while (inst != nullptr && inst->op() == Opcode::icmp) {
+        IntPred pred = inst->intPred();
+        if (pred != IntPred::eq && pred != IntPred::ne)
+            return inst;
+        const auto *rhs =
+            dynamic_cast<const ConstantInt *>(inst->operand(1));
+        if (rhs == nullptr || rhs->value() != 0 ||
+            !inst->operand(0)->type()->isInteger())
+            return inst;
+        const auto *src =
+            dynamic_cast<const Instruction *>(inst->operand(0));
+        while (src != nullptr &&
+               (src->op() == Opcode::zext || src->op() == Opcode::sext))
+            src = dynamic_cast<const Instruction *>(src->operand(0));
+        if (src == nullptr || src->op() != Opcode::icmp)
+            return inst;
+        if (pred == IntPred::eq)
+            polarity = !polarity;
+        inst = src;
+    }
+    return nullptr;
+}
+
+/** How one enumerated witness path relates to the fault. */
+enum class PathVerdict : uint8_t
+{
+    infeasible,      ///< branch conditions along the path contradict
+    faultImpossible, ///< path reachable, but the access proven safe
+    faultFeasible,   ///< a verified model reaches the fault
+    unknown,
+};
+
+/**
+ * Symbolic execution of ONE acyclic CFG path, accumulating SmtLite
+ * constraints. All approximation goes one way: unsupported constructs
+ * produce fresh bounded variables or drop constraints, so the final
+ * system admits every real execution of the path (UNSAT is a proof).
+ */
+class PathExec
+{
+  public:
+    PathExec(const Function &fn, bool is_main)
+        : fn_(fn), slots_(fn.numSlots())
+    {
+        seedArguments(is_main);
+    }
+
+    /// Transfer all instructions of block @p b up to (not including)
+    /// index @p end; false = a constant branch/compare contradiction
+    /// made the path infeasible outright.
+    bool runBlock(unsigned b, size_t end);
+
+    /// Add the constraint of taking the edge block b -> block next.
+    /// false = edge statically contradictory.
+    bool addEdgeConstraint(unsigned b, unsigned next);
+
+    PathVerdict checkFault(const StaticFinding &finding,
+                           const Instruction &inst, std::string &note);
+
+  private:
+    struct MemEntry
+    {
+        unsigned width = 0;
+        SymVal val;
+    };
+    struct SymObj
+    {
+        Lin size;
+        bool smashed = false;
+        std::map<int64_t, MemEntry> contents;
+    };
+
+    void seedArguments(bool is_main);
+
+    Lin fresh(const Interval &range)
+    {
+        int v = solver_.addVar(range);
+        declared_.push_back(range);
+        return Lin{v, 1, 0};
+    }
+    Lin freshOfWidth(unsigned bits)
+    {
+        return fresh(bits == 1 ? Interval::range(0, 1)
+                               : intervalOfWidth(bits));
+    }
+
+    /// Declared-domain bound of @p lin (over-approximates its values).
+    Interval boundOf(const Lin &lin) const;
+
+    /// Solver variable equal to @p lin's value.
+    int materialize(const Lin &lin, const std::string &name = "");
+
+    std::optional<Lin> linAdd(const Lin &a, const Lin &b) const;
+    std::optional<Lin> linMulConst(const Lin &a, int64_t c) const;
+
+    SymVal evalValue(const Value *v) const;
+    SymVal typedFresh(const Type *type);
+    void setSlot(const Instruction &inst, SymVal val);
+    void writeBack(const Value *v, const SymVal &val);
+
+    void smashObject(int obj);
+    void smashAll();
+    void storeTo(const SymVal &addr, unsigned width, const SymVal &val);
+    SymVal loadFrom(const SymVal &addr, unsigned width,
+                    const Type *type);
+
+    bool transfer(const Instruction &inst);
+    bool transferCall(const Instruction &inst);
+    /// Emit solver constraints for `icmp pred a, b` holding.
+    /// false = statically contradictory.
+    bool constrainCompare(const Instruction &cmp, IntPred pred);
+
+    const Function &fn_;
+    SmtLite solver_;
+    std::vector<Interval> declared_;
+    std::vector<SymVal> slots_;
+    std::vector<SymObj> objects_;
+};
+
+void
+PathExec::seedArguments(bool is_main)
+{
+    for (unsigned i = 0; i < fn_.numArgs(); i++) {
+        const Argument *arg = fn_.arg(i);
+        const Type *type = arg->type();
+        if (type->isInteger()) {
+            Interval range = is_main && i == 0
+                ? Interval::range(1, INT32_MAX) // argc, as in entryState
+                : (type->intBits() == 1
+                       ? Interval::range(0, 1)
+                       : intervalOfWidth(type->intBits()));
+            slots_[i] = SymVal::ofLin(fresh(range));
+        } else if (type->isPointer()) {
+            SymVal p = SymVal::unknownPtr();
+            if (is_main && i == 1)
+                p.mayBeNull = false; // argv is never null
+            slots_[i] = p;
+        } else {
+            slots_[i] = SymVal::top_();
+        }
+    }
+}
+
+Interval
+PathExec::boundOf(const Lin &lin) const
+{
+    if (lin.isConst())
+        return Interval::of(lin.add);
+    const Interval &d = declared_[lin.var];
+    if (d.isEmpty())
+        return d;
+    int128 lo = int128{lin.mul} * d.lo + lin.add;
+    int128 hi = int128{lin.mul} * d.hi + lin.add;
+    if (lin.mul < 0)
+        std::swap(lo, hi);
+    auto clamp = [](int128 v) {
+        return v > int128{INT64_MAX}  ? INT64_MAX
+            : v < int128{INT64_MIN} ? INT64_MIN
+                                    : static_cast<int64_t>(v);
+    };
+    return Interval::range(clamp(lo), clamp(hi));
+}
+
+int
+PathExec::materialize(const Lin &lin, const std::string &name)
+{
+    if (lin.isConst()) {
+        int v = solver_.addVar(Interval::of(lin.add), name);
+        declared_.push_back(Interval::of(lin.add));
+        return v;
+    }
+    if (lin.mul == 1 && lin.add == 0)
+        return lin.var;
+    Interval bound = boundOf(lin);
+    int v = solver_.addVar(bound, name);
+    declared_.push_back(bound);
+    solver_.addEq(v, lin.var, lin.mul, lin.add);
+    return v;
+}
+
+std::optional<Lin>
+PathExec::linAdd(const Lin &a, const Lin &b) const
+{
+    auto addConst = [](const Lin &x, int64_t c) -> std::optional<Lin> {
+        int128 add = int128{x.add} + c;
+        if (!fitsI64(add))
+            return std::nullopt;
+        Lin out = x;
+        out.add = static_cast<int64_t>(add);
+        return out;
+    };
+    if (b.isConst())
+        return addConst(a, b.add);
+    if (a.isConst())
+        return addConst(b, a.add);
+    if (a.var == b.var) {
+        int128 mul = int128{a.mul} + b.mul;
+        int128 add = int128{a.add} + b.add;
+        if (!fitsI64(mul) || !fitsI64(add))
+            return std::nullopt;
+        if (mul == 0)
+            return Lin::constant(static_cast<int64_t>(add));
+        return Lin{a.var, static_cast<int64_t>(mul),
+                   static_cast<int64_t>(add)};
+    }
+    return std::nullopt; // two distinct variables: not affine in one
+}
+
+std::optional<Lin>
+PathExec::linMulConst(const Lin &a, int64_t c) const
+{
+    if (c == 0)
+        return Lin::constant(0);
+    int128 mul = int128{a.mul} * c;
+    int128 add = int128{a.add} * c;
+    if (!fitsI64(mul) || !fitsI64(add))
+        return std::nullopt;
+    if (a.isConst())
+        return Lin::constant(static_cast<int64_t>(add));
+    return Lin{a.var, static_cast<int64_t>(mul),
+               static_cast<int64_t>(add)};
+}
+
+SymVal
+PathExec::evalValue(const Value *v) const
+{
+    switch (v->valueKind()) {
+      case ValueKind::constantInt:
+        return SymVal::ofLin(Lin::constant(
+            static_cast<const ConstantInt *>(v)->value()));
+      case ValueKind::constantNull:
+        return SymVal::nullPtr();
+      case ValueKind::global:
+        return SymVal::pointer(kBaseGlobal, Lin::constant(0), false);
+      case ValueKind::argument:
+        return slots_[static_cast<const Argument *>(v)->index()];
+      case ValueKind::instruction: {
+        int slot = static_cast<const Instruction *>(v)->slot();
+        return slot >= 0 ? slots_[slot] : SymVal::top_();
+      }
+      default:
+        return SymVal::top_();
+    }
+}
+
+SymVal
+PathExec::typedFresh(const Type *type)
+{
+    if (type == nullptr)
+        return SymVal::top_();
+    if (type->isInteger())
+        return SymVal::ofLin(freshOfWidth(type->intBits()));
+    if (type->isPointer())
+        return SymVal::unknownPtr();
+    return SymVal::top_();
+}
+
+void
+PathExec::setSlot(const Instruction &inst, SymVal val)
+{
+    if (inst.slot() >= 0)
+        slots_[inst.slot()] = std::move(val);
+}
+
+/** Re-binds the symbolic value of @p v (a slot-backed value) after a
+ *  branch refined it — the null-test counterpart of the analyzer's
+ *  writeRefinedPointer. */
+void
+PathExec::writeBack(const Value *v, const SymVal &val)
+{
+    if (v->valueKind() == ValueKind::argument) {
+        slots_[static_cast<const Argument *>(v)->index()] = val;
+    } else if (v->valueKind() == ValueKind::instruction) {
+        int slot = static_cast<const Instruction *>(v)->slot();
+        if (slot >= 0)
+            slots_[slot] = val;
+    }
+}
+
+void
+PathExec::smashObject(int obj)
+{
+    if (obj >= 0 && static_cast<size_t>(obj) < objects_.size()) {
+        objects_[obj].smashed = true;
+        objects_[obj].contents.clear();
+    }
+}
+
+void
+PathExec::smashAll()
+{
+    for (size_t i = 0; i < objects_.size(); i++)
+        smashObject(static_cast<int>(i));
+}
+
+void
+PathExec::storeTo(const SymVal &addr, unsigned width, const SymVal &val)
+{
+    if (addr.kind != SymVal::Kind::ptr) {
+        smashAll();
+        return;
+    }
+    if (addr.base == kBaseNull || addr.base == kBaseGlobal)
+        return; // globals are not modeled; loads from them are fresh
+    if (addr.base == kBaseUnknown) {
+        smashAll();
+        return;
+    }
+    SymObj &obj = objects_[addr.base];
+    if (obj.smashed || !addr.off.isConst()) {
+        smashObject(addr.base);
+        return;
+    }
+    int64_t off = addr.off.add;
+    // Erase entries overlapping [off, off + width).
+    for (auto it = obj.contents.begin(); it != obj.contents.end();) {
+        int64_t lo = it->first;
+        int64_t hi = lo + it->second.width;
+        if (lo < off + static_cast<int64_t>(width) && off < hi)
+            it = obj.contents.erase(it);
+        else
+            ++it;
+    }
+    obj.contents[off] = MemEntry{width, val};
+}
+
+SymVal
+PathExec::loadFrom(const SymVal &addr, unsigned width, const Type *type)
+{
+    if (addr.kind == SymVal::Kind::ptr && addr.base >= 0 &&
+        addr.off.isConst() && !objects_[addr.base].smashed) {
+        const SymObj &obj = objects_[addr.base];
+        auto it = obj.contents.find(addr.off.add);
+        if (it != obj.contents.end() && it->second.width == width)
+            return it->second.val;
+    }
+    return typedFresh(type);
+}
+
+bool
+PathExec::transferCall(const Instruction &inst)
+{
+    const auto *callee = inst.operands().empty()
+        ? nullptr
+        : dynamic_cast<const Function *>(inst.operand(0));
+    const std::string &name = callee != nullptr ? callee->name() : "";
+    auto argLin = [&](size_t i) -> Lin {
+        if (i + 1 >= inst.numOperands())
+            return fresh(Interval::range(0, INT64_MAX));
+        SymVal v = evalValue(inst.operand(i + 1));
+        if (v.kind == SymVal::Kind::intv)
+            return v.lin;
+        return fresh(Interval::range(0, INT64_MAX));
+    };
+    if (callee != nullptr && callee->isIntrinsic()) {
+        if (name == "malloc") {
+            objects_.push_back(SymObj{argLin(0), false, {}});
+            setSlot(inst, SymVal::pointer(
+                              static_cast<int>(objects_.size()) - 1,
+                              Lin::constant(0), true));
+            return true;
+        }
+        if (name == "calloc") {
+            Lin n = argLin(0);
+            Lin sz = argLin(1);
+            Lin total = fresh(Interval::range(0, INT64_MAX));
+            if (n.isConst()) {
+                if (auto t = linMulConst(sz, n.add))
+                    total = *t;
+            } else if (sz.isConst()) {
+                if (auto t = linMulConst(n, sz.add))
+                    total = *t;
+            }
+            objects_.push_back(SymObj{total, false, {}});
+            setSlot(inst, SymVal::pointer(
+                              static_cast<int>(objects_.size()) - 1,
+                              Lin::constant(0), true));
+            return true;
+        }
+        if (name == "free" || name == "__va_end") {
+            return true;
+        }
+        // Other intrinsics may write guest memory (__sys_* reads are
+        // not, but staying uniform is sound).
+        smashAll();
+        setSlot(inst, typedFresh(inst.type()));
+        return true;
+    }
+    // User, libc, declared, or indirect call: the callee may write any
+    // escaped memory; results are unconstrained.
+    smashAll();
+    setSlot(inst, typedFresh(inst.type()));
+    return true;
+}
+
+bool
+PathExec::constrainCompare(const Instruction &cmp, IntPred pred)
+{
+    const Value *a = cmp.operand(0);
+    const Value *b = cmp.operand(1);
+    SymVal av = evalValue(a);
+    SymVal bv = evalValue(b);
+
+    if (a->type()->isPointer()) {
+        if (pred != IntPred::eq && pred != IntPred::ne)
+            return true;
+        auto isNull = [](const Value *side, const SymVal &val) {
+            return side->valueKind() == ValueKind::constantNull ||
+                (val.kind == SymVal::Kind::ptr &&
+                 val.base == kBaseNull);
+        };
+        const Value *other = nullptr;
+        SymVal otherVal;
+        if (isNull(b, bv)) {
+            other = a;
+            otherVal = av;
+        } else if (isNull(a, av)) {
+            other = b;
+            otherVal = bv;
+        } else {
+            return true; // object-identity compares are not refined
+        }
+        if (otherVal.kind != SymVal::Kind::ptr)
+            return true;
+        bool wantNull = pred == IntPred::eq;
+        bool mustNonNull = !otherVal.mayBeNull &&
+            (otherVal.base >= 0 || otherVal.base == kBaseGlobal);
+        if (wantNull) {
+            if (mustNonNull)
+                return false; // non-null pointer on the == NULL edge
+            writeBack(other, SymVal::nullPtr());
+        } else {
+            if (otherVal.base == kBaseNull)
+                return false; // must-null pointer on the != NULL edge
+            SymVal refined = otherVal;
+            refined.mayBeNull = false;
+            writeBack(other, refined);
+        }
+        return true;
+    }
+    if (!a->type()->isInteger())
+        return true;
+    if (av.kind != SymVal::Kind::intv || bv.kind != SymVal::Kind::intv)
+        return true;
+    const Lin &la = av.lin;
+    const Lin &lb = bv.lin;
+
+    if (la.isConst() && lb.isConst()) {
+        int64_t x = la.add;
+        int64_t y = lb.add;
+        bool holds = true;
+        switch (pred) {
+          case IntPred::eq:  holds = x == y; break;
+          case IntPred::ne:  holds = x != y; break;
+          case IntPred::slt: holds = x < y; break;
+          case IntPred::sle: holds = x <= y; break;
+          case IntPred::sgt: holds = x > y; break;
+          case IntPred::sge: holds = x >= y; break;
+          default:
+            return true; // unsigned constant folds are not needed
+        }
+        return holds;
+    }
+
+    switch (pred) {
+      case IntPred::eq: {
+        int va = materialize(la);
+        int vb = materialize(lb);
+        solver_.addLe(va, vb, 0);
+        solver_.addLe(vb, va, 0);
+        return true;
+      }
+      case IntPred::ne:
+        // Only the against-constant form is expressible.
+        if (lb.isConst())
+            solver_.addNeq(materialize(la), lb.add);
+        else if (la.isConst())
+            solver_.addNeq(materialize(lb), la.add);
+        return true;
+      case IntPred::slt:
+        solver_.addLe(materialize(la), materialize(lb), -1);
+        return true;
+      case IntPred::sle:
+        solver_.addLe(materialize(la), materialize(lb), 0);
+        return true;
+      case IntPred::sgt:
+        solver_.addLe(materialize(lb), materialize(la), -1);
+        return true;
+      case IntPred::sge:
+        solver_.addLe(materialize(lb), materialize(la), 0);
+        return true;
+      default:
+        // Unsigned comparisons are dropped: the system stays a
+        // relaxation, so UNSAT remains a proof.
+        return true;
+    }
+}
+
+bool
+PathExec::transfer(const Instruction &inst)
+{
+    switch (inst.op()) {
+      case Opcode::alloca_: {
+        int64_t size =
+            static_cast<int64_t>(inst.accessType()->size());
+        objects_.push_back(SymObj{Lin::constant(size), false, {}});
+        setSlot(inst, SymVal::pointer(
+                          static_cast<int>(objects_.size()) - 1,
+                          Lin::constant(0), false));
+        return true;
+      }
+      case Opcode::load: {
+        SymVal addr = evalValue(inst.operand(0));
+        unsigned width =
+            static_cast<unsigned>(inst.accessType()->size());
+        setSlot(inst, loadFrom(addr, width, inst.type()));
+        return true;
+      }
+      case Opcode::store: {
+        SymVal val = evalValue(inst.operand(0));
+        SymVal addr = evalValue(inst.operand(1));
+        unsigned width =
+            static_cast<unsigned>(inst.accessType()->size());
+        storeTo(addr, width, val);
+        return true;
+      }
+      case Opcode::gep: {
+        SymVal base = evalValue(inst.operand(0));
+        std::optional<Lin> delta =
+            Lin::constant(inst.gepConstOffset());
+        Interval deltaBound = Interval::of(inst.gepConstOffset());
+        if (inst.numOperands() > 1) {
+            SymVal idx = evalValue(inst.operand(1));
+            uint64_t scale = inst.gepScale();
+            Interval idxBound = idx.kind == SymVal::Kind::intv
+                ? boundOf(idx.lin)
+                : Interval::top();
+            Interval scaled = scale <= INT64_MAX
+                ? intervalMul(idxBound,
+                              Interval::of(static_cast<int64_t>(scale)))
+                : Interval::top();
+            deltaBound = intervalAdd(deltaBound, scaled);
+            if (idx.kind == SymVal::Kind::intv &&
+                scale <= INT64_MAX) {
+                auto scaledLin = linMulConst(
+                    idx.lin, static_cast<int64_t>(scale));
+                delta = scaledLin ? linAdd(*scaledLin, *delta)
+                                  : std::nullopt;
+            } else {
+                delta = std::nullopt;
+            }
+        }
+        if (base.kind != SymVal::Kind::ptr) {
+            setSlot(inst, SymVal::unknownPtr());
+            return true;
+        }
+        SymVal out = base;
+        std::optional<Lin> off =
+            delta ? linAdd(base.off, *delta) : std::nullopt;
+        out.off = off
+            ? *off
+            : fresh(intervalAdd(boundOf(base.off), deltaBound));
+        setSlot(inst, out);
+        return true;
+      }
+      case Opcode::add:
+      case Opcode::sub:
+      case Opcode::mul: {
+        SymVal av = evalValue(inst.operand(0));
+        SymVal bv = evalValue(inst.operand(1));
+        unsigned bits = inst.type()->intBits();
+        if (av.kind != SymVal::Kind::intv ||
+            bv.kind != SymVal::Kind::intv) {
+            setSlot(inst, SymVal::ofLin(freshOfWidth(bits)));
+            return true;
+        }
+        std::optional<Lin> lin;
+        if (inst.op() == Opcode::add) {
+            lin = linAdd(av.lin, bv.lin);
+        } else if (inst.op() == Opcode::sub) {
+            if (auto neg = linMulConst(bv.lin, -1))
+                lin = linAdd(av.lin, *neg);
+        } else if (bv.lin.isConst()) {
+            lin = linMulConst(av.lin, bv.lin.add);
+        } else if (av.lin.isConst()) {
+            lin = linMulConst(bv.lin, av.lin.add);
+        }
+        Interval width = intervalOfWidth(bits);
+        if (lin.has_value()) {
+            Interval bound = boundOf(*lin);
+            // The native op wraps at `bits`; the affine model does
+            // not. Keep the relation only when it provably cannot
+            // wrap, else degrade to a fresh width-bounded variable.
+            if (bound.lo >= width.lo && bound.hi <= width.hi) {
+                setSlot(inst, SymVal::ofLin(*lin));
+                return true;
+            }
+        }
+        Interval a = boundOf(av.lin);
+        Interval b = boundOf(bv.lin);
+        Interval r = inst.op() == Opcode::add ? intervalAdd(a, b)
+            : inst.op() == Opcode::sub       ? intervalSub(a, b)
+                                             : intervalMul(a, b);
+        setSlot(inst, SymVal::ofLin(fresh(intervalWrap(r, bits))));
+        return true;
+      }
+      case Opcode::trunc: {
+        SymVal av = evalValue(inst.operand(0));
+        unsigned bits = inst.type()->intBits();
+        Interval width = intervalOfWidth(bits);
+        if (av.kind == SymVal::Kind::intv) {
+            Interval bound = boundOf(av.lin);
+            if (bound.lo >= width.lo && bound.hi <= width.hi) {
+                setSlot(inst, av);
+                return true;
+            }
+        }
+        setSlot(inst, SymVal::ofLin(freshOfWidth(bits)));
+        return true;
+      }
+      case Opcode::zext: {
+        SymVal av = evalValue(inst.operand(0));
+        const Type *srcType = inst.operand(0)->type();
+        unsigned srcBits =
+            srcType->isInteger() ? srcType->intBits() : 64;
+        if (av.kind == SymVal::Kind::intv &&
+            (srcBits >= 64 || boundOf(av.lin).lo >= 0)) {
+            setSlot(inst, av); // provably non-negative: identity
+            return true;
+        }
+        Interval range = srcBits >= 64
+            ? Interval::top()
+            : Interval::range(0,
+                              static_cast<int64_t>(
+                                  (uint64_t{1} << srcBits) - 1));
+        setSlot(inst, SymVal::ofLin(fresh(range)));
+        return true;
+      }
+      case Opcode::sext: {
+        // Canonical values are sign-extended: identity.
+        SymVal av = evalValue(inst.operand(0));
+        setSlot(inst,
+                av.kind == SymVal::Kind::intv
+                    ? av
+                    : SymVal::ofLin(
+                          freshOfWidth(inst.type()->intBits())));
+        return true;
+      }
+      case Opcode::icmp:
+      case Opcode::fcmp:
+        setSlot(inst, SymVal::ofLin(fresh(Interval::range(0, 1))));
+        return true;
+      case Opcode::select: {
+        SymVal cond = evalValue(inst.operand(0));
+        if (cond.kind == SymVal::Kind::intv && cond.lin.isConst()) {
+            setSlot(inst, evalValue(
+                              inst.operand(cond.lin.add != 0 ? 1 : 2)));
+        } else {
+            setSlot(inst, typedFresh(inst.type()));
+        }
+        return true;
+      }
+      case Opcode::call:
+        return transferCall(inst);
+      case Opcode::inttoptr:
+        setSlot(inst, SymVal::unknownPtr());
+        return true;
+      case Opcode::br:
+      case Opcode::condbr:
+      case Opcode::ret:
+      case Opcode::unreachable_:
+        return true; // edges are constrained by addEdgeConstraint
+      default:
+        // div/rem/bit/shift/float/casts: sound fresh result.
+        setSlot(inst, typedFresh(inst.type()));
+        return true;
+    }
+}
+
+bool
+PathExec::runBlock(unsigned b, size_t end)
+{
+    const auto &insts = fn_.blocks()[b]->insts();
+    for (size_t i = 0; i < std::min(end, insts.size()); i++) {
+        if (!transfer(*insts[i]))
+            return false;
+    }
+    return true;
+}
+
+bool
+PathExec::addEdgeConstraint(unsigned b, unsigned next)
+{
+    const Instruction *term = fn_.blocks()[b]->terminator();
+    if (term == nullptr || term->op() != Opcode::condbr)
+        return true;
+    unsigned t0 = term->target(0)->index();
+    unsigned t1 = term->target(1)->index();
+    if (t0 == t1)
+        return true;
+    bool polarity = next == t0; // target(0) is the true edge
+    const Instruction *cmp = peelCondChain(term->operand(0), polarity);
+    if (cmp == nullptr)
+        return true;
+    IntPred pred =
+        polarity ? cmp->intPred() : negatePred(cmp->intPred());
+    return constrainCompare(*cmp, pred);
+}
+
+PathVerdict
+PathExec::checkFault(const StaticFinding &finding,
+                     const Instruction &inst, std::string &note)
+{
+    if (inst.op() != Opcode::load && inst.op() != Opcode::store) {
+        note = "fault site is not a direct memory access";
+        return PathVerdict::unknown;
+    }
+    SymVal addr = evalValue(
+        inst.operand(inst.op() == Opcode::load ? 0 : 1));
+    if (addr.kind != SymVal::Kind::ptr) {
+        note = "address is not tracked symbolically";
+        return PathVerdict::unknown;
+    }
+
+    SmtLite::Outcome path = solver_.solve();
+    if (path.result == SmtLite::Result::unsat) {
+        note = "branch contradiction: " + path.reason;
+        return PathVerdict::infeasible;
+    }
+
+    if (finding.kind == ErrorKind::nullDeref) {
+        if (addr.base == kBaseNull) {
+            if (path.result == SmtLite::Result::sat) {
+                note = "pointer is null under " + path.reason;
+                return PathVerdict::faultFeasible;
+            }
+            note = "pointer is null, path feasibility undecided";
+            return PathVerdict::unknown;
+        }
+        if ((addr.base >= 0 || addr.base == kBaseGlobal) &&
+            !addr.mayBeNull) {
+            note = "pointer provably refers to an object, never null";
+            return PathVerdict::faultImpossible;
+        }
+        note = "pointer nullness not decided symbolically";
+        return PathVerdict::unknown;
+    }
+
+    if (finding.kind != ErrorKind::outOfBounds) {
+        note = "error kind out of the solver's scope";
+        return PathVerdict::unknown;
+    }
+    if (addr.base < 0) {
+        note = "access target object not tracked symbolically";
+        return PathVerdict::unknown;
+    }
+    int64_t width = static_cast<int64_t>(inst.accessType()->size());
+    int vOff = materialize(addr.off, "off");
+    int vSize = materialize(objects_[addr.base].size, "size");
+
+    // Underflow: S /\ off <= -1.
+    SmtLite under = solver_;
+    under.addLe(vOff, SmtLite::kConst, -1);
+    SmtLite::Outcome u = under.solve();
+    if (u.result == SmtLite::Result::sat) {
+        note = "underflow model: " + u.reason;
+        return PathVerdict::faultFeasible;
+    }
+    // Overflow: S /\ size <= off + width - 1  (i.e. off+width > size).
+    SmtLite over = solver_;
+    over.addLe(vSize, vOff, width - 1);
+    SmtLite::Outcome o = over.solve();
+    if (o.result == SmtLite::Result::sat) {
+        note = "overflow model: " + o.reason;
+        return PathVerdict::faultFeasible;
+    }
+    if (u.result == SmtLite::Result::unsat &&
+        o.result == SmtLite::Result::unsat) {
+        note = "access in bounds (" + u.reason + "; " + o.reason + ")";
+        return PathVerdict::faultImpossible;
+    }
+    note = "bounds not decided within solver budget";
+    return PathVerdict::unknown;
+}
+
+} // namespace
+
+PathRefuter::PathRefuter(const Module &module, const Function &fn)
+    : module_(module), fn_(fn), cfg_(fn)
+{}
+
+RefutationCheck
+PathRefuter::check(const StaticFinding &finding) const
+{
+    RefutationCheck out;
+    if (finding.kind != ErrorKind::outOfBounds &&
+        finding.kind != ErrorKind::nullDeref) {
+        out.certificate = "error kind out of the solver's scope";
+        return out;
+    }
+    if (finding.blockIndex >= fn_.blocks().size()) {
+        out.certificate = "finding does not map to a block";
+        return out;
+    }
+    const BasicBlock &targetBlock = *fn_.blocks()[finding.blockIndex];
+    if (finding.instIndex >= targetBlock.insts().size()) {
+        out.certificate = "finding does not map to an instruction";
+        return out;
+    }
+    unsigned target = finding.blockIndex;
+    if (!cfg_.reachable(target)) {
+        out.certificate = "fault block unreachable";
+        return out;
+    }
+
+    // Region: blocks that are reachable from the entry AND reach the
+    // fault block. Every real execution hitting the fault stays inside.
+    size_t n = cfg_.numBlocks();
+    std::vector<bool> region(n, false);
+    {
+        std::vector<unsigned> stack{target};
+        region[target] = true;
+        while (!stack.empty()) {
+            unsigned b = stack.back();
+            stack.pop_back();
+            for (unsigned p : cfg_.preds(b)) {
+                if (!region[p] && cfg_.reachable(p)) {
+                    region[p] = true;
+                    stack.push_back(p);
+                }
+            }
+        }
+    }
+    unsigned entry = fn_.entry()->index();
+    if (!region[entry]) {
+        out.certificate = "fault block not reachable from entry";
+        return out;
+    }
+
+    // Acyclicity of the region (edges out of the fault block excluded:
+    // paths end there). A loop would make path enumeration incomplete.
+    {
+        std::vector<uint8_t> color(n, 0);
+        std::vector<std::pair<unsigned, size_t>> stack{{entry, 0}};
+        color[entry] = 1;
+        while (!stack.empty()) {
+            auto &[b, child] = stack.back();
+            const auto &succs = cfg_.succs(b);
+            bool descended = false;
+            while (b != target && child < succs.size()) {
+                unsigned s = succs[child++];
+                if (!region[s])
+                    continue;
+                if (color[s] == 1) {
+                    out.certificate = "witness paths contain a loop";
+                    return out;
+                }
+                if (color[s] == 0) {
+                    color[s] = 1;
+                    stack.push_back({s, 0});
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended) {
+                color[b] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+
+    // Enumerate every entry -> fault path of the (acyclic) region.
+    std::vector<std::vector<unsigned>> paths;
+    {
+        std::vector<std::pair<unsigned, size_t>> stack{{entry, 0}};
+        std::vector<unsigned> current{entry};
+        while (!stack.empty()) {
+            auto &[b, child] = stack.back();
+            if (b == target) {
+                paths.push_back(current);
+                if (paths.size() > kMaxPaths) {
+                    out.certificate = "too many witness paths";
+                    return out;
+                }
+                stack.pop_back();
+                current.pop_back();
+                continue;
+            }
+            const auto &succs = cfg_.succs(b);
+            bool descended = false;
+            while (child < succs.size()) {
+                unsigned s = succs[child++];
+                if (!region[s])
+                    continue;
+                stack.push_back({s, 0});
+                current.push_back(s);
+                descended = true;
+                break;
+            }
+            if (!descended) {
+                stack.pop_back();
+                current.pop_back();
+            }
+        }
+    }
+    if (paths.empty()) {
+        out.certificate = "no witness path found";
+        return out;
+    }
+
+    bool isMain = fn_.name() == "main";
+    const Instruction &faultInst =
+        *targetBlock.insts()[finding.instIndex];
+    std::ostringstream cert;
+    bool allRefuted = true;
+    for (const std::vector<unsigned> &path : paths) {
+        PathExec exec(fn_, isMain);
+        PathVerdict verdict = PathVerdict::infeasible;
+        std::string note = "constant branch contradiction";
+        bool alive = true;
+        for (size_t i = 0; i + 1 < path.size() && alive; i++) {
+            alive = exec.runBlock(path[i],
+                                  fn_.blocks()[path[i]]->insts().size()) &&
+                exec.addEdgeConstraint(path[i], path[i + 1]);
+        }
+        if (alive) {
+            if (!exec.runBlock(target, finding.instIndex)) {
+                note = "constant branch contradiction";
+            } else {
+                verdict = exec.checkFault(finding, faultInst, note);
+            }
+        }
+        if (verdict == PathVerdict::faultFeasible) {
+            out.verdict = RefuteVerdict::feasible;
+            std::ostringstream os;
+            os << "path";
+            for (unsigned b : path)
+                os << " b" << b;
+            os << ": " << note;
+            out.certificate = os.str();
+            return out;
+        }
+        if (verdict == PathVerdict::unknown) {
+            allRefuted = false;
+            out.certificate = note;
+            continue;
+        }
+        cert << (cert.tellp() > 0 ? "; " : "") << "path";
+        for (unsigned b : path)
+            cert << " b" << b;
+        cert << ": " << note;
+    }
+    if (allRefuted) {
+        out.verdict = RefuteVerdict::provenInfeasible;
+        out.certificate = cert.str();
+    }
+    return out;
+}
+
+} // namespace sulong

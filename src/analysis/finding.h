@@ -75,6 +75,23 @@ struct StaticFinding
     std::string toString() const;
 };
 
+/**
+ * A finding the constraint solver dropped, with the proof sketch.
+ * Kept on the report (rather than silently deleting the finding) so
+ * the pipeline's decisions stay auditable and testable.
+ */
+struct Refutation
+{
+    std::string function;
+    unsigned blockIndex = 0;
+    unsigned instIndex = 0;
+    ErrorKind kind = ErrorKind::none;
+    /// Per-witness-path refutation certificate from the solver.
+    std::string certificate;
+
+    std::string toString() const;
+};
+
 /** Tuning knobs of one analysis run. */
 struct AnalysisOptions
 {
@@ -86,6 +103,21 @@ struct AnalysisOptions
     /// corpus sources); libc definitions are skipped. The libc smoke
     /// test flips this off to sweep the libc bodies themselves.
     bool userCodeOnly = true;
+    /// Compute bottom-up function summaries over the SCC condensation
+    /// and apply them at call sites. Off = PR-4 behaviour (calls to
+    /// user functions havoc everything reachable).
+    bool summaries = true;
+    /// Run the SMT-lite constraint refutation stage before the concrete
+    /// replay; proven-infeasible findings are dropped with a
+    /// certificate.
+    bool solver = true;
+    /// Fixpoint rounds for a recursive SCC's summaries before the whole
+    /// SCC degrades to pessimistic.
+    unsigned summaryDepth = 3;
+    /// Worker threads for same-depth SCCs (1 = fully sequential).
+    /// Findings are merged in function order, so results are identical
+    /// for any value.
+    unsigned jobs = 1;
     /// Joins at one block before intervals are widened to +/-inf.
     unsigned widenAfter = 6;
     /// Fixpoint visits of one block before the function is abandoned
@@ -107,8 +139,17 @@ struct AnalysisOptions
 struct AnalysisReport
 {
     std::vector<StaticFinding> findings;
+    /// Findings the constraint solver proved infeasible and dropped.
+    std::vector<Refutation> refutations;
     /// Number of function definitions visited by the fixpoint.
     unsigned functionsAnalyzed = 0;
+    /// Strongly connected components of the call graph.
+    unsigned sccCount = 0;
+    /// Call sites where a callee summary was applied instead of a havoc.
+    unsigned summariesApplied = 0;
+    /// Findings the solver examined / could not decide.
+    unsigned solverChecked = 0;
+    unsigned solverUnknown = 0;
     /// True when some function hit maxBlockVisits and was abandoned.
     bool incomplete = false;
     /// True when the refutation replay ran (a main() was present).

@@ -274,6 +274,14 @@ struct ObjectInfo
     bool multiInstance = false;
     /// Const global: contents are immutable, never havocked.
     bool isConst = false;
+    /// Suppress findings against this object. Used for the pseudo
+    /// objects that stand in for a summarized function's pointer
+    /// parameters: accesses through them are judged at the call sites
+    /// (where the real object is known), not inside the callee.
+    bool silent = false;
+    /// Pointer-parameter pseudo object: index of the formal parameter
+    /// it models, -1 otherwise.
+    int paramIndex = -1;
 };
 
 } // namespace sulong

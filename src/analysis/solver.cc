@@ -1,0 +1,328 @@
+#include "analysis/solver.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace sulong
+{
+
+namespace
+{
+
+using int128 = __int128;
+
+constexpr unsigned kMaxPropagationPasses = 256;
+constexpr unsigned kMaxSearchDepth = 16;
+constexpr unsigned kSearchNodeBudget = 64;
+
+int64_t
+clamp128(int128 v)
+{
+    if (v > int128{INT64_MAX})
+        return INT64_MAX;
+    if (v < int128{INT64_MIN})
+        return INT64_MIN;
+    return static_cast<int64_t>(v);
+}
+
+int64_t
+satAdd(int64_t a, int64_t b)
+{
+    return clamp128(int128{a} + int128{b});
+}
+
+/// floor(a / b) over exact 128-bit intermediates; b != 0.
+int64_t
+floorDiv128(int128 a, int64_t b)
+{
+    int128 q = a / b;
+    if ((a % b) != 0 && ((a < 0) != (b < 0)))
+        q--;
+    return clamp128(q);
+}
+
+/// ceil(a / b) over exact 128-bit intermediates; b != 0.
+int64_t
+ceilDiv128(int128 a, int64_t b)
+{
+    int128 q = a / b;
+    if ((a % b) != 0 && ((a < 0) == (b < 0)))
+        q++;
+    return clamp128(q);
+}
+
+/// Saturating image of @p x under v -> mul*v + add.
+Interval
+affineImage(const Interval &x, int64_t mul, int64_t add)
+{
+    if (x.isEmpty())
+        return x;
+    int128 lo = int128{mul} * x.lo + add;
+    int128 hi = int128{mul} * x.hi + add;
+    if (mul < 0)
+        std::swap(lo, hi);
+    return Interval::range(clamp128(lo), clamp128(hi));
+}
+
+/// Exact preimage of @p y under v -> mul*v + add (mul != 0): the x
+/// values whose image lies inside y.
+Interval
+affinePreimage(const Interval &y, int64_t mul, int64_t add)
+{
+    if (y.isEmpty())
+        return y;
+    int128 lo = int128{y.lo} - add;
+    int128 hi = int128{y.hi} - add;
+    int64_t xlo, xhi;
+    if (mul > 0) {
+        xlo = ceilDiv128(lo, mul);
+        xhi = floorDiv128(hi, mul);
+    } else {
+        xlo = ceilDiv128(hi, mul);
+        xhi = floorDiv128(lo, mul);
+    }
+    if (xlo > xhi)
+        return Interval::empty();
+    return Interval::range(xlo, xhi);
+}
+
+} // namespace
+
+int
+SmtLite::addVar(const Interval &domain, std::string name)
+{
+    domains_.push_back(domain);
+    names_.push_back(std::move(name));
+    return static_cast<int>(domains_.size()) - 1;
+}
+
+void
+SmtLite::addEq(int a, int b, int64_t mul, int64_t add)
+{
+    eqs_.push_back({a, b, mul, add});
+}
+
+void
+SmtLite::addLe(int a, int b, int64_t k)
+{
+    les_.push_back({a, b, k});
+}
+
+void
+SmtLite::addNeq(int v, int64_t c)
+{
+    neqs_.push_back({v, c});
+}
+
+std::string
+SmtLite::varName(int v) const
+{
+    if (v >= 0 && static_cast<size_t>(v) < names_.size() &&
+        !names_[v].empty())
+        return names_[v];
+    std::string out = "v";
+    out += std::to_string(v);
+    return out;
+}
+
+std::string
+SmtLite::describeEq(const Eq &eq) const
+{
+    std::ostringstream os;
+    os << varName(eq.a) << " = " << eq.mul << "*" << varName(eq.b);
+    if (eq.add != 0)
+        os << (eq.add > 0 ? " + " : " - ") << std::abs(eq.add);
+    return os.str();
+}
+
+std::string
+SmtLite::describeLe(const Le &le) const
+{
+    std::ostringstream os;
+    os << varName(le.a) << " <= ";
+    if (le.b == kConst) {
+        os << le.k;
+    } else {
+        os << varName(le.b);
+        if (le.k != 0)
+            os << (le.k > 0 ? " + " : " - ") << std::abs(le.k);
+    }
+    return os.str();
+}
+
+bool
+SmtLite::propagate(std::vector<Interval> &dom, std::string &reason) const
+{
+    for (size_t v = 0; v < dom.size(); v++) {
+        if (dom[v].isEmpty()) {
+            reason = "domain of " + varName(static_cast<int>(v)) +
+                " is empty";
+            return false;
+        }
+    }
+    for (unsigned pass = 0; pass < kMaxPropagationPasses; pass++) {
+        bool changed = false;
+        auto narrow = [&](int v, const Interval &to,
+                          const std::string &why) {
+            Interval met = dom[v].meet(to);
+            if (met == dom[v])
+                return true;
+            dom[v] = met;
+            changed = true;
+            if (met.isEmpty()) {
+                reason = varName(v) + " emptied by " + why;
+                return false;
+            }
+            return true;
+        };
+        for (const Le &le : les_) {
+            if (le.b == kConst) {
+                if (!narrow(le.a,
+                            Interval::range(INT64_MIN, le.k),
+                            describeLe(le)))
+                    return false;
+                continue;
+            }
+            // a <= b + k: a.hi <= b.hi + k, b.lo >= a.lo - k.
+            if (!narrow(le.a,
+                        Interval::range(INT64_MIN,
+                                        satAdd(dom[le.b].hi, le.k)),
+                        describeLe(le)))
+                return false;
+            if (!narrow(le.b,
+                        Interval::range(satAdd(dom[le.a].lo, -le.k),
+                                        INT64_MAX),
+                        describeLe(le)))
+                return false;
+        }
+        for (const Eq &eq : eqs_) {
+            if (!narrow(eq.a, affineImage(dom[eq.b], eq.mul, eq.add),
+                        describeEq(eq)))
+                return false;
+            if (!narrow(eq.b, affinePreimage(dom[eq.a], eq.mul, eq.add),
+                        describeEq(eq)))
+                return false;
+        }
+        for (const Neq &neq : neqs_) {
+            Interval d = dom[neq.v];
+            if (d.isSingleton() && d.lo == neq.c) {
+                dom[neq.v] = Interval::empty();
+                reason = varName(neq.v) + " emptied by " +
+                    varName(neq.v) + " != " + std::to_string(neq.c);
+                return false;
+            }
+            if (d.lo == neq.c) {
+                dom[neq.v].lo = satAdd(neq.c, 1);
+                changed = true;
+            } else if (d.hi == neq.c) {
+                dom[neq.v].hi = satAdd(neq.c, -1);
+                changed = true;
+            }
+        }
+        if (!changed)
+            return true;
+    }
+    // Unconverged after the pass budget: the narrowed domains so far are
+    // still a sound over-approximation, so the caller may proceed.
+    return true;
+}
+
+bool
+SmtLite::verifyModel(const std::vector<int64_t> &model) const
+{
+    for (size_t v = 0; v < domains_.size(); v++) {
+        if (!domains_[v].contains(model[v]))
+            return false;
+    }
+    for (const Eq &eq : eqs_) {
+        if (int128{model[eq.a]} !=
+            int128{eq.mul} * model[eq.b] + eq.add)
+            return false;
+    }
+    for (const Le &le : les_) {
+        int128 rhs = le.b == kConst ? int128{le.k}
+                                    : int128{model[le.b]} + le.k;
+        if (int128{model[le.a]} > rhs)
+            return false;
+    }
+    for (const Neq &neq : neqs_) {
+        if (model[neq.v] == neq.c)
+            return false;
+    }
+    return true;
+}
+
+bool
+SmtLite::searchModel(std::vector<Interval> dom, unsigned depth,
+                     unsigned &budget, std::vector<int64_t> &model) const
+{
+    if (budget == 0 || depth > kMaxSearchDepth)
+        return false;
+    budget--;
+    std::string reason;
+    if (!propagate(dom, reason))
+        return false;
+    int split = -1;
+    for (size_t v = 0; v < dom.size(); v++) {
+        if (!dom[v].isSingleton()) {
+            split = static_cast<int>(v);
+            break;
+        }
+    }
+    if (split < 0) {
+        std::vector<int64_t> candidate(dom.size());
+        for (size_t v = 0; v < dom.size(); v++)
+            candidate[v] = dom[v].lo;
+        if (!verifyModel(candidate))
+            return false;
+        model = std::move(candidate);
+        return true;
+    }
+    const Interval d = dom[split];
+    int64_t mid =
+        clamp128((int128{d.lo} + int128{d.hi}) / 2);
+    const int64_t candidates[] = {d.lo, d.hi, mid};
+    for (int64_t c : candidates) {
+        std::vector<Interval> child = dom;
+        child[split] = Interval::of(c);
+        if (searchModel(std::move(child), depth + 1, budget, model))
+            return true;
+    }
+    return false;
+}
+
+SmtLite::Outcome
+SmtLite::solve() const
+{
+    Outcome out;
+    std::vector<Interval> dom = domains_;
+    if (!propagate(dom, out.reason)) {
+        // Top-level propagation emptied a domain: a genuine proof of
+        // unsatisfiability (every step only removed impossible values).
+        out.result = Result::unsat;
+        return out;
+    }
+    unsigned budget = kSearchNodeBudget;
+    std::vector<int64_t> model;
+    if (searchModel(std::move(dom), 0, budget, model) &&
+        verifyModel(model)) {
+        out.result = Result::sat;
+        out.model = std::move(model);
+        std::ostringstream os;
+        for (size_t v = 0; v < out.model.size(); v++) {
+            if (v)
+                os << ", ";
+            os << varName(static_cast<int>(v)) << "=" << out.model[v];
+        }
+        out.reason = os.str();
+        return out;
+    }
+    // The lo/mid/hi search is incomplete, so failing to find a model is
+    // not a proof of unsatisfiability.
+    out.result = Result::unknown;
+    out.reason = "no model within search budget";
+    return out;
+}
+
+} // namespace sulong

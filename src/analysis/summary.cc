@@ -1,0 +1,206 @@
+#include "analysis/summary.h"
+
+#include <sstream>
+
+namespace sulong
+{
+
+using Ret = FunctionSummary::Ret;
+
+namespace
+{
+
+/** Sound join of two contents defaults (summary-level: no per-path
+ *  weaklyWritten refinement, so anything touching `uninit` degrades to
+ *  maybeUninit rather than staying definite). */
+ContentsDefault
+joinContents(ContentsDefault a, ContentsDefault b)
+{
+    if (a == b)
+        return a;
+    if (a == ContentsDefault::maybeUninit ||
+        b == ContentsDefault::maybeUninit)
+        return ContentsDefault::maybeUninit;
+    if (a == ContentsDefault::uninit || b == ContentsDefault::uninit)
+        return ContentsDefault::maybeUninit;
+    return ContentsDefault::unknown;
+}
+
+bool
+sameAffine(const FunctionSummary &a, const FunctionSummary &b)
+{
+    if (a.hasAffine != b.hasAffine)
+        return false;
+    if (!a.hasAffine)
+        return true;
+    if (a.affineArg != b.affineArg ||
+        a.prefixes.size() != b.prefixes.size())
+        return false;
+    for (size_t i = 0; i < a.prefixes.size(); i++) {
+        if (a.prefixes[i].mul != b.prefixes[i].mul ||
+            a.prefixes[i].add != b.prefixes[i].add ||
+            a.prefixes[i].bits != b.prefixes[i].bits)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+FunctionSummary
+FunctionSummary::makePessimistic(size_t num_params)
+{
+    FunctionSummary s;
+    s.computed = true;
+    s.pessimistic = true;
+    s.writesGlobals = true;
+    s.ret = Ret::unknown;
+    ParamEffect all;
+    all.pointeeWritten = all.escapes = all.mayFree = true;
+    s.params.assign(num_params, all);
+    return s;
+}
+
+std::string
+FunctionSummary::toString() const
+{
+    std::ostringstream os;
+    if (!computed)
+        return "<uncomputed>";
+    if (pessimistic)
+        return "<pessimistic>";
+    switch (ret) {
+      case Ret::none:
+        os << (neverReturns ? "noreturn" : "void");
+        break;
+      case Ret::interval:
+        os << "ret " << retInterval.toString();
+        break;
+      case Ret::freshHeap:
+        os << "ret heap[" << allocSize.toString() << "]"
+           << (retMayBeNull ? "?" : "");
+        break;
+      case Ret::unknown:
+        os << "ret ?";
+        break;
+    }
+    if (hasAffine)
+        os << " affine(arg" << affineArg << ")";
+    if (writesGlobals)
+        os << " writes-globals";
+    for (size_t i = 0; i < params.size(); i++) {
+        const ParamEffect &p = params[i];
+        if (!p.pointeeWritten && !p.escapes && !p.mayFree)
+            continue;
+        os << " p" << i << "{" << (p.pointeeWritten ? "w" : "")
+           << (p.escapes ? "e" : "") << (p.mayFree ? "f" : "") << "}";
+    }
+    return os.str();
+}
+
+bool
+joinSummaryInto(FunctionSummary &into, const FunctionSummary &from,
+                bool widen)
+{
+    if (!from.computed)
+        return false;
+    if (!into.computed) {
+        into = from;
+        return true;
+    }
+    FunctionSummary joined = into;
+    joined.pessimistic = into.pessimistic || from.pessimistic;
+    joined.writesGlobals = into.writesGlobals || from.writesGlobals;
+    joined.neverReturns = into.neverReturns && from.neverReturns;
+
+    // Return-shape lattice: none is bottom, unknown is top.
+    if (into.ret == Ret::none) {
+        joined.ret = from.ret;
+        joined.retInterval = from.retInterval;
+        joined.allocSize = from.allocSize;
+        joined.allocContents = from.allocContents;
+        joined.retMayBeNull = from.retMayBeNull;
+        joined.hasAffine = from.hasAffine;
+        joined.affineArg = from.affineArg;
+        joined.prefixes = from.prefixes;
+    } else if (from.ret == Ret::none || into.ret == from.ret) {
+        if (from.ret == Ret::interval) {
+            joined.retInterval = widen
+                ? into.retInterval.widen(
+                      into.retInterval.join(from.retInterval))
+                : into.retInterval.join(from.retInterval);
+        }
+        if (from.ret == Ret::freshHeap) {
+            joined.allocSize = widen
+                ? into.allocSize.widen(
+                      into.allocSize.join(from.allocSize))
+                : into.allocSize.join(from.allocSize);
+            joined.allocContents =
+                joinContents(into.allocContents, from.allocContents);
+            joined.retMayBeNull =
+                into.retMayBeNull || from.retMayBeNull;
+        }
+        if (from.ret != Ret::none && !sameAffine(into, from))
+            joined.hasAffine = false;
+    } else {
+        joined.ret = Ret::unknown;
+        joined.hasAffine = false;
+    }
+
+    size_t params = std::max(into.params.size(), from.params.size());
+    joined.params.resize(params);
+    for (size_t i = 0; i < from.params.size(); i++) {
+        joined.params[i].pointeeWritten |= from.params[i].pointeeWritten;
+        joined.params[i].escapes |= from.params[i].escapes;
+        joined.params[i].mayFree |= from.params[i].mayFree;
+    }
+
+    bool changed = joined.pessimistic != into.pessimistic ||
+        joined.writesGlobals != into.writesGlobals ||
+        joined.neverReturns != into.neverReturns ||
+        joined.ret != into.ret ||
+        joined.retInterval != into.retInterval ||
+        joined.allocSize != into.allocSize ||
+        joined.allocContents != into.allocContents ||
+        joined.retMayBeNull != into.retMayBeNull ||
+        !sameAffine(joined, into) ||
+        joined.params.size() != into.params.size();
+    if (!changed) {
+        for (size_t i = 0; i < params; i++) {
+            const ParamEffect &a = joined.params[i];
+            const ParamEffect &b = into.params[i];
+            if (a.pointeeWritten != b.pointeeWritten ||
+                a.escapes != b.escapes || a.mayFree != b.mayFree) {
+                changed = true;
+                break;
+            }
+        }
+    }
+    into = std::move(joined);
+    return changed;
+}
+
+Interval
+affineApply(const FunctionSummary &summary, Interval arg)
+{
+    if (!summary.hasAffine || summary.prefixes.empty() || arg.isEmpty())
+        return Interval::empty();
+    Interval result = Interval::empty();
+    for (const AffineStep &step : summary.prefixes) {
+        // Refuse 64-bit steps: saturating interval arithmetic cannot
+        // distinguish "saturated" from "the true bound", so the wrap
+        // guard below would be vacuous at the full width.
+        if (step.bits >= 64)
+            return Interval::empty();
+        Interval image = intervalAdd(
+            intervalMul(arg, Interval::of(step.mul)),
+            Interval::of(step.add));
+        Interval width = intervalOfWidth(step.bits);
+        if (image.lo < width.lo || image.hi > width.hi)
+            return Interval::empty();
+        result = image;
+    }
+    return result;
+}
+
+} // namespace sulong

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bottom-up function summaries: the transfer function one call site
+ * applies instead of havocking the world.
+ *
+ * A summary is computed once per function (per SCC fixpoint round for
+ * recursive functions) and records the *abstract effect* of a call:
+ * which pointer arguments have their pointees written, escaped, or
+ * freed; whether non-const globals may be written; and what the return
+ * value looks like (an interval, a fresh heap allocation, or unknown).
+ * Summaries are deliberately a small lattice — joinSummaryInto is the
+ * SCC-fixpoint join, and `pessimistic` is the top element that makes a
+ * call site fall back to the PR-4 havoc-everything behaviour.
+ */
+
+#ifndef MS_ANALYSIS_SUMMARY_H
+#define MS_ANALYSIS_SUMMARY_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/lattice.h"
+
+namespace sulong
+{
+
+/** Effect of a call on one pointer-typed parameter's pointee. */
+struct ParamEffect
+{
+    /// The callee may store through this parameter.
+    bool pointeeWritten = false;
+    /// The callee may retain the pointer (store it to a global or
+    /// another escaped object).
+    bool escapes = false;
+    /// The callee may free() the pointed-to block.
+    bool mayFree = false;
+};
+
+/** A linear (m*x + k) step of an affine return chain, tagged with the
+ *  bit width the source operation wrapped at. */
+struct AffineStep
+{
+    int64_t mul = 1;
+    int64_t add = 0;
+    unsigned bits = 64;
+};
+
+/** The abstract transfer function of one callee. */
+struct FunctionSummary
+{
+    /// What the analyzer knows about the return value.
+    enum class Ret : uint8_t
+    {
+        /// void, or the function never returns normally.
+        none,
+        /// Integer return constrained to retInterval.
+        interval,
+        /// Returns (only) pointers to heap blocks allocated inside the
+        /// callee: the call site materializes a fresh heap object.
+        freshHeap,
+        /// Anything else (escaping stack/global/parameter pointers,
+        /// unknown values).
+        unknown,
+    };
+
+    /// False until the owning SCC task has produced it; call sites
+    /// treat uncomputed summaries like pessimistic ones.
+    bool computed = false;
+    /// Top: the summary could not be bounded (unresolved indirect
+    /// calls, unstable recursion). Call sites havoc instead.
+    bool pessimistic = false;
+    /// The callee may write non-const globals (directly or through
+    /// escaped pointers).
+    bool writesGlobals = false;
+    /// No path reaches a `ret`: the call never returns (exit/abort
+    /// wrappers, infinite loops).
+    bool neverReturns = false;
+
+    Ret ret = Ret::unknown;
+    /// Ret::interval: the joined interval over every `ret` site.
+    Interval retInterval = Interval::empty();
+    /// Ret::freshHeap: joined allocation size over every returned site.
+    Interval allocSize = Interval::empty();
+    /// Ret::freshHeap: what the returned block's bytes hold.
+    ContentsDefault allocContents = ContentsDefault::unknown;
+    /// Ret::freshHeap: the callee may return NULL (allocation failure
+    /// path or an explicit `return 0`).
+    bool retMayBeNull = false;
+
+    /// Syntactic affine return recognition: when set, the return value
+    /// is prefixes.back() applied to argument `affineArg`, and every
+    /// prefix's image must stay inside its wrap width for the chain to
+    /// be applied at a call site (checked against the call-site
+    /// argument interval; see affineApply).
+    bool hasAffine = false;
+    unsigned affineArg = 0;
+    std::vector<AffineStep> prefixes;
+
+    /// One entry per formal parameter (any type; non-pointer entries
+    /// stay all-false).
+    std::vector<ParamEffect> params;
+
+    /** The havoc-everything top element, marked computed. */
+    static FunctionSummary makePessimistic(size_t num_params);
+
+    /** One-line debug rendering. */
+    std::string toString() const;
+};
+
+/**
+ * Join @p from into @p into (SCC fixpoint step). Returns true when
+ * @p into changed. @p widen widens growing intervals to the rails so
+ * recursive summary chains converge.
+ */
+bool joinSummaryInto(FunctionSummary &into, const FunctionSummary &from,
+                     bool widen);
+
+/**
+ * Apply @p summary's affine return chain to the call-site argument
+ * interval @p arg. Returns the resulting interval, or an empty interval
+ * when any prefix step's image over @p arg escapes its wrap width (the
+ * syntactic chain would have wrapped, so the affine model is invalid
+ * and the caller must fall back to retInterval).
+ */
+Interval affineApply(const FunctionSummary &summary, Interval arg);
+
+/// Per-module summary table, indexed by Function::id(). Writes are
+/// confined to the owning SCC task; reads happen only at strictly
+/// greater depths (or within the owning SCC), so no locking is needed.
+using SummaryDb = std::vector<FunctionSummary>;
+
+} // namespace sulong
+
+#endif // MS_ANALYSIS_SUMMARY_H

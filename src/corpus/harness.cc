@@ -259,7 +259,7 @@ CrossValidationReport::definiteRecall() const
 
 CrossValidationReport
 crossValidateCorpus(const std::vector<CorpusEntry> &entries,
-                    const AnalysisOptions &base)
+                    const AnalysisOptions &base, CompileCache *cache)
 {
     CrossValidationReport report;
     auto start = std::chrono::steady_clock::now();
@@ -275,7 +275,7 @@ crossValidateCorpus(const std::vector<CorpusEntry> &entries,
         row.expectedKind = entry.kind;
         row.expected = bugClassOfError(entry.kind);
 
-        PreparedProgram prepared = prepareProgram(entry.source, config);
+        PreparedProgram prepared = prepareProgram(entry.source, config, cache);
         if (!prepared.ok()) {
             row.dynamicError = true;
             report.rows.push_back(std::move(row));
@@ -287,6 +287,8 @@ crossValidateCorpus(const std::vector<CorpusEntry> &entries,
         options.replayStdin = entry.stdinData;
         AnalysisReport analysis = analyzeModule(*prepared.module, options);
         row.replayOutcome = analysis.replayOutcome;
+        row.refutedCount = static_cast<unsigned>(analysis.refutations.size());
+        row.summariesApplied = analysis.summariesApplied;
 
         prepared.engine->limits() = corpusRunLimits();
         ExecutionResult dynamic = prepared.run(entry.args, entry.stdinData);

@@ -106,6 +106,11 @@ struct CrossValidationRow
     bool dynamicError = false;
     unsigned definiteCount = 0;
     unsigned maybeCount = 0;
+    /// Findings the constraint solver proved infeasible (dropped with a
+    /// refutation certificate before replay).
+    unsigned refutedCount = 0;
+    /// Call sites where a callee summary was applied instead of havocking.
+    unsigned summariesApplied = 0;
     /// A `definite` static finding whose kind the oracle did not
     /// reproduce. The soundness contract is that this never happens.
     bool falseDefinite = false;
@@ -137,10 +142,16 @@ struct CrossValidationReport
  * dynamic detector on the same module, and compare. Every `definite`
  * static finding must agree in kind with the dynamic report; any
  * disagreement is recorded as a false definite.
+ *
+ * When @p cache is non-null, per-entry compiles go through it (the same
+ * shared CompileCache the batch runner uses), so repeated
+ * cross-validation passes — e.g. ablation sweeps over AnalysisOptions —
+ * recompile nothing.
  */
 CrossValidationReport
 crossValidateCorpus(const std::vector<CorpusEntry> &entries,
-                    const AnalysisOptions &base = {});
+                    const AnalysisOptions &base = {},
+                    CompileCache *cache = nullptr);
 
 /** Render the cross-validation summary (and any disagreeing rows). */
 std::string formatCrossValidation(const CrossValidationReport &report);

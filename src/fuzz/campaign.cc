@@ -231,6 +231,11 @@ runCampaign(const CampaignOptions &options)
         report.programs++;
         if (r.bug.injected()) {
             report.injectedPrograms++;
+            if (r.bug.crossFunction) {
+                report.crossFunctionPrograms++;
+                if (r.analysisRan && r.staticHit)
+                    report.staticHitsCrossFunction++;
+            }
             if (r.managedDetected)
                 report.injectedDetectedManaged++;
             for (auto &[engine, detected] : r.detections)
@@ -301,6 +306,9 @@ appendCounts(std::ostringstream &out, const CampaignReport &report)
     out << ", \"static\": {\"hits\": " << report.staticHits
         << ", \"definite\": " << report.staticDefinite
         << ", \"maybe\": " << report.staticMaybe << "}";
+    out << ", \"cross_function\": {\"programs\": "
+        << report.crossFunctionPrograms
+        << ", \"static_hits\": " << report.staticHitsCrossFunction << "}";
     out << ", \"disagreements\": {";
     for (size_t i = 1; i < report.disagreementsByKind.size(); i++) {
         if (i > 1)
@@ -438,6 +446,9 @@ CampaignReport::formatSummary(bool verbose) const
     out << "  static analyzer:   " << staticHits << " hit(s), "
         << staticDefinite << " definite, " << staticMaybe
         << " maybe finding(s)\n";
+    out << "  cross-function:    " << staticHitsCrossFunction << "/"
+        << crossFunctionPrograms
+        << " call-boundary bugs hit statically\n";
     for (const auto &[engine, counts] : detectionsByEngine) {
         out << "  " << engine << " exact-kind detections:";
         for (size_t c = 0; c < counts.size(); c++)

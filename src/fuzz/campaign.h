@@ -86,6 +86,13 @@ struct CampaignReport
     uint64_t staticHits = 0;
     uint64_t staticDefinite = 0;
     uint64_t staticMaybe = 0;
+    /// Capability split: injected bugs that span a call boundary
+    /// (allocation, free, or access in a helper) vs those entirely in
+    /// main(). Dynamic detection is boundary-blind; the static
+    /// analyzer's hit rate on the cross-function slice measures its
+    /// interprocedural summaries.
+    uint64_t crossFunctionPrograms = 0;
+    uint64_t staticHitsCrossFunction = 0;
     /// Disagreement verdicts by kind, before dedup (index:
     /// DisagreementKind).
     std::array<uint64_t, kDisagreementKindCount> disagreementsByKind{};

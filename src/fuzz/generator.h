@@ -66,6 +66,11 @@ struct InjectedBug
     /// before instrumentation (paper Fig. 13) — redzone-based detectors
     /// are allowed to miss it.
     bool foldable = false;
+    /// The bug spans a call boundary: the allocation, the free, or the
+    /// faulting access itself lives in a helper function instead of
+    /// main(). Dynamic detectors are oblivious to function boundaries;
+    /// the static analyzer needs interprocedural summaries to see these.
+    bool crossFunction = false;
     /// Human-readable summary, e.g. "heap overflow write, 1 past end".
     std::string description;
 

@@ -61,8 +61,20 @@ injectOobIndex(FuzzProgram &program, Rng &rng)
       case 0: { // heap
         bug.storage = StorageKind::heap;
         name = "fzh";
-        snippet.push_back(L("int *fzh = malloc(sizeof(int) * " + num(len) +
-                            ");"));
+        // Half the heap variants allocate in a helper function: the
+        // bug now spans a call boundary, which dynamic detectors do
+        // not notice but the static analyzer only tracks with
+        // interprocedural allocation summaries.
+        if (rng.chance(0.5)) {
+            bug.crossFunction = true;
+            program.prelude.push_back(
+                "static int *fz_mk(void) { return malloc(sizeof(int) * " +
+                num(len) + "); }");
+            snippet.push_back(L("int *fzh = fz_mk();"));
+        } else {
+            snippet.push_back(L("int *fzh = malloc(sizeof(int) * " +
+                                num(len) + ");"));
+        }
         snippet.push_back(L("for (int fzi = 0; fzi < " + num(len) +
                             "; fzi++) fzh[fzi] = fzi + 1;"));
         break;
@@ -96,11 +108,30 @@ injectOobIndex(FuzzProgram &program, Rng &rng)
             index_expr = "fzj";
         }
     }
-    std::string access = name + "[" + index_expr + "]";
-    if (is_write)
-        snippet.push_back(L(access + " = 42;"));
-    else
-        snippet.push_back(L("mix((unsigned int)" + access + ");"));
+    // Some non-global variants move the faulting access itself into a
+    // helper (the corrupting function differs from the allocating one).
+    // Globals keep the access in main() so the foldable-address
+    // expectation stays meaningful.
+    if (bug.storage != StorageKind::global && rng.chance(0.25)) {
+        bug.crossFunction = true;
+        if (is_write) {
+            program.prelude.push_back(
+                "static void fz_poke(int *p, int i) { p[i] = 42; }");
+            snippet.push_back(L("fz_poke(" + name + ", " + index_expr +
+                                ");"));
+        } else {
+            program.prelude.push_back(
+                "static int fz_peek(int *p, int i) { return p[i]; }");
+            snippet.push_back(L("mix((unsigned int)fz_peek(" + name +
+                                ", " + index_expr + "));"));
+        }
+    } else {
+        std::string access = name + "[" + index_expr + "]";
+        if (is_write)
+            snippet.push_back(L(access + " = 42;"));
+        else
+            snippet.push_back(L("mix((unsigned int)" + access + ");"));
+    }
     if (bug.storage == StorageKind::heap)
         snippet.push_back(L("free(fzh);"));
 
@@ -108,7 +139,8 @@ injectOobIndex(FuzzProgram &program, Rng &rng)
         (underflow ? "underflow" : (far ? "far overflow" : "overflow")) +
         " " + (is_write ? "write" : "read") + " at index " + num(index) +
         " of " + num(len) +
-        (bug.foldable ? " (constant address, folds before asan)" : "");
+        (bug.foldable ? " (constant address, folds before asan)" : "") +
+        (bug.crossFunction ? " (cross-function)" : "");
     splice(program, std::move(snippet), rng);
 }
 
@@ -122,18 +154,29 @@ injectUseAfterFree(FuzzProgram &program, Rng &rng)
     bug.kind = ErrorKind::useAfterFree;
     bug.access = is_write ? AccessKind::write : AccessKind::read;
     bug.storage = StorageKind::heap;
-    bug.description = std::string("heap ") +
-        (is_write ? "write" : "read") + " after free";
 
     std::vector<FuzzStmt> snippet;
     snippet.push_back(L("int *fzu = malloc(sizeof(int) * " + num(len) +
                         ");"));
     snippet.push_back(L("fzu[0] = " + num(rng.nextRange(1, 9)) + ";"));
-    snippet.push_back(L("free(fzu);"));
+    // Half the variants free through a helper function: the temporal
+    // bug now spans a call boundary (the static analyzer needs the
+    // callee's may-free effect to see the dangling use).
+    if (rng.chance(0.5)) {
+        bug.crossFunction = true;
+        program.prelude.push_back(
+            "static void fz_drop(int *p) { free(p); }");
+        snippet.push_back(L("fz_drop(fzu);"));
+    } else {
+        snippet.push_back(L("free(fzu);"));
+    }
     if (is_write)
         snippet.push_back(L("fzu[0] = 7;"));
     else
         snippet.push_back(L("mix((unsigned int)fzu[0]);"));
+    bug.description = std::string("heap ") +
+        (is_write ? "write" : "read") + " after free" +
+        (bug.crossFunction ? " (freed in helper)" : "");
     splice(program, std::move(snippet), rng);
 }
 

@@ -327,6 +327,87 @@ validateTierFlags(int argc, char **argv)
     }
 }
 
+/**
+ * Strict parsing for the analysis surface, in parity with
+ * validateTierFlags: a typo'd `--analyze*` / `--no-refute` /
+ * `--no-solver` / `--no-summaries` / `--summary-depth` spelling used to
+ * be silently ignored, which silently analyzed the wrong configuration
+ * (e.g. an ablation run that never ablated anything).
+ */
+void
+validateAnalysisFlags(int argc, char **argv)
+{
+    static const char *const switches[] = {
+        "--analyze",
+        "--analyze-only",
+        "--analyze-libc",
+        "--no-refute",
+        "--no-solver",
+        "--no-summaries",
+    };
+    static const char *const value_flags[] = {
+        "--summary-depth",
+        "--analysis-jobs",
+        "--widen-after",
+        "--replay-steps",
+    };
+    static const char *const prefixes[] = {
+        "--analyze",
+        "--analysis-",
+        "--no-refute",
+        "--no-solver",
+        "--no-summar",
+        "--summary-",
+        "--widen-after",
+        "--replay-steps",
+    };
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        bool gated = false;
+        for (const char *prefix : prefixes) {
+            if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0) {
+                gated = true;
+                break;
+            }
+        }
+        if (!gated)
+            continue;
+        bool known = false;
+        for (const char *flag : switches) {
+            if (std::strcmp(arg, flag) == 0) {
+                known = true;
+                break;
+            }
+        }
+        for (const char *flag : value_flags) {
+            if (known)
+                break;
+            size_t len = std::strlen(flag);
+            if (std::strcmp(arg, flag) == 0) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "error: %s requires a value\n",
+                                 flag);
+                    std::exit(2);
+                }
+                known = true;
+                i++; // the next argument is this flag's value
+            } else if (std::strncmp(arg, flag, len) == 0 &&
+                       arg[len] == '=') {
+                known = true;
+            }
+        }
+        if (!known) {
+            std::fprintf(stderr,
+                         "error: unknown flag '%s' (known analysis flags: "
+                         "--analyze, --analyze-only, --analyze-libc, "
+                         "--no-refute, --no-solver, --no-summaries, "
+                         "--summary-depth, --analysis-jobs, "
+                         "--widen-after, --replay-steps)\n", arg);
+            std::exit(2);
+        }
+    }
+}
+
 } // namespace
 
 ManagedOptions
@@ -362,10 +443,19 @@ parseManagedFlags(int argc, char **argv, ManagedOptions base)
 AnalysisOptions
 parseAnalysisFlags(int argc, char **argv, AnalysisOptions base)
 {
+    validateAnalysisFlags(argc, argv);
     if (hasFlag(argc, argv, "no-refute"))
         base.refute = false;
+    if (hasFlag(argc, argv, "no-solver"))
+        base.solver = false;
+    if (hasFlag(argc, argv, "no-summaries"))
+        base.summaries = false;
     if (hasFlag(argc, argv, "analyze-libc"))
         base.userCodeOnly = false;
+    base.summaryDepth = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "summary-depth", base.summaryDepth));
+    base.jobs = static_cast<unsigned>(
+        parseUint64Flag(argc, argv, "analysis-jobs", base.jobs));
     base.widenAfter = static_cast<unsigned>(
         parseUint64Flag(argc, argv, "widen-after", base.widenAfter));
     base.replaySteps =

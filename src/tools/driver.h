@@ -163,10 +163,19 @@ ManagedOptions parseManagedFlags(int argc, char **argv,
 /**
  * Apply the static-analysis flags to @p base and return the result:
  * `--no-refute` (skip the concrete replay; nothing is demoted),
+ * `--no-solver` (skip the constraint-based refutation stage),
+ * `--no-summaries` (havoc at every call instead of applying
+ * interprocedural function summaries),
  * `--analyze-libc` (also analyze the linked libc functions),
- * `--widen-after N`, and `--replay-steps N`. The `--analyze` /
- * `--analyze-only` switches themselves are mode toggles for the caller
- * (query them with hasFlag()).
+ * `--summary-depth N` (recursive-SCC fixpoint rounds),
+ * `--analysis-jobs N` (parallel SCC analysis; findings are identical
+ * for every N), `--widen-after N`, and `--replay-steps N`.
+ * The `--analyze` / `--analyze-only` switches themselves are mode
+ * toggles for the caller (query them with hasFlag()).
+ *
+ * Parsing is strict: an unknown `--analyze*`-family spelling or a value
+ * flag without a value is a usage error (exit 2), in parity with the
+ * tier flags.
  */
 AnalysisOptions parseAnalysisFlags(int argc, char **argv,
                                    AnalysisOptions base = {});

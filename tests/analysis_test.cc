@@ -5,12 +5,16 @@
  * over the example programs and the safe libc.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "analysis/analyzer.h"
+#include "analysis/callgraph.h"
 #include "corpus/harness.h"
 #include "tools/batch_runner.h"
 #include "tools/benchmark_programs.h"
+#include "tools/compile_cache.h"
 #include "test_util.h"
 
 namespace sulong
@@ -18,11 +22,20 @@ namespace sulong
 namespace
 {
 
+/** All test compiles share one cache, like the batch runner's: a
+ *  source recompiled by a later test is a hit, not a recompile. */
+CompileCache &
+sharedCache()
+{
+    static CompileCache cache;
+    return cache;
+}
+
 std::shared_ptr<const Module>
 moduleOf(const std::string &src)
 {
-    PreparedProgram prepared =
-        prepareProgram(src, ToolConfig::make(ToolKind::safeSulong));
+    PreparedProgram prepared = prepareProgram(
+        src, ToolConfig::make(ToolKind::safeSulong), &sharedCache());
     EXPECT_TRUE(prepared.ok()) << prepared.compileErrors;
     return prepared.module;
 }
@@ -459,6 +472,298 @@ int main(void) {
     AnalysisReport report = analyzeModule(*module, options);
     EXPECT_EQ(report.definiteCount(), 0u) << report.toString();
     EXPECT_GT(report.functionsAnalyzed, 10u);
+}
+
+// ---------------------------------------------------------------------
+// Call graph and SCC condensation
+// ---------------------------------------------------------------------
+
+TEST(AnalysisCallGraph, MutualRecursionFormsOneScc)
+{
+    std::shared_ptr<const Module> module = moduleOf(R"(
+static int odd(int n);
+static int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+static int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+int main(void) { return even(10); }
+)");
+    ASSERT_NE(module, nullptr);
+    const Function *even = module->findFunction("even");
+    const Function *odd = module->findFunction("odd");
+    const Function *main_fn = module->findFunction("main");
+    ASSERT_NE(even, nullptr);
+    ASSERT_NE(odd, nullptr);
+    ASSERT_NE(main_fn, nullptr);
+
+    CallGraph graph = CallGraph::build(*module);
+    SccInfo info = condense(graph);
+    // even and odd collapse into one recursive SCC; main sits in its
+    // own non-recursive SCC strictly above it (callees are deeper in
+    // Tarjan's bottom-up emission, so they come first).
+    EXPECT_EQ(info.sccOf[even->id()], info.sccOf[odd->id()]);
+    EXPECT_NE(info.sccOf[main_fn->id()], info.sccOf[even->id()]);
+    const Scc &cycle = info.sccs[info.sccOf[even->id()]];
+    const Scc &top = info.sccs[info.sccOf[main_fn->id()]];
+    EXPECT_TRUE(cycle.recursive);
+    EXPECT_EQ(cycle.members.size(), 2u);
+    EXPECT_FALSE(top.recursive);
+    EXPECT_GT(top.depth, cycle.depth);
+    EXPECT_LT(info.sccOf[even->id()], info.sccOf[main_fn->id()]);
+
+    // The recursive SCC's summaries reach a fixpoint (or degrade to
+    // pessimistic) without poisoning soundness: nothing is definite.
+    AnalysisReport report = analyzeModule(*module);
+    EXPECT_EQ(report.definiteCount(), 0u) << report.toString();
+}
+
+TEST(AnalysisCallGraph, SelfRecursionMarkedRecursive)
+{
+    std::shared_ptr<const Module> module = moduleOf(R"(
+static int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }
+int main(void) { return fact(5); }
+)");
+    ASSERT_NE(module, nullptr);
+    const Function *fact = module->findFunction("fact");
+    ASSERT_NE(fact, nullptr);
+    CallGraph graph = CallGraph::build(*module);
+    SccInfo info = condense(graph);
+    const Scc &scc = info.sccs[info.sccOf[fact->id()]];
+    EXPECT_TRUE(scc.recursive);
+    EXPECT_EQ(scc.members.size(), 1u);
+    AnalysisReport report = analyzeModule(*module);
+    EXPECT_EQ(report.definiteCount(), 0u) << report.toString();
+}
+
+TEST(AnalysisCallGraph, FunctionPointerMayCallSet)
+{
+    std::shared_ptr<const Module> module = moduleOf(R"(
+static int inc(int x) { return x + 1; }
+static int dec(int x) { return x - 1; }
+static double fp_mismatch(double x) { return x; }
+int main(int argc, char **argv) {
+    (void)argv;
+    int (*fp)(int) = argc > 1 ? inc : dec;
+    (void)fp_mismatch;
+    return fp(3);
+}
+)");
+    ASSERT_NE(module, nullptr);
+    const Function *inc = module->findFunction("inc");
+    const Function *dec = module->findFunction("dec");
+    const Function *main_fn = module->findFunction("main");
+    ASSERT_NE(inc, nullptr);
+    ASSERT_NE(dec, nullptr);
+    ASSERT_NE(main_fn, nullptr);
+
+    CallGraph graph = CallGraph::build(*module);
+    EXPECT_TRUE(graph.addressTaken(*inc));
+    EXPECT_TRUE(graph.addressTaken(*dec));
+
+    // Locate the indirect call in main and check its may-call set:
+    // both int(int) candidates, never the double(double) one.
+    const Instruction *indirect = nullptr;
+    for (const auto &bb : main_fn->blocks())
+        for (const auto &inst : bb->insts())
+            if (inst->op() == Opcode::call &&
+                dynamic_cast<const Function *>(inst->operand(0)) ==
+                    nullptr)
+                indirect = inst.get();
+    ASSERT_NE(indirect, nullptr);
+    std::vector<const Function *> targets = graph.mayCall(*indirect);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_TRUE((targets[0] == inc && targets[1] == dec) ||
+                (targets[0] == dec && targets[1] == inc));
+
+    // And the call-graph edges from main include both candidates.
+    const CallGraph::Node &node = graph.node(main_fn->id());
+    EXPECT_NE(std::find(node.callees.begin(), node.callees.end(),
+                        inc->id()),
+              node.callees.end());
+    EXPECT_NE(std::find(node.callees.begin(), node.callees.end(),
+                        dec->id()),
+              node.callees.end());
+}
+
+// ---------------------------------------------------------------------
+// Function summaries at call sites
+// ---------------------------------------------------------------------
+
+TEST(AnalysisSummaries, CalleeIntervalSilencesInBoundsAccess)
+{
+    // With summaries, three()'s return narrows to [3,3]: the store is
+    // provably in bounds and no finding appears at all. Without them
+    // the call havocs to top and a maybe survives.
+    const char *src = R"(
+static int three(void) { return 3; }
+int main(void) { int a[4]; a[three()] = 1; return 0; }
+)";
+    std::shared_ptr<const Module> module = moduleOf(src);
+    ASSERT_NE(module, nullptr);
+
+    AnalysisReport with = analyzeModule(*module);
+    EXPECT_TRUE(with.findings.empty()) << with.toString();
+    EXPECT_GE(with.summariesApplied, 1u);
+
+    AnalysisOptions off;
+    off.summaries = false;
+    AnalysisReport without = analyzeModule(*module, off);
+    EXPECT_EQ(without.summariesApplied, 0u);
+    EXPECT_TRUE(
+        hasFinding(without, ErrorKind::outOfBounds, Confidence::maybe))
+        << without.toString();
+}
+
+TEST(AnalysisSummaries, CalleeConstantMakesOobDefinite)
+{
+    // PR-4 reported this as maybe (havocked call); the summary makes
+    // the index exactly 6 and the replay confirms the fault.
+    AnalysisReport report = analyze(R"(
+static int idx(void) { return 6; }
+int main(void) { int a[4]; a[idx()] = 1; return 0; }
+)");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::outOfBounds))
+        << report.toString();
+}
+
+TEST(AnalysisSummaries, AffineReturnNarrowsThroughArgument)
+{
+    // add3 is `x + 3`: the affine transfer maps the call-site argument
+    // [2,2] to [5,5], in bounds of a[8] — no finding survives.
+    AnalysisReport report = analyze(R"(
+static int add3(int x) { return x + 3; }
+int main(void) { int a[8]; a[add3(2)] = 1; return a[add3(2)]; }
+)");
+    EXPECT_TRUE(report.findings.empty()) << report.toString();
+    EXPECT_GE(report.summariesApplied, 1u);
+}
+
+TEST(AnalysisSummaries, CrossFunctionFreeSeenThroughEffect)
+{
+    // The callee's may-free effect marks the block maybe-freed at the
+    // call site, so the later use is flagged (and the replay confirms
+    // the fault as definite).
+    AnalysisReport report = analyze(R"(
+#include <stdlib.h>
+static void drop(int *p) { free(p); }
+int main(void) {
+    int *p = malloc(8);
+    if (!p) return 0;
+    drop(p);
+    return p[0];
+}
+)");
+    EXPECT_TRUE(hasDefinite(report, ErrorKind::useAfterFree))
+        << report.toString();
+}
+
+// ---------------------------------------------------------------------
+// Constraint solver: proofs drop findings, unknowns fall through
+// ---------------------------------------------------------------------
+
+TEST(AnalysisSolver, ContradictoryGuardsProvenInfeasible)
+{
+    // i == 10 requires argc > 3, the guarded store requires argc <= 3:
+    // every witness path is UNSAT, so the finding is dropped with a
+    // refutation certificate instead of merely demoted.
+    std::shared_ptr<const Module> module = moduleOf(R"(
+int main(int argc, char **argv) {
+    int a[4]; int i;
+    (void)argv;
+    if (argc > 3) i = 10; else i = 2;
+    if (argc <= 3) a[i] = 1;
+    return 0;
+}
+)");
+    ASSERT_NE(module, nullptr);
+    AnalysisReport report = analyzeModule(*module);
+    EXPECT_TRUE(report.findings.empty()) << report.toString();
+    ASSERT_EQ(report.refutations.size(), 1u);
+    EXPECT_EQ(report.refutations[0].kind, ErrorKind::outOfBounds);
+    EXPECT_FALSE(report.refutations[0].certificate.empty());
+
+    // Ablation: with the solver off the same finding survives (the
+    // replay can only demote it to maybe, not prove it impossible).
+    AnalysisOptions off;
+    off.solver = false;
+    AnalysisReport kept = analyzeModule(*module, off);
+    EXPECT_TRUE(kept.refutations.empty());
+    EXPECT_TRUE(
+        hasFinding(kept, ErrorKind::outOfBounds, Confidence::maybe))
+        << kept.toString();
+}
+
+TEST(AnalysisSolver, UnprovenFindingFallsBackToReplay)
+{
+    // The store is feasible (argc can be 5), so the solver must NOT
+    // refute it; the concrete replay (argc == 1) then demotes it to
+    // maybe. Pipeline order: solver proof > replay confirm > demote.
+    AnalysisReport report = analyze(R"(
+int main(int argc, char **argv) {
+    int a[4];
+    (void)argv;
+    if (argc > 4)
+        a[argc] = 1;
+    return 0;
+}
+)");
+    EXPECT_TRUE(report.refutations.empty()) << report.toString();
+    EXPECT_GE(report.solverChecked, 1u);
+    EXPECT_TRUE(
+        hasFinding(report, ErrorKind::outOfBounds, Confidence::maybe))
+        << report.toString();
+}
+
+// ---------------------------------------------------------------------
+// Parallel SCC scheduling is deterministic
+// ---------------------------------------------------------------------
+
+TEST(AnalysisParallel, JobsDoNotChangeFindings)
+{
+    // Wide fan-out: many same-depth leaf functions, analyzed in
+    // parallel at jobs=8. The report must be byte-identical to the
+    // sequential run (module-order assembly, not completion order).
+    std::string src;
+    for (int i = 0; i < 12; i++) {
+        std::string n = std::to_string(i);
+        src += "static int leaf" + n + "(void) { int a[4]; a[" + n +
+               " % 3] = " + n + "; return a[" + n + " % 3] + " + n +
+               "; }\n";
+    }
+    src += "int main(void) { int s = 0;\n";
+    for (int i = 0; i < 12; i++)
+        src += "  s += leaf" + std::to_string(i) + "();\n";
+    src += "  int bad[4]; bad[6] = s; return s; }\n";
+
+    std::shared_ptr<const Module> module = moduleOf(src);
+    ASSERT_NE(module, nullptr);
+
+    AnalysisOptions seq;
+    seq.jobs = 1;
+    AnalysisOptions par;
+    par.jobs = 8;
+    AnalysisReport a = analyzeModule(*module, seq);
+    AnalysisReport b = analyzeModule(*module, par);
+    EXPECT_EQ(a.toString(), b.toString());
+    EXPECT_EQ(a.findings.size(), b.findings.size());
+    EXPECT_EQ(a.summariesApplied, b.summariesApplied);
+    EXPECT_TRUE(hasDefinite(a, ErrorKind::outOfBounds)) << a.toString();
+}
+
+// ---------------------------------------------------------------------
+// Compile cache routing
+// ---------------------------------------------------------------------
+
+TEST(AnalysisCache, RepeatedCompilesHitTheSharedCache)
+{
+    const char *src = "int main(void) { return 41 + 1; }";
+    uint64_t hits_before = sharedCache().stats().hits;
+    std::shared_ptr<const Module> first = moduleOf(src);
+    std::shared_ptr<const Module> second = moduleOf(src);
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    // The second compile of identical (source, config) must be served
+    // from the cache — and hand back the same immutable module.
+    EXPECT_GE(sharedCache().stats().hits, hits_before + 1);
+    EXPECT_EQ(first.get(), second.get());
 }
 
 // ---------------------------------------------------------------------

@@ -112,6 +112,65 @@ TEST(DriverTest, TierValueFlagWithoutValueIsUsageError)
                 ::testing::ExitedWithCode(2), "requires a value");
 }
 
+/** Call parseAnalysisFlags on a synthetic command line. */
+AnalysisOptions
+parseAnalysis(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    std::string prog = "msulong";
+    argv.push_back(prog.data());
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    return parseAnalysisFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(DriverTest, AnalysisFlagsParse)
+{
+    AnalysisOptions opts = parseAnalysis(
+        {"--no-solver", "--no-summaries", "--summary-depth", "5",
+         "--analysis-jobs=4", "--widen-after=9", "--replay-steps", "100"});
+    EXPECT_FALSE(opts.solver);
+    EXPECT_FALSE(opts.summaries);
+    EXPECT_TRUE(opts.refute);
+    EXPECT_EQ(opts.summaryDepth, 5u);
+    EXPECT_EQ(opts.jobs, 4u);
+    EXPECT_EQ(opts.widenAfter, 9u);
+    EXPECT_EQ(opts.replaySteps, 100u);
+
+    AnalysisOptions dflt = parseAnalysis({});
+    EXPECT_TRUE(dflt.solver);
+    EXPECT_TRUE(dflt.summaries);
+    EXPECT_TRUE(dflt.userCodeOnly);
+    EXPECT_FALSE(parseAnalysis({"--no-refute"}).refute);
+    EXPECT_FALSE(parseAnalysis({"--analyze-libc"}).userCodeOnly);
+}
+
+TEST(DriverTest, MisspelledAnalysisFlagIsUsageError)
+{
+    // Same contract as the tier flags: a typo'd --analyze*-family flag
+    // must not silently benchmark the wrong configuration.
+    EXPECT_EXIT(parseAnalysis({"--no-summarise"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    EXPECT_EXIT(parseAnalysis({"--analyze-olny"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    EXPECT_EXIT(parseAnalysis({"--summary-depht=3"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    EXPECT_EXIT(parseAnalysis({"--analysis-jbos=2"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    EXPECT_EXIT(parseAnalysis({"--no-solverr"}),
+                ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(DriverTest, AnalysisValueFlagWithoutValueIsUsageError)
+{
+    EXPECT_EXIT(parseAnalysis({"--summary-depth"}),
+                ::testing::ExitedWithCode(2), "requires a value");
+    EXPECT_EXIT(parseAnalysis({"--analysis-jobs"}),
+                ::testing::ExitedWithCode(2), "requires a value");
+    EXPECT_EXIT(parseAnalysis({"--replay-steps"}),
+                ::testing::ExitedWithCode(2), "requires a value");
+}
+
 TEST(BenchmarkProgramsTest, RegistryComplete)
 {
     const auto &programs = benchmarkPrograms();
