@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -98,6 +99,9 @@ main(int argc, char **argv)
         parseUint64Flag(argc, argv, "clients", 4));
     unsigned per_client = static_cast<unsigned>(
         parseUint64Flag(argc, argv, "jobs-per-client", 50));
+    // The bench gates on the live exposition, so collection is on
+    // unconditionally (a real msulongd turns it on via its flags).
+    obs::setMetricsEnabled(true);
 
     FaultInjector faults(parseUint64Flag(argc, argv, "chaos-seed", 0));
     double chaos_job =
@@ -129,6 +133,31 @@ main(int argc, char **argv)
     std::vector<ClientStats> stats(clients);
     std::vector<std::thread> threads;
     auto start = std::chrono::steady_clock::now();
+
+    // A live-exposition scraper runs WHILE the load is in flight: the
+    // stats frame must answer under contention, in both formats, from
+    // the same worker pool the jobs saturate.
+    std::atomic<bool> stats_ok{false};
+    std::thread scraper([&options, &stats_ok] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        ServiceClient client;
+        std::string err;
+        if (!client.connect(options.socketPath, &err))
+            return;
+        StatsRequest request;
+        obs::JsonValue doc;
+        if (!client.stats(request, &doc, &err) ||
+            doc.stringAt("schema") != "msulong.stats/v1" ||
+            doc.find("window") == nullptr ||
+            doc.find("metrics") == nullptr)
+            return;
+        request.format = "prometheus";
+        obs::JsonValue expo;
+        if (!client.stats(request, &expo, &err) ||
+            expo.stringAt("expo").find("# TYPE") == std::string::npos)
+            return;
+        stats_ok.store(true);
+    });
     for (unsigned c = 0; c < clients; c++) {
         threads.emplace_back([&, c] {
             ClientStats &mine = stats[c];
@@ -188,6 +217,7 @@ main(int argc, char **argv)
     }
     for (std::thread &t : threads)
         t.join();
+    scraper.join();
     double wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -195,11 +225,15 @@ main(int argc, char **argv)
     // The daemon must still answer after the whole load, then drain
     // clean. In-process: reaching this line at all means zero deaths.
     bool healthy = false;
+    uint64_t postmortems = 0;
     {
         ServiceClient client;
         obs::JsonValue health;
         healthy = client.connect(options.socketPath, &error) &&
             client.health(&health, &error);
+        obs::JsonValue final_stats;
+        if (healthy && client.stats({}, &final_stats, &error))
+            postmortems = final_stats.uintAt("postmortems");
     }
     server.requestDrain();
     bool drained_clean = server.runUntilDrained() == 0;
@@ -234,9 +268,12 @@ main(int argc, char **argv)
                 percentile(total.latenciesMs, 0.50),
                 percentile(total.latenciesMs, 0.90),
                 percentile(total.latenciesMs, 0.99));
-    std::printf("  healthy_after_load=%s drained_clean=%s\n",
+    std::printf("  healthy_after_load=%s drained_clean=%s "
+                "stats_ok=%s postmortems=%llu\n",
                 healthy ? "true" : "false",
-                drained_clean ? "true" : "false");
+                drained_clean ? "true" : "false",
+                stats_ok.load() ? "true" : "false",
+                static_cast<unsigned long long>(postmortems));
 
     std::string json_path = parseStringFlag(argc, argv, "json");
     if (!json_path.empty()) {
@@ -266,11 +303,14 @@ main(int argc, char **argv)
         std::snprintf(
             buffer, sizeof buffer,
             "  \"healthy_after_load\": %s,\n  \"drained_clean\": %s,\n"
+            "  \"stats_ok\": %s,\n  \"postmortems\": %llu,\n"
             "  \"wall_ms\": %.1f,\n  \"jobs_per_sec\": %.2f,\n"
             "  \"latency_ms\": {\"p50\": %.2f, \"p90\": %.2f, "
             "\"p99\": %.2f}\n}\n",
             healthy ? "true" : "false", drained_clean ? "true" : "false",
-            wall_ms, jobs_per_sec, percentile(total.latenciesMs, 0.50),
+            stats_ok.load() ? "true" : "false",
+            static_cast<unsigned long long>(postmortems), wall_ms,
+            jobs_per_sec, percentile(total.latenciesMs, 0.50),
             percentile(total.latenciesMs, 0.90),
             percentile(total.latenciesMs, 0.99));
         out += buffer;
@@ -297,7 +337,7 @@ main(int argc, char **argv)
                          total.transportFailures),
                      static_cast<unsigned long long>(jobs_total));
     return accounted && total.transportFailures == 0 && healthy &&
-                   drained_clean
+                   drained_clean && stats_ok.load()
                ? 0
                : 1;
 }

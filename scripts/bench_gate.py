@@ -26,11 +26,15 @@ Subcommands:
                      program-size scaling curve for superlinear blowup
                      and compare maybe-finding counts against an
                      ablation run.
-  obs METRICS [--trace FILE] [--require NAME...]
+  obs [METRICS] [--trace FILE] [--expo FILE] [--require NAME...]
                      validate an obs/v1 metrics document (and optionally
                      a Chrome trace-event file) emitted by --metrics-json
                      / --trace-out; each --require'd counter must be
                      present and nonzero ("a|b" accepts either).
+                     --expo validates a Prometheus text exposition
+                     (--metrics-expo / msulong_client --stats --expo):
+                     TYPE lines, sample syntax, cumulative histogram
+                     buckets ending at +Inf == _count.
   overhead --base B... --with W... --benches A,B [--max-ratio X]
                      compare Safe Sulong ns_per_op of a telemetry-enabled
                      build (--with) against the MS_OBS=OFF baseline
@@ -43,18 +47,19 @@ Subcommands:
                      disagreement, any compile error, any injected bug
                      the managed engine missed, a malformed shrink
                      ratio, or a campaign smaller/slower than the floors.
-  service FILE [--min-jobs N] [--min-rate X]
+  service FILE [--min-jobs N] [--min-rate X] [--min-postmortems N]
                      validate a BENCH_service.json/v1 chaos-load report
                      (bench_service --json) and fail on any daemon
                      death, any job not answered with exactly one
                      structured frame, an unhealthy daemon after load,
-                     a dirty drain, or a load smaller/slower than the
-                     floors.
+                     a dirty drain, a failed mid-load stats scrape, or
+                     a load smaller/slower than the floors.
 """
 
 import argparse
 import json
 import math
+import re
 import sys
 
 SCHEMA = "BENCH_tier2.json/v1"
@@ -401,7 +406,104 @@ def load_obs_metrics(path):
         if total != hist["count"]:
             fail(f"{where}: bucket counts sum to {total},"
                  f" count says {hist['count']}")
+        for key in ("p50", "p90", "p99"):
+            v = hist.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{where}: {key} must be a non-negative int,"
+                     f" got {v!r}")
+        if not hist["p50"] <= hist["p90"] <= hist["p99"]:
+            fail(f"{where}: percentiles are not monotonic:"
+                 f" p50={hist['p50']} p90={hist['p90']} p99={hist['p99']}")
+        if buckets and hist["p99"] > buckets[-1][1]:
+            fail(f"{where}: p99 {hist['p99']} above the last bucket's"
+                 f" upper bound {buckets[-1][1]}")
     return doc
+
+
+def check_prometheus_expo(path):
+    """Validate a Prometheus text-format (0.0.4) exposition: every
+    sample belongs to a typed family, histogram buckets are cumulative
+    and end at +Inf == _count, and values parse."""
+    with open(path) as f:
+        text = f.read()
+    if not text.strip():
+        fail(f"{path}: exposition is empty")
+    typed = {}
+    # family -> list of (labels, value) for its _bucket samples, plus
+    # its _count samples keyed by the non-le labels.
+    hist_buckets = {}
+    hist_counts = {}
+    samples = 0
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$')
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3]
+                if name in typed:
+                    fail(f"{where}: duplicate TYPE for {name}")
+                if kind not in ("counter", "gauge", "histogram"):
+                    fail(f"{where}: unknown metric type {kind!r}")
+                typed[name] = kind
+            elif parts[:2] == ["#", "HELP"]:
+                pass
+            else:
+                fail(f"{where}: unrecognized comment {line!r}")
+            continue
+        m = sample_re.match(line)
+        if m is None:
+            fail(f"{where}: unparseable sample {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            number = float(value)
+        except ValueError:
+            fail(f"{where}: value {value!r} is not a number")
+        samples += 1
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and typed.get(base) == "histogram":
+                family = base
+                break
+        if family not in typed:
+            fail(f"{where}: sample {name!r} has no preceding TYPE line")
+        if typed[family] == "histogram" and name.endswith("_bucket"):
+            le = re.search(r'le="([^"]*)"', labels)
+            if le is None:
+                fail(f"{where}: histogram bucket without an le label")
+            # The emitter puts le last; strip it (and its comma) to
+            # recover the labels the _count sample carries.
+            rest = re.sub(r',?le="[^"]*"', "", labels)
+            if rest == "{}":
+                rest = ""
+            hist_buckets.setdefault((family, rest), []).append(
+                (le.group(1), number, lineno))
+        if typed[family] == "histogram" and name.endswith("_count"):
+            hist_counts[(family, labels)] = number
+    for (family, rest), buckets in hist_buckets.items():
+        prev = -1.0
+        for le, number, lineno in buckets:
+            if number < prev:
+                fail(f"{path}:{lineno}: histogram {family} buckets are"
+                     f" not cumulative ({number} after {prev})")
+            prev = number
+        last_le, last_value, lineno = buckets[-1]
+        if last_le != "+Inf":
+            fail(f"{path}:{lineno}: histogram {family} does not end at"
+                 " le=\"+Inf\"")
+        count = hist_counts.get((family, rest))
+        if count is None:
+            fail(f"{path}: histogram {family} has buckets but no _count")
+        if last_value != count:
+            fail(f"{path}: histogram {family}: +Inf bucket {last_value}"
+                 f" != _count {count}")
+    if samples == 0:
+        fail(f"{path}: exposition has no samples")
+    return samples, len(typed)
 
 
 def check_obs_trace(path):
@@ -431,21 +533,28 @@ def check_obs_trace(path):
 
 
 def cmd_obs(args):
-    doc = load_obs_metrics(args.metrics)
-    counters = doc["counters"]
-    for requirement in args.require:
-        # "a|b" means any one of the alternatives satisfies it.
-        alternatives = [name for name in requirement.split("|") if name]
-        if not any(counters.get(name, 0) > 0 for name in alternatives):
-            fail(f"{args.metrics}: required counter {requirement!r}"
-                 " is missing or zero")
-    print(f"{args.metrics}: ok ({len(counters)} counters,"
-          f" {len(doc['histograms'])} histograms,"
-          f" {len(args.require)} requirement(s) met)")
+    if args.metrics is None and not args.expo:
+        fail("obs: need a METRICS file and/or --expo FILE")
+    if args.metrics is not None:
+        doc = load_obs_metrics(args.metrics)
+        counters = doc["counters"]
+        for requirement in args.require:
+            # "a|b" means any one of the alternatives satisfies it.
+            alternatives = [n for n in requirement.split("|") if n]
+            if not any(counters.get(n, 0) > 0 for n in alternatives):
+                fail(f"{args.metrics}: required counter {requirement!r}"
+                     " is missing or zero")
+        print(f"{args.metrics}: ok ({len(counters)} counters,"
+              f" {len(doc['histograms'])} histograms,"
+              f" {len(args.require)} requirement(s) met)")
     if args.trace:
         events = check_obs_trace(args.trace)
         spans = sum(1 for e in events if e["ph"] == "X")
         print(f"{args.trace}: ok ({len(events)} events, {spans} spans)")
+    if args.expo:
+        samples, families = check_prometheus_expo(args.expo)
+        print(f"{args.expo}: ok ({samples} samples,"
+              f" {families} typed families)")
     return 0
 
 
@@ -603,9 +712,12 @@ def load_service(path):
         v = doc.get(key)
         if not isinstance(v, (int, float)) or v < 0:
             fail(f"{path}: {key} must be a non-negative number, got {v!r}")
-    for key in ("healthy_after_load", "drained_clean"):
+    for key in ("healthy_after_load", "drained_clean", "stats_ok"):
         if not isinstance(doc.get(key), bool):
             fail(f"{path}: {key} must be a bool")
+    v = doc.get("postmortems")
+    if not isinstance(v, int) or v < 0:
+        fail(f"{path}: postmortems must be a non-negative int, got {v!r}")
     latency = doc.get("latency_ms")
     if not isinstance(latency, dict):
         fail(f"{path}: latency_ms missing or not an object")
@@ -648,6 +760,12 @@ def cmd_service(args):
              " the load")
     if not doc["drained_clean"]:
         fail(f"{args.file}: drain did not complete cleanly")
+    if not doc["stats_ok"]:
+        fail(f"{args.file}: the mid-load stats scrape failed — the"
+             " daemon must answer statsRequest frames under load")
+    if doc["postmortems"] < args.min_postmortems:
+        fail(f"{args.file}: only {doc['postmortems']} postmortem(s),"
+             f" floor is {args.min_postmortems}")
     if doc["jobs_total"] < args.min_jobs:
         fail(f"{args.file}: only {doc['jobs_total']} jobs, floor is"
              f" {args.min_jobs}")
@@ -694,8 +812,10 @@ def main():
                                  " (ablation comparison)")
     p_analysis.set_defaults(func=cmd_analysis)
     p_obs = sub.add_parser("obs")
-    p_obs.add_argument("metrics")
+    p_obs.add_argument("metrics", nargs="?")
     p_obs.add_argument("--trace", help="Chrome trace-event file to check")
+    p_obs.add_argument("--expo",
+                       help="Prometheus text exposition to check")
     p_obs.add_argument("--require", nargs="*", default=[],
                        help="counters that must be nonzero;"
                             " 'a|b' accepts either")
@@ -725,6 +845,9 @@ def main():
                            help="fail if the load ran fewer jobs")
     p_service.add_argument("--min-rate", type=float, default=0.0,
                            help="fail below this jobs/s throughput")
+    p_service.add_argument("--min-postmortems", type=int, default=0,
+                           help="fail if fewer postmortem documents"
+                                " were produced")
     p_service.set_defaults(func=cmd_service)
     args = parser.parse_args()
     sys.exit(args.func(args))

@@ -1,0 +1,169 @@
+#include "obs/expo.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sulong::obs
+{
+
+std::pair<std::string, std::string>
+splitLabeledName(std::string_view name)
+{
+    size_t brace = name.find('{');
+    if (brace == std::string_view::npos)
+        return {std::string(name), std::string()};
+    return {std::string(name.substr(0, brace)),
+            std::string(name.substr(brace))};
+}
+
+std::string
+prometheusName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+            c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty() ||
+        std::isdigit(static_cast<unsigned char>(out[0])) != 0)
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+prometheusLabelEscape(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Merge a pre-encoded label part ("{a=\"x\"}" or "") with one extra
+ * label rendered as `key="value"`; either side may be empty.
+ */
+std::string
+mergeLabels(const std::string &label_part, const std::string &extra)
+{
+    std::string inner = label_part.size() >= 2
+        ? label_part.substr(1, label_part.size() - 2)
+        : std::string();
+    if (extra.empty() && inner.empty())
+        return "";
+    if (inner.empty())
+        return "{" + extra + "}";
+    if (extra.empty())
+        return "{" + inner + "}";
+    return "{" + inner + "," + extra + "}";
+}
+
+/** One sample line: name, optional labels, integer value. */
+template <typename V>
+void
+sample(std::ostringstream &out, const std::string &name,
+       const std::string &labels, V value)
+{
+    out << name << labels << " " << value << "\n";
+}
+
+void
+typeLine(std::ostringstream &out, std::string &last_typed,
+         const std::string &name, const char *type)
+{
+    if (name == last_typed)
+        return;
+    out << "# TYPE " << name << " " << type << "\n";
+    last_typed = name;
+}
+
+} // namespace
+
+std::string
+prometheusText(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    std::string lastTyped;
+    for (const auto &[raw, value] : snapshot.counters) {
+        auto [base, labels] = splitLabeledName(raw);
+        std::string name = prometheusName(base);
+        typeLine(out, lastTyped, name, "counter");
+        sample(out, name, labels, value);
+    }
+    lastTyped.clear();
+    for (const auto &[raw, value] : snapshot.gauges) {
+        auto [base, labels] = splitLabeledName(raw);
+        std::string name = prometheusName(base);
+        typeLine(out, lastTyped, name, "gauge");
+        sample(out, name, labels, value);
+    }
+    for (const auto &[raw, hist] : snapshot.histograms) {
+        auto [base, labels] = splitLabeledName(raw);
+        std::string name = prometheusName(base);
+        out << "# TYPE " << name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (const HistogramSnapshot::Bucket &bucket : hist.buckets) {
+            cumulative += bucket.count;
+            std::ostringstream le;
+            le << "le=\"" << bucket.hi << "\"";
+            sample(out, name + "_bucket", mergeLabels(labels, le.str()),
+                   cumulative);
+        }
+        sample(out, name + "_bucket",
+               mergeLabels(labels, "le=\"+Inf\""), hist.count);
+        sample(out, name + "_sum", labels, hist.sum);
+        sample(out, name + "_count", labels, hist.count);
+        // Interpolated quantiles as companion gauges: scrapers that
+        // cannot aggregate buckets still get latency percentiles.
+        for (auto [suffix, q] :
+             {std::pair<const char *, double>{"_p50", 0.50},
+              {"_p90", 0.90},
+              {"_p99", 0.99}}) {
+            out << "# TYPE " << name << suffix << " gauge\n";
+            sample(out, name + suffix, labels, hist.percentile(q));
+        }
+    }
+    return out.str();
+}
+
+std::string
+prometheusTextFromGlobal()
+{
+    return prometheusText(MetricsRegistry::global().snapshot());
+}
+
+bool
+writePrometheusText(const std::string &path, std::string *error)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+        if (error != nullptr)
+            *error = path + ": cannot open for writing";
+        return false;
+    }
+    file << prometheusTextFromGlobal();
+    file.close();
+    if (!file) {
+        if (error != nullptr)
+            *error = path + ": write failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace sulong::obs

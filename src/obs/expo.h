@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Prometheus text exposition (version 0.0.4) for a MetricsSnapshot.
+ *
+ * The registry is flat name -> value; labels are encoded into metric
+ * names by the emitter (`service.tenant.admitted{tenant="acme"}`) and
+ * split back out here, so the hot path never carries a label map.
+ * Dots become underscores (Prometheus names admit [a-zA-Z0-9_:] only),
+ * label values are escaped per the exposition format, and histograms
+ * come out as the conventional `_bucket{le=...}` cumulative series plus
+ * `_sum`/`_count` and interpolated `_p50`/`_p90`/`_p99` gauges.
+ */
+
+#ifndef MS_OBS_EXPO_H
+#define MS_OBS_EXPO_H
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace sulong::obs
+{
+
+/**
+ * Split a registry name into its metric part and its label part:
+ * "a.b{tenant=\"x\"}" -> ("a.b", "{tenant=\"x\"}"); names without
+ * a '{' come back with an empty label part.
+ */
+std::pair<std::string, std::string> splitLabeledName(std::string_view name);
+
+/** Registry name to a valid Prometheus metric name (dots -> '_'). */
+std::string prometheusName(std::string_view name);
+
+/** Escape a label VALUE: backslash, double-quote, and newline. */
+std::string prometheusLabelEscape(std::string_view value);
+
+/** Render @p snapshot as Prometheus text exposition format. */
+std::string prometheusText(const MetricsSnapshot &snapshot);
+
+/** Snapshot the global registry and render it (convenience). */
+std::string prometheusTextFromGlobal();
+
+/**
+ * Write the global registry's Prometheus exposition to @p path.
+ * @return false (with *error set) on I/O failure.
+ */
+bool writePrometheusText(const std::string &path,
+                         std::string *error = nullptr);
+
+} // namespace sulong::obs
+
+#endif // MS_OBS_EXPO_H

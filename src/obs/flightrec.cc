@@ -1,0 +1,89 @@
+#include "obs/flightrec.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace sulong::obs
+{
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    ring_.reserve(capacity_);
+}
+
+void
+FlightRecorder::note(std::string name, std::string detail)
+{
+    Event event;
+    event.name = std::move(name);
+    event.detail = std::move(detail);
+    event.tsNs = TraceCollector::global().nowNs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.seq = seq_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+        return;
+    }
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecorder::Event>
+FlightRecorder::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    // next_ is the oldest entry once the ring has wrapped.
+    for (size_t i = 0; i < ring_.size(); i++)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+uint64_t
+FlightRecorder::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seq_;
+}
+
+std::string
+postmortemJson(const PostmortemInfo &info, const FlightRecorder &recorder)
+{
+    std::vector<FlightRecorder::Event> events = recorder.events();
+    std::ostringstream out;
+    out << "{\"schema\":\"msulong.postmortem/v1\""
+        << ",\"job\":" << info.jobId
+        << ",\"tenant\":\"" << jsonEscape(info.tenant) << "\""
+        << ",\"tool\":\"" << jsonEscape(info.tool) << "\"";
+    if (!info.traceId.empty())
+        out << ",\"trace_id\":\"" << jsonEscape(info.traceId) << "\"";
+    out << ",\"termination\":\"" << jsonEscape(info.termination) << "\"";
+    if (!info.terminationDetail.empty())
+        out << ",\"termination_detail\":\""
+            << jsonEscape(info.terminationDetail) << "\"";
+    if (!info.bugKind.empty())
+        out << ",\"bug_kind\":\"" << jsonEscape(info.bugKind) << "\"";
+    out << ",\"attempts\":" << info.attempts
+        << ",\"fault_firings\":" << info.faultFirings
+        << ",\"events_recorded\":" << recorder.recorded()
+        << ",\"events\":[";
+    bool first = true;
+    for (const FlightRecorder::Event &event : events) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"seq\":" << event.seq << ",\"ts_ns\":" << event.tsNs
+            << ",\"name\":\"" << jsonEscape(event.name) << "\"";
+        if (!event.detail.empty())
+            out << ",\"detail\":\"" << jsonEscape(event.detail) << "\"";
+        out << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace sulong::obs

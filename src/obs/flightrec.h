@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-job flight recorder: a fixed-size ring of the last N events a
+ * job's execution emitted (attempts, compile, analysis, fault-site
+ * firings, watchdog activity). The ring is cheap to keep for every job
+ * and is simply dropped when the job succeeds; when a job dies — chaos
+ * fault, watchdog cancellation, resource limit, detected bug — the ring
+ * is serialized into a structured `msulong.postmortem/v1` document so
+ * the job's last moments survive it.
+ *
+ * Recording is NOT gated on the global metrics switch: a recorder only
+ * exists when the owner (the service) explicitly created one, and the
+ * whole object is out-of-band with respect to `msulong.result/v1`.
+ */
+
+#ifndef MS_OBS_FLIGHTREC_H
+#define MS_OBS_FLIGHTREC_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sulong::obs
+{
+
+class FlightRecorder
+{
+  public:
+    struct Event
+    {
+        uint64_t seq = 0;  ///< Monotonic per-recorder sequence number.
+        uint64_t tsNs = 0; ///< Trace-collector clock at note() time.
+        std::string name;
+        std::string detail;
+    };
+
+    static constexpr size_t kDefaultCapacity = 64;
+
+    explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+    /** Append an event, evicting the oldest when the ring is full. */
+    void note(std::string name, std::string detail = "");
+
+    /** Surviving events, oldest first. */
+    std::vector<Event> events() const;
+
+    /** Total events ever noted (>= events().size() once wrapped). */
+    uint64_t recorded() const;
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Event> ring_;
+    size_t capacity_;
+    size_t next_ = 0;    ///< Write cursor once the ring is full.
+    uint64_t seq_ = 0;
+};
+
+/** Everything a postmortem says about the job beyond the event ring. */
+struct PostmortemInfo
+{
+    uint64_t jobId = 0;
+    std::string tenant;
+    std::string tool;
+    std::string traceId;     ///< "" when the job was untraced.
+    std::string termination; ///< Why the job died (taxonomy string).
+    std::string terminationDetail;
+    std::string bugKind;     ///< "" unless a bug was detected.
+    uint64_t attempts = 0;
+    uint64_t faultFirings = 0; ///< Chaos fault sites that fired.
+};
+
+/**
+ * Serialize @p info plus @p recorder's surviving events as a
+ * `msulong.postmortem/v1` JSON document (single line, validated
+ * structure — every string is escaped).
+ */
+std::string postmortemJson(const PostmortemInfo &info,
+                           const FlightRecorder &recorder);
+
+} // namespace sulong::obs
+
+#endif // MS_OBS_FLIGHTREC_H

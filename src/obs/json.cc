@@ -522,12 +522,29 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
             << ",\"ts\":" << microseconds(event.tsNs);
         if (event.phase == 'X')
             out << ",\"dur\":" << microseconds(event.durNs);
-        out << ",\"pid\":1,\"tid\":" << event.tid;
+        out << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid;
         if (event.phase == 'i')
             out << ",\"s\":\"t\"";
-        if (!event.detail.empty())
-            out << ",\"args\":{\"detail\":\"" << jsonEscape(event.detail)
-                << "\"}";
+        bool hasTrace = event.spanId != 0;
+        if (!event.detail.empty() || hasTrace) {
+            out << ",\"args\":{";
+            bool firstArg = true;
+            if (!event.detail.empty()) {
+                out << "\"detail\":\"" << jsonEscape(event.detail) << "\"";
+                firstArg = false;
+            }
+            if (hasTrace) {
+                if (!firstArg)
+                    out << ",";
+                out << "\"trace_id\":\"" << jsonEscape(event.traceId)
+                    << "\",\"span_id\":\"" << spanIdToHex(event.spanId)
+                    << "\"";
+                if (event.parentSpan != 0)
+                    out << ",\"parent_span\":\""
+                        << spanIdToHex(event.parentSpan) << "\"";
+            }
+            out << "}";
+        }
         out << "}";
     }
     out << "]}";
@@ -561,7 +578,10 @@ metricsJson(const MetricsSnapshot &snapshot)
             out << ",";
         first = false;
         out << "\"" << jsonEscape(name) << "\":{\"count\":" << hist.count
-            << ",\"sum\":" << hist.sum << ",\"buckets\":[";
+            << ",\"sum\":" << hist.sum
+            << ",\"p50\":" << hist.percentile(0.50)
+            << ",\"p90\":" << hist.percentile(0.90)
+            << ",\"p99\":" << hist.percentile(0.99) << ",\"buckets\":[";
         bool firstBucket = true;
         for (const HistogramSnapshot::Bucket &bucket : hist.buckets) {
             if (!firstBucket)
@@ -611,6 +631,14 @@ bool
 writeChromeTrace(const std::string &path, std::string *error)
 {
     std::vector<TraceEvent> events = TraceCollector::global().drain();
+    return writeValidated(path, chromeTraceJson(events), error);
+}
+
+bool
+writeChromeTraceFile(const std::string &path,
+                     const std::vector<TraceEvent> &events,
+                     std::string *error)
+{
     return writeValidated(path, chromeTraceJson(events), error);
 }
 

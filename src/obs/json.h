@@ -136,6 +136,14 @@ std::string metricsJson(const MetricsSnapshot &snapshot);
  */
 bool writeChromeTrace(const std::string &path, std::string *error = nullptr);
 
+/**
+ * Write an explicit event list (e.g. the client's local spans merged
+ * with daemon-side spans fetched over the wire) as a Chrome trace.
+ */
+bool writeChromeTraceFile(const std::string &path,
+                          const std::vector<TraceEvent> &events,
+                          std::string *error = nullptr);
+
 /** Snapshot the global registry and write obs/v1 metrics to @p path. */
 bool writeMetricsJson(const std::string &path, std::string *error = nullptr);
 

@@ -31,6 +31,35 @@ setTracingEnabled(bool enabled)
                                    std::memory_order_relaxed);
 }
 
+uint64_t
+HistogramSnapshot::percentile(double q) const
+{
+    if (count == 0 || buckets.empty())
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // Rank of the target observation, 1-based; q=0 means the minimum.
+    double targetRank = q * static_cast<double>(count);
+    if (targetRank < 1)
+        targetRank = 1;
+    uint64_t seen = 0;
+    for (const Bucket &bucket : buckets) {
+        uint64_t before = seen;
+        seen += bucket.count;
+        if (static_cast<double>(seen) < targetRank)
+            continue;
+        // Interpolate by the target's position among this bucket's
+        // observations, assuming they spread evenly over [lo, hi].
+        double within = (targetRank - static_cast<double>(before)) /
+            static_cast<double>(bucket.count);
+        double width = static_cast<double>(bucket.hi - bucket.lo);
+        return bucket.lo + static_cast<uint64_t>(width * within);
+    }
+    return buckets.back().hi;
+}
+
 HistogramSnapshot
 Histogram::snapshot() const
 {

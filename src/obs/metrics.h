@@ -167,6 +167,16 @@ struct HistogramSnapshot
     uint64_t count = 0;
     uint64_t sum = 0;
     std::vector<Bucket> buckets;
+
+    /**
+     * Quantile estimate from the materialized buckets: find the bucket
+     * where the cumulative count crosses q*count and interpolate
+     * linearly inside its inclusive [lo, hi] value range. Exact when
+     * the bucket is a single value (0 and 1 have their own buckets);
+     * never off by more than one bucket width otherwise.
+     * @param q in [0, 1]; returns 0 for an empty snapshot.
+     */
+    uint64_t percentile(double q) const;
 };
 
 /** Fixed log2-bucket histogram (65 buckets cover all of uint64). */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <random>
 
 namespace sulong::obs
 {
@@ -18,7 +20,105 @@ steadyNowNs()
             .count());
 }
 
+uint64_t
+randomBits()
+{
+    static std::mutex mutex;
+    static std::mt19937_64 rng = [] {
+        std::random_device device;
+        return std::mt19937_64{(uint64_t{device()} << 32) ^ device()};
+    }();
+    std::lock_guard<std::mutex> lock(mutex);
+    return rng();
+}
+
 } // namespace
+
+namespace detail
+{
+
+TraceContext &
+mutableTraceContext()
+{
+    thread_local TraceContext context;
+    return context;
+}
+
+} // namespace detail
+
+const TraceContext &
+currentTraceContext()
+{
+    return detail::mutableTraceContext();
+}
+
+std::string
+mintTraceId()
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(randomBits()),
+                  static_cast<unsigned long long>(randomBits()));
+    return buf;
+}
+
+uint64_t
+mintSpanId()
+{
+    // Random per-process base so client- and daemon-minted ids almost
+    // surely differ; the counter keeps ids unique within the process.
+    static const uint64_t base = randomBits();
+    static std::atomic<uint64_t> next{1};
+    uint64_t id = base + next.fetch_add(1, std::memory_order_relaxed);
+    return id == 0 ? 1 : id;
+}
+
+std::string
+spanIdToHex(uint64_t id)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+bool
+isLowerHex(std::string_view s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        bool digit = c >= '0' && c <= '9';
+        bool alpha = c >= 'a' && c <= 'f';
+        if (!digit && !alpha)
+            return false;
+    }
+    return true;
+}
+
+bool
+parseSpanIdHex(std::string_view hex, uint64_t *out)
+{
+    if (hex.empty() || hex.size() > 16 || !isLowerHex(hex))
+        return false;
+    uint64_t v = 0;
+    for (char c : hex)
+        v = (v << 4) | static_cast<uint64_t>(
+                           c <= '9' ? c - '0' : c - 'a' + 10);
+    *out = v;
+    return true;
+}
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : saved_(detail::mutableTraceContext())
+{
+    detail::mutableTraceContext() = std::move(context);
+}
+
+TraceContextScope::~TraceContextScope()
+{
+    detail::mutableTraceContext() = std::move(saved_);
+}
 
 TraceCollector::TraceCollector() : epoch_(steadyNowNs()) {}
 
@@ -117,13 +217,20 @@ TraceCollector::setCapacityPerThread(size_t capacity)
 void
 traceInstant(std::string name, std::string detail)
 {
-    if (!tracingEnabled())
+    if (!tracingEnabled() &&
+        !(kObsCompiledIn && currentTraceContext().active()))
         return;
     TraceEvent event;
     event.name = std::move(name);
     event.detail = std::move(detail);
     event.phase = 'i';
     event.tsNs = TraceCollector::global().nowNs();
+    const TraceContext &context = currentTraceContext();
+    if (context.active()) {
+        event.traceId = context.traceId;
+        event.spanId = mintSpanId();
+        event.parentSpan = context.spanId;
+    }
     TraceCollector::global().record(std::move(event));
 }
 

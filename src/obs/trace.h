@@ -34,12 +34,70 @@ namespace sulong::obs
 struct TraceEvent
 {
     std::string name;
-    std::string detail; ///< Optional free-form argument ("" = none).
-    char phase = 'X';   ///< 'X' = complete span, 'i' = instant.
-    uint64_t tid = 0;   ///< Dense per-thread id (same as stripe index).
-    uint64_t tsNs = 0;  ///< Steady-clock start, ns since first use.
-    uint64_t durNs = 0; ///< Span duration (0 for instants).
+    std::string detail;  ///< Optional free-form argument ("" = none).
+    char phase = 'X';    ///< 'X' = complete span, 'i' = instant.
+    uint64_t tid = 0;    ///< Dense per-thread id (same as stripe index).
+    uint64_t tsNs = 0;   ///< Steady-clock start, ns since first use.
+    uint64_t durNs = 0;  ///< Span duration (0 for instants).
+    uint32_t pid = 1;    ///< Trace-viewer process lane (client merge).
+    std::string traceId; ///< 32-hex distributed trace ("" = untraced).
+    uint64_t spanId = 0; ///< This span's id (0 = untraced).
+    uint64_t parentSpan = 0; ///< Enclosing span's id (0 = root).
 };
+
+/**
+ * Cross-process trace identity carried by the thread that runs a traced
+ * request. While a TraceContextScope is active on a thread, every span
+ * that thread opens joins the trace: it mints its own span id, records
+ * the enclosing span (initially the remote parent) as its parent, and
+ * becomes the parent of spans nested inside it. Without a scope, spans
+ * record no trace identity — tracing output is unchanged for local runs.
+ */
+struct TraceContext
+{
+    std::string traceId; ///< 32 lowercase hex chars.
+    uint64_t spanId = 0; ///< Current (parent-to-be) span id.
+
+    bool active() const { return !traceId.empty(); }
+};
+
+/** The calling thread's current context (inactive when none set). */
+const TraceContext &currentTraceContext();
+
+/** Mint a fresh 128-bit trace id as 32 lowercase hex chars. */
+std::string mintTraceId();
+
+/** Mint a process-unique nonzero span id. */
+uint64_t mintSpanId();
+
+/** Span id as 16 lowercase hex chars (the wire form). */
+std::string spanIdToHex(uint64_t id);
+
+/** Parse a 1..16-char hex span id; false on bad input. */
+bool parseSpanIdHex(std::string_view hex, uint64_t *out);
+
+/** @return true when @p s is entirely [0-9a-f] (and non-empty). */
+bool isLowerHex(std::string_view s);
+
+/** RAII: install @p context on this thread, restore on destruction. */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(TraceContext context);
+    ~TraceContextScope();
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext saved_;
+};
+
+namespace detail
+{
+/** Mutable access for SpanGuard's push/pop (internal). */
+TraceContext &mutableTraceContext();
+} // namespace detail
 
 class TraceCollector
 {
@@ -89,17 +147,33 @@ class TraceCollector
 /** Record a phase='i' instant event (if tracing is on). */
 void traceInstant(std::string name, std::string detail = "");
 
-/** RAII span: construction stamps the start, destruction records. */
+/**
+ * RAII span: construction stamps the start, destruction records.
+ * When the thread carries an active TraceContext, the span joins the
+ * distributed trace (mints a span id, parents under the current span,
+ * and is the parent of spans opened inside it).
+ */
 class SpanGuard
 {
   public:
     explicit SpanGuard(const char *name, std::string detail = "")
     {
-        if (!tracingEnabled())
+        // An active remote trace context opts this thread in even when
+        // local tracing is off: the daemon records spans for traced
+        // requests without having to trace every job it runs.
+        if (!tracingEnabled() &&
+            !(kObsCompiledIn && currentTraceContext().active()))
             return;
         active_ = true;
         name_ = name;
         detail_ = std::move(detail);
+        TraceContext &context = detail::mutableTraceContext();
+        if (context.active()) {
+            traceId_ = context.traceId;
+            parentSpan_ = context.spanId;
+            spanId_ = mintSpanId();
+            context.spanId = spanId_;
+        }
         startNs_ = TraceCollector::global().nowNs();
     }
 
@@ -113,6 +187,13 @@ class SpanGuard
         event.phase = 'X';
         event.tsNs = startNs_;
         event.durNs = TraceCollector::global().nowNs() - startNs_;
+        if (spanId_ != 0) {
+            event.traceId = std::move(traceId_);
+            event.spanId = spanId_;
+            event.parentSpan = parentSpan_;
+            // Pop: nested spans are closed, the parent is current again.
+            detail::mutableTraceContext().spanId = parentSpan_;
+        }
         TraceCollector::global().record(std::move(event));
     }
 
@@ -123,6 +204,9 @@ class SpanGuard
     bool active_ = false;
     const char *name_ = "";
     std::string detail_;
+    std::string traceId_;
+    uint64_t spanId_ = 0;
+    uint64_t parentSpan_ = 0;
     uint64_t startNs_ = 0;
 };
 

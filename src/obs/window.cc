@@ -1,0 +1,56 @@
+#include "obs/window.h"
+
+namespace sulong::obs
+{
+
+SlidingWindow::SlidingWindow(size_t bucket_count, uint64_t bucket_width_ms)
+    : buckets_(bucket_count == 0 ? 1 : bucket_count),
+      width_(bucket_width_ms == 0 ? 1 : bucket_width_ms)
+{
+}
+
+void
+SlidingWindow::record(uint64_t now_ms, uint64_t n)
+{
+    uint64_t epoch = now_ms / width_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bucket &bucket = buckets_[epoch % buckets_.size()];
+    if (bucket.epoch != epoch) {
+        bucket.epoch = epoch;
+        bucket.count = 0;
+    }
+    bucket.count += n;
+}
+
+uint64_t
+SlidingWindow::sumLocked(uint64_t now_ms) const
+{
+    uint64_t epoch = now_ms / width_;
+    uint64_t oldest = epoch >= buckets_.size() - 1
+        ? epoch - (buckets_.size() - 1)
+        : 0;
+    uint64_t total = 0;
+    for (const Bucket &bucket : buckets_) {
+        if (bucket.epoch >= oldest && bucket.epoch <= epoch)
+            total += bucket.count;
+    }
+    return total;
+}
+
+uint64_t
+SlidingWindow::totalInWindow(uint64_t now_ms) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sumLocked(now_ms);
+}
+
+double
+SlidingWindow::ratePerSec(uint64_t now_ms) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = sumLocked(now_ms);
+    double window_sec = static_cast<double>(windowMs()) / 1000.0;
+    return window_sec > 0 ? static_cast<double>(total) / window_sec : 0;
+}
+
+} // namespace sulong::obs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sliding-window rate aggregator: a ring of time buckets over which
+ * recent event counts are summed, giving the live exposition its
+ * "requests in the last minute" rates without unbounded history.
+ *
+ * Time is an explicit parameter (milliseconds on any monotonic clock)
+ * rather than read inside the class, so rotation is deterministic and
+ * unit-testable: tests drive a fake clock, production callers pass a
+ * steady-clock reading. Buckets rotate lazily — recording or reading
+ * at time T retires every bucket older than the window; there is no
+ * background thread.
+ */
+
+#ifndef MS_OBS_WINDOW_H
+#define MS_OBS_WINDOW_H
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sulong::obs
+{
+
+class SlidingWindow
+{
+  public:
+    /**
+     * @param bucket_count ring size (>= 1; clamped).
+     * @param bucket_width_ms time span of one bucket (>= 1; clamped).
+     * The covered window is bucket_count * bucket_width_ms.
+     */
+    explicit SlidingWindow(size_t bucket_count = 60,
+                           uint64_t bucket_width_ms = 1000);
+
+    /** Count @p n events at time @p now_ms. */
+    void record(uint64_t now_ms, uint64_t n = 1);
+
+    /** Sum of events inside the window ending at @p now_ms. */
+    uint64_t totalInWindow(uint64_t now_ms) const;
+
+    /** totalInWindow scaled to events per second. */
+    double ratePerSec(uint64_t now_ms) const;
+
+    uint64_t windowMs() const { return width_ * buckets_.size(); }
+
+  private:
+    struct Bucket
+    {
+        uint64_t epoch = 0; ///< now_ms / width_ when last written.
+        uint64_t count = 0;
+    };
+
+    /** Buckets live in slot epoch % size; stale slots read as empty. */
+    uint64_t sumLocked(uint64_t now_ms) const;
+
+    mutable std::mutex mutex_;
+    std::vector<Bucket> buckets_;
+    uint64_t width_;
+};
+
+} // namespace sulong::obs
+
+#endif // MS_OBS_WINDOW_H

@@ -165,6 +165,58 @@ ServiceClient::submitJob(const JobRequest &request, Frame *reply,
     return readFrame(reply, error, timeout_ms);
 }
 
+const std::string &
+ServiceClient::traceId()
+{
+    if (traceId_.empty())
+        traceId_ = obs::mintTraceId();
+    return traceId_;
+}
+
+bool
+ServiceClient::submitTracedJob(JobRequest request, Frame *reply,
+                               std::string *error, unsigned timeout_ms)
+{
+    request.traceId = traceId();
+    // The round trip runs under a client-side span whose id the daemon
+    // adopts as its parent — the seam where the two halves of the
+    // merged trace join.
+    uint64_t parent = obs::mintSpanId();
+    request.parentSpan = parent;
+    obs::TraceContextScope scope(obs::TraceContext{request.traceId, parent});
+    uint64_t startNs = obs::TraceCollector::global().nowNs();
+    bool ok = submitJob(request, reply, error, timeout_ms);
+    if (obs::tracingEnabled()) {
+        obs::TraceEvent event;
+        event.name = "client.submit";
+        event.detail = "tenant " + request.tenant;
+        event.phase = 'X';
+        event.tsNs = startNs;
+        event.durNs = obs::TraceCollector::global().nowNs() - startNs;
+        event.traceId = request.traceId;
+        event.spanId = parent;
+        obs::TraceCollector::global().record(std::move(event));
+    }
+    return ok;
+}
+
+bool
+ServiceClient::stats(const StatsRequest &request, obs::JsonValue *out,
+                     std::string *error)
+{
+    if (!sendFrame(FrameType::statsRequest, encodeStatsRequest(request),
+                   error))
+        return false;
+    Frame reply;
+    if (!readFrame(&reply, error))
+        return false;
+    if (reply.type != FrameType::statsResponse) {
+        setError(error, "unexpected reply to a stats request");
+        return false;
+    }
+    return obs::parseJson(reply.payload, out, error);
+}
+
 bool
 ServiceClient::health(obs::JsonValue *out, std::string *error)
 {

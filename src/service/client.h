@@ -46,8 +46,28 @@ class ServiceClient
     bool submitJob(const JobRequest &request, Frame *reply,
                    std::string *error, unsigned timeout_ms = 30000);
 
+    /**
+     * Mint a trace context for this client (idempotent). Subsequent
+     * submitTracedJob calls stamp it onto their requests, so the
+     * daemon's spans join this client's trace.
+     */
+    const std::string &traceId();
+
+    /**
+     * submitJob with the client's trace context attached: fills the
+     * request's trace fields (minting the trace id on first use),
+     * wraps the round trip in a client-side "client.submit" span, and
+     * passes its span id as the daemon's parent.
+     */
+    bool submitTracedJob(JobRequest request, Frame *reply,
+                         std::string *error, unsigned timeout_ms = 30000);
+
     /** Fetch the daemon's health snapshot. */
     bool health(obs::JsonValue *out, std::string *error);
+
+    /** Fetch a "msulong.stats/v1" document (parsed). */
+    bool stats(const StatsRequest &request, obs::JsonValue *out,
+               std::string *error);
 
     /** Ask the daemon to drain; waits for the drainAck. */
     bool requestDrain(std::string *error);
@@ -55,6 +75,7 @@ class ServiceClient
   private:
     int fd_ = -1;
     FrameReader reader_;
+    std::string traceId_; ///< Minted on first traced submit.
 };
 
 } // namespace sulong::service

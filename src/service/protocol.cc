@@ -98,7 +98,7 @@ bool
 isKnownFrameType(uint8_t type)
 {
     return type >= static_cast<uint8_t>(FrameType::jobRequest) &&
-        type <= static_cast<uint8_t>(FrameType::drainAck);
+        type <= static_cast<uint8_t>(FrameType::statsResponse);
 }
 
 std::string
@@ -132,6 +132,45 @@ decodeStatusName(DecodeStatus status)
     return "unknown";
 }
 
+namespace
+{
+
+/**
+ * Wire-level abuse counters. Handles are resolved once — registration
+ * takes the registry mutex, the increments afterwards are lock-free.
+ */
+void
+countRejectedFrame(const char *reason)
+{
+    static obs::Counter &malformed = obs::MetricsRegistry::global().counter(
+        "service.frames.rejected.malformed");
+    static obs::Counter &oversized = obs::MetricsRegistry::global().counter(
+        "service.frames.rejected.oversized");
+    static obs::Counter &poisoned = obs::MetricsRegistry::global().counter(
+        "service.frames.rejected.poisoned");
+    if (reason[0] == 'm')
+        malformed.inc();
+    else if (reason[0] == 'o')
+        oversized.inc();
+    else
+        poisoned.inc();
+}
+
+} // namespace
+
+void
+FrameReader::feed(std::string_view bytes)
+{
+    if (poisoned_) {
+        // The stream cannot resynchronize; count the post-poison bytes
+        // as abuse instead of buffering them forever.
+        if (!bytes.empty())
+            countRejectedFrame("poisoned");
+        return;
+    }
+    buffer_.append(bytes);
+}
+
 DecodeStatus
 FrameReader::next(Frame *out)
 {
@@ -143,18 +182,21 @@ FrameReader::next(Frame *out)
     if (readLe16(head) != kFrameMagic) {
         poisoned_ = true;
         poison_ = DecodeStatus::badMagic;
+        countRejectedFrame("malformed");
         return poison_;
     }
     uint8_t type = static_cast<uint8_t>(head[2]);
     if (!isKnownFrameType(type)) {
         poisoned_ = true;
         poison_ = DecodeStatus::badType;
+        countRejectedFrame("malformed");
         return poison_;
     }
     uint32_t length = readLe32(head + 4);
     if (length > maxFrameBytes_) {
         poisoned_ = true;
         poison_ = DecodeStatus::oversized;
+        countRejectedFrame("oversized");
         return poison_;
     }
     if (buffer_.size() < kFrameHeaderBytes + length)
@@ -217,7 +259,17 @@ encodeJobRequest(const JobRequest &request)
     addUint(out, "heap_limit", request.maxHeapBytes);
     addUint(out, "output_limit", request.maxOutputBytes);
     addUint(out, "deadline_ms", request.deadlineMs);
-    out += "}}";
+    out += '}';
+    if (!request.traceId.empty()) {
+        addKey(out, "trace");
+        out += '{';
+        addString(out, "trace_id", request.traceId);
+        if (request.parentSpan != 0)
+            addString(out, "parent_span",
+                      obs::spanIdToHex(request.parentSpan));
+        out += '}';
+    }
+    out += '}';
     return out;
 }
 
@@ -268,6 +320,56 @@ decodeJobRequest(const obs::JsonValue &doc, JobRequest *out,
         request.maxOutputBytes = limits->uintAt("output_limit", 0);
         request.deadlineMs = limits->uintAt("deadline_ms", 0);
     }
+    if (const obs::JsonValue *trace = doc.find("trace")) {
+        if (!trace->isObject())
+            return fail("\"trace\" must be an object");
+        request.traceId = trace->stringAt("trace_id");
+        if (request.traceId.size() != 32 ||
+            !obs::isLowerHex(request.traceId))
+            return fail("\"trace_id\" must be 32 lowercase hex chars");
+        const std::string &parent = trace->stringAt("parent_span");
+        if (!parent.empty() &&
+            !obs::parseSpanIdHex(parent, &request.parentSpan))
+            return fail("\"parent_span\" must be 1..16 hex chars");
+    }
+    *out = std::move(request);
+    return true;
+}
+
+std::string
+encodeStatsRequest(const StatsRequest &request)
+{
+    std::string out = "{";
+    addString(out, "schema", "msulong.stats-request/v1");
+    addString(out, "format", request.format);
+    if (!request.traceId.empty())
+        addString(out, "trace_id", request.traceId);
+    out += '}';
+    return out;
+}
+
+bool
+decodeStatsRequest(const obs::JsonValue &doc, StatsRequest *out,
+                   std::string *error)
+{
+    auto fail = [error](const char *why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("stats request payload is not a JSON object");
+    if (doc.stringAt("schema") != "msulong.stats-request/v1")
+        return fail("missing or unsupported schema "
+                    "(expected \"msulong.stats-request/v1\")");
+    StatsRequest request;
+    request.format = doc.stringAt("format", "json");
+    if (request.format != "json" && request.format != "prometheus")
+        return fail("\"format\" must be \"json\" or \"prometheus\"");
+    request.traceId = doc.stringAt("trace_id");
+    if (!request.traceId.empty() &&
+        (request.traceId.size() != 32 || !obs::isLowerHex(request.traceId)))
+        return fail("\"trace_id\" must be 32 lowercase hex chars");
     *out = std::move(request);
     return true;
 }

@@ -59,6 +59,10 @@ enum class FrameType : uint8_t
     drainRequest = 6,
     /// daemon -> client: drain acknowledged (sent before draining).
     drainAck = 7,
+    /// client -> daemon: "msulong.stats-request/v1" (live exposition).
+    statsRequest = 8,
+    /// daemon -> client: "msulong.stats/v1" document.
+    statsResponse = 9,
 };
 
 bool isKnownFrameType(uint8_t type);
@@ -102,7 +106,13 @@ class FrameReader
         : maxFrameBytes_(max_frame_bytes)
     {}
 
-    void feed(std::string_view bytes) { buffer_.append(bytes); }
+    /**
+     * Buffer incoming bytes. Bytes arriving after the stream poisoned
+     * are discarded and counted (`service.frames.rejected.poisoned`);
+     * the other rejection reasons are counted when next() poisons
+     * (`.malformed` for badMagic/badType, `.oversized`).
+     */
+    void feed(std::string_view bytes);
 
     DecodeStatus next(Frame *out);
 
@@ -137,6 +147,11 @@ struct JobRequest
     uint64_t maxHeapBytes = 0;
     uint64_t maxOutputBytes = 0;
     uint64_t deadlineMs = 0;
+    /// Optional distributed-trace context minted by the client: daemon
+    /// spans for this job join the caller's trace. Strictly out-of-band
+    /// — presence or absence never changes the result payload.
+    std::string traceId;     ///< 32 lowercase hex chars ("" = none).
+    uint64_t parentSpan = 0; ///< Client-side parent span id.
 };
 
 /** Map a wire tool name to a ToolKind; false for unknown names. */
@@ -152,6 +167,27 @@ std::string encodeJobRequest(const JobRequest &request);
  */
 bool decodeJobRequest(const obs::JsonValue &doc, JobRequest *out,
                       std::string *error);
+
+/**
+ * Live exposition request ("msulong.stats-request/v1"). The reply is
+ * always a "msulong.stats/v1" JSON document; for format "prometheus"
+ * it wraps the text exposition in an "expo" string member so every
+ * frame payload on the wire stays JSON.
+ */
+struct StatsRequest
+{
+    /// "json" | "prometheus".
+    std::string format = "json";
+    /// Non-empty: also include the daemon's trace events carrying this
+    /// trace id (the client merges them into its own trace file).
+    std::string traceId;
+};
+
+std::string encodeStatsRequest(const StatsRequest &request);
+
+/** Validate and decode; false (with *error) on a bad document. */
+bool decodeStatsRequest(const obs::JsonValue &doc, StatsRequest *out,
+                        std::string *error);
 
 /** Structured daemon-side error ("msulong.error/v1"). */
 struct ErrorInfo

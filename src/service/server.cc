@@ -239,6 +239,9 @@ ServiceServer::handleFrame(const std::shared_ptr<Connection> &conn,
       case FrameType::healthRequest:
         sendFrame(conn, FrameType::healthResponse, service_->healthJson());
         break;
+      case FrameType::statsRequest:
+        handleStatsRequest(conn, frame.payload);
+        break;
       case FrameType::drainRequest:
         sendFrame(conn, FrameType::drainAck,
                   "{\"schema\":\"msulong.drain/v1\"}");
@@ -335,6 +338,32 @@ ServiceServer::handleJobRequest(const std::shared_ptr<Connection> &conn,
                                   "configured size limit)", 0});
         break;
     }
+}
+
+void
+ServiceServer::handleStatsRequest(const std::shared_ptr<Connection> &conn,
+                                  const std::string &payload)
+{
+    obs::MetricsRegistry::global().counter("service.stats.requests").inc();
+    StatsRequest request;
+    // An empty payload is the simplest valid scrape (JSON format, no
+    // trace filter); anything else must decode cleanly.
+    if (!payload.empty()) {
+        obs::JsonValue doc;
+        std::string why;
+        if (!obs::parseJson(payload, &doc, &why)) {
+            sendError(conn,
+                      ErrorInfo{"bad-request",
+                                "stats request is not valid JSON: " + why,
+                                0});
+            return;
+        }
+        if (!decodeStatsRequest(doc, &request, &why)) {
+            sendError(conn, ErrorInfo{"bad-request", why, 0});
+            return;
+        }
+    }
+    sendFrame(conn, FrameType::statsResponse, service_->statsJson(request));
 }
 
 bool

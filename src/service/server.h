@@ -82,6 +82,8 @@ class ServiceServer
                      Frame frame);
     void handleJobRequest(const std::shared_ptr<Connection> &conn,
                           const std::string &payload);
+    void handleStatsRequest(const std::shared_ptr<Connection> &conn,
+                            const std::string &payload);
 
     /** Serialized frame write; false when the connection is gone. */
     bool sendFrame(const std::shared_ptr<Connection> &conn, FrameType type,

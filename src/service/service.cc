@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 
+#include "obs/expo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -23,6 +26,30 @@ clampLimit(uint64_t requested, uint64_t ceiling)
     if (requested == 0)
         return ceiling;
     return std::min(requested, ceiling);
+}
+
+/**
+ * Per-tenant labeled counter name in the exposition encoding the
+ * Prometheus writer splits back out ('{' cannot occur in a plain
+ * metric name, so labeled and unlabeled names never collide).
+ */
+std::string
+tenantCounterName(const char *base, const std::string &tenant)
+{
+    std::string name = base;
+    name += "{tenant=\"";
+    name += obs::prometheusLabelEscape(tenant);
+    name += "\"}";
+    return name;
+}
+
+/** Rates rendered with fixed precision so the JSON stays canonical. */
+std::string
+fixed3(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
 }
 
 } // namespace
@@ -73,10 +100,17 @@ AdmitStatus
 AnalysisService::submit(JobRequest request, DoneFn done,
                         uint64_t *retry_after_ms)
 {
+    // Admission happens on the transport thread; adopt the caller's
+    // trace context (when the request carries one) so even a rejection
+    // shows up as a span in the caller's trace.
+    obs::TraceContextScope traceScope(
+        obs::TraceContext{request.traceId, request.parentSpan});
+    MS_TRACE_SPAN("service.admission");
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     reg.counter("service.requests").inc();
     if (request.source.size() > config_.maxSourceBytes) {
         reg.counter("service.rejected.invalid").inc();
+        windowRejected_.record(nowMs());
         return AdmitStatus::invalid;
     }
     uint64_t id = 0;
@@ -84,6 +118,7 @@ AnalysisService::submit(JobRequest request, DoneFn done,
         std::lock_guard<std::mutex> lock(mutex_);
         if (draining_) {
             reg.counter("service.rejected.draining").inc();
+            windowRejected_.record(nowMs());
             return AdmitStatus::draining;
         }
         if (pending_ >= config_.queueCapacity) {
@@ -95,6 +130,11 @@ AnalysisService::submit(JobRequest request, DoneFn done,
                     25 * (pending_ / std::max(1u, config_.workers) + 1);
             }
             reg.counter("service.rejected.overloaded").inc();
+            reg.counter(
+                   tenantCounterName("service.tenant.rejected",
+                                     request.tenant))
+                .inc();
+            windowRejected_.record(nowMs());
             return AdmitStatus::overloadedGlobal;
         }
         size_t &tenant_pending = tenantPending_[request.tenant];
@@ -102,6 +142,11 @@ AnalysisService::submit(JobRequest request, DoneFn done,
             if (retry_after_ms != nullptr)
                 *retry_after_ms = 25 * (tenant_pending + 1);
             reg.counter("service.rejected.tenant").inc();
+            reg.counter(
+                   tenantCounterName("service.tenant.rejected",
+                                     request.tenant))
+                .inc();
+            windowRejected_.record(nowMs());
             return AdmitStatus::overloadedTenant;
         }
         tenant_pending++;
@@ -109,6 +154,11 @@ AnalysisService::submit(JobRequest request, DoneFn done,
         id = nextId_++;
     }
     reg.counter("service.admitted").inc();
+    reg.counter(tenantCounterName("service.tenant.admitted",
+                                  request.tenant))
+        .inc();
+    reg.gauge("service.inflight").add(1);
+    windowAdmitted_.record(nowMs());
     pool_->submit([this, id, request = std::move(request),
                    done = std::move(done)]() mutable {
         runJob(id, std::move(request), done);
@@ -136,6 +186,11 @@ AnalysisService::effectiveLimits(const JobRequest &request) const
 void
 AnalysisService::runJob(uint64_t id, JobRequest request, const DoneFn &done)
 {
+    // Adopt the caller's trace on this worker thread: every span below
+    // (service.job, cache/compile, tier pipelines, analysis) chains
+    // under the client's parent span id for the lifetime of the job.
+    obs::TraceContextScope traceScope(
+        obs::TraceContext{request.traceId, request.parentSpan});
     MS_TRACE_SPAN("service.job", "job " + std::to_string(id));
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
 
@@ -161,27 +216,56 @@ AnalysisService::runJob(uint64_t id, JobRequest request, const DoneFn &done)
     AnalysisOptions analysis;
     if (request.analyze)
         options.analysis = &analysis;
+    // Every job flies with a recorder; the ring is dropped on success
+    // and serialized into a postmortem when the job dies.
+    obs::FlightRecorder recorder(config_.flightRecorderCapacity);
+    options.recorder = &recorder;
 
     outcome.result =
         runGuardedJob(job, static_cast<size_t>(id), &cache_, options,
                       hardDrain_, watchdog_, outcome.stats);
 
+    bool died = false;
     switch (outcome.result.termination) {
       case TerminationKind::normal:
-        reg.counter(outcome.result.bug.kind == ErrorKind::none
-                        ? "service.jobs.ok"
-                        : "service.jobs.bug")
-            .inc();
+        if (outcome.result.bug.kind == ErrorKind::none) {
+            reg.counter("service.jobs.ok").inc();
+        } else {
+            reg.counter("service.jobs.bug").inc();
+            died = true;
+        }
         break;
       case TerminationKind::hostFault:
         reg.counter("service.jobs.host_fault").inc();
+        died = true;
         break;
       case TerminationKind::cancelled:
         reg.counter("service.jobs.cancelled").inc();
+        died = true;
         break;
       default:
         reg.counter("service.jobs.terminated").inc();
+        died = true;
         break;
+    }
+
+    if (died) {
+        obs::PostmortemInfo info;
+        info.jobId = id;
+        info.tenant = request.tenant;
+        info.tool = request.tool;
+        info.traceId = request.traceId;
+        info.termination =
+            terminationKindName(outcome.result.termination);
+        info.terminationDetail = outcome.result.terminationDetail;
+        if (outcome.result.bug.kind != ErrorKind::none)
+            info.bugKind = errorKindName(outcome.result.bug.kind);
+        info.attempts = outcome.stats.attempts;
+        for (const obs::FlightRecorder::Event &event : recorder.events()) {
+            if (event.name == "job.host_fault")
+                info.faultFirings++;
+        }
+        emitPostmortem(info, recorder);
     }
 
     // The callback runs before this job is accounted finished so a
@@ -201,7 +285,43 @@ AnalysisService::finishJob(const std::string &tenant)
         if (it != tenantPending_.end() && --it->second == 0)
             tenantPending_.erase(it);
     }
+    obs::MetricsRegistry::global().gauge("service.inflight").add(-1);
+    windowCompleted_.record(nowMs());
     idleCv_.notify_all();
+}
+
+uint64_t
+AnalysisService::nowMs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+}
+
+void
+AnalysisService::emitPostmortem(const obs::PostmortemInfo &info,
+                                const obs::FlightRecorder &recorder)
+{
+    std::string doc = obs::postmortemJson(info, recorder);
+    uint64_t ordinal = 0;
+    {
+        std::lock_guard<std::mutex> lock(postmortemMutex_);
+        ordinal = postmortemCount_++;
+        postmortems_.push_back(doc);
+        while (postmortems_.size() > config_.postmortemKeep)
+            postmortems_.pop_front();
+    }
+    obs::MetricsRegistry::global().counter("service.postmortems").inc();
+    if (config_.postmortemDir.empty())
+        return;
+    std::string path = config_.postmortemDir + "/postmortem-" +
+        std::to_string(ordinal) + "-job" + std::to_string(info.jobId) +
+        ".json";
+    std::ofstream file(path, std::ios::binary);
+    if (file) {
+        file << doc << "\n";
+    }
 }
 
 void
@@ -320,6 +440,128 @@ AnalysisService::healthJson() const
     }
     out += "}}";
     return out;
+}
+
+std::string
+AnalysisService::statsJson(const StatsRequest &request) const
+{
+    std::string out = "{\"schema\":\"msulong.stats/v1\"";
+    out += ",\"format\":\"";
+    out += request.format;
+    out += '"';
+
+    if (request.format == "prometheus") {
+        // Wrapped text exposition: the frame payload stays JSON, the
+        // client unwraps "expo" for scrapers.
+        out += ",\"expo\":\"";
+        out += obs::jsonEscape(obs::prometheusTextFromGlobal());
+        out += "\"}";
+        return out;
+    }
+
+    uint64_t now = nowMs();
+    size_t pending;
+    bool draining;
+    std::map<std::string, size_t> tenants;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending = pending_;
+        draining = draining_;
+        tenants = tenantPending_;
+    }
+    out += ",\"draining\":";
+    out += draining ? "true" : "false";
+    out += ",\"pending\":";
+    out += std::to_string(pending);
+
+    out += ",\"window\":{\"window_ms\":";
+    out += std::to_string(windowAdmitted_.windowMs());
+    out += ",\"admitted\":";
+    out += std::to_string(windowAdmitted_.totalInWindow(now));
+    out += ",\"rejected\":";
+    out += std::to_string(windowRejected_.totalInWindow(now));
+    out += ",\"completed\":";
+    out += std::to_string(windowCompleted_.totalInWindow(now));
+    out += ",\"admitted_per_sec\":";
+    out += fixed3(windowAdmitted_.ratePerSec(now));
+    out += ",\"completed_per_sec\":";
+    out += fixed3(windowCompleted_.ratePerSec(now));
+    out += '}';
+
+    out += ",\"tenants\":{";
+    bool first = true;
+    for (const auto &[tenant, tenant_pending] : tenants) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += obs::jsonEscape(tenant);
+        out += "\":";
+        out += std::to_string(tenant_pending);
+    }
+    out += '}';
+
+    {
+        std::lock_guard<std::mutex> lock(postmortemMutex_);
+        out += ",\"postmortems\":";
+        out += std::to_string(postmortemCount_);
+    }
+
+    out += ",\"metrics\":";
+    out += obs::metricsJson(obs::MetricsRegistry::global().snapshot());
+
+    if (!request.traceId.empty()) {
+        // Peek (no clear): a stats scrape must not erase events other
+        // clients' merges still need; the per-thread rings bound the
+        // retained history.
+        std::vector<obs::TraceEvent> events =
+            obs::TraceCollector::global().drain(/*clear=*/false);
+        out += ",\"trace_events\":[";
+        first = true;
+        for (const obs::TraceEvent &event : events) {
+            if (event.traceId != request.traceId)
+                continue;
+            if (!first)
+                out += ',';
+            first = false;
+            out += "{\"name\":\"";
+            out += obs::jsonEscape(event.name);
+            out += '"';
+            if (!event.detail.empty()) {
+                out += ",\"detail\":\"";
+                out += obs::jsonEscape(event.detail);
+                out += '"';
+            }
+            out += ",\"ph\":\"";
+            out += event.phase;
+            out += "\",\"tid\":";
+            out += std::to_string(event.tid);
+            out += ",\"ts_ns\":";
+            out += std::to_string(event.tsNs);
+            out += ",\"dur_ns\":";
+            out += std::to_string(event.durNs);
+            out += ",\"span_id\":\"";
+            out += obs::spanIdToHex(event.spanId);
+            out += '"';
+            if (event.parentSpan != 0) {
+                out += ",\"parent_span\":\"";
+                out += obs::spanIdToHex(event.parentSpan);
+                out += '"';
+            }
+            out += '}';
+        }
+        out += ']';
+    }
+
+    out += '}';
+    return out;
+}
+
+std::vector<std::string>
+AnalysisService::recentPostmortems() const
+{
+    std::lock_guard<std::mutex> lock(postmortemMutex_);
+    return {postmortems_.begin(), postmortems_.end()};
 }
 
 } // namespace sulong::service

@@ -34,6 +34,11 @@
 #include <mutex>
 #include <string>
 
+#include <deque>
+#include <vector>
+
+#include "obs/flightrec.h"
+#include "obs/window.h"
 #include "service/protocol.h"
 #include "support/limits.h"
 #include "support/thread_pool.h"
@@ -75,6 +80,14 @@ struct ServiceConfig
     /// Chaos hook shared with the server; jobs report
     /// "service.job/<id>" per attempt.
     FaultInjector *faults = nullptr;
+    /// Directory for "msulong.postmortem/v1" documents, one file per
+    /// dead job ("" = keep them in memory only).
+    std::string postmortemDir;
+    /// Most recent postmortem documents retained in memory (for the
+    /// stats endpoint and transport-free tests).
+    size_t postmortemKeep = 16;
+    /// Flight-recorder ring capacity per job.
+    size_t flightRecorderCapacity = 64;
 };
 
 enum class AdmitStatus : uint8_t
@@ -137,10 +150,27 @@ class AnalysisService
     /** "msulong.health/v1" snapshot document. */
     std::string healthJson() const;
 
+    /**
+     * "msulong.stats/v1" document answering @p request: the full
+     * metrics registry (obs/v1 JSON or wrapped Prometheus text),
+     * sliding-window rates, per-tenant pending counts, and — when the
+     * request names a trace id — the daemon-side trace events of that
+     * trace so the client can merge them into its own file.
+     */
+    std::string statsJson(const StatsRequest &request) const;
+
+    /** Most recent postmortem documents, oldest first. */
+    std::vector<std::string> recentPostmortems() const;
+
   private:
     void runJob(uint64_t id, JobRequest request, const DoneFn &done);
     ResourceLimits effectiveLimits(const JobRequest &request) const;
     void finishJob(const std::string &tenant);
+    /** Milliseconds since construction (sliding-window clock). */
+    uint64_t nowMs() const;
+    /** Serialize, retain, and (when configured) persist a postmortem. */
+    void emitPostmortem(const obs::PostmortemInfo &info,
+                        const obs::FlightRecorder &recorder);
 
     ServiceConfig config_;
     CompileCache cache_;
@@ -157,6 +187,16 @@ class AnalysisService
     /// Tenants with at least one pending job.
     std::map<std::string, size_t> tenantPending_;
     uint64_t nextId_ = 1;
+
+    /// Last-minute admission/rejection/completion rates for the live
+    /// exposition (60 one-second buckets; out-of-band by construction).
+    obs::SlidingWindow windowAdmitted_;
+    obs::SlidingWindow windowRejected_;
+    obs::SlidingWindow windowCompleted_;
+
+    mutable std::mutex postmortemMutex_;
+    std::deque<std::string> postmortems_; ///< Recent documents.
+    uint64_t postmortemCount_ = 0;        ///< Ever produced.
 
     /// Declared last: destroyed first, so the pool drains its queue
     /// while the watchdog and cache are still alive.

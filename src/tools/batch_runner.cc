@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/fault.h"
@@ -166,6 +167,11 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
     MS_TRACE_SPAN("batch.job", "job " + std::to_string(index));
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     reg.counter("batch.jobs").inc();
+    obs::FlightRecorder *rec = options.recorder;
+    auto note = [rec](const char *name, std::string detail = "") {
+        if (rec != nullptr)
+            rec->note(name, std::move(detail));
+    };
     auto start = std::chrono::steady_clock::now();
     ExecutionResult result;
     for (;;) {
@@ -173,9 +179,11 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
             result.termination = TerminationKind::cancelled;
             result.terminationDetail =
                 "batch drained before the job started (fail-fast)";
+            note("job.drained");
             break;
         }
         stats.attempts++;
+        note("job.attempt", "attempt " + std::to_string(stats.attempts));
         CancellationToken token;
         try {
             if (options.faults != nullptr)
@@ -183,6 +191,8 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
                                    std::to_string(index));
             PreparedProgram prepared =
                 prepareProgram(job.sources, job.config, cache);
+            note("job.compile",
+                 prepared.ok() ? "ok" : prepared.compileErrors);
             if (prepared.ok() && options.analysis != nullptr) {
                 // Analyzed before execution so findings survive even a
                 // cancelled run; the analyzer replays this job's inputs.
@@ -194,6 +204,9 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
                 stats.staticDefinite = analysis.definiteCount();
                 stats.staticMaybe = analysis.maybeCount();
                 stats.staticFindings = std::move(analysis.findings);
+                note("job.analysis",
+                     std::to_string(stats.staticDefinite) + " definite, " +
+                         std::to_string(stats.staticMaybe) + " maybe");
             }
             if (prepared.ok()) {
                 prepared.engine->limits() = job.limits;
@@ -202,6 +215,7 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
                 // guest step path, and a budget that included compile
                 // time would cancel healthy jobs on a slow host.
                 watchdog.watch(index, token);
+                note("job.execute");
             }
             result = prepared.run(job.args, job.stdinData);
         } catch (const std::exception &e) {
@@ -209,11 +223,13 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
             result.termination = TerminationKind::hostFault;
             result.terminationDetail =
                 std::string("batch job threw: ") + e.what();
+            note("job.host_fault", e.what());
         } catch (...) {
             result = ExecutionResult{};
             result.termination = TerminationKind::hostFault;
             result.terminationDetail =
                 "batch job threw a non-standard exception";
+            note("job.host_fault", "non-standard exception");
         }
         watchdog.release(index);
         if (result.termination == TerminationKind::hostFault &&
@@ -228,6 +244,8 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
             reg.counter("batch.retries").inc();
             obs::traceInstant("batch.retry",
                               "job " + std::to_string(index));
+            note("job.retry",
+                 "after attempt " + std::to_string(stats.attempts));
             if (options.retryBackoffMs > 0) {
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     options.retryBackoffMs * stats.attempts));
@@ -237,6 +255,7 @@ runGuardedJob(const BatchJob &job, size_t index, CompileCache *cache,
         break;
     }
     stats.termination = result.termination;
+    note("job.done", terminationKindName(result.termination));
     stats.elapsedMs = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();

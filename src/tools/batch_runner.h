@@ -38,6 +38,11 @@ namespace sulong
 
 class FaultInjector;
 
+namespace obs
+{
+class FlightRecorder;
+}
+
 /** One evaluation cell: a program under one tool configuration. */
 struct BatchJob
 {
@@ -191,6 +196,11 @@ struct GuardedJobOptions
     const char *faultSitePrefix = "batch.job/";
     /// Static analysis alongside execution (findings land in JobStats).
     const AnalysisOptions *analysis = nullptr;
+    /// When set, the attempt sequence narrates itself into this ring
+    /// (attempt starts, compile/analysis milestones, host faults,
+    /// retries, the final termination) so the owner can dump a
+    /// postmortem if the job dies. Strictly out-of-band.
+    obs::FlightRecorder *recorder = nullptr;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "ir/clone.h"
+#include "obs/expo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -497,6 +498,7 @@ parseObsFlags(int argc, char **argv)
     ObsFlags flags;
     flags.traceOut = parseStringFlag(argc, argv, "trace-out");
     flags.metricsJson = parseStringFlag(argc, argv, "metrics-json");
+    flags.metricsExpo = parseStringFlag(argc, argv, "metrics-expo");
     flags.stats = hasFlag(argc, argv, "stats");
     obs::setTracingEnabled(!flags.traceOut.empty());
     obs::setMetricsEnabled(flags.metricsWanted());
@@ -516,6 +518,11 @@ writeObsOutputs(const ObsFlags &flags)
     if (!flags.metricsJson.empty() &&
         !obs::writeMetricsJson(flags.metricsJson, &error)) {
         std::fprintf(stderr, "metrics-json: %s\n", error.c_str());
+        ok = false;
+    }
+    if (!flags.metricsExpo.empty() &&
+        !obs::writePrometheusText(flags.metricsExpo, &error)) {
+        std::fprintf(stderr, "metrics-expo: %s\n", error.c_str());
         ok = false;
     }
     if (flags.stats) {

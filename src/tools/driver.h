@@ -197,28 +197,32 @@ struct ObsFlags
     std::string traceOut;
     /// obs/v1 metrics JSON destination ("" = none).
     std::string metricsJson;
+    /// Prometheus text-exposition destination ("" = none).
+    std::string metricsExpo;
     /// Print a human-readable stats dump (counters + cache) on exit.
     bool stats = false;
 
     bool
     metricsWanted() const
     {
-        return stats || !metricsJson.empty();
+        return stats || !metricsJson.empty() || !metricsExpo.empty();
     }
 };
 
 /**
- * Parse `--trace-out=FILE`, `--metrics-json=FILE`, and `--stats`, and
- * ENABLE the corresponding collection globally (tracing only when a
- * trace file was requested; metrics when either a metrics file or
- * --stats was). Collection stays off entirely when none are given.
+ * Parse `--trace-out=FILE`, `--metrics-json=FILE`,
+ * `--metrics-expo=FILE`, and `--stats`, and ENABLE the corresponding
+ * collection globally (tracing only when a trace file was requested;
+ * metrics when a metrics/expo file or --stats was). Collection stays
+ * off entirely when none are given.
  */
 ObsFlags parseObsFlags(int argc, char **argv);
 
 /**
  * Write the outputs selected by @p flags: the Chrome trace, the obs/v1
- * metrics document, and/or the --stats text dump to stdout. Returns
- * false (after printing a diagnostic to stderr) if any write failed.
+ * metrics document, the Prometheus text exposition, and/or the --stats
+ * text dump to stdout. Returns false (after printing a diagnostic to
+ * stderr) if any write failed.
  */
 bool writeObsOutputs(const ObsFlags &flags);
 

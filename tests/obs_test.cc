@@ -16,9 +16,12 @@
 #include <thread>
 
 #include "corpus/corpus.h"
+#include "obs/expo.h"
+#include "obs/flightrec.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "support/thread_pool.h"
 #include "tools/batch_runner.h"
 #include "tools/compile_cache.h"
@@ -470,6 +473,297 @@ TEST(DeterminismTest, CounterTotalsMatchAcrossJobCounts)
         ASSERT_NE(it, parallel.end()) << name << " missing in parallel run";
         EXPECT_EQ(value, it->second) << name << " diverged across job counts";
     }
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBuckets)
+{
+    MetricsOn on;
+    Histogram hist("test.pct");
+
+    // Empty histogram: every quantile is 0.
+    EXPECT_EQ(hist.snapshot().percentile(0.5), 0u);
+
+    // All mass in one bucket: every quantile lands inside it.
+    for (int i = 0; i < 100; i++)
+        hist.record(10); // bucket [8, 15]
+    HistogramSnapshot snap = hist.snapshot();
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_GE(snap.percentile(q), 8u) << q;
+        EXPECT_LE(snap.percentile(q), 15u) << q;
+    }
+
+    // Bimodal: 90 small values, 10 large ones. The p50 must stay in
+    // the small bucket, the p99 must reach the large one, and the
+    // sequence must be monotone.
+    hist.reset();
+    for (int i = 0; i < 90; i++)
+        hist.record(10); // [8, 15]
+    for (int i = 0; i < 10; i++)
+        hist.record(5000); // [4096, 8191]
+    snap = hist.snapshot();
+    uint64_t p50 = snap.percentile(0.50);
+    uint64_t p90 = snap.percentile(0.90);
+    uint64_t p99 = snap.percentile(0.99);
+    EXPECT_GE(p50, 8u);
+    EXPECT_LE(p50, 15u);
+    EXPECT_GE(p99, 4096u);
+    EXPECT_LE(p99, 8191u);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+
+    // Out-of-range q clamps instead of misbehaving.
+    EXPECT_EQ(snap.percentile(-1.0), snap.percentile(0.0));
+    EXPECT_EQ(snap.percentile(2.0), snap.percentile(1.0));
+}
+
+TEST(SlidingWindowTest, LazyRotationExpiresOldBuckets)
+{
+    obs::SlidingWindow window(/*bucket_count=*/3, /*bucket_width_ms=*/1000);
+    EXPECT_EQ(window.windowMs(), 3000u);
+
+    window.record(1000, 5); // epoch 1
+    window.record(2500, 2); // epoch 2
+    EXPECT_EQ(window.totalInWindow(2500), 7u);
+
+    // At t=4500 the window covers epochs [2, 4]: epoch 1 has expired.
+    EXPECT_EQ(window.totalInWindow(4500), 2u);
+
+    // Writing into a slot holding a stale epoch resets it rather than
+    // accumulating into ancient history (slot 4 % 3 == slot 1 % 3).
+    window.record(4500, 1);
+    EXPECT_EQ(window.totalInWindow(4500), 3u);
+
+    // Far in the future everything has rotated out.
+    EXPECT_EQ(window.totalInWindow(60000), 0u);
+
+    // Rate scales the window sum by the covered seconds.
+    obs::SlidingWindow rate(/*bucket_count=*/10, /*bucket_width_ms=*/100);
+    rate.record(500, 10);
+    EXPECT_NEAR(rate.ratePerSec(500), 10.0, 1e-9);
+}
+
+TEST(ExpoTest, NameSplittingSanitizationAndEscaping)
+{
+    auto [plain, no_labels] = obs::splitLabeledName("service.admitted");
+    EXPECT_EQ(plain, "service.admitted");
+    EXPECT_EQ(no_labels, "");
+    auto [base, labels] =
+        obs::splitLabeledName("service.tenant.admitted{tenant=\"acme\"}");
+    EXPECT_EQ(base, "service.tenant.admitted");
+    EXPECT_EQ(labels, "{tenant=\"acme\"}");
+
+    EXPECT_EQ(obs::prometheusName("service.jobs.ok"), "service_jobs_ok");
+    EXPECT_EQ(obs::prometheusName("bugs.out-of-bounds"),
+              "bugs_out_of_bounds");
+    EXPECT_EQ(obs::prometheusName("9lives"), "_9lives");
+
+    EXPECT_EQ(obs::prometheusLabelEscape("plain"), "plain");
+    EXPECT_EQ(obs::prometheusLabelEscape("a\"b\\c\nd"),
+              "a\\\"b\\\\c\\nd");
+}
+
+TEST(ExpoTest, PrometheusTextCarriesTypesLabelsAndCumulativeBuckets)
+{
+    MetricsOn on;
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.reset();
+    reg.counter("obs_test.expo.counter").inc(5);
+    reg.counter("obs_test.expo.labeled{tenant=\"a b\"}").inc(2);
+    reg.gauge("obs_test.expo.gauge").set(-3);
+    Histogram &hist = reg.histogram("obs_test.expo.hist");
+    hist.record(1);    // bucket [1, 1]
+    hist.record(1500); // bucket [1024, 2047]
+
+    std::string text = obs::prometheusText(reg.snapshot());
+    reg.reset();
+
+    EXPECT_NE(text.find("# TYPE obs_test_expo_counter counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_test_expo_counter 5\n"), std::string::npos);
+    // Labels survive the round trip out of the flat registry name.
+    EXPECT_NE(text.find("obs_test_expo_labeled{tenant=\"a b\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE obs_test_expo_gauge gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_test_expo_gauge -3\n"), std::string::npos);
+    // Cumulative histogram series ending at +Inf == _count.
+    EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"2047\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_test_expo_hist_bucket{le=\"+Inf\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_test_expo_hist_sum 1501\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_test_expo_hist_count 2\n"),
+              std::string::npos);
+    // Interpolated percentiles ride along as companion gauges.
+    EXPECT_NE(text.find("# TYPE obs_test_expo_hist_p50 gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("obs_test_expo_hist_p99 "), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingKeepsNewestEventsOldestFirst)
+{
+    // NOT gated on the metrics switch: creation is the opt-in.
+    ASSERT_FALSE(obs::metricsEnabled());
+    obs::FlightRecorder recorder(4);
+    for (int i = 0; i < 6; i++)
+        recorder.note("evt" + std::to_string(i), i % 2 ? "odd" : "");
+
+    EXPECT_EQ(recorder.recorded(), 6u);
+    std::vector<obs::FlightRecorder::Event> events = recorder.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().name, "evt2");
+    EXPECT_EQ(events.back().name, "evt5");
+    EXPECT_EQ(events.back().detail, "odd");
+    for (size_t i = 1; i < events.size(); i++)
+        EXPECT_LT(events[i - 1].seq, events[i].seq);
+}
+
+TEST(FlightRecorderTest, PostmortemJsonIsValidatedAndComplete)
+{
+    obs::FlightRecorder recorder(8);
+    recorder.note("job.attempt", "attempt 1");
+    recorder.note("job.host_fault", "injected \"quote\"");
+
+    obs::PostmortemInfo info;
+    info.jobId = 42;
+    info.tenant = "acme";
+    info.tool = "safe";
+    info.traceId = std::string(32, 'a');
+    info.termination = "host-fault";
+    info.terminationDetail = "injected fault";
+    info.attempts = 2;
+    info.faultFirings = 1;
+
+    std::string doc_text = obs::postmortemJson(info, recorder);
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(doc_text, &doc, &error)) << error;
+    EXPECT_EQ(doc.stringAt("schema"), "msulong.postmortem/v1");
+    EXPECT_EQ(doc.uintAt("job"), 42u);
+    EXPECT_EQ(doc.stringAt("tenant"), "acme");
+    EXPECT_EQ(doc.stringAt("trace_id"), std::string(32, 'a'));
+    EXPECT_EQ(doc.stringAt("termination"), "host-fault");
+    EXPECT_EQ(doc.uintAt("attempts"), 2u);
+    EXPECT_EQ(doc.uintAt("fault_firings"), 1u);
+    const obs::JsonValue *events = doc.find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->elements().size(), 2u);
+    EXPECT_EQ(events->elements()[1].stringAt("name"), "job.host_fault");
+    EXPECT_EQ(events->elements()[1].stringAt("detail"),
+              "injected \"quote\"");
+}
+
+TEST(TraceTest, ContextScopeChainsParentsAndRestores)
+{
+    TracingOn on;
+    const std::string trace_id(32, 'b');
+    {
+        obs::TraceContextScope scope(obs::TraceContext{trace_id, 77});
+        {
+            MS_TRACE_SPAN("ctx.outer");
+            {
+                MS_TRACE_SPAN("ctx.inner");
+            }
+        }
+        // Both spans closed: the remote parent is current again.
+        EXPECT_EQ(obs::currentTraceContext().spanId, 77u);
+    }
+    EXPECT_FALSE(obs::currentTraceContext().active());
+
+    std::vector<TraceEvent> events = TraceCollector::global().drain();
+    ASSERT_EQ(events.size(), 2u);
+    const TraceEvent &outer = events[0];
+    const TraceEvent &inner = events[1];
+    EXPECT_EQ(outer.name, "ctx.outer");
+    EXPECT_EQ(outer.traceId, trace_id);
+    EXPECT_EQ(outer.parentSpan, 77u);
+    EXPECT_NE(outer.spanId, 0u);
+    EXPECT_EQ(inner.traceId, trace_id);
+    EXPECT_EQ(inner.parentSpan, outer.spanId);
+    EXPECT_NE(inner.spanId, outer.spanId);
+
+    // Without a context, spans carry no trace identity.
+    {
+        MS_TRACE_SPAN("ctx.none");
+    }
+    events = TraceCollector::global().drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].traceId.empty());
+    EXPECT_EQ(events[0].spanId, 0u);
+}
+
+TEST(TraceTest, RemoteContextOptsInWithoutLocalTracing)
+{
+    ASSERT_FALSE(obs::tracingEnabled());
+    TraceCollector::global().drain();
+    {
+        obs::TraceContextScope scope(
+            obs::TraceContext{std::string(32, 'c'), 5});
+        MS_TRACE_SPAN("optin.span");
+    }
+    std::vector<TraceEvent> events = TraceCollector::global().drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].parentSpan, 5u);
+    EXPECT_NE(events[0].spanId, 0u);
+
+    // And with neither tracing nor a context, nothing is recorded.
+    {
+        MS_TRACE_SPAN("still.off");
+    }
+    EXPECT_TRUE(TraceCollector::global().drain().empty());
+}
+
+TEST(TraceTest, SpanIdHexRoundTripAndValidation)
+{
+    uint64_t id = obs::mintSpanId();
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(obs::mintSpanId(), id); // process-unique
+
+    std::string hex = obs::spanIdToHex(0xdeadbeefull);
+    EXPECT_EQ(hex, "00000000deadbeef");
+    uint64_t parsed = 0;
+    ASSERT_TRUE(obs::parseSpanIdHex(hex, &parsed));
+    EXPECT_EQ(parsed, 0xdeadbeefull);
+    ASSERT_TRUE(obs::parseSpanIdHex("1f", &parsed));
+    EXPECT_EQ(parsed, 0x1fu);
+
+    EXPECT_FALSE(obs::parseSpanIdHex("", &parsed));
+    EXPECT_FALSE(obs::parseSpanIdHex("XYZ", &parsed));
+    EXPECT_FALSE(obs::parseSpanIdHex("ABCD", &parsed)); // uppercase
+    EXPECT_FALSE(obs::parseSpanIdHex("00000000deadbeef0", &parsed));
+
+    std::string trace_id = obs::mintTraceId();
+    EXPECT_EQ(trace_id.size(), 32u);
+    EXPECT_TRUE(obs::isLowerHex(trace_id));
+}
+
+TEST(JsonTest, ChromeTraceCarriesPidAndSpanIdentity)
+{
+    TraceEvent event;
+    event.name = "merged.daemon.span";
+    event.phase = 'X';
+    event.tsNs = 1000;
+    event.durNs = 500;
+    event.pid = 2;
+    event.traceId = std::string(32, 'd');
+    event.spanId = 0x10;
+    event.parentSpan = 0x20;
+
+    const std::string path = "obs_test_merged_trace.json";
+    std::string error;
+    ASSERT_TRUE(obs::writeChromeTraceFile(path, {event}, &error)) << error;
+    std::string text = readFile(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(obs::validateJson(text, &error)) << error;
+    EXPECT_NE(text.find("\"pid\":2"), std::string::npos);
+    EXPECT_NE(text.find("\"span_id\":\"0000000000000010\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"parent_span\":\"0000000000000020\""),
+              std::string::npos);
+    EXPECT_NE(text.find(std::string(32, 'd')), std::string::npos);
 }
 
 } // namespace

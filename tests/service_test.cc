@@ -12,10 +12,13 @@
 
 #include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "test_util.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "support/fault.h"
@@ -674,6 +677,275 @@ TEST(ServiceServerTest, ResponsePayloadsAreIdenticalAcrossWorkerCounts)
     // Sequential submissions assign the same job ids, and responses
     // carry no wall-clock fields, so the bytes must match exactly.
     EXPECT_EQ(run(1, "det1"), run(8, "det8"));
+}
+
+// --- observability ----------------------------------------------------
+
+TEST(ProtocolTest, RejectedFramesAreCountedByReason)
+{
+    obs::setMetricsEnabled(true);
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    obs::Counter &malformed =
+        reg.counter("service.frames.rejected.malformed");
+    obs::Counter &oversized =
+        reg.counter("service.frames.rejected.oversized");
+    obs::Counter &poisoned =
+        reg.counter("service.frames.rejected.poisoned");
+    uint64_t malformed0 = malformed.value();
+    uint64_t oversized0 = oversized.value();
+    uint64_t poisoned0 = poisoned.value();
+
+    FrameReader garbage;
+    garbage.feed("not-a-frame-at-all");
+    Frame out;
+    EXPECT_EQ(garbage.next(&out), DecodeStatus::badMagic);
+    EXPECT_EQ(malformed.value(), malformed0 + 1);
+    // Bytes after the poison are discarded and counted once per feed.
+    size_t buffered_at_poison = garbage.buffered();
+    garbage.feed("more bytes");
+    EXPECT_EQ(poisoned.value(), poisoned0 + 1);
+    EXPECT_EQ(garbage.buffered(), buffered_at_poison);
+
+    FrameReader small(/*max_frame_bytes=*/16);
+    small.feed(encodeFrame(FrameType::jobRequest,
+                           std::string(64, 'x')));
+    EXPECT_EQ(small.next(&out), DecodeStatus::oversized);
+    EXPECT_EQ(oversized.value(), oversized0 + 1);
+
+    obs::setMetricsEnabled(false);
+}
+
+TEST(ServiceServerTest, TraceContextPropagatesIntoDaemonSpans)
+{
+    obs::TraceCollector::global().drain();
+    obs::setTracingEnabled(true);
+    ServiceConfig config;
+    config.workers = 1;
+    ServerOptions options;
+    options.socketPath = makeSocketPath("trace");
+    ServiceServer server(config, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+    Frame reply;
+    ASSERT_TRUE(client.submitTracedJob(cleanRequest(), &reply, &error))
+        << error;
+    EXPECT_EQ(reply.type, FrameType::jobResponse);
+    // The job response itself carries no trace fields — identity
+    // travels out-of-band through the stats frame only.
+    EXPECT_EQ(reply.payload.find("trace"), std::string::npos);
+
+    // The daemon's worker may still be closing its spans when the
+    // reply lands; poll the stats frame until they appear.
+    StatsRequest stats_request;
+    stats_request.traceId = client.traceId();
+    std::string client_span;
+    bool adopted = false;
+    for (int i = 0; i < 100 && !adopted; i++) {
+        obs::JsonValue stats;
+        ASSERT_TRUE(client.stats(stats_request, &stats, &error)) << error;
+        const obs::JsonValue *events = stats.find("trace_events");
+        ASSERT_NE(events, nullptr);
+        for (const obs::JsonValue &event : events->elements()) {
+            if (event.stringAt("name") == "client.submit")
+                client_span = event.stringAt("span_id");
+        }
+        for (const obs::JsonValue &event : events->elements()) {
+            if (event.stringAt("name") == "service.job" &&
+                !client_span.empty() &&
+                event.stringAt("parent_span") == client_span)
+                adopted = true;
+        }
+        if (!adopted)
+            ::usleep(10000);
+    }
+    // The client's span id is the daemon span's PARENT: one trace,
+    // two processes, joined at the submit seam.
+    EXPECT_FALSE(client_span.empty());
+    EXPECT_TRUE(adopted);
+
+    obs::setTracingEnabled(false);
+    obs::TraceCollector::global().drain();
+    server.requestDrain();
+    EXPECT_EQ(server.runUntilDrained(), 0);
+}
+
+TEST(ServiceServerTest, ResponsePayloadsIdenticalWithTracingOnOrOff)
+{
+    auto run = [](unsigned workers, const char *tag, bool traced) {
+        if (traced)
+            obs::setTracingEnabled(true);
+        ServiceConfig config;
+        config.workers = workers;
+        ServerOptions options;
+        options.socketPath = makeSocketPath(tag);
+        ServiceServer server(config, options);
+        std::string error;
+        EXPECT_TRUE(server.start(&error)) << error;
+        ServiceClient client;
+        EXPECT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+        std::vector<std::string> payloads;
+        for (int i = 0; i < 3; i++) {
+            JobRequest request = cleanRequest();
+            if (i == 1)
+                request.source = kBugSource;
+            Frame reply;
+            bool sent = traced
+                ? client.submitTracedJob(request, &reply, &error)
+                : client.submitJob(request, &reply, &error);
+            EXPECT_TRUE(sent) << error;
+            EXPECT_EQ(reply.type, FrameType::jobResponse);
+            payloads.push_back(reply.payload);
+        }
+        server.requestDrain();
+        EXPECT_EQ(server.runUntilDrained(), 0);
+        if (traced) {
+            obs::setTracingEnabled(false);
+            obs::TraceCollector::global().drain();
+        }
+        return payloads;
+    };
+    // The tentpole's determinism gate: result payloads are bytewise
+    // unaffected by tracing and by the worker count.
+    std::vector<std::string> plain = run(1, "tron1", false);
+    EXPECT_EQ(plain, run(1, "tron2", true));
+    EXPECT_EQ(plain, run(8, "tron3", true));
+}
+
+TEST(ServiceServerTest, PostmortemOnJobDeathDroppedOnSuccess)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.postmortemKeep = 4;
+    ServerOptions options;
+    options.socketPath = makeSocketPath("postmortem");
+    ServiceServer server(config, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+    // A clean job leaves no postmortem behind.
+    Frame reply;
+    ASSERT_TRUE(client.submitJob(cleanRequest(), &reply, &error)) << error;
+    ASSERT_EQ(reply.type, FrameType::jobResponse);
+    EXPECT_TRUE(server.service().recentPostmortems().empty());
+
+    // A detected bug is a death: the flight recorder is dumped.
+    JobRequest bug = cleanRequest();
+    bug.source = kBugSource;
+    ASSERT_TRUE(client.submitJob(bug, &reply, &error)) << error;
+    std::vector<std::string> postmortems =
+        server.service().recentPostmortems();
+    ASSERT_EQ(postmortems.size(), 1u);
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parseJson(postmortems[0], &doc, &error)) << error;
+    EXPECT_EQ(doc.stringAt("schema"), "msulong.postmortem/v1");
+    EXPECT_EQ(doc.stringAt("bug_kind"), "out-of-bounds");
+    EXPECT_EQ(doc.stringAt("tenant"), "default");
+    const obs::JsonValue *events = doc.find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_FALSE(events->elements().empty());
+    bool sawDone = false;
+    for (const obs::JsonValue &event : events->elements())
+        sawDone |= event.stringAt("name") == "job.done";
+    EXPECT_TRUE(sawDone);
+
+    server.requestDrain();
+    EXPECT_EQ(server.runUntilDrained(), 0);
+}
+
+TEST(ServiceServerTest, PostmortemRecordsInjectedFaultFirings)
+{
+    FaultInjector faults(/*seed=*/3);
+    faults.addRule(
+        prefixRule("service.job/", FaultInjector::Action::hostException));
+    ServiceConfig config;
+    config.workers = 1;
+    config.faults = &faults;
+    ServerOptions options;
+    options.socketPath = makeSocketPath("pmfault");
+    ServiceServer server(config, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+
+    Frame reply;
+    ASSERT_TRUE(client.submitJob(cleanRequest(), &reply, &error)) << error;
+    std::vector<std::string> postmortems =
+        server.service().recentPostmortems();
+    ASSERT_EQ(postmortems.size(), 1u);
+    obs::JsonValue doc;
+    ASSERT_TRUE(obs::parseJson(postmortems[0], &doc, &error)) << error;
+    EXPECT_GE(doc.uintAt("fault_firings"), 1u);
+    bool sawFault = false;
+    for (const obs::JsonValue &event : doc.find("events")->elements())
+        sawFault |= event.stringAt("name") == "job.host_fault";
+    EXPECT_TRUE(sawFault);
+
+    server.requestDrain();
+    EXPECT_EQ(server.runUntilDrained(), 0);
+}
+
+TEST(ServiceServerTest, StatsFrameAnswersUnderLoadInBothFormats)
+{
+    obs::setMetricsEnabled(true);
+    ServiceConfig config;
+    config.workers = 2;
+    ServerOptions options;
+    options.socketPath = makeSocketPath("stats");
+    ServiceServer server(config, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    std::atomic<bool> stop{false};
+    std::thread load([&options, &stop] {
+        ServiceClient client;
+        std::string err;
+        if (!client.connect(options.socketPath, &err))
+            return;
+        while (!stop.load()) {
+            Frame reply;
+            if (!client.submitJob(cleanRequest(), &reply, &err))
+                break;
+        }
+    });
+
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(options.socketPath, &error)) << error;
+    for (int i = 0; i < 10; i++) {
+        StatsRequest request;
+        obs::JsonValue stats;
+        ASSERT_TRUE(client.stats(request, &stats, &error)) << error;
+        EXPECT_EQ(stats.stringAt("schema"), "msulong.stats/v1");
+        ASSERT_NE(stats.find("window"), nullptr);
+        EXPECT_EQ(stats.find("window")->uintAt("window_ms"), 60000u);
+        ASSERT_NE(stats.find("metrics"), nullptr);
+        EXPECT_EQ(stats.find("metrics")->stringAt("schema"), "obs/v1");
+
+        request.format = "prometheus";
+        obs::JsonValue expo;
+        ASSERT_TRUE(client.stats(request, &expo, &error)) << error;
+        EXPECT_EQ(expo.stringAt("format"), "prometheus");
+        EXPECT_NE(expo.stringAt("expo").find("# TYPE"),
+                  std::string::npos);
+    }
+    // The sliding window saw the admissions the load generated.
+    StatsRequest request;
+    obs::JsonValue stats;
+    ASSERT_TRUE(client.stats(request, &stats, &error)) << error;
+    EXPECT_GT(stats.find("window")->uintAt("admitted"), 0u);
+
+    stop.store(true);
+    load.join();
+    obs::setMetricsEnabled(false);
+    server.requestDrain();
+    EXPECT_EQ(server.runUntilDrained(), 0);
+    obs::MetricsRegistry::global().reset();
 }
 
 } // namespace

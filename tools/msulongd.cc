@@ -21,15 +21,32 @@
  *            [--deadline-ms MS]
  *            [--chaos-seed N] [--chaos-accept P] [--chaos-read P]
  *            [--chaos-write P] [--chaos-job P]
- *            [--metrics-json FILE] [--trace-out FILE] [--stats]
+ *            [--postmortem-dir DIR] [--postmortem-keep N]
+ *            [--metrics-sock PATH] [--metrics-dump FILE]
+ *            [--metrics-json FILE] [--metrics-expo FILE]
+ *            [--trace-out FILE] [--stats]
+ *
+ * --metrics-sock serves the live Prometheus text exposition: every
+ * connection to PATH receives one scrape and is closed, so
+ * `curl --unix-socket PATH` (or nc -U) works as a poll target while
+ * the daemon is under load. --metrics-dump writes the same text once
+ * at exit; --postmortem-dir persists a msulong.postmortem/v1 JSON
+ * document for every job that dies (bug, host fault, watchdog
+ * cancellation, resource limit).
  */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 
+#include "obs/expo.h"
 #include "service/server.h"
 #include "support/fault.h"
 #include "tools/driver.h"
@@ -70,6 +87,72 @@ addChaosRule(FaultInjector &faults, int argc, char **argv,
     return true;
 }
 
+/**
+ * Bind an AF_UNIX listener at @p path for the live metrics exposition.
+ * @return the listening fd, or -1 after printing a diagnostic.
+ */
+int
+bindMetricsSocket(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr,
+                     "msulongd: --metrics-sock path must be 1..%zu "
+                     "bytes\n", sizeof(addr.sun_path) - 1);
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "msulongd: metrics socket: %s\n",
+                     std::strerror(errno));
+        return -1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 8) != 0) {
+        std::fprintf(stderr, "msulongd: metrics socket %s: %s\n",
+                     path.c_str(), std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/**
+ * Serve one Prometheus scrape per accepted connection until the
+ * listener is closed. Runs detached; closing @p listen_fd at drain
+ * time makes accept() fail and the loop return.
+ */
+void
+serveMetricsSocket(int listen_fd)
+{
+    for (;;) {
+        int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        std::string text = sulong::obs::prometheusTextFromGlobal();
+        const char *p = text.data();
+        size_t left = text.size();
+        while (left > 0) {
+            ssize_t n = ::send(conn, p, left, MSG_NOSIGNAL);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                break;
+            }
+            p += n;
+            left -= static_cast<size_t>(n);
+        }
+        ::close(conn);
+    }
+}
+
 } // namespace
 
 int
@@ -89,6 +172,14 @@ main(int argc, char **argv)
     pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
     ObsFlags obs_flags = parseObsFlags(argc, argv);
+    // --metrics-dump is the daemon-flavored spelling of --metrics-expo;
+    // --metrics-sock serves the same text live. Both imply collection.
+    std::string metrics_dump = parseStringFlag(argc, argv, "metrics-dump");
+    if (!metrics_dump.empty() && obs_flags.metricsExpo.empty())
+        obs_flags.metricsExpo = metrics_dump;
+    std::string metrics_sock = parseStringFlag(argc, argv, "metrics-sock");
+    if (!metrics_dump.empty() || !metrics_sock.empty())
+        obs::setMetricsEnabled(true);
 
     ServiceConfig config;
     config.workers = parseJobsFlag(argc, argv, 2);
@@ -103,6 +194,9 @@ main(int argc, char **argv)
     config.cacheCapacity = static_cast<size_t>(
         parseUint64Flag(argc, argv, "cache-cap", 64));
     config.limitCeiling = parseLimitFlags(argc, argv);
+    config.postmortemDir = parseStringFlag(argc, argv, "postmortem-dir");
+    config.postmortemKeep = static_cast<size_t>(
+        parseUint64Flag(argc, argv, "postmortem-keep", 16));
 
     FaultInjector faults(parseUint64Flag(argc, argv, "chaos-seed", 0));
     bool chaos = false;
@@ -133,6 +227,17 @@ main(int argc, char **argv)
     std::fprintf(stderr, "msulongd: listening on %s (%u workers)\n",
                  socket_path.c_str(), server.service().workers());
 
+    int metrics_fd = -1;
+    if (!metrics_sock.empty()) {
+        metrics_fd = bindMetricsSocket(metrics_sock);
+        if (metrics_fd < 0)
+            return 1;
+        std::thread([metrics_fd] { serveMetricsSocket(metrics_fd); })
+            .detach();
+        std::fprintf(stderr, "msulongd: metrics exposition on %s\n",
+                     metrics_sock.c_str());
+    }
+
     std::thread signal_thread([&server, &sigs] {
         int sig = 0;
         if (sigwait(&sigs, &sig) == 0) {
@@ -144,6 +249,10 @@ main(int argc, char **argv)
     signal_thread.detach();
 
     int rc = server.runUntilDrained();
+    if (metrics_fd >= 0) {
+        ::close(metrics_fd);
+        ::unlink(metrics_sock.c_str());
+    }
     // Telemetry flushes after the last job has answered, so the
     // document reflects the whole run.
     if (!writeObsOutputs(obs_flags))
